@@ -1,0 +1,312 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure (see DESIGN.md section 4 for the index), plus ablation and
+// component micro-benchmarks. The figure benchmarks run the full
+// experiment at reduced scale and surface each figure's headline
+// quantity through b.ReportMetric; `go run ./cmd/cmobench` produces
+// the complete report at full scale.
+package cmo_test
+
+import (
+	"testing"
+
+	cmo "cmo"
+	"cmo/internal/experiments"
+	"cmo/internal/il"
+	"cmo/internal/ir"
+	"cmo/internal/lower"
+	"cmo/internal/naim"
+	"cmo/internal/source"
+	"cmo/internal/workload"
+)
+
+func benchCfg() experiments.Config { return experiments.Config{Scale: 0.25} }
+
+// BenchmarkFigure1 regenerates the speedup suite (Figure 1) and
+// reports the mean CMO+PBO speedup.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.SpeedupBoth
+		}
+		b.ReportMetric(sum/float64(len(rows)), "speedup-cmo+pbo")
+	}
+}
+
+// BenchmarkFigure4 regenerates the memory-scaling curve (Figure 4)
+// and reports HLO bytes/line at the largest size (sub-linearity shows
+// as this falling with scale).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure4(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(float64(last.HLOPeak)/float64(last.Lines), "hlo-bytes/line")
+	}
+}
+
+// BenchmarkFigure5 regenerates the NAIM time/space dial (Figure 5)
+// and reports the memory ratio between NAIM-off and full NAIM.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(points[0].PeakBytes)/float64(points[3].PeakBytes), "mem-reduction-x")
+	}
+}
+
+// BenchmarkFigure6 regenerates the selectivity sweep (Figure 6) and
+// reports the speedup captured at the 20% selection point.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Percent == 20 {
+				b.ReportMetric(p.Speedup, "speedup-at-20pct")
+			}
+		}
+	}
+}
+
+// BenchmarkTableHistory regenerates the section-8 memory-per-line
+// history and reports the expanded-form bytes/line.
+func BenchmarkTableHistory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableHistory(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].BytesPerLine, "expanded-bytes/line")
+		b.ReportMetric(rows[0].BytesPerLine/rows[2].BytesPerLine, "naim-reduction-x")
+	}
+}
+
+// BenchmarkSwizzleVsRebuild is the DESIGN.md ablation comparing
+// relocatable-pool decoding against rebuilding IR from source (the
+// Convex Application Compiler contrast, paper section 7).
+func BenchmarkSwizzleVsRebuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationSwizzle(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Factor, "rebuild/decode-x")
+	}
+}
+
+// BenchmarkInlineScheduleLocality measures the inliner's
+// module-grouped schedule against an interleaved one.
+func BenchmarkInlineScheduleLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationInlineSchedule(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Factor, "miss-ratio-x")
+	}
+}
+
+// BenchmarkNAIMThresholdOverhead verifies thresholded NAIM costs
+// nothing on compilations that fit in memory (paper section 4.3).
+func BenchmarkNAIMThresholdOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationThresholdOverhead(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Value, "compactions")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks.
+
+func benchProgram(b *testing.B, modules int) (*il.Program, map[il.PID]*il.Function) {
+	b.Helper()
+	spec := workload.Spec{
+		Name: "bench", Seed: 4242,
+		Modules: modules, HotPerModule: 3, ColdPerModule: 8, ColdStmts: 16,
+	}
+	var files []*source.File
+	for _, m := range spec.Generate() {
+		f, err := source.Parse(m.Name+".minc", m.Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := source.Check(f); err != nil {
+			b.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Prog, res.Funcs
+}
+
+// BenchmarkCompaction measures converting a routine pool to
+// relocatable form (paper section 4.2.2).
+func BenchmarkCompaction(b *testing.B) {
+	prog, fns := benchProgram(b, 4)
+	_ = prog
+	var bodies []*il.Function
+	var bytes int64
+	for _, f := range fns {
+		bodies = append(bodies, f)
+		bytes += naim.ExpandedFuncBytes(f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range bodies {
+			naim.EncodeFunc(f, nil)
+		}
+	}
+	b.SetBytes(bytes)
+}
+
+// BenchmarkUncompaction measures expanding with eager swizzling
+// (paper section 4.2.1).
+func BenchmarkUncompaction(b *testing.B) {
+	prog, fns := benchProgram(b, 4)
+	var blobs [][]byte
+	var bytes int64
+	for _, f := range fns {
+		blobs = append(blobs, naim.EncodeFunc(f, nil))
+		bytes += naim.ExpandedFuncBytes(f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, blob := range blobs {
+			if _, err := naim.DecodeFunc(prog, blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.SetBytes(bytes)
+}
+
+// BenchmarkDerivedRecompute measures the derived-data discipline's
+// recurring cost: rebuilding CFG, dominators, loops, and liveness
+// from scratch (the price of never persisting derived data).
+func BenchmarkDerivedRecompute(b *testing.B) {
+	_, fns := benchProgram(b, 4)
+	var bodies []*il.Function
+	for _, f := range fns {
+		bodies = append(bodies, f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range bodies {
+			c := ir.BuildCFG(f)
+			d := ir.BuildDominators(c)
+			ir.BuildLoops(c, d)
+			ir.BuildLiveness(f, c)
+		}
+	}
+}
+
+// BenchmarkLoaderThrash measures the loader under a cache far smaller
+// than the working set: every touch compacts something and expands
+// something else.
+func BenchmarkLoaderThrash(b *testing.B) {
+	prog, fns := benchProgram(b, 8)
+	pids := prog.FuncPIDs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		loader := naim.NewLoader(prog, naim.Config{ForceLevel: naim.LevelIR, CacheSlots: 4})
+		clones := make(map[il.PID]*il.Function, len(fns))
+		for pid, f := range fns {
+			clones[pid] = f.Clone()
+		}
+		for _, pid := range pids {
+			loader.InstallFunc(clones[pid])
+		}
+		b.StartTimer()
+		for round := 0; round < 3; round++ {
+			for _, pid := range pids {
+				loader.Function(pid)
+				loader.DoneWith(pid)
+			}
+		}
+		b.StopTimer()
+		loader.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkBuildO2 measures the default-level pipeline end to end.
+func BenchmarkBuildO2(b *testing.B) {
+	spec := workload.Spec{
+		Name: "bench", Seed: 4242,
+		Modules: 8, HotPerModule: 3, ColdPerModule: 8, ColdStmts: 16,
+	}
+	var mods []cmo.SourceModule
+	for _, m := range spec.Generate() {
+		mods = append(mods, cmo.SourceModule{Name: m.Name + ".minc", Text: m.Text})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmo.BuildSource(mods, cmo.Options{Level: cmo.O2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildO4 measures the CMO pipeline end to end.
+func BenchmarkBuildO4(b *testing.B) {
+	spec := workload.Spec{
+		Name: "bench", Seed: 4242,
+		Modules: 8, HotPerModule: 3, ColdPerModule: 8, ColdStmts: 16,
+	}
+	var mods []cmo.SourceModule
+	for _, m := range spec.Generate() {
+		mods = append(mods, cmo.SourceModule{Name: m.Name + ".minc", Text: m.Text})
+	}
+	opt := cmo.Options{Level: cmo.O4, SelectPercent: -1, Volatile: workload.InputGlobals()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cmo.BuildSource(mods, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachine measures the VPA simulator's interpretation rate.
+func BenchmarkMachine(b *testing.B) {
+	spec := workload.Spec{
+		Name: "bench", Seed: 4242,
+		Modules: 4, HotPerModule: 2, ColdPerModule: 4, ColdStmts: 10,
+	}
+	var mods []cmo.SourceModule
+	for _, m := range spec.Generate() {
+		mods = append(mods, cmo.SourceModule{Name: m.Name + ".minc", Text: m.Text})
+	}
+	build, err := cmo.BuildSource(mods, cmo.Options{Level: cmo.O2, Volatile: workload.InputGlobals()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := map[string]int64{"input0": 500, "input1": 3}
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		rr, err := build.Run(inputs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = rr.Stats.Instrs
+	}
+	b.ReportMetric(float64(instrs), "instrs/run")
+}

@@ -1,0 +1,97 @@
+// Command cmobench regenerates the paper's evaluation: Figure 1
+// (benchmark speedups), Figure 4 (memory scaling), Figure 5 (the NAIM
+// time/space dial), Figure 6 (the selectivity sweep), the section-8
+// memory-per-line history, and the design-decision ablations.
+//
+//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|all] [-o report.txt] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cmo/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (module-count multiplier)")
+	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, all")
+	out := flag.String("o", "", "write the report to a file as well as stdout")
+	verbose := flag.Bool("v", false, "stream per-step progress to stderr")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	var report strings.Builder
+	emit := func(s string) {
+		report.WriteString(s)
+		report.WriteString("\n")
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("1") {
+		rows, err := experiments.Figure1(cfg)
+		if err != nil {
+			fatalf("figure 1: %v", err)
+		}
+		emit(experiments.RenderFigure1(rows))
+	}
+	if want("4") {
+		points, err := experiments.Figure4(cfg)
+		if err != nil {
+			fatalf("figure 4: %v", err)
+		}
+		emit(experiments.RenderFigure4(points))
+	}
+	if want("5") {
+		points, err := experiments.Figure5(cfg)
+		if err != nil {
+			fatalf("figure 5: %v", err)
+		}
+		emit(experiments.RenderFigure5(points))
+	}
+	if want("6") {
+		points, err := experiments.Figure6(cfg)
+		if err != nil {
+			fatalf("figure 6: %v", err)
+		}
+		emit(experiments.RenderFigure6(points))
+	}
+	if want("hist") {
+		rows, err := experiments.TableHistory(cfg)
+		if err != nil {
+			fatalf("history: %v", err)
+		}
+		emit(experiments.RenderHistory(rows))
+	}
+	if want("ablation") {
+		rs, err := experiments.Ablations(cfg)
+		if err != nil {
+			fatalf("ablations: %v", err)
+		}
+		emit(experiments.RenderAblations(rs))
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	fmt.Fprint(w, report.String())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmobench: "+format+"\n", args...)
+	os.Exit(1)
+}

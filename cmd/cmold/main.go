@@ -1,0 +1,202 @@
+// Command cmold is the linker driver: it merges object files into an
+// executable VPA image, optionally routing embedded IL through the
+// cross-module optimizer first (the paper's CMO-at-link-time flow,
+// Figure 2).
+//
+//	cmold [-o a.vx] [-O4] [-P profile.db] [-select pct] [-I]
+//	      [-budget bytes] [-volatile g1,g2] [-entry main] a.o b.o ...
+//
+// Modes:
+//
+//	default      plain link of the objects' machine code
+//	-O4          cross-module optimization over embedded IL
+//	-O4 -P db    CMO+PBO with profile-guided selectivity (-select)
+//	-I           instrumented (+I) build; writes <out>.probes with
+//	             the probe map for cmorun/cmoprof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/link"
+	"cmo/internal/naim"
+	"cmo/internal/objfile"
+	"cmo/internal/profile"
+)
+
+func main() {
+	out := flag.String("o", "a.vx", "output image")
+	o4 := flag.Bool("O4", false, "cross-module optimize embedded IL")
+	profPath := flag.String("P", "", "profile database for PBO")
+	selPct := flag.Float64("select", -1, "selectivity: percent of call sites (-1 = all modules)")
+	instrument := flag.Bool("I", false, "instrument for profile collection")
+	budget := flag.Int64("budget", 0, "NAIM memory budget in modeled bytes (0 = unlimited)")
+	volatiles := flag.String("volatile", "", "comma-separated globals treated as external inputs")
+	entry := flag.String("entry", "main", "entry function")
+	verbose := flag.Bool("v", false, "print build statistics")
+	jobs := flag.Int("j", 1, "parallel code-generation jobs (output is identical regardless)")
+	explain := flag.Bool("explain", false, "print a selection/optimization report (paper section 6.2 diagnostics)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cmold [flags] a.o b.o ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var objs []*objfile.Object
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		o, err := objfile.DecodeObject(f)
+		f.Close()
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		objs = append(objs, o)
+	}
+	ln, err := objfile.Merge(objs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	needIL := *o4 || *instrument
+	if needIL && !ln.AllIL {
+		fatalf("-O4/-I require IL in every object; recompile with cmoc -O 4")
+	}
+
+	var db *profile.DB
+	if *profPath != "" {
+		f, err := os.Open(*profPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		db, err = profile.Load(f)
+		f.Close()
+		if err != nil {
+			fatalf("%s: %v", *profPath, err)
+		}
+	}
+
+	if needIL {
+		opt := cmo.Options{
+			Entry:         *entry,
+			Instrument:    *instrument,
+			DB:            db,
+			PBO:           db != nil && !*instrument,
+			SelectPercent: *selPct,
+			NAIM:          naim.Config{BudgetBytes: *budget, ForceLevel: naim.Adaptive},
+			Jobs:          *jobs,
+		}
+		if *o4 && !*instrument {
+			opt.Level = cmo.O4
+		} else {
+			opt.Level = cmo.O2
+		}
+		if *volatiles != "" {
+			opt.Volatile = strings.Split(*volatiles, ",")
+		}
+		b, err := cmo.BuildIL(ln.Prog, ln.IL, opt)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		writeImage(*out, b)
+		if *instrument {
+			writeProbes(*out+".probes", b.ProbeMap)
+		}
+		if *explain {
+			fmt.Fprint(os.Stderr, b.SelectionReport())
+		} else if *verbose {
+			printStats(b)
+		}
+		return
+	}
+
+	// Plain link of the precompiled machine code.
+	lopts := link.Options{Entry: *entry}
+	if db != nil {
+		lopts.Cluster = true
+		lopts.Edges = profileEdgesFromDB(ln, db)
+	}
+	image, err := link.Link(ln.Prog, ln.Code, lopts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := objfile.EncodeImage(f, image); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", *out, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+}
+
+func profileEdgesFromDB(ln *objfile.Linkable, db *profile.DB) []link.Edge {
+	var edges []link.Edge
+	for _, s := range db.RankedSites() {
+		caller := ln.Prog.Lookup(s.Key.Fn)
+		callee := ln.Prog.Lookup(s.Key.Callee)
+		if caller == nil || callee == nil {
+			continue
+		}
+		edges = append(edges, link.Edge{Caller: caller.PID, Callee: callee.PID, Count: s.Count})
+	}
+	return edges
+}
+
+func writeImage(path string, b *cmo.Build) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := objfile.EncodeImage(f, b.Image); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+}
+
+func writeProbes(path string, m *profile.Map) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := m.SaveMap(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+}
+
+func printStats(b *cmo.Build) {
+	s := b.Stats
+	fmt.Fprintf(os.Stderr, "cmold: %d modules, %d functions, %d lines\n", s.Modules, s.Functions, s.TotalLines)
+	fmt.Fprintf(os.Stderr, "cmold: level %v pbo=%v: %d inlines (%d cross-module), %d IPCP params, %d const globals, %d dead functions\n",
+		s.Level, s.PBO, s.HLO.Inlines, s.HLO.CrossModule, s.HLO.IPCPParams, s.HLO.ConstGlobals, s.HLO.DeadFuncs)
+	fmt.Fprintf(os.Stderr, "cmold: selectivity %d/%d sites -> %d modules, %d routines\n",
+		s.SelectedSites, s.TotalSites, s.CMOModules, s.CMOFunctions)
+	fmt.Fprintf(os.Stderr, "cmold: NAIM level %v, peak %d bytes, %d compactions, %d disk writes\n",
+		s.NAIMLevel, s.NAIM.PeakBytes, s.NAIM.Compactions, s.NAIM.DiskWrites)
+	fmt.Fprintf(os.Stderr, "cmold: code %d bytes\n", s.CodeBytes)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmold: "+format+"\n", args...)
+	os.Exit(1)
+}

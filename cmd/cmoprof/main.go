@@ -1,0 +1,112 @@
+// Command cmoprof inspects and manipulates profile databases.
+//
+//	cmoprof top [-n 20] prof.db          rank the hottest call sites
+//	cmoprof dump prof.db                 print all records
+//	cmoprof merge -o out.db a.db b.db    accumulate databases
+//
+// Good diagnostics about what the profile says — and therefore what
+// the compiler will select — are a deployment requirement the paper
+// calls out explicitly (section 6.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmo/internal/profile"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "top":
+		cmdTop(os.Args[2:])
+	case "dump":
+		cmdDump(os.Args[2:])
+	case "merge":
+		cmdMerge(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: cmoprof top|dump|merge [flags] file.db...\n")
+	os.Exit(2)
+}
+
+func load(path string) *profile.DB {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	db, err := profile.Load(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return db
+}
+
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	n := fs.Int("n", 20, "number of sites to show")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	db := load(fs.Arg(0))
+	sites := db.RankedSites()
+	fmt.Printf("%-24s %-8s %-4s %-24s %12s\n", "caller", "block", "seq", "callee", "count")
+	for i, s := range sites {
+		if i >= *n {
+			break
+		}
+		fmt.Printf("%-24s b%-7d %-4d %-24s %12d\n", s.Key.Fn, s.Key.Block, s.Key.Seq, s.Key.Callee, s.Count)
+	}
+	fmt.Printf("(%d sites with counts)\n", len(sites))
+}
+
+func cmdDump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	db := load(fs.Arg(0))
+	if err := db.Save(os.Stdout); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "merged.db", "output database")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		usage()
+	}
+	acc := profile.NewDB()
+	for _, path := range fs.Args() {
+		acc.Merge(load(path))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := acc.Save(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", *out, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmoprof: "+format+"\n", args...)
+	os.Exit(1)
+}

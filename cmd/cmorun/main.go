@@ -1,0 +1,127 @@
+// Command cmorun executes a VPA image and reports the result and the
+// machine's cycle statistics. For instrumented images it converts the
+// probe counters into a profile database — the "run the specially
+// instrumented program; a profile database is generated (or added
+// to)" step of the paper's PBO workflow (section 3).
+//
+//	cmorun [-set g=v]... [-stats] [-max steps]
+//	       [-probemap a.vx.probes -profile-out prof.db] a.vx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cmo/internal/objfile"
+	"cmo/internal/profile"
+	"cmo/internal/vpa"
+)
+
+type setFlags []string
+
+func (s *setFlags) String() string { return strings.Join(*s, ",") }
+func (s *setFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var sets setFlags
+	flag.Var(&sets, "set", "set a scalar global before the run: -set input0=1000 (repeatable)")
+	stats := flag.Bool("stats", false, "print machine statistics")
+	maxSteps := flag.Int64("max", 0, "instruction budget (0 = default)")
+	probeMapPath := flag.String("probemap", "", "probe map of an instrumented image")
+	profileOut := flag.String("profile-out", "", "write/merge the run's profile database here")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cmorun [flags] image.vx\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	img, err := objfile.DecodeImage(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	m := vpa.NewMachine(img, vpa.DefaultConfig())
+	for _, s := range sets {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok {
+			fatalf("bad -set %q (want name=value)", s)
+		}
+		v, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			fatalf("bad -set %q: %v", s, err)
+		}
+		if err := m.SetGlobal(name, v); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	result, err := m.Run(nil, *maxSteps)
+	if err != nil {
+		fatalf("execution failed: %v", err)
+	}
+	fmt.Printf("result: %d\n", result)
+	if *stats {
+		s := m.Stats
+		fmt.Printf("cycles: %d\ninstructions: %d\ncalls: %d\nbranches: %d\nmispredicts: %d\n"+
+			"icache-misses: %d\ndcache-misses: %d\nloads: %d\nstores: %d\nmax-depth: %d\n",
+			s.Cycles, s.Instrs, s.Calls, s.Branches, s.Mispredicts,
+			s.IMisses, s.DMisses, s.Loads, s.Stores, s.MaxDepth)
+	}
+
+	if *profileOut != "" {
+		if *probeMapPath == "" {
+			fatalf("-profile-out requires -probemap")
+		}
+		pf, err := os.Open(*probeMapPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		pm, err := profile.LoadMap(pf)
+		pf.Close()
+		if err != nil {
+			fatalf("%s: %v", *probeMapPath, err)
+		}
+		db := profile.FromCounters(pm, m.Probes)
+		// Merge with an existing database, as the paper's workflow
+		// accumulates training runs.
+		if prev, err := os.Open(*profileOut); err == nil {
+			old, lerr := profile.Load(prev)
+			prev.Close()
+			if lerr != nil {
+				fatalf("%s: %v", *profileOut, lerr)
+			}
+			old.Merge(db)
+			db = old
+		}
+		out, err := os.Create(*profileOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := db.Save(out); err != nil {
+			out.Close()
+			fatalf("writing %s: %v", *profileOut, err)
+		}
+		if err := out.Close(); err != nil {
+			fatalf("writing %s: %v", *profileOut, err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmorun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,750 @@
+// Package cmo is the public facade of the scalable cross-module
+// optimization framework: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+// It assembles the full HP-UX-style pipeline (paper Figure 2) over
+// the MinC language and the simulated VPA target:
+//
+//	frontend (internal/source, internal/lower)
+//	   │ IL
+//	   ├── +O2: LLO per module ──────────────────┐
+//	   └── +O4: HLO across modules (internal/hlo,│
+//	        under the NAIM loader, internal/naim)│
+//	               │ optimized IL                │
+//	               └── LLO (internal/llo) ───────┤
+//	                                             ▼
+//	                linker (internal/link): clustering, image
+//	                                             ▼
+//	                VPA machine (internal/vpa): cycle-accurate-ish run
+//
+// Optimization levels follow the paper: O1 optimizes within basic
+// blocks, O2 is the aggressive intraprocedural default, O4 adds
+// link-time cross-module optimization; PBO layers profile-based
+// optimization on any of them, and Instrument produces a +I build
+// whose runs feed the profile database.
+package cmo
+
+import (
+	"fmt"
+	"time"
+
+	"cmo/internal/hlo"
+	"cmo/internal/il"
+	"cmo/internal/link"
+	"cmo/internal/llo"
+	"cmo/internal/lower"
+	"cmo/internal/naim"
+	"cmo/internal/profile"
+	"cmo/internal/selectivity"
+	"cmo/internal/source"
+	"cmo/internal/vpa"
+)
+
+// Level is the optimization level.
+type Level int
+
+// Optimization levels (paper sections 2-3).
+const (
+	// O1 optimizes only within basic blocks (the Mcad3 baseline).
+	O1 Level = 1
+	// O2 is the default: full intraprocedural optimization.
+	O2 Level = 2
+	// O3 routes the IL through HLO one module at a time:
+	// interprocedural optimization within module boundaries.
+	O3 Level = 3
+	// O4 adds cross-module optimization at link time.
+	O4 Level = 4
+)
+
+func (l Level) String() string {
+	switch l {
+	case O1:
+		return "+O1"
+	case O2:
+		return "+O2"
+	case O3:
+		return "+O3"
+	case O4:
+		return "+O4"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// SourceModule is one MinC translation unit.
+type SourceModule struct {
+	Name string
+	Text string
+}
+
+// Options configures one build.
+type Options struct {
+	// Level selects O1, O2, or O4. Zero means O2.
+	Level Level
+	// PBO enables profile-based optimization; requires DB.
+	PBO bool
+	// DB is the profile database from training runs.
+	DB *profile.DB
+	// Instrument produces a +I build with counting probes (compiled
+	// at the given level without HLO).
+	Instrument bool
+	// SelectPercent is the selectivity parameter: the percentage of
+	// ranked call sites retained (paper section 5). Negative disables
+	// selectivity (all modules enter CMO). Only meaningful at O4.
+	SelectPercent float64
+	// NAIM configures the loader (budget, levels, cache).
+	NAIM naim.Config
+	// Volatile names globals whose values are external inputs and
+	// must never be treated as link-time constants.
+	Volatile []string
+	// Entry is the program entry function (default "main").
+	Entry string
+	// Budget overrides the inliner budget (zero value = defaults).
+	Budget hlo.InlineBudget
+	// MultiLayer enables the paper's section-8 layered strategy
+	// (requires O4 + PBO): selected routines get full CMO+PBO, warm
+	// routines (executed in training but not selected) get the
+	// default level, and routines that never executed are compiled at
+	// O1 — "code that is executed little or not at all may not be
+	// optimized at all".
+	MultiLayer bool
+	// ScopeModules, when non-nil, overrides selectivity with an
+	// explicit coarse CMO module set (indexes into the program's
+	// modules). This is the section-6.3 isolation knob: reducing "the
+	// amount of code exposed to the optimizer" module by module.
+	ScopeModules []int
+	// MaxInlines caps the number of inline operations (0 =
+	// unlimited); with deterministic builds, binary search over this
+	// limit isolates a miscompiling inline (internal/isolate).
+	MaxInlines int
+	// Jobs parallelizes the embarrassingly parallel phases (frontend
+	// parsing/checking and per-routine code generation) across
+	// goroutines — a slice of the paper's section-8 future work on
+	// parallelizing the optimizer. 0 or 1 means sequential. Generated
+	// code is byte-identical regardless of Jobs; only wall time
+	// changes (HLO itself stays sequential: its transformation order
+	// is part of the deterministic contract).
+	Jobs int
+}
+
+// BuildStats records what a build did and what it cost. Memory
+// figures use the NAIM size model (see internal/naim); times are wall
+// clock.
+type BuildStats struct {
+	Level      Level
+	PBO        bool
+	Modules    int
+	Functions  int
+	TotalLines int
+
+	// Selectivity outcome (O4 with a profile).
+	TotalSites    int
+	SelectedSites int
+	CMOModules    int
+	CMOFunctions  int // fine-grained selected set
+	SelectedLines int
+
+	HLO  hlo.Stats
+	NAIM naim.Stats
+	// NAIMLevel is the highest NAIM level engaged during the build.
+	NAIMLevel naim.Level
+
+	FrontendNanos int64
+	HLONanos      int64
+	LLONanos      int64
+	LinkNanos     int64
+	TotalNanos    int64
+
+	// CodeBytes is the final image code size.
+	CodeBytes int64
+	// Multi-layer tier sizes (MultiLayer builds only).
+	TierHot  int // full CMO+PBO
+	TierWarm int // default level
+	TierCold int // O1 (never executed in training)
+
+	// LLOPeakBytes models the low-level optimizer's peak working
+	// memory: quadratic in the largest routine it compiled (the
+	// paper's Figure 4 caption notes exactly this growth).
+	LLOPeakBytes int64
+	// CompilerPeakBytes approximates the whole compiler process:
+	// HLO/NAIM peak plus LLO peak.
+	CompilerPeakBytes int64
+}
+
+// Build is a completed compilation.
+type Build struct {
+	Image *vpa.Image
+	Prog  *il.Program
+	// ProbeMap is non-nil for instrumented builds.
+	ProbeMap *profile.Map
+	Stats    BuildStats
+	// InlineOps is HLO's ordered inline log (O4 builds), the
+	// diagnostic trail the paper's sections 6.2-6.3 call for.
+	InlineOps []hlo.InlineOp
+
+	selectedFns map[il.PID]bool
+}
+
+// llOBytes models LLO's working-set for one routine: linear IR plus
+// quadratic analysis structures (interference, scheduling windows).
+func lloBytes(n int) int64 {
+	nn := int64(n)
+	return 96*nn + nn*nn/6
+}
+
+// BuildSource compiles a set of MinC modules into an executable VPA
+// image according to the options.
+func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
+	t0 := time.Now()
+	files := make([]*source.File, len(mods))
+	jobs := opt.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(mods) {
+		jobs = len(mods)
+	}
+	if jobs <= 1 {
+		for i, m := range mods {
+			f, err := source.Parse(m.Name, m.Text)
+			if err != nil {
+				return nil, err
+			}
+			if err := source.Check(f); err != nil {
+				return nil, err
+			}
+			files[i] = f
+		}
+	} else {
+		// Parsing and checking are per-file pure; fan out. Workers
+		// keep draining after an error so the feeder never blocks.
+		work := make(chan int)
+		errs := make(chan error, jobs)
+		for w := 0; w < jobs; w++ {
+			go func() {
+				var werr error
+				for i := range work {
+					if werr != nil {
+						continue
+					}
+					f, err := source.Parse(mods[i].Name, mods[i].Text)
+					if err == nil {
+						err = source.Check(f)
+					}
+					if err != nil {
+						werr = err
+						continue
+					}
+					files[i] = f
+				}
+				errs <- werr
+			}()
+		}
+		for i := range mods {
+			work <- i
+		}
+		close(work)
+		var firstErr error
+		for w := 0; w < jobs; w++ {
+			if err := <-errs; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		return nil, err
+	}
+	b, err := BuildIL(res.Prog, res.Funcs, opt)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.FrontendNanos = time.Since(t0).Nanoseconds() - b.Stats.TotalNanos
+	b.Stats.TotalNanos = time.Since(t0).Nanoseconds()
+	return b, nil
+}
+
+// BuildIL compiles an already-lowered program (from BuildSource's
+// frontend, or from IL-carrying object files merged by the linker —
+// the paper's CMO-at-link-time entry point).
+func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build, error) {
+	start := time.Now()
+	if opt.Level == 0 {
+		opt.Level = O2
+	}
+	if opt.Entry == "" {
+		opt.Entry = "main"
+	}
+	if opt.PBO && opt.DB == nil {
+		return nil, fmt.Errorf("cmo: PBO requested without a profile database")
+	}
+
+	b := &Build{Prog: prog}
+	b.Stats.Level = opt.Level
+	b.Stats.PBO = opt.PBO
+	b.Stats.Modules = len(prog.Modules)
+	for _, m := range prog.Modules {
+		b.Stats.TotalLines += m.Lines
+	}
+
+	if opt.DB != nil {
+		opt.DB.Apply(fns)
+	}
+	var probeMap *profile.Map
+	if opt.Instrument {
+		fns, probeMap = profile.Instrument(prog, fns)
+		b.ProbeMap = probeMap
+	}
+
+	// Hand all transitory pools to the NAIM loader.
+	loader := naim.NewLoader(prog, opt.NAIM)
+	defer loader.Close()
+	for _, pid := range prog.FuncPIDs() {
+		loader.InstallFunc(fns[pid])
+	}
+	b.Stats.Functions = len(prog.FuncPIDs())
+
+	volatile := make(map[il.PID]bool)
+	for _, name := range opt.Volatile {
+		if s := prog.Lookup(name); s != nil {
+			volatile[s.PID] = true
+		}
+	}
+
+	omit := make(map[il.PID]bool)
+	switch {
+	case opt.Instrument:
+		// Instrumented builds skip HLO: probes measure the program
+		// the frontend produced.
+	case opt.Level >= O4:
+		t1 := time.Now()
+		if err := b.runHLO(loader, opt, volatile, omit); err != nil {
+			return nil, err
+		}
+		b.Stats.HLONanos = time.Since(t1).Nanoseconds()
+	case opt.Level == O3:
+		t1 := time.Now()
+		if err := b.runHLOPerModule(loader, opt, volatile, omit); err != nil {
+			return nil, err
+		}
+		b.Stats.HLONanos = time.Since(t1).Nanoseconds()
+	}
+
+	// LLO: compile every surviving function. With MultiLayer, each
+	// routine's tier picks its code-generation effort (paper
+	// section 8's layered strategy).
+	t2 := time.Now()
+	lloLevel := 2
+	if opt.Level == O1 {
+		lloLevel = 1
+	}
+	multiLayer := opt.MultiLayer && opt.Level >= O4 && opt.DB != nil
+	code := make(map[il.PID]*vpa.Func)
+
+	// classify applies the multi-layer tier policy for one routine.
+	classify := func(pid il.PID, f *il.Function) (int, bool) {
+		if !multiLayer {
+			return lloLevel, opt.PBO
+		}
+		switch {
+		case f.Calls == 0:
+			// Never executed during training: cheapest codegen.
+			b.Stats.TierCold++
+			return 1, false
+		case !b.selectedFns[pid]:
+			b.Stats.TierWarm++
+			return lloLevel, opt.PBO
+		default:
+			b.Stats.TierHot++
+			return lloLevel, opt.PBO
+		}
+	}
+
+	lloJobs := opt.Jobs
+	if lloJobs < 1 {
+		lloJobs = 1
+	}
+	if lloJobs <= 1 {
+		for _, pid := range prog.FuncPIDs() {
+			if omit[pid] {
+				continue
+			}
+			f := loader.Function(pid)
+			if f == nil {
+				return nil, fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name)
+			}
+			fnLevel, fnPBO := classify(pid, f)
+			mf, err := llo.Compile(prog, f, llo.Options{Level: fnLevel, PBO: fnPBO})
+			if err != nil {
+				return nil, err
+			}
+			if lb := lloBytes(f.NumInstrs()); lb > b.Stats.LLOPeakBytes {
+				b.Stats.LLOPeakBytes = lb
+			}
+			code[pid] = mf
+			loader.DoneWith(pid)
+		}
+	} else if err := b.compileParallel(loader, omit, code, classify, lloJobs); err != nil {
+		return nil, err
+	}
+	b.Stats.LLONanos = time.Since(t2).Nanoseconds()
+
+	// Link: clustering needs profiled call edges.
+	t3 := time.Now()
+	lopts := link.Options{Entry: opt.Entry, Omit: omit}
+	if probeMap != nil {
+		lopts.NumProbes = probeMap.NumProbes()
+	}
+	if opt.PBO && opt.DB != nil {
+		lopts.Cluster = true
+		lopts.Edges = profileEdges(prog, opt.DB)
+	}
+	img, err := link.Link(prog, code, lopts)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.LinkNanos = time.Since(t3).Nanoseconds()
+	b.Image = img
+	b.Stats.CodeBytes = img.CodeBytes()
+	b.Stats.NAIM = loader.Stats()
+	b.Stats.NAIMLevel = loader.Level()
+	b.Stats.CompilerPeakBytes = b.Stats.NAIM.PeakBytes + b.Stats.LLOPeakBytes
+	b.Stats.TotalNanos = time.Since(start).Nanoseconds()
+	return b, nil
+}
+
+// runHLO performs selection and cross-module optimization.
+func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]bool, omit map[il.PID]bool) error {
+	prog := b.Prog
+	hopts := hlo.Options{
+		DB:         opt.DB,
+		Volatile:   volatile,
+		Entry:      opt.Entry,
+		Budget:     opt.Budget,
+		MaxInlines: opt.MaxInlines,
+	}
+
+	switch {
+	case opt.ScopeModules != nil:
+		// Explicit coarse scope (isolation/debugging): the listed
+		// modules enter CMO; everything else bypasses HLO.
+		scope := make(map[il.PID]bool)
+		want := make(map[int32]bool, len(opt.ScopeModules))
+		for _, mi := range opt.ScopeModules {
+			if mi < 0 || mi >= len(prog.Modules) {
+				return fmt.Errorf("cmo: ScopeModules index %d out of range (%d modules)", mi, len(prog.Modules))
+			}
+			want[int32(mi)] = true
+		}
+		for _, pid := range prog.FuncPIDs() {
+			if want[prog.Sym(pid).Module] {
+				scope[pid] = true
+			}
+		}
+		b.Stats.CMOModules = len(want)
+		b.Stats.CMOFunctions = len(scope)
+		if len(scope) == 0 {
+			return nil
+		}
+		hopts.Scope = scope
+		hopts.Selected = scope
+		extCalled, extStored := b.summarizeOutOfScope(loader, scope)
+		hopts.ExternallyCalled = extCalled
+		hopts.ExternStored = extStored
+	case opt.SelectPercent >= 0 && opt.DB != nil:
+		ch := selectivity.Select(prog, func(pid il.PID) *il.Function {
+			f := loader.Function(pid)
+			loader.DoneWith(pid)
+			return f
+		}, opt.DB, opt.SelectPercent)
+		b.Stats.TotalSites = ch.TotalSites
+		b.Stats.SelectedSites = len(ch.Sites)
+		b.Stats.CMOModules = len(ch.Modules)
+		b.Stats.CMOFunctions = len(ch.Funcs)
+		b.Stats.SelectedLines = ch.SelectedLines
+		if len(ch.Modules) == 0 {
+			return nil // nothing selected: pure default-level build
+		}
+		scope := make(map[il.PID]bool)
+		for _, pid := range ch.ModuleFuncs(prog) {
+			scope[pid] = true
+		}
+		hopts.Scope = scope
+		hopts.Selected = ch.Funcs
+		extCalled, extStored := b.summarizeOutOfScope(loader, scope)
+		hopts.ExternallyCalled = extCalled
+		hopts.ExternStored = extStored
+	default:
+		b.Stats.CMOModules = len(prog.Modules)
+		b.Stats.CMOFunctions = len(prog.FuncPIDs())
+		b.Stats.SelectedLines = b.Stats.TotalLines
+	}
+	b.selectedFns = hopts.Selected
+	if b.selectedFns == nil {
+		b.selectedFns = make(map[il.PID]bool)
+		for _, pid := range prog.FuncPIDs() {
+			b.selectedFns[pid] = true
+		}
+	}
+
+	hres, err := hlo.Optimize(prog, loader, hopts)
+	if err != nil {
+		return err
+	}
+	b.Stats.HLO = hres.Stats
+	b.InlineOps = hres.InlineOps
+	for _, pid := range hres.Dead {
+		omit[pid] = true
+	}
+	return nil
+}
+
+// compileParallel is the Jobs > 1 code-generation path. The loader is
+// touched only from this goroutine (it is not safe for concurrent
+// use); workers receive a body reference and treat it as read-only
+// (llo.Compile clones before transforming). In-flight work is bounded
+// by the worker count so NAIM's expanded-pool accounting stays
+// meaningful, and each body's DoneWith fires only after its compile
+// completes.
+func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
+	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool), jobs int) error {
+	prog := b.Prog
+	type task struct {
+		pid   il.PID
+		f     *il.Function
+		level int
+		pbo   bool
+	}
+	type done struct {
+		pid il.PID
+		n   int // instruction count, for the LLO size model
+		mf  *vpa.Func
+		err error
+	}
+	work := make(chan task)
+	results := make(chan done, jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			for t := range work {
+				mf, err := llo.Compile(prog, t.f, llo.Options{Level: t.level, PBO: t.pbo})
+				results <- done{pid: t.pid, n: t.f.NumInstrs(), mf: mf, err: err}
+			}
+		}()
+	}
+	var firstErr error
+	inflight := 0
+	handle := func(d done) {
+		inflight--
+		if d.err != nil && firstErr == nil {
+			firstErr = d.err
+		}
+		if d.err == nil {
+			code[d.pid] = d.mf
+			if lb := lloBytes(d.n); lb > b.Stats.LLOPeakBytes {
+				b.Stats.LLOPeakBytes = lb
+			}
+		}
+		loader.DoneWith(d.pid)
+	}
+	for _, pid := range prog.FuncPIDs() {
+		if omit[pid] || firstErr != nil {
+			continue
+		}
+		f := loader.Function(pid)
+		if f == nil {
+			firstErr = fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name)
+			continue
+		}
+		level, pbo := classify(pid, f)
+		for inflight >= jobs {
+			handle(<-results)
+		}
+		work <- task{pid: pid, f: f, level: level, pbo: pbo}
+		inflight++
+	}
+	close(work)
+	for inflight > 0 {
+		handle(<-results)
+	}
+	return firstErr
+}
+
+// runHLOPerModule implements +O3: interprocedural optimization with
+// module boundaries intact — each module's IL goes through HLO alone,
+// with the rest of the program summarized conservatively. This is
+// what the paper's pipeline does when the linker is not involved
+// (section 3: "at higher levels of optimization (+O3 or +O4) the IL
+// is first routed through the high level optimizer").
+func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[il.PID]bool, omit map[il.PID]bool) error {
+	prog := b.Prog
+	var agg hlo.Stats
+	for mi := range prog.Modules {
+		scope := make(map[il.PID]bool)
+		for _, pid := range prog.FuncPIDs() {
+			if prog.Sym(pid).Module == int32(mi) {
+				scope[pid] = true
+			}
+		}
+		if len(scope) == 0 {
+			continue
+		}
+		extCalled, extStored := b.summarizeOutOfScope(loader, scope)
+		hres, err := hlo.Optimize(prog, loader, hlo.Options{
+			DB:               opt.DB,
+			Volatile:         volatile,
+			Entry:            opt.Entry,
+			Budget:           opt.Budget,
+			MaxInlines:       opt.MaxInlines,
+			Scope:            scope,
+			Selected:         scope,
+			ExternallyCalled: extCalled,
+			ExternStored:     extStored,
+		})
+		if err != nil {
+			return err
+		}
+		agg.Inlines += hres.Stats.Inlines
+		agg.Clones += hres.Stats.Clones
+		agg.IPCPParams += hres.Stats.IPCPParams
+		agg.ConstGlobals += hres.Stats.ConstGlobals
+		agg.OptimizedFns += hres.Stats.OptimizedFns
+		agg.ScannedFuncs += hres.Stats.ScannedFuncs
+		agg.Unrolled += hres.Stats.Unrolled
+		for _, pid := range hres.Dead {
+			omit[pid] = true
+		}
+		agg.DeadFuncs += len(hres.Dead)
+		b.InlineOps = append(b.InlineOps, hres.InlineOps...)
+	}
+	b.Stats.HLO = agg
+	b.Stats.CMOModules = 0 // no cross-module optimization at O3
+	b.Stats.CMOFunctions = 0
+	return nil
+}
+
+// summarizeOutOfScope scans the modules that bypass HLO and
+// summarizes the facts the optimizer must stay conservative about:
+// in-scope functions they call and globals they store.
+func (b *Build) summarizeOutOfScope(loader *naim.Loader, scope map[il.PID]bool) (extCalled, extStored map[il.PID]bool) {
+	prog := b.Prog
+	extCalled = make(map[il.PID]bool)
+	extStored = make(map[il.PID]bool)
+	for _, pid := range prog.FuncPIDs() {
+		if scope[pid] {
+			continue
+		}
+		f := loader.Function(pid)
+		if f == nil {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			for ii := range blk.Instrs {
+				in := &blk.Instrs[ii]
+				switch in.Op {
+				case il.Call:
+					if scope[in.Sym] {
+						extCalled[in.Sym] = true
+					}
+				case il.StoreG, il.StoreX:
+					extStored[in.Sym] = true
+				}
+			}
+		}
+		loader.DoneWith(pid)
+	}
+	return extCalled, extStored
+}
+
+// profileEdges aggregates the profile's call-site counts into
+// caller/callee edges for Pettis–Hansen clustering.
+func profileEdges(prog *il.Program, db *profile.DB) []link.Edge {
+	type key struct{ a, b il.PID }
+	agg := make(map[key]int64)
+	for _, s := range db.RankedSites() {
+		caller := prog.Lookup(s.Key.Fn)
+		callee := prog.Lookup(s.Key.Callee)
+		if caller == nil || callee == nil {
+			continue
+		}
+		agg[key{caller.PID, callee.PID}] += s.Count
+	}
+	edges := make([]link.Edge, 0, len(agg))
+	for k, v := range agg {
+		edges = append(edges, link.Edge{Caller: k.a, Callee: k.b, Count: v})
+	}
+	// Deterministic order for the linker.
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0; j-- {
+			a, b := edges[j-1], edges[j]
+			if a.Caller < b.Caller || (a.Caller == b.Caller && a.Callee <= b.Callee) {
+				break
+			}
+			edges[j-1], edges[j] = b, a
+		}
+	}
+	return edges
+}
+
+// RunResult is the outcome of executing a build.
+type RunResult struct {
+	Value  int64
+	Stats  vpa.Stats
+	Probes []int64
+}
+
+// Run executes the image once on a fresh machine with the given
+// scalar global inputs.
+func (b *Build) Run(inputs map[string]int64, maxSteps int64) (*RunResult, error) {
+	m := vpa.NewMachine(b.Image, vpa.DefaultConfig())
+	// Deterministic input application order.
+	names := make([]string, 0, len(inputs))
+	for n := range inputs {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, n := range names {
+		if err := m.SetGlobal(n, inputs[n]); err != nil {
+			return nil, err
+		}
+	}
+	v, err := m.Run(nil, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Value: v, Stats: m.Stats, Probes: m.Probes}, nil
+}
+
+// Train builds an instrumented (+I) version of the program at O2,
+// runs it on each training input set, and returns the merged profile
+// database (paper section 3: the database is "generated, or added
+// to" across runs).
+func Train(mods []SourceModule, runs []map[string]int64, opt Options) (*profile.DB, error) {
+	opt.Instrument = true
+	opt.PBO = false
+	opt.DB = nil
+	if opt.Level == 0 || opt.Level >= O4 {
+		opt.Level = O2
+	}
+	b, err := BuildSource(mods, opt)
+	if err != nil {
+		return nil, err
+	}
+	db := profile.NewDB()
+	if len(runs) == 0 {
+		runs = []map[string]int64{nil}
+	}
+	for _, inputs := range runs {
+		rr, err := b.Run(inputs, 0)
+		if err != nil {
+			return nil, fmt.Errorf("cmo: training run: %w", err)
+		}
+		db.Merge(profile.FromCounters(b.ProbeMap, rr.Probes))
+	}
+	return db, nil
+}

@@ -1,0 +1,115 @@
+package cmo
+
+import (
+	"fmt"
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/naim"
+	"cmo/internal/source"
+	"cmo/internal/workload"
+)
+
+// TestDifferentialAllLevels is the repository's heaviest correctness
+// artillery: for a spread of generator seeds and shapes, the same
+// program must compute the same answer through
+//
+//   - the IL reference interpreter (the semantic oracle),
+//   - +O1, +O2, +O2 +P,
+//   - +O4 at several selectivity levels, and
+//   - +O4 +P under an aggressively thrashing NAIM configuration,
+//
+// on two different input data sets. This is the automated form of the
+// paper's section-6.3 discipline: any optimizer bug that changes
+// behavior surfaces as a divergence, already narrowed to a seed,
+// level, and input set.
+func TestDifferentialAllLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	shapes := []workload.Spec{
+		{Modules: 3, HotPerModule: 1, ColdPerModule: 2, ColdStmts: 6, ArrayElems: 16},
+		{Modules: 6, HotPerModule: 2, ColdPerModule: 5, ColdStmts: 12, ArrayElems: 32},
+		{Modules: 10, HotPerModule: 3, ColdPerModule: 7, ColdStmts: 18, ArrayElems: 64},
+	}
+	inputSets := []map[string]int64{
+		{"input0": 40, "input1": 1},
+		{"input0": 90, "input1": 6},
+	}
+	for si, shape := range shapes {
+		for seed := int64(1); seed <= 8; seed++ {
+			shape.Name = fmt.Sprintf("diff%d", si)
+			shape.Seed = seed * 1000003
+			shape.TrainIters, shape.RefIters = 30, 90
+			shape.TrainMode, shape.RefMode = 2, 4
+			mods := sources(shape)
+
+			// Oracle: the IL interpreter over freshly lowered code.
+			oracle := func(inputs map[string]int64) int64 {
+				var files []*source.File
+				for _, m := range mods {
+					f, err := source.Parse(m.Name, m.Text)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := source.Check(f); err != nil {
+						t.Fatal(err)
+					}
+					files = append(files, f)
+				}
+				res, err := lower.Modules(files)
+				if err != nil {
+					t.Fatal(err)
+				}
+				it := il.NewInterp(res.Prog, func(p il.PID) *il.Function { return res.Funcs[p] })
+				for k, v := range inputs {
+					if err := it.SetGlobal(k, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				v, err := it.Run("main", nil, 5e8)
+				if err != nil {
+					t.Fatalf("shape %d seed %d: oracle: %v", si, seed, err)
+				}
+				return v
+			}
+
+			db, err := Train(mods, []map[string]int64{trainInputs(shape)}, Options{})
+			if err != nil {
+				t.Fatalf("shape %d seed %d: train: %v", si, seed, err)
+			}
+
+			builds := map[string]Options{
+				"O1":       {Level: O1},
+				"O2":       {Level: O2},
+				"O2+P":     {Level: O2, PBO: true, DB: db},
+				"O4-all":   {Level: O4, SelectPercent: -1},
+				"O4+P-3":   {Level: O4, PBO: true, DB: db, SelectPercent: 3},
+				"O4+P-50":  {Level: O4, PBO: true, DB: db, SelectPercent: 50},
+				"O4+P-100": {Level: O4, PBO: true, DB: db, SelectPercent: 100},
+				"O4+P-naim": {Level: O4, PBO: true, DB: db, SelectPercent: 100,
+					NAIM: naim.Config{ForceLevel: naim.LevelDisk, CacheSlots: 2}},
+				"O4-layered": {Level: O4, PBO: true, DB: db, SelectPercent: 10, MultiLayer: true},
+			}
+			for _, inputs := range inputSets {
+				want := oracle(inputs)
+				for name, opt := range builds {
+					opt.Volatile = workload.InputGlobals()
+					b, err := BuildSource(mods, opt)
+					if err != nil {
+						t.Fatalf("shape %d seed %d %s: build: %v", si, seed, name, err)
+					}
+					rr, err := b.Run(inputs, 5e8)
+					if err != nil {
+						t.Fatalf("shape %d seed %d %s: run: %v", si, seed, name, err)
+					}
+					if rr.Value != want {
+						t.Errorf("shape %d seed %d inputs %v: %s computed %d, oracle says %d",
+							si, seed, inputs, name, rr.Value, want)
+					}
+				}
+			}
+		}
+	}
+}

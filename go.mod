@@ -1,0 +1,3 @@
+module cmo
+
+go 1.22

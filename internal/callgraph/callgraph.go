@@ -1,0 +1,177 @@
+// Package callgraph builds and analyzes the program call graph. The
+// call graph is a global object in the paper's NAIM taxonomy
+// (Figure 3): it is always memory resident, refers to functions only
+// by PID, and is rebuilt from scratch rather than kept incrementally
+// up to date.
+package callgraph
+
+import (
+	"sort"
+
+	"cmo/internal/il"
+)
+
+// Edge is one static call edge with the number of distinct sites.
+type Edge struct {
+	Caller, Callee il.PID
+	Sites          int
+}
+
+// Graph is the program call graph over defined functions.
+type Graph struct {
+	// Callees[pid] lists distinct callee PIDs in first-seen order.
+	Callees map[il.PID][]il.PID
+	// Callers[pid] lists distinct caller PIDs.
+	Callers map[il.PID][]il.PID
+	// SiteCount[{a,b}] is the number of static call sites a->b.
+	SiteCount map[[2]il.PID]int
+	// PIDs is the set of defined functions, in PID order.
+	PIDs []il.PID
+
+	scc    map[il.PID]int // SCC id per function
+	sccCnt int
+}
+
+// Build constructs the call graph, pulling each function body once
+// through src (typically the NAIM loader).
+func Build(prog *il.Program, src func(il.PID) *il.Function) *Graph {
+	g := &Graph{
+		Callees:   make(map[il.PID][]il.PID),
+		Callers:   make(map[il.PID][]il.PID),
+		SiteCount: make(map[[2]il.PID]int),
+		PIDs:      prog.FuncPIDs(),
+	}
+	for _, pid := range g.PIDs {
+		f := src(pid)
+		if f == nil {
+			continue
+		}
+		seen := make(map[il.PID]bool)
+		for _, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op != il.Call {
+					continue
+				}
+				g.SiteCount[[2]il.PID{pid, in.Sym}]++
+				if !seen[in.Sym] {
+					seen[in.Sym] = true
+					g.Callees[pid] = append(g.Callees[pid], in.Sym)
+					g.Callers[in.Sym] = append(g.Callers[in.Sym], pid)
+				}
+			}
+		}
+	}
+	g.computeSCC()
+	return g
+}
+
+// computeSCC runs Tarjan's algorithm iteratively (generated programs
+// can have deep call chains) over the call graph.
+func (g *Graph) computeSCC() {
+	g.scc = make(map[il.PID]int, len(g.PIDs))
+	index := make(map[il.PID]int, len(g.PIDs))
+	lowlink := make(map[il.PID]int, len(g.PIDs))
+	onStack := make(map[il.PID]bool, len(g.PIDs))
+	var stack []il.PID
+	next := 0
+
+	type frame struct {
+		v  il.PID
+		ci int
+	}
+	for _, root := range g.PIDs {
+		if _, done := index[root]; done {
+			continue
+		}
+		work := []frame{{v: root}}
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.ci < len(g.Callees[f.v]) {
+				w := g.Callees[f.v][f.ci]
+				f.ci++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < lowlink[f.v] {
+						lowlink[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Pop.
+			v := f.v
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					g.scc[w] = g.sccCnt
+					if w == v {
+						break
+					}
+				}
+				g.sccCnt++
+			}
+		}
+	}
+}
+
+// SameSCC reports whether two functions are mutually recursive (or
+// identical).
+func (g *Graph) SameSCC(a, b il.PID) bool { return g.scc[a] == g.scc[b] }
+
+// BottomUp returns functions in callee-before-caller order (reverse
+// topological order of SCCs), the order the inliner processes them so
+// that already-inlined callees are seen by their callers. Ties are
+// broken by PID for determinism.
+func (g *Graph) BottomUp() []il.PID {
+	// Tarjan assigns SCC ids in reverse topological order of the
+	// condensation: an SCC gets its id only after all SCCs reachable
+	// from it. So ascending SCC id == callees first.
+	out := make([]il.PID, len(g.PIDs))
+	copy(out, g.PIDs)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := g.scc[out[i]], g.scc[out[j]]
+		if si != sj {
+			return si < sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Reachable returns the set of functions reachable from entry
+// (including entry itself).
+func (g *Graph) Reachable(entry il.PID) map[il.PID]bool {
+	seen := map[il.PID]bool{entry: true}
+	work := []il.PID{entry}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, w := range g.Callees[v] {
+			if !seen[w] {
+				seen[w] = true
+				work = append(work, w)
+			}
+		}
+	}
+	return seen
+}

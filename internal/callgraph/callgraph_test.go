@@ -1,0 +1,119 @@
+package callgraph
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+)
+
+func build(t *testing.T, src string) (*il.Program, map[il.PID]*il.Function, *Graph) {
+	t.Helper()
+	f, err := source.Parse("t.minc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := source.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := lower.Modules([]*source.File{f})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	g := Build(res.Prog, func(p il.PID) *il.Function { return res.Funcs[p] })
+	return res.Prog, res.Funcs, g
+}
+
+const graphSrc = `module m;
+func leaf(x int) int { return x + 1; }
+func mid(x int) int { return leaf(x) + leaf(x * 2); }
+func top(x int) int { return mid(x) + leaf(x); }
+func recA(n int) int { if (n <= 0) { return 0; } return recB(n - 1); }
+func recB(n int) int { return recA(n); }
+func island() int { return 7; }
+func main() int { return top(3) + recA(2); }`
+
+func TestGraphEdges(t *testing.T) {
+	prog, _, g := build(t, graphSrc)
+	pid := func(n string) il.PID { return prog.Lookup(n).PID }
+	// mid calls leaf at two sites.
+	if got := g.SiteCount[[2]il.PID{pid("mid"), pid("leaf")}]; got != 2 {
+		t.Errorf("mid->leaf sites = %d, want 2", got)
+	}
+	// top's callees include mid and leaf.
+	found := map[il.PID]bool{}
+	for _, c := range g.Callees[pid("top")] {
+		found[c] = true
+	}
+	if !found[pid("mid")] || !found[pid("leaf")] {
+		t.Errorf("top callees wrong: %v", g.Callees[pid("top")])
+	}
+	// leaf's callers include mid and top.
+	callers := map[il.PID]bool{}
+	for _, c := range g.Callers[pid("leaf")] {
+		callers[c] = true
+	}
+	if !callers[pid("mid")] || !callers[pid("top")] {
+		t.Errorf("leaf callers wrong: %v", g.Callers[pid("leaf")])
+	}
+}
+
+func TestSCC(t *testing.T) {
+	prog, _, g := build(t, graphSrc)
+	pid := func(n string) il.PID { return prog.Lookup(n).PID }
+	if !g.SameSCC(pid("recA"), pid("recB")) {
+		t.Error("recA/recB should share an SCC")
+	}
+	if g.SameSCC(pid("leaf"), pid("mid")) {
+		t.Error("leaf and mid are not mutually recursive")
+	}
+	if !g.SameSCC(pid("leaf"), pid("leaf")) {
+		t.Error("a function shares its own SCC")
+	}
+}
+
+func TestBottomUpOrder(t *testing.T) {
+	prog, _, g := build(t, graphSrc)
+	pid := func(n string) il.PID { return prog.Lookup(n).PID }
+	order := g.BottomUp()
+	pos := make(map[il.PID]int)
+	for i, p := range order {
+		pos[p] = i
+	}
+	if len(order) != len(g.PIDs) {
+		t.Fatalf("order has %d entries, want %d", len(order), len(g.PIDs))
+	}
+	if !(pos[pid("leaf")] < pos[pid("mid")] && pos[pid("mid")] < pos[pid("top")]) {
+		t.Errorf("bottom-up order violated: leaf=%d mid=%d top=%d",
+			pos[pid("leaf")], pos[pid("mid")], pos[pid("top")])
+	}
+	if !(pos[pid("top")] < pos[pid("main")]) {
+		t.Errorf("main should come after top")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	prog, _, g := build(t, graphSrc)
+	pid := func(n string) il.PID { return prog.Lookup(n).PID }
+	r := g.Reachable(pid("main"))
+	for _, n := range []string{"main", "top", "mid", "leaf", "recA", "recB"} {
+		if !r[pid(n)] {
+			t.Errorf("%s should be reachable", n)
+		}
+	}
+	if r[pid("island")] {
+		t.Error("island should be unreachable")
+	}
+}
+
+func TestBottomUpDeterministic(t *testing.T) {
+	_, _, g1 := build(t, graphSrc)
+	_, _, g2 := build(t, graphSrc)
+	o1, o2 := g1.BottomUp(), g2.BottomUp()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("BottomUp not deterministic")
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	cmo "cmo"
+	"cmo/internal/hlo"
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/naim"
+	"cmo/internal/source"
+	"cmo/internal/workload"
+)
+
+// AblationResult is one design-decision measurement.
+type AblationResult struct {
+	Name     string
+	Variant  string
+	Metric   string
+	Value    float64
+	Baseline float64
+	// Factor = Baseline metric / Variant metric (>1 means the design
+	// decision pays).
+	Factor float64
+}
+
+// lowerProgram builds IL for a generated spec.
+func lowerProgram(spec workload.Spec) (*il.Program, map[il.PID]*il.Function, error) {
+	var files []*source.File
+	for _, m := range spec.Generate() {
+		f, err := source.Parse(m.Name+".minc", m.Text)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := source.Check(f); err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Prog, res.Funcs, nil
+}
+
+// AblationSwizzle compares loading a routine from its relocatable
+// form (decode + eager swizzle) against rebuilding it from source
+// (re-parse + re-lower) — the Convex Application Compiler contrast of
+// paper section 7: "since loading requires no rebuilding of the
+// symbol table and IR information, it is very fast".
+func AblationSwizzle(cfg Config) (AblationResult, error) {
+	spec := SpecPrograms(cfg)[2].Spec
+	mods := spec.Generate()
+	prog, fns, err := lowerProgram(spec)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	// Encode all functions.
+	blobs := make(map[il.PID][]byte, len(fns))
+	for pid, f := range fns {
+		blobs[pid] = naim.EncodeFunc(f, nil)
+	}
+
+	const rounds = 20
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, pid := range prog.FuncPIDs() {
+			if _, err := naim.DecodeFunc(prog, blobs[pid]); err != nil {
+				return AblationResult{}, err
+			}
+		}
+	}
+	decode := time.Since(t0)
+
+	t1 := time.Now()
+	for r := 0; r < rounds; r++ {
+		var files []*source.File
+		for _, m := range mods {
+			f, err := source.Parse(m.Name, m.Text)
+			if err != nil {
+				return AblationResult{}, err
+			}
+			files = append(files, f)
+		}
+		if _, err := lower.Modules(files); err != nil {
+			return AblationResult{}, err
+		}
+	}
+	rebuild := time.Since(t1)
+
+	return AblationResult{
+		Name:     "swizzle-vs-rebuild",
+		Variant:  "decode relocatable pools",
+		Metric:   "load ns (lower is better)",
+		Value:    float64(decode.Nanoseconds()) / rounds,
+		Baseline: float64(rebuild.Nanoseconds()) / rounds,
+		Factor:   float64(rebuild.Nanoseconds()) / float64(decode.Nanoseconds()),
+	}, nil
+}
+
+// AblationInlineSchedule measures the expanded-pool cache effect of
+// the inliner's module-grouped schedule (paper section 4.3) against a
+// deliberately interleaved schedule.
+func AblationInlineSchedule(cfg Config) (AblationResult, error) {
+	spec := McadPrograms(cfg)[0].Spec
+	run := func(shuffled bool) (int64, error) {
+		prog, fns, err := lowerProgram(spec)
+		if err != nil {
+			return 0, err
+		}
+		loader := naim.NewLoader(prog, naim.Config{ForceLevel: naim.LevelIR, CacheSlots: 6})
+		defer loader.Close()
+		for _, pid := range prog.FuncPIDs() {
+			loader.InstallFunc(fns[pid])
+		}
+		vol := map[il.PID]bool{}
+		for _, n := range workload.InputGlobals() {
+			if s := prog.Lookup(n); s != nil {
+				vol[s.PID] = true
+			}
+		}
+		if _, err := hlo.Optimize(prog, loader, hlo.Options{
+			Volatile:           vol,
+			NoScheduleLocality: shuffled,
+		}); err != nil {
+			return 0, err
+		}
+		return loader.Stats().CacheMisses, nil
+	}
+	scheduled, err := run(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	shuffled, err := run(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	f := 1.0
+	if scheduled > 0 {
+		f = float64(shuffled) / float64(scheduled)
+	}
+	return AblationResult{
+		Name:     "inline-schedule-locality",
+		Variant:  "module-grouped inline schedule",
+		Metric:   "expanded-pool cache misses",
+		Value:    float64(scheduled),
+		Baseline: float64(shuffled),
+		Factor:   f,
+	}, nil
+}
+
+// AblationPoolCache measures the expanded-pool LRU cache itself: the
+// same CMO compilation with a working cache versus a single-slot
+// cache that compacts a pool the moment the optimizer looks away
+// (paper section 4.3: the lazy unloader's cache "diminishes the
+// effect our NAIM functionality has on compile time").
+func AblationPoolCache(cfg Config) (AblationResult, error) {
+	// A call-dense shape: many hot callers share callees, so the
+	// repeated-touch traffic the cache absorbs dominates the
+	// streaming sweeps.
+	spec := workload.Spec{
+		Name: "cachedense", Seed: 77,
+		Modules: cfg.scale(24), HotPerModule: 6, ColdPerModule: 2, ColdStmts: 6,
+		ArrayElems: 32,
+	}
+	run := func(slots int) (int64, error) {
+		prog, fns, err := lowerProgram(spec)
+		if err != nil {
+			return 0, err
+		}
+		loader := naim.NewLoader(prog, naim.Config{ForceLevel: naim.LevelIR, CacheSlots: slots})
+		defer loader.Close()
+		for _, pid := range prog.FuncPIDs() {
+			loader.InstallFunc(fns[pid])
+		}
+		vol := map[il.PID]bool{}
+		for _, n := range workload.InputGlobals() {
+			if s := prog.Lookup(n); s != nil {
+				vol[s.PID] = true
+			}
+		}
+		if _, err := hlo.Optimize(prog, loader, hlo.Options{Volatile: vol}); err != nil {
+			return 0, err
+		}
+		return loader.Stats().Expansions, nil
+	}
+	cached, err := run(32)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	uncached, err := run(1)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	f := 1.0
+	if cached > 0 {
+		f = float64(uncached) / float64(cached)
+	}
+	return AblationResult{
+		Name:     "expanded-pool-cache",
+		Variant:  "32-slot LRU cache vs eager unload",
+		Metric:   "pool expansions during HLO",
+		Value:    float64(cached),
+		Baseline: float64(uncached),
+		Factor:   f,
+	}, nil
+}
+
+// AblationThresholdOverhead verifies that NAIM machinery costs
+// nothing when a compilation fits in memory (paper section 4.3:
+// "imposes little or no overhead on compilations that fit").
+func AblationThresholdOverhead(cfg Config) (AblationResult, error) {
+	spec := SpecPrograms(cfg)[4].Spec // li-like, small
+	mods := sources(spec)
+	build := func(n naim.Config) (*cmo.Build, error) {
+		return cmo.BuildSource(mods, cmo.Options{
+			Level: cmo.O4, SelectPercent: -1,
+			Volatile: workload.InputGlobals(),
+			NAIM:     n,
+		})
+	}
+	off, err := build(naim.Config{ForceLevel: naim.LevelOff})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	adaptive, err := build(naim.Config{ForceLevel: naim.Adaptive, BudgetBytes: off.Stats.NAIM.PeakBytes * 8})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	if adaptive.Stats.NAIM.Compactions != 0 {
+		return AblationResult{}, fmt.Errorf("thresholded NAIM compacted %d pools on a small compile",
+			adaptive.Stats.NAIM.Compactions)
+	}
+	return AblationResult{
+		Name:     "naim-threshold-overhead",
+		Variant:  "adaptive NAIM, generous budget",
+		Metric:   "compactions on an in-memory compile",
+		Value:    float64(adaptive.Stats.NAIM.Compactions),
+		Baseline: float64(off.Stats.NAIM.Compactions),
+		Factor:   1,
+	}, nil
+}
+
+// AblationMultiLayer measures the paper's section-8 layered strategy
+// against the flat selective build: code generation gets cheaper
+// (never-executed routines compile at O1) while run time stays put.
+func AblationMultiLayer(cfg Config) (AblationResult, error) {
+	p := McadPrograms(cfg)[0]
+	mods := sources(p.Spec)
+	db, err := cmo.Train(mods, []map[string]int64{trainInputs(p.Spec)}, cmo.Options{})
+	if err != nil {
+		return AblationResult{}, err
+	}
+	build := func(layered bool) (*cmo.Build, int64, error) {
+		var best *cmo.Build
+		var bestLLO int64
+		for rep := 0; rep < 3; rep++ {
+			b, err := cmo.BuildSource(mods, cmo.Options{
+				Level: cmo.O4, PBO: true, DB: db, SelectPercent: p.ShipSelect,
+				MultiLayer: layered,
+				Volatile:   workload.InputGlobals(),
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			if best == nil || b.Stats.LLONanos < bestLLO {
+				best, bestLLO = b, b.Stats.LLONanos
+			}
+		}
+		return best, bestLLO, nil
+	}
+	flat, flatLLO, err := build(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	layered, layeredLLO, err := build(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	// Sanity: identical program behavior.
+	rFlat, err := flat.Run(refInputs(p.Spec), 0)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	rLayered, err := layered.Run(refInputs(p.Spec), 0)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	if rFlat.Value != rLayered.Value {
+		return AblationResult{}, fmt.Errorf("multilayer changed program result: %d vs %d", rLayered.Value, rFlat.Value)
+	}
+	f := 1.0
+	if layeredLLO > 0 {
+		f = float64(flatLLO) / float64(layeredLLO)
+	}
+	return AblationResult{
+		Name:     "multi-layer-codegen",
+		Variant:  "hot=CMO+PBO / warm=O2 / cold=O1",
+		Metric:   "code-generation ns (lower is better)",
+		Value:    float64(layeredLLO),
+		Baseline: float64(flatLLO),
+		Factor:   f,
+	}, nil
+}
+
+// Ablations runs the design-decision measurements.
+func Ablations(cfg Config) ([]AblationResult, error) {
+	var out []AblationResult
+	for _, f := range []func(Config) (AblationResult, error){
+		AblationSwizzle,
+		AblationInlineSchedule,
+		AblationPoolCache,
+		AblationThresholdOverhead,
+		AblationMultiLayer,
+	} {
+		r, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("ablation: %-26s %s: %.0f vs %.0f (%.2fx)\n", r.Name, r.Metric, r.Value, r.Baseline, r.Factor)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderAblations formats the results.
+func RenderAblations(rs []AblationResult) string {
+	var sb strings.Builder
+	sb.WriteString("Design-decision ablations\n")
+	sb.WriteString(fmt.Sprintf("%-26s %-34s %14s %14s %8s\n", "ablation", "metric", "with", "without", "factor"))
+	for _, r := range rs {
+		sb.WriteString(fmt.Sprintf("%-26s %-34s %14.0f %14.0f %7.2fx\n",
+			r.Name, r.Metric, r.Value, r.Baseline, r.Factor))
+	}
+	return sb.String()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/naim"
+	"cmo/internal/workload"
+)
+
+// Fig4Point is one x-position of Figure 4: how much optimizer memory
+// the compiler needed to CMO-compile the first N modules (= Lines
+// lines) of the Mcad1-like application.
+type Fig4Point struct {
+	Modules      int
+	Lines        int
+	HLOPeak      int64 // NAIM-managed optimizer data (the "HLO" curve)
+	CompilerPeak int64 // plus LLO and code buffers (the "overall" curve)
+	NAIMLevel    naim.Level
+}
+
+// Figure4 regenerates the memory-scaling curve: growing prefixes of
+// the MCAD-like application compiled in CMO+PBO mode under one fixed
+// NAIM budget. The HLO curve flattens as NAIM levels engage; the
+// overall compiler curve keeps growing (LLO's appetite grows with
+// inlined routine sizes — the effect the paper's Figure 4 caption
+// describes).
+func Figure4(cfg Config) ([]Fig4Point, error) {
+	base := McadPrograms(cfg)[0]
+	steps := []int{8, 16, 24, 32, 40, 48}
+
+	// The budget is fixed across all sizes: a fraction of what the
+	// full application would need fully expanded, so the thresholds
+	// engage progressively as more code is compiled.
+	budget := int64(0)
+	{
+		spec := base.Spec
+		spec.Modules = cfg.scale(steps[len(steps)-1])
+		mods := sources(spec)
+		b, err := cmo.BuildSource(mods, cmo.Options{
+			Level: cmo.O4, SelectPercent: -1,
+			Volatile: workload.InputGlobals(),
+			NAIM:     naim.Config{ForceLevel: naim.LevelOff},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure4 calibration: %w", err)
+		}
+		budget = b.Stats.NAIM.PeakBytes / 4
+	}
+	cfg.logf("figure4: NAIM budget fixed at %d bytes\n", budget)
+
+	var points []Fig4Point
+	for _, n := range steps {
+		spec := base.Spec
+		spec.Modules = cfg.scale(n)
+		mods := sources(spec)
+		db, err := cmo.Train(mods, []map[string]int64{trainInputs(spec)}, cmo.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("figure4 train n=%d: %w", n, err)
+		}
+		b, err := cmo.BuildSource(mods, cmo.Options{
+			Level: cmo.O4, PBO: true, DB: db, SelectPercent: -1,
+			Volatile: workload.InputGlobals(),
+			NAIM:     naim.Config{BudgetBytes: budget, ForceLevel: naim.Adaptive, CacheSlots: 24},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure4 build n=%d: %w", n, err)
+		}
+		p := Fig4Point{
+			Modules:      spec.Modules,
+			Lines:        b.Stats.TotalLines,
+			HLOPeak:      b.Stats.NAIM.PeakBytes,
+			CompilerPeak: b.Stats.CompilerPeakBytes + b.Stats.CodeBytes,
+			NAIMLevel:    b.Stats.NAIMLevel,
+		}
+		points = append(points, p)
+		cfg.logf("figure4: %3d modules %7d lines: HLO %8d B, compiler %8d B (naim %v)\n",
+			p.Modules, p.Lines, p.HLOPeak, p.CompilerPeak, p.NAIMLevel)
+	}
+	return points, nil
+}
+
+// RenderFigure4 formats the curve data.
+func RenderFigure4(points []Fig4Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: compiler and HLO memory vs lines compiled under CMO\n")
+	sb.WriteString(fmt.Sprintf("%8s %9s %14s %14s %8s %10s\n",
+		"modules", "lines", "HLO bytes", "compiler B", "naim", "HLO B/line"))
+	for _, p := range points {
+		perLine := float64(p.HLOPeak) / float64(p.Lines)
+		sb.WriteString(fmt.Sprintf("%8d %9d %14d %14d %8v %10.1f\n",
+			p.Modules, p.Lines, p.HLOPeak, p.CompilerPeak, p.NAIMLevel, perLine))
+	}
+	return sb.String()
+}

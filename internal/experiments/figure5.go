@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/naim"
+	"cmo/internal/workload"
+)
+
+// Fig5Point is one configuration of Figure 5's time/space trade-off:
+// the gcc-like program compiled with progressively more NAIM
+// machinery pinned on.
+type Fig5Point struct {
+	Name      string
+	Level     naim.Level
+	PeakBytes int64
+	HLONanos  int64
+	// CompactNanos/DiskNanos break out where the extra time went.
+	CompactNanos int64
+	DiskNanos    int64
+	Compactions  int64
+	DiskWrites   int64
+}
+
+// Figure5 regenerates the NAIM dial: "NAIM off" keeps everything
+// expanded; "IR compaction" evicts routine pools through the
+// relocatable codec; "+ST compaction" also compacts module symbol
+// tables; "+offload" pushes evicted pools to the disk repository.
+// Memory falls monotonically; compile time rises with the compaction
+// and disk traffic.
+func Figure5(cfg Config) ([]Fig5Point, error) {
+	// A gcc-like program, somewhat enlarged: the paper used 126.gcc.
+	p := SpecPrograms(cfg)[2]
+	spec := p.Spec
+	spec.Modules = cfg.scale(24)
+	mods := sources(spec)
+	db, err := cmo.Train(mods, []map[string]int64{trainInputs(spec)}, cmo.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("figure5 train: %w", err)
+	}
+
+	configs := []struct {
+		name  string
+		level naim.Level
+		slots int
+	}{
+		{"NAIM off", naim.LevelOff, 0},
+		{"IR compaction", naim.LevelIR, 6},
+		{"+ST compaction", naim.LevelST, 6},
+		{"+disk offload", naim.LevelDisk, 6},
+	}
+	var points []Fig5Point
+	for _, c := range configs {
+		b, err := cmo.BuildSource(mods, cmo.Options{
+			Level: cmo.O4, PBO: true, DB: db, SelectPercent: -1,
+			Volatile: workload.InputGlobals(),
+			NAIM:     naim.Config{ForceLevel: c.level, CacheSlots: c.slots},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure5 %s: %w", c.name, err)
+		}
+		pt := Fig5Point{
+			Name:         c.name,
+			Level:        c.level,
+			PeakBytes:    b.Stats.NAIM.PeakBytes,
+			HLONanos:     b.Stats.HLONanos,
+			CompactNanos: b.Stats.NAIM.CompactNanos,
+			DiskNanos:    b.Stats.NAIM.DiskNanos,
+			Compactions:  b.Stats.NAIM.Compactions,
+			DiskWrites:   b.Stats.NAIM.DiskWrites,
+		}
+		points = append(points, pt)
+		cfg.logf("figure5: %-14s peak=%9d B  hlo=%8.2f ms  compact=%6.2f ms  disk=%6.2f ms\n",
+			c.name, pt.PeakBytes, ms(pt.HLONanos), ms(pt.CompactNanos), ms(pt.DiskNanos))
+	}
+	return points, nil
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// RenderFigure5 formats the dial.
+func RenderFigure5(points []Fig5Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: HLO compile time vs memory (NAIM configurations)\n")
+	sb.WriteString(fmt.Sprintf("%-16s %12s %12s %12s %12s %8s %6s\n",
+		"config", "peak bytes", "hlo ms", "compact ms", "disk ms", "compact#", "disk#"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("%-16s %12d %12.2f %12.2f %12.2f %8d %6d\n",
+			p.Name, p.PeakBytes, ms(p.HLONanos), ms(p.CompactNanos), ms(p.DiskNanos),
+			p.Compactions, p.DiskWrites))
+	}
+	return sb.String()
+}

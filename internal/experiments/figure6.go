@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/workload"
+)
+
+// Fig6Point is one x-position of Figure 6: the Mcad1-like application
+// built with a given selectivity percentage.
+type Fig6Point struct {
+	Percent       float64
+	SelectedSites int
+	TotalSites    int
+	SelectedLines int
+	TotalLines    int
+	BuildNanos    int64
+	HLONanos      int64
+	RunCycles     int64
+	// Speedup is run-time improvement over the 0% (pure O2+P) build.
+	Speedup float64
+}
+
+// Figure6 regenerates the selectivity sweep: as the selection
+// percentage grows, compile time grows roughly with the amount of
+// code optimized, while run time saturates once the hot 20 % or so of
+// the application is covered (paper: "about 80% of the code has no
+// appreciable effect on performance").
+func Figure6(cfg Config) ([]Fig6Point, error) {
+	p := McadPrograms(cfg)[0]
+	mods := sources(p.Spec)
+	db, err := cmo.Train(mods, []map[string]int64{trainInputs(p.Spec)}, cmo.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("figure6 train: %w", err)
+	}
+
+	// Warm up the process (page cache, allocator) so the first sweep
+	// point does not pay a cold-start premium.
+	if _, err := cmo.BuildSource(mods, cmo.Options{
+		Level: cmo.O4, PBO: true, DB: db, SelectPercent: 50,
+		Volatile: workload.InputGlobals(),
+	}); err != nil {
+		return nil, fmt.Errorf("figure6 warmup: %w", err)
+	}
+
+	percents := []float64{0, 1, 2, 5, 10, 20, 40, 70, 100}
+	var points []Fig6Point
+	var baseCycles int64
+	for _, pct := range percents {
+		// Best-of-3 wall time: build timing is the one
+		// non-deterministic measurement in the sweep.
+		var b *cmo.Build
+		var bestNanos int64
+		for rep := 0; rep < 3; rep++ {
+			nb, err := cmo.BuildSource(mods, cmo.Options{
+				Level: cmo.O4, PBO: true, DB: db, SelectPercent: pct,
+				Volatile: workload.InputGlobals(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure6 %.0f%%: %w", pct, err)
+			}
+			if b == nil || nb.Stats.TotalNanos < bestNanos {
+				b = nb
+				bestNanos = nb.Stats.TotalNanos
+			}
+		}
+		rr, err := b.Run(refInputs(p.Spec), 0)
+		if err != nil {
+			return nil, fmt.Errorf("figure6 run %.0f%%: %w", pct, err)
+		}
+		pt := Fig6Point{
+			Percent:       pct,
+			SelectedSites: b.Stats.SelectedSites,
+			TotalSites:    b.Stats.TotalSites,
+			SelectedLines: b.Stats.SelectedLines,
+			TotalLines:    b.Stats.TotalLines,
+			BuildNanos:    bestNanos,
+			HLONanos:      b.Stats.HLONanos,
+			RunCycles:     rr.Stats.Cycles,
+		}
+		if pct == 0 {
+			baseCycles = pt.RunCycles
+		}
+		if baseCycles > 0 {
+			pt.Speedup = float64(baseCycles) / float64(pt.RunCycles)
+		}
+		points = append(points, pt)
+		cfg.logf("figure6: %5.1f%% sites=%5d/%5d lines=%6d/%6d hlo=%7.2f build=%8.2f ms run=%9d cycles speedup=%.3f\n",
+			pct, pt.SelectedSites, pt.TotalSites, pt.SelectedLines, pt.TotalLines,
+			ms(pt.HLONanos), ms(pt.BuildNanos), pt.RunCycles, pt.Speedup)
+	}
+	return points, nil
+}
+
+// RenderFigure6 formats the sweep.
+func RenderFigure6(points []Fig6Point) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: selectivity sweep on the Mcad1-like application\n")
+	sb.WriteString(fmt.Sprintf("%8s %12s %14s %12s %12s %9s\n",
+		"percent", "sites", "lines in CMO", "build ms", "run cycles", "speedup"))
+	for _, p := range points {
+		sb.WriteString(fmt.Sprintf("%7.1f%% %6d/%-6d %7d/%-7d %12.2f %12d %9.3f\n",
+			p.Percent, p.SelectedSites, p.TotalSites, p.SelectedLines, p.TotalLines,
+			ms(p.BuildNanos), p.RunCycles, p.Speedup))
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/naim"
+	"cmo/internal/workload"
+)
+
+// HistRow is one framework generation of the paper's section-8
+// history: HLO memory per source line.
+type HistRow struct {
+	Era          string
+	Description  string
+	HLOPeak      int64
+	Lines        int
+	BytesPerLine float64
+}
+
+// TableHistory regenerates the memory-per-line history (paper
+// section 8): HP-UX 9.0 kept everything expanded (~1.7 KB/line);
+// 10.01 introduced IR compaction (~0.9 KB/line); the 10.20 NAIM
+// framework brought it down far enough to compile millions of lines.
+// Our size model is calibrated to the same regime; the measured
+// ratios between generations are the reproduced result.
+func TableHistory(cfg Config) ([]HistRow, error) {
+	p := SpecPrograms(cfg)[2] // gcc-like
+	spec := p.Spec
+	spec.Modules = cfg.scale(24)
+	mods := sources(spec)
+	db, err := cmo.Train(mods, []map[string]int64{trainInputs(spec)}, cmo.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("history train: %w", err)
+	}
+	configs := []struct {
+		era, desc string
+		naimCfg   naim.Config
+	}{
+		{"HP-UX 9.0", "all pools expanded", naim.Config{ForceLevel: naim.LevelOff}},
+		{"HP-UX 10.01", "IR compaction", naim.Config{ForceLevel: naim.LevelIR, CacheSlots: 6}},
+		{"HP-UX 10.20", "full NAIM (IR+ST+disk)", naim.Config{ForceLevel: naim.LevelDisk, CacheSlots: 6}},
+	}
+	var rows []HistRow
+	for _, c := range configs {
+		b, err := cmo.BuildSource(mods, cmo.Options{
+			Level: cmo.O4, PBO: true, DB: db, SelectPercent: -1,
+			Volatile: workload.InputGlobals(),
+			NAIM:     c.naimCfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("history %s: %w", c.era, err)
+		}
+		row := HistRow{
+			Era:         c.era,
+			Description: c.desc,
+			HLOPeak:     b.Stats.NAIM.PeakBytes,
+			Lines:       b.Stats.TotalLines,
+		}
+		row.BytesPerLine = float64(row.HLOPeak) / float64(row.Lines)
+		rows = append(rows, row)
+		cfg.logf("history: %-12s %-24s %8.1f B/line\n", c.era, c.desc, row.BytesPerLine)
+	}
+	return rows, nil
+}
+
+// RenderHistory formats the table.
+func RenderHistory(rows []HistRow) string {
+	var sb strings.Builder
+	sb.WriteString("Section 8 history: HLO memory per source line by framework generation\n")
+	sb.WriteString(fmt.Sprintf("%-12s %-26s %12s %8s %10s\n", "era", "technique", "HLO bytes", "lines", "B/line"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-12s %-26s %12d %8d %10.1f\n",
+			r.Era, r.Description, r.HLOPeak, r.Lines, r.BytesPerLine))
+	}
+	return sb.String()
+}

@@ -1,0 +1,527 @@
+// Package hlo is the high-level optimizer: the interprocedural,
+// cross-module stage of the pipeline (paper Figure 2). It runs at
+// +O4, consumes IL for many modules at once, and performs
+// profile-aware inlining, interprocedural constant propagation,
+// constant-global promotion, and whole-program dead function
+// elimination, delegating function-local cleanup to internal/xform.
+//
+// HLO never holds function bodies directly: it pulls them through a
+// FuncSource (in production the NAIM loader, internal/naim) and
+// signals with DoneWith when a body may be unloaded. The access
+// pattern is deliberately phased — one initial scan of everything
+// (the paper's "minimum amount of analysis ... as the code and data
+// are read in"), then repeated touches of only the selected hot
+// functions — because that locality is what makes the NAIM expanded-
+// pool cache effective (paper section 4.3).
+package hlo
+
+import (
+	"fmt"
+	"sort"
+
+	"cmo/internal/il"
+	"cmo/internal/profile"
+	"cmo/internal/xform"
+)
+
+// FuncSource provides function bodies on demand. The returned body is
+// owned by the source; HLO mutates it in place. DoneWith hints that
+// the body will not be touched again soon and may be compacted or
+// offloaded.
+type FuncSource interface {
+	Function(pid il.PID) *il.Function
+	DoneWith(pid il.PID)
+}
+
+// MapSource is a trivial FuncSource over a map, for tests and for
+// NAIM-less compilation.
+type MapSource map[il.PID]*il.Function
+
+// Function returns the mapped body.
+func (m MapSource) Function(pid il.PID) *il.Function { return m[pid] }
+
+// DoneWith is a no-op for MapSource.
+func (m MapSource) DoneWith(il.PID) {}
+
+// InlineBudget tunes the inliner.
+type InlineBudget struct {
+	// TinySize: callees at or below this size are always inlined.
+	TinySize int
+	// HotMaxSize: with profiles, hot sites inline callees up to this size.
+	HotMaxSize int
+	// HotMin: minimum profiled site count to be considered hot.
+	HotMin int64
+	// ColdMaxSize: every site with a callee at or below this size is
+	// inlined regardless of profile. Without profiles this is the
+	// only rule beyond TinySize and is set high ("thorough
+	// optimization of all routines" — the non-PBO mode whose cost
+	// section 5 laments); with profiles it is a modest static floor
+	// under the hot-site rule.
+	ColdMaxSize int
+	// GrowthFactor and MinCap bound the post-inlining size of a
+	// caller: cap = max(origSize*GrowthFactor, MinCap).
+	GrowthFactor int
+	MinCap       int
+}
+
+// DefaultBudget returns the standard budgets; pbo selects the
+// profile-aware variant.
+func DefaultBudget(pbo bool) InlineBudget {
+	if pbo {
+		return InlineBudget{
+			TinySize:     8,
+			HotMaxSize:   200,
+			HotMin:       8,
+			ColdMaxSize:  40,
+			GrowthFactor: 4,
+			MinCap:       600,
+		}
+	}
+	return InlineBudget{
+		TinySize:     8,
+		HotMaxSize:   0,
+		HotMin:       0,
+		ColdMaxSize:  80,
+		GrowthFactor: 8,
+		MinCap:       1200,
+	}
+}
+
+// Options configures an HLO run.
+type Options struct {
+	// DB supplies profile data (nil for pure CMO).
+	DB *profile.DB
+	// Scope is the coarse-grained selectivity set: the functions of
+	// the modules compiled in CMO mode. HLO scans and may transform
+	// only these; everything else bypasses HLO entirely (nil means
+	// the whole program is in scope). Callees outside the scope are
+	// never inlined — their IL was not routed to the optimizer.
+	Scope map[il.PID]bool
+	// Selected is the fine-grained selectivity set: only these
+	// functions are optimized (nil means all in-scope functions).
+	// Unselected in-scope functions are still scanned once for
+	// whole-program facts but never transformed (paper section 5).
+	Selected map[il.PID]bool
+	// ExternallyCalled marks in-scope functions that may be called
+	// from outside the scope; IPCP must not specialize them and dead
+	// function elimination must keep them. Supplied by the driver,
+	// which sees the non-CMO modules.
+	ExternallyCalled map[il.PID]bool
+	// ExternStored marks globals stored by code outside the scope;
+	// they are never promoted to constants.
+	ExternStored map[il.PID]bool
+	// Volatile marks globals whose values are supplied externally
+	// (program inputs); they are never treated as link-time constants.
+	Volatile map[il.PID]bool
+	// Entry is the program entry function name (default "main").
+	Entry string
+	// AllowNoEntry permits optimizing a program fragment with no
+	// entry function — the separate-compilation (+O3 in cmoc) case,
+	// where every routine must be treated as externally callable and
+	// dead-function elimination is disabled.
+	AllowNoEntry bool
+	// Budget tunes inlining; zero value means DefaultBudget(DB != nil).
+	Budget InlineBudget
+	// NoScheduleLocality disables the inliner's cache-friendly
+	// candidate ordering (group by callee module, then callee); used
+	// only by the ablation experiment that measures how much the
+	// paper's section-4.3 schedule buys.
+	NoScheduleLocality bool
+	// MaxInlines caps the number of inline operations performed
+	// (0 = unlimited). This is the paper's section-6.3 "controllable
+	// operation limit": because compilation is deterministic, binary
+	// searching over this limit pinpoints the single inline that
+	// flips a program from working to failing (see internal/isolate).
+	MaxInlines int
+}
+
+// Stats reports what HLO did.
+type Stats struct {
+	Inlines       int
+	Clones        int
+	IPCPParams    int
+	ConstGlobals  int // LoadG instructions replaced by constants
+	DeadFuncs     int
+	ScannedFuncs  int
+	OptimizedFns  int
+	Unrolled      int // functions in which loops were fully unrolled
+	CrossModule   int // inlines whose caller and callee differ in module
+	InlinedInstrs int
+}
+
+// InlineOp records one performed inline operation, in execution
+// order. The log is the diagnostic the paper's section 6.2 calls for
+// ("good compiler diagnostics on what the compiler is optimizing are
+// essential") and the unit the section-6.3 isolation machinery counts.
+type InlineOp struct {
+	Caller, Callee il.PID
+	SiteFreq       int64
+}
+
+// Result is the outcome of an HLO run.
+type Result struct {
+	Stats Stats
+	// Dead lists functions proven unreachable from the entry; the
+	// linker omits them from the image.
+	Dead []il.PID
+	// InlineOps is the ordered log of performed inlines.
+	InlineOps []InlineOp
+}
+
+type argState struct {
+	// lattice per parameter: 0 = no call seen, 1 = constant, 2 = varying
+	state []uint8
+	val   []int64
+}
+
+// pass carries the state of one HLO run.
+type pass struct {
+	prog *il.Program
+	src  FuncSource
+	opts Options
+	res  *Result
+
+	callees   map[il.PID][]il.PID
+	callers   map[il.PID][]il.PID
+	sccOf     map[il.PID]int
+	stored    map[il.PID]bool // globals that are stored anywhere
+	args      map[il.PID]*argState
+	size      map[il.PID]int
+	scope     map[il.PID]bool
+	selected  map[il.PID]bool
+	siteFreqs map[profile.SiteKey]int64
+}
+
+// Optimize runs the full HLO pipeline over the program.
+func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	if opts.Budget == (InlineBudget{}) {
+		opts.Budget = DefaultBudget(opts.DB != nil)
+	}
+	entryPID := il.NoPID
+	if entry := prog.Lookup(opts.Entry); entry != nil && entry.Kind == il.SymFunc {
+		entryPID = entry.PID
+	} else if !opts.AllowNoEntry {
+		return nil, fmt.Errorf("hlo: no entry function %q", opts.Entry)
+	}
+	p := &pass{
+		prog: prog,
+		src:  src,
+		opts: opts,
+		res:  &Result{},
+	}
+	p.scope = opts.Scope
+	if p.scope == nil {
+		p.scope = make(map[il.PID]bool)
+		for _, pid := range prog.FuncPIDs() {
+			p.scope[pid] = true
+		}
+	}
+	p.selected = opts.Selected
+	if p.selected == nil {
+		p.selected = make(map[il.PID]bool)
+		for _, pid := range prog.FuncPIDs() {
+			if p.scope[pid] {
+				p.selected[pid] = true
+			}
+		}
+	} else {
+		// The fine-grained set can never exceed the coarse set.
+		narrowed := make(map[il.PID]bool, len(p.selected))
+		for pid := range p.selected {
+			if p.scope[pid] {
+				narrowed[pid] = true
+			}
+		}
+		p.selected = narrowed
+	}
+	p.siteFreqs = make(map[profile.SiteKey]int64)
+	if opts.DB != nil {
+		for k, v := range opts.DB.Sites {
+			p.siteFreqs[k] = v
+		}
+	}
+
+	p.initialScan()
+	p.inlineAll()
+	p.cloneAll()
+	p.interproc()
+	if entryPID != il.NoPID {
+		p.deadFunctions(entryPID)
+	}
+	return p.res, nil
+}
+
+// initialScan reads every module's code once, building the call
+// graph, the stored-global set, the constant-argument lattice, and
+// function sizes — the whole-program facts that require examining all
+// routines, selected or not (paper section 5: "information about
+// routines not selected for optimization can influence the
+// optimization of selected routines").
+func (p *pass) initialScan() {
+	p.callees = make(map[il.PID][]il.PID)
+	p.callers = make(map[il.PID][]il.PID)
+	p.stored = make(map[il.PID]bool)
+	p.args = make(map[il.PID]*argState)
+	p.size = make(map[il.PID]int)
+	for pid := range p.opts.ExternStored {
+		p.stored[pid] = true
+	}
+
+	for _, pid := range p.prog.FuncPIDs() {
+		if !p.scope[pid] {
+			continue
+		}
+		f := p.src.Function(pid)
+		if f == nil {
+			continue
+		}
+		p.res.Stats.ScannedFuncs++
+		p.size[pid] = f.NumInstrs()
+		seen := make(map[il.PID]bool)
+		for _, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				switch in.Op {
+				case il.StoreG, il.StoreX:
+					p.stored[in.Sym] = true
+				case il.Call:
+					if !seen[in.Sym] {
+						seen[in.Sym] = true
+						p.callees[pid] = append(p.callees[pid], in.Sym)
+						p.callers[in.Sym] = append(p.callers[in.Sym], pid)
+					}
+					p.meetArgs(in)
+				}
+			}
+		}
+		p.src.DoneWith(pid)
+	}
+	p.computeSCC()
+}
+
+// meetArgs folds one call's arguments into the callee's lattice.
+func (p *pass) meetArgs(in *il.Instr) {
+	st := p.args[in.Sym]
+	if st == nil {
+		st = &argState{state: make([]uint8, len(in.Args)), val: make([]int64, len(in.Args))}
+		p.args[in.Sym] = st
+	}
+	for i, a := range in.Args {
+		if i >= len(st.state) {
+			break
+		}
+		switch {
+		case !a.IsConst:
+			st.state[i] = 2
+		case st.state[i] == 0:
+			st.state[i] = 1
+			st.val[i] = a.Const
+		case st.state[i] == 1 && st.val[i] != a.Const:
+			st.state[i] = 2
+		}
+	}
+}
+
+// computeSCC labels mutual-recursion groups (iterative Tarjan).
+func (p *pass) computeSCC() {
+	p.sccOf = make(map[il.PID]int)
+	index := make(map[il.PID]int)
+	low := make(map[il.PID]int)
+	onStack := make(map[il.PID]bool)
+	var stack []il.PID
+	next, comp := 0, 0
+	type frame struct {
+		v  il.PID
+		ci int
+	}
+	for _, root := range p.prog.FuncPIDs() {
+		if _, done := index[root]; done {
+			continue
+		}
+		work := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.ci < len(p.callees[f.v]) {
+				w := p.callees[f.v][f.ci]
+				f.ci++
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					work = append(work, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				pp := work[len(work)-1].v
+				if low[v] < low[pp] {
+					low[pp] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					p.sccOf[w] = comp
+					if w == v {
+						break
+					}
+				}
+				comp++
+			}
+		}
+	}
+}
+
+// bottomUp returns defined functions callee-first (ascending SCC id,
+// which Tarjan emits in reverse topological order), PID tie-break.
+func (p *pass) bottomUp() []il.PID {
+	out := p.prog.FuncPIDs()
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := p.sccOf[out[i]], p.sccOf[out[j]]
+		if si != sj {
+			return si < sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// interproc applies interprocedural constant propagation and
+// constant-global promotion to the selected functions, then runs the
+// standard local pipeline on each.
+func (p *pass) interproc() {
+	entryPID := il.NoPID
+	if entry := p.prog.Lookup(p.opts.Entry); entry != nil {
+		entryPID = entry.PID
+	}
+	for _, pid := range p.bottomUp() {
+		if !p.selected[pid] {
+			continue
+		}
+		f := p.src.Function(pid)
+		if f == nil {
+			continue
+		}
+		changed := false
+
+		// IPCP: a parameter whose every (pre-inline) caller passes
+		// the same constant becomes a constant at entry. The entry
+		// function's parameters come from the outside world, and
+		// functions callable from outside the CMO scope have unseen
+		// callers.
+		if st := p.args[pid]; st != nil && pid != entryPID && !p.opts.ExternallyCalled[pid] {
+			for i := 0; i < f.NParams && i < len(st.state); i++ {
+				if st.state[i] == 1 {
+					entryBlock := f.Blocks[0]
+					pre := []il.Instr{{Op: il.Const, Dst: il.Reg(i + 1), A: il.ConstVal(st.val[i])}}
+					entryBlock.Instrs = append(pre, entryBlock.Instrs...)
+					p.res.Stats.IPCPParams++
+					changed = true
+				}
+			}
+		}
+
+		// Constant-global promotion: loads of globals never stored
+		// anywhere in the program (and not marked volatile) become
+		// constants.
+		for _, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op != il.LoadG || p.stored[in.Sym] || p.opts.Volatile[in.Sym] {
+					continue
+				}
+				sym := p.prog.Sym(in.Sym)
+				*in = il.Instr{Op: il.Const, Dst: in.Dst, A: il.ConstVal(sym.Init)}
+				p.res.Stats.ConstGlobals++
+				changed = true
+			}
+		}
+
+		// Loop transformations: fully unroll small counted loops
+		// (often exposed only now, after IPCP and constant-global
+		// promotion turned trip counts into constants).
+		xform.Optimize(f)
+		if xform.UnrollLoops(f, 256) {
+			p.res.Stats.Unrolled++
+			xform.Optimize(f)
+		}
+		_ = changed
+		p.res.Stats.OptimizedFns++
+		p.src.DoneWith(pid)
+	}
+}
+
+// deadFunctions finds functions unreachable from the entry after all
+// transformations. Selected functions are re-scanned (inlining may
+// have removed their last reference to a callee); unselected bodies
+// kept their initial-scan edges.
+func (p *pass) deadFunctions(entry il.PID) {
+	adj := make(map[il.PID][]il.PID)
+	for _, pid := range p.prog.FuncPIDs() {
+		if !p.scope[pid] {
+			// Outside the CMO scope nothing was scanned; such
+			// functions are kept and their call edges are unknown
+			// here (the driver accounts for them through
+			// ExternallyCalled).
+			continue
+		}
+		if !p.selected[pid] {
+			adj[pid] = p.callees[pid]
+			continue
+		}
+		f := p.src.Function(pid)
+		if f == nil {
+			continue
+		}
+		seen := make(map[il.PID]bool)
+		for _, b := range f.Blocks {
+			for ii := range b.Instrs {
+				if in := &b.Instrs[ii]; in.Op == il.Call && !seen[in.Sym] {
+					seen[in.Sym] = true
+					adj[pid] = append(adj[pid], in.Sym)
+				}
+			}
+		}
+		p.src.DoneWith(pid)
+	}
+	// Roots: the entry plus everything reachable from outside the
+	// scope.
+	reach := map[il.PID]bool{entry: true}
+	work := []il.PID{entry}
+	for _, pid := range p.prog.FuncPIDs() {
+		if (!p.scope[pid] || p.opts.ExternallyCalled[pid]) && !reach[pid] {
+			reach[pid] = true
+			work = append(work, pid)
+		}
+	}
+	for len(work) > 0 {
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, w := range adj[v] {
+			if !reach[w] {
+				reach[w] = true
+				work = append(work, w)
+			}
+		}
+	}
+	for _, pid := range p.prog.FuncPIDs() {
+		if !reach[pid] {
+			p.res.Dead = append(p.res.Dead, pid)
+		}
+	}
+	p.res.Stats.DeadFuncs = len(p.res.Dead)
+}

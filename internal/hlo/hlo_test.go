@@ -1,0 +1,428 @@
+package hlo
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/profile"
+	"cmo/internal/source"
+)
+
+func build(t *testing.T, srcs ...string) (*il.Program, map[il.PID]*il.Function) {
+	t.Helper()
+	var files []*source.File
+	for i, s := range srcs {
+		f, err := source.Parse(string(rune('a'+i))+".minc", s)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := source.Check(f); err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		files = append(files, f)
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return res.Prog, res.Funcs
+}
+
+func interp(t *testing.T, prog *il.Program, fns map[il.PID]*il.Function) int64 {
+	t.Helper()
+	it := il.NewInterp(prog, func(p il.PID) *il.Function { return fns[p] })
+	v, err := it.Run("main", nil, 0)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return v
+}
+
+// optimize clones all bodies, runs HLO on the clones, verifies them,
+// and checks the result matches the unoptimized program.
+func optimize(t *testing.T, prog *il.Program, fns map[il.PID]*il.Function, opts Options) (map[il.PID]*il.Function, *Result) {
+	t.Helper()
+	want := interp(t, prog, fns)
+	work := make(map[il.PID]*il.Function, len(fns))
+	for pid, f := range fns {
+		work[pid] = f.Clone()
+	}
+	res, err := Optimize(prog, MapSource(work), opts)
+	if err != nil {
+		t.Fatalf("hlo: %v", err)
+	}
+	for pid, f := range work {
+		if err := il.Verify(prog, f); err != nil {
+			t.Fatalf("verify %s after HLO: %v\n%s", f.Name, err, f.Print(prog))
+		}
+		_ = pid
+	}
+	if got := interp(t, prog, work); got != want {
+		t.Fatalf("HLO changed program result: %d != %d", got, want)
+	}
+	return work, res
+}
+
+// trainDB runs an instrumented build to produce a profile database.
+func trainDB(t *testing.T, prog *il.Program, fns map[il.PID]*il.Function) *profile.DB {
+	t.Helper()
+	inst, m := profile.Instrument(prog, fns)
+	it := il.NewInterp(prog, func(p il.PID) *il.Function { return inst[p] })
+	if _, err := it.Run("main", nil, 0); err != nil {
+		t.Fatalf("training run: %v", err)
+	}
+	counters := make([]int64, m.NumProbes())
+	copy(counters, it.Probes)
+	db := profile.FromCounters(m, counters)
+	db.Apply(fns)
+	return db
+}
+
+const crossModuleSrc1 = `module app;
+extern func scale(x int) int;
+extern func offset(x int) int;
+func main() int {
+	var s int = 0;
+	for (var i int = 0; i < 50; i = i + 1) {
+		s = s + scale(i) + offset(i);
+	}
+	return s;
+}`
+
+const crossModuleSrc2 = `module lib;
+var factor int = 3;
+func scale(x int) int { return x * factor; }
+func offset(x int) int { return x + 7; }
+func unused_helper(x int) int { return x * 99; }
+`
+
+func countOp(fns map[il.PID]*il.Function, op il.Op) int {
+	n := 0
+	for _, f := range fns {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestCMOInlinesAcrossModules(t *testing.T) {
+	prog, fns := build(t, crossModuleSrc1, crossModuleSrc2)
+	work, res := optimize(t, prog, fns, Options{})
+	if res.Stats.Inlines == 0 || res.Stats.CrossModule == 0 {
+		t.Errorf("no cross-module inlining happened: %+v", res.Stats)
+	}
+	mainFn := work[prog.Lookup("main").PID]
+	for _, b := range mainFn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == il.Call {
+				t.Errorf("call to %s survived inlining in main", prog.Sym(in.Sym).Name)
+			}
+		}
+	}
+}
+
+func TestDeadFunctionElimination(t *testing.T) {
+	prog, fns := build(t, crossModuleSrc1, crossModuleSrc2)
+	_, res := optimize(t, prog, fns, Options{})
+	foundDead := false
+	for _, pid := range res.Dead {
+		if prog.Sym(pid).Name == "unused_helper" {
+			foundDead = true
+		}
+		if prog.Sym(pid).Name == "main" {
+			t.Error("main marked dead")
+		}
+	}
+	if !foundDead {
+		t.Error("unused_helper not found dead")
+	}
+	// After inlining, scale/offset have no remaining callers either.
+	deadNames := map[string]bool{}
+	for _, pid := range res.Dead {
+		deadNames[prog.Sym(pid).Name] = true
+	}
+	if !deadNames["scale"] || !deadNames["offset"] {
+		t.Errorf("fully inlined callees not dead: %v", deadNames)
+	}
+}
+
+func TestIPCPConstantArguments(t *testing.T) {
+	prog, fns := build(t, `module m;
+func fma(a int, b int, c int) int { return a * b + c; }
+func big(a int, b int, c int) int {
+	var s int = 0;
+	for (var i int = 0; i < c; i = i + 1) {
+		s = s + fma(a, b, i) * fma(a, b, i + 1) + fma(a, b, i + 2) - fma(a, b, i + 3)
+		      + fma(a, b, i + 4) * fma(a, b, i + 5) + fma(a, b, i + 6) + fma(a, b, i + 7)
+		      + fma(a, b, i + 8) - fma(a, b, i + 9) + fma(a, b, i + 10) + fma(a, b, i + 11);
+	}
+	return s;
+}
+func main() int { return big(2, 5, 4) + big(2, 5, 9); }`)
+	// big is too large to inline without profiles, and is always
+	// called with a=2, b=5 -> IPCP should constant-fold its params.
+	work, res := optimize(t, prog, fns, Options{})
+	if res.Stats.IPCPParams < 2 {
+		t.Errorf("IPCPParams = %d, want >= 2 (a and b of big)", res.Stats.IPCPParams)
+	}
+	_ = work
+}
+
+func TestConstGlobalPromotion(t *testing.T) {
+	prog, fns := build(t, `module m;
+var tuning int = 13;
+var mutated int = 5;
+func main() int {
+	var s int = 0;
+	mutated = mutated + 1;
+	for (var i int = 0; i < 10; i = i + 1) { s = s + tuning * i + mutated; }
+	return s;
+}`)
+	work, res := optimize(t, prog, fns, Options{})
+	if res.Stats.ConstGlobals == 0 {
+		t.Error("tuning not promoted to constant")
+	}
+	mainFn := work[prog.Lookup("main").PID]
+	tuningPID := prog.Lookup("tuning").PID
+	mutatedPID := prog.Lookup("mutated").PID
+	loadsTuning, loadsMutated := 0, 0
+	for _, b := range mainFn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == il.LoadG && in.Sym == tuningPID {
+				loadsTuning++
+			}
+			if in.Op == il.LoadG && in.Sym == mutatedPID {
+				loadsMutated++
+			}
+		}
+	}
+	if loadsTuning != 0 {
+		t.Errorf("%d loads of never-stored global survive", loadsTuning)
+	}
+	if loadsMutated == 0 {
+		t.Error("loads of mutated global must survive")
+	}
+}
+
+func TestVolatileGlobalNotPromoted(t *testing.T) {
+	prog, fns := build(t, `module m;
+var input int = 1;
+func main() int { return input * 10; }`)
+	vol := map[il.PID]bool{prog.Lookup("input").PID: true}
+	work, res := optimize(t, prog, fns, Options{Volatile: vol})
+	if res.Stats.ConstGlobals != 0 {
+		t.Error("volatile global promoted to constant")
+	}
+	mainFn := work[prog.Lookup("main").PID]
+	if countOp(map[il.PID]*il.Function{0: mainFn}, il.LoadG) == 0 {
+		t.Error("volatile load disappeared")
+	}
+}
+
+func TestRecursionNotInlined(t *testing.T) {
+	prog, fns := build(t, `module m;
+func even(n int) bool { if (n == 0) { return true; } return odd(n - 1); }
+func odd(n int) bool { if (n == 0) { return false; } return even(n - 1); }
+func main() int { if (even(10)) { return 1; } return 0; }`)
+	work, _ := optimize(t, prog, fns, Options{})
+	// even/odd are mutually recursive; each body must still contain a
+	// call (the cycle cannot be fully flattened).
+	evenFn := work[prog.Lookup("even").PID]
+	oddFn := work[prog.Lookup("odd").PID]
+	if countOp(map[il.PID]*il.Function{0: evenFn}, il.Call)+
+		countOp(map[il.PID]*il.Function{1: oddFn}, il.Call) == 0 {
+		t.Error("recursive cycle disappeared entirely")
+	}
+}
+
+func TestFineGrainedSelectivity(t *testing.T) {
+	prog, fns := build(t, crossModuleSrc1, crossModuleSrc2)
+	mainPID := prog.Lookup("main").PID
+	scalePID := prog.Lookup("scale").PID
+	// Select only scale: main must remain byte-for-byte untouched.
+	before := fns[mainPID].Print(prog)
+	work := make(map[il.PID]*il.Function)
+	for pid, f := range fns {
+		work[pid] = f.Clone()
+	}
+	_, err := Optimize(prog, MapSource(work), Options{
+		Selected: map[il.PID]bool{scalePID: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if work[mainPID].Print(prog) != before {
+		t.Error("unselected function was modified")
+	}
+	if got := interp(t, prog, work); got != interp(t, prog, fns) {
+		t.Error("selective optimization changed behavior")
+	}
+}
+
+func TestPBOInliningUsesProfile(t *testing.T) {
+	// hotfn is called 1000x from a loop, coldfn once; both are above
+	// TinySize. With a profile, only the hot site should inline.
+	src := `module m;
+var sink int;
+func hotfn(x int) int {
+	var a int = x * 3; var b int = a + x; var c int = b * a - x;
+	var d int = c % 1000; var e int = d + a + b + c;
+	var f int = e * 2 - d; var g int = f + a * b; var h int = g % 313;
+	var i int = h - f + e; var j int = i * 2 + d - c + b - a;
+	var k int = j % 771 + i - h + g - f + e - d;
+	return e - d + x * 2 - a + b - c + d * 3 + e + f - g + h - i + j - k;
+}
+func coldfn(x int) int {
+	var a int = x * 5; var b int = a - x; var c int = b * a + x;
+	var d int = c % 777; var e int = d - a - b + c;
+	var f int = e * 3 + d; var g int = f - a * c; var h int = g % 217;
+	var i int = h + f - e; var j int = i * 3 - d + c - b + a;
+	var k int = j % 917 - i + h - g + f - e + d;
+	return e + d - x * 9 + a - b + c - d * 2 - e + f + g - h + i - j + k;
+}
+func main() int {
+	var s int = 0;
+	for (var i int = 0; i < 1000; i = i + 1) { s = s + hotfn(i); }
+	sink = coldfn(3);
+	return s + sink;
+}`
+	prog, fns := build(t, src)
+	db := trainDB(t, prog, fns)
+	work, res := optimize(t, prog, fns, Options{DB: db})
+	if res.Stats.Inlines == 0 {
+		t.Fatal("no inlining with profile")
+	}
+	mainFn := work[prog.Lookup("main").PID]
+	hotPID := prog.Lookup("hotfn").PID
+	coldPID := prog.Lookup("coldfn").PID
+	hotCalls, coldCalls := 0, 0
+	for _, b := range mainFn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == il.Call && in.Sym == hotPID {
+				hotCalls++
+			}
+			if in.Op == il.Call && in.Sym == coldPID {
+				coldCalls++
+			}
+		}
+	}
+	if hotCalls != 0 {
+		t.Error("hot call site not inlined under PBO")
+	}
+	if coldCalls == 0 {
+		t.Error("cold call site inlined despite profile saying cold")
+	}
+}
+
+func TestHLODeterministic(t *testing.T) {
+	run := func() string {
+		prog, fns := build(t, crossModuleSrc1, crossModuleSrc2)
+		work := make(map[il.PID]*il.Function)
+		for pid, f := range fns {
+			work[pid] = f.Clone()
+		}
+		if _, err := Optimize(prog, MapSource(work), Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return il.PrintProgram(prog, func(p il.PID) *il.Function { return work[p] })
+	}
+	if run() != run() {
+		t.Error("HLO output not deterministic")
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	prog, fns := build(t, `module m; func f() int { return 1; } func main() int { return f(); }`)
+	if _, err := Optimize(prog, MapSource(fns), Options{Entry: "nonexistent"}); err == nil {
+		t.Error("expected error for missing entry")
+	}
+}
+
+func TestInlineGrowthCap(t *testing.T) {
+	// A caller with very many call sites must stop inlining at the
+	// growth cap rather than exploding.
+	src := `module m;
+func helper(x int) int {
+	var a int = x + 1; var b int = a * 2; var c int = b - x;
+	var d int = c * a; var e int = d % 97;
+	var f int = e * 3 - a; var g int = f + b * c; var h int = g % 31;
+	var i int = h * d - e; var j int = i + f - g + h;
+	var k int = j * 2 + a - b; var l int = k % 13 + c;
+	var n int = l * j - k; var o int = n + i - h + g - f;
+	var p int = o % 7 + e * d; var q int = p - n + l - k + j;
+	return a + b + c + d + e + f + g + h + i + j + k + l + n + o + p + q;
+}
+func main() int {
+	var s int = 0;
+`
+	for i := 0; i < 120; i++ {
+		src += "\ts = s + helper(s);\n"
+	}
+	src += "\treturn s;\n}"
+	prog, fns := build(t, src)
+	work, res := optimize(t, prog, fns, Options{})
+	mainFn := work[prog.Lookup("main").PID]
+	budget := DefaultBudget(false)
+	cap := 0
+	for _, f := range fns {
+		if f.Name == "main" {
+			cap = f.NumInstrs() * budget.GrowthFactor
+		}
+	}
+	if cap > 0 && mainFn.NumInstrs() > cap+budget.MinCap {
+		t.Errorf("caller grew to %d instrs, cap was %d", mainFn.NumInstrs(), cap)
+	}
+	if res.Stats.Inlines == 0 {
+		t.Error("no inlining at all")
+	}
+	remaining := 0
+	for _, b := range mainFn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == il.Call {
+				remaining++
+			}
+		}
+	}
+	if remaining == 0 {
+		t.Error("growth cap did not stop inlining (all 120 sites inlined)")
+	}
+}
+
+func TestSpliceVerifies(t *testing.T) {
+	prog, fns := build(t, `module m;
+func inner(a int, b int) int {
+	if (a > b) { return a - b; }
+	return b - a;
+}
+func main() int {
+	var x int = inner(3, 9);
+	var y int = inner(9, 3);
+	return x * 100 + y;
+}`)
+	want := interp(t, prog, fns)
+	mainFn := fns[prog.Lookup("main").PID]
+	innerFn := fns[prog.Lookup("inner").PID]
+	// Manually splice the first call site.
+	for bi, b := range mainFn.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == il.Call {
+				splice(mainFn, int32(bi), ii, innerFn, 0)
+				if err := il.Verify(prog, mainFn); err != nil {
+					t.Fatalf("verify after splice: %v\n%s", err, mainFn.Print(prog))
+				}
+				got := interp(t, prog, fns)
+				if got != want {
+					t.Fatalf("splice changed result: %d != %d", got, want)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no call found")
+}

@@ -1,0 +1,295 @@
+// Package il defines the common intermediate language shared by every
+// stage of the pipeline: frontends lower into it, the high-level
+// optimizer (HLO, internal/hlo) transforms it across module boundaries,
+// and the low-level optimizer (LLO, internal/llo) consumes it to emit
+// VPA machine code.
+//
+// The object model follows the paper's Figure 3 discipline:
+//
+//   - Global objects (Program, Symbol, the call graph) are always
+//     memory resident and are referred to *upward* by transitory
+//     objects via persistent identifiers (PIDs).
+//   - Transitory objects (Function bodies) can be compacted into a
+//     relocatable byte form and offloaded; only the NAIM loader
+//     (internal/naim) holds downward references, via handles.
+//   - Derived objects (dominators, liveness, loops — internal/ir) are
+//     never stored on the IR; they are recomputed from scratch on
+//     demand and freely discarded.
+package il
+
+import "fmt"
+
+// PID is a persistent identifier: a stable index into the program-wide
+// symbol table. Relocatable (compacted) IR refers to symbols only by
+// PID, which is what makes the compact form position-independent
+// (paper section 4.2.1).
+type PID uint32
+
+// NoPID marks an absent symbol reference.
+const NoPID = PID(0xFFFFFFFF)
+
+// Reg is a virtual register local to one function. Register 0 is
+// never used; parameters arrive in registers 1..NParams.
+type Reg uint32
+
+// Type is an IL-level type.
+type Type uint8
+
+// IL types. Arrays are always arrays of I64; Bool values are I64
+// values constrained to 0 or 1.
+const (
+	Void Type = iota
+	I64
+	B1
+	ArrayI64
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I64:
+		return "i64"
+	case B1:
+		return "b1"
+	case ArrayI64:
+		return "[]i64"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Op is an IL operation code.
+type Op uint8
+
+// IL operations. The final instruction of every block must be a
+// terminator (Ret, Jmp, or Br); terminators may not appear elsewhere.
+const (
+	Nop Op = iota
+
+	// Dst = Const (A unused; constant in Instr.A as const value).
+	Const
+	// Dst = A.
+	Copy
+
+	// Dst = A op B (integer arithmetic).
+	Add
+	Sub
+	Mul
+	Div // traps (halts the machine) on divide by zero
+	Rem
+	Neg // Dst = -A
+	Not // Dst = !A (A is 0 or 1)
+
+	// Dst = A cmp B, yielding 0 or 1.
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+
+	// Dst = value of global scalar Sym.
+	LoadG
+	// Global scalar Sym = A.
+	StoreG
+	// Dst = Sym[A]; traps on out-of-bounds index.
+	LoadX
+	// Sym[A] = B; traps on out-of-bounds index.
+	StoreX
+
+	// Dst = call Sym(Args...). Dst == 0 for void calls.
+	Call
+
+	// Profiling probe: bump counter A.Const (inserted by +I builds).
+	Probe
+
+	// Terminators.
+	Ret // return A (Ret with A.Reg==0 and !A.IsConst returns void)
+	Jmp // goto block T
+	Br  // if A != 0 goto block T else block F
+)
+
+var opNames = [...]string{
+	Nop: "nop", Const: "const", Copy: "copy",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	Neg: "neg", Not: "not",
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+	LoadG: "loadg", StoreG: "storeg", LoadX: "loadx", StoreX: "storex",
+	Call: "call", Probe: "probe",
+	Ret: "ret", Jmp: "jmp", Br: "br",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether the op ends a basic block.
+func (o Op) IsTerminator() bool { return o == Ret || o == Jmp || o == Br }
+
+// Value is an instruction operand: either a virtual register or an
+// immediate constant.
+type Value struct {
+	Const   int64
+	Reg     Reg
+	IsConst bool
+}
+
+// ConstVal returns an immediate operand.
+func ConstVal(c int64) Value { return Value{Const: c, IsConst: true} }
+
+// RegVal returns a register operand.
+func RegVal(r Reg) Value { return Value{Reg: r} }
+
+// None returns the absent operand (used for void returns).
+func None() Value { return Value{} }
+
+// IsNone reports whether the operand is absent.
+func (v Value) IsNone() bool { return !v.IsConst && v.Reg == 0 }
+
+func (v Value) String() string {
+	switch {
+	case v.IsConst:
+		return fmt.Sprintf("%d", v.Const)
+	case v.Reg == 0:
+		return "_"
+	default:
+		return fmt.Sprintf("r%d", v.Reg)
+	}
+}
+
+// Instr is one IL instruction. Which fields are meaningful depends on
+// Op; unused fields are zero.
+type Instr struct {
+	Op   Op
+	Dst  Reg
+	A, B Value
+	Sym  PID     // LoadG/StoreG/LoadX/StoreX/Call
+	Args []Value // Call only
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case Const:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.A.Const)
+	case Copy, Neg, Not:
+		return fmt.Sprintf("r%d = %s %s", in.Dst, in.Op, in.A)
+	case Add, Sub, Mul, Div, Rem, Eq, Ne, Lt, Le, Gt, Ge:
+		return fmt.Sprintf("r%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	case LoadG:
+		return fmt.Sprintf("r%d = loadg @%d", in.Dst, in.Sym)
+	case StoreG:
+		return fmt.Sprintf("storeg @%d, %s", in.Sym, in.A)
+	case LoadX:
+		return fmt.Sprintf("r%d = loadx @%d[%s]", in.Dst, in.Sym, in.A)
+	case StoreX:
+		return fmt.Sprintf("storex @%d[%s], %s", in.Sym, in.A, in.B)
+	case Call:
+		s := ""
+		for i, a := range in.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += a.String()
+		}
+		if in.Dst == 0 {
+			return fmt.Sprintf("call @%d(%s)", in.Sym, s)
+		}
+		return fmt.Sprintf("r%d = call @%d(%s)", in.Dst, in.Sym, s)
+	case Probe:
+		return fmt.Sprintf("probe %d", in.A.Const)
+	case Ret:
+		if in.A.IsNone() {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", in.A)
+	case Jmp:
+		return "jmp"
+	case Br:
+		return fmt.Sprintf("br %s", in.A)
+	case Nop:
+		return "nop"
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}
+
+// Block is a basic block: zero or more straight-line instructions
+// followed by exactly one terminator. T and F index into
+// Function.Blocks: Jmp uses T; Br uses T (taken when A != 0) and F.
+type Block struct {
+	Instrs []Instr
+	T, F   int32
+
+	// Freq is the profile-correlated execution count of this block
+	// (0 when no profile is attached). Profile annotations are input
+	// data, not derived data, so they live on the block.
+	Freq int64
+}
+
+// Term returns the block's terminator instruction.
+func (b *Block) Term() *Instr { return &b.Instrs[len(b.Instrs)-1] }
+
+// Function is the transitory IR for one routine (a NAIM pool). All
+// symbol references are PIDs into the owning Program.
+type Function struct {
+	Name    string
+	PID     PID
+	NParams int
+	Ret     Type
+	NRegs   Reg // one past the highest used register
+	Blocks  []*Block
+
+	// SrcLines is the number of MinC source lines this routine was
+	// lowered from, used for memory-per-line accounting (Figure 4).
+	SrcLines int
+
+	// Calls is the profile-correlated call count of the function
+	// entry (0 when no profile is attached).
+	Calls int64
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Function) NewReg() Reg {
+	f.NRegs++
+	return f.NRegs - 1
+}
+
+// NumInstrs counts instructions across all blocks; it is the
+// optimizer's size metric for inlining budgets.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the function body. Handy for inlining
+// and for tests comparing before/after.
+func (f *Function) Clone() *Function {
+	nf := &Function{
+		Name:     f.Name,
+		PID:      f.PID,
+		NParams:  f.NParams,
+		Ret:      f.Ret,
+		NRegs:    f.NRegs,
+		SrcLines: f.SrcLines,
+		Calls:    f.Calls,
+		Blocks:   make([]*Block, len(f.Blocks)),
+	}
+	for i, b := range f.Blocks {
+		nb := &Block{T: b.T, F: b.F, Freq: b.Freq, Instrs: make([]Instr, len(b.Instrs))}
+		copy(nb.Instrs, b.Instrs)
+		for j := range nb.Instrs {
+			if nb.Instrs[j].Args != nil {
+				args := make([]Value, len(nb.Instrs[j].Args))
+				copy(args, nb.Instrs[j].Args)
+				nb.Instrs[j].Args = args
+			}
+		}
+		nf.Blocks[i] = nb
+	}
+	return nf
+}

@@ -1,0 +1,365 @@
+package il
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildProg assembles a tiny hand-written program:
+//
+//	var g = 10
+//	var arr [4]int
+//	func double(x) { return x + x }
+//	func main() { arr[0] = double(g); return arr[0] + 1 }
+func buildProg(t *testing.T) (*Program, map[PID]*Function) {
+	t.Helper()
+	p := NewProgram()
+	m := p.AddModule("m")
+	gpid, err := p.Intern("g", SymGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Sym(gpid)
+	g.Module = m.Index
+	g.Type = I64
+	g.Init = 10
+
+	apid, _ := p.Intern("arr", SymGlobal)
+	a := p.Sym(apid)
+	a.Module = m.Index
+	a.Type = ArrayI64
+	a.Elems = 4
+
+	dpid, _ := p.Intern("double", SymFunc)
+	d := p.Sym(dpid)
+	d.Module = m.Index
+	d.Sig = Signature{Params: []Type{I64}, Ret: I64}
+
+	mpid, _ := p.Intern("main", SymFunc)
+	mn := p.Sym(mpid)
+	mn.Module = m.Index
+	mn.Sig = Signature{Ret: I64}
+
+	double := &Function{
+		Name: "double", PID: dpid, NParams: 1, Ret: I64, NRegs: 3,
+		Blocks: []*Block{{
+			Instrs: []Instr{
+				{Op: Add, Dst: 2, A: RegVal(1), B: RegVal(1)},
+				{Op: Ret, A: RegVal(2)},
+			},
+			T: -1, F: -1,
+		}},
+	}
+	main := &Function{
+		Name: "main", PID: mpid, Ret: I64, NRegs: 4,
+		Blocks: []*Block{{
+			Instrs: []Instr{
+				{Op: LoadG, Dst: 1, Sym: gpid},
+				{Op: Call, Dst: 2, Sym: dpid, Args: []Value{RegVal(1)}},
+				{Op: StoreX, Sym: apid, A: ConstVal(0), B: RegVal(2)},
+				{Op: LoadX, Dst: 3, Sym: apid, A: ConstVal(0)},
+				{Op: Add, Dst: 3, A: RegVal(3), B: ConstVal(1)},
+				{Op: Ret, A: RegVal(3)},
+			},
+			T: -1, F: -1,
+		}},
+	}
+	fns := map[PID]*Function{dpid: double, mpid: main}
+	for _, f := range fns {
+		if err := Verify(p, f); err != nil {
+			t.Fatalf("verify: %v", err)
+		}
+	}
+	return p, fns
+}
+
+func TestInterpBasics(t *testing.T) {
+	p, fns := buildProg(t)
+	it := NewInterp(p, func(pid PID) *Function { return fns[pid] })
+	got, err := it.Run("main", nil, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 21 {
+		t.Errorf("main() = %d, want 21", got)
+	}
+	if it.Steps() == 0 {
+		t.Error("no steps recorded")
+	}
+}
+
+func TestInterpSetAndGetGlobal(t *testing.T) {
+	p, fns := buildProg(t)
+	it := NewInterp(p, func(pid PID) *Function { return fns[pid] })
+	if err := it.SetGlobal("g", 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := it.Run("main", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 201 {
+		t.Errorf("main() = %d, want 201", got)
+	}
+	v, err := it.Global("g")
+	if err != nil || v != 100 {
+		t.Errorf("Global(g) = %d, %v", v, err)
+	}
+	if err := it.SetGlobal("arr", 1); err == nil {
+		t.Error("SetGlobal on array should fail")
+	}
+	if err := it.SetGlobal("nope", 1); err == nil {
+		t.Error("SetGlobal on missing global should fail")
+	}
+}
+
+func TestInterpReset(t *testing.T) {
+	p, fns := buildProg(t)
+	it := NewInterp(p, func(pid PID) *Function { return fns[pid] })
+	it.SetGlobal("g", 50)
+	it.Reset()
+	v, _ := it.Global("g")
+	if v != 10 {
+		t.Errorf("after Reset g = %d, want initial 10", v)
+	}
+}
+
+func TestInterpTraps(t *testing.T) {
+	p := NewProgram()
+	m := p.AddModule("m")
+	apid, _ := p.Intern("arr", SymGlobal)
+	a := p.Sym(apid)
+	a.Module, a.Type, a.Elems = m.Index, ArrayI64, 2
+
+	mk := func(name string, blocks []*Block) PID {
+		pid, _ := p.Intern(name, SymFunc)
+		s := p.Sym(pid)
+		s.Module = m.Index
+		s.Sig = Signature{Ret: I64}
+		return pid
+	}
+	divz := mk("divz", nil)
+	oob := mk("oob", nil)
+	spin := mk("spin", nil)
+	rec := mk("rec", nil)
+
+	fns := map[PID]*Function{
+		divz: {Name: "divz", PID: divz, Ret: I64, NRegs: 2, Blocks: []*Block{{
+			Instrs: []Instr{{Op: Div, Dst: 1, A: ConstVal(1), B: ConstVal(0)}, {Op: Ret, A: RegVal(1)}}, T: -1, F: -1}}},
+		oob: {Name: "oob", PID: oob, Ret: I64, NRegs: 2, Blocks: []*Block{{
+			Instrs: []Instr{{Op: LoadX, Dst: 1, Sym: apid, A: ConstVal(5)}, {Op: Ret, A: RegVal(1)}}, T: -1, F: -1}}},
+		spin: {Name: "spin", PID: spin, Ret: I64, NRegs: 1, Blocks: []*Block{{
+			Instrs: []Instr{{Op: Jmp}}, T: 0, F: -1}}},
+		rec: {Name: "rec", PID: rec, Ret: I64, NRegs: 2, Blocks: []*Block{{
+			Instrs: []Instr{{Op: Call, Dst: 1, Sym: rec}, {Op: Ret, A: RegVal(1)}}, T: -1, F: -1}}},
+	}
+	for n, f := range fns {
+		if err := Verify(p, f); err != nil {
+			t.Fatalf("verify %v: %v", n, err)
+		}
+	}
+	it := NewInterp(p, func(pid PID) *Function { return fns[pid] })
+	if _, err := it.Run("divz", nil, 0); err != ErrDivZero {
+		t.Errorf("divz: err = %v, want ErrDivZero", err)
+	}
+	if _, err := it.Run("oob", nil, 0); err != ErrBounds {
+		t.Errorf("oob: err = %v, want ErrBounds", err)
+	}
+	if _, err := it.Run("spin", nil, 1000); err != ErrStepLimit {
+		t.Errorf("spin: err = %v, want ErrStepLimit", err)
+	}
+	if _, err := it.Run("rec", nil, 0); err != ErrDepth {
+		t.Errorf("rec: err = %v, want ErrDepth", err)
+	}
+}
+
+func TestVerifyCatchesBadIR(t *testing.T) {
+	p, fns := buildProg(t)
+	var mainFn *Function
+	for _, f := range fns {
+		if f.Name == "main" {
+			mainFn = f
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Function)
+		frag   string
+	}{
+		{"no blocks", func(f *Function) { f.Blocks = nil }, "no blocks"},
+		{"empty block", func(f *Function) { f.Blocks[0].Instrs = nil }, "empty block"},
+		{"mid terminator", func(f *Function) {
+			f.Blocks[0].Instrs[0] = Instr{Op: Ret, A: ConstVal(1)}
+		}, "terminator"},
+		{"no terminator", func(f *Function) {
+			f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = Instr{Op: Nop}
+		}, "not a terminator"},
+		{"reg out of range", func(f *Function) {
+			f.Blocks[0].Instrs[4] = Instr{Op: Add, Dst: 3, A: RegVal(99), B: ConstVal(1)}
+		}, "out of range"},
+		{"bad jump", func(f *Function) {
+			f.Blocks[0].T = 7
+			f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = Instr{Op: Jmp}
+		}, "out of range"},
+		{"call arity", func(f *Function) {
+			for i := range f.Blocks[0].Instrs {
+				if f.Blocks[0].Instrs[i].Op == Call {
+					f.Blocks[0].Instrs[i].Args = nil
+				}
+			}
+		}, "args"},
+		{"void mismatch", func(f *Function) {
+			f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = Instr{Op: Ret, A: None()}
+		}, "missing return value"},
+	}
+	for _, tc := range cases {
+		f := mainFn.Clone()
+		tc.mutate(f)
+		err := Verify(p, f)
+		if err == nil {
+			t.Errorf("%s: expected verify error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	_, fns := buildProg(t)
+	var mainFn *Function
+	for _, f := range fns {
+		if f.Name == "main" {
+			mainFn = f
+		}
+	}
+	c := mainFn.Clone()
+	c.Blocks[0].Instrs[0].Dst = 99
+	for i := range c.Blocks[0].Instrs {
+		if c.Blocks[0].Instrs[i].Op == Call {
+			c.Blocks[0].Instrs[i].Args[0] = ConstVal(777)
+		}
+	}
+	if mainFn.Blocks[0].Instrs[0].Dst == 99 {
+		t.Error("Clone shares instruction storage")
+	}
+	for _, in := range mainFn.Blocks[0].Instrs {
+		if in.Op == Call && in.Args[0].IsConst {
+			t.Error("Clone shares call args")
+		}
+	}
+}
+
+func TestInternAndLookup(t *testing.T) {
+	p := NewProgram()
+	pid1, err := p.Intern("x", SymGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid2, err := p.Intern("x", SymGlobal)
+	if err != nil || pid1 != pid2 {
+		t.Errorf("re-intern: pid %d vs %d, err %v", pid1, pid2, err)
+	}
+	if _, err := p.Intern("x", SymFunc); err == nil {
+		t.Error("kind conflict not detected")
+	}
+	if p.Lookup("x") == nil || p.Lookup("y") != nil {
+		t.Error("Lookup misbehaves")
+	}
+}
+
+func TestValidateUndefined(t *testing.T) {
+	p := NewProgram()
+	p.Intern("ghost", SymFunc)
+	err := p.Validate()
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPIDOrderIteration(t *testing.T) {
+	p := NewProgram()
+	m := p.AddModule("m")
+	names := []string{"zeta", "alpha", "mid"}
+	for _, n := range names {
+		pid, _ := p.Intern(n, SymFunc)
+		p.Sym(pid).Module = m.Index
+	}
+	pids := p.FuncPIDs()
+	if len(pids) != 3 {
+		t.Fatalf("got %d pids", len(pids))
+	}
+	// PID order must be intern order, not name order.
+	for i, n := range names {
+		if p.Sym(pids[i]).Name != n {
+			t.Errorf("pid %d is %s, want %s", i, p.Sym(pids[i]).Name, n)
+		}
+	}
+}
+
+func TestPrintStable(t *testing.T) {
+	p, fns := buildProg(t)
+	get := func(pid PID) *Function { return fns[pid] }
+	s1 := PrintProgram(p, get)
+	s2 := PrintProgram(p, get)
+	if s1 != s2 {
+		t.Error("PrintProgram not deterministic")
+	}
+	if !strings.Contains(s1, "func main") || !strings.Contains(s1, "call double") {
+		t.Errorf("print output missing expected text:\n%s", s1)
+	}
+}
+
+func TestProbeCounting(t *testing.T) {
+	p := NewProgram()
+	m := p.AddModule("m")
+	pid, _ := p.Intern("f", SymFunc)
+	s := p.Sym(pid)
+	s.Module = m.Index
+	s.Sig = Signature{Ret: I64}
+	f := &Function{Name: "f", PID: pid, Ret: I64, NRegs: 1, Blocks: []*Block{{
+		Instrs: []Instr{
+			{Op: Probe, A: ConstVal(2)},
+			{Op: Probe, A: ConstVal(2)},
+			{Op: Probe, A: ConstVal(0)},
+			{Op: Ret, A: ConstVal(0)},
+		}, T: -1, F: -1}}}
+	if err := Verify(p, f); err != nil {
+		t.Fatal(err)
+	}
+	it := NewInterp(p, func(PID) *Function { return f })
+	if _, err := it.Run("f", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(it.Probes) != 3 || it.Probes[2] != 2 || it.Probes[0] != 1 {
+		t.Errorf("probes = %v, want [1 0 2]", it.Probes)
+	}
+}
+
+func TestSignatureEqual(t *testing.T) {
+	a := Signature{Params: []Type{I64, B1}, Ret: I64}
+	b := Signature{Params: []Type{I64, B1}, Ret: I64}
+	c := Signature{Params: []Type{I64}, Ret: I64}
+	d := Signature{Params: []Type{I64, B1}, Ret: Void}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Error("Signature.Equal misbehaves")
+	}
+}
+
+func TestNumInstrsAndNewReg(t *testing.T) {
+	_, fns := buildProg(t)
+	for _, f := range fns {
+		if f.Name != "main" {
+			continue
+		}
+		if got := f.NumInstrs(); got != 6 {
+			t.Errorf("NumInstrs = %d, want 6", got)
+		}
+		before := f.NRegs
+		r := f.NewReg()
+		if r != before || f.NRegs != before+1 {
+			t.Errorf("NewReg: got r%d, NRegs %d -> %d", r, before, f.NRegs)
+		}
+	}
+}

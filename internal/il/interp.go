@@ -1,0 +1,245 @@
+package il
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interp is a direct reference interpreter for IL programs. It is the
+// semantic oracle of the repository: every optimization level of the
+// real pipeline is differential-tested against it (run the same
+// program through the interpreter and through the VPA simulator, and
+// the results must agree). This is the automated analogue of the
+// paper's section 6.3 advice on isolating optimizer-induced behavior
+// changes.
+type Interp struct {
+	prog    *Program
+	fn      func(PID) *Function
+	scalars []int64
+	arrays  [][]int64
+	steps   int64
+	limit   int64
+	depth   int
+	Probes  []int64 // counter array indexed by probe id
+}
+
+// Interpreter failure modes.
+var (
+	ErrStepLimit = errors.New("il: interpreter step limit exceeded")
+	ErrDepth     = errors.New("il: interpreter call depth exceeded")
+	ErrDivZero   = errors.New("il: division by zero")
+	ErrBounds    = errors.New("il: array index out of bounds")
+)
+
+const maxDepth = 10000
+
+// NewInterp returns an interpreter over the program. fn resolves a
+// function PID to its body (typically the NAIM loader's Function
+// method, or a plain map in tests). Globals start at their declared
+// initial values.
+func NewInterp(p *Program, fn func(PID) *Function) *Interp {
+	it := &Interp{
+		prog:    p,
+		fn:      fn,
+		scalars: make([]int64, len(p.Syms)),
+		arrays:  make([][]int64, len(p.Syms)),
+	}
+	it.Reset()
+	return it
+}
+
+// Reset restores all globals to their initial values and clears
+// probe counters.
+func (it *Interp) Reset() {
+	for _, s := range it.prog.Syms {
+		if s.Kind != SymGlobal {
+			continue
+		}
+		if s.Type == ArrayI64 {
+			it.arrays[s.PID] = make([]int64, s.Elems)
+		} else {
+			it.scalars[s.PID] = s.Init
+		}
+	}
+	it.steps = 0
+	it.depth = 0
+	for i := range it.Probes {
+		it.Probes[i] = 0
+	}
+}
+
+// SetGlobal overrides a scalar global before a run (the harness uses
+// this to feed "input data sets" to generated programs).
+func (it *Interp) SetGlobal(name string, v int64) error {
+	s := it.prog.Lookup(name)
+	if s == nil || s.Kind != SymGlobal || s.Type == ArrayI64 {
+		return fmt.Errorf("il: no scalar global %q", name)
+	}
+	it.scalars[s.PID] = v
+	return nil
+}
+
+// Global reads a scalar global after a run.
+func (it *Interp) Global(name string) (int64, error) {
+	s := it.prog.Lookup(name)
+	if s == nil || s.Kind != SymGlobal || s.Type == ArrayI64 {
+		return 0, fmt.Errorf("il: no scalar global %q", name)
+	}
+	return it.scalars[s.PID], nil
+}
+
+// Steps reports how many instructions the last Run executed.
+func (it *Interp) Steps() int64 { return it.steps }
+
+// Run executes the named entry function with the given arguments,
+// with a hard step budget (0 means a default of 1e9).
+func (it *Interp) Run(entry string, args []int64, limit int64) (int64, error) {
+	s := it.prog.Lookup(entry)
+	if s == nil || s.Kind != SymFunc {
+		return 0, fmt.Errorf("il: no function %q", entry)
+	}
+	if limit <= 0 {
+		limit = 1e9
+	}
+	it.limit = limit
+	it.steps = 0
+	it.depth = 0
+	return it.call(s.PID, args)
+}
+
+func (it *Interp) call(pid PID, args []int64) (int64, error) {
+	f := it.fn(pid)
+	if f == nil {
+		return 0, fmt.Errorf("il: function %s has no body", it.prog.Syms[pid].Name)
+	}
+	it.depth++
+	if it.depth > maxDepth {
+		return 0, ErrDepth
+	}
+	defer func() { it.depth-- }()
+
+	regs := make([]int64, f.NRegs)
+	for i, a := range args {
+		regs[i+1] = a
+	}
+	val := func(v Value) int64 {
+		if v.IsConst {
+			return v.Const
+		}
+		return regs[v.Reg]
+	}
+	bi := int32(0)
+	for {
+		b := f.Blocks[bi]
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			it.steps++
+			if it.steps > it.limit {
+				return 0, ErrStepLimit
+			}
+			switch in.Op {
+			case Nop:
+			case Const:
+				regs[in.Dst] = in.A.Const
+			case Copy:
+				regs[in.Dst] = val(in.A)
+			case Add:
+				regs[in.Dst] = val(in.A) + val(in.B)
+			case Sub:
+				regs[in.Dst] = val(in.A) - val(in.B)
+			case Mul:
+				regs[in.Dst] = val(in.A) * val(in.B)
+			case Div:
+				d := val(in.B)
+				if d == 0 {
+					return 0, ErrDivZero
+				}
+				regs[in.Dst] = val(in.A) / d
+			case Rem:
+				d := val(in.B)
+				if d == 0 {
+					return 0, ErrDivZero
+				}
+				regs[in.Dst] = val(in.A) % d
+			case Neg:
+				regs[in.Dst] = -val(in.A)
+			case Not:
+				if val(in.A) == 0 {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+			case Eq:
+				regs[in.Dst] = b2i(val(in.A) == val(in.B))
+			case Ne:
+				regs[in.Dst] = b2i(val(in.A) != val(in.B))
+			case Lt:
+				regs[in.Dst] = b2i(val(in.A) < val(in.B))
+			case Le:
+				regs[in.Dst] = b2i(val(in.A) <= val(in.B))
+			case Gt:
+				regs[in.Dst] = b2i(val(in.A) > val(in.B))
+			case Ge:
+				regs[in.Dst] = b2i(val(in.A) >= val(in.B))
+			case LoadG:
+				regs[in.Dst] = it.scalars[in.Sym]
+			case StoreG:
+				it.scalars[in.Sym] = val(in.A)
+			case LoadX:
+				arr := it.arrays[in.Sym]
+				idx := val(in.A)
+				if idx < 0 || idx >= int64(len(arr)) {
+					return 0, ErrBounds
+				}
+				regs[in.Dst] = arr[idx]
+			case StoreX:
+				arr := it.arrays[in.Sym]
+				idx := val(in.A)
+				if idx < 0 || idx >= int64(len(arr)) {
+					return 0, ErrBounds
+				}
+				arr[idx] = val(in.B)
+			case Call:
+				cargs := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					cargs[i] = val(a)
+				}
+				r, err := it.call(in.Sym, cargs)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst != 0 {
+					regs[in.Dst] = r
+				}
+			case Probe:
+				id := in.A.Const
+				for int64(len(it.Probes)) <= id {
+					it.Probes = append(it.Probes, 0)
+				}
+				it.Probes[id]++
+			case Ret:
+				if in.A.IsNone() {
+					return 0, nil
+				}
+				return val(in.A), nil
+			case Jmp:
+				bi = b.T
+			case Br:
+				if val(in.A) != 0 {
+					bi = b.T
+				} else {
+					bi = b.F
+				}
+			default:
+				return 0, fmt.Errorf("il: interpreter: unknown op %s", in.Op)
+			}
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package il
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the function as stable, human-readable text. The
+// output is deterministic and is used by tests to compare IR (e.g.
+// compaction round-trips must reproduce it byte for byte).
+func (f *Function) Print(p *Program) string {
+	var sb strings.Builder
+	symName := func(pid PID) string {
+		if p != nil && int(pid) < len(p.Syms) {
+			return p.Syms[pid].Name
+		}
+		return fmt.Sprintf("@%d", pid)
+	}
+	fmt.Fprintf(&sb, "func %s (params=%d, ret=%s, regs=%d)\n", f.Name, f.NParams, f.Ret, f.NRegs)
+	for i, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", i)
+		if b.Freq != 0 {
+			fmt.Fprintf(&sb, " ; freq=%d", b.Freq)
+		}
+		sb.WriteByte('\n')
+		for _, in := range b.Instrs {
+			s := in.String()
+			// Replace @pid with names for readability.
+			if in.Sym != 0 || in.Op == LoadG || in.Op == StoreG || in.Op == LoadX || in.Op == StoreX || in.Op == Call {
+				s = strings.Replace(s, fmt.Sprintf("@%d", in.Sym), symName(in.Sym), 1)
+			}
+			switch in.Op {
+			case Jmp:
+				s = fmt.Sprintf("jmp b%d", b.T)
+			case Br:
+				s = fmt.Sprintf("br %s, b%d, b%d", in.A, b.T, b.F)
+			}
+			fmt.Fprintf(&sb, "  %s\n", s)
+		}
+	}
+	return sb.String()
+}
+
+// PrintProgram renders every defined function (in PID order) plus the
+// global table; used in golden tests and compiler diagnostics.
+func PrintProgram(p *Program, fn func(PID) *Function) string {
+	var sb strings.Builder
+	for _, pid := range p.GlobalPIDs() {
+		s := p.Syms[pid]
+		if s.Type == ArrayI64 {
+			fmt.Fprintf(&sb, "var %s [%d]i64\n", s.Name, s.Elems)
+		} else {
+			fmt.Fprintf(&sb, "var %s i64 = %d\n", s.Name, s.Init)
+		}
+	}
+	for _, pid := range p.FuncPIDs() {
+		f := fn(pid)
+		if f == nil {
+			fmt.Fprintf(&sb, "func %s (unloaded)\n", p.Syms[pid].Name)
+			continue
+		}
+		sb.WriteString(f.Print(p))
+	}
+	return sb.String()
+}

@@ -1,0 +1,184 @@
+package il
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SymKind distinguishes the kinds of program-wide symbols.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	SymFunc SymKind = iota
+	SymGlobal
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymFunc:
+		return "func"
+	case SymGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("SymKind(%d)", uint8(k))
+}
+
+// Symbol is one entry in the program-wide symbol table: a function or
+// a global variable. Symbols are global objects in the NAIM sense —
+// always memory resident — and are the anchors that PIDs resolve to.
+type Symbol struct {
+	PID    PID
+	Name   string
+	Kind   SymKind
+	Module int32 // defining module index, -1 while unresolved
+
+	// Function symbols.
+	Sig Signature
+
+	// Global symbols.
+	Type  Type
+	Elems int64 // element count for ArrayI64, else 0
+	Init  int64 // initial value for I64 globals
+}
+
+// Signature is a function's IL-level type.
+type Signature struct {
+	Params []Type
+	Ret    Type
+}
+
+// Equal reports whether two signatures agree exactly.
+func (s Signature) Equal(o Signature) bool {
+	if s.Ret != o.Ret || len(s.Params) != len(o.Params) {
+		return false
+	}
+	for i := range s.Params {
+		if s.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Signature) String() string {
+	out := "("
+	for i, p := range s.Params {
+		if i > 0 {
+			out += ", "
+		}
+		out += p.String()
+	}
+	return out + ") " + s.Ret.String()
+}
+
+// Module is the per-module symbol table: the list of symbols the
+// module defines and the externs it imports. It is a transitory
+// object — compactable by the NAIM loader once initial scanning is
+// done (threshold 2 in Figure 5).
+type Module struct {
+	Name    string
+	Index   int32
+	Defs    []PID // symbols defined here (functions and globals)
+	Externs []PID // symbols referenced but defined elsewhere
+	Lines   int   // total source lines, for accounting
+}
+
+// Program is the program-wide, always-resident root object: the
+// global symbol table plus the module list. Function bodies hang off
+// it only indirectly, through the NAIM loader.
+type Program struct {
+	Syms    []*Symbol
+	Modules []*Module
+
+	byName map[string]PID
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{byName: make(map[string]PID)}
+}
+
+// Lookup returns the symbol with the given name, or nil.
+func (p *Program) Lookup(name string) *Symbol {
+	if pid, ok := p.byName[name]; ok {
+		return p.Syms[pid]
+	}
+	return nil
+}
+
+// Sym returns the symbol for a PID. It panics on a dangling PID,
+// which always indicates a compiler bug.
+func (p *Program) Sym(pid PID) *Symbol {
+	if int(pid) >= len(p.Syms) {
+		panic(fmt.Sprintf("il: dangling PID %d (symtab has %d entries)", pid, len(p.Syms)))
+	}
+	return p.Syms[pid]
+}
+
+// Intern returns the PID for name, creating an unresolved symbol of
+// the given kind if it is not yet present. Conflicting kinds for the
+// same name return an error.
+func (p *Program) Intern(name string, kind SymKind) (PID, error) {
+	if pid, ok := p.byName[name]; ok {
+		if p.Syms[pid].Kind != kind {
+			return NoPID, fmt.Errorf("il: symbol %s redeclared as %s (was %s)", name, kind, p.Syms[pid].Kind)
+		}
+		return pid, nil
+	}
+	pid := PID(len(p.Syms))
+	p.Syms = append(p.Syms, &Symbol{PID: pid, Name: name, Kind: kind, Module: -1})
+	p.byName[name] = pid
+	return pid, nil
+}
+
+// AddModule appends a new empty module and returns it.
+func (p *Program) AddModule(name string) *Module {
+	m := &Module{Name: name, Index: int32(len(p.Modules))}
+	p.Modules = append(p.Modules, m)
+	return m
+}
+
+// FuncPIDs returns the PIDs of all defined function symbols in PID
+// order. PID order is the canonical deterministic iteration order for
+// whole-program passes (the paper's section 6.2 reproducibility rule:
+// never order by memory address — here, never range over Go maps).
+func (p *Program) FuncPIDs() []PID {
+	var out []PID
+	for _, s := range p.Syms {
+		if s.Kind == SymFunc && s.Module >= 0 {
+			out = append(out, s.PID)
+		}
+	}
+	return out
+}
+
+// GlobalPIDs returns the PIDs of all defined global symbols in PID order.
+func (p *Program) GlobalPIDs() []PID {
+	var out []PID
+	for _, s := range p.Syms {
+		if s.Kind == SymGlobal && s.Module >= 0 {
+			out = append(out, s.PID)
+		}
+	}
+	return out
+}
+
+// Validate checks cross-module consistency after all modules have
+// been registered: every referenced symbol must be defined exactly
+// once, and extern signatures must match the definition (the paper's
+// section 6.3 notes mismatched interfaces as a common CMO hazard —
+// we reject them).
+func (p *Program) Validate() error {
+	var missing []string
+	for _, s := range p.Syms {
+		if s.Module < 0 {
+			missing = append(missing, s.Name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("il: undefined symbols: %v", missing)
+	}
+	return nil
+}

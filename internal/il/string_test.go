@@ -1,0 +1,204 @@
+package il
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{Nop, Const, Copy, Add, Sub, Mul, Div, Rem, Neg, Not,
+		Eq, Ne, Lt, Le, Gt, Ge, LoadG, StoreG, LoadX, StoreX, Call, Probe, Ret, Jmp, Br}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "Op(") {
+			t.Errorf("op %d has no name", op)
+		}
+		if seen[s] {
+			t.Errorf("duplicate op name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Op(200).String(), "Op(") {
+		t.Error("unknown op should print numerically")
+	}
+}
+
+func TestTypeAndKindStrings(t *testing.T) {
+	for _, tc := range []struct {
+		t    Type
+		want string
+	}{{Void, "void"}, {I64, "i64"}, {B1, "b1"}, {ArrayI64, "[]i64"}} {
+		if tc.t.String() != tc.want {
+			t.Errorf("%d prints %q, want %q", tc.t, tc.t.String(), tc.want)
+		}
+	}
+	if !strings.HasPrefix(Type(99).String(), "Type(") {
+		t.Error("unknown type should print numerically")
+	}
+	if SymFunc.String() != "func" || SymGlobal.String() != "global" {
+		t.Error("SymKind strings wrong")
+	}
+	if !strings.HasPrefix(SymKind(9).String(), "SymKind(") {
+		t.Error("unknown kind should print numerically")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if ConstVal(-7).String() != "-7" {
+		t.Errorf("const prints %q", ConstVal(-7).String())
+	}
+	if RegVal(12).String() != "r12" {
+		t.Errorf("reg prints %q", RegVal(12).String())
+	}
+	if None().String() != "_" {
+		t.Errorf("none prints %q", None().String())
+	}
+}
+
+func TestInstrStringsAllOps(t *testing.T) {
+	instrs := []Instr{
+		{Op: Nop},
+		{Op: Const, Dst: 1, A: ConstVal(5)},
+		{Op: Copy, Dst: 1, A: RegVal(2)},
+		{Op: Add, Dst: 1, A: RegVal(2), B: ConstVal(3)},
+		{Op: Div, Dst: 1, A: RegVal(2), B: RegVal(3)},
+		{Op: Neg, Dst: 1, A: RegVal(2)},
+		{Op: Not, Dst: 1, A: RegVal(2)},
+		{Op: Lt, Dst: 1, A: RegVal(2), B: RegVal(3)},
+		{Op: LoadG, Dst: 1, Sym: 7},
+		{Op: StoreG, Sym: 7, A: RegVal(1)},
+		{Op: LoadX, Dst: 1, Sym: 7, A: RegVal(2)},
+		{Op: StoreX, Sym: 7, A: RegVal(2), B: ConstVal(9)},
+		{Op: Call, Dst: 1, Sym: 3, Args: []Value{RegVal(2), ConstVal(4)}},
+		{Op: Call, Sym: 3},
+		{Op: Probe, A: ConstVal(11)},
+		{Op: Ret, A: RegVal(1)},
+		{Op: Ret},
+		{Op: Jmp},
+		{Op: Br, A: RegVal(1)},
+	}
+	for _, in := range instrs {
+		s := in.String()
+		if s == "" || strings.Contains(s, "?") {
+			t.Errorf("instr %v prints %q", in.Op, s)
+		}
+	}
+}
+
+func TestBlockTerm(t *testing.T) {
+	b := &Block{Instrs: []Instr{{Op: Nop}, {Op: Ret, A: ConstVal(1)}}}
+	if b.Term().Op != Ret {
+		t.Errorf("Term = %v", b.Term().Op)
+	}
+}
+
+// TestInterpArithmeticMatchesGo: every arithmetic/compare op agrees
+// with Go's int64 semantics (wrapping, truncation toward zero).
+func TestInterpArithmeticMatchesGo(t *testing.T) {
+	prog := NewProgram()
+	mod := prog.AddModule("m")
+	mk := func(op Op) PID {
+		pid, _ := prog.Intern("op_"+op.String(), SymFunc)
+		s := prog.Sym(pid)
+		s.Module = mod.Index
+		s.Sig = Signature{Params: []Type{I64, I64}, Ret: I64}
+		return pid
+	}
+	fns := map[PID]*Function{}
+	ops := []Op{Add, Sub, Mul, Div, Rem, Eq, Ne, Lt, Le, Gt, Ge}
+	pids := map[Op]PID{}
+	for _, op := range ops {
+		pid := mk(op)
+		pids[op] = pid
+		fns[pid] = &Function{
+			Name: "op_" + op.String(), PID: pid, NParams: 2, Ret: I64, NRegs: 4,
+			Blocks: []*Block{{Instrs: []Instr{
+				{Op: op, Dst: 3, A: RegVal(1), B: RegVal(2)},
+				{Op: Ret, A: RegVal(3)},
+			}, T: -1, F: -1}},
+		}
+	}
+	it := NewInterp(prog, func(p PID) *Function { return fns[p] })
+	model := func(op Op, a, b int64) (int64, bool) {
+		switch op {
+		case Add:
+			return a + b, true
+		case Sub:
+			return a - b, true
+		case Mul:
+			return a * b, true
+		case Div:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case Rem:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case Eq:
+			return b2i(a == b), true
+		case Ne:
+			return b2i(a != b), true
+		case Lt:
+			return b2i(a < b), true
+		case Le:
+			return b2i(a <= b), true
+		case Gt:
+			return b2i(a > b), true
+		case Ge:
+			return b2i(a >= b), true
+		}
+		return 0, false
+	}
+	for _, op := range ops {
+		op := op
+		f := func(a, b int64) bool {
+			want, ok := model(op, a, b)
+			got, err := it.Run("op_"+op.String(), []int64{a, b}, 0)
+			if !ok {
+				return err == ErrDivZero
+			}
+			return err == nil && got == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("op %s: %v", op, err)
+		}
+	}
+	// Division overflow edge: MinInt64 / -1 panics in Go; the
+	// interpreter inherits Go semantics, so it would panic too — the
+	// workload generators only divide by positive constants, and the
+	// machine shares the behavior. Document by checking both traps
+	// the same way is out of scope for quick.Check's default ranges.
+}
+
+func TestInterpNegNotCopy(t *testing.T) {
+	prog := NewProgram()
+	mod := prog.AddModule("m")
+	pid, _ := prog.Intern("f", SymFunc)
+	s := prog.Sym(pid)
+	s.Module = mod.Index
+	s.Sig = Signature{Params: []Type{I64}, Ret: I64}
+	f := &Function{Name: "f", PID: pid, NParams: 1, Ret: I64, NRegs: 5,
+		Blocks: []*Block{{Instrs: []Instr{
+			{Op: Neg, Dst: 2, A: RegVal(1)},
+			{Op: Not, Dst: 3, A: RegVal(2)},
+			{Op: Copy, Dst: 4, A: RegVal(3)},
+			{Op: Add, Dst: 4, A: RegVal(4), B: RegVal(2)},
+			{Op: Ret, A: RegVal(4)},
+		}, T: -1, F: -1}}}
+	it := NewInterp(prog, func(PID) *Function { return f })
+	// f(x) = not(-x) + (-x); for x=5: not(-5)=0, -5 => -5.
+	got, err := it.Run("f", []int64{5}, 0)
+	if err != nil || got != -5 {
+		t.Errorf("f(5) = %d, %v; want -5", got, err)
+	}
+	// For x=0: not(0)=1, -0=0 => 1.
+	got, err = it.Run("f", []int64{0}, 0)
+	if err != nil || got != 1 {
+		t.Errorf("f(0) = %d, %v; want 1", got, err)
+	}
+}

@@ -1,0 +1,158 @@
+package il
+
+import "fmt"
+
+// Verify checks the structural invariants of a function body against
+// the program symbol table. The optimizer runs it after every pass in
+// tests; it is the first line of defense the paper's section 6.3
+// debugging methodology relies on (shrinking a miscompile needs a
+// trustworthy IR checker).
+func Verify(p *Program, f *Function) error {
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("il: verify %s: %s", f.Name, fmt.Sprintf(format, args...))
+	}
+	if len(f.Blocks) == 0 {
+		return errf("no blocks")
+	}
+	if f.NParams < 0 || Reg(f.NParams)+1 > f.NRegs && f.NParams > 0 {
+		return errf("NRegs=%d too small for %d params", f.NRegs, f.NParams)
+	}
+	checkVal := func(bi, ii int, v Value, what string) error {
+		if v.IsConst {
+			return nil
+		}
+		if v.Reg >= f.NRegs {
+			return errf("b%d/%d: %s register r%d out of range (NRegs=%d)", bi, ii, what, v.Reg, f.NRegs)
+		}
+		return nil
+	}
+	checkSym := func(bi, ii int, pid PID, kind SymKind, typ Type) error {
+		if int(pid) >= len(p.Syms) {
+			return errf("b%d/%d: dangling PID %d", bi, ii, pid)
+		}
+		s := p.Syms[pid]
+		if s.Kind != kind {
+			return errf("b%d/%d: symbol %s is %s, want %s", bi, ii, s.Name, s.Kind, kind)
+		}
+		if kind == SymGlobal && typ != Void && s.Type != typ {
+			return errf("b%d/%d: global %s has type %s, want %s", bi, ii, s.Name, s.Type, typ)
+		}
+		return nil
+	}
+	for bi, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return errf("b%d: empty block", bi)
+		}
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			last := ii == len(b.Instrs)-1
+			if in.Op.IsTerminator() != last {
+				if last {
+					return errf("b%d: last instruction %s is not a terminator", bi, in)
+				}
+				return errf("b%d/%d: terminator %s in block middle", bi, ii, in)
+			}
+			if in.Dst >= f.NRegs && in.Dst != 0 {
+				return errf("b%d/%d: destination r%d out of range", bi, ii, in.Dst)
+			}
+			switch in.Op {
+			case Const:
+				if !in.A.IsConst {
+					return errf("b%d/%d: const with non-constant operand", bi, ii)
+				}
+				if in.Dst == 0 {
+					return errf("b%d/%d: const with no destination", bi, ii)
+				}
+			case Copy, Neg, Not:
+				if err := checkVal(bi, ii, in.A, "operand"); err != nil {
+					return err
+				}
+				if in.Dst == 0 {
+					return errf("b%d/%d: %s with no destination", bi, ii, in.Op)
+				}
+			case Add, Sub, Mul, Div, Rem, Eq, Ne, Lt, Le, Gt, Ge:
+				if err := checkVal(bi, ii, in.A, "left"); err != nil {
+					return err
+				}
+				if err := checkVal(bi, ii, in.B, "right"); err != nil {
+					return err
+				}
+				if in.Dst == 0 {
+					return errf("b%d/%d: %s with no destination", bi, ii, in.Op)
+				}
+			case LoadG:
+				if err := checkSym(bi, ii, in.Sym, SymGlobal, I64); err != nil {
+					return err
+				}
+			case StoreG:
+				if err := checkSym(bi, ii, in.Sym, SymGlobal, I64); err != nil {
+					return err
+				}
+				if err := checkVal(bi, ii, in.A, "value"); err != nil {
+					return err
+				}
+			case LoadX, StoreX:
+				if err := checkSym(bi, ii, in.Sym, SymGlobal, ArrayI64); err != nil {
+					return err
+				}
+				if err := checkVal(bi, ii, in.A, "index"); err != nil {
+					return err
+				}
+				if in.Op == StoreX {
+					if err := checkVal(bi, ii, in.B, "value"); err != nil {
+						return err
+					}
+				}
+			case Call:
+				if err := checkSym(bi, ii, in.Sym, SymFunc, Void); err != nil {
+					return err
+				}
+				sym := p.Syms[in.Sym]
+				if len(sym.Sig.Params) != len(in.Args) {
+					return errf("b%d/%d: call %s with %d args, want %d", bi, ii, sym.Name, len(in.Args), len(sym.Sig.Params))
+				}
+				for ai, a := range in.Args {
+					if err := checkVal(bi, ii, a, fmt.Sprintf("arg %d", ai)); err != nil {
+						return err
+					}
+				}
+				if in.Dst != 0 && sym.Sig.Ret == Void {
+					return errf("b%d/%d: call to void %s assigns r%d", bi, ii, sym.Name, in.Dst)
+				}
+			case Probe:
+				if !in.A.IsConst || in.A.Const < 0 {
+					return errf("b%d/%d: probe with bad counter id", bi, ii)
+				}
+			case Ret:
+				if f.Ret == Void && !in.A.IsNone() {
+					return errf("b%d: void function returns a value", bi)
+				}
+				if f.Ret != Void && in.A.IsNone() {
+					return errf("b%d: missing return value", bi)
+				}
+				if err := checkVal(bi, ii, in.A, "return"); err != nil {
+					return err
+				}
+			case Jmp:
+				if int(b.T) >= len(f.Blocks) || b.T < 0 {
+					return errf("b%d: jmp target b%d out of range", bi, b.T)
+				}
+			case Br:
+				if err := checkVal(bi, ii, in.A, "condition"); err != nil {
+					return err
+				}
+				if int(b.T) >= len(f.Blocks) || b.T < 0 {
+					return errf("b%d: br true target b%d out of range", bi, b.T)
+				}
+				if int(b.F) >= len(f.Blocks) || b.F < 0 {
+					return errf("b%d: br false target b%d out of range", bi, b.F)
+				}
+			case Nop:
+				// always fine
+			default:
+				return errf("b%d/%d: unknown op %d", bi, ii, in.Op)
+			}
+		}
+	}
+	return nil
+}

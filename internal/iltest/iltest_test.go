@@ -1,0 +1,206 @@
+package iltest
+
+import (
+	"testing"
+
+	"cmo/internal/hlo"
+	"cmo/internal/il"
+	"cmo/internal/link"
+	"cmo/internal/llo"
+	"cmo/internal/vpa"
+	"cmo/internal/xform"
+)
+
+const fuzzSteps = 2e6
+
+func interpResult(t *testing.T, seed int64, p *Program) (int64, bool) {
+	t.Helper()
+	it := il.NewInterp(p.Prog, p.Source())
+	v, err := it.Run("main", nil, fuzzSteps)
+	if err == il.ErrStepLimit {
+		// Bounded loops should prevent this; treat as generator bug.
+		t.Fatalf("seed %d: generated program ran away", seed)
+	}
+	if err != nil {
+		t.Fatalf("seed %d: interp: %v", seed, err)
+	}
+	return v, true
+}
+
+func TestGeneratedProgramsVerify(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		p := Generate(seed, Default())
+		for pid, f := range p.Funcs {
+			if err := il.Verify(p.Prog, f); err != nil {
+				t.Fatalf("seed %d: %s does not verify: %v\n%s",
+					seed, p.Prog.Sym(pid).Name, err, f.Print(p.Prog))
+			}
+		}
+		interpResult(t, seed, p)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, Default())
+	b := Generate(42, Default())
+	for pid, f := range a.Funcs {
+		if b.Funcs[pid] == nil || f.Print(a.Prog) != b.Funcs[pid].Print(b.Prog) {
+			t.Fatalf("generation not deterministic for %s", f.Name)
+		}
+	}
+}
+
+// TestXformPreservesRandomIL: the local pipeline must preserve
+// semantics on IR shapes the frontend never emits.
+func TestXformPreservesRandomIL(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		p := Generate(seed, Default())
+		want, _ := interpResult(t, seed, p)
+		opt := make(map[il.PID]*il.Function, len(p.Funcs))
+		for pid, f := range p.Funcs {
+			of := f.Clone()
+			xform.Optimize(of)
+			if xform.UnrollLoops(of, 128) {
+				xform.Optimize(of)
+			}
+			if err := il.Verify(p.Prog, of); err != nil {
+				t.Fatalf("seed %d: %s after xform: %v", seed, of.Name, err)
+			}
+			opt[pid] = of
+		}
+		it := il.NewInterp(p.Prog, func(pid il.PID) *il.Function { return opt[pid] })
+		got, err := it.Run("main", nil, fuzzSteps)
+		if err != nil {
+			t.Fatalf("seed %d: optimized interp: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: xform changed result: %d != %d", seed, got, want)
+		}
+	}
+}
+
+// TestHLOPreservesRandomIL: cross-module inlining, cloning, IPCP, and
+// dead function elimination over random IR.
+func TestHLOPreservesRandomIL(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		p := Generate(seed, Default())
+		want, _ := interpResult(t, seed, p)
+		work := make(hlo.MapSource, len(p.Funcs))
+		for pid, f := range p.Funcs {
+			work[pid] = f.Clone()
+		}
+		res, err := hlo.Optimize(p.Prog, work, hlo.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: hlo: %v", seed, err)
+		}
+		dead := make(map[il.PID]bool)
+		for _, pid := range res.Dead {
+			dead[pid] = true
+		}
+		for pid, f := range work {
+			if dead[pid] {
+				continue
+			}
+			if err := il.Verify(p.Prog, f); err != nil {
+				t.Fatalf("seed %d: %s after hlo: %v", seed, f.Name, err)
+			}
+		}
+		it := il.NewInterp(p.Prog, func(pid il.PID) *il.Function { return work[pid] })
+		got, err := it.Run("main", nil, fuzzSteps)
+		if err != nil {
+			t.Fatalf("seed %d: hlo interp: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: HLO changed result: %d != %d", seed, got, want)
+		}
+	}
+}
+
+// TestCodegenPreservesRandomIL: the machine path (O1 and O2, with and
+// without HLO first) must agree with the interpreter on random IR.
+func TestCodegenPreservesRandomIL(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		p := Generate(seed, Default())
+		want, _ := interpResult(t, seed, p)
+		for _, level := range []int{1, 2} {
+			code := make(map[il.PID]*vpa.Func, len(p.Funcs))
+			for pid, f := range p.Funcs {
+				mf, err := llo.Compile(p.Prog, f, llo.Options{Level: level})
+				if err != nil {
+					t.Fatalf("seed %d O%d: compile %s: %v", seed, level, f.Name, err)
+				}
+				code[pid] = mf
+			}
+			img, err := link.Link(p.Prog, code, link.Options{})
+			if err != nil {
+				t.Fatalf("seed %d O%d: link: %v", seed, level, err)
+			}
+			m := vpa.NewMachine(img, vpa.DefaultConfig())
+			got, err := m.Run(nil, fuzzSteps)
+			if err != nil {
+				t.Fatalf("seed %d O%d: machine: %v", seed, level, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d O%d: machine %d != interp %d", seed, level, got, want)
+			}
+		}
+	}
+}
+
+// TestFullPipelineRandomIL: HLO + LLO + link + machine, the whole O4
+// pipeline over random IR.
+func TestFullPipelineRandomIL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		p := Generate(seed, Default())
+		want, _ := interpResult(t, seed, p)
+		work := make(hlo.MapSource, len(p.Funcs))
+		for pid, f := range p.Funcs {
+			work[pid] = f.Clone()
+		}
+		res, err := hlo.Optimize(p.Prog, work, hlo.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: hlo: %v", seed, err)
+		}
+		omit := make(map[il.PID]bool)
+		for _, pid := range res.Dead {
+			omit[pid] = true
+		}
+		code := make(map[il.PID]*vpa.Func, len(work))
+		for _, pid := range p.Prog.FuncPIDs() {
+			if omit[pid] {
+				continue
+			}
+			mf, err := llo.Compile(p.Prog, work[pid], llo.Options{Level: 2})
+			if err != nil {
+				t.Fatalf("seed %d: compile: %v", seed, err)
+			}
+			code[pid] = mf
+		}
+		img, err := link.Link(p.Prog, code, link.Options{Omit: omit})
+		if err != nil {
+			t.Fatalf("seed %d: link: %v", seed, err)
+		}
+		m := vpa.NewMachine(img, vpa.DefaultConfig())
+		got, err := m.Run(nil, fuzzSteps)
+		if err != nil {
+			t.Fatalf("seed %d: machine: %v", seed, err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: full pipeline %d != interp %d", seed, got, want)
+		}
+	}
+}
+
+// TestNAIMRoundTripRandomIL: compact/expand every generated body and
+// require print-identical IR (the codec property on hostile shapes).
+func TestNAIMRoundTripRandomIL(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := Generate(seed, Default())
+		for _, f := range p.Funcs {
+			checkRoundTrip(t, seed, p.Prog, f)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package iltest
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/naim"
+)
+
+func checkRoundTrip(t *testing.T, seed int64, prog *il.Program, f *il.Function) {
+	t.Helper()
+	blob := naim.EncodeFunc(f, nil)
+	back, err := naim.DecodeFunc(prog, blob)
+	if err != nil {
+		t.Fatalf("seed %d: decode %s: %v", seed, f.Name, err)
+	}
+	if back.Print(prog) != f.Print(prog) {
+		t.Fatalf("seed %d: %s: compact/expand round trip differs", seed, f.Name)
+	}
+}

@@ -1,0 +1,229 @@
+// Package ir computes derived analyses over IL function bodies:
+// control-flow structure, dominators, natural loops, and liveness.
+//
+// Everything in this package is "derived data" in the paper's NAIM
+// taxonomy (Figure 3): it is recomputed from scratch on demand and is
+// never kept incrementally up to date or persisted in the relocatable
+// form. The NAIM compactor simply drops these structures, which is
+// where most of the 2/3 space saving of compaction comes from
+// (paper section 4.2.2).
+package ir
+
+import "cmo/internal/il"
+
+// CFG is the successor/predecessor view of a function body.
+type CFG struct {
+	Succs [][]int32
+	Preds [][]int32
+	// RPO is a reverse postorder of the blocks reachable from block 0.
+	RPO []int32
+	// Reach[i] reports whether block i is reachable from entry.
+	Reach []bool
+}
+
+// BuildCFG computes the control-flow graph of f.
+func BuildCFG(f *il.Function) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		Succs: make([][]int32, n),
+		Preds: make([][]int32, n),
+		Reach: make([]bool, n),
+	}
+	for i, b := range f.Blocks {
+		switch b.Term().Op {
+		case il.Jmp:
+			c.Succs[i] = []int32{b.T}
+		case il.Br:
+			if b.T == b.F {
+				c.Succs[i] = []int32{b.T}
+			} else {
+				c.Succs[i] = []int32{b.T, b.F}
+			}
+		case il.Ret:
+			// no successors
+		}
+	}
+	// DFS postorder from entry.
+	var post []int32
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	type frame struct {
+		b  int32
+		si int
+	}
+	stack := []frame{{0, 0}}
+	state[0] = 1
+	c.Reach[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.si < len(c.Succs[top.b]) {
+			s := c.Succs[top.b][top.si]
+			top.si++
+			if state[s] == 0 {
+				state[s] = 1
+				c.Reach[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		state[top.b] = 2
+		post = append(post, top.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.RPO = make([]int32, len(post))
+	for i, b := range post {
+		c.RPO[len(post)-1-i] = b
+	}
+	for i := range f.Blocks {
+		if !c.Reach[i] {
+			continue
+		}
+		for _, s := range c.Succs[i] {
+			c.Preds[s] = append(c.Preds[s], int32(i))
+		}
+	}
+	return c
+}
+
+// Dominators holds the immediate-dominator tree computed by the
+// Cooper–Harvey–Kennedy algorithm.
+type Dominators struct {
+	// IDom[b] is the immediate dominator of block b, or -1 for the
+	// entry block and unreachable blocks.
+	IDom []int32
+	cfg  *CFG
+}
+
+// BuildDominators computes the dominator tree for a CFG.
+func BuildDominators(c *CFG) *Dominators {
+	n := len(c.Succs)
+	d := &Dominators{IDom: make([]int32, n), cfg: c}
+	rpoIndex := make([]int32, n)
+	for i := range d.IDom {
+		d.IDom[i] = -1
+		rpoIndex[i] = -1
+	}
+	for i, b := range c.RPO {
+		rpoIndex[b] = int32(i)
+	}
+	if len(c.RPO) == 0 {
+		return d
+	}
+	entry := c.RPO[0]
+	d.IDom[entry] = entry
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = d.IDom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = d.IDom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.RPO[1:] {
+			var newIDom int32 = -1
+			for _, p := range c.Preds[b] {
+				if d.IDom[p] == -1 {
+					continue
+				}
+				if newIDom == -1 {
+					newIDom = p
+				} else {
+					newIDom = intersect(p, newIDom)
+				}
+			}
+			if newIDom != -1 && d.IDom[b] != newIDom {
+				d.IDom[b] = newIDom
+				changed = true
+			}
+		}
+	}
+	d.IDom[entry] = -1
+	return d
+}
+
+// Dominates reports whether block a dominates block b.
+func (d *Dominators) Dominates(a, b int32) bool {
+	for {
+		if a == b {
+			return true
+		}
+		b = d.IDom[b]
+		if b == -1 {
+			return false
+		}
+	}
+}
+
+// Loop is a natural loop: a back edge target (header) plus its body.
+type Loop struct {
+	Header int32
+	Blocks []int32 // includes the header; sorted ascending
+	Depth  int     // 1 for outermost loops
+}
+
+// LoopInfo is the set of natural loops and per-block nesting depth.
+type LoopInfo struct {
+	Loops []Loop
+	// Depth[b] is the loop nesting depth of block b (0 = not in a loop).
+	Depth []int
+}
+
+// BuildLoops finds all natural loops via back edges (edges b->h where
+// h dominates b) and computes per-block nesting depth. Loops sharing
+// a header are merged, matching the usual definition.
+func BuildLoops(c *CFG, d *Dominators) *LoopInfo {
+	n := len(c.Succs)
+	li := &LoopInfo{Depth: make([]int, n)}
+	bodyByHeader := make(map[int32]map[int32]bool)
+	var headers []int32
+	for b := int32(0); b < int32(n); b++ {
+		if !c.Reach[b] {
+			continue
+		}
+		for _, h := range c.Succs[b] {
+			if !d.Dominates(h, b) {
+				continue
+			}
+			body, ok := bodyByHeader[h]
+			if !ok {
+				body = map[int32]bool{h: true}
+				bodyByHeader[h] = body
+				headers = append(headers, h)
+			}
+			// Walk predecessors backward from the latch.
+			stack := []int32{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				for _, p := range c.Preds[x] {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	// headers were appended in ascending block order scan; keep that
+	// order deterministic.
+	for _, h := range headers {
+		body := bodyByHeader[h]
+		loop := Loop{Header: h}
+		for b := int32(0); b < int32(n); b++ {
+			if body[b] {
+				loop.Blocks = append(loop.Blocks, b)
+				li.Depth[b]++
+			}
+		}
+		li.Loops = append(li.Loops, loop)
+	}
+	for i := range li.Loops {
+		li.Loops[i].Depth = li.Depth[li.Loops[i].Header]
+	}
+	return li
+}

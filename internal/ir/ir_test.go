@@ -1,0 +1,313 @@
+package ir
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+)
+
+// lowerOne builds a single-module program and returns the named
+// function plus the program.
+func lowerOne(t *testing.T, src, name string) (*il.Program, *il.Function) {
+	t.Helper()
+	f, err := source.Parse("t.minc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := source.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := lower.Modules([]*source.File{f})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	sym := res.Prog.Lookup(name)
+	if sym == nil {
+		t.Fatalf("no function %s", name)
+	}
+	fn := res.Funcs[sym.PID]
+	if err := il.Verify(res.Prog, fn); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return res.Prog, fn
+}
+
+const loopSrc = `module m;
+func f(n int) int {
+	var s int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		for (var j int = 0; j < i; j = j + 1) {
+			s = s + j;
+		}
+	}
+	return s;
+}
+func main() int { return f(5); }`
+
+func TestCFGBasics(t *testing.T) {
+	_, fn := lowerOne(t, loopSrc, "f")
+	c := BuildCFG(fn)
+	if len(c.RPO) == 0 || c.RPO[0] != 0 {
+		t.Fatalf("RPO must start at entry, got %v", c.RPO)
+	}
+	// Entry has no predecessors; every reachable non-entry block has
+	// at least one.
+	if len(c.Preds[0]) != 0 {
+		t.Errorf("entry has preds %v", c.Preds[0])
+	}
+	for i := range fn.Blocks {
+		if !c.Reach[i] || i == 0 {
+			continue
+		}
+		if len(c.Preds[i]) == 0 {
+			t.Errorf("reachable block b%d has no preds", i)
+		}
+	}
+	// Succ/pred consistency.
+	for i := range fn.Blocks {
+		for _, s := range c.Succs[i] {
+			found := false
+			for _, p := range c.Preds[s] {
+				if p == int32(i) {
+					found = true
+				}
+			}
+			if c.Reach[i] && !found {
+				t.Errorf("edge b%d->b%d missing from preds", i, s)
+			}
+		}
+	}
+}
+
+func TestDominators(t *testing.T) {
+	_, fn := lowerOne(t, loopSrc, "f")
+	c := BuildCFG(fn)
+	d := BuildDominators(c)
+	if d.IDom[0] != -1 {
+		t.Errorf("entry idom = %d, want -1", d.IDom[0])
+	}
+	// Every reachable block is dominated by the entry.
+	for i := range fn.Blocks {
+		if !c.Reach[i] {
+			continue
+		}
+		if !d.Dominates(0, int32(i)) {
+			t.Errorf("entry does not dominate b%d", i)
+		}
+	}
+	// The idom of a block must dominate all its predecessors' common
+	// dominator path — at minimum, idom dominates the block.
+	for i := range fn.Blocks {
+		if !c.Reach[i] || d.IDom[i] == -1 {
+			continue
+		}
+		if !d.Dominates(d.IDom[i], int32(i)) {
+			t.Errorf("idom(b%d)=b%d does not dominate it", i, d.IDom[i])
+		}
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	src := `module m;
+func f(a bool) int {
+	var x int = 0;
+	if (a) { x = 1; } else { x = 2; }
+	return x;
+}
+func main() int { return f(true); }`
+	_, fn := lowerOne(t, src, "f")
+	c := BuildCFG(fn)
+	d := BuildDominators(c)
+	// Find the join block (the Ret block) — its idom must be the
+	// branching block (entry), not either arm.
+	var retBlock int32 = -1
+	for i, b := range fn.Blocks {
+		if c.Reach[i] && b.Term().Op == il.Ret {
+			retBlock = int32(i)
+		}
+	}
+	if retBlock < 0 {
+		t.Fatal("no ret block")
+	}
+	idom := d.IDom[retBlock]
+	if idom != 0 {
+		// The entry may lower into a straight-line prefix; accept any
+		// dominator that has two successors (the actual branch).
+		if len(c.Succs[idom]) != 2 {
+			t.Errorf("join idom b%d is not the branch block", idom)
+		}
+	}
+}
+
+func TestLoops(t *testing.T) {
+	_, fn := lowerOne(t, loopSrc, "f")
+	c := BuildCFG(fn)
+	d := BuildDominators(c)
+	li := BuildLoops(c, d)
+	if len(li.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(li.Loops))
+	}
+	maxDepth := 0
+	for _, dep := range li.Depth {
+		if dep > maxDepth {
+			maxDepth = dep
+		}
+	}
+	if maxDepth != 2 {
+		t.Errorf("max loop depth = %d, want 2", maxDepth)
+	}
+	for _, l := range li.Loops {
+		// Header must be in the loop body and dominate every block.
+		inBody := false
+		for _, b := range l.Blocks {
+			if b == l.Header {
+				inBody = true
+			}
+			if !d.Dominates(l.Header, b) {
+				t.Errorf("header b%d does not dominate member b%d", l.Header, b)
+			}
+		}
+		if !inBody {
+			t.Errorf("header b%d missing from its own loop", l.Header)
+		}
+	}
+}
+
+func TestNoLoopsInStraightLine(t *testing.T) {
+	_, fn := lowerOne(t, `module m; func f() int { return 1 + 2; } func main() int { return f(); }`, "f")
+	c := BuildCFG(fn)
+	d := BuildDominators(c)
+	li := BuildLoops(c, d)
+	if len(li.Loops) != 0 {
+		t.Errorf("straight-line code has %d loops", len(li.Loops))
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	_, fn := lowerOne(t, loopSrc, "f")
+	c := BuildCFG(fn)
+	lv := BuildLiveness(fn, c)
+	// Nothing is live-in to the entry except parameters.
+	for r := il.Reg(1); r < fn.NRegs; r++ {
+		if lv.In[0].Has(r) && int(r) > fn.NParams {
+			t.Errorf("non-parameter r%d live-in at entry", r)
+		}
+	}
+	// Every live-out of a block must be live-in to some successor.
+	for i := range fn.Blocks {
+		if !c.Reach[i] {
+			continue
+		}
+		for r := il.Reg(1); r < fn.NRegs; r++ {
+			if !lv.Out[i].Has(r) {
+				continue
+			}
+			ok := false
+			for _, s := range c.Succs[i] {
+				if lv.In[s].Has(r) {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("r%d live-out of b%d but live-in nowhere", r, i)
+			}
+		}
+	}
+	// The loop counter register must be live around the loop: find a
+	// block with a back edge and check its live-out is non-empty.
+	d := BuildDominators(c)
+	li := BuildLoops(c, d)
+	for _, l := range li.Loops {
+		any := false
+		for r := il.Reg(1); r < fn.NRegs; r++ {
+			if lv.Out[l.Header].Has(r) {
+				any = true
+			}
+		}
+		if !any {
+			t.Errorf("loop header b%d has empty live-out", l.Header)
+		}
+	}
+}
+
+func TestRegSet(t *testing.T) {
+	s := NewRegSet(100)
+	if s.Has(5) {
+		t.Error("fresh set has r5")
+	}
+	if !s.Add(5) || s.Add(5) {
+		t.Error("Add change-reporting wrong")
+	}
+	if !s.Has(5) || s.Has(6) {
+		t.Error("membership wrong")
+	}
+	if !s.Add(64) || !s.Has(64) {
+		t.Error("cross-word membership wrong")
+	}
+	o := NewRegSet(100)
+	o.Add(70)
+	if !s.UnionInto(o) || !s.Has(70) {
+		t.Error("UnionInto wrong")
+	}
+	if s.UnionInto(o) {
+		t.Error("UnionInto reported change on no-op")
+	}
+	s.Remove(5)
+	if s.Has(5) {
+		t.Error("Remove failed")
+	}
+	c := s.Clone()
+	c.Add(1)
+	if s.Has(1) {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	_, fn := lowerOne(t, loopSrc, "f")
+	c := BuildCFG(fn)
+	lv := BuildLiveness(fn, c)
+	order := c.RPO
+	iv := BuildIntervals(fn, c, lv, order, nil)
+	if len(iv) != int(fn.NRegs) {
+		t.Fatalf("got %d intervals, want %d", len(iv), fn.NRegs)
+	}
+	for _, in := range iv {
+		if in.Start == -1 {
+			continue
+		}
+		if in.End < in.Start {
+			t.Errorf("r%d: End %d < Start %d", in.Reg, in.End, in.Start)
+		}
+	}
+	// Parameter interval starts at 0.
+	if fn.NParams >= 1 && iv[1].Start != 0 {
+		t.Errorf("param r1 interval starts at %d, want 0", iv[1].Start)
+	}
+}
+
+func TestUseCountWeighting(t *testing.T) {
+	_, fn := lowerOne(t, loopSrc, "f")
+	c := BuildCFG(fn)
+	base := BuildLiveness(fn, c)
+	// Attach a fake profile making every block hot; weighted counts
+	// must grow correspondingly.
+	for _, b := range fn.Blocks {
+		b.Freq = 10
+	}
+	hot := BuildLiveness(fn, c)
+	grew := false
+	for r := range base.UseCount {
+		if hot.UseCount[r] > base.UseCount[r] {
+			grew = true
+		}
+		if base.UseCount[r] > 0 && hot.UseCount[r] != base.UseCount[r]*10 {
+			t.Errorf("r%d: hot count %d, want %d", r, hot.UseCount[r], base.UseCount[r]*10)
+		}
+	}
+	if !grew {
+		t.Error("profile weighting had no effect")
+	}
+}

@@ -1,0 +1,147 @@
+// Package isolate automates the paper's section-6.3 methodology for
+// diagnosing optimizer-induced behavior changes: "Both of these
+// reductions can in principle be automated. Binary search is an
+// effective technique to eliminate irrelevant optimizer actions first
+// in bulk, and then in smaller units."
+//
+// Two reducers are provided, matching the paper's two dimensions:
+//
+//   - MinimizeSet shrinks the *amount of code exposed to the
+//     optimizer* — a delta-debugging minimizer over module sets,
+//     because "pure binary search on the modules has limited
+//     applicability [since] often several modules will need to be
+//     optimized together to demonstrate the problem";
+//   - BisectOps pinpoints the *single optimizer operation* that flips
+//     a build from working to failing, using the deterministic
+//     operation limits the compiler exposes (cmo.Options.MaxInlines),
+//     following Whalley's automatic isolation of compiler errors
+//     (paper reference [18]).
+//
+// Both require the compiler's section-6.2 determinism guarantee: the
+// same inputs and limits always reproduce the same build.
+package isolate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotReproducible reports that the failure predicate did not hold
+// even with everything enabled (nothing to isolate).
+var ErrNotReproducible = errors.New("isolate: failure does not reproduce with the full configuration")
+
+// ErrAlwaysFails reports that the failure holds even with nothing
+// enabled, so the probe is not measuring an optimizer action.
+var ErrAlwaysFails = errors.New("isolate: failure reproduces even with the feature disabled entirely")
+
+// BisectOps finds the smallest operation count k in [1, hi] at which
+// fails(k) holds, assuming monotonicity (once the faulty operation is
+// included, it stays included: fails(i) implies fails(j) for j >= i).
+// fails(0) must be false and fails(hi) true; the returned k
+// identifies the k'th operation as the culprit.
+func BisectOps(hi int, fails func(k int) (bool, error)) (int, error) {
+	if hi < 1 {
+		return 0, fmt.Errorf("isolate: invalid operation bound %d", hi)
+	}
+	ok, err := fails(0)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return 0, ErrAlwaysFails
+	}
+	ok, err = fails(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, ErrNotReproducible
+	}
+	lo, high := 0, hi // invariant: fails(lo) == false, fails(high) == true
+	for high-lo > 1 {
+		mid := lo + (high-lo)/2
+		ok, err := fails(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			high = mid
+		} else {
+			lo = mid
+		}
+	}
+	return high, nil
+}
+
+// MinimizeSet returns a 1-minimal subset of {0..n-1} on which fails
+// still holds: removing any single element of the result makes the
+// failure disappear. It implements the ddmin algorithm (Zeller's
+// delta debugging), the systematic version of the paper's manual
+// divide and conquer over modules.
+func MinimizeSet(n int, fails func(include []int) (bool, error)) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("isolate: empty universe")
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	ok, err := fails(all)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrNotReproducible
+	}
+
+	cur := all
+	granularity := 2
+	for len(cur) > 1 {
+		chunk := (len(cur) + granularity - 1) / granularity
+		reduced := false
+		// Try removing each chunk (testing its complement).
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			complement := make([]int, 0, len(cur)-(end-start))
+			complement = append(complement, cur[:start]...)
+			complement = append(complement, cur[end:]...)
+			if len(complement) == 0 {
+				continue
+			}
+			ok, err := fails(complement)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cur = complement
+				granularity = max2(granularity-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if granularity >= len(cur) {
+				break
+			}
+			granularity = min2(granularity*2, len(cur))
+		}
+	}
+	return cur, nil
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package isolate
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectOpsFindsCulprit(t *testing.T) {
+	for culprit := 1; culprit <= 50; culprit += 7 {
+		fails := func(k int) (bool, error) { return k >= culprit, nil }
+		got, err := BisectOps(64, fails)
+		if err != nil {
+			t.Fatalf("culprit %d: %v", culprit, err)
+		}
+		if got != culprit {
+			t.Errorf("culprit %d: bisect found %d", culprit, got)
+		}
+	}
+}
+
+func TestBisectOpsLogarithmicProbes(t *testing.T) {
+	culprit := 777
+	probes := 0
+	fails := func(k int) (bool, error) {
+		probes++
+		return k >= culprit, nil
+	}
+	got, err := BisectOps(1024, fails)
+	if err != nil || got != culprit {
+		t.Fatalf("got %d, %v", got, err)
+	}
+	if probes > 14 {
+		t.Errorf("bisect used %d probes for hi=1024 (want <= 14)", probes)
+	}
+}
+
+func TestBisectOpsEdgeCases(t *testing.T) {
+	if _, err := BisectOps(10, func(int) (bool, error) { return false, nil }); !errors.Is(err, ErrNotReproducible) {
+		t.Errorf("never-failing: %v", err)
+	}
+	if _, err := BisectOps(10, func(int) (bool, error) { return true, nil }); !errors.Is(err, ErrAlwaysFails) {
+		t.Errorf("always-failing: %v", err)
+	}
+	if _, err := BisectOps(0, nil); err == nil {
+		t.Error("invalid bound accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := BisectOps(10, func(int) (bool, error) { return false, boom }); !errors.Is(err, boom) {
+		t.Errorf("probe error not propagated: %v", err)
+	}
+}
+
+func TestBisectOpsProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		hi := 1 + int(seed%500)
+		culprit := 1 + int(seed)%hi
+		got, err := BisectOps(hi, func(k int) (bool, error) { return k >= culprit, nil })
+		return err == nil && got == culprit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// failsWhenContains builds a ddmin predicate: the "bug" reproduces
+// exactly when all the named elements are present together (the
+// paper's "on one occasion we found a bug that required eight modules
+// to be compiled under CMO").
+func failsWhenContains(need []int) func([]int) (bool, error) {
+	return func(include []int) (bool, error) {
+		have := make(map[int]bool, len(include))
+		for _, i := range include {
+			have[i] = true
+		}
+		for _, n := range need {
+			if !have[n] {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+}
+
+func TestMinimizeSetSingle(t *testing.T) {
+	got, err := MinimizeSet(30, failsWhenContains([]int{17}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 17 {
+		t.Errorf("got %v, want [17]", got)
+	}
+}
+
+func TestMinimizeSetConjunction(t *testing.T) {
+	need := []int{2, 9, 23}
+	got, err := MinimizeSet(30, failsWhenContains(need))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if len(got) != len(need) {
+		t.Fatalf("got %v, want %v", got, need)
+	}
+	for i := range need {
+		if got[i] != need[i] {
+			t.Fatalf("got %v, want %v", got, need)
+		}
+	}
+}
+
+func TestMinimizeSetEightModules(t *testing.T) {
+	// The paper's worst case: eight modules needed together.
+	need := []int{1, 4, 5, 11, 19, 33, 40, 47}
+	got, err := MinimizeSet(48, failsWhenContains(need))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if len(got) != len(need) {
+		t.Fatalf("got %d elements %v, want 8 %v", len(got), got, need)
+	}
+	for i := range need {
+		if got[i] != need[i] {
+			t.Fatalf("got %v, want %v", got, need)
+		}
+	}
+}
+
+func TestMinimizeSetResultIsOneMinimal(t *testing.T) {
+	need := []int{3, 7}
+	pred := failsWhenContains(need)
+	got, err := MinimizeSet(16, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing any single element must make the failure vanish.
+	for drop := range got {
+		sub := append(append([]int(nil), got[:drop]...), got[drop+1:]...)
+		if len(sub) == 0 {
+			continue
+		}
+		ok, _ := pred(sub)
+		if ok {
+			t.Errorf("result %v not 1-minimal: still fails without %d", got, got[drop])
+		}
+	}
+}
+
+func TestMinimizeSetErrors(t *testing.T) {
+	if _, err := MinimizeSet(10, func([]int) (bool, error) { return false, nil }); !errors.Is(err, ErrNotReproducible) {
+		t.Errorf("never-failing: %v", err)
+	}
+	if _, err := MinimizeSet(0, nil); err == nil {
+		t.Error("empty universe accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := MinimizeSet(4, func([]int) (bool, error) { return false, boom }); !errors.Is(err, boom) {
+		t.Errorf("probe error not propagated: %v", err)
+	}
+}
+
+func TestMinimizeSetProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := 4 + int(seed%40)
+		// Choose 1..4 needed elements deterministically from the seed.
+		var need []int
+		k := 1 + int(seed>>8)%4
+		for i := 0; i < k; i++ {
+			e := int(seed>>(3*i)) % n
+			dup := false
+			for _, x := range need {
+				if x == e {
+					dup = true
+				}
+			}
+			if !dup {
+				need = append(need, e)
+			}
+		}
+		got, err := MinimizeSet(n, failsWhenContains(need))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(need) {
+			return false
+		}
+		sort.Ints(got)
+		sort.Ints(need)
+		for i := range need {
+			if got[i] != need[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package link builds executable VPA images from compiled functions.
+// It plays the role of the HP-UX linker in the paper's pipeline
+// (Figure 2): it resolves symbols, relocates code, lays out the data
+// segment, and — when profile data is available — clusters
+// frequently-calling routines together in the final program image
+// (Pettis–Hansen code positioning, paper's reference [13]).
+//
+// In CMO mode the linker is also the component that routes IL objects
+// back through the optimizer; that orchestration lives in the cmo
+// facade package, which calls into here for the final image.
+package link
+
+import (
+	"fmt"
+	"sort"
+
+	"cmo/internal/il"
+	"cmo/internal/vpa"
+)
+
+// Edge is a weighted call-graph edge used for routine clustering.
+type Edge struct {
+	Caller, Callee il.PID
+	Count          int64
+}
+
+// Options controls image construction.
+type Options struct {
+	// Entry is the entry function name (normally "main").
+	Entry string
+	// Cluster enables profile-guided routine clustering using Edges.
+	Cluster bool
+	// Edges are the profiled call-graph edges (required for Cluster).
+	Edges []Edge
+	// NumProbes sizes the profile counter array (instrumented builds).
+	NumProbes int
+	// Omit lists functions proven dead by whole-program analysis;
+	// they are left out of the image (shrinking it and improving
+	// I-cache behavior). Omitting a function that is still called
+	// is a link error.
+	Omit map[il.PID]bool
+}
+
+// Link assembles an image from per-function machine code. code must
+// contain an entry for every defined function symbol (minus Omit);
+// the emitted instruction .Sym fields hold PIDs and are relocated —
+// in place — to image indexes here, so each compiled function may be
+// linked only once (recompile or copy to link again).
+func Link(prog *il.Program, code map[il.PID]*vpa.Func, opts Options) (*vpa.Image, error) {
+	if opts.Entry == "" {
+		opts.Entry = "main"
+	}
+	entrySym := prog.Lookup(opts.Entry)
+	if entrySym == nil || entrySym.Kind != il.SymFunc {
+		return nil, fmt.Errorf("link: no entry function %q", opts.Entry)
+	}
+
+	funcPIDs := prog.FuncPIDs()
+	if len(opts.Omit) > 0 {
+		kept := funcPIDs[:0]
+		for _, pid := range funcPIDs {
+			if !opts.Omit[pid] {
+				kept = append(kept, pid)
+			}
+		}
+		funcPIDs = kept
+		if opts.Omit[entrySym.PID] {
+			return nil, fmt.Errorf("link: entry %s is omitted", opts.Entry)
+		}
+	}
+	for _, pid := range funcPIDs {
+		if code[pid] == nil {
+			return nil, fmt.Errorf("link: missing code for %s", prog.Sym(pid).Name)
+		}
+	}
+	order := funcPIDs
+	if opts.Cluster && len(opts.Edges) > 0 {
+		order = clusterOrder(funcPIDs, entrySym.PID, opts.Edges)
+	}
+
+	img := &vpa.Image{NumProbes: opts.NumProbes}
+
+	// Data segment: globals in PID order.
+	globalIdx := make(map[il.PID]int32)
+	for _, pid := range prog.GlobalPIDs() {
+		s := prog.Sym(pid)
+		g := vpa.Global{Name: s.Name, Words: 1, Init: s.Init}
+		if s.Type == il.ArrayI64 {
+			g.Words = s.Elems
+			g.Init = 0
+		}
+		globalIdx[pid] = int32(len(img.Globals))
+		img.Globals = append(img.Globals, g)
+	}
+
+	// Code: in cluster order, with relocation.
+	funcIdx := make(map[il.PID]int32)
+	for _, pid := range order {
+		funcIdx[pid] = int32(len(img.Funcs))
+		img.Funcs = append(img.Funcs, code[pid])
+	}
+	for _, pid := range order {
+		f := code[pid]
+		for i := range f.Code {
+			in := &f.Code[i]
+			switch in.Op {
+			case vpa.CALL:
+				idx, ok := funcIdx[il.PID(in.Sym)]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: call to unknown PID %d", f.Name, in.Sym)
+				}
+				in.Sym = idx
+			case vpa.LDG, vpa.STG, vpa.LDX, vpa.STX:
+				idx, ok := globalIdx[il.PID(in.Sym)]
+				if !ok {
+					return nil, fmt.Errorf("link: %s: reference to unknown global PID %d", f.Name, in.Sym)
+				}
+				in.Sym = idx
+			}
+		}
+	}
+	img.Entry = funcIdx[entrySym.PID]
+	img.Finalize()
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// clusterOrder computes a Pettis–Hansen-style function layout: merge
+// function sequences along call edges in decreasing weight order, so
+// hot caller/callee pairs become adjacent in the image; then place
+// the sequences hottest-first, starting with the entry's sequence.
+func clusterOrder(pids []il.PID, entry il.PID, edges []Edge) []il.PID {
+	// Aggregate duplicate edges deterministically.
+	type key struct{ a, b il.PID }
+	agg := make(map[key]int64)
+	var keys []key
+	for _, e := range edges {
+		if e.Caller == e.Callee || e.Count <= 0 {
+			continue
+		}
+		k := key{e.Caller, e.Callee}
+		if _, ok := agg[k]; !ok {
+			keys = append(keys, k)
+		}
+		agg[k] += e.Count
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		wi, wj := agg[keys[i]], agg[keys[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+
+	// Union-find over sequences; each root owns an ordered chain.
+	parent := make(map[il.PID]il.PID, len(pids))
+	chain := make(map[il.PID][]il.PID, len(pids))
+	weight := make(map[il.PID]int64, len(pids))
+	for _, p := range pids {
+		parent[p] = p
+		chain[p] = []il.PID{p}
+	}
+	var find func(p il.PID) il.PID
+	find = func(p il.PID) il.PID {
+		for parent[p] != p {
+			parent[p] = parent[parent[p]]
+			p = parent[p]
+		}
+		return p
+	}
+	for _, k := range keys {
+		if _, ok := parent[k.a]; !ok {
+			continue // endpoint omitted from the image
+		}
+		if _, ok := parent[k.b]; !ok {
+			continue
+		}
+		ra, rb := find(k.a), find(k.b)
+		if ra == rb {
+			continue
+		}
+		// Concatenate callee's chain after caller's.
+		parent[rb] = ra
+		chain[ra] = append(chain[ra], chain[rb]...)
+		weight[ra] += weight[rb] + agg[key{k.a, k.b}]
+		delete(chain, rb)
+	}
+
+	// Order sequences: entry's first, then by weight desc, then by
+	// root PID for determinism.
+	var roots []il.PID
+	for _, p := range pids {
+		if find(p) == p {
+			roots = append(roots, p)
+		}
+	}
+	entryRoot := find(entry)
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i] == entryRoot {
+			return true
+		}
+		if roots[j] == entryRoot {
+			return false
+		}
+		wi, wj := weight[roots[i]], weight[roots[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return roots[i] < roots[j]
+	})
+	out := make([]il.PID, 0, len(pids))
+	for _, r := range roots {
+		out = append(out, chain[r]...)
+	}
+	return out
+}

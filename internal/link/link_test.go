@@ -1,0 +1,187 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/llo"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+	"cmo/internal/vpa"
+)
+
+func buildCode(t *testing.T, srcs ...string) (*il.Program, map[il.PID]*vpa.Func) {
+	t.Helper()
+	var files []*source.File
+	for i, s := range srcs {
+		f, err := source.Parse(string(rune('a'+i))+".minc", s)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := source.Check(f); err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		files = append(files, f)
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	code := make(map[il.PID]*vpa.Func)
+	for pid, f := range res.Funcs {
+		mf, err := llo.Compile(res.Prog, f, llo.Options{Level: 2})
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		code[pid] = mf
+	}
+	return res.Prog, code
+}
+
+const linkSrc = `module m;
+var g int = 2;
+func a(x int) int { return x + g; }
+func b(x int) int { return a(x) * 2; }
+func c(x int) int { return b(x) + a(x); }
+func island() int { return 9; }
+func main() int { return c(5); }
+`
+
+func TestLinkBasics(t *testing.T) {
+	prog, code := buildCode(t, linkSrc)
+	img, err := Link(prog, code, Options{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := vpa.NewMachine(img, vpa.DefaultConfig())
+	got, err := m.Run(nil, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 21 {
+		t.Errorf("got %d, want 21", got)
+	}
+	if img.FuncIndex("main") != img.Entry {
+		t.Error("entry index wrong")
+	}
+	if img.GlobalIndex("g") < 0 {
+		t.Error("global g missing from image")
+	}
+}
+
+func TestLinkMissingEntry(t *testing.T) {
+	prog, code := buildCode(t, `module m; func f() int { return 1; } func main() int { return f(); }`)
+	if _, err := Link(prog, code, Options{Entry: "nope"}); err == nil {
+		t.Error("missing entry not reported")
+	}
+}
+
+func TestLinkMissingCode(t *testing.T) {
+	prog, code := buildCode(t, linkSrc)
+	delete(code, prog.Lookup("a").PID)
+	if _, err := Link(prog, code, Options{}); err == nil || !strings.Contains(err.Error(), "missing code") {
+		t.Errorf("missing code not reported: %v", err)
+	}
+}
+
+func TestLinkOmit(t *testing.T) {
+	prog, code := buildCode(t, linkSrc)
+	island := prog.Lookup("island").PID
+	img, err := Link(prog, code, Options{Omit: map[il.PID]bool{island: true}})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	if img.FuncIndex("island") != -1 {
+		t.Error("omitted function still in image")
+	}
+	m := vpa.NewMachine(img, vpa.DefaultConfig())
+	if got, err := m.Run(nil, 0); err != nil || got != 21 {
+		t.Errorf("run after omit: got %d, %v; want 21", got, err)
+	}
+	// Omitting the entry is an error.
+	mainPID := prog.Lookup("main").PID
+	if _, err := Link(prog, code, Options{Omit: map[il.PID]bool{mainPID: true}}); err == nil {
+		t.Error("omitting entry not reported")
+	}
+}
+
+func TestClusteringPlacesHotPairAdjacent(t *testing.T) {
+	prog, code := buildCode(t, linkSrc)
+	pid := func(n string) il.PID { return prog.Lookup(n).PID }
+	edges := []Edge{
+		{Caller: pid("main"), Callee: pid("c"), Count: 10},
+		{Caller: pid("c"), Callee: pid("b"), Count: 1000}, // hottest
+		{Caller: pid("b"), Callee: pid("a"), Count: 100},
+		{Caller: pid("c"), Callee: pid("a"), Count: 5},
+	}
+	img, err := Link(prog, code, Options{Cluster: true, Edges: edges})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	// c and b (the hottest pair) must be adjacent in the layout.
+	ci, bi := img.FuncIndex("c"), img.FuncIndex("b")
+	if bi != ci+1 {
+		t.Errorf("hot pair not adjacent: c at %d, b at %d", ci, bi)
+	}
+	// The entry's chain is placed first.
+	if img.FuncIndex("main") != 0 {
+		t.Errorf("entry sequence not first: main at %d", img.FuncIndex("main"))
+	}
+	// Behavior unchanged by layout.
+	m := vpa.NewMachine(img, vpa.DefaultConfig())
+	if got, err := m.Run(nil, 0); err != nil || got != 21 {
+		t.Errorf("clustered image wrong: %d, %v", got, err)
+	}
+}
+
+func TestClusteringDeterministic(t *testing.T) {
+	prog, code := buildCode(t, linkSrc)
+	pid := func(n string) il.PID { return prog.Lookup(n).PID }
+	edges := []Edge{
+		{Caller: pid("main"), Callee: pid("c"), Count: 7},
+		{Caller: pid("c"), Callee: pid("b"), Count: 7}, // tie
+	}
+	order := func() string {
+		img, err := Link(prog, clone(code), Options{Cluster: true, Edges: edges})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		for _, f := range img.Funcs {
+			names = append(names, f.Name)
+		}
+		return strings.Join(names, ",")
+	}
+	if order() != order() {
+		t.Error("clustering not deterministic under ties")
+	}
+}
+
+func TestClusteringIgnoresBogusEdges(t *testing.T) {
+	prog, code := buildCode(t, linkSrc)
+	pid := func(n string) il.PID { return prog.Lookup(n).PID }
+	edges := []Edge{
+		{Caller: pid("main"), Callee: pid("main"), Count: 50}, // self edge
+		{Caller: pid("c"), Callee: pid("b"), Count: 0},        // zero count
+		{Caller: il.PID(4000), Callee: pid("b"), Count: 9},    // unknown caller
+	}
+	img, err := Link(prog, clone(code), Options{Cluster: true, Edges: edges})
+	if err != nil {
+		t.Fatalf("link with bogus edges: %v", err)
+	}
+	m := vpa.NewMachine(img, vpa.DefaultConfig())
+	if got, err := m.Run(nil, 0); err != nil || got != 21 {
+		t.Errorf("got %d, %v", got, err)
+	}
+}
+
+// clone duplicates code maps since Link relocates in place.
+func clone(code map[il.PID]*vpa.Func) map[il.PID]*vpa.Func {
+	out := make(map[il.PID]*vpa.Func, len(code))
+	for pid, f := range code {
+		nf := &vpa.Func{Name: f.Name, NSlots: f.NSlots, Code: append([]vpa.Instr(nil), f.Code...)}
+		out[pid] = nf
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package llo is the low-level optimizer and code generator: it turns
+// IL function bodies into VPA machine code. It corresponds to the
+// LLO/code generator stage of the paper's Figure 2 pipeline — "a
+// sophisticated and mature intraprocedural optimizer, handling all
+// optimizations that require detailed knowledge of the machine
+// architecture, such as register allocation and scheduling."
+//
+// Optimization levels:
+//
+//	O1 — optimize within basic-block boundaries only: naive stack
+//	     code, no register allocation, no layout (the Mcad3 baseline
+//	     in Figure 1).
+//	O2 — the default level: block-local folding, profile- or
+//	     loop-aware linear-scan register allocation, strength
+//	     reduction, and basic-block layout.
+//
+// With PBO enabled, block layout chains hot paths into fall-through
+// order and the register allocator weights spill costs by profile
+// counts (paper section 2).
+package llo
+
+import (
+	"sort"
+
+	"cmo/internal/il"
+	"cmo/internal/ir"
+)
+
+// Order returns the basic-block emission order. The entry block is
+// always first. Without PBO the order is reverse postorder; with PBO
+// it is a greedy hot-trace order: each trace follows the hottest
+// unvisited successor, and traces start from the hottest unplaced
+// block, so cold blocks (error paths, unlikely else-arms) sink to the
+// end of the function.
+func Order(f *il.Function, c *ir.CFG, pbo bool) []int32 {
+	if !pbo || !hasProfile(f) {
+		out := make([]int32, len(c.RPO))
+		copy(out, c.RPO)
+		return out
+	}
+	placed := make([]bool, len(f.Blocks))
+	var order []int32
+
+	place := func(b int32) {
+		// Grow one trace starting at b.
+		for b >= 0 && !placed[b] {
+			placed[b] = true
+			order = append(order, b)
+			next := int32(-1)
+			var best int64 = -1
+			for _, s := range c.Succs[b] {
+				if placed[s] {
+					continue
+				}
+				w := f.Blocks[s].Freq
+				if w > best {
+					best = w
+					next = s
+				}
+			}
+			b = next
+		}
+	}
+
+	// Seeds: entry first, then blocks by decreasing frequency
+	// (ties broken by block index for determinism).
+	seeds := make([]int32, 0, len(f.Blocks))
+	for i := range f.Blocks {
+		if c.Reach[i] {
+			seeds = append(seeds, int32(i))
+		}
+	}
+	sort.SliceStable(seeds, func(i, j int) bool {
+		return f.Blocks[seeds[i]].Freq > f.Blocks[seeds[j]].Freq
+	})
+	place(0)
+	for _, s := range seeds {
+		place(s)
+	}
+	return order
+}
+
+func hasProfile(f *il.Function) bool {
+	for _, b := range f.Blocks {
+		if b.Freq > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// blockWeights returns per-block spill-cost weights: profile counts
+// when available and PBO is on, otherwise 10^depth loop-nesting
+// estimates (capped), mirroring the paper's "improved cost model for
+// register allocation" under PBO.
+func blockWeights(f *il.Function, c *ir.CFG, pbo bool) []int64 {
+	w := make([]int64, len(f.Blocks))
+	if pbo && hasProfile(f) {
+		for i, b := range f.Blocks {
+			w[i] = b.Freq + 1
+		}
+		return w
+	}
+	d := ir.BuildDominators(c)
+	li := ir.BuildLoops(c, d)
+	for i := range f.Blocks {
+		depth := li.Depth[i]
+		if depth > 4 {
+			depth = 4
+		}
+		weight := int64(1)
+		for j := 0; j < depth; j++ {
+			weight *= 10
+		}
+		w[i] = weight
+	}
+	return w
+}

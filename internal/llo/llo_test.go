@@ -1,0 +1,317 @@
+package llo
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/ir"
+	"cmo/internal/link"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+	"cmo/internal/vpa"
+)
+
+func buildIL(t *testing.T, srcs ...string) *lower.Result {
+	t.Helper()
+	var files []*source.File
+	for i, s := range srcs {
+		f, err := source.Parse(string(rune('a'+i))+".minc", s)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := source.Check(f); err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		files = append(files, f)
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return res
+}
+
+// compileAndRun compiles all functions at the given level, links, and
+// runs the machine, returning the result and stats.
+func compileAndRun(t *testing.T, res *lower.Result, opts Options, args []int64) (int64, vpa.Stats) {
+	t.Helper()
+	code := make(map[il.PID]*vpa.Func)
+	for pid, f := range res.Funcs {
+		mf, err := Compile(res.Prog, f, opts)
+		if err != nil {
+			t.Fatalf("compile %s: %v", f.Name, err)
+		}
+		code[pid] = mf
+	}
+	img, err := link.Link(res.Prog, code, link.Options{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := vpa.NewMachine(img, vpa.DefaultConfig())
+	got, err := m.Run(args, 0)
+	if err != nil {
+		t.Fatalf("machine run: %v\n%s", err, img.Disasm())
+	}
+	return got, m.Stats
+}
+
+// checkLevels runs the program through the IL interpreter and through
+// the machine at O1 and O2 (with and without PBO-layout flag), and
+// requires identical results everywhere.
+func checkLevels(t *testing.T, src string, want int64) (o1, o2 vpa.Stats) {
+	t.Helper()
+	res := buildIL(t, src)
+	ref := il.NewInterp(res.Prog, func(p il.PID) *il.Function { return res.Funcs[p] })
+	rv, err := ref.Run("main", nil, 0)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if rv != want {
+		t.Fatalf("interpreter got %d, want %d (bad test expectation?)", rv, want)
+	}
+	g1, s1 := compileAndRun(t, res, Options{Level: 1}, nil)
+	g2, s2 := compileAndRun(t, res, Options{Level: 2}, nil)
+	if g1 != want {
+		t.Errorf("O1 = %d, want %d", g1, want)
+	}
+	if g2 != want {
+		t.Errorf("O2 = %d, want %d", g2, want)
+	}
+	return s1, s2
+}
+
+func TestCodegenArithmetic(t *testing.T) {
+	checkLevels(t, `module m; func main() int { return (7 * 6 - 2) / 4 % 11; }`, (7*6-2)/4%11)
+}
+
+func TestCodegenLoops(t *testing.T) {
+	s1, s2 := checkLevels(t, `module m;
+func main() int {
+	var s int = 0;
+	for (var i int = 1; i <= 200; i = i + 1) { s = s + i; }
+	return s;
+}`, 20100)
+	if s2.Cycles >= s1.Cycles {
+		t.Errorf("O2 (%d cycles) not faster than O1 (%d cycles)", s2.Cycles, s1.Cycles)
+	}
+	if s2.Loads >= s1.Loads {
+		t.Errorf("O2 loads (%d) should be below O1 (%d) thanks to regalloc", s2.Loads, s1.Loads)
+	}
+}
+
+func TestCodegenCalls(t *testing.T) {
+	checkLevels(t, `module m;
+func fib(n int) int {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+func main() int { return fib(15); }`, 610)
+}
+
+func TestCodegenGlobalsArrays(t *testing.T) {
+	checkLevels(t, `module m;
+var g int = 3;
+var a [32]int;
+func main() int {
+	for (var i int = 0; i < 32; i = i + 1) { a[i] = i * g; }
+	var s int = 0;
+	for (var i int = 31; i >= 0; i = i - 1) { s = s + a[i]; }
+	return s;
+}`, 3*(31*32/2))
+}
+
+func TestCodegenShortCircuit(t *testing.T) {
+	checkLevels(t, `module m;
+var n int;
+func check(v int) bool { n = n + 1; return v > 0; }
+func main() int {
+	var ok bool = check(1) && check(-1) && check(5);
+	if (ok) { return -1; }
+	return n;
+}`, 2)
+}
+
+func TestCodegenManyLocalsSpill(t *testing.T) {
+	// More locals than allocatable registers forces spilling; results
+	// must still be exact.
+	src := `module m;
+func main() int {
+	var a int = 1; var b int = 2; var c int = 3; var d int = 4;
+	var e int = 5; var f int = 6; var g int = 7; var h int = 8;
+	var i int = 9; var j int = 10; var k int = 11; var l int = 12;
+	var n int = 13; var o int = 14; var p int = 15; var q int = 16;
+	var r int = 17; var s int = 18; var u int = 19; var v int = 20;
+	var w int = 21; var x int = 22; var y int = 23; var z int = 24;
+	var sum int = 0;
+	for (var it int = 0; it < 3; it = it + 1) {
+		sum = sum + a + b + c + d + e + f + g + h + i + j + k + l;
+		sum = sum + n + o + p + q + r + s + u + v + w + x + y + z;
+	}
+	return sum;
+}`
+	checkLevels(t, src, 3*(24*25/2))
+}
+
+func TestCodegenVoidFunction(t *testing.T) {
+	checkLevels(t, `module m;
+var g int;
+func poke(v int) { g = v * 2; }
+func main() int { poke(21); return g; }`, 42)
+}
+
+func TestCodegenCrossModule(t *testing.T) {
+	res := buildIL(t,
+		`module a; extern func mix(x int, y int) int; func main() int { return mix(3, 4); }`,
+		`module b; func mix(x int, y int) int { return x * 10 + y; }`)
+	got, _ := compileAndRun(t, res, Options{Level: 2}, nil)
+	if got != 34 {
+		t.Errorf("got %d, want 34", got)
+	}
+}
+
+func TestCodegenMaxParams(t *testing.T) {
+	res := buildIL(t, `module m;
+func wide(a int, b int, c int, d int, e int, f int, g int, h int) int {
+	return a + b * 10 + c * 100 + d + e + f + g + h;
+}
+func main() int { return wide(1, 2, 3, 4, 5, 6, 7, 8); }`)
+	got, _ := compileAndRun(t, res, Options{Level: 2}, nil)
+	if want := int64(1 + 20 + 300 + 4 + 5 + 6 + 7 + 8); got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestCodegenTooManyParams(t *testing.T) {
+	f := &il.Function{Name: "wide", NParams: 9, Ret: il.I64, NRegs: 12,
+		Blocks: []*il.Block{{Instrs: []il.Instr{{Op: il.Ret, A: il.ConstVal(0)}}, T: -1, F: -1}}}
+	if _, err := Compile(il.NewProgram(), f, Options{Level: 2}); err == nil {
+		t.Error("expected error for 9 parameters")
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	res := buildIL(t, `module m;
+func main() int {
+	var s int = 0;
+	for (var i int = 1; i < 100; i = i + 1) { s = s + i * 8; }
+	return s;
+}`)
+	sym := res.Prog.Lookup("main")
+	mf, err := Compile(res.Prog, res.Funcs[sym.PID], Options{Level: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSHL, sawMUL := false, false
+	for _, in := range mf.Code {
+		if in.Op == vpa.SHL {
+			sawSHL = true
+		}
+		if in.Op == vpa.MUL {
+			sawMUL = true
+		}
+	}
+	if !sawSHL || sawMUL {
+		t.Errorf("strength reduction: SHL=%v MUL=%v, want SHL only", sawSHL, sawMUL)
+	}
+}
+
+func TestPBOLayoutMovesColdCode(t *testing.T) {
+	// A loop with a rarely-taken branch: with profile data attached,
+	// PBO layout should place the cold arm after the hot path and
+	// reduce cycles (fewer taken branches / mispredicts).
+	src := `module m;
+var g int;
+func main() int {
+	var s int = 0;
+	for (var i int = 0; i < 5000; i = i + 1) {
+		if (i % 1000 == 999) { s = s + g * 7 + 3; g = s % 13; } else { s = s + 1; }
+	}
+	return s;
+}`
+	res := buildIL(t, src)
+	sym := res.Prog.Lookup("main")
+	f := res.Funcs[sym.PID]
+
+	// Attach a synthetic profile by interpreting block frequencies:
+	// use the IL interpreter with probes? Simpler: mark loop blocks
+	// hot and the rare arm cold by executing the reference
+	// interpreter — here we approximate with manual annotation based
+	// on structure: the rare arm contains the Mul by 7.
+	for _, b := range f.Blocks {
+		b.Freq = 5000
+		for _, in := range b.Instrs {
+			if in.Op == il.Mul {
+				b.Freq = 5
+			}
+		}
+	}
+
+	ref := il.NewInterp(res.Prog, func(p il.PID) *il.Function { return res.Funcs[p] })
+	want, err := ref.Run("main", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPlain, statsPlain := compileAndRun(t, res, Options{Level: 2}, nil)
+	gotPBO, statsPBO := compileAndRun(t, res, Options{Level: 2, PBO: true}, nil)
+	if gotPlain != want || gotPBO != want {
+		t.Fatalf("results differ: plain=%d pbo=%d want=%d", gotPlain, gotPBO, want)
+	}
+	if statsPBO.Cycles > statsPlain.Cycles {
+		t.Errorf("PBO layout slower: %d > %d cycles", statsPBO.Cycles, statsPlain.Cycles)
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	res := buildIL(t, `module m;
+func f(n int) int {
+	var s int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		if (i % 3 == 0) { s = s + 1; } else { s = s + 2; }
+	}
+	return s;
+}
+func main() int { return f(9); }`)
+	sym := res.Prog.Lookup("f")
+	f := res.Funcs[sym.PID]
+	for _, b := range f.Blocks {
+		b.Freq = 7
+	}
+	c := ir.BuildCFG(f)
+	o1 := Order(f, c, true)
+	o2 := Order(f, c, true)
+	if len(o1) != len(o2) {
+		t.Fatal("order length differs")
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("PBO order not deterministic")
+		}
+	}
+	if o1[0] != 0 {
+		t.Error("entry block not first")
+	}
+}
+
+func TestAllocateRespectsRegisterFile(t *testing.T) {
+	res := buildIL(t, `module m;
+func busy(a int, b int) int {
+	var x int = a * b; var y int = a + b; var z int = x - y;
+	var w int = z * x + y; var v int = w % 100 + x / (y + 1);
+	return v + w + x + y + z;
+}
+func main() int { return busy(6, 7); }`)
+	sym := res.Prog.Lookup("busy")
+	f := res.Funcs[sym.PID].Clone()
+	c := ir.BuildCFG(f)
+	lv := ir.BuildLiveness(f, c)
+	order := Order(f, c, false)
+	a := Allocate(f, c, lv, order, false)
+	for r := il.Reg(1); r < f.NRegs; r++ {
+		l := a.Loc[r]
+		if !l.Spilled && l.Reg != 0 {
+			if l.Reg < regAllocFirst || l.Reg > regAllocLast {
+				t.Errorf("r%d allocated to reserved machine register r%d", r, l.Reg)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package llo
+
+import (
+	"sort"
+
+	"cmo/internal/il"
+	"cmo/internal/ir"
+)
+
+// Machine register conventions for generated code.
+const (
+	// regArg0 is the first argument/return register (r1); arguments
+	// occupy r1..r8.
+	regArg0 = 1
+	// maxArgs is the calling convention's register argument limit.
+	maxArgs = 8
+	// regAllocFirst..regAllocLast are allocatable to virtual registers.
+	regAllocFirst = 9
+	regAllocLast  = 27
+	// Scratch registers used by the emitter for spill traffic and
+	// immediate materialization.
+	scratchA = 28
+	scratchB = 29
+	scratchD = 30
+)
+
+// Loc is the assigned location of one virtual register.
+type Loc struct {
+	Spilled bool
+	Reg     uint8 // machine register when !Spilled
+	Slot    int   // frame slot when Spilled
+}
+
+// Alloc is the result of register allocation for one function.
+type Alloc struct {
+	Loc    []Loc // indexed by virtual register
+	NSlots int
+	Spills int // number of spilled intervals, for diagnostics
+}
+
+// Allocate performs linear-scan register allocation over the chosen
+// block order. Spill decisions evict the cheapest-weight interval
+// (profile- or loop-weighted), following the paper's note that PBO
+// improves the register allocator's cost model.
+func Allocate(f *il.Function, c *ir.CFG, lv *ir.Liveness, order []int32, pbo bool) *Alloc {
+	weights := blockWeights(f, c, pbo)
+	ivs := ir.BuildIntervals(f, c, lv, order, weights)
+
+	// Live intervals sorted by start.
+	var live []ir.Interval
+	for _, iv := range ivs {
+		if iv.Reg != 0 && iv.Start >= 0 {
+			live = append(live, iv)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		if live[i].Start != live[j].Start {
+			return live[i].Start < live[j].Start
+		}
+		return live[i].Reg < live[j].Reg
+	})
+
+	a := &Alloc{Loc: make([]Loc, f.NRegs)}
+	type active struct {
+		iv  ir.Interval
+		reg uint8
+	}
+	var act []active // sorted by End ascending
+	freeRegs := make([]uint8, 0, regAllocLast-regAllocFirst+1)
+	for r := regAllocLast; r >= regAllocFirst; r-- {
+		freeRegs = append(freeRegs, uint8(r)) // pop from the end -> r9 first
+	}
+	expire := func(pos int) {
+		keep := act[:0]
+		for _, ac := range act {
+			if ac.iv.End < pos {
+				freeRegs = append(freeRegs, ac.reg)
+			} else {
+				keep = append(keep, ac)
+			}
+		}
+		act = keep
+	}
+	insertActive := func(ac active) {
+		i := sort.Search(len(act), func(i int) bool { return act[i].iv.End > ac.iv.End })
+		act = append(act, active{})
+		copy(act[i+1:], act[i:])
+		act[i] = ac
+	}
+	newSlot := func() int {
+		s := a.NSlots
+		a.NSlots++
+		return s
+	}
+
+	for _, iv := range live {
+		expire(iv.Start)
+		if len(freeRegs) > 0 {
+			r := freeRegs[len(freeRegs)-1]
+			freeRegs = freeRegs[:len(freeRegs)-1]
+			a.Loc[iv.Reg] = Loc{Reg: r}
+			insertActive(active{iv: iv, reg: r})
+			continue
+		}
+		// No free register: spill the cheapest of (this interval,
+		// cheapest active interval).
+		cheapest := -1
+		for i, ac := range act {
+			if cheapest == -1 || ac.iv.Weight < act[cheapest].iv.Weight {
+				cheapest = i
+			}
+		}
+		if cheapest >= 0 && act[cheapest].iv.Weight < iv.Weight {
+			// Evict the active interval, give its register to iv.
+			victim := act[cheapest]
+			act = append(act[:cheapest], act[cheapest+1:]...)
+			a.Loc[victim.iv.Reg] = Loc{Spilled: true, Slot: newSlot()}
+			a.Spills++
+			a.Loc[iv.Reg] = Loc{Reg: victim.reg}
+			insertActive(active{iv: iv, reg: victim.reg})
+		} else {
+			a.Loc[iv.Reg] = Loc{Spilled: true, Slot: newSlot()}
+			a.Spills++
+		}
+	}
+	return a
+}

@@ -1,0 +1,490 @@
+package lower
+
+import (
+	"fmt"
+
+	"cmo/internal/il"
+	"cmo/internal/source"
+)
+
+// funcLowerer lowers one function body.
+type funcLowerer struct {
+	prog   *il.Program
+	fn     *il.Function
+	cur    int32 // current block index, -1 when the block is sealed
+	scopes []map[string]il.Reg
+	maxLn  int
+}
+
+func lowerFunc(prog *il.Program, d *source.FuncDecl) (*il.Function, error) {
+	f := &il.Function{
+		Name:    d.Name,
+		NParams: len(d.Params),
+		Ret:     lowerType(d.Ret),
+		NRegs:   il.Reg(len(d.Params)) + 1, // r1..rN hold parameters
+	}
+	lw := &funcLowerer{prog: prog, fn: f, maxLn: d.Pos.Line}
+	lw.newBlock() // entry block
+	lw.push()
+	for i, p := range d.Params {
+		lw.scopes[0][p.Name] = il.Reg(i + 1)
+	}
+	if err := lw.block(d.Body); err != nil {
+		return nil, err
+	}
+	lw.pop()
+	// Seal a fall-through exit. The checker guarantees value paths
+	// return; a reachable fall-through only exists for void functions,
+	// but unreachable open blocks can remain for value functions too.
+	if lw.cur >= 0 {
+		if f.Ret == il.Void {
+			lw.emit(il.Instr{Op: il.Ret, A: il.None()})
+		} else {
+			lw.emit(il.Instr{Op: il.Ret, A: il.ConstVal(0)})
+		}
+	}
+	f.SrcLines = lw.maxLn - d.Pos.Line + 1
+	if f.SrcLines < 1 {
+		f.SrcLines = 1
+	}
+	return f, nil
+}
+
+func (lw *funcLowerer) note(p source.Pos) {
+	if p.Line > lw.maxLn {
+		lw.maxLn = p.Line
+	}
+}
+
+func (lw *funcLowerer) push() { lw.scopes = append(lw.scopes, make(map[string]il.Reg)) }
+func (lw *funcLowerer) pop()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *funcLowerer) lookupLocal(name string) (il.Reg, bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if r, ok := lw.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// newBlock appends a fresh block and makes it current.
+func (lw *funcLowerer) newBlock() int32 {
+	lw.fn.Blocks = append(lw.fn.Blocks, &il.Block{T: -1, F: -1})
+	lw.cur = int32(len(lw.fn.Blocks) - 1)
+	return lw.cur
+}
+
+// emit appends an instruction to the current block. Emitting a
+// terminator seals the block.
+func (lw *funcLowerer) emit(in il.Instr) {
+	b := lw.fn.Blocks[lw.cur]
+	b.Instrs = append(b.Instrs, in)
+	if in.Op.IsTerminator() {
+		lw.cur = -1
+	}
+}
+
+// jumpTo seals the current block (if open) with a jump to target.
+func (lw *funcLowerer) jumpTo(target int32) {
+	if lw.cur < 0 {
+		return
+	}
+	lw.fn.Blocks[lw.cur].T = target
+	lw.emit(il.Instr{Op: il.Jmp})
+}
+
+// branch seals the current block with a conditional branch.
+func (lw *funcLowerer) branch(cond il.Value, t, f int32) {
+	b := lw.fn.Blocks[lw.cur]
+	b.T, b.F = t, f
+	lw.emit(il.Instr{Op: il.Br, A: cond})
+}
+
+// setCur resumes emission into an existing (open) block.
+func (lw *funcLowerer) setCur(bi int32) { lw.cur = bi }
+
+func (lw *funcLowerer) block(b *source.BlockStmt) error {
+	lw.push()
+	defer lw.pop()
+	for _, s := range b.Stmts {
+		if lw.cur < 0 {
+			// Dead code after a return/terminator: the paper's
+			// optimizer drops it; we simply stop lowering it.
+			break
+		}
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *funcLowerer) stmt(s source.Stmt) error {
+	switch s := s.(type) {
+	case *source.BlockStmt:
+		lw.note(s.Pos)
+		return lw.block(s)
+	case *source.LocalDecl:
+		lw.note(s.Pos)
+		r := lw.fn.NewReg()
+		lw.scopes[len(lw.scopes)-1][s.Name] = r
+		var v il.Value
+		if s.Init != nil {
+			var err error
+			v, err = lw.expr(s.Init)
+			if err != nil {
+				return err
+			}
+		} else {
+			v = il.ConstVal(0)
+		}
+		lw.emitAssign(r, v)
+		return nil
+	case *source.AssignStmt:
+		lw.note(s.Pos)
+		val, err := lw.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		if s.Index != nil {
+			idx, err := lw.expr(s.Index)
+			if err != nil {
+				return err
+			}
+			pid := lw.globalPID(s.Name)
+			lw.emit(il.Instr{Op: il.StoreX, Sym: pid, A: idx, B: val})
+			return nil
+		}
+		if r, ok := lw.lookupLocal(s.Name); ok {
+			lw.emitAssign(r, val)
+			return nil
+		}
+		lw.emit(il.Instr{Op: il.StoreG, Sym: lw.globalPID(s.Name), A: val})
+		return nil
+	case *source.ExprStmt:
+		lw.note(s.Pos)
+		_, err := lw.exprStmt(s.X)
+		return err
+	case *source.IfStmt:
+		return lw.ifStmt(s)
+	case *source.WhileStmt:
+		return lw.whileStmt(s)
+	case *source.ForStmt:
+		return lw.forStmt(s)
+	case *source.ReturnStmt:
+		lw.note(s.Pos)
+		if s.Value == nil {
+			lw.emit(il.Instr{Op: il.Ret, A: il.None()})
+			return nil
+		}
+		v, err := lw.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		lw.emit(il.Instr{Op: il.Ret, A: v})
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+// emitAssign stores v into register r.
+func (lw *funcLowerer) emitAssign(r il.Reg, v il.Value) {
+	if v.IsConst {
+		lw.emit(il.Instr{Op: il.Const, Dst: r, A: v})
+	} else {
+		lw.emit(il.Instr{Op: il.Copy, Dst: r, A: v})
+	}
+}
+
+func (lw *funcLowerer) ifStmt(s *source.IfStmt) error {
+	lw.note(s.Pos)
+	cond, err := lw.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	condBlock := lw.cur
+	thenB := lw.newBlock()
+	if err := lw.block(s.Then); err != nil {
+		return err
+	}
+	thenEnd := lw.cur // -1 if terminated
+
+	var elseB, elseEnd int32 = -1, -1
+	if s.Else != nil {
+		elseB = lw.newBlock()
+		switch e := s.Else.(type) {
+		case *source.BlockStmt:
+			if err := lw.block(e); err != nil {
+				return err
+			}
+		case *source.IfStmt:
+			if err := lw.ifStmt(e); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown else %T", s.Else)
+		}
+		elseEnd = lw.cur
+	}
+
+	join := lw.newBlock()
+	lw.setCur(condBlock)
+	if elseB >= 0 {
+		lw.branch(cond, thenB, elseB)
+	} else {
+		lw.branch(cond, thenB, join)
+	}
+	if thenEnd >= 0 {
+		lw.setCur(thenEnd)
+		lw.jumpTo(join)
+	}
+	if elseEnd >= 0 {
+		lw.setCur(elseEnd)
+		lw.jumpTo(join)
+	}
+	lw.setCur(join)
+	return nil
+}
+
+func (lw *funcLowerer) whileStmt(s *source.WhileStmt) error {
+	lw.note(s.Pos)
+	pre := lw.cur
+	head := lw.newBlock()
+	lw.setCur(pre)
+	lw.jumpTo(head)
+	lw.setCur(head)
+	cond, err := lw.expr(s.Cond)
+	if err != nil {
+		return err
+	}
+	condEnd := lw.cur
+	body := lw.newBlock()
+	if err := lw.block(s.Body); err != nil {
+		return err
+	}
+	bodyEnd := lw.cur
+	exit := lw.newBlock()
+	lw.setCur(condEnd)
+	lw.branch(cond, body, exit)
+	if bodyEnd >= 0 {
+		lw.setCur(bodyEnd)
+		lw.jumpTo(head)
+	}
+	lw.setCur(exit)
+	return nil
+}
+
+func (lw *funcLowerer) forStmt(s *source.ForStmt) error {
+	lw.note(s.Pos)
+	lw.push()
+	defer lw.pop()
+	if s.Init != nil {
+		if err := lw.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	head := int32(-1)
+	var cond il.Value
+	var condEnd int32
+	{
+		pre := lw.cur
+		head = lw.newBlock()
+		lw.setCur(pre)
+		lw.jumpTo(head)
+		lw.setCur(head)
+		if s.Cond != nil {
+			var err error
+			cond, err = lw.expr(s.Cond)
+			if err != nil {
+				return err
+			}
+		} else {
+			cond = il.ConstVal(1)
+		}
+		condEnd = lw.cur
+	}
+	body := lw.newBlock()
+	if err := lw.block(s.Body); err != nil {
+		return err
+	}
+	if lw.cur >= 0 && s.Post != nil {
+		if err := lw.stmt(s.Post); err != nil {
+			return err
+		}
+	}
+	bodyEnd := lw.cur
+	exit := lw.newBlock()
+	lw.setCur(condEnd)
+	lw.branch(cond, body, exit)
+	if bodyEnd >= 0 {
+		lw.setCur(bodyEnd)
+		lw.jumpTo(head)
+	}
+	lw.setCur(exit)
+	return nil
+}
+
+func (lw *funcLowerer) globalPID(name string) il.PID {
+	s := lw.prog.Lookup(name)
+	if s == nil {
+		panic(fmt.Sprintf("lower: unresolved name %s (checker should have caught this)", name))
+	}
+	return s.PID
+}
+
+// exprStmt lowers an expression evaluated for side effects (the
+// checker allows void calls only here).
+func (lw *funcLowerer) exprStmt(e source.Expr) (il.Value, error) {
+	if call, ok := e.(*source.CallExpr); ok {
+		sym := lw.prog.Lookup(call.Name)
+		if sym.Sig.Ret == il.Void {
+			args, err := lw.exprs(call.Args)
+			if err != nil {
+				return il.None(), err
+			}
+			lw.emit(il.Instr{Op: il.Call, Sym: sym.PID, Args: args})
+			return il.None(), nil
+		}
+	}
+	return lw.expr(e)
+}
+
+func (lw *funcLowerer) exprs(es []source.Expr) ([]il.Value, error) {
+	var out []il.Value
+	for _, e := range es {
+		v, err := lw.expr(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// expr lowers a value-producing expression and returns its operand.
+func (lw *funcLowerer) expr(e source.Expr) (il.Value, error) {
+	lw.note(e.Position())
+	switch e := e.(type) {
+	case *source.IntLit:
+		return il.ConstVal(e.Val), nil
+	case *source.BoolLit:
+		if e.Val {
+			return il.ConstVal(1), nil
+		}
+		return il.ConstVal(0), nil
+	case *source.VarRef:
+		if r, ok := lw.lookupLocal(e.Name); ok {
+			return il.RegVal(r), nil
+		}
+		dst := lw.fn.NewReg()
+		lw.emit(il.Instr{Op: il.LoadG, Dst: dst, Sym: lw.globalPID(e.Name)})
+		return il.RegVal(dst), nil
+	case *source.IndexExpr:
+		idx, err := lw.expr(e.Index)
+		if err != nil {
+			return il.None(), err
+		}
+		dst := lw.fn.NewReg()
+		lw.emit(il.Instr{Op: il.LoadX, Dst: dst, Sym: lw.globalPID(e.Name), A: idx})
+		return il.RegVal(dst), nil
+	case *source.CallExpr:
+		sym := lw.prog.Lookup(e.Name)
+		args, err := lw.exprs(e.Args)
+		if err != nil {
+			return il.None(), err
+		}
+		dst := lw.fn.NewReg()
+		lw.emit(il.Instr{Op: il.Call, Dst: dst, Sym: sym.PID, Args: args})
+		return il.RegVal(dst), nil
+	case *source.UnaryExpr:
+		x, err := lw.expr(e.X)
+		if err != nil {
+			return il.None(), err
+		}
+		dst := lw.fn.NewReg()
+		op := il.Neg
+		if e.Op == source.TokBang {
+			op = il.Not
+		}
+		lw.emit(il.Instr{Op: op, Dst: dst, A: x})
+		return il.RegVal(dst), nil
+	case *source.BinaryExpr:
+		if e.Op == source.TokAndAnd || e.Op == source.TokOrOr {
+			return lw.shortCircuit(e)
+		}
+		l, err := lw.expr(e.L)
+		if err != nil {
+			return il.None(), err
+		}
+		r, err := lw.expr(e.R)
+		if err != nil {
+			return il.None(), err
+		}
+		var op il.Op
+		switch e.Op {
+		case source.TokPlus:
+			op = il.Add
+		case source.TokMinus:
+			op = il.Sub
+		case source.TokStar:
+			op = il.Mul
+		case source.TokSlash:
+			op = il.Div
+		case source.TokPercent:
+			op = il.Rem
+		case source.TokEq:
+			op = il.Eq
+		case source.TokNe:
+			op = il.Ne
+		case source.TokLt:
+			op = il.Lt
+		case source.TokLe:
+			op = il.Le
+		case source.TokGt:
+			op = il.Gt
+		case source.TokGe:
+			op = il.Ge
+		default:
+			return il.None(), fmt.Errorf("unknown binary op %s", e.Op)
+		}
+		dst := lw.fn.NewReg()
+		lw.emit(il.Instr{Op: op, Dst: dst, A: l, B: r})
+		return il.RegVal(dst), nil
+	}
+	return il.None(), fmt.Errorf("unknown expression %T", e)
+}
+
+// shortCircuit lowers && and || with proper control flow: the right
+// operand (which may contain calls) is evaluated only when needed.
+func (lw *funcLowerer) shortCircuit(e *source.BinaryExpr) (il.Value, error) {
+	dst := lw.fn.NewReg()
+	l, err := lw.expr(e.L)
+	if err != nil {
+		return il.None(), err
+	}
+	lw.emit(il.Instr{Op: il.Copy, Dst: dst, A: l})
+	condBlock := lw.cur
+
+	rhs := lw.newBlock()
+	r, err := lw.expr(e.R)
+	if err != nil {
+		return il.None(), err
+	}
+	lw.emit(il.Instr{Op: il.Copy, Dst: dst, A: r})
+	rhsEnd := lw.cur
+
+	join := lw.newBlock()
+	lw.setCur(condBlock)
+	if e.Op == source.TokAndAnd {
+		// dst && rhs: evaluate rhs only if dst is true.
+		lw.branch(il.RegVal(dst), rhs, join)
+	} else {
+		// dst || rhs: evaluate rhs only if dst is false.
+		lw.branch(il.RegVal(dst), join, rhs)
+	}
+	lw.setCur(rhsEnd)
+	lw.jumpTo(join)
+	lw.setCur(join)
+	return il.RegVal(dst), nil
+}

@@ -1,0 +1,157 @@
+// Package lower translates checked MinC syntax trees into the common
+// IL. It is the last language-specific stage: everything downstream
+// (HLO, LLO, the linker) sees only il.Program and il.Function, which
+// is what lets the optimizer treat mixed-language programs uniformly
+// (paper section 3).
+package lower
+
+import (
+	"fmt"
+
+	"cmo/internal/il"
+	"cmo/internal/source"
+)
+
+// Result is the output of lowering a set of modules.
+type Result struct {
+	Prog *il.Program
+	// Funcs maps each defined function to its freshly lowered body.
+	// Ownership passes to the caller (normally the NAIM loader).
+	Funcs map[il.PID]*il.Function
+}
+
+// Modules lowers a set of parsed-and-checked files into one program.
+// All files share the program-wide symbol table; cross-module
+// references are resolved by name, and extern declarations must match
+// the definitions exactly.
+func Modules(files []*source.File) (*Result, error) {
+	return modules(files, true)
+}
+
+// ModulesLoose is Modules without the whole-program completeness
+// check: extern symbols may remain undefined. It supports separate
+// compilation (cmoc compiles one module at a time; the linker checks
+// completeness when the program is assembled).
+func ModulesLoose(files []*source.File) (*Result, error) {
+	return modules(files, false)
+}
+
+func modules(files []*source.File, requireComplete bool) (*Result, error) {
+	prog := il.NewProgram()
+	res := &Result{Prog: prog, Funcs: make(map[il.PID]*il.Function)}
+
+	// Pass 1: register all definitions so cross-module references
+	// resolve regardless of file order.
+	for _, f := range files {
+		mod := prog.AddModule(f.Module)
+		mod.Lines = f.Lines
+		for _, v := range f.Vars {
+			pid, err := prog.Intern(v.Name, il.SymGlobal)
+			if err != nil {
+				return nil, err
+			}
+			sym := prog.Sym(pid)
+			if sym.Module >= 0 {
+				return nil, fmt.Errorf("lower: global %s defined in both %s and %s",
+					v.Name, prog.Modules[sym.Module].Name, f.Module)
+			}
+			sym.Module = mod.Index
+			sym.Type = lowerType(v.Type)
+			sym.Elems = v.Type.Elems
+			sym.Init = v.Init
+			mod.Defs = append(mod.Defs, pid)
+		}
+		for _, fn := range f.Funcs {
+			pid, err := prog.Intern(fn.Name, il.SymFunc)
+			if err != nil {
+				return nil, err
+			}
+			sym := prog.Sym(pid)
+			if sym.Module >= 0 {
+				return nil, fmt.Errorf("lower: function %s defined in both %s and %s",
+					fn.Name, prog.Modules[sym.Module].Name, f.Module)
+			}
+			sym.Module = mod.Index
+			sym.Sig = lowerSig(fn.Params, fn.Ret)
+			mod.Defs = append(mod.Defs, pid)
+		}
+	}
+
+	// Pass 2: resolve externs (checking interface agreement) and
+	// lower function bodies.
+	for fi, f := range files {
+		mod := prog.Modules[fi]
+		for _, e := range f.Externs {
+			kind := il.SymGlobal
+			if e.IsFunc {
+				kind = il.SymFunc
+			}
+			pid, err := prog.Intern(e.Name, kind)
+			if err != nil {
+				return nil, fmt.Errorf("lower: module %s: %w", f.Module, err)
+			}
+			sym := prog.Sym(pid)
+			if e.IsFunc {
+				want := lowerSig(e.Params, e.Ret)
+				switch {
+				case sym.Module >= 0 || len(sym.Sig.Params) > 0 || sym.Sig.Ret != il.Void:
+					if !sym.Sig.Equal(want) {
+						return nil, fmt.Errorf("lower: module %s: extern %s%s does not match declaration %s%s",
+							f.Module, e.Name, want, e.Name, sym.Sig)
+					}
+				default:
+					// Record the declared signature on the undefined
+					// symbol so separately compiled objects carry the
+					// interface for link-time checking.
+					sym.Sig = want
+				}
+			} else {
+				if sym.Module >= 0 || sym.Type != il.Void {
+					if sym.Type != lowerType(e.Type) || sym.Elems != e.Type.Elems {
+						return nil, fmt.Errorf("lower: module %s: extern var %s has type %s, definition has %s",
+							f.Module, e.Name, e.Type, sym.Type)
+					}
+				} else {
+					sym.Type = lowerType(e.Type)
+					sym.Elems = e.Type.Elems
+				}
+			}
+			mod.Externs = append(mod.Externs, pid)
+		}
+		for _, fn := range f.Funcs {
+			pid, _ := prog.Intern(fn.Name, il.SymFunc)
+			body, err := lowerFunc(prog, fn)
+			if err != nil {
+				return nil, fmt.Errorf("lower: module %s: %w", f.Module, err)
+			}
+			body.PID = pid
+			res.Funcs[pid] = body
+		}
+	}
+	if requireComplete {
+		if err := prog.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func lowerType(t source.Type) il.Type {
+	switch t.Kind {
+	case source.TypeInt:
+		return il.I64
+	case source.TypeBool:
+		return il.B1
+	case source.TypeArray:
+		return il.ArrayI64
+	}
+	return il.Void
+}
+
+func lowerSig(params []source.Param, ret source.Type) il.Signature {
+	sig := il.Signature{Ret: lowerType(ret)}
+	for _, p := range params {
+		sig.Params = append(sig.Params, lowerType(p.Type))
+	}
+	return sig
+}

@@ -1,0 +1,274 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/source"
+)
+
+// build parses, checks, and lowers a set of module sources.
+func build(t *testing.T, srcs ...string) *Result {
+	t.Helper()
+	res, err := tryBuild(srcs...)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return res
+}
+
+func tryBuild(srcs ...string) (*Result, error) {
+	var files []*source.File
+	for i, src := range srcs {
+		f, err := source.Parse("m"+string(rune('0'+i))+".minc", src)
+		if err != nil {
+			return nil, err
+		}
+		if err := source.Check(f); err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return Modules(files)
+}
+
+// run lowers and interprets, returning main's result.
+func run(t *testing.T, srcs ...string) int64 {
+	t.Helper()
+	res := build(t, srcs...)
+	for pid, f := range res.Funcs {
+		if err := il.Verify(res.Prog, f); err != nil {
+			t.Fatalf("verify %s: %v", res.Prog.Sym(pid).Name, err)
+		}
+	}
+	it := il.NewInterp(res.Prog, func(pid il.PID) *il.Function { return res.Funcs[pid] })
+	v, err := it.Run("main", nil, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func TestLowerArithmetic(t *testing.T) {
+	got := run(t, `module m; func main() int { return (3 + 4) * 2 - 10 / 3 % 2; }`)
+	if want := int64((3+4)*2 - 10/3%2); got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestLowerFactorial(t *testing.T) {
+	got := run(t, `module m;
+func fact(n int) int { if (n <= 1) { return 1; } return n * fact(n - 1); }
+func main() int { return fact(10); }`)
+	if got != 3628800 {
+		t.Errorf("fact(10) = %d, want 3628800", got)
+	}
+}
+
+func TestLowerWhileLoop(t *testing.T) {
+	got := run(t, `module m;
+func main() int {
+	var s int = 0;
+	var i int = 1;
+	while (i <= 100) { s = s + i; i = i + 1; }
+	return s;
+}`)
+	if got != 5050 {
+		t.Errorf("sum = %d, want 5050", got)
+	}
+}
+
+func TestLowerForLoop(t *testing.T) {
+	got := run(t, `module m;
+func main() int {
+	var s int = 0;
+	for (var i int = 0; i < 10; i = i + 1) { s = s + i * i; }
+	return s;
+}`)
+	if got != 285 {
+		t.Errorf("got %d, want 285", got)
+	}
+}
+
+func TestLowerGlobalsAndArrays(t *testing.T) {
+	got := run(t, `module m;
+var g int = 5;
+var a [8]int;
+func main() int {
+	for (var i int = 0; i < 8; i = i + 1) { a[i] = i * g; }
+	var s int = 0;
+	for (var i int = 0; i < 8; i = i + 1) { s = s + a[i]; }
+	g = s;
+	return g;
+}`)
+	if want := int64(5 * 28); got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	// The right operand must not be evaluated when the left decides.
+	got := run(t, `module m;
+var calls int;
+func bump() bool { calls = calls + 1; return true; }
+func main() int {
+	var a bool = false;
+	if (a && bump()) { return 100; }
+	var b bool = true;
+	if (b || bump()) { return calls; }
+	return -1;
+}`)
+	if got != 0 {
+		t.Errorf("short-circuit evaluated RHS: calls = %d, want 0", got)
+	}
+}
+
+func TestLowerShortCircuitEvaluatesWhenNeeded(t *testing.T) {
+	got := run(t, `module m;
+var calls int;
+func bump() bool { calls = calls + 1; return false; }
+func main() int {
+	var a bool = true;
+	if (a && bump()) { return 100; }
+	return calls;
+}`)
+	if got != 1 {
+		t.Errorf("calls = %d, want 1", got)
+	}
+}
+
+func TestLowerCrossModule(t *testing.T) {
+	got := run(t,
+		`module a;
+extern func twice(x int) int;
+extern var base int;
+func main() int { return twice(base) + twice(4); }`,
+		`module b;
+var base int = 10;
+func twice(x int) int { return x * 2; }`)
+	if got != 28 {
+		t.Errorf("got %d, want 28", got)
+	}
+}
+
+func TestLowerDanglingElseChain(t *testing.T) {
+	got := run(t, `module m;
+func classify(x int) int {
+	if (x < 0) { return -1; } else if (x == 0) { return 0; } else if (x < 10) { return 1; }
+	return 2;
+}
+func main() int {
+	return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+}`)
+	if want := int64(-1*1000 + 0*100 + 1*10 + 2); got != want {
+		t.Errorf("got %d, want %d", got, want)
+	}
+}
+
+func TestLowerVoidCall(t *testing.T) {
+	got := run(t, `module m;
+var g int;
+func setg(v int) { g = v; }
+func main() int { setg(42); return g; }`)
+	if got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+}
+
+func TestLowerDeadCodeAfterReturn(t *testing.T) {
+	got := run(t, `module m;
+func main() int { return 1; g(); }
+func g() {}`)
+	if got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct {
+		srcs []string
+		frag string
+	}{
+		{[]string{`module a; var x int;`, `module b; var x int;`}, "defined in both"},
+		{[]string{`module a; func f() {}`, `module b; func f() {}`}, "defined in both"},
+		{[]string{`module a; extern func g(a int) int; func main() int { return g(1); }`,
+			`module b; func g() int { return 1; }`}, "does not match"},
+		{[]string{`module a; extern var v int; func main() int { return v; }`,
+			`module b; var v [4]int;`}, "extern var v"},
+		{[]string{`module a; extern func missing() int; func main() int { return missing(); }`}, "undefined symbols"},
+		{[]string{`module a; extern var f int;`, `module b; func f() {}`}, "redeclared"},
+	}
+	for _, tc := range cases {
+		_, err := tryBuild(tc.srcs...)
+		if err == nil {
+			t.Errorf("%v: expected error containing %q", tc.srcs, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("error %q does not contain %q", err, tc.frag)
+		}
+	}
+}
+
+func TestLowerAllBodiesVerify(t *testing.T) {
+	res := build(t, `module m;
+var a [16]int;
+var g int = 3;
+func mix(x int, y int) int {
+	var acc int = x;
+	for (var i int = 0; i < y; i = i + 1) {
+		if (acc % 2 == 0 && i % 3 != 0) { acc = acc * 3 + 1; } else { acc = acc / 2 + g; }
+		a[i % 16] = acc;
+		while (acc > 100) { acc = acc - a[(acc + i) % 16] - 1; }
+	}
+	return acc;
+}
+func main() int { return mix(7, 50); }`)
+	for pid, f := range res.Funcs {
+		if err := il.Verify(res.Prog, f); err != nil {
+			t.Errorf("verify %s: %v", res.Prog.Sym(pid).Name, err)
+		}
+		if f.SrcLines <= 0 {
+			t.Errorf("%s: SrcLines = %d", f.Name, f.SrcLines)
+		}
+	}
+}
+
+func TestLowerFunctionMetadata(t *testing.T) {
+	res := build(t, `module m;
+func add(a int, b int) int { return a + b; }
+func main() int { return add(1, 2); }`)
+	sym := res.Prog.Lookup("add")
+	if sym == nil || sym.Kind != il.SymFunc {
+		t.Fatal("add not registered")
+	}
+	f := res.Funcs[sym.PID]
+	if f.NParams != 2 || f.Ret != il.I64 {
+		t.Errorf("add metadata wrong: params=%d ret=%s", f.NParams, f.Ret)
+	}
+	if len(sym.Sig.Params) != 2 {
+		t.Errorf("signature params = %d, want 2", len(sym.Sig.Params))
+	}
+	if res.Prog.Modules[0].Lines == 0 {
+		t.Error("module lines not recorded")
+	}
+}
+
+func TestLowerDeterministic(t *testing.T) {
+	src := `module m;
+var g int = 2;
+func f(n int) int {
+	var s int = 0;
+	for (var i int = 0; i < n; i = i + 1) { if (i % 2 == 0 || i % 3 == 0) { s = s + g; } }
+	return s;
+}
+func main() int { return f(20); }`
+	r1 := build(t, src)
+	r2 := build(t, src)
+	p1 := il.PrintProgram(r1.Prog, func(pid il.PID) *il.Function { return r1.Funcs[pid] })
+	p2 := il.PrintProgram(r2.Prog, func(pid il.PID) *il.Function { return r2.Funcs[pid] })
+	if p1 != p2 {
+		t.Error("lowering is not deterministic")
+	}
+}

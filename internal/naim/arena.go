@@ -1,0 +1,73 @@
+package naim
+
+// Arena is a chunked bump allocator. HLO's memory system does not
+// support freeing individual variable-sized objects (paper section
+// 4.2.2): pools of related objects are allocated together for
+// locality, and reclamation happens wholesale — compaction copies the
+// reachable objects out and the whole arena returns to the free list.
+//
+// The compaction codec allocates its output through an arena so that
+// blob construction exercises the same discipline, and so that the
+// loader can report arena-level allocation statistics.
+type Arena struct {
+	chunkSize int
+	chunks    [][]byte
+	cur       []byte
+	off       int
+
+	allocated int64 // bytes handed out over the arena's lifetime
+}
+
+// NewArena returns an arena with the given chunk size (minimum 1 KiB;
+// 0 selects the 64 KiB default).
+func NewArena(chunkSize int) *Arena {
+	if chunkSize == 0 {
+		chunkSize = 64 * 1024
+	}
+	if chunkSize < 1024 {
+		chunkSize = 1024
+	}
+	return &Arena{chunkSize: chunkSize}
+}
+
+// Alloc returns a zeroed n-byte slice carved from the arena.
+// Requests larger than the chunk size get a dedicated chunk.
+func (a *Arena) Alloc(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	a.allocated += int64(n)
+	if n > a.chunkSize {
+		big := make([]byte, n)
+		a.chunks = append(a.chunks, big)
+		return big
+	}
+	if a.cur == nil || a.off+n > len(a.cur) {
+		a.cur = make([]byte, a.chunkSize)
+		a.chunks = append(a.chunks, a.cur)
+		a.off = 0
+	}
+	out := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return out
+}
+
+// Reset returns all chunks to the allocator in one stroke — the
+// wholesale reclamation that replaces per-object free.
+func (a *Arena) Reset() {
+	a.chunks = nil
+	a.cur = nil
+	a.off = 0
+}
+
+// Footprint reports the arena's current reserved bytes.
+func (a *Arena) Footprint() int64 {
+	var n int64
+	for _, c := range a.chunks {
+		n += int64(len(c))
+	}
+	return n
+}
+
+// Allocated reports total bytes handed out since creation.
+func (a *Arena) Allocated() int64 { return a.allocated }

@@ -1,0 +1,301 @@
+package naim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+)
+
+func buildFns(t *testing.T, src string) (*il.Program, map[il.PID]*il.Function) {
+	t.Helper()
+	f, err := source.Parse("t.minc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := source.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := lower.Modules([]*source.File{f})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return res.Prog, res.Funcs
+}
+
+const codecSrc = `module m;
+var g int = -42;
+var a [64]int;
+func work(x int, y int) int {
+	var acc int = x;
+	for (var i int = 0; i < y; i = i + 1) {
+		if (acc % 2 == 0 && i > 3) { acc = acc * 3 + g; } else { acc = acc / 2 - 1; }
+		a[i % 64] = acc;
+		acc = acc + a[(i + 1) % 64];
+	}
+	return acc;
+}
+func main() int { return work(1000, 20); }`
+
+func TestCodecRoundTrip(t *testing.T) {
+	prog, fns := buildFns(t, codecSrc)
+	for pid, f := range fns {
+		f.Calls = 17
+		for i, b := range f.Blocks {
+			b.Freq = int64(i * 100)
+		}
+		blob := EncodeFunc(f, nil)
+		back, err := DecodeFunc(prog, blob)
+		if err != nil {
+			t.Fatalf("decode %s: %v", f.Name, err)
+		}
+		if back.Print(prog) != f.Print(prog) {
+			t.Errorf("%s: round trip differs:\n--- original\n%s\n--- decoded\n%s",
+				f.Name, f.Print(prog), back.Print(prog))
+		}
+		if back.Calls != f.Calls || back.SrcLines != f.SrcLines || back.PID != pid {
+			t.Errorf("%s: metadata lost: %+v", f.Name, back)
+		}
+		for i, b := range back.Blocks {
+			if b.Freq != f.Blocks[i].Freq {
+				t.Errorf("%s b%d: freq %d != %d", f.Name, i, b.Freq, f.Blocks[i].Freq)
+			}
+		}
+		if err := il.Verify(prog, back); err != nil {
+			t.Errorf("decoded %s does not verify: %v", f.Name, err)
+		}
+	}
+}
+
+func TestCodecCompressionRatio(t *testing.T) {
+	prog, fns := buildFns(t, codecSrc)
+	_ = prog
+	for _, f := range fns {
+		blob := EncodeFunc(f, nil)
+		exp := ExpandedFuncBytes(f)
+		if int64(len(blob))*2 >= exp {
+			t.Errorf("%s: compaction unprofitable: blob=%d expanded=%d", f.Name, len(blob), exp)
+		}
+	}
+}
+
+func TestCodecArenaAllocation(t *testing.T) {
+	prog, fns := buildFns(t, codecSrc)
+	a := NewArena(4096)
+	for _, f := range fns {
+		blob := EncodeFunc(f, a)
+		back, err := DecodeFunc(prog, blob)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if back.Print(prog) != f.Print(prog) {
+			t.Error("arena-backed round trip differs")
+		}
+	}
+	if a.Allocated() == 0 || a.Footprint() == 0 {
+		t.Error("arena not used")
+	}
+}
+
+func TestCodecCorruptInput(t *testing.T) {
+	prog, fns := buildFns(t, codecSrc)
+	var blob []byte
+	for _, f := range fns {
+		blob = EncodeFunc(f, nil)
+		break
+	}
+	// Truncations at every prefix must error, never panic.
+	for i := 0; i < len(blob); i++ {
+		if _, err := DecodeFunc(prog, blob[:i]); err == nil {
+			// Some prefixes can decode if trailing check fails... the
+			// trailing-bytes check makes every strict prefix invalid
+			// except a prefix that happens to end exactly at
+			// function end — impossible for strict prefixes.
+			t.Errorf("truncation at %d decoded without error", i)
+		}
+	}
+	if _, err := DecodeFunc(prog, append([]byte(nil), append(blob, 0)...)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := DecodeFunc(prog, []byte{0x00}); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestVarintProperty(t *testing.T) {
+	f := func(v int64) bool {
+		b := appendVarint(nil, v)
+		r := &reader{b: b}
+		got := r.varint()
+		return r.err == nil && got == v && r.off == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	g := func(v uint64) bool {
+		b := appendUvarint(nil, v)
+		r := &reader{b: b}
+		got := r.uvarint()
+		return r.err == nil && got == v && r.off == len(b)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomFunction builds a structurally valid random function for
+// property testing the codec.
+func randomFunction(rng *rand.Rand, prog *il.Program) *il.Function {
+	nblocks := 1 + rng.Intn(6)
+	f := &il.Function{
+		Name:     "rnd",
+		PID:      0,
+		NParams:  rng.Intn(4),
+		Ret:      il.I64,
+		NRegs:    il.Reg(8 + rng.Intn(20)),
+		SrcLines: rng.Intn(100),
+		Calls:    rng.Int63n(1e6),
+	}
+	randVal := func() il.Value {
+		switch rng.Intn(3) {
+		case 0:
+			return il.ConstVal(rng.Int63() - rng.Int63())
+		default:
+			return il.RegVal(il.Reg(1 + rng.Intn(int(f.NRegs)-1)))
+		}
+	}
+	for bi := 0; bi < nblocks; bi++ {
+		b := &il.Block{Freq: rng.Int63n(1e9), T: -1, F: -1}
+		for ii := rng.Intn(8); ii > 0; ii-- {
+			ops := []il.Op{il.Const, il.Copy, il.Add, il.Sub, il.Mul, il.Neg, il.Not, il.Eq, il.Lt}
+			op := ops[rng.Intn(len(ops))]
+			in := il.Instr{Op: op, Dst: il.Reg(1 + rng.Intn(int(f.NRegs)-1))}
+			if op == il.Const {
+				in.A = il.ConstVal(rng.Int63() - rng.Int63())
+			} else {
+				in.A = randVal()
+				in.B = randVal()
+			}
+			b.Instrs = append(b.Instrs, in)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			b.Instrs = append(b.Instrs, il.Instr{Op: il.Ret, A: randVal()})
+		case 1:
+			b.T = int32(rng.Intn(nblocks))
+			b.Instrs = append(b.Instrs, il.Instr{Op: il.Jmp})
+		default:
+			b.T = int32(rng.Intn(nblocks))
+			b.F = int32(rng.Intn(nblocks))
+			b.Instrs = append(b.Instrs, il.Instr{Op: il.Br, A: randVal()})
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	return f
+}
+
+func TestCodecRandomFunctionsProperty(t *testing.T) {
+	prog := il.NewProgram()
+	m := prog.AddModule("m")
+	pid, _ := prog.Intern("rnd", il.SymFunc)
+	prog.Sym(pid).Module = m.Index
+	prog.Sym(pid).Sig = il.Signature{Ret: il.I64}
+
+	rng := rand.New(rand.NewSource(12345))
+	for i := 0; i < 300; i++ {
+		f := randomFunction(rng, prog)
+		blob := EncodeFunc(f, nil)
+		back, err := DecodeFunc(prog, blob)
+		if err != nil {
+			t.Fatalf("iteration %d: decode: %v", i, err)
+		}
+		if back.Print(prog) != f.Print(prog) {
+			t.Fatalf("iteration %d: round trip differs", i)
+		}
+	}
+}
+
+func TestModuleCodecRoundTrip(t *testing.T) {
+	m := &il.Module{
+		Name:    "engine_core",
+		Index:   7,
+		Lines:   12345,
+		Defs:    []il.PID{1, 5, 9, 1000},
+		Externs: []il.PID{2, 3},
+	}
+	blob := EncodeModule(m)
+	back, err := DecodeModule(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != m.Name || back.Index != m.Index || back.Lines != m.Lines {
+		t.Errorf("header lost: %+v", back)
+	}
+	if len(back.Defs) != len(m.Defs) || len(back.Externs) != len(m.Externs) {
+		t.Fatalf("lists lost: %+v", back)
+	}
+	for i := range m.Defs {
+		if back.Defs[i] != m.Defs[i] {
+			t.Errorf("def %d: %d != %d", i, back.Defs[i], m.Defs[i])
+		}
+	}
+	for i := 0; i < len(blob); i++ {
+		if _, err := DecodeModule(blob[:i]); err == nil {
+			// Prefixes that stop exactly after a complete extern list
+			// would decode; that can only be the full blob.
+			t.Errorf("module truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestSizeModelMonotonic(t *testing.T) {
+	_, fns := buildFns(t, codecSrc)
+	var small, large *il.Function
+	for _, f := range fns {
+		if f.Name == "main" {
+			small = f
+		} else {
+			large = f
+		}
+	}
+	if ExpandedFuncBytes(small) >= ExpandedFuncBytes(large) {
+		t.Error("size model not monotone in function size")
+	}
+	if ExpandedFuncBytes(nil) != 0 {
+		t.Error("nil function should cost 0")
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena(2048)
+	x := a.Alloc(100)
+	y := a.Alloc(100)
+	if &x[0] == &y[0] {
+		t.Error("allocations alias")
+	}
+	for i := range x {
+		x[i] = 0xAA
+	}
+	for _, b := range y {
+		if b != 0 {
+			t.Error("allocation not zeroed / overlapping")
+		}
+	}
+	big := a.Alloc(10000)
+	if len(big) != 10000 {
+		t.Error("large allocation failed")
+	}
+	if a.Allocated() != 10200 {
+		t.Errorf("Allocated = %d, want 10200", a.Allocated())
+	}
+	a.Reset()
+	if a.Footprint() != 0 {
+		t.Error("Reset did not release chunks")
+	}
+	if a.Alloc(0) != nil {
+		t.Error("Alloc(0) should return nil")
+	}
+}

@@ -1,0 +1,470 @@
+package naim
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"cmo/internal/il"
+)
+
+// Level identifies how much NAIM machinery is currently engaged
+// (paper section 4.3: thresholds turn on more and more functionality
+// as the process grows).
+type Level int
+
+// NAIM levels.
+const (
+	// LevelOff keeps every pool expanded (NAIM off — small programs
+	// pay nothing).
+	LevelOff Level = iota
+	// LevelIR compacts routine IR pools evicted from the expanded-
+	// pool cache.
+	LevelIR
+	// LevelST additionally compacts module symbol tables.
+	LevelST
+	// LevelDisk additionally offloads compacted pools to the on-disk
+	// repository.
+	LevelDisk
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelOff:
+		return "off"
+	case LevelIR:
+		return "ir-compaction"
+	case LevelST:
+		return "ir+st-compaction"
+	case LevelDisk:
+		return "ir+st+disk"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Config tunes the loader.
+type Config struct {
+	// BudgetBytes is the optimizer memory budget; adaptive level
+	// thresholds derive from it. 0 means unlimited (NAIM stays off
+	// unless ForceLevel pins it on).
+	BudgetBytes int64
+	// ForceLevel pins the NAIM level (-1 = adaptive). Figure 5 uses
+	// pinned levels to measure each configuration separately.
+	ForceLevel Level
+	// CacheSlots bounds the expanded-pool cache once compaction is
+	// engaged (0 selects the default of 48).
+	CacheSlots int
+	// Dir is where the disk repository lives ("" = system temp).
+	Dir string
+}
+
+// Adaptive is the ForceLevel value meaning "let thresholds decide".
+const Adaptive Level = -1
+
+// Stats are cumulative loader counters.
+type Stats struct {
+	CurBytes  int64 // modeled optimizer occupancy right now
+	PeakBytes int64 // high-water mark of CurBytes
+
+	Installs    int64
+	CacheHits   int64
+	CacheMisses int64
+	Compactions int64
+	Expansions  int64
+	DiskWrites  int64
+	DiskReads   int64
+
+	CompactNanos int64 // time spent compacting + uncompacting
+	DiskNanos    int64 // time spent on repository I/O
+}
+
+type status uint8
+
+const (
+	stExpanded status = iota
+	stCompacted
+	stOffloaded
+)
+
+type handle struct {
+	pid     il.PID
+	st      status
+	fn      *il.Function
+	blob    []byte
+	diskOff int64
+	diskLen int
+	bytes   int64
+	pending bool
+	elem    *list.Element // position in the expanded-pool LRU
+}
+
+// Loader is the NAIM loader: "the process that manages the movement
+// of data in and out of the repository" (section 4.2). It owns every
+// transitory pool — routine IR handed over via InstallFunc and the
+// per-module symbol tables of the program — and serves them back
+// through Function/ModuleDefs while keeping modeled memory inside the
+// configured budget.
+//
+// Loader implements hlo.FuncSource. It is not safe for concurrent
+// use; the paper's future-work parallel loader is future work here
+// too.
+type Loader struct {
+	prog *il.Program
+	cfg  Config
+
+	handles map[il.PID]*handle
+	lru     *list.List // of *handle, front = coldest
+	level   Level
+	repo    *Repository
+
+	globalBytes int64
+	modExpanded []bool
+	modBlobs    [][]byte
+	modBytes    []int64
+
+	arena *Arena
+	stats Stats
+}
+
+// NewLoader wraps a program's transitory objects in a loader.
+func NewLoader(prog *il.Program, cfg Config) *Loader {
+	if cfg.CacheSlots <= 0 {
+		cfg.CacheSlots = 48
+	}
+	l := &Loader{
+		prog:        prog,
+		cfg:         cfg,
+		handles:     make(map[il.PID]*handle),
+		lru:         list.New(),
+		globalBytes: GlobalBytes(prog),
+		modExpanded: make([]bool, len(prog.Modules)),
+		modBlobs:    make([][]byte, len(prog.Modules)),
+		modBytes:    make([]int64, len(prog.Modules)),
+		arena:       NewArena(0),
+	}
+	if cfg.ForceLevel >= LevelOff {
+		l.level = cfg.ForceLevel
+	}
+	for i, m := range prog.Modules {
+		l.modExpanded[i] = true
+		l.modBytes[i] = ExpandedModuleBytes(m)
+	}
+	l.recompute()
+	return l
+}
+
+// recompute refreshes CurBytes/PeakBytes from component accounting.
+func (l *Loader) recompute() {
+	n := l.globalBytes
+	for _, b := range l.modBytes {
+		n += b
+	}
+	for _, h := range l.handles {
+		n += h.bytes
+	}
+	l.stats.CurBytes = n
+	if n > l.stats.PeakBytes {
+		l.stats.PeakBytes = n
+	}
+}
+
+// adjust applies a delta to CurBytes.
+func (l *Loader) adjust(delta int64) {
+	l.stats.CurBytes += delta
+	if l.stats.CurBytes > l.stats.PeakBytes {
+		l.stats.PeakBytes = l.stats.CurBytes
+	}
+}
+
+// InstallFunc hands a freshly lowered (or otherwise constructed)
+// routine body to the loader.
+func (l *Loader) InstallFunc(f *il.Function) {
+	h := &handle{pid: f.PID, st: stExpanded, fn: f, bytes: ExpandedFuncBytes(f)}
+	if old, ok := l.handles[f.PID]; ok {
+		l.adjust(-old.bytes)
+		if old.elem != nil {
+			l.lru.Remove(old.elem)
+		}
+	}
+	l.handles[f.PID] = h
+	h.elem = l.lru.PushBack(h)
+	l.stats.Installs++
+	l.adjust(h.bytes)
+	l.enforce(il.NoPID)
+}
+
+// Function returns the expanded body for pid, loading it from its
+// compacted or offloaded form if necessary. It returns nil for
+// uninstalled PIDs. The returned body may be mutated in place; the
+// loader re-measures it on the next touch.
+func (l *Loader) Function(pid il.PID) *il.Function {
+	h, ok := l.handles[pid]
+	if !ok {
+		return nil
+	}
+	switch h.st {
+	case stExpanded:
+		l.stats.CacheHits++
+		l.remeasure(h)
+		l.lru.MoveToBack(h.elem)
+	case stCompacted:
+		l.stats.CacheMisses++
+		l.expand(h)
+	case stOffloaded:
+		l.stats.CacheMisses++
+		t0 := time.Now()
+		blob, err := l.repo.Get(h.diskOff, h.diskLen)
+		l.stats.DiskNanos += time.Since(t0).Nanoseconds()
+		if err != nil {
+			// A repository read failure is unrecoverable for this
+			// compilation; the paper's compiler would abort. We
+			// surface it as a panic carrying the cause.
+			panic(fmt.Sprintf("naim: repository read for %s failed: %v", l.prog.Sym(pid).Name, err))
+		}
+		l.stats.DiskReads++
+		h.blob = blob
+		h.st = stCompacted
+		l.adjust(int64(len(blob)) - h.bytes)
+		h.bytes = int64(len(blob))
+		l.expand(h)
+	}
+	h.pending = false
+	l.enforce(pid)
+	return h.fn
+}
+
+// remeasure updates accounting for an expanded body that may have
+// grown or shrunk since last touch (inlining grows callers in place).
+func (l *Loader) remeasure(h *handle) {
+	nb := ExpandedFuncBytes(h.fn)
+	if nb != h.bytes {
+		l.adjust(nb - h.bytes)
+		h.bytes = nb
+	}
+}
+
+// expand uncompacts a pool (with eager swizzling of PID references).
+func (l *Loader) expand(h *handle) {
+	t0 := time.Now()
+	f, err := DecodeFunc(l.prog, h.blob)
+	l.stats.CompactNanos += time.Since(t0).Nanoseconds()
+	if err != nil {
+		panic(fmt.Sprintf("naim: uncompaction of %s failed: %v", l.prog.Sym(h.pid).Name, err))
+	}
+	l.stats.Expansions++
+	h.fn = f
+	h.blob = nil
+	h.st = stExpanded
+	nb := ExpandedFuncBytes(f)
+	l.adjust(nb - h.bytes)
+	h.bytes = nb
+	h.elem = l.lru.PushBack(h)
+}
+
+// DoneWith marks a pool unload-pending: it moves to the cold end of
+// the expanded-pool cache and becomes the preferred eviction victim,
+// but is not compacted until the cache actually needs the space (the
+// paper's lazy unloader, section 4.3).
+func (l *Loader) DoneWith(pid il.PID) {
+	h, ok := l.handles[pid]
+	if !ok {
+		return
+	}
+	if h.st == stExpanded {
+		l.remeasure(h)
+		h.pending = true
+		l.lru.MoveToFront(h.elem)
+	}
+	l.enforce(il.NoPID)
+}
+
+// UnloadAll marks every expanded pool unload-pending. "Clients simply
+// request that all unneeded pools are unloaded from memory[;] whether
+// or not the objects actually get compacted and unloaded is
+// determined internally by the loader."
+func (l *Loader) UnloadAll() {
+	for e := l.lru.Front(); e != nil; e = e.Next() {
+		h := e.Value.(*handle)
+		l.remeasure(h)
+		h.pending = true
+	}
+	l.enforce(il.NoPID)
+}
+
+// enforce ratchets the NAIM level and evicts expanded pools until the
+// cache bound and memory budget hold. pin is never evicted.
+func (l *Loader) enforce(pin il.PID) {
+	l.updateLevel()
+	if l.level >= LevelST {
+		l.compactModules()
+	}
+	if l.level < LevelIR {
+		return
+	}
+	// Cache bound: expanded pools beyond CacheSlots get compacted,
+	// coldest first.
+	for l.lru.Len() > l.cfg.CacheSlots {
+		if !l.evictOne(pin) {
+			break
+		}
+	}
+	// Budget bound: keep compacting while over budget.
+	if l.cfg.BudgetBytes > 0 {
+		for l.stats.CurBytes > l.cfg.BudgetBytes && l.lru.Len() > 1 {
+			if !l.evictOne(pin) {
+				break
+			}
+		}
+	}
+}
+
+// updateLevel ratchets the adaptive level from the budget thresholds.
+func (l *Loader) updateLevel() {
+	if l.cfg.ForceLevel >= LevelOff {
+		l.level = l.cfg.ForceLevel
+		return
+	}
+	if l.cfg.BudgetBytes <= 0 {
+		return
+	}
+	cur := l.stats.CurBytes
+	switch {
+	case cur > l.cfg.BudgetBytes*85/100:
+		if l.level < LevelDisk {
+			l.level = LevelDisk
+		}
+	case cur > l.cfg.BudgetBytes*70/100:
+		if l.level < LevelST {
+			l.level = LevelST
+		}
+	case cur > l.cfg.BudgetBytes*50/100:
+		if l.level < LevelIR {
+			l.level = LevelIR
+		}
+	}
+}
+
+// evictOne compacts the coldest evictable expanded pool; at LevelDisk
+// the compacted blob is immediately offloaded. Reports whether a
+// victim was found.
+func (l *Loader) evictOne(pin il.PID) bool {
+	for e := l.lru.Front(); e != nil; e = e.Next() {
+		h := e.Value.(*handle)
+		if h.pid == pin {
+			continue
+		}
+		l.compactHandle(h)
+		return true
+	}
+	return false
+}
+
+// compactHandle converts an expanded pool to relocatable form (and to
+// disk at LevelDisk).
+func (l *Loader) compactHandle(h *handle) {
+	l.remeasure(h)
+	t0 := time.Now()
+	// Function blobs use plain allocation rather than the arena: a
+	// pool may cycle through compact/expand many times, and arena
+	// space is only reclaimed wholesale. Module symtab blobs (below)
+	// are compacted once and do use the arena.
+	blob := EncodeFunc(h.fn, nil)
+	l.stats.CompactNanos += time.Since(t0).Nanoseconds()
+	l.stats.Compactions++
+	l.lru.Remove(h.elem)
+	h.elem = nil
+	h.fn = nil
+	h.pending = false
+	if l.level >= LevelDisk {
+		if l.repo == nil {
+			repo, err := NewRepository(l.cfg.Dir)
+			if err != nil {
+				panic(fmt.Sprintf("naim: cannot create repository: %v", err))
+			}
+			l.repo = repo
+		}
+		t1 := time.Now()
+		off, err := l.repo.Put(blob)
+		l.stats.DiskNanos += time.Since(t1).Nanoseconds()
+		if err != nil {
+			panic(fmt.Sprintf("naim: repository write failed: %v", err))
+		}
+		l.stats.DiskWrites++
+		h.st = stOffloaded
+		h.diskOff = off
+		h.diskLen = len(blob)
+		h.blob = nil
+		l.adjust(BytesPerHandle - h.bytes)
+		h.bytes = BytesPerHandle
+		return
+	}
+	h.st = stCompacted
+	h.blob = blob
+	l.adjust(int64(len(blob)) - h.bytes)
+	h.bytes = int64(len(blob))
+}
+
+// compactModules compacts all module symbol tables (LevelST+).
+func (l *Loader) compactModules() {
+	for i, m := range l.prog.Modules {
+		if !l.modExpanded[i] {
+			continue
+		}
+		enc := EncodeModule(m)
+		blob := l.arena.Alloc(len(enc))
+		copy(blob, enc)
+		l.modBlobs[i] = blob
+		l.modExpanded[i] = false
+		nb := compactModuleBytes(m)
+		l.adjust(nb - l.modBytes[i])
+		l.modBytes[i] = nb
+		l.stats.Compactions++
+	}
+}
+
+// ModuleDefs returns the definition list of module i, re-expanding
+// its symbol table if it was compacted.
+func (l *Loader) ModuleDefs(i int) []il.PID {
+	m := l.prog.Modules[i]
+	if !l.modExpanded[i] {
+		dec, err := DecodeModule(l.modBlobs[i])
+		if err != nil {
+			panic(fmt.Sprintf("naim: module %s symtab uncompaction failed: %v", m.Name, err))
+		}
+		*m = *dec
+		l.modExpanded[i] = true
+		l.modBlobs[i] = nil
+		nb := ExpandedModuleBytes(m)
+		l.adjust(nb - l.modBytes[i])
+		l.modBytes[i] = nb
+		l.stats.Expansions++
+	}
+	return m.Defs
+}
+
+// Level reports the currently engaged NAIM level.
+func (l *Loader) Level() Level { return l.level }
+
+// Stats returns a snapshot of the loader counters.
+func (l *Loader) Stats() Stats { return l.stats }
+
+// RepositoryBytes reports bytes resident in the disk repository.
+func (l *Loader) RepositoryBytes() int64 {
+	if l.repo == nil {
+		return 0
+	}
+	return l.repo.Size()
+}
+
+// ExpandedPools reports how many pools are currently expanded.
+func (l *Loader) ExpandedPools() int { return l.lru.Len() }
+
+// Close releases the disk repository, if any.
+func (l *Loader) Close() error {
+	if l.repo != nil {
+		err := l.repo.Close()
+		l.repo = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package naim
+
+import (
+	"fmt"
+	"os"
+)
+
+// Repository is the on-disk store for offloaded pools: an append-only
+// temporary file, read back by offset. The paper's repository lives
+// only for the duration of one optimization session (section 6.1: all
+// *persistent* information stays in object files so that make-based
+// builds keep working; the repository is scratch space).
+type Repository struct {
+	f      *os.File
+	off    int64
+	reads  int64
+	writes int64
+	bytesW int64
+	bytesR int64
+}
+
+// NewRepository creates a repository backed by a temp file in dir
+// ("" means the system temp directory). The file is removed on Close.
+func NewRepository(dir string) (*Repository, error) {
+	f, err := os.CreateTemp(dir, "naim-repo-*.pool")
+	if err != nil {
+		return nil, fmt.Errorf("naim: creating repository: %w", err)
+	}
+	return &Repository{f: f}, nil
+}
+
+// Put appends a blob and returns its offset.
+func (r *Repository) Put(b []byte) (int64, error) {
+	off := r.off
+	if _, err := r.f.WriteAt(b, off); err != nil {
+		return 0, fmt.Errorf("naim: repository write: %w", err)
+	}
+	r.off += int64(len(b))
+	r.writes++
+	r.bytesW += int64(len(b))
+	return off, nil
+}
+
+// Get reads length bytes at offset.
+func (r *Repository) Get(off int64, length int) ([]byte, error) {
+	b := make([]byte, length)
+	if _, err := r.f.ReadAt(b, off); err != nil {
+		return nil, fmt.Errorf("naim: repository read: %w", err)
+	}
+	r.reads++
+	r.bytesR += int64(length)
+	return b, nil
+}
+
+// Size reports bytes currently stored (the high-water offset; the
+// repository never reclaims space within a session).
+func (r *Repository) Size() int64 { return r.off }
+
+// Traffic reports cumulative write and read byte counts.
+func (r *Repository) Traffic() (written, read int64) { return r.bytesW, r.bytesR }
+
+// Close removes the backing file.
+func (r *Repository) Close() error {
+	name := r.f.Name()
+	if err := r.f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Remove(name)
+}

@@ -1,0 +1,91 @@
+package naim
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func TestRepositoryPutGet(t *testing.T) {
+	repo, err := NewRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	blobs := [][]byte{
+		[]byte("alpha"),
+		[]byte(""),
+		bytes.Repeat([]byte{0xAB}, 10000),
+		[]byte("omega"),
+	}
+	var offs []int64
+	for _, b := range blobs {
+		off, err := repo.Put(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	// Reads in arbitrary order.
+	for _, i := range []int{3, 0, 2, 1} {
+		got, err := repo.Get(offs[i], len(blobs[i]))
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, blobs[i]) {
+			t.Errorf("blob %d corrupted", i)
+		}
+	}
+	var total int64
+	for _, b := range blobs {
+		total += int64(len(b))
+	}
+	if repo.Size() != total {
+		t.Errorf("Size = %d, want %d", repo.Size(), total)
+	}
+	w, r := repo.Traffic()
+	if w != total || r != total {
+		t.Errorf("Traffic = %d/%d, want %d/%d", w, r, total, total)
+	}
+}
+
+func TestRepositoryCloseRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := NewRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Put([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 repo file, found %d", len(entries))
+	}
+	if err := repo.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Errorf("repository file not removed on Close")
+	}
+}
+
+func TestRepositoryGetBeyondEnd(t *testing.T) {
+	repo, err := NewRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	repo.Put([]byte("abc"))
+	if _, err := repo.Get(0, 10); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestRepositoryBadDir(t *testing.T) {
+	if _, err := NewRepository("/nonexistent/path/zzz"); err == nil {
+		t.Error("repository in a missing directory created")
+	}
+}

@@ -1,0 +1,108 @@
+package objfile
+
+import (
+	"fmt"
+
+	"cmo/internal/hlo"
+	"cmo/internal/il"
+	"cmo/internal/llo"
+	"cmo/internal/lower"
+	"cmo/internal/naim"
+	"cmo/internal/source"
+)
+
+// CompileModule compiles one MinC source module into an object file:
+// machine code at the given LLO level, plus embedded relocatable IL
+// when withIL is set (the -O4 "fat object" a CMO link consumes).
+// intraHLO runs the high-level optimizer over the single module
+// (+O3): inlining, cloning, and loop transformations within module
+// boundaries, with everything exported treated as externally callable
+// and every global as externally stored — the conservatism that
+// link-time CMO exists to remove. Cross-module references stay
+// symbolic; the linker resolves them.
+func CompileModule(file *source.File, lloLevel int, withIL, intraHLO bool) (*Object, error) {
+	res, err := lower.ModulesLoose([]*source.File{file})
+	if err != nil {
+		return nil, err
+	}
+	prog := res.Prog
+	if intraHLO {
+		scope := make(map[il.PID]bool)
+		extCalled := make(map[il.PID]bool)
+		extStored := make(map[il.PID]bool)
+		for _, s := range prog.Syms {
+			switch s.Kind {
+			case il.SymFunc:
+				if s.Module >= 0 {
+					scope[s.PID] = true
+					extCalled[s.PID] = true
+				}
+			case il.SymGlobal:
+				extStored[s.PID] = true
+			}
+		}
+		if _, err := hlo.Optimize(prog, hlo.MapSource(res.Funcs), hlo.Options{
+			Scope:            scope,
+			Selected:         scope,
+			ExternallyCalled: extCalled,
+			ExternStored:     extStored,
+			AllowNoEntry:     true,
+		}); err != nil {
+			return nil, fmt.Errorf("objfile: +O3 optimization of %s: %w", file.Module, err)
+		}
+	}
+	o := &Object{Module: file.Module, Lines: file.Lines}
+
+	// Module-local symbol table: local PID == program PID of the
+	// single-file program.
+	for _, s := range prog.Syms {
+		e := SymEntry{
+			Name:    s.Name,
+			Kind:    s.Kind,
+			Defined: s.Module >= 0,
+			Type:    s.Type,
+			Elems:   s.Elems,
+			Init:    s.Init,
+			Ret:     s.Sig.Ret,
+		}
+		e.Params = append(e.Params, s.Sig.Params...)
+		o.Syms = append(o.Syms, e)
+	}
+
+	for _, pid := range prog.FuncPIDs() {
+		f := res.Funcs[pid]
+		mf, err := llo.Compile(prog, f, llo.Options{Level: lloLevel})
+		if err != nil {
+			return nil, fmt.Errorf("objfile: compiling %s: %w", f.Name, err)
+		}
+		o.Funcs = append(o.Funcs, FuncEntry{LocalPID: uint32(pid), Code: mf})
+		if withIL {
+			o.IL = append(o.IL, ILEntry{LocalPID: uint32(pid), Blob: naim.EncodeFunc(f, nil)})
+		}
+	}
+	return o, nil
+}
+
+// CompileSource is CompileModule from raw text.
+func CompileSource(name, text string, lloLevel int, withIL, intraHLO bool) (*Object, error) {
+	f, err := source.Parse(name, text)
+	if err != nil {
+		return nil, err
+	}
+	if err := source.Check(f); err != nil {
+		return nil, err
+	}
+	return CompileModule(f, lloLevel, withIL, intraHLO)
+}
+
+// FuncPIDsWithIL lists the merged program's functions that have IL
+// bodies, in PID order.
+func (l *Linkable) FuncPIDsWithIL() []il.PID {
+	var out []il.PID
+	for _, pid := range l.Prog.FuncPIDs() {
+		if l.IL[pid] != nil {
+			out = append(out, pid)
+		}
+	}
+	return out
+}

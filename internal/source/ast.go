@@ -1,0 +1,234 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a MinC source-level type.
+type Type struct {
+	Kind  TypeKind
+	Elems int64 // array length when Kind == TypeArray
+}
+
+// TypeKind enumerates MinC types.
+type TypeKind uint8
+
+// MinC type kinds. TypeVoid is the return type of value-less functions.
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeBool
+	TypeArray // fixed-size array of int; module-level variables only
+)
+
+func (t Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypeArray:
+		return fmt.Sprintf("[%d]int", t.Elems)
+	}
+	return fmt.Sprintf("Type(%d)", t.Kind)
+}
+
+// File is one parsed MinC source module.
+type File struct {
+	Name    string // file name for diagnostics
+	Module  string // module name from the `module` header
+	Vars    []*VarDecl
+	Funcs   []*FuncDecl
+	Externs []*ExternDecl
+	Lines   int // number of source lines, for memory-per-line accounting
+}
+
+// VarDecl is a module-level variable declaration.
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init int64 // initial value; arrays are zero-initialized
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   *BlockStmt
+}
+
+// ExternDecl declares a symbol defined in another module.
+type ExternDecl struct {
+	Pos    Pos
+	Name   string
+	IsFunc bool
+	Params []Param // functions only
+	Ret    Type    // functions only
+	Type   Type    // variables only
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// LocalDecl declares a function-local variable (int or bool).
+type LocalDecl struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr // nil means zero value
+}
+
+// AssignStmt assigns to a variable or to an element of a module-level array.
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalar assignment
+	Value Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post are assignments or
+// local declarations (Init only); any part may be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // *LocalDecl or *AssignStmt, or nil
+	Cond Expr // nil means true
+	Post Stmt // *AssignStmt or nil
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void return
+}
+
+func (*BlockStmt) stmtNode()  {}
+func (*LocalDecl) stmtNode()  {}
+func (*AssignStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode() {}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// VarRef names a local variable, parameter, or module-level scalar.
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an element of a module-level array.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// CallExpr calls a function by name.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokKind // TokMinus or TokBang
+	X   Expr
+}
+
+// BinaryExpr is a binary operation. && and || short-circuit.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+func (*IntLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// Position reports the source position of the expression.
+func (e *IntLit) Position() Pos     { return e.Pos }
+func (e *BoolLit) Position() Pos    { return e.Pos }
+func (e *VarRef) Position() Pos     { return e.Pos }
+func (e *IndexExpr) Position() Pos  { return e.Pos }
+func (e *CallExpr) Position() Pos   { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+
+// countLines reports the number of newline-terminated lines in src,
+// counting a trailing partial line.
+func countLines(src string) int {
+	if src == "" {
+		return 0
+	}
+	n := strings.Count(src, "\n")
+	if !strings.HasSuffix(src, "\n") {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,416 @@
+package source
+
+import "fmt"
+
+// FuncSig describes a callable signature visible during checking.
+type FuncSig struct {
+	Name   string
+	Params []Type
+	Ret    Type
+}
+
+// moduleScope is the set of names visible at module level in one file.
+type moduleScope struct {
+	vars  map[string]Type    // module vars and extern vars
+	funcs map[string]FuncSig // functions and extern functions
+}
+
+// checker type-checks one file.
+type checker struct {
+	file  string
+	scope moduleScope
+	// function-local state
+	locals []map[string]Type // scope stack
+	ret    Type
+}
+
+// Check verifies the static semantics of a parsed file: unique names,
+// resolved references, and type agreement. It does not need other
+// modules: cross-module references are checked against the file's
+// extern declarations, and inter-module consistency is verified later
+// when the program symbol table is built (see internal/il).
+func Check(f *File) error {
+	c := &checker{
+		file: f.Name,
+		scope: moduleScope{
+			vars:  make(map[string]Type),
+			funcs: make(map[string]FuncSig),
+		},
+	}
+	declare := func(pos Pos, name string) error {
+		if _, ok := c.scope.vars[name]; ok {
+			return c.errorf(pos, "duplicate declaration of %s", name)
+		}
+		if _, ok := c.scope.funcs[name]; ok {
+			return c.errorf(pos, "duplicate declaration of %s", name)
+		}
+		return nil
+	}
+	for _, v := range f.Vars {
+		if err := declare(v.Pos, v.Name); err != nil {
+			return err
+		}
+		if v.Type.Kind == TypeVoid {
+			return c.errorf(v.Pos, "variable %s has void type", v.Name)
+		}
+		c.scope.vars[v.Name] = v.Type
+	}
+	for _, e := range f.Externs {
+		if err := declare(e.Pos, e.Name); err != nil {
+			return err
+		}
+		if e.IsFunc {
+			sig := FuncSig{Name: e.Name, Ret: e.Ret}
+			for _, p := range e.Params {
+				sig.Params = append(sig.Params, p.Type)
+			}
+			c.scope.funcs[e.Name] = sig
+		} else {
+			c.scope.vars[e.Name] = e.Type
+		}
+	}
+	for _, fn := range f.Funcs {
+		if err := declare(fn.Pos, fn.Name); err != nil {
+			return err
+		}
+		sig := FuncSig{Name: fn.Name, Ret: fn.Ret}
+		for _, p := range fn.Params {
+			sig.Params = append(sig.Params, p.Type)
+		}
+		c.scope.funcs[fn.Name] = sig
+	}
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) error {
+	return &Error{File: c.file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (c *checker) push() { c.locals = append(c.locals, make(map[string]Type)) }
+func (c *checker) pop()  { c.locals = c.locals[:len(c.locals)-1] }
+
+func (c *checker) declareLocal(pos Pos, name string, t Type) error {
+	top := c.locals[len(c.locals)-1]
+	if _, ok := top[name]; ok {
+		return c.errorf(pos, "duplicate declaration of %s in this scope", name)
+	}
+	top[name] = t
+	return nil
+}
+
+// lookupVar resolves a scalar variable name: innermost local scope
+// first, then module scope.
+func (c *checker) lookupVar(name string) (Type, bool) {
+	for i := len(c.locals) - 1; i >= 0; i-- {
+		if t, ok := c.locals[i][name]; ok {
+			return t, true
+		}
+	}
+	t, ok := c.scope.vars[name]
+	return t, ok
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	c.ret = fn.Ret
+	c.locals = nil
+	c.push()
+	defer c.pop()
+	for _, p := range fn.Params {
+		if p.Type.Kind == TypeVoid {
+			return c.errorf(p.Pos, "parameter %s has void type", p.Name)
+		}
+		if err := c.declareLocal(p.Pos, p.Name, p.Type); err != nil {
+			return err
+		}
+	}
+	if err := c.checkBlock(fn.Body); err != nil {
+		return err
+	}
+	if fn.Ret.Kind != TypeVoid && !terminates(fn.Body) {
+		return c.errorf(fn.Pos, "function %s: missing return on some path", fn.Name)
+	}
+	return nil
+}
+
+// terminates conservatively reports whether every path through s ends
+// in a return.
+func terminates(s Stmt) bool {
+	switch s := s.(type) {
+	case *ReturnStmt:
+		return true
+	case *BlockStmt:
+		for _, st := range s.Stmts {
+			if terminates(st) {
+				return true
+			}
+		}
+		return false
+	case *IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Then) && terminates(s.Else)
+	}
+	return false
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.push()
+	defer c.pop()
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(s)
+	case *LocalDecl:
+		if s.Init != nil {
+			t, err := c.checkExpr(s.Init)
+			if err != nil {
+				return err
+			}
+			if t.Kind != s.Type.Kind {
+				return c.errorf(s.Pos, "cannot initialize %s %s with %s", s.Type, s.Name, t)
+			}
+		}
+		return c.declareLocal(s.Pos, s.Name, s.Type)
+	case *AssignStmt:
+		vt, ok := c.lookupVar(s.Name)
+		if !ok {
+			return c.errorf(s.Pos, "undefined variable %s", s.Name)
+		}
+		val, err := c.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if s.Index != nil {
+			if vt.Kind != TypeArray {
+				return c.errorf(s.Pos, "%s is not an array", s.Name)
+			}
+			it, err := c.checkExpr(s.Index)
+			if err != nil {
+				return err
+			}
+			if it.Kind != TypeInt {
+				return c.errorf(s.Pos, "array index must be int, have %s", it)
+			}
+			if val.Kind != TypeInt {
+				return c.errorf(s.Pos, "array element assignment requires int, have %s", val)
+			}
+			return nil
+		}
+		if vt.Kind == TypeArray {
+			return c.errorf(s.Pos, "cannot assign to array %s", s.Name)
+		}
+		if val.Kind != vt.Kind {
+			return c.errorf(s.Pos, "cannot assign %s to %s %s", val, vt, s.Name)
+		}
+		return nil
+	case *ExprStmt:
+		_, err := c.checkExprAllowVoid(s.X)
+		return err
+	case *IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		return c.checkBlock(s.Body)
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkCond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		return c.checkBlock(s.Body)
+	case *ReturnStmt:
+		if s.Value == nil {
+			if c.ret.Kind != TypeVoid {
+				return c.errorf(s.Pos, "missing return value")
+			}
+			return nil
+		}
+		if c.ret.Kind == TypeVoid {
+			return c.errorf(s.Pos, "void function returns a value")
+		}
+		t, err := c.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		if t.Kind != c.ret.Kind {
+			return c.errorf(s.Pos, "cannot return %s from function returning %s", t, c.ret)
+		}
+		return nil
+	}
+	return fmt.Errorf("source: unknown statement %T", s)
+}
+
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if t.Kind != TypeBool {
+		return c.errorf(e.Position(), "condition must be bool, have %s", t)
+	}
+	return nil
+}
+
+func (c *checker) checkExprAllowVoid(e Expr) (Type, error) {
+	if call, ok := e.(*CallExpr); ok {
+		sig, ok := c.scope.funcs[call.Name]
+		if !ok {
+			return Type{}, c.errorf(call.Pos, "undefined function %s", call.Name)
+		}
+		if err := c.checkCallArgs(call, sig); err != nil {
+			return Type{}, err
+		}
+		return sig.Ret, nil
+	}
+	return c.checkExpr(e)
+}
+
+func (c *checker) checkCallArgs(call *CallExpr, sig FuncSig) error {
+	if len(call.Args) != len(sig.Params) {
+		return c.errorf(call.Pos, "%s expects %d arguments, got %d", call.Name, len(sig.Params), len(call.Args))
+	}
+	for i, a := range call.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return err
+		}
+		if t.Kind != sig.Params[i].Kind {
+			return c.errorf(a.Position(), "%s argument %d: have %s, want %s", call.Name, i+1, t, sig.Params[i])
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return Type{Kind: TypeInt}, nil
+	case *BoolLit:
+		return Type{Kind: TypeBool}, nil
+	case *VarRef:
+		t, ok := c.lookupVar(e.Name)
+		if !ok {
+			return Type{}, c.errorf(e.Pos, "undefined variable %s", e.Name)
+		}
+		if t.Kind == TypeArray {
+			return Type{}, c.errorf(e.Pos, "array %s cannot be used as a value", e.Name)
+		}
+		return t, nil
+	case *IndexExpr:
+		t, ok := c.lookupVar(e.Name)
+		if !ok {
+			return Type{}, c.errorf(e.Pos, "undefined variable %s", e.Name)
+		}
+		if t.Kind != TypeArray {
+			return Type{}, c.errorf(e.Pos, "%s is not an array", e.Name)
+		}
+		it, err := c.checkExpr(e.Index)
+		if err != nil {
+			return Type{}, err
+		}
+		if it.Kind != TypeInt {
+			return Type{}, c.errorf(e.Pos, "array index must be int, have %s", it)
+		}
+		return Type{Kind: TypeInt}, nil
+	case *CallExpr:
+		sig, ok := c.scope.funcs[e.Name]
+		if !ok {
+			return Type{}, c.errorf(e.Pos, "undefined function %s", e.Name)
+		}
+		if sig.Ret.Kind == TypeVoid {
+			return Type{}, c.errorf(e.Pos, "void function %s used as a value", e.Name)
+		}
+		if err := c.checkCallArgs(e, sig); err != nil {
+			return Type{}, err
+		}
+		return sig.Ret, nil
+	case *UnaryExpr:
+		t, err := c.checkExpr(e.X)
+		if err != nil {
+			return Type{}, err
+		}
+		switch e.Op {
+		case TokMinus:
+			if t.Kind != TypeInt {
+				return Type{}, c.errorf(e.Pos, "unary - requires int, have %s", t)
+			}
+			return t, nil
+		case TokBang:
+			if t.Kind != TypeBool {
+				return Type{}, c.errorf(e.Pos, "! requires bool, have %s", t)
+			}
+			return t, nil
+		}
+		return Type{}, c.errorf(e.Pos, "invalid unary operator %s", e.Op)
+	case *BinaryExpr:
+		lt, err := c.checkExpr(e.L)
+		if err != nil {
+			return Type{}, err
+		}
+		rt, err := c.checkExpr(e.R)
+		if err != nil {
+			return Type{}, err
+		}
+		switch e.Op {
+		case TokPlus, TokMinus, TokStar, TokSlash, TokPercent:
+			if lt.Kind != TypeInt || rt.Kind != TypeInt {
+				return Type{}, c.errorf(e.Pos, "%s requires int operands, have %s and %s", e.Op, lt, rt)
+			}
+			return Type{Kind: TypeInt}, nil
+		case TokLt, TokLe, TokGt, TokGe:
+			if lt.Kind != TypeInt || rt.Kind != TypeInt {
+				return Type{}, c.errorf(e.Pos, "%s requires int operands, have %s and %s", e.Op, lt, rt)
+			}
+			return Type{Kind: TypeBool}, nil
+		case TokEq, TokNe:
+			if lt.Kind != rt.Kind || lt.Kind == TypeArray || lt.Kind == TypeVoid {
+				return Type{}, c.errorf(e.Pos, "%s requires matching scalar operands, have %s and %s", e.Op, lt, rt)
+			}
+			return Type{Kind: TypeBool}, nil
+		case TokAndAnd, TokOrOr:
+			if lt.Kind != TypeBool || rt.Kind != TypeBool {
+				return Type{}, c.errorf(e.Pos, "%s requires bool operands, have %s and %s", e.Op, lt, rt)
+			}
+			return Type{Kind: TypeBool}, nil
+		}
+		return Type{}, c.errorf(e.Pos, "invalid binary operator %s", e.Op)
+	}
+	return Type{}, fmt.Errorf("source: unknown expression %T", e)
+}

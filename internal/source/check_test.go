@@ -1,0 +1,114 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkSrc(t *testing.T, src string) error {
+	t.Helper()
+	f, err := Parse("t.minc", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return Check(f)
+}
+
+func TestCheckValidPrograms(t *testing.T) {
+	srcs := []string{
+		sampleModule,
+		`module m; func f() {}`,
+		`module m; var g int; func f() int { g = g + 1; return g; }`,
+		`module m; func f(a bool) bool { return !a && true; }`,
+		`module m; extern func e() int; func f() int { return e(); }`,
+		`module m; func f() int { var x int; { var x bool; x = true; } return x; }`,
+		`module m; func f(n int) int { if (n <= 1) { return 1; } return n * f(n - 1); }`,
+	}
+	for i, src := range srcs {
+		if err := checkSrc(t, src); err != nil {
+			t.Errorf("program %d: unexpected error: %v", i, err)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{`module m; var x int; var x int;`, "duplicate"},
+		{`module m; func f() {} func f() {}`, "duplicate"},
+		{`module m; var f int; func f() {}`, "duplicate"},
+		{`module m; func f() int { return y; }`, "undefined variable"},
+		{`module m; func f() int { return g(); }`, "undefined function"},
+		{`module m; func f() int { return true; }`, "cannot return"},
+		{`module m; func f() { return 1; }`, "void function returns"},
+		{`module m; func f() int { }`, "missing return"},
+		{`module m; func f() int { if (true) { return 1; } }`, "missing return"},
+		{`module m; func f(a int) int { return f(a, a); }`, "expects 1 arguments"},
+		{`module m; func f(a int) int { return f(true); }`, "argument 1"},
+		{`module m; func f() { if (1) {} }`, "condition must be bool"},
+		{`module m; func f() { while (0) {} }`, "condition must be bool"},
+		{`module m; var a [4]int; func f() int { return a; }`, "cannot be used as a value"},
+		{`module m; var a [4]int; func f() { a = 1; }`, "cannot assign to array"},
+		{`module m; var x int; func f() { x[0] = 1; }`, "not an array"},
+		{`module m; var a [4]int; func f() { a[true] = 1; }`, "index must be int"},
+		{`module m; func f() { var x int = true; }`, "cannot initialize"},
+		{`module m; func f() { var x int; var x int; }`, "duplicate"},
+		{`module m; func f() bool { return 1 && true; }`, "bool operands"},
+		{`module m; func f() bool { return true < false; }`, "int operands"},
+		{`module m; func f() int { return -true; }`, "requires int"},
+		{`module m; func f() bool { return !1; }`, "requires bool"},
+		{`module m; func v() {} func f() int { return v(); }`, "used as a value"},
+		{`module m; func f() bool { return 1 == true; }`, "matching scalar"},
+		{`module m; func f(x int) { x(); }`, "undefined function"},
+	}
+	for _, tc := range cases {
+		err := checkSrc(t, tc.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got nil", tc.src, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%q: error %q does not contain %q", tc.src, err, tc.frag)
+		}
+	}
+}
+
+func TestCheckShadowingScopes(t *testing.T) {
+	// A local may shadow a global; an inner scope may shadow an outer local.
+	src := `module m;
+var g int;
+func f(g bool) bool {
+	if (g) {
+		var g int = 3;
+		return g > 2;
+	}
+	return g;
+}`
+	if err := checkSrc(t, src); err != nil {
+		t.Fatalf("shadowing should be legal: %v", err)
+	}
+}
+
+func TestCheckForScope(t *testing.T) {
+	// The for-init variable is scoped to the loop.
+	src := `module m; func f() int {
+		for (var i int = 0; i < 3; i = i + 1) {}
+		return i;
+	}`
+	err := checkSrc(t, src)
+	if err == nil || !strings.Contains(err.Error(), "undefined variable i") {
+		t.Fatalf("expected undefined variable i, got %v", err)
+	}
+}
+
+func TestTerminates(t *testing.T) {
+	src := `module m;
+func a() int { while (true) {} return 1; }
+func b(x bool) int { if (x) { return 1; } else { return 2; } }
+`
+	if err := checkSrc(t, src); err != nil {
+		t.Fatalf("unexpected: %v", err)
+	}
+}

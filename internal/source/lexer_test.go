@@ -1,0 +1,131 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasicTokens(t *testing.T) {
+	src := `module m; var x int = 42; func f(a int) int { return a + x; }`
+	toks, err := LexAll("t.minc", src)
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	want := []TokKind{
+		TokModule, TokIdent, TokSemi,
+		TokVar, TokIdent, TokTypeInt, TokAssign, TokInt, TokSemi,
+		TokFunc, TokIdent, TokLParen, TokIdent, TokTypeInt, TokRParen, TokTypeInt,
+		TokLBrace, TokReturn, TokIdent, TokPlus, TokIdent, TokSemi, TokRBrace,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want TokKind
+	}{
+		{"==", TokEq}, {"!=", TokNe}, {"<=", TokLe}, {">=", TokGe},
+		{"<", TokLt}, {">", TokGt}, {"&&", TokAndAnd}, {"||", TokOrOr},
+		{"!", TokBang}, {"=", TokAssign}, {"+", TokPlus}, {"-", TokMinus},
+		{"*", TokStar}, {"/", TokSlash}, {"%", TokPercent},
+	}
+	for _, tc := range cases {
+		toks, err := LexAll("t", tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if len(toks) != 1 || toks[0].Kind != tc.want {
+			t.Errorf("%q: got %v, want single %s", tc.src, toks, tc.want)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := "// line comment\nmodule /* block\ncomment */ m;"
+	toks, err := LexAll("t", src)
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	if len(toks) != 3 || toks[0].Kind != TokModule || toks[1].Text != "m" {
+		t.Fatalf("unexpected tokens: %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	src := "module m;\n  var x int;"
+	toks, err := LexAll("t", src)
+	if err != nil {
+		t.Fatalf("LexAll: %v", err)
+	}
+	if toks[3].Kind != TokVar {
+		t.Fatalf("token 3 is %v, want var", toks[3])
+	}
+	if toks[3].Pos.Line != 2 || toks[3].Pos.Col != 3 {
+		t.Errorf("var position = %v, want 2:3", toks[3].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"@",
+		"123abc",
+		"/* unterminated",
+		"&",
+		"|x",
+		"99999999999999999999999999",
+	}
+	for _, src := range cases {
+		if _, err := LexAll("t", src); err == nil {
+			t.Errorf("%q: expected lex error, got none", src)
+		}
+	}
+}
+
+func TestLexEOFIsSticky(t *testing.T) {
+	l := NewLexer("t", "x")
+	if tok, err := l.Next(); err != nil || tok.Kind != TokIdent {
+		t.Fatalf("first token: %v, %v", tok, err)
+	}
+	for i := 0; i < 3; i++ {
+		tok, err := l.Next()
+		if err != nil || tok.Kind != TokEOF {
+			t.Fatalf("expected sticky EOF, got %v, %v", tok, err)
+		}
+	}
+}
+
+func TestLexErrorMessageHasPosition(t *testing.T) {
+	_, err := LexAll("file.minc", "module m;\n@")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "file.minc:2:1") {
+		t.Errorf("error %q does not mention position file.minc:2:1", err)
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"", 0},
+		{"a", 1},
+		{"a\n", 1},
+		{"a\nb", 2},
+		{"a\nb\n", 2},
+	}
+	for _, tc := range cases {
+		if got := countLines(tc.src); got != tc.want {
+			t.Errorf("countLines(%q) = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,691 @@
+package source
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MinC. Use Parse.
+type Parser struct {
+	lex  *Lexer
+	file string
+	tok  Token
+	err  error
+}
+
+// Parse parses one MinC source module.
+func Parse(file, src string) (*File, error) {
+	p := &Parser{lex: NewLexer(file, src), file: file}
+	p.next()
+	if p.err != nil {
+		return nil, p.err
+	}
+	f, err := p.parseFile()
+	if err != nil {
+		return nil, err
+	}
+	f.Name = file
+	f.Lines = countLines(src)
+	return f, nil
+}
+
+func (p *Parser) next() {
+	if p.err != nil {
+		return
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		p.tok = Token{Kind: TokEOF}
+		return
+	}
+	p.tok = t
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	if p.err != nil {
+		return p.err
+	}
+	return &Error{File: p.file, Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.err != nil {
+		return Token{}, p.err
+	}
+	if p.tok.Kind != k {
+		return Token{}, p.errorf("expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	p.next()
+	return t, p.err
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.err == nil && p.tok.Kind == k {
+		p.next()
+		return p.err == nil
+	}
+	return false
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	if _, err := p.expect(TokModule); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	f.Module = name.Text
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != TokEOF {
+		switch p.tok.Kind {
+		case TokVar:
+			d, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Vars = append(f.Vars, d)
+		case TokFunc:
+			d, err := p.parseFuncDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, d)
+		case TokExtern:
+			d, err := p.parseExternDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Externs = append(f.Externs, d)
+		default:
+			return nil, p.errorf("expected declaration, found %s", p.tok)
+		}
+	}
+	return f, p.err
+}
+
+func (p *Parser) parseType() (Type, error) {
+	switch p.tok.Kind {
+	case TokTypeInt:
+		p.next()
+		return Type{Kind: TypeInt}, p.err
+	case TokTypeBool:
+		p.next()
+		return Type{Kind: TypeBool}, p.err
+	case TokLBracket:
+		p.next()
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(TokTypeInt); err != nil {
+			return Type{}, err
+		}
+		if n.Int <= 0 {
+			return Type{}, &Error{File: p.file, Pos: n.Pos, Msg: "array length must be positive"}
+		}
+		return Type{Kind: TypeArray, Elems: n.Int}, nil
+	}
+	return Type{}, p.errorf("expected type, found %s", p.tok)
+}
+
+func (p *Parser) parseVarDecl() (*VarDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokVar); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Pos: pos, Name: name.Text, Type: typ}
+	if p.accept(TokAssign) {
+		neg := p.accept(TokMinus)
+		v, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if typ.Kind != TypeInt {
+			return nil, &Error{File: p.file, Pos: v.Pos, Msg: "initializer allowed only for int variables"}
+		}
+		d.Init = v.Int
+		if neg {
+			d.Init = -d.Init
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseParams() ([]Param, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	if p.tok.Kind != TokRParen {
+		for {
+			pos := p.tok.Pos
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if typ.Kind == TypeArray {
+				return nil, &Error{File: p.file, Pos: pos, Msg: "array parameters are not supported"}
+			}
+			params = append(params, Param{Pos: pos, Name: name.Text, Type: typ})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+func (p *Parser) parseRetType() (Type, error) {
+	if p.tok.Kind == TokTypeInt || p.tok.Kind == TokTypeBool {
+		return p.parseType()
+	}
+	return Type{Kind: TypeVoid}, nil
+}
+
+func (p *Parser) parseFuncDecl() (*FuncDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokFunc); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return nil, err
+	}
+	ret, err := p.parseRetType()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Pos: pos, Name: name.Text, Params: params, Ret: ret, Body: body}, nil
+}
+
+func (p *Parser) parseExternDecl() (*ExternDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokExtern); err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TokFunc:
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		params, err := p.parseParams()
+		if err != nil {
+			return nil, err
+		}
+		ret, err := p.parseRetType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExternDecl{Pos: pos, Name: name.Text, IsFunc: true, Params: params, Ret: ret}, nil
+	case TokVar:
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &ExternDecl{Pos: pos, Name: name.Text, Type: typ}, nil
+	}
+	return nil, p.errorf("expected func or var after extern, found %s", p.tok)
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokEOF {
+			return nil, p.errorf("unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next()
+	return b, p.err
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.tok.Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokVar:
+		return p.parseLocalDecl(true)
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		return p.parseReturn()
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *Parser) parseLocalDecl(wantSemi bool) (*LocalDecl, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokVar); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if typ.Kind == TypeArray {
+		return nil, &Error{File: p.file, Pos: pos, Msg: "array variables must be module-level"}
+	}
+	d := &LocalDecl{Pos: pos, Name: name.Text, Type: typ}
+	if p.accept(TokAssign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	if wantSemi {
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses an assignment or expression statement without
+// consuming a trailing semicolon.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	if p.tok.Kind == TokIdent {
+		name := p.tok.Text
+		p.next()
+		switch p.tok.Kind {
+		case TokAssign:
+			p.next()
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: pos, Name: name, Value: v}, nil
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind == TokAssign {
+				p.next()
+				v, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				return &AssignStmt{Pos: pos, Name: name, Index: idx, Value: v}, nil
+			}
+			// An index expression used as a statement: re-wrap as expr.
+			e, err := p.parseExprSuffix(&IndexExpr{Pos: pos, Name: name, Index: idx})
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos: pos, X: e}, nil
+		case TokLParen:
+			call, err := p.parseCallArgs(pos, name)
+			if err != nil {
+				return nil, err
+			}
+			e, err := p.parseExprSuffix(call)
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos: pos, X: e}, nil
+		default:
+			e, err := p.parseExprSuffix(&VarRef{Pos: pos, Name: name})
+			if err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos: pos, X: e}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{Pos: pos, X: e}, nil
+}
+
+// parseExprSuffix continues expression parsing given an already-parsed
+// primary expression (used when statement parsing has consumed a prefix).
+func (p *Parser) parseExprSuffix(primary Expr) (Expr, error) {
+	return p.parseBinaryRHS(0, primary)
+}
+
+func (p *Parser) parseIf() (*IfStmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokIf); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept(TokElse) {
+		if p.tok.Kind == TokIf {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+	}
+	return s, nil
+}
+
+func (p *Parser) parseWhile() (*WhileStmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (*ForStmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokFor); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Pos: pos}
+	if p.tok.Kind != TokSemi {
+		if p.tok.Kind == TokVar {
+			d, err := p.parseLocalDecl(false)
+			if err != nil {
+				return nil, err
+			}
+			s.Init = d
+		} else {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokSemi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokRParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *Parser) parseReturn() (*ReturnStmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokReturn); err != nil {
+		return nil, err
+	}
+	s := &ReturnStmt{Pos: pos}
+	if p.tok.Kind != TokSemi {
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Value = v
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Binary operator precedence, higher binds tighter.
+func precOf(k TokKind) int {
+	switch k {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokEq, TokNe:
+		return 3
+	case TokLt, TokLe, TokGt, TokGe:
+		return 4
+	case TokPlus, TokMinus:
+		return 5
+	case TokStar, TokSlash, TokPercent:
+		return 6
+	}
+	return 0
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseBinaryRHS(0, lhs)
+}
+
+func (p *Parser) parseBinaryRHS(minPrec int, lhs Expr) (Expr, error) {
+	for {
+		prec := precOf(p.tok.Kind)
+		if prec == 0 || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			nprec := precOf(p.tok.Kind)
+			if nprec <= prec {
+				break
+			}
+			rhs, err = p.parseBinaryRHS(nprec, rhs)
+			if err != nil {
+				return nil, err
+			}
+		}
+		lhs = &BinaryExpr{Pos: pos, Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokMinus, TokBang:
+		pos := p.tok.Pos
+		op := p.tok.Kind
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parseCallArgs(pos Pos, name string) (*CallExpr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	call := &CallExpr{Pos: pos, Name: name}
+	if p.tok.Kind != TokRParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokInt:
+		v := p.tok.Int
+		p.next()
+		return &IntLit{Pos: pos, Val: v}, p.err
+	case TokTrue:
+		p.next()
+		return &BoolLit{Pos: pos, Val: true}, p.err
+	case TokFalse:
+		p.next()
+		return &BoolLit{Pos: pos, Val: false}, p.err
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		name := p.tok.Text
+		p.next()
+		switch p.tok.Kind {
+		case TokLParen:
+			return p.parseCallArgs(pos, name)
+		case TokLBracket:
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos: pos, Name: name, Index: idx}, nil
+		}
+		return &VarRef{Pos: pos, Name: name}, p.err
+	}
+	return nil, p.errorf("expected expression, found %s", p.tok)
+}

@@ -1,0 +1,214 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleModule = `
+module alpha;
+
+var g int = 7;
+var buf [128]int;
+extern func helper(n int) int;
+extern var shared int;
+
+func compute(a int, b int) int {
+	var acc int = 0;
+	for (var i int = 0; i < a; i = i + 1) {
+		acc = acc + helper(i) * b;
+		if (acc > 1000) {
+			acc = acc % 1000;
+		} else if (acc < 0) {
+			acc = -acc;
+		}
+	}
+	while (acc > 0 && g != 0) {
+		acc = acc - g;
+		buf[acc % 128] = acc;
+	}
+	return acc + shared + buf[0];
+}
+
+func main() int {
+	return compute(10, 3);
+}
+`
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.minc", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseSampleModule(t *testing.T) {
+	f := mustParse(t, sampleModule)
+	if f.Module != "alpha" {
+		t.Errorf("module name = %q, want alpha", f.Module)
+	}
+	if len(f.Vars) != 2 {
+		t.Errorf("got %d vars, want 2", len(f.Vars))
+	}
+	if len(f.Funcs) != 2 {
+		t.Errorf("got %d funcs, want 2", len(f.Funcs))
+	}
+	if len(f.Externs) != 2 {
+		t.Errorf("got %d externs, want 2", len(f.Externs))
+	}
+	if f.Vars[0].Init != 7 {
+		t.Errorf("g init = %d, want 7", f.Vars[0].Init)
+	}
+	if f.Vars[1].Type.Kind != TypeArray || f.Vars[1].Type.Elems != 128 {
+		t.Errorf("buf type = %v, want [128]int", f.Vars[1].Type)
+	}
+	if f.Lines == 0 {
+		t.Error("Lines not recorded")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `module m; func f() int { return 1 + 2 * 3; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	add, ok := ret.Value.(*BinaryExpr)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("top op = %T %v, want +", ret.Value, ret.Value)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("rhs op = %T, want *", add.R)
+	}
+}
+
+func TestParseLeftAssociativity(t *testing.T) {
+	f := mustParse(t, `module m; func f() int { return 10 - 3 - 2; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	outer := ret.Value.(*BinaryExpr)
+	inner, ok := outer.L.(*BinaryExpr)
+	if !ok || inner.Op != TokMinus {
+		t.Fatalf("left operand is %T, want nested -", outer.L)
+	}
+	if lit, ok := outer.R.(*IntLit); !ok || lit.Val != 2 {
+		t.Fatalf("right operand = %v, want 2", outer.R)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	// a || b && c parses as a || (b && c)
+	f := mustParse(t, `module m; func f(a bool, b bool, c bool) bool { return a || b && c; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	or := ret.Value.(*BinaryExpr)
+	if or.Op != TokOrOr {
+		t.Fatalf("top op = %v, want ||", or.Op)
+	}
+	if and, ok := or.R.(*BinaryExpr); !ok || and.Op != TokAndAnd {
+		t.Fatalf("rhs = %T, want &&", or.R)
+	}
+}
+
+func TestParseComparisonChain(t *testing.T) {
+	// 1 + 2 < 3 * 4 parses as (1+2) < (3*4)
+	f := mustParse(t, `module m; func f() bool { return 1 + 2 < 3 * 4; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	cmp := ret.Value.(*BinaryExpr)
+	if cmp.Op != TokLt {
+		t.Fatalf("top op = %v, want <", cmp.Op)
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	f := mustParse(t, `module m; func f(x int) int { return --x; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	u1 := ret.Value.(*UnaryExpr)
+	u2 := u1.X.(*UnaryExpr)
+	if u1.Op != TokMinus || u2.Op != TokMinus {
+		t.Fatal("expected nested unary minus")
+	}
+}
+
+func TestParseCallStatementAndExpr(t *testing.T) {
+	f := mustParse(t, `
+module m;
+func g() {}
+func h(x int) int { return x; }
+func f() int {
+	g();
+	var y int = h(1) + h(2);
+	return y;
+}`)
+	body := f.Funcs[2].Body
+	if _, ok := body.Stmts[0].(*ExprStmt); !ok {
+		t.Errorf("stmt 0 is %T, want ExprStmt", body.Stmts[0])
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	srcs := []string{
+		`module m; func f() { for (;;) { return; } }`,
+		`module m; func f() { for (var i int = 0; i < 10; i = i + 1) {} }`,
+		`module m; var i int; func f() { for (i = 0; i < 3;) {} }`,
+	}
+	for _, src := range srcs {
+		mustParse(t, src)
+	}
+}
+
+func TestParseArrayAssignAndRead(t *testing.T) {
+	f := mustParse(t, `module m; var a [4]int; func f(i int) int { a[i] = a[i+1] + 1; return a[0]; }`)
+	as, ok := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if !ok || as.Index == nil {
+		t.Fatalf("stmt 0 = %T, want indexed assignment", f.Funcs[0].Body.Stmts[0])
+	}
+}
+
+func TestParseNegativeGlobalInit(t *testing.T) {
+	f := mustParse(t, `module m; var g int = -5;`)
+	if f.Vars[0].Init != -5 {
+		t.Errorf("init = %d, want -5", f.Vars[0].Init)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{`func f() {}`, "module"},
+		{`module m; func f( {}`, "expected"},
+		{`module m; var x [0]int;`, "positive"},
+		{`module m; func f(a [3]int) {}`, "array parameters"},
+		{`module m; func f() { var a [3]int; }`, "module-level"},
+		{`module m; var x bool = 3;`, "initializer"},
+		{`module m; func f() int { return 1; `, "end of input"},
+		{`module m; extern x;`, "func or var"},
+		{`module m; 42`, "declaration"},
+		{`module m; func f() { 1 + ; }`, "expression"},
+	}
+	for _, tc := range cases {
+		_, err := Parse("t.minc", tc.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got nil", tc.src, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%q: error %q does not contain %q", tc.src, err, tc.frag)
+		}
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	f := mustParse(t, `module m; func f(a bool, b bool) int {
+		if (a) { if (b) { return 1; } else { return 2; } }
+		return 3;
+	}`)
+	outer := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if outer.Else != nil {
+		t.Error("else bound to outer if, want inner")
+	}
+	inner := outer.Then.Stmts[0].(*IfStmt)
+	if inner.Else == nil {
+		t.Error("inner if lost its else")
+	}
+}

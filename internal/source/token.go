@@ -1,0 +1,153 @@
+// Package source implements the frontend for MinC, the small modular
+// C-like language used by this reproduction. MinC exists so that the
+// cross-module optimizer has realistic, multi-module input to chew on;
+// the HLO works on the common IL and never sees MinC itself, mirroring
+// the language-neutral design of the HP-UX compiler described in the
+// paper (section 3).
+package source
+
+import "fmt"
+
+// TokKind enumerates the lexical token kinds of MinC.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+
+	// Keywords.
+	TokModule
+	TokVar
+	TokFunc
+	TokExtern
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokTrue
+	TokFalse
+	TokTypeInt
+	TokTypeBool
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF:      "EOF",
+	TokIdent:    "identifier",
+	TokInt:      "integer literal",
+	TokModule:   "module",
+	TokVar:      "var",
+	TokFunc:     "func",
+	TokExtern:   "extern",
+	TokIf:       "if",
+	TokElse:     "else",
+	TokWhile:    "while",
+	TokFor:      "for",
+	TokReturn:   "return",
+	TokTrue:     "true",
+	TokFalse:    "false",
+	TokTypeInt:  "int",
+	TokTypeBool: "bool",
+	TokLParen:   "(",
+	TokRParen:   ")",
+	TokLBrace:   "{",
+	TokRBrace:   "}",
+	TokLBracket: "[",
+	TokRBracket: "]",
+	TokComma:    ",",
+	TokSemi:     ";",
+	TokAssign:   "=",
+	TokPlus:     "+",
+	TokMinus:    "-",
+	TokStar:     "*",
+	TokSlash:    "/",
+	TokPercent:  "%",
+	TokEq:       "==",
+	TokNe:       "!=",
+	TokLt:       "<",
+	TokLe:       "<=",
+	TokGt:       ">",
+	TokGe:       ">=",
+	TokAndAnd:   "&&",
+	TokOrOr:     "||",
+	TokBang:     "!",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"module": TokModule,
+	"var":    TokVar,
+	"func":   TokFunc,
+	"extern": TokExtern,
+	"if":     TokIf,
+	"else":   TokElse,
+	"while":  TokWhile,
+	"for":    TokFor,
+	"return": TokReturn,
+	"true":   TokTrue,
+	"false":  TokFalse,
+	"int":    TokTypeInt,
+	"bool":   TokTypeBool,
+}
+
+// Pos is a source position: 1-based line and column within one file.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its position and, where relevant,
+// its literal text or integer value.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string // identifier text
+	Int  int64  // integer literal value
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return t.Text
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	default:
+		return t.Kind.String()
+	}
+}

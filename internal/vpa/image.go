@@ -1,0 +1,165 @@
+package vpa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Func is one routine in an executable image.
+type Func struct {
+	Name   string
+	Addr   int64 // byte address of the first instruction
+	Code   []Instr
+	NSlots int // spill/frame slots
+}
+
+// Global describes one data-segment symbol.
+type Global struct {
+	Name  string
+	Addr  int64 // word address in the data segment
+	Words int64 // 1 for scalars, element count for arrays
+	Init  int64 // initial value (scalars)
+}
+
+// Image is a fully linked executable for the VPA machine. Function
+// order in Funcs is the code layout order chosen by the linker; Addr
+// fields must be consistent with it (use Finalize).
+type Image struct {
+	Funcs   []*Func
+	Globals []Global
+	Entry   int32 // index into Funcs of the entry routine
+
+	// NumProbes is the size of the profile counter array for
+	// instrumented images.
+	NumProbes int
+
+	funcByName   map[string]int32
+	globalByName map[string]int32
+}
+
+// Finalize assigns code addresses from the current function order and
+// data addresses from the current global order, then builds the name
+// indexes. Call it after constructing or reordering an image.
+func (img *Image) Finalize() {
+	addr := int64(0)
+	img.funcByName = make(map[string]int32, len(img.Funcs))
+	for i, f := range img.Funcs {
+		f.Addr = addr
+		addr += int64(len(f.Code)) * InstrBytes
+		img.funcByName[f.Name] = int32(i)
+	}
+	var daddr int64
+	img.globalByName = make(map[string]int32, len(img.Globals))
+	for i := range img.Globals {
+		img.Globals[i].Addr = daddr
+		daddr += img.Globals[i].Words
+		img.globalByName[img.Globals[i].Name] = int32(i)
+	}
+}
+
+// CodeBytes reports the total code size in bytes.
+func (img *Image) CodeBytes() int64 {
+	var n int64
+	for _, f := range img.Funcs {
+		n += int64(len(f.Code)) * InstrBytes
+	}
+	return n
+}
+
+// DataWords reports the total data segment size in words.
+func (img *Image) DataWords() int64 {
+	var n int64
+	for _, g := range img.Globals {
+		n += g.Words
+	}
+	return n
+}
+
+// FuncIndex returns the index of the named function, or -1.
+func (img *Image) FuncIndex(name string) int32 {
+	if i, ok := img.funcByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// GlobalIndex returns the index of the named global, or -1.
+func (img *Image) GlobalIndex(name string) int32 {
+	if i, ok := img.globalByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Disasm renders the whole image as text, for debugging and golden
+// tests.
+func (img *Image) Disasm() string {
+	var sb strings.Builder
+	for _, g := range img.Globals {
+		fmt.Fprintf(&sb, ".data %s @%d words=%d init=%d\n", g.Name, g.Addr, g.Words, g.Init)
+	}
+	for fi, f := range img.Funcs {
+		entry := ""
+		if int32(fi) == img.Entry {
+			entry = " <entry>"
+		}
+		fmt.Fprintf(&sb, "%s: @%d slots=%d%s\n", f.Name, f.Addr, f.NSlots, entry)
+		for i, in := range f.Code {
+			fmt.Fprintf(&sb, "  %4d  %s\n", i, in)
+		}
+	}
+	return sb.String()
+}
+
+// Validate checks structural sanity of the image: branch targets in
+// range, symbol indexes in range, register numbers valid. The
+// simulator assumes a validated image.
+func (img *Image) Validate() error {
+	if len(img.Funcs) == 0 {
+		return fmt.Errorf("vpa: image has no functions")
+	}
+	if img.Entry < 0 || int(img.Entry) >= len(img.Funcs) {
+		return fmt.Errorf("vpa: entry index %d out of range", img.Entry)
+	}
+	for _, f := range img.Funcs {
+		if len(f.Code) == 0 {
+			return fmt.Errorf("vpa: function %s has no code", f.Name)
+		}
+		for i, in := range f.Code {
+			if in.Rd >= NumRegs || in.Ra >= NumRegs || in.Rb >= NumRegs {
+				return fmt.Errorf("vpa: %s+%d: register out of range in %s", f.Name, i, in)
+			}
+			switch in.Op {
+			case JMP, BRT, BRF:
+				if in.Target < 0 || int(in.Target) >= len(f.Code) {
+					return fmt.Errorf("vpa: %s+%d: branch target %d out of range", f.Name, i, in.Target)
+				}
+			case CALL:
+				if in.Sym < 0 || int(in.Sym) >= len(img.Funcs) {
+					return fmt.Errorf("vpa: %s+%d: call target fn%d out of range", f.Name, i, in.Sym)
+				}
+			case LDG, STG, LDX, STX:
+				if in.Sym < 0 || int(in.Sym) >= len(img.Globals) {
+					return fmt.Errorf("vpa: %s+%d: data symbol %d out of range", f.Name, i, in.Sym)
+				}
+			case LDL:
+				if in.Imm < 0 || int(in.Imm) >= f.NSlots {
+					return fmt.Errorf("vpa: %s+%d: frame slot %d out of range (%d slots)", f.Name, i, in.Imm, f.NSlots)
+				}
+			case STL:
+				if in.Imm < 0 || int(in.Imm) >= f.NSlots {
+					return fmt.Errorf("vpa: %s+%d: frame slot %d out of range (%d slots)", f.Name, i, in.Imm, f.NSlots)
+				}
+			case PROBE:
+				if in.Imm < 0 || int(in.Imm) >= img.NumProbes {
+					return fmt.Errorf("vpa: %s+%d: probe id %d out of range (%d probes)", f.Name, i, in.Imm, img.NumProbes)
+				}
+			}
+		}
+		last := f.Code[len(f.Code)-1].Op
+		if last != RET && last != JMP && last != HALT {
+			return fmt.Errorf("vpa: function %s does not end in ret/jmp/halt", f.Name)
+		}
+	}
+	return nil
+}

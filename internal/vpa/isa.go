@@ -1,0 +1,142 @@
+// Package vpa implements the Virtual PA machine: the simulated RISC
+// target that stands in for the paper's HP PA-8000 hardware.
+//
+// The machine exists so that the optimizations under study win or
+// lose through the same mechanisms they did on real hardware:
+//
+//   - an instruction cache indexed by code address, so the linker's
+//     profile-guided routine clustering and LLO's basic-block layout
+//     change performance;
+//   - a data cache over the global data segment;
+//   - static branch prediction (backward taken / forward not-taken),
+//     so block layout converts taken branches into fall-throughs;
+//   - explicit call/return overhead, so inlining pays;
+//   - multi-cycle multiply/divide, so strength reduction pays.
+//
+// Absolute cycle counts are not meant to match a 180 MHz PA8000; the
+// relative shape of the paper's results is what the model preserves
+// (see DESIGN.md section 2).
+package vpa
+
+import "fmt"
+
+// OpCode is a VPA machine operation.
+type OpCode uint8
+
+// VPA opcodes. Register operands are machine registers 0..31; r0 is
+// hardwired to zero, r1 carries return values and the first argument.
+const (
+	NOP   OpCode = iota
+	MOVI         // rd = imm
+	MOV          // rd = ra
+	ADD          // rd = ra + rb/imm
+	SUB          // rd = ra - rb/imm
+	MUL          // rd = ra * rb/imm
+	DIV          // rd = ra / rb/imm (traps on zero)
+	REM          // rd = ra % rb/imm (traps on zero)
+	SHL          // rd = ra << rb/imm
+	SHR          // rd = ra >> rb/imm (arithmetic)
+	NEG          // rd = -ra
+	NOT          // rd = (ra == 0) ? 1 : 0
+	CMPEQ        // rd = ra == rb/imm
+	CMPNE        // rd = ra != rb/imm
+	CMPLT        // rd = ra < rb/imm
+	CMPLE        // rd = ra <= rb/imm
+	CMPGT        // rd = ra > rb/imm
+	CMPGE        // rd = ra >= rb/imm
+	LDG          // rd = data[Sym]
+	STG          // data[Sym] = ra
+	LDX          // rd = data[Sym + ra] (traps out of bounds)
+	STX          // data[Sym + ra] = rb/imm (traps out of bounds)
+	LDL          // rd = frame slot Imm
+	STL          // frame slot Imm = ra
+	CALL         // call function Sym; args in r1..r8, result in r1
+	RET          // return to caller
+	JMP          // unconditional branch to Target
+	BRT          // branch to Target when ra != 0
+	BRF          // branch to Target when ra == 0
+	PROBE        // profiling counter Imm += 1
+	HALT         // stop the machine (linker-emitted epilogue for main)
+)
+
+var opNames = [...]string{
+	NOP: "nop", MOVI: "movi", MOV: "mov",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	SHL: "shl", SHR: "shr", NEG: "neg", NOT: "not",
+	CMPEQ: "cmpeq", CMPNE: "cmpne", CMPLT: "cmplt", CMPLE: "cmple",
+	CMPGT: "cmpgt", CMPGE: "cmpge",
+	LDG: "ldg", STG: "stg", LDX: "ldx", STX: "stx",
+	LDL: "ldl", STL: "stl",
+	CALL: "call", RET: "ret", JMP: "jmp", BRT: "brt", BRF: "brf",
+	PROBE: "probe", HALT: "halt",
+}
+
+func (o OpCode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OpCode(%d)", uint8(o))
+}
+
+// NumRegs is the machine register file size.
+const NumRegs = 32
+
+// InstrBytes is the encoded size of one instruction, used for code
+// addressing (and therefore I-cache behavior).
+const InstrBytes = 4
+
+// Instr is one decoded VPA instruction. ImmB selects the immediate
+// form of three-operand instructions (rb is ignored, Imm is used).
+type Instr struct {
+	Op     OpCode
+	Rd     uint8
+	Ra     uint8
+	Rb     uint8
+	ImmB   bool
+	Imm    int64
+	Sym    int32 // data symbol or callee function index, per Op
+	Target int32 // branch target: instruction index within the function
+}
+
+func (in Instr) String() string {
+	b := func() string {
+		if in.ImmB {
+			return fmt.Sprintf("%d", in.Imm)
+		}
+		return fmt.Sprintf("r%d", in.Rb)
+	}
+	switch in.Op {
+	case NOP, RET, HALT:
+		return in.Op.String()
+	case MOVI:
+		return fmt.Sprintf("movi r%d, %d", in.Rd, in.Imm)
+	case MOV, NEG, NOT:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Ra)
+	case ADD, SUB, MUL, DIV, REM, SHL, SHR,
+		CMPEQ, CMPNE, CMPLT, CMPLE, CMPGT, CMPGE:
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.Rd, in.Ra, b())
+	case LDG:
+		return fmt.Sprintf("ldg r%d, sym%d", in.Rd, in.Sym)
+	case STG:
+		return fmt.Sprintf("stg sym%d, r%d", in.Sym, in.Ra)
+	case LDX:
+		return fmt.Sprintf("ldx r%d, sym%d[r%d]", in.Rd, in.Sym, in.Ra)
+	case STX:
+		return fmt.Sprintf("stx sym%d[r%d], %s", in.Sym, in.Ra, b())
+	case LDL:
+		return fmt.Sprintf("ldl r%d, [%d]", in.Rd, in.Imm)
+	case STL:
+		return fmt.Sprintf("stl [%d], r%d", in.Imm, in.Ra)
+	case CALL:
+		return fmt.Sprintf("call fn%d", in.Sym)
+	case JMP:
+		return fmt.Sprintf("jmp %d", in.Target)
+	case BRT:
+		return fmt.Sprintf("brt r%d, %d", in.Ra, in.Target)
+	case BRF:
+		return fmt.Sprintf("brf r%d, %d", in.Ra, in.Target)
+	case PROBE:
+		return fmt.Sprintf("probe %d", in.Imm)
+	}
+	return in.Op.String()
+}

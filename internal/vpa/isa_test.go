@@ -1,0 +1,100 @@
+package vpa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpCodeStrings(t *testing.T) {
+	all := []OpCode{NOP, MOVI, MOV, ADD, SUB, MUL, DIV, REM, SHL, SHR, NEG, NOT,
+		CMPEQ, CMPNE, CMPLT, CMPLE, CMPGT, CMPGE, LDG, STG, LDX, STX, LDL, STL,
+		CALL, RET, JMP, BRT, BRF, PROBE, HALT}
+	seen := map[string]bool{}
+	for _, op := range all {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "OpCode(") {
+			t.Errorf("opcode %d unnamed", op)
+		}
+		if seen[s] {
+			t.Errorf("duplicate opcode name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(OpCode(99).String(), "OpCode(") {
+		t.Error("unknown opcode should print numerically")
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: NOP}, "nop"},
+		{Instr{Op: HALT}, "halt"},
+		{Instr{Op: RET}, "ret"},
+		{Instr{Op: MOVI, Rd: 3, Imm: -9}, "movi r3, -9"},
+		{Instr{Op: MOV, Rd: 3, Ra: 4}, "mov r3, r4"},
+		{Instr{Op: NEG, Rd: 3, Ra: 4}, "neg r3, r4"},
+		{Instr{Op: ADD, Rd: 1, Ra: 2, Rb: 3}, "add r1, r2, r3"},
+		{Instr{Op: SUB, Rd: 1, Ra: 2, ImmB: true, Imm: 7}, "sub r1, r2, 7"},
+		{Instr{Op: SHL, Rd: 1, Ra: 2, ImmB: true, Imm: 3}, "shl r1, r2, 3"},
+		{Instr{Op: CMPLE, Rd: 1, Ra: 2, Rb: 3}, "cmple r1, r2, r3"},
+		{Instr{Op: LDG, Rd: 1, Sym: 4}, "ldg r1, sym4"},
+		{Instr{Op: STG, Sym: 4, Ra: 1}, "stg sym4, r1"},
+		{Instr{Op: LDX, Rd: 1, Sym: 4, Ra: 2}, "ldx r1, sym4[r2]"},
+		{Instr{Op: STX, Sym: 4, Ra: 2, Rb: 5}, "stx sym4[r2], r5"},
+		{Instr{Op: STX, Sym: 4, Ra: 2, ImmB: true, Imm: 6}, "stx sym4[r2], 6"},
+		{Instr{Op: LDL, Rd: 1, Imm: 2}, "ldl r1, [2]"},
+		{Instr{Op: STL, Imm: 2, Ra: 1}, "stl [2], r1"},
+		{Instr{Op: CALL, Sym: 9}, "call fn9"},
+		{Instr{Op: JMP, Target: 5}, "jmp 5"},
+		{Instr{Op: BRT, Ra: 1, Target: 5}, "brt r1, 5"},
+		{Instr{Op: BRF, Ra: 1, Target: 5}, "brf r1, 5"},
+		{Instr{Op: PROBE, Imm: 3}, "probe 3"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("got %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestShiftSemantics(t *testing.T) {
+	img := &Image{
+		Funcs: []*Func{{Name: "main", Code: []Instr{
+			{Op: MOVI, Rd: 2, Imm: -8},
+			{Op: SHR, Rd: 3, Ra: 2, ImmB: true, Imm: 1}, // arithmetic: -4
+			{Op: SHL, Rd: 4, Ra: 3, ImmB: true, Imm: 2}, // -16
+			{Op: SUB, Rd: 1, Ra: 4, Rb: 3},              // -16 - (-4) = -12
+			{Op: RET},
+		}}},
+		Entry: 0,
+	}
+	img.Finalize()
+	if err := img.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(img, DefaultConfig())
+	got, err := m.Run(nil, 0)
+	if err != nil || got != -12 {
+		t.Errorf("got %d, %v; want -12", got, err)
+	}
+}
+
+func TestDirectMappedConfig(t *testing.T) {
+	// CacheWays 0 behaves as direct-mapped (1 way) without panicking.
+	cfg := DefaultConfig()
+	cfg.CacheWays = 0
+	img := &Image{Funcs: []*Func{{Name: "main", Code: []Instr{
+		{Op: MOVI, Rd: 1, Imm: 5}, {Op: RET},
+	}}}, Entry: 0}
+	img.Finalize()
+	if err := img.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(img, cfg)
+	if got, err := m.Run(nil, 0); err != nil || got != 5 {
+		t.Errorf("got %d, %v", got, err)
+	}
+}

@@ -1,0 +1,413 @@
+package vpa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config is the machine's timing and cache model. The zero value is
+// not useful; start from DefaultConfig.
+type Config struct {
+	// I-cache geometry: ICacheLines total lines of ICacheLineSize
+	// bytes, CacheWays-way set associative.
+	ICacheLines    int
+	ICacheLineSize int64 // bytes
+	// D-cache geometry: DCacheLines total lines of DCacheLineSize
+	// words, covering the global data segment.
+	DCacheLines    int
+	DCacheLineSize int64 // words
+	// CacheWays is the associativity of both caches (LRU within a
+	// set); 0 means direct-mapped.
+	CacheWays int
+
+	IMissPenalty  int64
+	DMissPenalty  int64
+	MispredictPen int64
+	// TakenBranchCost is the fetch-redirect bubble charged for every
+	// taken branch or jump, even when correctly predicted. This is
+	// what makes fall-through (profile-guided) block layout pay.
+	TakenBranchCost int64
+	CallOverhead    int64 // cycles charged per call (frame + save/restore)
+	RetOverhead     int64
+	MulCost         int64 // total cycles for MUL
+	DivCost         int64 // total cycles for DIV/REM
+	MemCost         int64 // base cycles for LDG/STG/LDX/STX
+	SlotCost        int64 // cycles for LDL/STL (stack assumed cached)
+}
+
+// DefaultConfig returns the standard machine model used by all
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		// The PA-8000 ran against large off-chip caches (up to 1 MB);
+		// the model uses 128 KB I / 64 KB D so that a clustered hot
+		// working set fits (even after inlining duplicates hot code)
+		// while a large application's full image does not — the
+		// regime in which profile-guided code positioning pays.
+		ICacheLines:     2048, // 128 KB of 64-byte lines
+		ICacheLineSize:  64,
+		DCacheLines:     1024, // 64 KB of 8-word (64-byte) lines
+		DCacheLineSize:  8,
+		CacheWays:       4,
+		IMissPenalty:    12,
+		DMissPenalty:    20,
+		MispredictPen:   5,
+		TakenBranchCost: 1,
+		CallOverhead:    8,
+		RetOverhead:     3,
+		MulCost:         3,
+		DivCost:         12,
+		MemCost:         2,
+		SlotCost:        2,
+	}
+}
+
+// Stats accumulates execution counters for one run.
+type Stats struct {
+	Cycles      int64
+	Instrs      int64
+	Calls       int64
+	Branches    int64
+	Mispredicts int64
+	IMisses     int64
+	DMisses     int64
+	Loads       int64
+	Stores      int64
+	MaxDepth    int
+}
+
+// Machine execution failure modes.
+var (
+	ErrMachineSteps  = errors.New("vpa: step limit exceeded")
+	ErrMachineDepth  = errors.New("vpa: call stack overflow")
+	ErrMachineDivide = errors.New("vpa: division by zero")
+	ErrMachineBounds = errors.New("vpa: data access out of bounds")
+)
+
+const maxCallDepth = 10000
+
+// Machine interprets a VPA image with the cycle model of Config.
+// cache is an N-way set-associative cache model with per-set LRU.
+type cache struct {
+	tags []int64 // sets*ways entries; way-major within a set
+	age  []uint8 // LRU rank per entry (0 = most recent)
+	sets int
+	ways int
+}
+
+func newCache(lines, ways int) *cache {
+	if ways <= 0 {
+		ways = 1
+	}
+	if lines < ways {
+		lines = ways
+	}
+	sets := lines / ways
+	c := &cache{tags: make([]int64, sets*ways), age: make([]uint8, sets*ways), sets: sets, ways: ways}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// access returns true on hit; on miss the LRU way is replaced.
+func (c *cache) access(line int64) bool {
+	set := int(line % int64(c.sets))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			// Hit: make this way most recent.
+			old := c.age[base+w]
+			for v := 0; v < c.ways; v++ {
+				if c.age[base+v] < old {
+					c.age[base+v]++
+				}
+			}
+			c.age[base+w] = 0
+			return true
+		}
+	}
+	// Miss: evict the oldest way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if c.age[base+w] > c.age[base+victim] {
+			victim = w
+		}
+	}
+	for v := 0; v < c.ways; v++ {
+		if c.age[base+v] < c.age[base+victim] {
+			c.age[base+v]++
+		}
+	}
+	c.tags[base+victim] = line
+	c.age[base+victim] = 0
+	return false
+}
+
+type Machine struct {
+	img  *Image
+	cfg  Config
+	data []int64
+	// global g occupies words data[g.Addr : g.Addr+g.Words]
+	icache *cache
+	dcache *cache
+	Probes []int64
+	Stats  Stats
+}
+
+// NewMachine prepares a machine for the image. The image must have
+// been Finalized and Validated.
+func NewMachine(img *Image, cfg Config) *Machine {
+	m := &Machine{img: img, cfg: cfg}
+	m.Reset()
+	return m
+}
+
+// Reset restores data memory to initial values and cold caches.
+func (m *Machine) Reset() {
+	m.data = make([]int64, m.img.DataWords())
+	for _, g := range m.img.Globals {
+		if g.Words == 1 {
+			m.data[g.Addr] = g.Init
+		}
+	}
+	m.icache = newCache(m.cfg.ICacheLines, m.cfg.CacheWays)
+	m.dcache = newCache(m.cfg.DCacheLines, m.cfg.CacheWays)
+	m.Probes = make([]int64, m.img.NumProbes)
+	m.Stats = Stats{}
+}
+
+// SetGlobal writes a scalar global before a run.
+func (m *Machine) SetGlobal(name string, v int64) error {
+	gi := m.img.GlobalIndex(name)
+	if gi < 0 || m.img.Globals[gi].Words != 1 {
+		return fmt.Errorf("vpa: no scalar global %q", name)
+	}
+	m.data[m.img.Globals[gi].Addr] = v
+	return nil
+}
+
+// Global reads a scalar global after a run.
+func (m *Machine) Global(name string) (int64, error) {
+	gi := m.img.GlobalIndex(name)
+	if gi < 0 || m.img.Globals[gi].Words != 1 {
+		return 0, fmt.Errorf("vpa: no scalar global %q", name)
+	}
+	return m.data[m.img.Globals[gi].Addr], nil
+}
+
+func (m *Machine) ifetch(addr int64) {
+	if !m.icache.access(addr / m.cfg.ICacheLineSize) {
+		m.Stats.IMisses++
+		m.Stats.Cycles += m.cfg.IMissPenalty
+	}
+}
+
+func (m *Machine) daccess(word int64) {
+	if !m.dcache.access(word / m.cfg.DCacheLineSize) {
+		m.Stats.DMisses++
+		m.Stats.Cycles += m.cfg.DMissPenalty
+	}
+}
+
+type vframe struct {
+	fi    int32
+	pc    int32
+	regs  [NumRegs]int64
+	slots []int64
+}
+
+// Run executes the image's entry function with args in r1..rN and
+// returns r1 at exit. maxSteps bounds executed instructions (0 means
+// 2e9). The machine keeps cache and probe state across runs; call
+// Reset for a cold start.
+func (m *Machine) Run(args []int64, maxSteps int64) (int64, error) {
+	if maxSteps <= 0 {
+		maxSteps = 2e9
+	}
+	frames := make([]vframe, 1, 64)
+	cur := &frames[0]
+	cur.fi = m.img.Entry
+	entry := m.img.Funcs[cur.fi]
+	cur.slots = make([]int64, entry.NSlots)
+	for i, a := range args {
+		cur.regs[i+1] = a
+	}
+	steps := int64(0)
+	for {
+		f := m.img.Funcs[cur.fi]
+		if int(cur.pc) >= len(f.Code) {
+			return 0, fmt.Errorf("vpa: %s: fell off the end of the code", f.Name)
+		}
+		in := &f.Code[cur.pc]
+		addr := f.Addr + int64(cur.pc)*InstrBytes
+		m.ifetch(addr)
+		steps++
+		if steps > maxSteps {
+			return 0, ErrMachineSteps
+		}
+		m.Stats.Instrs++
+		m.Stats.Cycles++
+		nextPC := cur.pc + 1
+		b := func() int64 {
+			if in.ImmB {
+				return in.Imm
+			}
+			return cur.regs[in.Rb]
+		}
+		switch in.Op {
+		case NOP:
+		case MOVI:
+			cur.regs[in.Rd] = in.Imm
+		case MOV:
+			cur.regs[in.Rd] = cur.regs[in.Ra]
+		case ADD:
+			cur.regs[in.Rd] = cur.regs[in.Ra] + b()
+		case SUB:
+			cur.regs[in.Rd] = cur.regs[in.Ra] - b()
+		case MUL:
+			cur.regs[in.Rd] = cur.regs[in.Ra] * b()
+			m.Stats.Cycles += m.cfg.MulCost - 1
+		case DIV:
+			d := b()
+			if d == 0 {
+				return 0, ErrMachineDivide
+			}
+			cur.regs[in.Rd] = cur.regs[in.Ra] / d
+			m.Stats.Cycles += m.cfg.DivCost - 1
+		case REM:
+			d := b()
+			if d == 0 {
+				return 0, ErrMachineDivide
+			}
+			cur.regs[in.Rd] = cur.regs[in.Ra] % d
+			m.Stats.Cycles += m.cfg.DivCost - 1
+		case SHL:
+			cur.regs[in.Rd] = cur.regs[in.Ra] << uint64(b()&63)
+		case SHR:
+			cur.regs[in.Rd] = cur.regs[in.Ra] >> uint64(b()&63)
+		case NEG:
+			cur.regs[in.Rd] = -cur.regs[in.Ra]
+		case NOT:
+			if cur.regs[in.Ra] == 0 {
+				cur.regs[in.Rd] = 1
+			} else {
+				cur.regs[in.Rd] = 0
+			}
+		case CMPEQ:
+			cur.regs[in.Rd] = b2i(cur.regs[in.Ra] == b())
+		case CMPNE:
+			cur.regs[in.Rd] = b2i(cur.regs[in.Ra] != b())
+		case CMPLT:
+			cur.regs[in.Rd] = b2i(cur.regs[in.Ra] < b())
+		case CMPLE:
+			cur.regs[in.Rd] = b2i(cur.regs[in.Ra] <= b())
+		case CMPGT:
+			cur.regs[in.Rd] = b2i(cur.regs[in.Ra] > b())
+		case CMPGE:
+			cur.regs[in.Rd] = b2i(cur.regs[in.Ra] >= b())
+		case LDG:
+			g := &m.img.Globals[in.Sym]
+			m.daccess(g.Addr)
+			cur.regs[in.Rd] = m.data[g.Addr]
+			m.Stats.Loads++
+			m.Stats.Cycles += m.cfg.MemCost - 1
+		case STG:
+			g := &m.img.Globals[in.Sym]
+			m.daccess(g.Addr)
+			m.data[g.Addr] = cur.regs[in.Ra]
+			m.Stats.Stores++
+			m.Stats.Cycles += m.cfg.MemCost - 1
+		case LDX:
+			g := &m.img.Globals[in.Sym]
+			idx := cur.regs[in.Ra]
+			if idx < 0 || idx >= g.Words {
+				return 0, ErrMachineBounds
+			}
+			m.daccess(g.Addr + idx)
+			cur.regs[in.Rd] = m.data[g.Addr+idx]
+			m.Stats.Loads++
+			m.Stats.Cycles += m.cfg.MemCost - 1
+		case STX:
+			g := &m.img.Globals[in.Sym]
+			idx := cur.regs[in.Ra]
+			if idx < 0 || idx >= g.Words {
+				return 0, ErrMachineBounds
+			}
+			m.daccess(g.Addr + idx)
+			m.data[g.Addr+idx] = b()
+			m.Stats.Stores++
+			m.Stats.Cycles += m.cfg.MemCost - 1
+		case LDL:
+			cur.regs[in.Rd] = cur.slots[in.Imm]
+			m.Stats.Loads++
+			m.Stats.Cycles += m.cfg.SlotCost - 1
+		case STL:
+			cur.slots[in.Imm] = cur.regs[in.Ra]
+			m.Stats.Stores++
+			m.Stats.Cycles += m.cfg.SlotCost - 1
+		case CALL:
+			if len(frames) >= maxCallDepth {
+				return 0, ErrMachineDepth
+			}
+			m.Stats.Calls++
+			m.Stats.Cycles += m.cfg.CallOverhead - 1
+			cur.pc = nextPC
+			callee := m.img.Funcs[in.Sym]
+			frames = append(frames, vframe{fi: in.Sym, slots: make([]int64, callee.NSlots)})
+			nf := &frames[len(frames)-1]
+			// Arguments are passed in r1..r8.
+			copy(nf.regs[1:9], cur.regs[1:9])
+			if len(frames) > m.Stats.MaxDepth {
+				m.Stats.MaxDepth = len(frames)
+			}
+			cur = nf
+			// Simulate the fetch redirect to the callee entry.
+			m.ifetch(callee.Addr)
+			continue
+		case RET:
+			m.Stats.Cycles += m.cfg.RetOverhead - 1
+			ret := cur.regs[1]
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				return ret, nil
+			}
+			cur = &frames[len(frames)-1]
+			cur.regs[1] = ret
+			continue
+		case JMP:
+			nextPC = in.Target
+			m.Stats.Cycles += m.cfg.TakenBranchCost
+		case BRT, BRF:
+			m.Stats.Branches++
+			taken := (cur.regs[in.Ra] != 0) == (in.Op == BRT)
+			// Static prediction: backward branches predicted taken,
+			// forward branches predicted not-taken.
+			predictTaken := in.Target <= cur.pc
+			if taken != predictTaken {
+				m.Stats.Mispredicts++
+				m.Stats.Cycles += m.cfg.MispredictPen
+			}
+			if taken {
+				nextPC = in.Target
+				m.Stats.Cycles += m.cfg.TakenBranchCost
+			}
+		case PROBE:
+			m.Probes[in.Imm]++
+			m.Stats.Cycles++ // probes cost an extra cycle
+		case HALT:
+			return cur.regs[1], nil
+		default:
+			return 0, fmt.Errorf("vpa: %s: unknown opcode %s", f.Name, in.Op)
+		}
+		cur.regs[0] = 0 // r0 stays hardwired to zero
+		cur.pc = nextPC
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,344 @@
+package vpa
+
+import (
+	"strings"
+	"testing"
+)
+
+// sumImage builds, by hand, an image computing sum(1..n) with a loop:
+//
+//	main: r2=0; r3=1; loop: if r3>r1 goto done; r2+=r3; r3+=1; goto loop
+//	done: r1=r2; ret
+func sumImage() *Image {
+	main := &Func{
+		Name: "main",
+		Code: []Instr{
+			{Op: MOVI, Rd: 2, Imm: 0},
+			{Op: MOVI, Rd: 3, Imm: 1},
+			{Op: CMPGT, Rd: 4, Ra: 3, Rb: 1},            // 2
+			{Op: BRT, Ra: 4, Target: 7},                 // 3
+			{Op: ADD, Rd: 2, Ra: 2, Rb: 3},              // 4
+			{Op: ADD, Rd: 3, Ra: 3, ImmB: true, Imm: 1}, // 5
+			{Op: JMP, Target: 2},                        // 6
+			{Op: MOV, Rd: 1, Ra: 2},                     // 7
+			{Op: RET},
+		},
+	}
+	img := &Image{Funcs: []*Func{main}, Entry: 0}
+	img.Finalize()
+	return img
+}
+
+func TestMachineSumLoop(t *testing.T) {
+	img := sumImage()
+	if err := img.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	m := NewMachine(img, DefaultConfig())
+	got, err := m.Run([]int64{100}, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 5050 {
+		t.Errorf("sum(100) = %d, want 5050", got)
+	}
+	if m.Stats.Instrs == 0 || m.Stats.Cycles < m.Stats.Instrs {
+		t.Errorf("implausible stats: %+v", m.Stats)
+	}
+	if m.Stats.Branches != 101 {
+		t.Errorf("branches = %d, want 101", m.Stats.Branches)
+	}
+}
+
+func callImage() *Image {
+	// add2(a, b) = a + b; main calls add2(r1, 32).
+	add2 := &Func{
+		Name: "add2",
+		Code: []Instr{
+			{Op: ADD, Rd: 1, Ra: 1, Rb: 2},
+			{Op: RET},
+		},
+	}
+	main := &Func{
+		Name: "main",
+		Code: []Instr{
+			{Op: MOVI, Rd: 2, Imm: 32},
+			{Op: CALL, Sym: 1},
+			{Op: RET},
+		},
+	}
+	img := &Image{Funcs: []*Func{main, add2}, Entry: 0}
+	img.Finalize()
+	return img
+}
+
+func TestMachineCall(t *testing.T) {
+	img := callImage()
+	if err := img.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	m := NewMachine(img, DefaultConfig())
+	got, err := m.Run([]int64{10}, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("got %d, want 42", got)
+	}
+	if m.Stats.Calls != 1 {
+		t.Errorf("calls = %d, want 1", m.Stats.Calls)
+	}
+}
+
+func TestMachineGlobalsAndArrays(t *testing.T) {
+	img := &Image{
+		Globals: []Global{
+			{Name: "g", Words: 1, Init: 7},
+			{Name: "arr", Words: 4},
+		},
+		Funcs: []*Func{{
+			Name: "main",
+			Code: []Instr{
+				{Op: LDG, Rd: 2, Sym: 0},                    // r2 = g (7)
+				{Op: MOVI, Rd: 3, Imm: 2},                   // index 2
+				{Op: STX, Sym: 1, Ra: 3, Rb: 2},             // arr[2] = 7
+				{Op: LDX, Rd: 4, Sym: 1, Ra: 3},             // r4 = arr[2]
+				{Op: ADD, Rd: 4, Ra: 4, ImmB: true, Imm: 1}, // 8
+				{Op: STG, Sym: 0, Ra: 4},                    // g = 8
+				{Op: LDG, Rd: 1, Sym: 0},
+				{Op: RET},
+			},
+		}},
+		Entry: 0,
+	}
+	img.Finalize()
+	if err := img.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	m := NewMachine(img, DefaultConfig())
+	got, err := m.Run(nil, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 8 {
+		t.Errorf("got %d, want 8", got)
+	}
+	v, err := m.Global("g")
+	if err != nil || v != 8 {
+		t.Errorf("g = %d, %v", v, err)
+	}
+	if err := m.SetGlobal("arr", 0); err == nil {
+		t.Error("SetGlobal on array must fail")
+	}
+}
+
+func TestMachineTraps(t *testing.T) {
+	mk := func(code []Instr, globals []Global) *Machine {
+		img := &Image{Funcs: []*Func{{Name: "main", Code: code}}, Globals: globals, Entry: 0}
+		img.Finalize()
+		if err := img.Validate(); err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+		return NewMachine(img, DefaultConfig())
+	}
+	m := mk([]Instr{{Op: DIV, Rd: 1, Ra: 1, ImmB: true, Imm: 0}, {Op: RET}}, nil)
+	if _, err := m.Run([]int64{5}, 0); err != ErrMachineDivide {
+		t.Errorf("div: %v, want ErrMachineDivide", err)
+	}
+	m = mk([]Instr{
+		{Op: MOVI, Rd: 2, Imm: 9},
+		{Op: LDX, Rd: 1, Sym: 0, Ra: 2},
+		{Op: RET},
+	}, []Global{{Name: "a", Words: 4}})
+	if _, err := m.Run(nil, 0); err != ErrMachineBounds {
+		t.Errorf("bounds: %v, want ErrMachineBounds", err)
+	}
+	m = mk([]Instr{{Op: JMP, Target: 0}}, nil)
+	if _, err := m.Run(nil, 1000); err != ErrMachineSteps {
+		t.Errorf("spin: %v, want ErrMachineSteps", err)
+	}
+	m = mk([]Instr{{Op: CALL, Sym: 0}, {Op: RET}}, nil)
+	if _, err := m.Run(nil, 0); err != ErrMachineDepth {
+		t.Errorf("recursion: %v, want ErrMachineDepth", err)
+	}
+}
+
+func TestMachineSpillSlots(t *testing.T) {
+	img := &Image{
+		Funcs: []*Func{{
+			Name:   "main",
+			NSlots: 2,
+			Code: []Instr{
+				{Op: MOVI, Rd: 2, Imm: 11},
+				{Op: STL, Imm: 0, Ra: 2},
+				{Op: MOVI, Rd: 2, Imm: 22},
+				{Op: STL, Imm: 1, Ra: 2},
+				{Op: LDL, Rd: 3, Imm: 0},
+				{Op: LDL, Rd: 4, Imm: 1},
+				{Op: ADD, Rd: 1, Ra: 3, Rb: 4},
+				{Op: RET},
+			},
+		}},
+		Entry: 0,
+	}
+	img.Finalize()
+	if err := img.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(img, DefaultConfig())
+	got, err := m.Run(nil, 0)
+	if err != nil || got != 33 {
+		t.Errorf("got %d, %v; want 33", got, err)
+	}
+}
+
+func TestBranchPredictionModel(t *testing.T) {
+	// A backward branch taken repeatedly should predict well; a
+	// forward branch taken repeatedly should mispredict every time.
+	img := sumImage()
+	m := NewMachine(img, DefaultConfig())
+	if _, err := m.Run([]int64{1000}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The loop-exit check (BRT forward, index 3) is not-taken 1000
+	// times (predicted correctly) and taken once (mispredicted).
+	if m.Stats.Mispredicts != 1 {
+		t.Errorf("mispredicts = %d, want 1", m.Stats.Mispredicts)
+	}
+}
+
+func TestICacheLayoutSensitivity(t *testing.T) {
+	// Two functions calling each other in a hot loop: when they are
+	// adjacent, both fit in cache lines near each other; when padded
+	// far apart with a conflict-mapped distance, misses rise.
+	mkImg := func(padding int) *Machine {
+		callee := &Func{Name: "callee", Code: []Instr{
+			{Op: ADD, Rd: 1, Ra: 1, ImmB: true, Imm: 1},
+			{Op: RET},
+		}}
+		pad := &Func{Name: "pad", Code: make([]Instr, padding)}
+		for i := range pad.Code {
+			pad.Code[i] = Instr{Op: NOP}
+		}
+		pad.Code[len(pad.Code)-1] = Instr{Op: RET}
+		main := &Func{Name: "main", Code: []Instr{
+			{Op: MOVI, Rd: 9, Imm: 0},
+			{Op: MOVI, Rd: 1, Imm: 0},
+			{Op: CALL, Sym: 2},                          // 2: call callee
+			{Op: ADD, Rd: 9, Ra: 9, ImmB: true, Imm: 1}, // 3
+			{Op: CMPLT, Rd: 10, Ra: 9, ImmB: true, Imm: 1000},
+			{Op: BRT, Ra: 10, Target: 2},
+			{Op: RET},
+		}}
+		img := &Image{Funcs: []*Func{main, pad, callee}, Entry: 0}
+		img.Finalize()
+		if err := img.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		m := NewMachine(img, DefaultConfig())
+		if _, err := m.Run(nil, 0); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	near := mkImg(1)
+	cfg := DefaultConfig()
+	// Pad by exactly one I-cache capacity so main and callee share
+	// the same cache sets -> conflict misses every iteration.
+	far := mkImg(int(cfg.ICacheLineSize) * cfg.ICacheLines / InstrBytes)
+	if near.Stats.IMisses >= far.Stats.IMisses {
+		t.Errorf("icache insensitive to layout: near=%d far=%d misses",
+			near.Stats.IMisses, far.Stats.IMisses)
+	}
+	if near.Stats.Cycles >= far.Stats.Cycles {
+		t.Errorf("cycles insensitive to layout: near=%d far=%d",
+			near.Stats.Cycles, far.Stats.Cycles)
+	}
+}
+
+func TestProbes(t *testing.T) {
+	img := &Image{
+		NumProbes: 2,
+		Funcs: []*Func{{
+			Name: "main",
+			Code: []Instr{
+				{Op: PROBE, Imm: 1},
+				{Op: PROBE, Imm: 1},
+				{Op: PROBE, Imm: 0},
+				{Op: MOVI, Rd: 1, Imm: 0},
+				{Op: RET},
+			},
+		}},
+		Entry: 0,
+	}
+	img.Finalize()
+	if err := img.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(img, DefaultConfig())
+	if _, err := m.Run(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Probes[0] != 1 || m.Probes[1] != 2 {
+		t.Errorf("probes = %v, want [1 2]", m.Probes)
+	}
+}
+
+func TestImageValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		img  *Image
+		frag string
+	}{
+		{"no funcs", &Image{}, "no functions"},
+		{"bad entry", &Image{Funcs: []*Func{{Name: "f", Code: []Instr{{Op: RET}}}}, Entry: 5}, "entry"},
+		{"empty code", &Image{Funcs: []*Func{{Name: "f"}}, Entry: 0}, "no code"},
+		{"bad target", &Image{Funcs: []*Func{{Name: "f", Code: []Instr{{Op: JMP, Target: 9}}}}, Entry: 0}, "target"},
+		{"bad call", &Image{Funcs: []*Func{{Name: "f", Code: []Instr{{Op: CALL, Sym: 3}, {Op: RET}}}}, Entry: 0}, "call target"},
+		{"bad sym", &Image{Funcs: []*Func{{Name: "f", Code: []Instr{{Op: LDG, Rd: 1, Sym: 0}, {Op: RET}}}}, Entry: 0}, "data symbol"},
+		{"bad slot", &Image{Funcs: []*Func{{Name: "f", Code: []Instr{{Op: LDL, Rd: 1, Imm: 0}, {Op: RET}}}}, Entry: 0}, "frame slot"},
+		{"no ret", &Image{Funcs: []*Func{{Name: "f", Code: []Instr{{Op: NOP}}}}, Entry: 0}, "does not end"},
+		{"bad probe", &Image{Funcs: []*Func{{Name: "f", Code: []Instr{{Op: PROBE, Imm: 0}, {Op: RET}}}}, Entry: 0}, "probe id"},
+	}
+	for _, tc := range cases {
+		tc.img.Finalize()
+		err := tc.img.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestDisasmAndIndexes(t *testing.T) {
+	img := callImage()
+	d := img.Disasm()
+	if !strings.Contains(d, "main:") || !strings.Contains(d, "call fn1") {
+		t.Errorf("disasm missing content:\n%s", d)
+	}
+	if img.FuncIndex("add2") != 1 || img.FuncIndex("nope") != -1 {
+		t.Error("FuncIndex wrong")
+	}
+	if img.CodeBytes() != int64(5*InstrBytes) {
+		t.Errorf("CodeBytes = %d", img.CodeBytes())
+	}
+}
+
+func TestMachineResetColdState(t *testing.T) {
+	img := sumImage()
+	m := NewMachine(img, DefaultConfig())
+	if _, err := m.Run([]int64{10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Stats
+	m.Reset()
+	if _, err := m.Run([]int64{10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats != first {
+		t.Errorf("reset run differs: %+v vs %+v", m.Stats, first)
+	}
+}

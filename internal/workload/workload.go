@@ -1,0 +1,373 @@
+// Package workload generates deterministic synthetic MinC programs
+// that stand in for the paper's benchmark suite: the SPECint95
+// programs and the proprietary multi-million-line MCAD applications
+// (Mcad1/2/3) that cannot be obtained (paper section 6.4 itself
+// laments that "large programs ... are hard to come by").
+//
+// Generated programs reproduce the structural properties the
+// experiments depend on:
+//
+//   - many separately compiled modules with cross-module hot paths
+//     (so CMO has something to win);
+//   - a small fraction of hot code and a large bulk of cold code
+//     (so selectivity has a knee, Figure 6);
+//   - hot call chains crossing module boundaries with some constant
+//     arguments (inlining + IPCP opportunities);
+//   - global and array traffic (so PBO layout and the data cache
+//     matter);
+//   - input globals that scale iteration counts and steer branches,
+//     providing distinct train/reference data sets.
+//
+// Generation is deterministic given Spec.Seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Spec parameterizes one synthetic program.
+type Spec struct {
+	// Name identifies the program in reports.
+	Name string
+	// Seed drives all generation randomness.
+	Seed int64
+
+	// Modules is the number of separately compiled modules.
+	Modules int
+	// HotPerModule is the number of hot-path functions per module.
+	HotPerModule int
+	// ColdPerModule is the number of cold functions per module; cold
+	// code dominates the line count, as in real applications.
+	ColdPerModule int
+	// ColdStmts is the approximate statement count of one cold
+	// function body.
+	ColdStmts int
+	// ArrayElems sizes each module's data array.
+	ArrayElems int
+
+	// TrainIters/RefIters are the input0 values of the training and
+	// reference data sets (main's outer loop count).
+	TrainIters int64
+	RefIters   int64
+	// TrainMode/RefMode are the input1 values steering data-dependent
+	// branches.
+	TrainMode int64
+	RefMode   int64
+}
+
+// Inputs is one named input data set for a generated program.
+type Inputs struct {
+	Iters int64
+	Mode  int64
+}
+
+// Train returns the training data set.
+func (s Spec) Train() Inputs { return Inputs{Iters: s.TrainIters, Mode: s.TrainMode} }
+
+// Ref returns the reference (benchmarking) data set.
+func (s Spec) Ref() Inputs { return Inputs{Iters: s.RefIters, Mode: s.RefMode} }
+
+// ModuleSrc is one generated source module.
+type ModuleSrc struct {
+	Name string
+	Text string
+}
+
+// InputGlobals names the globals the harness writes before a run;
+// the optimizer must treat them as volatile (never link-time
+// constants).
+func InputGlobals() []string { return []string{"input0", "input1"} }
+
+// gen carries generation state.
+type gen struct {
+	spec Spec
+	rng  *rand.Rand
+	// externs[m] records cross-module symbols module m must declare.
+	externs []map[string]string // name -> declaration line
+}
+
+// Generate produces the program's modules.
+func (s Spec) Generate() []ModuleSrc {
+	if s.Modules < 1 {
+		s.Modules = 1
+	}
+	if s.HotPerModule < 1 {
+		s.HotPerModule = 1
+	}
+	if s.ArrayElems < 8 {
+		s.ArrayElems = 64
+	}
+	if s.TrainIters == 0 {
+		s.TrainIters = 500
+	}
+	if s.RefIters == 0 {
+		s.RefIters = 2000
+	}
+	g := &gen{
+		spec:    s,
+		rng:     rand.New(rand.NewSource(s.Seed)),
+		externs: make([]map[string]string, s.Modules),
+	}
+	for i := range g.externs {
+		g.externs[i] = make(map[string]string)
+	}
+
+	bodies := make([]*strings.Builder, s.Modules)
+	for mi := 0; mi < s.Modules; mi++ {
+		bodies[mi] = &strings.Builder{}
+	}
+	for mi := 0; mi < s.Modules; mi++ {
+		for k := 0; k < s.HotPerModule; k++ {
+			g.hotFunc(bodies[mi], mi, k)
+		}
+		for k := 0; k < s.ColdPerModule; k++ {
+			g.coldFunc(bodies[mi], mi, k)
+		}
+	}
+	g.mainFunc(bodies[0])
+
+	out := make([]ModuleSrc, s.Modules)
+	for mi := 0; mi < s.Modules; mi++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "module %s_m%d;\n", sanitize(s.Name), mi)
+		fmt.Fprintf(&sb, "var g%d int = %d;\n", mi, g.rngFor(mi).Int63n(97)+1)
+		fmt.Fprintf(&sb, "var acc%d int;\n", mi)
+		fmt.Fprintf(&sb, "var arr%d [%d]int;\n", mi, s.ArrayElems)
+		if mi == 0 {
+			fmt.Fprintf(&sb, "var input0 int = %d;\n", s.TrainIters)
+			fmt.Fprintf(&sb, "var input1 int = %d;\n", s.TrainMode)
+			sb.WriteString("var checksum int;\n")
+		}
+		// Deterministic extern ordering.
+		var decls []string
+		for _, d := range g.externs[mi] {
+			decls = append(decls, d)
+		}
+		sortStrings(decls)
+		for _, d := range decls {
+			sb.WriteString(d)
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(bodies[mi].String())
+		out[mi] = ModuleSrc{Name: fmt.Sprintf("%s_m%d", sanitize(s.Name), mi), Text: sb.String()}
+	}
+	return out
+}
+
+// rngFor gives a module-local deterministic stream (so adding a
+// module does not reshuffle earlier ones).
+func (g *gen) rngFor(mi int) *rand.Rand {
+	return rand.New(rand.NewSource(g.spec.Seed*1000003 + int64(mi)))
+}
+
+func sanitize(s string) string {
+	if s == "" {
+		return "app"
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// useGlobal ensures module mi can reference a symbol defined in
+// module owner, adding an extern declaration when they differ.
+func (g *gen) useVar(mi, owner int, name, typ string) string {
+	if mi != owner {
+		g.externs[mi][name] = fmt.Sprintf("extern var %s %s;", name, typ)
+	}
+	return name
+}
+
+func (g *gen) useFunc(mi, owner int, name, sig string) string {
+	if mi != owner {
+		g.externs[mi][name] = fmt.Sprintf("extern func %s%s;", name, sig)
+	}
+	return name
+}
+
+// idx renders a safely wrapped array index expression.
+func (g *gen) idx(expr string) string {
+	n := g.spec.ArrayElems
+	return fmt.Sprintf("((%s) %% %d + %d) %% %d", expr, n, n, n)
+}
+
+// hotName/coldName are the global naming scheme.
+func hotName(mi, k int) string  { return fmt.Sprintf("h%d_%d", mi, k) }
+func coldName(mi, k int) string { return fmt.Sprintf("c%d_%d", mi, k) }
+
+// hotFunc emits one hot-path function. Hot functions form forward
+// chains across modules: h<mi>_<k> calls hot functions in module
+// mi+1 (and sometimes a sibling with higher k), so the hot path
+// crosses every module boundary — the property that makes CMO pay on
+// large applications.
+func (g *gen) hotFunc(sb *strings.Builder, mi, k int) {
+	s := g.spec
+	rng := rand.New(rand.NewSource(s.Seed*7919 + int64(mi)*131 + int64(k)))
+	name := hotName(mi, k)
+	fmt.Fprintf(sb, "func %s(a int, b int) int {\n", name)
+	fmt.Fprintf(sb, "\tvar x int = a * %d + g%d;\n", rng.Int63n(7)+2, mi)
+	fmt.Fprintf(sb, "\tvar y int = b + x %% %d;\n", rng.Int63n(29)+3)
+	// Cross-module global reads: module barriers hide facts about
+	// globals (paper section 1), so some hot code reads a neighbor
+	// module's tuning constant — a cross-module constant-promotion
+	// opportunity that only link-time optimization can see.
+	if mi+1 < s.Modules && rng.Int63n(3) == 0 {
+		gname := g.useVar(mi, mi+1, fmt.Sprintf("g%d", mi+1), "int")
+		fmt.Fprintf(sb, "\tx = x + %s;\n", gname)
+	}
+	// Array traffic keeps the data cache honest.
+	fmt.Fprintf(sb, "\tarr%d[%s] = x - y;\n", mi, g.idx("x + y"))
+	fmt.Fprintf(sb, "\ty = y + arr%d[%s];\n", mi, g.idx("y"))
+	// A data-dependent branch: one arm hot, one arm cold depending on
+	// the mode input — block layout and branch prediction fodder.
+	fmt.Fprintf(sb, "\tif (x %% %d == 0) { x = x + y * 2; } else { x = x - y; }\n", rng.Int63n(5)+7)
+	// Exactly one dynamic forward call into the next module per
+	// invocation, so the hot chain's work is linear in the module
+	// count. An if/else between two callees keeps two *static* call
+	// sites per function (fodder for selectivity ranking and for
+	// block layout) while dynamic fanout stays 1.
+	if mi+1 < s.Modules {
+		// The primary callee keeps the same k, so every hot function
+		// is reachable (main calls every h0_k); the alternative arm
+		// picks a random sibling.
+		callee := g.useFunc(mi, mi+1, hotName(mi+1, k%s.HotPerModule), "(a int, b int) int")
+		arg := "x"
+		if rng.Int63n(3) == 0 {
+			// Constant second argument: an IPCP opportunity when all
+			// callers agree, an inlining bonus otherwise.
+			arg = fmt.Sprintf("%d", rng.Int63n(16))
+		}
+		if s.HotPerModule > 1 && rng.Int63n(2) == 0 {
+			nk2 := int(rng.Int63n(int64(s.HotPerModule)))
+			callee2 := g.useFunc(mi, mi+1, hotName(mi+1, nk2), "(a int, b int) int")
+			// Heavily skewed branch: one arm dominates, so
+			// profile-guided layout has something to straighten and
+			// the cold arm's site ranks well below the hot primaries.
+			fmt.Fprintf(sb, "\tif (x %% 97 != 1) { x = x + %s(y, %s); } else { x = x + %s(b, y); }\n",
+				callee, arg, callee2)
+		} else {
+			fmt.Fprintf(sb, "\tx = x + %s(y, %s);\n", callee, arg)
+		}
+	}
+	fmt.Fprintf(sb, "\tacc%d = acc%d + x %% 1000;\n", mi, mi)
+	fmt.Fprintf(sb, "\treturn x + y;\n}\n")
+}
+
+// coldFunc emits one cold function: long straight-line stretches,
+// small loops, and forward calls to other cold functions. Cold code
+// is the bulk of the line count; most of it runs rarely or never.
+func (g *gen) coldFunc(sb *strings.Builder, mi, k int) {
+	s := g.spec
+	rng := rand.New(rand.NewSource(s.Seed*104729 + int64(mi)*997 + int64(k)))
+	name := coldName(mi, k)
+	fmt.Fprintf(sb, "func %s(a int) int {\n", name)
+	fmt.Fprintf(sb, "\tvar acc int = a + %d;\n", rng.Int63n(100))
+	stmts := s.ColdStmts
+	if stmts < 4 {
+		stmts = 4
+	}
+	for i := 0; i < stmts; i++ {
+		switch rng.Int63n(6) {
+		case 0:
+			fmt.Fprintf(sb, "\tacc = acc * %d + %d;\n", rng.Int63n(5)+2, rng.Int63n(50))
+		case 1:
+			fmt.Fprintf(sb, "\tacc = acc - arr%d[%s];\n", mi, g.idx(fmt.Sprintf("acc + %d", rng.Int63n(31))))
+		case 2:
+			fmt.Fprintf(sb, "\tif (acc %% %d == 0) { acc = acc + g%d; } else { acc = acc - %d; }\n",
+				rng.Int63n(7)+2, mi, rng.Int63n(9)+1)
+		case 3:
+			fmt.Fprintf(sb, "\tfor (var i%d int = 0; i%d < %d; i%d = i%d + 1) { acc = acc + i%d * %d; }\n",
+				i, i, rng.Int63n(4)+2, i, i, i, rng.Int63n(3)+1)
+		case 4:
+			fmt.Fprintf(sb, "\tarr%d[%s] = acc %% 1000;\n", mi, g.idx(fmt.Sprintf("acc * %d", rng.Int63n(5)+1)))
+		default:
+			fmt.Fprintf(sb, "\tacc = acc %% %d + %d;\n", rng.Int63n(9973)+7, rng.Int63n(200))
+		}
+	}
+	// The cold spine: every cold function is *statically reachable*
+	// (main -> c0_0 -> c0_1 -> ... -> c1_0 -> ...) but the guard
+	// makes the calls rare at run time. Real applications' cold code
+	// is live, not dead — that is what makes selectivity (rather than
+	// dead-code elimination) the interesting lever.
+	if k+1 < s.ColdPerModule {
+		callee := coldName(mi, k+1)
+		fmt.Fprintf(sb, "\tif (acc %% %d == 1) { acc = acc + %s(acc %% 256); }\n", rng.Int63n(17)+23, callee)
+	} else if mi+1 < s.Modules {
+		callee := g.useFunc(mi, mi+1, coldName(mi+1, 0), "(a int) int")
+		fmt.Fprintf(sb, "\tif (acc %% %d == 1) { acc = acc + %s(acc %% 256); }\n", rng.Int63n(17)+23, callee)
+	}
+	// Plus a couple of random forward calls for graph richness; the
+	// cold sites outnumber the hot ones heavily, as in real
+	// applications where most call sites never get hot.
+	extra := 1 + int(rng.Int63n(2))
+	for c := 0; c < extra; c++ {
+		tm, tk := mi, k+2+int(rng.Int63n(4))
+		if rng.Int63n(2) == 0 && mi+1 < s.Modules {
+			tm, tk = mi+1+int(rng.Int63n(int64(min(3, s.Modules-mi-1)))), int(rng.Int63n(int64(max(1, s.ColdPerModule))))
+		}
+		if tm < s.Modules && tk < s.ColdPerModule && s.ColdPerModule > 0 && (tm != mi || tk > k) {
+			callee := g.useFunc(mi, tm, coldName(tm, tk), "(a int) int")
+			fmt.Fprintf(sb, "\tif (acc %% %d == 1) { acc = acc + %s(acc %% 256); }\n", rng.Int63n(17)+13, callee)
+		}
+	}
+	fmt.Fprintf(sb, "\treturn acc;\n}\n")
+}
+
+// mainFunc emits the driver in module 0.
+func (g *gen) mainFunc(sb *strings.Builder) {
+	s := g.spec
+	rng := rand.New(rand.NewSource(s.Seed * 31337))
+	sb.WriteString("func main() int {\n")
+	sb.WriteString("\tvar s int = 0;\n")
+	sb.WriteString("\tfor (var it int = 0; it < input0; it = it + 1) {\n")
+	for k := 0; k < s.HotPerModule; k++ {
+		fmt.Fprintf(sb, "\t\ts = s + %s(it %% %d, input1 + %d);\n",
+			hotName(0, k), rng.Int63n(200)+17, rng.Int63n(8))
+	}
+	// Rare cold work: a slice of the cold graph runs occasionally
+	// (initialization-style code in real applications).
+	if s.ColdPerModule > 0 {
+		fmt.Fprintf(sb, "\t\tif (it %% %d == %d) { s = s + %s(it %% 128); }\n",
+			rng.Int63n(200)+301, rng.Int63n(50), coldName(0, 0))
+	}
+	// Mode-dependent path: different data sets steer differently.
+	if s.HotPerModule > 1 {
+		fmt.Fprintf(sb, "\t\tif (input1 %% 2 == 0) { s = s + %s(it, 3); } else { s = s - 1; }\n", hotName(0, s.HotPerModule-1))
+	}
+	sb.WriteString("\t\tif (s > 1000000000) { s = s % 268435455; }\n")
+	sb.WriteString("\t\tif (s < -1000000000) { s = -(-s % 268435455); }\n")
+	sb.WriteString("\t}\n")
+	sb.WriteString("\tchecksum = s;\n")
+	sb.WriteString("\treturn s % 1000003;\n}\n")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

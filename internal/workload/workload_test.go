@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/link"
+	"cmo/internal/llo"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+	"cmo/internal/vpa"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name:    "unit",
+		Seed:    42,
+		Modules: 5, HotPerModule: 2, ColdPerModule: 4, ColdStmts: 10,
+		ArrayElems: 32,
+		TrainIters: 50, RefIters: 120, TrainMode: 2, RefMode: 5,
+	}
+}
+
+// compile front-ends, checks, and lowers a generated program.
+func compile(t *testing.T, spec Spec) *lower.Result {
+	t.Helper()
+	mods := spec.Generate()
+	var files []*source.File
+	for _, m := range mods {
+		f, err := source.Parse(m.Name+".minc", m.Text)
+		if err != nil {
+			t.Fatalf("generated module %s does not parse: %v", m.Name, err)
+		}
+		if err := source.Check(f); err != nil {
+			t.Fatalf("generated module %s does not check: %v", m.Name, err)
+		}
+		files = append(files, f)
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		t.Fatalf("generated program does not lower: %v", err)
+	}
+	for pid, f := range res.Funcs {
+		if err := il.Verify(res.Prog, f); err != nil {
+			t.Fatalf("generated %s does not verify: %v", res.Prog.Sym(pid).Name, err)
+		}
+	}
+	return res
+}
+
+func TestGeneratedProgramIsValid(t *testing.T) {
+	compile(t, smallSpec())
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := smallSpec().Generate()
+	b := smallSpec().Generate()
+	if len(a) != len(b) {
+		t.Fatal("module counts differ")
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatalf("module %d differs between generations", i)
+		}
+	}
+	c := Spec{
+		Name: "unit", Seed: 43,
+		Modules: 5, HotPerModule: 2, ColdPerModule: 4, ColdStmts: 10,
+		ArrayElems: 32,
+	}.Generate()
+	if c[0].Text == a[0].Text {
+		t.Error("different seeds produced identical output")
+	}
+}
+
+func TestGeneratedProgramRuns(t *testing.T) {
+	spec := smallSpec()
+	res := compile(t, spec)
+	it := il.NewInterp(res.Prog, func(p il.PID) *il.Function { return res.Funcs[p] })
+	if err := it.SetGlobal("input0", spec.Ref().Iters); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.SetGlobal("input1", spec.Ref().Mode); err != nil {
+		t.Fatal(err)
+	}
+	v, err := it.Run("main", nil, 2e8)
+	if err != nil {
+		t.Fatalf("generated program trapped: %v", err)
+	}
+	// Different inputs must change behavior (otherwise train==ref and
+	// the PBO methodology questions of section 2 would not apply).
+	it.Reset()
+	it.SetGlobal("input0", spec.Train().Iters)
+	it.SetGlobal("input1", spec.Train().Mode)
+	v2, err := it.Run("main", nil, 2e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == v2 {
+		t.Error("train and ref inputs produce identical results")
+	}
+}
+
+// TestDifferentialO1O2 is the central differential test: the IL
+// interpreter, the O1 machine build, and the O2 machine build must
+// agree on generated programs across several seeds.
+func TestDifferentialO1O2(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		spec := smallSpec()
+		spec.Seed = seed
+		res := compile(t, spec)
+
+		ref := il.NewInterp(res.Prog, func(p il.PID) *il.Function { return res.Funcs[p] })
+		ref.SetGlobal("input0", 80)
+		ref.SetGlobal("input1", 3)
+		want, err := ref.Run("main", nil, 2e8)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+		wantSum, _ := ref.Global("checksum")
+
+		for _, level := range []int{1, 2} {
+			code := make(map[il.PID]*vpa.Func)
+			for pid, f := range res.Funcs {
+				mf, err := llo.Compile(res.Prog, f, llo.Options{Level: level})
+				if err != nil {
+					t.Fatalf("seed %d O%d: compile %s: %v", seed, level, f.Name, err)
+				}
+				code[pid] = mf
+			}
+			img, err := link.Link(res.Prog, code, link.Options{})
+			if err != nil {
+				t.Fatalf("seed %d O%d: link: %v", seed, level, err)
+			}
+			m := vpa.NewMachine(img, vpa.DefaultConfig())
+			m.SetGlobal("input0", 80)
+			m.SetGlobal("input1", 3)
+			got, err := m.Run(nil, 2e8)
+			if err != nil {
+				t.Fatalf("seed %d O%d: machine: %v", seed, level, err)
+			}
+			if got != want {
+				t.Errorf("seed %d O%d: machine %d != interp %d", seed, level, got, want)
+			}
+			gotSum, _ := m.Global("checksum")
+			if gotSum != wantSum {
+				t.Errorf("seed %d O%d: checksum %d != %d", seed, level, gotSum, wantSum)
+			}
+		}
+	}
+}
+
+func TestColdCodeDominatesLines(t *testing.T) {
+	spec := Spec{
+		Name: "bulk", Seed: 7,
+		Modules: 10, HotPerModule: 2, ColdPerModule: 12, ColdStmts: 25,
+	}
+	res := compile(t, spec)
+	hotLines, coldLines := 0, 0
+	for pid, f := range res.Funcs {
+		name := res.Prog.Sym(pid).Name
+		switch name[0] {
+		case 'h':
+			hotLines += f.SrcLines
+		case 'c':
+			coldLines += f.SrcLines
+		}
+	}
+	if coldLines < hotLines*3 {
+		t.Errorf("cold code does not dominate: hot=%d cold=%d lines", hotLines, coldLines)
+	}
+}
+
+func TestCrossModuleCallsExist(t *testing.T) {
+	spec := smallSpec()
+	res := compile(t, spec)
+	cross := 0
+	for pid, f := range res.Funcs {
+		callerMod := res.Prog.Sym(pid).Module
+		for _, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Op == il.Call && res.Prog.Sym(in.Sym).Module != callerMod {
+					cross++
+				}
+			}
+		}
+	}
+	if cross < spec.Modules-1 {
+		t.Errorf("only %d cross-module call sites; the hot chain should cross every boundary", cross)
+	}
+}
+
+func TestInputGlobals(t *testing.T) {
+	names := InputGlobals()
+	if len(names) != 2 || names[0] != "input0" || names[1] != "input1" {
+		t.Errorf("InputGlobals = %v", names)
+	}
+	res := compile(t, smallSpec())
+	for _, n := range names {
+		if res.Prog.Lookup(n) == nil {
+			t.Errorf("generated program lacks input global %s", n)
+		}
+	}
+}
+
+func TestLinesScaleWithSpec(t *testing.T) {
+	lines := func(mult int) int {
+		spec := smallSpec()
+		spec.Modules *= mult
+		res := compile(t, spec)
+		total := 0
+		for _, m := range res.Prog.Modules {
+			total += m.Lines
+		}
+		return total
+	}
+	l1, l3 := lines(1), lines(3)
+	if l3 < l1*2 {
+		t.Errorf("line count does not scale: %d -> %d", l1, l3)
+	}
+}

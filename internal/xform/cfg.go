@@ -1,0 +1,162 @@
+package xform
+
+import (
+	"cmo/internal/il"
+	"cmo/internal/ir"
+)
+
+// Cleanup normalizes a function's CFG: it deletes unreachable blocks,
+// threads jumps through empty forwarding blocks, and merges blocks
+// with their unique successor when that successor has a unique
+// predecessor. It reports whether anything changed.
+func Cleanup(f *il.Function) bool {
+	changed := false
+	for {
+		c := threadJumps(f)
+		c = dropUnreachable(f) || c
+		c = mergeChains(f) || c
+		if !c {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// threadJumps redirects edges that point at a block containing only a
+// Jmp to that block's target.
+func threadJumps(f *il.Function) bool {
+	// forward[i] = final destination when block i is a pure jump.
+	forward := make([]int32, len(f.Blocks))
+	for i, b := range f.Blocks {
+		forward[i] = int32(i)
+		if len(b.Instrs) == 1 && b.Instrs[0].Op == il.Jmp {
+			forward[i] = b.T
+		}
+	}
+	resolve := func(i int32) int32 {
+		seen := 0
+		for forward[i] != i && seen < len(f.Blocks) {
+			i = forward[i]
+			seen++
+		}
+		return i
+	}
+	changed := false
+	for _, b := range f.Blocks {
+		switch b.Term().Op {
+		case il.Jmp:
+			if nt := resolve(b.T); nt != b.T {
+				b.T = nt
+				changed = true
+			}
+		case il.Br:
+			if nt := resolve(b.T); nt != b.T {
+				b.T = nt
+				changed = true
+			}
+			if nf := resolve(b.F); nf != b.F {
+				b.F = nf
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// dropUnreachable removes blocks not reachable from the entry and
+// renumbers branch targets.
+func dropUnreachable(f *il.Function) bool {
+	c := ir.BuildCFG(f)
+	all := true
+	for i := range f.Blocks {
+		if !c.Reach[i] {
+			all = false
+			break
+		}
+	}
+	if all {
+		return false
+	}
+	remap := make([]int32, len(f.Blocks))
+	var kept []*il.Block
+	for i, b := range f.Blocks {
+		if c.Reach[i] {
+			remap[i] = int32(len(kept))
+			kept = append(kept, b)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for _, b := range kept {
+		switch b.Term().Op {
+		case il.Jmp:
+			b.T = remap[b.T]
+		case il.Br:
+			b.T = remap[b.T]
+			b.F = remap[b.F]
+		}
+	}
+	f.Blocks = kept
+	return true
+}
+
+// mergeChains merges a block ending in Jmp with its target when the
+// target's only predecessor is that block (and it is not the entry).
+func mergeChains(f *il.Function) bool {
+	c := ir.BuildCFG(f)
+	changed := false
+	for i, b := range f.Blocks {
+		for {
+			if b.Term().Op != il.Jmp {
+				break
+			}
+			t := b.T
+			if t == int32(i) || t == 0 {
+				break
+			}
+			if len(c.Preds[t]) != 1 {
+				break
+			}
+			tb := f.Blocks[t]
+			if tb == b {
+				break
+			}
+			// Splice: drop our Jmp, append target's instructions.
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], tb.Instrs...)
+			b.T, b.F = tb.T, tb.F
+			if tb.Freq > b.Freq {
+				b.Freq = tb.Freq
+			}
+			// Leave the target as an unreachable husk (a Jmp to
+			// itself would be wrong; give it a Ret-like shape that
+			// dropUnreachable will delete).
+			tb.Instrs = []il.Instr{{Op: il.Jmp}}
+			tb.T = int32(i)
+			c.Preds[t] = nil
+			changed = true
+			// b's new terminator may be another Jmp; keep merging.
+			c = ir.BuildCFG(f)
+		}
+	}
+	if changed {
+		dropUnreachable(f)
+	}
+	return changed
+}
+
+// Optimize is the standard function-local pipeline: local folding,
+// branch folding, CFG cleanup, and DCE, iterated to a fixed point.
+// This is what +O2 runs per routine and what HLO re-runs after
+// inlining (the paper's "minimum amount of analysis and
+// transformation" for unselected routines skips it).
+func Optimize(f *il.Function) {
+	for i := 0; i < 10; i++ {
+		c := LocalOptimize(f)
+		c = FoldBranches(f) || c
+		c = Cleanup(f) || c
+		c = DCE(f) || c
+		if !c {
+			return
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package xform
+
+import (
+	"cmo/internal/il"
+	"cmo/internal/ir"
+)
+
+// isRemovable reports whether an instruction may be deleted when its
+// destination is dead. Calls, stores, probes, and terminators are
+// never removable; Div/Rem are removable only when the divisor is a
+// non-zero constant (deleting a potential divide-by-zero trap would
+// change behavior); dead loads are removable (see package comment).
+func isRemovable(in *il.Instr) bool {
+	switch in.Op {
+	case il.Const, il.Copy, il.Add, il.Sub, il.Mul, il.Neg, il.Not,
+		il.Eq, il.Ne, il.Lt, il.Le, il.Gt, il.Ge,
+		il.LoadG, il.LoadX, il.Nop:
+		return true
+	case il.Div, il.Rem:
+		return in.B.IsConst && in.B.Const != 0
+	}
+	return false
+}
+
+// DCE removes instructions whose results are never used, iterating to
+// a fixed point. Nop instructions are removed unconditionally. It
+// reports whether anything was deleted.
+func DCE(f *il.Function) bool {
+	any := false
+	for {
+		c := ir.BuildCFG(f)
+		lv := ir.BuildLiveness(f, c)
+		changed := false
+		for bi, b := range f.Blocks {
+			live := lv.Out[bi].Clone()
+			// Walk backward, deleting dead removable defs.
+			keep := b.Instrs[:0]
+			// Collect kept instructions in reverse, then un-reverse.
+			var kept []il.Instr
+			for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+				in := b.Instrs[ii]
+				dead := in.Op == il.Nop ||
+					(in.Dst != 0 && !live.Has(in.Dst) && isRemovable(&in))
+				if dead {
+					changed = true
+					continue
+				}
+				if in.Dst != 0 {
+					live.Remove(in.Dst)
+				}
+				visitUses(&in, func(r il.Reg) { live.Add(r) })
+				kept = append(kept, in)
+			}
+			for i := len(kept) - 1; i >= 0; i-- {
+				keep = append(keep, kept[i])
+			}
+			b.Instrs = keep
+		}
+		if !changed {
+			return any
+		}
+		any = true
+	}
+}
+
+func visitUses(in *il.Instr, visit func(il.Reg)) {
+	use := func(v il.Value) {
+		if !v.IsConst && v.Reg != 0 {
+			visit(v.Reg)
+		}
+	}
+	use(in.A)
+	use(in.B)
+	for _, a := range in.Args {
+		use(a)
+	}
+}

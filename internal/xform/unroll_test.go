@@ -1,0 +1,216 @@
+package xform
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+)
+
+// runFn interprets a single-function program.
+func runFn(t *testing.T, prog *il.Program, fns map[il.PID]*il.Function) int64 {
+	t.Helper()
+	it := il.NewInterp(prog, func(p il.PID) *il.Function { return fns[p] })
+	v, err := it.Run("main", nil, 0)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func unrollProgram(t *testing.T, src string) (int64, int64, *il.Function, *il.Program) {
+	t.Helper()
+	prog, fns := buildFns(t, src)
+	before := runFn(t, prog, fns)
+	mainFn := fns[prog.Lookup("main").PID]
+	// Normalize first (the pass expects post-Optimize shapes).
+	Optimize(mainFn)
+	UnrollLoops(mainFn, 256)
+	Optimize(mainFn)
+	if err := il.Verify(prog, mainFn); err != nil {
+		t.Fatalf("verify after unroll: %v\n%s", err, mainFn.Print(prog))
+	}
+	after := runFn(t, prog, fns)
+	return before, after, mainFn, prog
+}
+
+func countBackEdges(f *il.Function) int {
+	n := 0
+	for bi, b := range f.Blocks {
+		switch b.Term().Op {
+		case il.Jmp:
+			if b.T <= int32(bi) {
+				n++
+			}
+		case il.Br:
+			if b.T <= int32(bi) || b.F <= int32(bi) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestUnrollCountedLoop(t *testing.T) {
+	before, after, mainFn, prog := unrollProgram(t, `module m;
+var sink [8]int;
+func main() int {
+	var acc int = 0;
+	for (var i int = 0; i < 5; i = i + 1) {
+		acc = acc + i * 3;
+		sink[i % 8] = acc;
+	}
+	return acc;
+}`)
+	if before != after {
+		t.Fatalf("unroll changed result: %d -> %d", before, after)
+	}
+	if n := countBackEdges(mainFn); n != 0 {
+		t.Errorf("loop not unrolled: %d back edges remain\n%s", n, mainFn.Print(prog))
+	}
+}
+
+func TestUnrollPureLoopFoldsToConstant(t *testing.T) {
+	_, after, mainFn, prog := unrollProgram(t, `module m;
+func main() int {
+	var acc int = 0;
+	for (var i int = 0; i < 6; i = i + 1) { acc = acc + i; }
+	return acc;
+}`)
+	if after != 15 {
+		t.Fatalf("got %d, want 15", after)
+	}
+	// After unroll + const folding the whole function collapses.
+	if mainFn.NumInstrs() > 2 {
+		t.Errorf("unrolled pure loop did not fold:\n%s", mainFn.Print(prog))
+	}
+}
+
+func TestUnrollZeroTripLoop(t *testing.T) {
+	before, after, _, _ := unrollProgram(t, `module m;
+var g int = 7;
+func main() int {
+	var acc int = g;
+	for (var i int = 10; i < 5; i = i + 1) { acc = acc * 1000; }
+	return acc + 1;
+}`)
+	if before != after || after != 8 {
+		t.Fatalf("zero-trip loop broken: %d -> %d", before, after)
+	}
+}
+
+func TestUnrollDownwardLoop(t *testing.T) {
+	before, after, mainFn, _ := unrollProgram(t, `module m;
+var g int = 2;
+func main() int {
+	var acc int = 0;
+	for (var i int = 8; i > 0; i = i - 2) { acc = acc + i * g; }
+	return acc;
+}`)
+	if before != after {
+		t.Fatalf("downward loop changed: %d -> %d", before, after)
+	}
+	if n := countBackEdges(mainFn); n != 0 {
+		t.Error("downward loop not unrolled")
+	}
+}
+
+func TestUnrollSkipsLargeTripCounts(t *testing.T) {
+	before, after, mainFn, _ := unrollProgram(t, `module m;
+var g int = 1;
+func main() int {
+	var acc int = 0;
+	for (var i int = 0; i < 5000; i = i + 1) { acc = acc + g; }
+	return acc;
+}`)
+	if before != after {
+		t.Fatalf("result changed: %d -> %d", before, after)
+	}
+	if n := countBackEdges(mainFn); n == 0 {
+		t.Error("5000-trip loop should not be fully unrolled")
+	}
+}
+
+func TestUnrollSkipsVariableBounds(t *testing.T) {
+	before, after, mainFn, _ := unrollProgram(t, `module m;
+var n int = 4;
+func main() int {
+	var acc int = 0;
+	for (var i int = 0; i < n; i = i + 1) { acc = acc + i; }
+	return acc;
+}`)
+	if before != after {
+		t.Fatalf("result changed: %d -> %d", before, after)
+	}
+	if n := countBackEdges(mainFn); n == 0 {
+		t.Error("variable-bound loop must not unroll")
+	}
+}
+
+func TestUnrollSkipsMultiBlockBodies(t *testing.T) {
+	before, after, _, _ := unrollProgram(t, `module m;
+var g int = 3;
+func main() int {
+	var acc int = 0;
+	for (var i int = 0; i < 4; i = i + 1) {
+		if (i % 2 == 0) { acc = acc + g; } else { acc = acc - 1; }
+	}
+	return acc;
+}`)
+	if before != after {
+		t.Fatalf("multi-block body broken: %d -> %d", before, after)
+	}
+}
+
+func TestUnrollLoopWithCall(t *testing.T) {
+	// Calls in the body are fine: they execute the same number of
+	// times in the same order.
+	before, after, mainFn, _ := unrollProgram(t, `module m;
+var n int;
+func bump(x int) int { n = n + 1; return x + n; }
+func main() int {
+	var acc int = 0;
+	for (var i int = 0; i < 3; i = i + 1) { acc = acc + bump(i); }
+	return acc * 10 + n;
+}`)
+	if before != after {
+		t.Fatalf("call-bearing loop broken: %d -> %d", before, after)
+	}
+	if n := countBackEdges(mainFn); n != 0 {
+		t.Error("call-bearing counted loop should still unroll")
+	}
+}
+
+func TestUnrollNestedInner(t *testing.T) {
+	before, after, _, _ := unrollProgram(t, `module m;
+var g int = 1;
+func main() int {
+	var acc int = 0;
+	for (var i int = 0; i < 200; i = i + 1) {
+		for (var j int = 0; j < 3; j = j + 1) { acc = acc + g; }
+	}
+	return acc;
+}`)
+	if before != after || after != 600 {
+		t.Fatalf("nested loops broken: %d -> %d", before, after)
+	}
+}
+
+func TestUnrollBudget(t *testing.T) {
+	prog, fns := buildFns(t, `module m;
+var a [16]int;
+func main() int {
+	var acc int = 0;
+	for (var i int = 0; i < 15; i = i + 1) {
+		acc = acc + a[i] * 3 + i;
+		a[(i + 1) % 16] = acc % 100;
+		acc = acc - a[i % 16];
+	}
+	return acc;
+}`)
+	mainFn := fns[prog.Lookup("main").PID]
+	Optimize(mainFn)
+	// A tiny budget must refuse.
+	if UnrollLoops(mainFn, 10) {
+		t.Error("unrolled beyond budget")
+	}
+}

@@ -1,0 +1,268 @@
+package xform
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+)
+
+func buildFns(t *testing.T, src string) (*il.Program, map[il.PID]*il.Function) {
+	t.Helper()
+	f, err := source.Parse("t.minc", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := source.Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := lower.Modules([]*source.File{f})
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return res.Prog, res.Funcs
+}
+
+// runBoth interprets the program as lowered and after Optimize on all
+// bodies, requiring identical results; returns the optimized value.
+func runBoth(t *testing.T, src string) (int64, map[il.PID]*il.Function, *il.Program) {
+	t.Helper()
+	prog, fns := buildFns(t, src)
+	ref := il.NewInterp(prog, func(p il.PID) *il.Function { return fns[p] })
+	want, err := ref.Run("main", nil, 0)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refSteps := ref.Steps()
+
+	opt := make(map[il.PID]*il.Function, len(fns))
+	for pid, f := range fns {
+		of := f.Clone()
+		Optimize(of)
+		if err := il.Verify(prog, of); err != nil {
+			t.Fatalf("verify after Optimize(%s): %v\n%s", f.Name, err, of.Print(prog))
+		}
+		opt[pid] = of
+	}
+	oit := il.NewInterp(prog, func(p il.PID) *il.Function { return opt[p] })
+	got, err := oit.Run("main", nil, 0)
+	if err != nil {
+		t.Fatalf("optimized run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("optimized result %d != reference %d", got, want)
+	}
+	if oit.Steps() > refSteps {
+		t.Errorf("optimization made program slower: %d > %d steps", oit.Steps(), refSteps)
+	}
+	return got, opt, prog
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	_, opt, prog := runBoth(t, `module m;
+func main() int {
+	var a int = 3 + 4;
+	var b int = a * 2;
+	var c int = b - 5;
+	return c * (10 / 2) % 100;
+}`)
+	// main must fold to a single constant return.
+	mainFn := opt[prog.Lookup("main").PID]
+	if n := mainFn.NumInstrs(); n > 2 {
+		t.Errorf("main not fully folded: %d instrs\n%s", n, mainFn.Print(prog))
+	}
+}
+
+func TestOptimizeBranchFolding(t *testing.T) {
+	_, opt, prog := runBoth(t, `module m;
+func main() int {
+	var x int = 0;
+	if (3 > 2) { x = 1; } else { x = 2; }
+	if (false) { x = x + 100; }
+	while (false) { x = x + 1000; }
+	return x;
+}`)
+	mainFn := opt[prog.Lookup("main").PID]
+	if len(mainFn.Blocks) != 1 {
+		t.Errorf("branches not folded: %d blocks\n%s", len(mainFn.Blocks), mainFn.Print(prog))
+	}
+}
+
+func TestOptimizePreservesLoops(t *testing.T) {
+	got, _, _ := runBoth(t, `module m;
+var acc int;
+func main() int {
+	for (var i int = 0; i < 37; i = i + 1) { acc = acc + i; }
+	return acc;
+}`)
+	if got != 666 {
+		t.Errorf("got %d, want 666", got)
+	}
+}
+
+func TestOptimizeAlgebraic(t *testing.T) {
+	runBoth(t, `module m;
+var g int = 9;
+func main() int {
+	var x int = g;
+	var a int = x + 0;
+	var b int = x * 1;
+	var c int = x - 0;
+	var d int = x / 1;
+	var e int = x * 0;
+	var f int = x - x;
+	return a + b + c + d + e + f;
+}`)
+}
+
+func TestOptimizeDCERemovesDeadCode(t *testing.T) {
+	_, opt, prog := runBoth(t, `module m;
+var g int = 2;
+func main() int {
+	var dead1 int = g * 77;
+	var dead2 int = dead1 + g;
+	var live int = g + 1;
+	dead2 = dead2 * 3;
+	return live;
+}`)
+	mainFn := opt[prog.Lookup("main").PID]
+	for _, b := range mainFn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == il.Mul {
+				t.Errorf("dead multiply survived DCE:\n%s", mainFn.Print(prog))
+			}
+		}
+	}
+}
+
+func TestOptimizeKeepsCalls(t *testing.T) {
+	got, opt, prog := runBoth(t, `module m;
+var g int;
+func bump() int { g = g + 1; return g; }
+func main() int {
+	var dead int = bump();
+	dead = dead * 2;
+	return g;
+}`)
+	if got != 1 {
+		t.Errorf("got %d, want 1 (call must survive DCE)", got)
+	}
+	mainFn := opt[prog.Lookup("main").PID]
+	calls := 0
+	for _, b := range mainFn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == il.Call {
+				calls++
+			}
+		}
+	}
+	if calls != 1 {
+		t.Errorf("call count after DCE = %d, want 1", calls)
+	}
+}
+
+func TestOptimizeKeepsDivByZeroTrap(t *testing.T) {
+	// The dead division by a (possibly zero) variable must survive.
+	prog, fns := buildFns(t, `module m;
+var zero int = 0;
+func main() int {
+	var dead int = 7 / zero;
+	return 5;
+}`)
+	for _, f := range fns {
+		Optimize(f)
+	}
+	it := il.NewInterp(prog, func(p il.PID) *il.Function { return fns[p] })
+	if _, err := it.Run("main", nil, 0); err != il.ErrDivZero {
+		t.Errorf("trap optimized away: err = %v, want ErrDivZero", err)
+	}
+}
+
+func TestOptimizeShortCircuitPreserved(t *testing.T) {
+	got, _, _ := runBoth(t, `module m;
+var calls int;
+func sideEffect() bool { calls = calls + 1; return true; }
+func main() int {
+	var a bool = false;
+	var r bool = a && sideEffect();
+	if (r) { return -1; }
+	return calls;
+}`)
+	if got != 0 {
+		t.Errorf("short-circuit broken after optimize: calls = %d", got)
+	}
+}
+
+func TestCleanupMergesChains(t *testing.T) {
+	_, opt, prog := runBoth(t, `module m;
+var g int = 1;
+func main() int {
+	var x int = g;
+	x = x + 1;
+	x = x + 2;
+	x = x + 3;
+	return x;
+}`)
+	mainFn := opt[prog.Lookup("main").PID]
+	if len(mainFn.Blocks) != 1 {
+		t.Errorf("straight-line code has %d blocks after cleanup", len(mainFn.Blocks))
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	prog, fns := buildFns(t, `module m;
+var g int = 5;
+func f(n int) int {
+	var s int = 0;
+	for (var i int = 0; i < n; i = i + 1) {
+		if (i % 2 == 0) { s = s + g; } else { s = s - 1; }
+	}
+	return s;
+}
+func main() int { return f(10); }`)
+	for _, f := range fns {
+		Optimize(f)
+	}
+	snap := make(map[il.PID]string)
+	for pid, f := range fns {
+		snap[pid] = f.Print(prog)
+	}
+	for _, f := range fns {
+		Optimize(f)
+	}
+	for pid, f := range fns {
+		if f.Print(prog) != snap[pid] {
+			t.Errorf("Optimize not idempotent for %s", f.Name)
+		}
+	}
+}
+
+func TestSimplifyCanonicalizesConstLeft(t *testing.T) {
+	in := il.Instr{Op: il.Add, Dst: 5, A: il.ConstVal(3), B: il.RegVal(2)}
+	simplify(&in)
+	if in.A.IsConst || !in.B.IsConst {
+		t.Errorf("constant not canonicalized right: %v", in)
+	}
+}
+
+func TestFoldBranchesConstCond(t *testing.T) {
+	f := &il.Function{
+		Name: "t", Ret: il.I64, NRegs: 2,
+		Blocks: []*il.Block{
+			{Instrs: []il.Instr{{Op: il.Br, A: il.ConstVal(1)}}, T: 1, F: 2},
+			{Instrs: []il.Instr{{Op: il.Ret, A: il.ConstVal(10)}}, T: -1, F: -1},
+			{Instrs: []il.Instr{{Op: il.Ret, A: il.ConstVal(20)}}, T: -1, F: -1},
+		},
+	}
+	if !FoldBranches(f) {
+		t.Fatal("no fold")
+	}
+	if f.Blocks[0].Term().Op != il.Jmp || f.Blocks[0].T != 1 {
+		t.Errorf("bad fold: %v T=%d", f.Blocks[0].Term(), f.Blocks[0].T)
+	}
+	Cleanup(f)
+	if len(f.Blocks) != 1 {
+		t.Errorf("unreachable arm survived: %d blocks", len(f.Blocks))
+	}
+}

@@ -1,0 +1,76 @@
+package cmo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SelectionReport renders what the build decided to optimize and why —
+// the deployment diagnostic the paper calls essential when shipping
+// selectivity (section 6.2: "good compiler diagnostics on what the
+// compiler is optimizing are essential"). It is stable text, suitable
+// for diffing between builds.
+func (b *Build) SelectionReport() string {
+	var sb strings.Builder
+	s := b.Stats
+	fmt.Fprintf(&sb, "build: %v", s.Level)
+	if s.PBO {
+		sb.WriteString(" +P")
+	}
+	fmt.Fprintf(&sb, " — %d modules, %d functions, %d lines\n", s.Modules, s.Functions, s.TotalLines)
+
+	if s.TotalSites > 0 {
+		fmt.Fprintf(&sb, "selectivity: %d/%d call sites -> %d/%d modules in CMO, %d routines in the fine-grained set (%d lines)\n",
+			s.SelectedSites, s.TotalSites, s.CMOModules, s.Modules, s.CMOFunctions, s.SelectedLines)
+	} else if s.CMOModules > 0 {
+		fmt.Fprintf(&sb, "selectivity: disabled — all %d modules in CMO\n", s.CMOModules)
+	} else if s.Level >= O3 {
+		sb.WriteString("selectivity: nothing selected; default-level compilation throughout\n")
+	}
+
+	h := s.HLO
+	fmt.Fprintf(&sb, "hlo: %d inlines (%d cross-module), %d clones, %d IPCP params, %d const globals, %d unrolled fns, %d dead fns\n",
+		h.Inlines, h.CrossModule, h.Clones, h.IPCPParams, h.ConstGlobals, h.Unrolled, h.DeadFuncs)
+
+	if s.TierHot+s.TierWarm+s.TierCold > 0 {
+		fmt.Fprintf(&sb, "layers: %d hot (CMO+PBO), %d warm (+O2), %d cold (+O1)\n",
+			s.TierHot, s.TierWarm, s.TierCold)
+	}
+
+	fmt.Fprintf(&sb, "naim: level %v, peak %d bytes, %d compactions, %d expansions, %d disk writes\n",
+		s.NAIMLevel, s.NAIM.PeakBytes, s.NAIM.Compactions, s.NAIM.Expansions, s.NAIM.DiskWrites)
+	fmt.Fprintf(&sb, "image: %d bytes of code, %d functions\n", s.CodeBytes, len(b.Image.Funcs))
+
+	if len(b.InlineOps) > 0 {
+		// The busiest inline pairs, aggregated — the trail a
+		// performance analyst follows first.
+		type pair struct{ caller, callee string }
+		agg := map[pair]int{}
+		for _, op := range b.InlineOps {
+			agg[pair{b.Prog.Sym(op.Caller).Name, b.Prog.Sym(op.Callee).Name}]++
+		}
+		pairs := make([]pair, 0, len(agg))
+		for k := range agg {
+			pairs = append(pairs, k)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if agg[pairs[i]] != agg[pairs[j]] {
+				return agg[pairs[i]] > agg[pairs[j]]
+			}
+			if pairs[i].caller != pairs[j].caller {
+				return pairs[i].caller < pairs[j].caller
+			}
+			return pairs[i].callee < pairs[j].callee
+		})
+		sb.WriteString("top inlines:\n")
+		for i, p := range pairs {
+			if i >= 10 {
+				fmt.Fprintf(&sb, "  ... and %d more pairs\n", len(pairs)-10)
+				break
+			}
+			fmt.Fprintf(&sb, "  %3dx %s <- %s\n", agg[p], p.caller, p.callee)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,158 @@
+package cmo_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestToolchainEndToEnd drives the command-line tools through the
+// paper's full deployment workflow — generate, compile to objects,
+// plain link, instrumented link, training run, profile inspection,
+// CMO+PBO link, benchmark run — exactly as a user (or make) would.
+func TestToolchainEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "bin")
+	if err := os.MkdirAll(bin, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(name, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// Build the tools.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/...")
+	cmd.Dir = wd
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tools: %v\n%s", err, out)
+	}
+	tool := func(n string) string { return filepath.Join(bin, n) }
+
+	// Generate a small application.
+	run(tool("cmogen"), "-preset", "small", "-dir", "app")
+	matches, err := filepath.Glob(filepath.Join(dir, "app", "*.minc"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no generated modules: %v", err)
+	}
+
+	// Compile each module to a fat object.
+	var objs []string
+	for _, m := range matches {
+		run(tool("cmoc"), "-O", "4", m)
+		objs = append(objs, strings.TrimSuffix(m, ".minc")+".o")
+	}
+
+	// Plain link and run.
+	run(tool("cmold"), append([]string{"-o", "plain.vx"}, objs...)...)
+	outPlain := run(tool("cmorun"), "-set", "input0=800", "-set", "input1=4", "-stats", filepath.Join(dir, "plain.vx"))
+	if !strings.Contains(outPlain, "result:") || !strings.Contains(outPlain, "cycles:") {
+		t.Fatalf("cmorun output malformed:\n%s", outPlain)
+	}
+	resultLine := strings.SplitN(outPlain, "\n", 2)[0]
+
+	// Instrumented link + training run -> profile database.
+	run(tool("cmold"), append([]string{"-I", "-o", "inst.vx"}, objs...)...)
+	run(tool("cmorun"), "-set", "input0=300", "-set", "input1=2",
+		"-probemap", filepath.Join(dir, "inst.vx.probes"),
+		"-profile-out", filepath.Join(dir, "prof.db"),
+		filepath.Join(dir, "inst.vx"))
+	top := run(tool("cmoprof"), "top", "-n", "3", filepath.Join(dir, "prof.db"))
+	if !strings.Contains(top, "sites with counts") {
+		t.Fatalf("cmoprof top malformed:\n%s", top)
+	}
+
+	// A second training run must merge into the database.
+	run(tool("cmorun"), "-set", "input0=300", "-set", "input1=2",
+		"-probemap", filepath.Join(dir, "inst.vx.probes"),
+		"-profile-out", filepath.Join(dir, "prof.db"),
+		filepath.Join(dir, "inst.vx"))
+
+	// CMO+PBO link with selectivity; must agree with the plain build.
+	linkOut := run(tool("cmold"), append([]string{
+		"-O4", "-P", filepath.Join(dir, "prof.db"), "-select", "50",
+		"-volatile", "input0,input1", "-v", "-o", "opt.vx"}, objs...)...)
+	if !strings.Contains(linkOut, "inlines") {
+		t.Fatalf("cmold -v output malformed:\n%s", linkOut)
+	}
+	outOpt := run(tool("cmorun"), "-set", "input0=800", "-set", "input1=4", "-stats", filepath.Join(dir, "opt.vx"))
+	if strings.SplitN(outOpt, "\n", 2)[0] != resultLine {
+		t.Fatalf("optimized image computes a different result:\nplain: %s\nopt:   %s",
+			resultLine, strings.SplitN(outOpt, "\n", 2)[0])
+	}
+
+	// The optimized image should be no slower.
+	cyc := func(out string) int64 {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "cycles: ") {
+				var v int64
+				if _, err := parseInt(line[len("cycles: "):], &v); err != nil {
+					t.Fatalf("bad cycles line %q", line)
+				}
+				return v
+			}
+		}
+		t.Fatal("no cycles line")
+		return 0
+	}
+	if cyc(outOpt) >= cyc(outPlain) {
+		t.Errorf("CMO+PBO image not faster: %d vs %d cycles", cyc(outOpt), cyc(outPlain))
+	}
+
+	// Cross-process determinism (paper section 6.2): a second link
+	// with identical inputs — in a fresh process, with parallel
+	// codegen — must produce a byte-identical image.
+	run(tool("cmold"), append([]string{
+		"-O4", "-P", filepath.Join(dir, "prof.db"), "-select", "50",
+		"-volatile", "input0,input1", "-j", "8", "-o", "opt2.vx"}, objs...)...)
+	b1, err := os.ReadFile(filepath.Join(dir, "opt.vx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(filepath.Join(dir, "opt2.vx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("repeated link produced a different image (cross-process nondeterminism)")
+	}
+
+	// cmoprof merge should work on the database with itself.
+	run(tool("cmoprof"), "merge", "-o", filepath.Join(dir, "merged.db"),
+		filepath.Join(dir, "prof.db"), filepath.Join(dir, "prof.db"))
+	if _, err := os.Stat(filepath.Join(dir, "merged.db")); err != nil {
+		t.Fatalf("merged database missing: %v", err)
+	}
+
+	// cmobench smoke test at tiny scale, one figure only.
+	benchOut := run(tool("cmobench"), "-scale", "0.15", "-fig", "5")
+	if !strings.Contains(benchOut, "Figure 5") {
+		t.Fatalf("cmobench output malformed:\n%s", benchOut)
+	}
+}
+
+func parseInt(s string, v *int64) (int, error) {
+	s = strings.TrimSpace(s)
+	n := 0
+	var out int64
+	for ; n < len(s) && s[n] >= '0' && s[n] <= '9'; n++ {
+		out = out*10 + int64(s[n]-'0')
+	}
+	*v = out
+	return n, nil
+}
