@@ -1,0 +1,34 @@
+# Development entry points. The repository is pure Go (stdlib only),
+# so these are thin wrappers kept for discoverability and CI parity.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench bins clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The tier-1 gate: everything must build, vet clean, and pass the full
+# suite with the race detector on (internal/obs and the Jobs>1 paths
+# are exercised concurrently).
+check: vet build race
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+bins:
+	$(GO) build -o bin/ ./cmd/...
+
+clean:
+	rm -rf bin

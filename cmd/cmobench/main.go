@@ -3,7 +3,13 @@
 // time/space dial), Figure 6 (the selectivity sweep), the section-8
 // memory-per-line history, and the design-decision ablations.
 //
-//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|all] [-o report.txt] [-v]
+//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|all] [-o report.txt]
+//	         [-metrics metrics.json] [-v]
+//
+// -metrics aggregates spans and counters across every build the
+// selected experiments run and writes them as machine-readable JSON
+// (obs.WriteMetrics), so benchmark records can carry per-phase
+// timings alongside the rendered figures.
 package main
 
 import (
@@ -14,18 +20,23 @@ import (
 	"strings"
 
 	"cmo/internal/experiments"
+	"cmo/internal/obs"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (module-count multiplier)")
 	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, all")
 	out := flag.String("o", "", "write the report to a file as well as stdout")
+	metrics := flag.String("metrics", "", "write an aggregated metrics JSON snapshot (spans + counters) to this file")
 	verbose := flag.Bool("v", false, "stream per-step progress to stderr")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale}
 	if *verbose {
 		cfg.Log = os.Stderr
+	}
+	if *metrics != "" {
+		cfg.Trace = obs.NewTrace()
 	}
 
 	var report strings.Builder
@@ -89,6 +100,20 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	fmt.Fprint(w, report.String())
+
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := cfg.Trace.WriteMetrics(f); err != nil {
+			f.Close()
+			fatalf("writing %s: %v", *metrics, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("writing %s: %v", *metrics, err)
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

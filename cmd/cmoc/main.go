@@ -1,5 +1,7 @@
-// Command cmoc is the MinC compiler driver: it compiles one source
-// module to a relocatable object file.
+// Command cmoc is the MinC compiler driver.
+//
+// Object mode (one source file — the classic separate-compilation
+// flow) compiles a module to a relocatable object file:
 //
 //	cmoc [-O level] [-o out.o] file.minc
 //
@@ -13,6 +15,23 @@
 // the IL directly to object files" flow (section 3). The object also
 // always carries ordinary machine code, so -O4 objects still link
 // fine without CMO.
+//
+// Driver mode (more than one source file, or any of -trace/-timing)
+// runs the whole pipeline — frontend, HLO, LLO, link — in one process
+// and writes an executable VPA image:
+//
+//	cmoc [-O level] [-trace out.json] [-timing] [-budget n] [-naim cfg]
+//	     [-j jobs] [-o out.vx] a.minc b.minc ...
+//
+// Driver mode defaults to -O4 (multi-module compilation is exactly the
+// cross-module scenario). -trace captures the build as Chrome
+// trace-event JSON, loadable in chrome://tracing or
+// https://ui.perfetto.dev; -timing prints the phase timing report to
+// stderr. When -trace is given without an explicit -budget or -naim,
+// the driver pins NAIM to ir-compaction with a small expanded-pool
+// cache so the trace shows loader activity (compactions, expansions,
+// cache churn) even on programs too small to need a budget; generated
+// code is identical either way (NAIM affects memory, never output).
 package main
 
 import (
@@ -21,25 +40,51 @@ import (
 	"os"
 	"strings"
 
+	cmo "cmo"
+	"cmo/internal/naim"
 	"cmo/internal/objfile"
+	"cmo/internal/obs"
 )
 
 func main() {
-	level := flag.Int("O", 2, "optimization level: 1, 2, or 4 (4 embeds IL for CMO)")
-	out := flag.String("o", "", "output object file (default: source name with .o)")
+	level := flag.Int("O", 2, "optimization level 1..4 (driver mode defaults to 4)")
+	out := flag.String("o", "", "output file (default: source name with .o, or a.vx in driver mode)")
+	tracePath := flag.String("trace", "", "driver mode: write a Chrome trace-event JSON file")
+	timing := flag.Bool("timing", false, "driver mode: print the phase timing report to stderr")
+	budget := flag.Int64("budget", 0, "driver mode: NAIM memory budget in modeled bytes (0 = unlimited)")
+	naimLevel := flag.String("naim", "", "driver mode: pin the NAIM level (off|ir|st|disk|adaptive)")
+	jobs := flag.Int("j", 1, "driver mode: parallel frontend/codegen jobs (output is identical)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cmoc [-O level] [-o out.o] file.minc\n")
+		fmt.Fprintf(os.Stderr, "       cmoc [-O level] [-trace out.json] [-timing] [-o out.vx] a.minc b.minc ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	src := flag.Arg(0)
+	levelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "O" {
+			levelSet = true
+		}
+	})
 	if *level < 1 || *level > 4 {
 		fatalf("invalid -O %d (want 1..4)", *level)
 	}
+
+	driver := flag.NArg() > 1 || *tracePath != "" || *timing
+	if driver {
+		if !levelSet {
+			*level = 4
+		}
+		runDriver(flag.Args(), *level, *out, *tracePath, *timing, *budget, *naimLevel, *jobs)
+		return
+	}
+
+	// Object mode: one module, one relocatable object.
+	src := flag.Arg(0)
 	text, err := os.ReadFile(src)
 	if err != nil {
 		fatalf("%v", err)
@@ -66,6 +111,91 @@ func main() {
 	}
 	if err := f.Close(); err != nil {
 		fatalf("writing %s: %v", dst, err)
+	}
+}
+
+// runDriver compiles and links a whole program in one process.
+func runDriver(paths []string, level int, out, tracePath string, timing bool, budget int64, naimLevel string, jobs int) {
+	var mods []cmo.SourceModule
+	for _, path := range paths {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		mods = append(mods, cmo.SourceModule{Name: path, Text: string(text)})
+	}
+
+	ncfg := naim.Config{BudgetBytes: budget, ForceLevel: naim.Adaptive}
+	switch naimLevel {
+	case "", "adaptive":
+	case "off":
+		ncfg.ForceLevel = naim.LevelOff
+	case "ir":
+		ncfg.ForceLevel = naim.LevelIR
+	case "st":
+		ncfg.ForceLevel = naim.LevelST
+	case "disk":
+		ncfg.ForceLevel = naim.LevelDisk
+	default:
+		fatalf("invalid -naim %q (want off|ir|st|disk|adaptive)", naimLevel)
+	}
+	var tr *obs.Trace
+	if tracePath != "" || timing {
+		tr = obs.NewTrace()
+		if tracePath != "" && budget == 0 && naimLevel == "" {
+			// Diagnostic default: exercise the loader so the trace
+			// shows NAIM activity (see package comment). A single-slot
+			// cache guarantees compact/expand churn even on two-function
+			// programs. Deterministic contract: generated code is
+			// unaffected by NAIM level.
+			ncfg.ForceLevel = naim.LevelIR
+			ncfg.CacheSlots = 1
+		}
+	}
+
+	opt := cmo.Options{
+		Level:         cmo.Level(level),
+		SelectPercent: -1,
+		NAIM:          ncfg,
+		Jobs:          jobs,
+		Trace:         tr,
+	}
+	b, err := cmo.BuildSource(mods, opt)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	dst := out
+	if dst == "" {
+		dst = "a.vx"
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := objfile.EncodeImage(f, b.Image); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", dst, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("writing %s: %v", dst, err)
+	}
+
+	if tracePath != "" {
+		tf, err := os.Create(tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := tr.WriteChromeTrace(tf); err != nil {
+			tf.Close()
+			fatalf("writing %s: %v", tracePath, err)
+		}
+		if err := tf.Close(); err != nil {
+			fatalf("writing %s: %v", tracePath, err)
+		}
+	}
+	if timing {
+		fmt.Fprint(os.Stderr, b.TimingReport())
 	}
 }
 

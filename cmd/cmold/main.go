@@ -25,6 +25,7 @@ import (
 	"cmo/internal/link"
 	"cmo/internal/naim"
 	"cmo/internal/objfile"
+	"cmo/internal/obs"
 	"cmo/internal/profile"
 )
 
@@ -40,6 +41,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print build statistics")
 	jobs := flag.Int("j", 1, "parallel code-generation jobs (output is identical regardless)")
 	explain := flag.Bool("explain", false, "print a selection/optimization report (paper section 6.2 diagnostics)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the build")
+	timing := flag.Bool("timing", false, "print the phase timing report to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cmold [flags] a.o b.o ...\n")
 		flag.PrintDefaults()
@@ -86,6 +89,10 @@ func main() {
 		}
 	}
 
+	var tr *obs.Trace
+	if *tracePath != "" || *timing {
+		tr = obs.NewTrace()
+	}
 	if needIL {
 		opt := cmo.Options{
 			Entry:         *entry,
@@ -95,6 +102,7 @@ func main() {
 			SelectPercent: *selPct,
 			NAIM:          naim.Config{BudgetBytes: *budget, ForceLevel: naim.Adaptive},
 			Jobs:          *jobs,
+			Trace:         tr,
 		}
 		if *o4 && !*instrument {
 			opt.Level = cmo.O4
@@ -116,6 +124,12 @@ func main() {
 			fmt.Fprint(os.Stderr, b.SelectionReport())
 		} else if *verbose {
 			printStats(b)
+		}
+		if *timing {
+			fmt.Fprint(os.Stderr, b.TimingReport())
+		}
+		if *tracePath != "" {
+			writeTrace(*tracePath, tr)
 		}
 		return
 	}
@@ -162,6 +176,20 @@ func writeImage(path string, b *cmo.Build) {
 		fatalf("%v", err)
 	}
 	if err := objfile.EncodeImage(f, b.Image); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+}
+
+func writeTrace(path string, tr *obs.Trace) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
 		f.Close()
 		fatalf("writing %s: %v", path, err)
 	}

@@ -26,7 +26,6 @@ package cmo
 
 import (
 	"fmt"
-	"time"
 
 	"cmo/internal/hlo"
 	"cmo/internal/il"
@@ -34,6 +33,7 @@ import (
 	"cmo/internal/llo"
 	"cmo/internal/lower"
 	"cmo/internal/naim"
+	"cmo/internal/obs"
 	"cmo/internal/profile"
 	"cmo/internal/selectivity"
 	"cmo/internal/source"
@@ -124,6 +124,14 @@ type Options struct {
 	// changes (HLO itself stays sequential: its transformation order
 	// is part of the deterministic contract).
 	Jobs int
+	// Trace, when non-nil, collects hierarchical spans and counters
+	// for the whole pipeline (frontend/HLO/LLO/link phases, NAIM
+	// loader activity, per-routine codegen) — exportable as Chrome
+	// trace-event JSON, a diffable phase tree, or a metrics snapshot
+	// (see internal/obs). A nil Trace is a cheap no-op: the hot path
+	// pays only the monotonic clock reads the phase statistics always
+	// paid, and allocates nothing.
+	Trace *obs.Trace
 }
 
 // BuildStats records what a build did and what it cost. Memory
@@ -182,7 +190,12 @@ type Build struct {
 	InlineOps []hlo.InlineOp
 
 	selectedFns map[il.PID]bool
+	trace       *obs.Trace
 }
+
+// Trace returns the trace the build recorded into (nil when tracing
+// was not requested).
+func (b *Build) Trace() *obs.Trace { return b.trace }
 
 // llOBytes models LLO's working-set for one routine: linear IR plus
 // quadratic analysis structures (interference, scheduling windows).
@@ -193,8 +206,17 @@ func lloBytes(n int) int64 {
 
 // BuildSource compiles a set of MinC modules into an executable VPA
 // image according to the options.
+//
+// Phase timing is span-derived: one "build" root span covers the whole
+// call; "frontend" covers parse/check/lower, and the optimize/link
+// phases nest under the same root inside buildIL. Each BuildStats
+// duration is the duration of exactly one span, measured from a single
+// captured start timestamp, so FrontendNanos + HLONanos + LLONanos +
+// LinkNanos can never exceed TotalNanos (the old subtraction scheme
+// read the clock twice and broke that invariant).
 func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
-	t0 := time.Now()
+	root := opt.Trace.StartSpan("build")
+	fe := root.Child("frontend")
 	files := make([]*source.File, len(mods))
 	jobs := opt.Jobs
 	if jobs < 1 {
@@ -205,11 +227,13 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 	}
 	if jobs <= 1 {
 		for i, m := range mods {
+			sp := fe.ChildDetail("parse", m.Name)
 			f, err := source.Parse(m.Name, m.Text)
-			if err != nil {
-				return nil, err
+			if err == nil {
+				err = source.Check(f)
 			}
-			if err := source.Check(f); err != nil {
+			sp.End()
+			if err != nil {
 				return nil, err
 			}
 			files[i] = f
@@ -226,10 +250,12 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 					if werr != nil {
 						continue
 					}
+					sp := fe.ChildDetail("parse", mods[i].Name)
 					f, err := source.Parse(mods[i].Name, mods[i].Text)
 					if err == nil {
 						err = source.Check(f)
 					}
+					sp.End()
 					if err != nil {
 						werr = err
 						continue
@@ -253,16 +279,19 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 			return nil, firstErr
 		}
 	}
+	lsp := fe.Child("lower")
 	res, err := lower.Modules(files)
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
-	b, err := BuildIL(res.Prog, res.Funcs, opt)
+	feNanos := fe.End()
+	b, err := buildIL(res.Prog, res.Funcs, opt, root)
 	if err != nil {
 		return nil, err
 	}
-	b.Stats.FrontendNanos = time.Since(t0).Nanoseconds() - b.Stats.TotalNanos
-	b.Stats.TotalNanos = time.Since(t0).Nanoseconds()
+	b.Stats.FrontendNanos = feNanos
+	b.Stats.TotalNanos = root.End()
 	return b, nil
 }
 
@@ -270,7 +299,19 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 // frontend, or from IL-carrying object files merged by the linker —
 // the paper's CMO-at-link-time entry point).
 func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build, error) {
-	start := time.Now()
+	root := opt.Trace.StartSpan("build")
+	b, err := buildIL(prog, fns, opt, root)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.TotalNanos = root.End()
+	return b, nil
+}
+
+// buildIL is the shared optimize-compile-link pipeline; phase spans
+// nest under parent, and the loader's trace scope tracks the phase the
+// pipeline is in so NAIM activity nests where it happened.
+func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, parent obs.Span) (*Build, error) {
 	if opt.Level == 0 {
 		opt.Level = O2
 	}
@@ -281,7 +322,7 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 		return nil, fmt.Errorf("cmo: PBO requested without a profile database")
 	}
 
-	b := &Build{Prog: prog}
+	b := &Build{Prog: prog, trace: opt.Trace}
 	b.Stats.Level = opt.Level
 	b.Stats.PBO = opt.PBO
 	b.Stats.Modules = len(prog.Modules)
@@ -301,6 +342,7 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 	// Hand all transitory pools to the NAIM loader.
 	loader := naim.NewLoader(prog, opt.NAIM)
 	defer loader.Close()
+	loader.SetTraceScope(parent)
 	for _, pid := range prog.FuncPIDs() {
 		loader.InstallFunc(fns[pid])
 	}
@@ -319,23 +361,28 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 		// Instrumented builds skip HLO: probes measure the program
 		// the frontend produced.
 	case opt.Level >= O4:
-		t1 := time.Now()
-		if err := b.runHLO(loader, opt, volatile, omit); err != nil {
+		hsp := parent.Child("hlo")
+		loader.SetTraceScope(hsp)
+		if err := b.runHLO(loader, opt, volatile, omit, hsp); err != nil {
 			return nil, err
 		}
-		b.Stats.HLONanos = time.Since(t1).Nanoseconds()
+		b.Stats.HLONanos = hsp.End()
+		loader.SetTraceScope(parent)
 	case opt.Level == O3:
-		t1 := time.Now()
-		if err := b.runHLOPerModule(loader, opt, volatile, omit); err != nil {
+		hsp := parent.Child("hlo")
+		loader.SetTraceScope(hsp)
+		if err := b.runHLOPerModule(loader, opt, volatile, omit, hsp); err != nil {
 			return nil, err
 		}
-		b.Stats.HLONanos = time.Since(t1).Nanoseconds()
+		b.Stats.HLONanos = hsp.End()
+		loader.SetTraceScope(parent)
 	}
 
 	// LLO: compile every surviving function. With MultiLayer, each
 	// routine's tier picks its code-generation effort (paper
 	// section 8's layered strategy).
-	t2 := time.Now()
+	lsp := parent.Child("llo")
+	loader.SetTraceScope(lsp)
 	lloLevel := 2
 	if opt.Level == O1 {
 		lloLevel = 1
@@ -376,7 +423,7 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 				return nil, fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name)
 			}
 			fnLevel, fnPBO := classify(pid, f)
-			mf, err := llo.Compile(prog, f, llo.Options{Level: fnLevel, PBO: fnPBO})
+			mf, err := llo.Compile(prog, f, llo.Options{Level: fnLevel, PBO: fnPBO, Span: lsp})
 			if err != nil {
 				return nil, err
 			}
@@ -386,14 +433,15 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 			code[pid] = mf
 			loader.DoneWith(pid)
 		}
-	} else if err := b.compileParallel(loader, omit, code, classify, lloJobs); err != nil {
+	} else if err := b.compileParallel(loader, omit, code, classify, lloJobs, lsp); err != nil {
 		return nil, err
 	}
-	b.Stats.LLONanos = time.Since(t2).Nanoseconds()
+	b.Stats.LLONanos = lsp.End()
+	loader.SetTraceScope(parent)
 
 	// Link: clustering needs profiled call edges.
-	t3 := time.Now()
-	lopts := link.Options{Entry: opt.Entry, Omit: omit}
+	ksp := parent.Child("link")
+	lopts := link.Options{Entry: opt.Entry, Omit: omit, Span: ksp}
 	if probeMap != nil {
 		lopts.NumProbes = probeMap.NumProbes()
 	}
@@ -405,18 +453,17 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 	if err != nil {
 		return nil, err
 	}
-	b.Stats.LinkNanos = time.Since(t3).Nanoseconds()
+	b.Stats.LinkNanos = ksp.End()
 	b.Image = img
 	b.Stats.CodeBytes = img.CodeBytes()
 	b.Stats.NAIM = loader.Stats()
 	b.Stats.NAIMLevel = loader.Level()
 	b.Stats.CompilerPeakBytes = b.Stats.NAIM.PeakBytes + b.Stats.LLOPeakBytes
-	b.Stats.TotalNanos = time.Since(start).Nanoseconds()
 	return b, nil
 }
 
 // runHLO performs selection and cross-module optimization.
-func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]bool, omit map[il.PID]bool) error {
+func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]bool, omit map[il.PID]bool, hsp obs.Span) error {
 	prog := b.Prog
 	hopts := hlo.Options{
 		DB:         opt.DB,
@@ -424,6 +471,7 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 		Entry:      opt.Entry,
 		Budget:     opt.Budget,
 		MaxInlines: opt.MaxInlines,
+		Span:       hsp,
 	}
 
 	switch {
@@ -454,11 +502,13 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 		hopts.ExternallyCalled = extCalled
 		hopts.ExternStored = extStored
 	case opt.SelectPercent >= 0 && opt.DB != nil:
+		ssp := hsp.Child("select")
 		ch := selectivity.Select(prog, func(pid il.PID) *il.Function {
 			f := loader.Function(pid)
 			loader.DoneWith(pid)
 			return f
 		}, opt.DB, opt.SelectPercent)
+		ssp.End()
 		b.Stats.TotalSites = ch.TotalSites
 		b.Stats.SelectedSites = len(ch.Sites)
 		b.Stats.CMOModules = len(ch.Modules)
@@ -509,7 +559,7 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 // meaningful, and each body's DoneWith fires only after its compile
 // completes.
 func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
-	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool), jobs int) error {
+	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool), jobs int, lsp obs.Span) error {
 	prog := b.Prog
 	type task struct {
 		pid   il.PID
@@ -528,7 +578,7 @@ func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
 	for w := 0; w < jobs; w++ {
 		go func() {
 			for t := range work {
-				mf, err := llo.Compile(prog, t.f, llo.Options{Level: t.level, PBO: t.pbo})
+				mf, err := llo.Compile(prog, t.f, llo.Options{Level: t.level, PBO: t.pbo, Span: lsp})
 				results <- done{pid: t.pid, n: t.f.NumInstrs(), mf: mf, err: err}
 			}
 		}()
@@ -577,7 +627,7 @@ func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
 // what the paper's pipeline does when the linker is not involved
 // (section 3: "at higher levels of optimization (+O3 or +O4) the IL
 // is first routed through the high level optimizer").
-func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[il.PID]bool, omit map[il.PID]bool) error {
+func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[il.PID]bool, omit map[il.PID]bool, hsp obs.Span) error {
 	prog := b.Prog
 	var agg hlo.Stats
 	for mi := range prog.Modules {
@@ -591,6 +641,7 @@ func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[i
 			continue
 		}
 		extCalled, extStored := b.summarizeOutOfScope(loader, scope)
+		msp := hsp.ChildDetail("hlo module", prog.Modules[mi].Name)
 		hres, err := hlo.Optimize(prog, loader, hlo.Options{
 			DB:               opt.DB,
 			Volatile:         volatile,
@@ -601,7 +652,9 @@ func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[i
 			Selected:         scope,
 			ExternallyCalled: extCalled,
 			ExternStored:     extStored,
+			Span:             msp,
 		})
+		msp.End()
 		if err != nil {
 			return err
 		}

@@ -18,6 +18,14 @@ type Fig4Point struct {
 	HLOPeak      int64 // NAIM-managed optimizer data (the "HLO" curve)
 	CompilerPeak int64 // plus LLO and code buffers (the "overall" curve)
 	NAIMLevel    naim.Level
+	// Per-phase wall-clock breakdown of the measured build (span-
+	// derived, see internal/obs): where compile time goes as the
+	// program grows, alongside where memory goes.
+	FrontendNanos int64
+	HLONanos      int64
+	LLONanos      int64
+	LinkNanos     int64
+	TotalNanos    int64
 }
 
 // Figure4 regenerates the memory-scaling curve: growing prefixes of
@@ -63,20 +71,27 @@ func Figure4(cfg Config) ([]Fig4Point, error) {
 			Level: cmo.O4, PBO: true, DB: db, SelectPercent: -1,
 			Volatile: workload.InputGlobals(),
 			NAIM:     naim.Config{BudgetBytes: budget, ForceLevel: naim.Adaptive, CacheSlots: 24},
+			Trace:    cfg.Trace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("figure4 build n=%d: %w", n, err)
 		}
 		p := Fig4Point{
-			Modules:      spec.Modules,
-			Lines:        b.Stats.TotalLines,
-			HLOPeak:      b.Stats.NAIM.PeakBytes,
-			CompilerPeak: b.Stats.CompilerPeakBytes + b.Stats.CodeBytes,
-			NAIMLevel:    b.Stats.NAIMLevel,
+			Modules:       spec.Modules,
+			Lines:         b.Stats.TotalLines,
+			HLOPeak:       b.Stats.NAIM.PeakBytes,
+			CompilerPeak:  b.Stats.CompilerPeakBytes + b.Stats.CodeBytes,
+			NAIMLevel:     b.Stats.NAIMLevel,
+			FrontendNanos: b.Stats.FrontendNanos,
+			HLONanos:      b.Stats.HLONanos,
+			LLONanos:      b.Stats.LLONanos,
+			LinkNanos:     b.Stats.LinkNanos,
+			TotalNanos:    b.Stats.TotalNanos,
 		}
 		points = append(points, p)
-		cfg.logf("figure4: %3d modules %7d lines: HLO %8d B, compiler %8d B (naim %v)\n",
-			p.Modules, p.Lines, p.HLOPeak, p.CompilerPeak, p.NAIMLevel)
+		cfg.logf("figure4: %3d modules %7d lines: HLO %8d B, compiler %8d B (naim %v, fe/hlo/llo/link %.1f/%.1f/%.1f/%.1f ms)\n",
+			p.Modules, p.Lines, p.HLOPeak, p.CompilerPeak, p.NAIMLevel,
+			ms(p.FrontendNanos), ms(p.HLONanos), ms(p.LLONanos), ms(p.LinkNanos))
 	}
 	return points, nil
 }
@@ -85,12 +100,13 @@ func Figure4(cfg Config) ([]Fig4Point, error) {
 func RenderFigure4(points []Fig4Point) string {
 	var sb strings.Builder
 	sb.WriteString("Figure 4: compiler and HLO memory vs lines compiled under CMO\n")
-	sb.WriteString(fmt.Sprintf("%8s %9s %14s %14s %8s %10s\n",
-		"modules", "lines", "HLO bytes", "compiler B", "naim", "HLO B/line"))
+	sb.WriteString(fmt.Sprintf("%8s %9s %14s %14s %8s %10s %9s %9s\n",
+		"modules", "lines", "HLO bytes", "compiler B", "naim", "HLO B/line", "hlo ms", "total ms"))
 	for _, p := range points {
 		perLine := float64(p.HLOPeak) / float64(p.Lines)
-		sb.WriteString(fmt.Sprintf("%8d %9d %14d %14d %8v %10.1f\n",
-			p.Modules, p.Lines, p.HLOPeak, p.CompilerPeak, p.NAIMLevel, perLine))
+		sb.WriteString(fmt.Sprintf("%8d %9d %14d %14d %8v %10.1f %9.1f %9.1f\n",
+			p.Modules, p.Lines, p.HLOPeak, p.CompilerPeak, p.NAIMLevel, perLine,
+			ms(p.HLONanos), ms(p.TotalNanos)))
 	}
 	return sb.String()
 }

@@ -57,6 +57,7 @@ func Figure5(cfg Config) ([]Fig5Point, error) {
 			Level: cmo.O4, PBO: true, DB: db, SelectPercent: -1,
 			Volatile: workload.InputGlobals(),
 			NAIM:     naim.Config{ForceLevel: c.level, CacheSlots: c.slots},
+			Trace:    cfg.Trace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("figure5 %s: %w", c.name, err)

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"cmo/internal/il"
+	"cmo/internal/obs"
 	"cmo/internal/profile"
 	"cmo/internal/xform"
 )
@@ -133,6 +134,11 @@ type Options struct {
 	// searching over this limit pinpoints the single inline that
 	// flips a program from working to failing (see internal/isolate).
 	MaxInlines int
+	// Span is the trace span this HLO run nests under (the driver's
+	// "hlo" phase span). The zero Span disables trace emission; the
+	// per-transform sub-spans (scan, inline, clone, ipcp, dce) then
+	// cost nothing beyond a clock read each.
+	Span obs.Span
 }
 
 // Stats reports what HLO did.
@@ -244,12 +250,24 @@ func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
 		}
 	}
 
+	// Per-transform spans: the phase-level breakdown behind the
+	// paper's Figure 5/6 compile-time measurements.
+	sp := opts.Span.Child("scan")
 	p.initialScan()
+	sp.End()
+	sp = opts.Span.Child("inline")
 	p.inlineAll()
+	sp.End()
+	sp = opts.Span.Child("clone")
 	p.cloneAll()
+	sp.End()
+	sp = opts.Span.Child("ipcp")
 	p.interproc()
+	sp.End()
 	if entryPID != il.NoPID {
+		sp = opts.Span.Child("dce")
 		p.deadFunctions(entryPID)
+		sp.End()
 	}
 	return p.res, nil
 }

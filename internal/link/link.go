@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"cmo/internal/il"
+	"cmo/internal/obs"
 	"cmo/internal/vpa"
 )
 
@@ -39,6 +40,9 @@ type Options struct {
 	// I-cache behavior). Omitting a function that is still called
 	// is a link error.
 	Omit map[il.PID]bool
+	// Span is the trace span link work nests under (the driver's
+	// "link" phase span). Zero Span = tracing off.
+	Span obs.Span
 }
 
 // Link assembles an image from per-function machine code. code must
@@ -75,7 +79,9 @@ func Link(prog *il.Program, code map[il.PID]*vpa.Func, opts Options) (*vpa.Image
 	}
 	order := funcPIDs
 	if opts.Cluster && len(opts.Edges) > 0 {
+		sp := opts.Span.Child("cluster")
 		order = clusterOrder(funcPIDs, entrySym.PID, opts.Edges)
+		sp.End()
 	}
 
 	img := &vpa.Image{NumProbes: opts.NumProbes}
@@ -94,6 +100,7 @@ func Link(prog *il.Program, code map[il.PID]*vpa.Func, opts Options) (*vpa.Image
 	}
 
 	// Code: in cluster order, with relocation.
+	rsp := opts.Span.Child("relocate")
 	funcIdx := make(map[il.PID]int32)
 	for _, pid := range order {
 		funcIdx[pid] = int32(len(img.Funcs))
@@ -119,9 +126,13 @@ func Link(prog *il.Program, code map[il.PID]*vpa.Func, opts Options) (*vpa.Image
 			}
 		}
 	}
+	rsp.End()
 	img.Entry = funcIdx[entrySym.PID]
+	fsp := opts.Span.Child("finalize")
 	img.Finalize()
-	if err := img.Validate(); err != nil {
+	err := img.Validate()
+	fsp.End()
+	if err != nil {
 		return nil, err
 	}
 	return img, nil

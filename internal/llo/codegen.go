@@ -5,6 +5,7 @@ import (
 
 	"cmo/internal/il"
 	"cmo/internal/ir"
+	"cmo/internal/obs"
 	"cmo/internal/vpa"
 	"cmo/internal/xform"
 )
@@ -16,6 +17,10 @@ type Options struct {
 	Level int
 	// PBO enables profile-guided block layout and spill weighting.
 	PBO bool
+	// Span is the trace span this compilation nests under (the
+	// driver's "llo" phase span); each routine gets a "codegen"
+	// sub-span carrying its name. Zero Span = tracing off.
+	Span obs.Span
 }
 
 // Compile translates one IL function into VPA machine code. The input
@@ -25,6 +30,8 @@ type Options struct {
 // index (see internal/link). The emitted code is position-independent
 // in exactly the sense the paper's relocatable object form is.
 func Compile(prog *il.Program, f *il.Function, opts Options) (*vpa.Func, error) {
+	sp := opts.Span.ChildDetail("codegen", f.Name)
+	defer sp.End()
 	if f.NParams > maxArgs {
 		return nil, fmt.Errorf("llo: %s has %d parameters; calling convention allows %d", f.Name, f.NParams, maxArgs)
 	}

@@ -3,9 +3,9 @@ package naim
 import (
 	"container/list"
 	"fmt"
-	"time"
 
 	"cmo/internal/il"
+	"cmo/internal/obs"
 )
 
 // Level identifies how much NAIM machinery is currently engaged
@@ -67,8 +67,9 @@ type Stats struct {
 	PeakBytes int64 // high-water mark of CurBytes
 
 	Installs    int64
-	CacheHits   int64
-	CacheMisses int64
+	CacheHits   int64 // Function() served from an expanded pool
+	CacheMisses int64 // Function() had to expand (or read back) a pool
+	Evictions   int64 // expanded routine pools compacted out of the cache
 	Compactions int64
 	Expansions  int64
 	DiskWrites  int64
@@ -95,6 +96,7 @@ type handle struct {
 	diskLen int
 	bytes   int64
 	pending bool
+	out     bool          // checked out via Function, not yet DoneWith
 	elem    *list.Element // position in the expanded-pool LRU
 }
 
@@ -124,6 +126,17 @@ type Loader struct {
 
 	arena *Arena
 	stats Stats
+
+	// scope is the trace span loader activity nests under; the driver
+	// repoints it as pipeline phases change (compactions triggered
+	// during HLO render inside the HLO span, and so on). The zero Span
+	// disables recording; duration accounting still works through it.
+	scope obs.Span
+	ctr   struct {
+		hits, misses, evictions         *obs.Counter
+		compactions, expansions         *obs.Counter
+		diskWrites, diskReads, installs *obs.Counter
+	}
 }
 
 // NewLoader wraps a program's transitory objects in a loader.
@@ -176,6 +189,28 @@ func (l *Loader) adjust(delta int64) {
 	}
 }
 
+// SetTraceScope points loader trace emission at a pipeline span: the
+// compact/expand/disk spans it records nest under s, and the cache
+// counters register on s's trace. The zero Span disables emission.
+// Call again whenever the enclosing pipeline phase changes.
+func (l *Loader) SetTraceScope(s obs.Span) {
+	l.scope = s
+	if tr := s.Trace(); tr != nil && l.ctr.hits == nil {
+		l.ctr.hits = tr.Counter("naim.cache_hits")
+		l.ctr.misses = tr.Counter("naim.cache_misses")
+		l.ctr.evictions = tr.Counter("naim.evictions")
+		l.ctr.compactions = tr.Counter("naim.compactions")
+		l.ctr.expansions = tr.Counter("naim.expansions")
+		l.ctr.diskWrites = tr.Counter("naim.disk_writes")
+		l.ctr.diskReads = tr.Counter("naim.disk_reads")
+		l.ctr.installs = tr.Counter("naim.installs")
+	}
+}
+
+// symName is a trace-only helper (guarded by scope.Enabled at call
+// sites so the hot path never touches the symbol table for it).
+func (l *Loader) symName(pid il.PID) string { return l.prog.Sym(pid).Name }
+
 // InstallFunc hands a freshly lowered (or otherwise constructed)
 // routine body to the loader.
 func (l *Loader) InstallFunc(f *il.Function) {
@@ -189,6 +224,7 @@ func (l *Loader) InstallFunc(f *il.Function) {
 	l.handles[f.PID] = h
 	h.elem = l.lru.PushBack(h)
 	l.stats.Installs++
+	l.ctr.installs.Add(1)
 	l.adjust(h.bytes)
 	l.enforce(il.NoPID)
 }
@@ -196,7 +232,13 @@ func (l *Loader) InstallFunc(f *il.Function) {
 // Function returns the expanded body for pid, loading it from its
 // compacted or offloaded form if necessary. It returns nil for
 // uninstalled PIDs. The returned body may be mutated in place; the
-// loader re-measures it on the next touch.
+// loader re-measures it on the next touch. The body is checked out:
+// it will not be evicted — even under cache or budget pressure — until
+// the client signals DoneWith, so a client may hold several bodies at
+// once (a caller being inlined into plus its callee) without the
+// loader invalidating one behind its back. Checked-out pools may
+// transiently overflow the cache bound; the overflow is reclaimed at
+// the next DoneWith.
 func (l *Loader) Function(pid il.PID) *il.Function {
 	h, ok := l.handles[pid]
 	if !ok {
@@ -205,16 +247,23 @@ func (l *Loader) Function(pid il.PID) *il.Function {
 	switch h.st {
 	case stExpanded:
 		l.stats.CacheHits++
+		l.ctr.hits.Add(1)
 		l.remeasure(h)
 		l.lru.MoveToBack(h.elem)
 	case stCompacted:
 		l.stats.CacheMisses++
+		l.ctr.misses.Add(1)
 		l.expand(h)
 	case stOffloaded:
 		l.stats.CacheMisses++
-		t0 := time.Now()
+		l.ctr.misses.Add(1)
+		var detail string
+		if l.scope.Enabled() {
+			detail = l.symName(pid)
+		}
+		sp := l.scope.ChildDetail("naim disk read", detail)
 		blob, err := l.repo.Get(h.diskOff, h.diskLen)
-		l.stats.DiskNanos += time.Since(t0).Nanoseconds()
+		l.stats.DiskNanos += sp.End()
 		if err != nil {
 			// A repository read failure is unrecoverable for this
 			// compilation; the paper's compiler would abort. We
@@ -222,6 +271,7 @@ func (l *Loader) Function(pid il.PID) *il.Function {
 			panic(fmt.Sprintf("naim: repository read for %s failed: %v", l.prog.Sym(pid).Name, err))
 		}
 		l.stats.DiskReads++
+		l.ctr.diskReads.Add(1)
 		h.blob = blob
 		h.st = stCompacted
 		l.adjust(int64(len(blob)) - h.bytes)
@@ -229,6 +279,7 @@ func (l *Loader) Function(pid il.PID) *il.Function {
 		l.expand(h)
 	}
 	h.pending = false
+	h.out = true
 	l.enforce(pid)
 	return h.fn
 }
@@ -245,13 +296,18 @@ func (l *Loader) remeasure(h *handle) {
 
 // expand uncompacts a pool (with eager swizzling of PID references).
 func (l *Loader) expand(h *handle) {
-	t0 := time.Now()
+	var detail string
+	if l.scope.Enabled() {
+		detail = l.symName(h.pid)
+	}
+	sp := l.scope.ChildDetail("naim expand", detail)
 	f, err := DecodeFunc(l.prog, h.blob)
-	l.stats.CompactNanos += time.Since(t0).Nanoseconds()
+	l.stats.CompactNanos += sp.End()
 	if err != nil {
 		panic(fmt.Sprintf("naim: uncompaction of %s failed: %v", l.prog.Sym(h.pid).Name, err))
 	}
 	l.stats.Expansions++
+	l.ctr.expansions.Add(1)
 	h.fn = f
 	h.blob = nil
 	h.st = stExpanded
@@ -270,6 +326,7 @@ func (l *Loader) DoneWith(pid il.PID) {
 	if !ok {
 		return
 	}
+	h.out = false
 	if h.st == stExpanded {
 		l.remeasure(h)
 		h.pending = true
@@ -287,6 +344,7 @@ func (l *Loader) UnloadAll() {
 		h := e.Value.(*handle)
 		l.remeasure(h)
 		h.pending = true
+		h.out = false
 	}
 	l.enforce(il.NoPID)
 }
@@ -346,11 +404,16 @@ func (l *Loader) updateLevel() {
 
 // evictOne compacts the coldest evictable expanded pool; at LevelDisk
 // the compacted blob is immediately offloaded. Reports whether a
-// victim was found.
+// victim was found. Checked-out pools are never victims: compacting a
+// body a client still holds would snapshot it mid-mutation and
+// silently drop every edit made after the snapshot — generated code
+// would then depend on the cache size, violating the paper's
+// reproducibility contract (section 6.2: memory configuration changes
+// compile cost, never output).
 func (l *Loader) evictOne(pin il.PID) bool {
 	for e := l.lru.Front(); e != nil; e = e.Next() {
 		h := e.Value.(*handle)
-		if h.pid == pin {
+		if h.pid == pin || h.out {
 			continue
 		}
 		l.compactHandle(h)
@@ -363,14 +426,21 @@ func (l *Loader) evictOne(pin il.PID) bool {
 // disk at LevelDisk).
 func (l *Loader) compactHandle(h *handle) {
 	l.remeasure(h)
-	t0 := time.Now()
+	var detail string
+	if l.scope.Enabled() {
+		detail = l.symName(h.pid)
+	}
+	sp := l.scope.ChildDetail("naim compact", detail)
 	// Function blobs use plain allocation rather than the arena: a
 	// pool may cycle through compact/expand many times, and arena
 	// space is only reclaimed wholesale. Module symtab blobs (below)
 	// are compacted once and do use the arena.
 	blob := EncodeFunc(h.fn, nil)
-	l.stats.CompactNanos += time.Since(t0).Nanoseconds()
+	l.stats.CompactNanos += sp.End()
 	l.stats.Compactions++
+	l.stats.Evictions++
+	l.ctr.compactions.Add(1)
+	l.ctr.evictions.Add(1)
 	l.lru.Remove(h.elem)
 	h.elem = nil
 	h.fn = nil
@@ -383,13 +453,14 @@ func (l *Loader) compactHandle(h *handle) {
 			}
 			l.repo = repo
 		}
-		t1 := time.Now()
+		dsp := l.scope.ChildDetail("naim disk write", detail)
 		off, err := l.repo.Put(blob)
-		l.stats.DiskNanos += time.Since(t1).Nanoseconds()
+		l.stats.DiskNanos += dsp.End()
 		if err != nil {
 			panic(fmt.Sprintf("naim: repository write failed: %v", err))
 		}
 		l.stats.DiskWrites++
+		l.ctr.diskWrites.Add(1)
 		h.st = stOffloaded
 		h.diskOff = off
 		h.diskLen = len(blob)
@@ -410,6 +481,7 @@ func (l *Loader) compactModules() {
 		if !l.modExpanded[i] {
 			continue
 		}
+		sp := l.scope.ChildDetail("naim symtab compact", m.Name)
 		enc := EncodeModule(m)
 		blob := l.arena.Alloc(len(enc))
 		copy(blob, enc)
@@ -419,6 +491,8 @@ func (l *Loader) compactModules() {
 		l.adjust(nb - l.modBytes[i])
 		l.modBytes[i] = nb
 		l.stats.Compactions++
+		l.ctr.compactions.Add(1)
+		l.stats.CompactNanos += sp.End()
 	}
 }
 
@@ -427,6 +501,7 @@ func (l *Loader) compactModules() {
 func (l *Loader) ModuleDefs(i int) []il.PID {
 	m := l.prog.Modules[i]
 	if !l.modExpanded[i] {
+		sp := l.scope.ChildDetail("naim symtab expand", m.Name)
 		dec, err := DecodeModule(l.modBlobs[i])
 		if err != nil {
 			panic(fmt.Sprintf("naim: module %s symtab uncompaction failed: %v", m.Name, err))
@@ -438,6 +513,8 @@ func (l *Loader) ModuleDefs(i int) []il.PID {
 		l.adjust(nb - l.modBytes[i])
 		l.modBytes[i] = nb
 		l.stats.Expansions++
+		l.ctr.expansions.Add(1)
+		l.stats.CompactNanos += sp.End()
 	}
 	return m.Defs
 }

@@ -1,0 +1,208 @@
+package naim
+
+import (
+	"testing"
+
+	"cmo/internal/obs"
+)
+
+// Cache-introspection tests: the CacheHits/CacheMisses/Evictions
+// fields added to Stats, and the loader's span/counter emission into
+// an obs trace scope.
+
+func TestLoaderCacheHitPath(t *testing.T) {
+	prog, fns := genModules(t, 4, 4)
+	l := NewLoader(prog, Config{ForceLevel: LevelOff})
+	defer l.Close()
+	installAll(l, fns, prog)
+	// LevelOff never compacts, so every access is served expanded.
+	for round := 0; round < 2; round++ {
+		for _, pid := range prog.FuncPIDs() {
+			if l.Function(pid) == nil {
+				t.Fatal("body missing")
+			}
+			l.DoneWith(pid)
+		}
+	}
+	s := l.Stats()
+	if want := int64(2 * len(fns)); s.CacheHits != want {
+		t.Errorf("CacheHits = %d, want %d", s.CacheHits, want)
+	}
+	if s.CacheMisses != 0 {
+		t.Errorf("CacheMisses = %d, want 0 at LevelOff", s.CacheMisses)
+	}
+	if s.Evictions != 0 {
+		t.Errorf("Evictions = %d, want 0 at LevelOff", s.Evictions)
+	}
+}
+
+func TestLoaderCacheMissExpandPath(t *testing.T) {
+	prog, fns := genModules(t, 6, 4)
+	l := NewLoader(prog, Config{ForceLevel: LevelIR, CacheSlots: 2})
+	defer l.Close()
+	installAll(l, fns, prog)
+	// Most pools were compacted out of the 2-slot cache at install
+	// time, so a full sweep is dominated by miss-expand.
+	for _, pid := range prog.FuncPIDs() {
+		if l.Function(pid) == nil {
+			t.Fatal("body missing")
+		}
+		l.DoneWith(pid)
+	}
+	s := l.Stats()
+	if s.CacheMisses == 0 {
+		t.Fatal("no cache misses despite a 2-slot cache")
+	}
+	// At LevelIR every routine miss is served by an in-memory expand.
+	if s.Expansions < s.CacheMisses {
+		t.Errorf("Expansions = %d < CacheMisses = %d", s.Expansions, s.CacheMisses)
+	}
+	if s.Evictions == 0 {
+		t.Error("no evictions recorded while the cache thrashed")
+	}
+	// Evictions count routine pools only; Compactions also counts
+	// module symbol tables, so it can never be smaller.
+	if s.Evictions > s.Compactions {
+		t.Errorf("Evictions = %d > Compactions = %d", s.Evictions, s.Compactions)
+	}
+}
+
+func TestLoaderEvictionsGrowUnderThrash(t *testing.T) {
+	prog, fns := genModules(t, 5, 4)
+	l := NewLoader(prog, Config{ForceLevel: LevelIR, CacheSlots: 1})
+	defer l.Close()
+	installAll(l, fns, prog)
+	sweep := func() {
+		for _, pid := range prog.FuncPIDs() {
+			l.Function(pid)
+			l.DoneWith(pid)
+		}
+	}
+	sweep()
+	e1 := l.Stats().Evictions
+	if e1 == 0 {
+		t.Fatal("single-slot cache recorded no evictions")
+	}
+	sweep()
+	if e2 := l.Stats().Evictions; e2 <= e1 {
+		t.Errorf("evictions did not grow across a second thrash sweep: %d -> %d", e1, e2)
+	}
+}
+
+// TestLoaderTraceScope checks that a scoped loader mirrors its cache
+// stats into trace counters and nests compact/expand spans under the
+// scope span (as the pipeline nests them under the hlo phase).
+func TestLoaderTraceScope(t *testing.T) {
+	prog, fns := genModules(t, 6, 4)
+	tr := obs.NewTrace()
+	root := tr.StartSpan("hlo")
+
+	l := NewLoader(prog, Config{ForceLevel: LevelIR, CacheSlots: 2})
+	defer l.Close()
+	l.SetTraceScope(root)
+	installAll(l, fns, prog)
+	for _, pid := range prog.FuncPIDs() {
+		l.Function(pid)
+		l.DoneWith(pid)
+	}
+	root.End()
+
+	s := l.Stats()
+	check := func(name string, want int64) {
+		if got := tr.Counter(name).Value(); got != want {
+			t.Errorf("counter %s = %d, want %d (stats mirror)", name, got, want)
+		}
+	}
+	check("naim.cache_hits", s.CacheHits)
+	check("naim.cache_misses", s.CacheMisses)
+	check("naim.evictions", s.Evictions)
+	check("naim.compactions", s.Compactions)
+	check("naim.expansions", s.Expansions)
+	check("naim.installs", s.Installs)
+
+	spans := tr.Spans()
+	var rootID uint64
+	for _, sp := range spans {
+		if sp.Name == "hlo" {
+			rootID = sp.ID
+		}
+	}
+	sawCompact, sawExpand := false, false
+	for _, sp := range spans {
+		switch sp.Name {
+		case "naim compact":
+			sawCompact = true
+		case "naim expand":
+			sawExpand = true
+		default:
+			continue
+		}
+		if sp.Parent != rootID {
+			t.Errorf("%s span parented to %d, want the scope span %d", sp.Name, sp.Parent, rootID)
+		}
+		if sp.Detail == "" {
+			t.Errorf("%s span carries no routine detail", sp.Name)
+		}
+	}
+	if !sawCompact || !sawExpand {
+		t.Errorf("trace missing loader spans: compact=%v expand=%v", sawCompact, sawExpand)
+	}
+}
+
+// TestLoaderDiskCountersAndSpans covers the disk-offload introspection:
+// disk read/write spans and counters under a scope at LevelDisk.
+func TestLoaderDiskCountersAndSpans(t *testing.T) {
+	prog, fns := genModules(t, 6, 5)
+	tr := obs.NewTrace()
+	root := tr.StartSpan("hlo")
+	l := NewLoader(prog, Config{ForceLevel: LevelDisk, CacheSlots: 2, Dir: t.TempDir()})
+	defer l.Close()
+	l.SetTraceScope(root)
+	installAll(l, fns, prog)
+	for _, pid := range prog.FuncPIDs() {
+		if l.Function(pid) == nil {
+			t.Fatal("body lost")
+		}
+		l.DoneWith(pid)
+	}
+	root.End()
+
+	s := l.Stats()
+	if s.DiskWrites == 0 || s.DiskReads == 0 {
+		t.Fatalf("disk traffic missing: writes=%d reads=%d", s.DiskWrites, s.DiskReads)
+	}
+	if got := tr.Counter("naim.disk_writes").Value(); got != s.DiskWrites {
+		t.Errorf("disk_writes counter = %d, want %d", got, s.DiskWrites)
+	}
+	if got := tr.Counter("naim.disk_reads").Value(); got != s.DiskReads {
+		t.Errorf("disk_reads counter = %d, want %d", got, s.DiskReads)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans() {
+		names[sp.Name] = true
+	}
+	if !names["naim disk write"] || !names["naim disk read"] {
+		t.Errorf("trace missing disk spans: %v", names)
+	}
+}
+
+// TestLoaderUnscopedStatsStillCount pins the nil-trace contract: with
+// no scope set, the Stats fields keep counting (they feed
+// SelectionReport) while no spans are recorded anywhere.
+func TestLoaderUnscopedStatsStillCount(t *testing.T) {
+	prog, fns := genModules(t, 5, 4)
+	l := NewLoader(prog, Config{ForceLevel: LevelIR, CacheSlots: 2})
+	defer l.Close()
+	installAll(l, fns, prog)
+	for _, pid := range prog.FuncPIDs() {
+		l.Function(pid)
+		l.DoneWith(pid)
+	}
+	s := l.Stats()
+	if s.CacheMisses == 0 || s.Evictions == 0 {
+		t.Errorf("unscoped loader lost its stats: %+v", s)
+	}
+	if s.CompactNanos <= 0 {
+		t.Errorf("CompactNanos = %d, want > 0 (span-derived timing without a trace)", s.CompactNanos)
+	}
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON.
+
+// WriteChromeTrace renders the trace in the Chrome trace-event JSON
+// array format, loadable in chrome://tracing and Perfetto. Spans
+// become complete ("X") events with microsecond timestamps; instant
+// events become thread-scoped "i" events on their enclosing span's
+// track. Tracks (tids) are assigned so that nested spans share a track
+// with their ancestors while overlapping siblings (concurrent phases)
+// get distinct tracks — Chrome nests X events on one track by time
+// containment, so the visual hierarchy matches the span hierarchy.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	spans := t.Spans()
+	events := t.Events()
+	lane := assignLanes(spans)
+
+	var sb strings.Builder
+	sb.WriteString("[\n")
+	sb.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"cmo build pipeline"}}`)
+
+	// Spans, sorted by start for a readable file (Chrome does not
+	// require ordering; determinism helps diffing and golden tests).
+	order := sortedSpanOrder(spans)
+	for _, i := range order {
+		s := spans[i]
+		sb.WriteString(",\n")
+		fmt.Fprintf(&sb, `{"name":%s,"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s`,
+			strconv.Quote(s.Name), lane[s.ID]+1, micros(s.Start), micros(s.Dur))
+		if s.Detail != "" {
+			fmt.Fprintf(&sb, `,"args":{"detail":%s}`, strconv.Quote(s.Detail))
+		}
+		sb.WriteString("}")
+	}
+
+	// Instant events ride on their parent span's track.
+	evs := append([]EventRecord(nil), events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	for _, e := range evs {
+		tid := 1
+		if l, ok := lane[e.Parent]; ok {
+			tid = l + 1
+		}
+		sb.WriteString(",\n")
+		fmt.Fprintf(&sb, `{"name":%s,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s}`,
+			strconv.Quote(e.Name), tid, micros(e.Ts))
+	}
+
+	// Counter totals as a final snapshot ("C") event.
+	for _, c := range t.counterSnapshot() {
+		sb.WriteString(",\n")
+		fmt.Fprintf(&sb, `{"name":%s,"ph":"C","pid":1,"ts":%s,"args":{"value":%d}}`,
+			strconv.Quote(c.name), micros(t.latestNanos(spans, events)), c.value)
+	}
+	sb.WriteString("\n]\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// micros renders nanoseconds as microseconds with fixed three-decimal
+// precision (the trace-event format's ts/dur unit).
+func micros(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// sortedSpanOrder returns span indexes ordered by (start, -dur, id):
+// parents before the children they enclose.
+func sortedSpanOrder(spans []SpanRecord) []int {
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		x, y := spans[order[a]], spans[order[b]]
+		if x.Start != y.Start {
+			return x.Start < y.Start
+		}
+		if x.Dur != y.Dur {
+			return x.Dur > y.Dur
+		}
+		return x.ID < y.ID
+	})
+	return order
+}
+
+// assignLanes maps each span ID to a track such that a span shares a
+// track with any span that fully contains it in time, while spans that
+// merely overlap (concurrent siblings) are pushed to fresh tracks.
+func assignLanes(spans []SpanRecord) map[uint64]int {
+	type ival struct{ start, end int64 }
+	var lanes [][]ival // per lane: stack of open enclosing intervals
+	lane := make(map[uint64]int, len(spans))
+	for _, i := range sortedSpanOrder(spans) {
+		s := spans[i]
+		iv := ival{s.Start, s.Start + s.Dur}
+		placed := false
+		for li := range lanes {
+			st := lanes[li]
+			for len(st) > 0 && st[len(st)-1].end <= iv.start {
+				st = st[:len(st)-1]
+			}
+			if len(st) == 0 || (st[len(st)-1].start <= iv.start && st[len(st)-1].end >= iv.end) {
+				lanes[li] = append(st, iv)
+				lane[s.ID] = li
+				placed = true
+				break
+			}
+			lanes[li] = st
+		}
+		if !placed {
+			lanes = append(lanes, []ival{iv})
+			lane[s.ID] = len(lanes) - 1
+		}
+	}
+	return lane
+}
+
+func (t *Trace) latestNanos(spans []SpanRecord, events []EventRecord) int64 {
+	var max int64
+	for _, s := range spans {
+		if e := s.Start + s.Dur; e > max {
+			max = e
+		}
+	}
+	for _, e := range events {
+		if e.Ts > max {
+			max = e.Ts
+		}
+	}
+	return max
+}
+
+// ---------------------------------------------------------------------------
+// Phase tree.
+
+// PhaseTree renders the span hierarchy as stable, diffable text: one
+// line per distinct span name at each level, in first-start order,
+// with repeat counts — no timestamps or durations, so two builds of
+// the same program produce byte-identical trees regardless of machine
+// speed or Jobs-induced interleaving.
+func (t *Trace) PhaseTree() string {
+	if t == nil {
+		return ""
+	}
+	spans := t.Spans()
+	children := make(map[uint64][]int)
+	for _, i := range sortedSpanOrder(spans) {
+		children[spans[i].Parent] = append(children[spans[i].Parent], i)
+	}
+	var sb strings.Builder
+	var render func(parent uint64, depth int)
+	render = func(parent uint64, depth int) {
+		// Aggregate same-name siblings, keeping first-start order.
+		type group struct {
+			name string
+			n    int
+			kids []uint64
+		}
+		var groups []*group
+		byName := make(map[string]*group)
+		for _, i := range children[parent] {
+			s := spans[i]
+			g := byName[s.Name]
+			if g == nil {
+				g = &group{name: s.Name}
+				byName[s.Name] = g
+				groups = append(groups, g)
+			}
+			g.n++
+			g.kids = append(g.kids, s.ID)
+		}
+		for _, g := range groups {
+			sb.WriteString(strings.Repeat("  ", depth))
+			sb.WriteString(g.name)
+			if g.n > 1 {
+				fmt.Fprintf(&sb, " ×%d", g.n)
+			}
+			sb.WriteString("\n")
+			// Children of every instance of the group render together
+			// (they aggregate by name below anyway).
+			for _, id := range g.kids {
+				if len(children[id]) > 0 {
+					render(id, depth+1)
+					break // one representative: same-name siblings repeat structure
+				}
+			}
+		}
+	}
+	render(0, 0)
+	return sb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Metrics JSON.
+
+type counterValue struct {
+	name  string
+	value int64
+}
+
+func (t *Trace) counterSnapshot() []counterValue {
+	t.mu.Lock()
+	out := make([]counterValue, 0, len(t.counters))
+	for name, c := range t.counters {
+		out = append(out, counterValue{name, c.Value()})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WriteMetrics renders a machine-readable snapshot: every counter, and
+// per-span-name duration aggregates (count, total, max). Keys are
+// sorted, so the output is deterministic given deterministic inputs.
+func (t *Trace) WriteMetrics(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	type agg struct {
+		count int64
+		total int64
+		max   int64
+	}
+	aggs := make(map[string]*agg)
+	for _, s := range t.Spans() {
+		a := aggs[s.Name]
+		if a == nil {
+			a = &agg{}
+			aggs[s.Name] = a
+		}
+		a.count++
+		a.total += s.Dur
+		if s.Dur > a.max {
+			a.max = s.Dur
+		}
+	}
+	names := make([]string, 0, len(aggs))
+	for n := range aggs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	sb.WriteString("{\n  \"counters\": {")
+	for i, c := range t.counterSnapshot() {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "\n    %s: %d", strconv.Quote(c.name), c.value)
+	}
+	sb.WriteString("\n  },\n  \"spans\": {")
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		a := aggs[n]
+		fmt.Fprintf(&sb, "\n    %s: {\"count\": %d, \"total_ns\": %d, \"max_ns\": %d}",
+			strconv.Quote(n), a.count, a.total, a.max)
+	}
+	sb.WriteString("\n  }\n}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,270 @@
+// Package obs is the build pipeline's observability layer: a
+// lightweight, zero-dependency tracing and metrics facility in the
+// spirit of the paper's section 6.2 — "good compiler diagnostics on
+// what the compiler is optimizing are essential" — extended from
+// *what* was optimized (cmo.SelectionReport) to *when* and *at what
+// cost* (the measurements behind the paper's Figures 4-6).
+//
+// The model is deliberately small:
+//
+//   - A Trace collects hierarchical Spans (timed intervals), instant
+//     Events, and named Counters. All recording is goroutine-safe, so
+//     Jobs > 1 pipeline phases can emit concurrently.
+//   - A Span is a plain value, not a pointer: starting one performs no
+//     heap allocation, and a span started from a nil *Trace is a cheap
+//     no-op that records nothing. Disabled spans still read the
+//     monotonic clock, so durations derived from Span.End (the
+//     pipeline's BuildStats fields) stay live when tracing is off —
+//     exactly the cost the hand-rolled time.Since bookkeeping paid.
+//   - Exporters (export.go) render a trace as Chrome trace-event JSON
+//     (chrome://tracing, Perfetto), a stable phase tree for diffing,
+//     and a machine-readable metrics snapshot.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one finished span as stored by the trace. Times are
+// nanoseconds relative to the trace epoch.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 = root
+	Name   string
+	Detail string // optional high-cardinality payload (routine name, ...)
+	Start  int64
+	Dur    int64
+}
+
+// EventRecord is one instant event.
+type EventRecord struct {
+	Parent uint64 // enclosing span ID (0 = trace root)
+	Name   string
+	Ts     int64
+}
+
+// Trace accumulates spans, events, and counters for one build (or one
+// benchmark session). The zero value is not usable; call NewTrace. A
+// nil *Trace is valid everywhere and disables all recording.
+type Trace struct {
+	epoch time.Time
+	clock func() time.Time // test hook; time.Now in production
+
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	spans    []SpanRecord
+	events   []EventRecord
+	counters map[string]*Counter
+}
+
+// NewTrace creates an empty trace whose epoch is now.
+func NewTrace() *Trace {
+	return &Trace{
+		epoch:    time.Now(),
+		clock:    time.Now,
+		counters: make(map[string]*Counter),
+	}
+}
+
+// newTraceClocked is the test constructor: a deterministic clock makes
+// exporter output reproducible (golden files).
+func newTraceClocked(clock func() time.Time) *Trace {
+	t := &Trace{clock: clock, counters: make(map[string]*Counter)}
+	t.epoch = clock()
+	return t
+}
+
+func (t *Trace) now() time.Time {
+	if t == nil {
+		return time.Now()
+	}
+	return t.clock()
+}
+
+// StartSpan opens a root-level span. On a nil trace the returned span
+// is disabled: it allocates nothing and records nothing, but End still
+// reports a real duration.
+func (t *Trace) StartSpan(name string) Span {
+	s := Span{start: t.now()}
+	if t == nil {
+		return s
+	}
+	s.tr = t
+	s.id = t.nextID.Add(1)
+	s.name = name
+	return s
+}
+
+// Event records an instant event at the trace root.
+func (t *Trace) Event(name string) {
+	if t == nil {
+		return
+	}
+	ts := t.clock().Sub(t.epoch).Nanoseconds()
+	t.mu.Lock()
+	t.events = append(t.events, EventRecord{Name: name, Ts: ts})
+	t.mu.Unlock()
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil on a nil trace; a nil *Counter is a valid no-op receiver.
+func (t *Trace) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	c := t.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		t.counters[name] = c
+	}
+	t.mu.Unlock()
+	return c
+}
+
+// Spans returns a snapshot of the finished spans, in completion order.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SpanRecord(nil), t.spans...)
+	t.mu.Unlock()
+	return out
+}
+
+// Events returns a snapshot of the recorded instant events.
+func (t *Trace) Events() []EventRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]EventRecord(nil), t.events...)
+	t.mu.Unlock()
+	return out
+}
+
+// Span is a timed interval in the trace hierarchy. It is a value: copy
+// it freely, start children from it, and call End exactly once on one
+// copy. The zero Span (and any span descended from a nil trace) is
+// disabled but still measures time.
+type Span struct {
+	tr     *Trace
+	id     uint64
+	parent uint64
+	name   string
+	detail string
+	start  time.Time
+}
+
+// Enabled reports whether the span records into a trace. Use it to
+// guard work done only to decorate the trace (formatting a Detail
+// string, looking up a symbol name).
+func (s Span) Enabled() bool { return s.tr != nil }
+
+// Trace returns the owning trace (nil for disabled spans).
+func (s Span) Trace() *Trace { return s.tr }
+
+// Child opens a sub-span.
+func (s Span) Child(name string) Span {
+	c := Span{start: s.tr.now()}
+	if s.tr == nil {
+		return c
+	}
+	c.tr = s.tr
+	c.id = s.tr.nextID.Add(1)
+	c.parent = s.id
+	c.name = name
+	return c
+}
+
+// ChildDetail opens a sub-span carrying a detail payload (rendered in
+// the Chrome exporter's args). Detail is dropped on disabled spans.
+func (s Span) ChildDetail(name, detail string) Span {
+	c := s.Child(name)
+	c.detail = detail
+	return c
+}
+
+// End finishes the span and returns its duration in nanoseconds. The
+// duration is measured even when the span is disabled, so callers can
+// derive statistics from the same clock pair that feeds the trace.
+func (s Span) End() int64 {
+	end := s.tr.now()
+	d := end.Sub(s.start).Nanoseconds()
+	if d < 0 {
+		d = 0
+	}
+	if s.tr == nil {
+		return d
+	}
+	rec := SpanRecord{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Detail: s.detail,
+		Start:  s.start.Sub(s.tr.epoch).Nanoseconds(),
+		Dur:    d,
+	}
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, rec)
+	s.tr.mu.Unlock()
+	return d
+}
+
+// Elapsed reports nanoseconds since the span started, without ending
+// it.
+func (s Span) Elapsed() int64 {
+	return s.tr.now().Sub(s.start).Nanoseconds()
+}
+
+// Event records an instant event inside this span.
+func (s Span) Event(name string) {
+	if s.tr == nil {
+		return
+	}
+	ts := s.tr.clock().Sub(s.tr.epoch).Nanoseconds()
+	s.tr.mu.Lock()
+	s.tr.events = append(s.tr.events, EventRecord{Parent: s.id, Name: name, Ts: ts})
+	s.tr.mu.Unlock()
+}
+
+// Counter is a named atomic counter/gauge. A nil *Counter ignores all
+// updates, so callers cache the pointer once and update unconditionally.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Set stores an absolute value (gauge semantics).
+func (c *Counter) Set(v int64) {
+	if c != nil {
+		c.v.Store(v)
+	}
+}
+
+// Value reads the current value (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name reports the counter's registration name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic tests. It
+// is not goroutine-safe; concurrent tests use the real clock.
+type fakeClock struct{ now time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) tick(d time.Duration) { c.now = c.now.Add(d) }
+func (c *fakeClock) clock() time.Time     { return c.now }
+
+func TestSpanHierarchy(t *testing.T) {
+	fc := newFakeClock()
+	tr := newTraceClocked(fc.clock)
+
+	root := tr.StartSpan("build")
+	if !root.Enabled() {
+		t.Fatal("root span on a live trace should be enabled")
+	}
+	fc.tick(time.Millisecond)
+	child := root.ChildDetail("frontend", "8 modules")
+	fc.tick(2 * time.Millisecond)
+	if d := child.End(); d != 2*time.Millisecond.Nanoseconds() {
+		t.Errorf("child duration = %d, want 2ms", d)
+	}
+	fc.tick(time.Millisecond)
+	if d := root.End(); d != 4*time.Millisecond.Nanoseconds() {
+		t.Errorf("root duration = %d, want 4ms", d)
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Completion order: the child ends first.
+	c, r := spans[0], spans[1]
+	if c.Name != "frontend" || r.Name != "build" {
+		t.Fatalf("span order = %q, %q; want frontend, build", c.Name, r.Name)
+	}
+	if c.Parent != r.ID {
+		t.Errorf("child.Parent = %d, want root ID %d", c.Parent, r.ID)
+	}
+	if r.Parent != 0 {
+		t.Errorf("root.Parent = %d, want 0", r.Parent)
+	}
+	if c.Detail != "8 modules" {
+		t.Errorf("child.Detail = %q", c.Detail)
+	}
+	if r.Start != 0 || c.Start != time.Millisecond.Nanoseconds() {
+		t.Errorf("starts = %d, %d; want 0, 1ms", r.Start, c.Start)
+	}
+}
+
+func TestSpanEventAndElapsed(t *testing.T) {
+	fc := newFakeClock()
+	tr := newTraceClocked(fc.clock)
+	sp := tr.StartSpan("phase")
+	fc.tick(3 * time.Millisecond)
+	if e := sp.Elapsed(); e != 3*time.Millisecond.Nanoseconds() {
+		t.Errorf("Elapsed = %d, want 3ms", e)
+	}
+	sp.Event("checkpoint")
+	tr.Event("global")
+	sp.End()
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "checkpoint" || evs[0].Parent == 0 {
+		t.Errorf("span event = %+v, want checkpoint with non-zero parent", evs[0])
+	}
+	if evs[1].Name != "global" || evs[1].Parent != 0 {
+		t.Errorf("trace event = %+v, want global at root", evs[1])
+	}
+}
+
+func TestCounter(t *testing.T) {
+	tr := NewTrace()
+	c := tr.Counter("naim.cache_hits")
+	if c2 := tr.Counter("naim.cache_hits"); c2 != c {
+		t.Fatal("Counter should return the same instance for the same name")
+	}
+	c.Add(5)
+	c.Add(-2)
+	if v := c.Value(); v != 3 {
+		t.Errorf("Value = %d, want 3", v)
+	}
+	c.Set(10)
+	if v := c.Value(); v != 10 {
+		t.Errorf("after Set, Value = %d, want 10", v)
+	}
+	if n := c.Name(); n != "naim.cache_hits" {
+		t.Errorf("Name = %q", n)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("build")
+	if sp.Enabled() {
+		t.Fatal("span from nil trace should be disabled")
+	}
+	if sp.Trace() != nil {
+		t.Fatal("disabled span should report a nil trace")
+	}
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Errorf("disabled span End = %d, want a real positive duration", d)
+	}
+	child := sp.Child("phase")
+	child.Event("e")
+	child.End()
+	tr.Event("global")
+	if c := tr.Counter("n"); c != nil {
+		t.Errorf("Counter on nil trace = %v, want nil", c)
+	}
+	var cnt *Counter
+	cnt.Add(1)
+	cnt.Set(2)
+	if v := cnt.Value(); v != 0 {
+		t.Errorf("nil counter Value = %d, want 0", v)
+	}
+	if n := cnt.Name(); n != "" {
+		t.Errorf("nil counter Name = %q, want empty", n)
+	}
+	if s := tr.Spans(); s != nil {
+		t.Errorf("nil trace Spans = %v, want nil", s)
+	}
+	if e := tr.Events(); e != nil {
+		t.Errorf("nil trace Events = %v, want nil", e)
+	}
+}
+
+// TestNilTraceAllocFree pins the zero-cost contract: the disabled hot
+// path performs no heap allocation per span/event/counter operation.
+func TestNilTraceAllocFree(t *testing.T) {
+	var tr *Trace
+	cnt := tr.Counter("n") // nil
+	allocs := testing.AllocsPerRun(200, func() {
+		root := tr.StartSpan("build")
+		phase := root.Child("hlo")
+		leaf := phase.ChildDetail("naim compact", "m0")
+		leaf.Event("e")
+		leaf.End()
+		_ = phase.Elapsed()
+		phase.End()
+		root.End()
+		tr.Event("global")
+		cnt.Add(1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-trace path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentEmission exercises the goroutine-safety contract (run
+// under -race): many workers record spans, events, and counters into
+// one trace, as Jobs > 1 pipeline phases do.
+func TestConcurrentEmission(t *testing.T) {
+	tr := NewTrace()
+	root := tr.StartSpan("build")
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := root.ChildDetail("codegen", "fn")
+				sp.Event("emit")
+				tr.Counter("units").Add(1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	if got, want := len(tr.Spans()), workers*perWorker+1; got != want {
+		t.Errorf("got %d spans, want %d", got, want)
+	}
+	if got, want := len(tr.Events()), workers*perWorker; got != want {
+		t.Errorf("got %d events, want %d", got, want)
+	}
+	if got, want := tr.Counter("units").Value(), int64(workers*perWorker); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	ids := make(map[uint64]bool)
+	for _, s := range tr.Spans() {
+		if ids[s.ID] {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+}

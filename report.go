@@ -40,6 +40,8 @@ func (b *Build) SelectionReport() string {
 
 	fmt.Fprintf(&sb, "naim: level %v, peak %d bytes, %d compactions, %d expansions, %d disk writes\n",
 		s.NAIMLevel, s.NAIM.PeakBytes, s.NAIM.Compactions, s.NAIM.Expansions, s.NAIM.DiskWrites)
+	fmt.Fprintf(&sb, "naim cache: %d hits, %d misses, %d evictions\n",
+		s.NAIM.CacheHits, s.NAIM.CacheMisses, s.NAIM.Evictions)
 	fmt.Fprintf(&sb, "image: %d bytes of code, %d functions\n", s.CodeBytes, len(b.Image.Funcs))
 
 	if len(b.InlineOps) > 0 {
@@ -70,6 +72,64 @@ func (b *Build) SelectionReport() string {
 				break
 			}
 			fmt.Fprintf(&sb, "  %3dx %s <- %s\n", agg[p], p.caller, p.callee)
+		}
+	}
+	return sb.String()
+}
+
+// TimingReport renders where the build spent its time — the sibling of
+// SelectionReport for the paper's Figure 4-6 measurement axis: phase
+// wall-clock durations (span-derived, so they are guaranteed to nest
+// inside the total), the NAIM loader's compaction/disk overhead, and —
+// when the build recorded a trace — the stable phase tree. Durations
+// vary run to run; the phase tree does not.
+func (b *Build) TimingReport() string {
+	var sb strings.Builder
+	s := b.Stats
+	pct := func(ns int64) float64 {
+		if s.TotalNanos <= 0 {
+			return 0
+		}
+		return 100 * float64(ns) / float64(s.TotalNanos)
+	}
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	fmt.Fprintf(&sb, "timing: %v build, total %.2f ms\n", s.Level, ms(s.TotalNanos))
+	phases := []struct {
+		name string
+		ns   int64
+	}{
+		{"frontend", s.FrontendNanos},
+		{"hlo", s.HLONanos},
+		{"llo", s.LLONanos},
+		{"link", s.LinkNanos},
+	}
+	var accounted int64
+	for _, p := range phases {
+		if p.ns == 0 {
+			continue
+		}
+		accounted += p.ns
+		fmt.Fprintf(&sb, "  %-9s %9.2f ms  %5.1f%%\n", p.name, ms(p.ns), pct(p.ns))
+	}
+	if other := s.TotalNanos - accounted; other > 0 {
+		fmt.Fprintf(&sb, "  %-9s %9.2f ms  %5.1f%%\n", "(other)", ms(other), pct(other))
+	}
+	fmt.Fprintf(&sb, "naim: compact %.2f ms, disk %.2f ms — %d compactions (%d evictions), %d expansions, %d disk writes, %d disk reads\n",
+		ms(s.NAIM.CompactNanos), ms(s.NAIM.DiskNanos),
+		s.NAIM.Compactions, s.NAIM.Evictions, s.NAIM.Expansions, s.NAIM.DiskWrites, s.NAIM.DiskReads)
+	fmt.Fprintf(&sb, "naim cache: %d hits, %d misses", s.NAIM.CacheHits, s.NAIM.CacheMisses)
+	if tot := s.NAIM.CacheHits + s.NAIM.CacheMisses; tot > 0 {
+		fmt.Fprintf(&sb, " (%.1f%% hit rate)", 100*float64(s.NAIM.CacheHits)/float64(tot))
+	}
+	sb.WriteString("\n")
+	if b.trace != nil {
+		if tree := b.trace.PhaseTree(); tree != "" {
+			sb.WriteString("phases:\n")
+			for _, line := range strings.Split(strings.TrimRight(tree, "\n"), "\n") {
+				sb.WriteString("  ")
+				sb.WriteString(line)
+				sb.WriteString("\n")
+			}
 		}
 	}
 	return sb.String()
