@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bins clean
+.PHONY: all build vet test race check checkexamples bench bins clean
 
 all: check
 
@@ -13,10 +13,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The tier-1 gate: everything must build, vet clean, and pass the full
+# The tier-1 gate: everything must build, vet clean, pass the full
 # suite with the race detector on (internal/obs and the Jobs>1 paths
-# are exercised concurrently).
-check: vet build race
+# are exercised concurrently), and the example programs must verify
+# clean under cmocheck.
+check: vet build race checkexamples
+
+# Run the standalone whole-program checker over every example program.
+checkexamples:
+	$(GO) run ./cmd/cmocheck -level interproc examples/quickstart/app.minc examples/quickstart/lib.minc
+	$(GO) run ./cmd/cmocheck -level interproc examples/verify/pipeline.minc examples/verify/util.minc
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cmo/internal/analyze"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+)
+
+// report is the JSON document -json emits. It round-trips through
+// encoding/json (severities marshal as their names).
+type report struct {
+	Level     string               `json:"level"`
+	Functions int                  `json:"functions"`
+	Errors    int                  `json:"errors"`
+	Warnings  int                  `json:"warnings"`
+	Diags     []analyze.Diagnostic `json:"diagnostics"`
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cmocheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	levelName := fs.String("level", "interproc", "verification level: structural|dataflow|interproc")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	partial := fs.Bool("partial", false, "allow undefined externs (check a program fragment)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cmocheck [-level structural|dataflow|interproc] [-json] [-partial] a.minc b.minc ...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	level, err := analyze.ParseLevel(*levelName)
+	if err != nil || level == analyze.Off {
+		fmt.Fprintf(stderr, "cmocheck: bad -level %q (want structural|dataflow|interproc)\n", *levelName)
+		return 2
+	}
+
+	files := make([]*source.File, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "cmocheck: %v\n", err)
+			return 2
+		}
+		f, err := source.Parse(path, string(text))
+		if err == nil {
+			err = source.Check(f)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "cmocheck: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	low, err := func() (*lower.Result, error) {
+		if *partial {
+			return lower.ModulesLoose(files)
+		}
+		return lower.Modules(files)
+	}()
+	if err != nil {
+		fmt.Fprintf(stderr, "cmocheck: %v\n", err)
+		return 2
+	}
+
+	res := analyze.Program(low.Prog, analyze.MapSource(low.Funcs), analyze.Options{Level: level})
+
+	if *asJSON {
+		rep := report{
+			Level:     res.Level.String(),
+			Functions: res.Functions,
+			Errors:    res.Errors(),
+			Warnings:  res.Warnings(),
+			Diags:     res.Diags,
+		}
+		if rep.Diags == nil {
+			rep.Diags = []analyze.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "cmocheck: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+		if res.Errors() > 0 || res.Warnings() > 0 {
+			fmt.Fprintf(stdout, "cmocheck: %d error(s), %d warning(s) at level %s\n",
+				res.Errors(), res.Warnings(), res.Level)
+		} else {
+			fmt.Fprintf(stdout, "cmocheck: ok: %d functions clean at level %s\n",
+				res.Functions, res.Level)
+		}
+	}
+	if res.Errors() > 0 {
+		return 1
+	}
+	return 0
+}

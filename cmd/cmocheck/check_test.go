@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestGoldens(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantExit int
+	}{
+		{"clean", []string{"testdata/clean_app.minc", "testdata/clean_lib.minc"}, 0},
+		{"dirty", []string{"testdata/dirty.minc"}, 0},
+		{"dirty_json", []string{"-json", "testdata/dirty.minc"}, 0},
+		{"fragment", []string{"-partial", "testdata/fragment.minc"}, 1},
+		{"fragment_json", []string{"-json", "-partial", "testdata/fragment.minc"}, 1},
+		{"dataflow_level", []string{"-level", "dataflow", "testdata/dirty.minc"}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantExit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.wantExit, stdout.String(), stderr.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if stdout.String() != string(want) {
+				t.Errorf("output differs from %s:\n-- got --\n%s-- want --\n%s", golden, stdout.String(), want)
+			}
+		})
+	}
+}
+
+// TestJSONRoundTrip: the -json document must survive
+// encoding/json decode → encode unchanged (the acceptance criterion
+// for machine consumers).
+func TestJSONRoundTrip(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-partial", "testdata/fragment.minc"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	var rep report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rep.Errors != 1 || len(rep.Diags) != 1 || rep.Diags[0].Check != "dangling-pid" {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+	back, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(back)) != strings.TrimSpace(stdout.String()) {
+		t.Errorf("JSON did not round-trip:\n-- re-encoded --\n%s\n-- original --\n%s", back, stdout.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-level", "bogus", "testdata/dirty.minc"},
+		{"-level", "off", "testdata/dirty.minc"},
+		{"testdata/no_such_file.minc"},
+		{"testdata/fragment.minc"}, // undefined extern without -partial
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Command cmocheck is the standalone whole-program IL checker: it
+// runs the frontend over a set of MinC modules and then the
+// internal/analyze verification tiers over the resulting IL, without
+// optimizing or linking anything.
+//
+//	cmocheck [-level structural|dataflow|interproc] [-json] [-partial] a.minc b.minc ...
+//
+// Diagnostics are positioned (module, function, block, instruction)
+// and sorted deterministically; -json emits the same report as a
+// machine-readable document instead. -partial skips the
+// whole-program completeness check so a single module out of a larger
+// program can be checked alone (undefined externs then surface as
+// unresolved-symbol diagnostics rather than frontend errors).
+//
+// Exit status: 0 when no error-severity diagnostics were found, 1
+// when some were, 2 on usage or I/O errors.
+package main
+
+import "os"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -27,6 +27,7 @@ package cmo
 import (
 	"fmt"
 
+	"cmo/internal/analyze"
 	"cmo/internal/hlo"
 	"cmo/internal/il"
 	"cmo/internal/link"
@@ -124,6 +125,14 @@ type Options struct {
 	// changes (HLO itself stays sequential: its transformation order
 	// is part of the deterministic contract).
 	Jobs int
+	// Verify selects pipeline verification (internal/analyze): at
+	// VerifyStructural and above the whole program is re-checked
+	// after the frontend, after each named HLO transform (so a
+	// failure names the transform that broke the invariant), after
+	// each routine's local optimization, and after link. The zero
+	// value is VerifyOff: no checking, no cost (see
+	// TestVerifyOffZeroAlloc).
+	Verify analyze.Level
 	// Trace, when non-nil, collects hierarchical spans and counters
 	// for the whole pipeline (frontend/HLO/LLO/link phases, NAIM
 	// loader activity, per-routine codegen) — exportable as Chrome
@@ -161,6 +170,17 @@ type BuildStats struct {
 	LLONanos      int64
 	LinkNanos     int64
 	TotalNanos    int64
+	// VerifyNanos is the total time spent in whole-program
+	// verification passes (Options.Verify): the post-frontend,
+	// per-HLO-transform, facts-audit, and post-link checks. Passes
+	// that run inside a phase (the per-transform checks) also count
+	// toward that phase's time; the per-routine checks inside LLO
+	// are visible only in LLONanos. Each pass is also an obs "verify"
+	// span, so the trace shows where the time went.
+	VerifyNanos int64
+	// VerifyDiags counts all diagnostics (errors and warnings) the
+	// verifier produced across the build.
+	VerifyDiags int
 
 	// CodeBytes is the final image code size.
 	CodeBytes int64
@@ -348,6 +368,13 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, parent 
 	}
 	b.Stats.Functions = len(prog.FuncPIDs())
 
+	// Baseline check: the frontend's IL must be clean before any
+	// transform touches it, or every later failure would be blamed on
+	// the wrong stage.
+	if err := b.verifyStage(loader, opt, "frontend", nil, parent); err != nil {
+		return nil, err
+	}
+
 	volatile := make(map[il.PID]bool)
 	for _, name := range opt.Volatile {
 		if s := prog.Lookup(name); s != nil {
@@ -390,6 +417,17 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, parent 
 	multiLayer := opt.MultiLayer && opt.Level >= O4 && opt.DB != nil
 	code := make(map[il.PID]*vpa.Func)
 
+	// Per-routine re-verification of LLO's optimized working copy,
+	// just before emission. analyze.Function is pure over its inputs,
+	// so the hook is safe from the parallel codegen workers.
+	var lloVerify func(*il.Function) error
+	if opt.Verify != analyze.Off {
+		level := opt.Verify
+		lloVerify = func(f *il.Function) error {
+			return analyze.FirstError(analyze.Function(prog, f, level))
+		}
+	}
+
 	// classify applies the multi-layer tier policy for one routine.
 	classify := func(pid il.PID, f *il.Function) (int, bool) {
 		if !multiLayer {
@@ -423,7 +461,7 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, parent 
 				return nil, fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name)
 			}
 			fnLevel, fnPBO := classify(pid, f)
-			mf, err := llo.Compile(prog, f, llo.Options{Level: fnLevel, PBO: fnPBO, Span: lsp})
+			mf, err := llo.Compile(prog, f, llo.Options{Level: fnLevel, PBO: fnPBO, Span: lsp, Verify: lloVerify})
 			if err != nil {
 				return nil, err
 			}
@@ -433,7 +471,7 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, parent 
 			code[pid] = mf
 			loader.DoneWith(pid)
 		}
-	} else if err := b.compileParallel(loader, omit, code, classify, lloJobs, lsp); err != nil {
+	} else if err := b.compileParallel(loader, omit, code, classify, lloVerify, lloJobs, lsp); err != nil {
 		return nil, err
 	}
 	b.Stats.LLONanos = lsp.End()
@@ -454,6 +492,12 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, parent 
 		return nil, err
 	}
 	b.Stats.LinkNanos = ksp.End()
+	// Post-link consistency: the surviving IL, with the dead set
+	// omitted, must still verify — in particular no surviving routine
+	// may reference one that dead-code elimination removed.
+	if err := b.verifyStage(loader, opt, "link", omit, parent); err != nil {
+		return nil, err
+	}
 	b.Image = img
 	b.Stats.CodeBytes = img.CodeBytes()
 	b.Stats.NAIM = loader.Stats()
@@ -472,6 +516,9 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 		Budget:     opt.Budget,
 		MaxInlines: opt.MaxInlines,
 		Span:       hsp,
+	}
+	if opt.Verify != analyze.Off {
+		hopts.Check = b.hloCheck(loader, opt, hsp)
 	}
 
 	switch {
@@ -548,6 +595,9 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 	for _, pid := range hres.Dead {
 		omit[pid] = true
 	}
+	if opt.Verify >= analyze.Interproc {
+		return b.auditHLOFacts(loader, hres.Facts, hsp)
+	}
 	return nil
 }
 
@@ -559,7 +609,8 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 // meaningful, and each body's DoneWith fires only after its compile
 // completes.
 func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
-	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool), jobs int, lsp obs.Span) error {
+	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool),
+	verify func(*il.Function) error, jobs int, lsp obs.Span) error {
 	prog := b.Prog
 	type task struct {
 		pid   il.PID
@@ -578,7 +629,7 @@ func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
 	for w := 0; w < jobs; w++ {
 		go func() {
 			for t := range work {
-				mf, err := llo.Compile(prog, t.f, llo.Options{Level: t.level, PBO: t.pbo, Span: lsp})
+				mf, err := llo.Compile(prog, t.f, llo.Options{Level: t.level, PBO: t.pbo, Span: lsp, Verify: verify})
 				results <- done{pid: t.pid, n: t.f.NumInstrs(), mf: mf, err: err}
 			}
 		}()
@@ -642,7 +693,7 @@ func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[i
 		}
 		extCalled, extStored := b.summarizeOutOfScope(loader, scope)
 		msp := hsp.ChildDetail("hlo module", prog.Modules[mi].Name)
-		hres, err := hlo.Optimize(prog, loader, hlo.Options{
+		mopts := hlo.Options{
 			DB:               opt.DB,
 			Volatile:         volatile,
 			Entry:            opt.Entry,
@@ -653,11 +704,24 @@ func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[i
 			ExternallyCalled: extCalled,
 			ExternStored:     extStored,
 			Span:             msp,
-		})
-		msp.End()
+		}
+		if opt.Verify != analyze.Off {
+			mopts.Check = b.hloCheck(loader, opt, msp)
+		}
+		hres, err := hlo.Optimize(prog, loader, mopts)
 		if err != nil {
+			msp.End()
 			return err
 		}
+		if opt.Verify >= analyze.Interproc {
+			// Audit each module's facts before the next module's run
+			// mutates the program further.
+			if err := b.auditHLOFacts(loader, hres.Facts, msp); err != nil {
+				msp.End()
+				return err
+			}
+		}
+		msp.End()
 		agg.Inlines += hres.Stats.Inlines
 		agg.Clones += hres.Stats.Clones
 		agg.IPCPParams += hres.Stats.IPCPParams

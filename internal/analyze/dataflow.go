@@ -1,0 +1,220 @@
+package analyze
+
+import (
+	"fmt"
+
+	"cmo/internal/il"
+	"cmo/internal/ir"
+)
+
+// dataflowFunction runs the per-function dataflow tier over a body
+// that already passed il.Verify:
+//
+//   - definite assignment: every register use must be preceded by a
+//     definition on every path from entry (parameters 1..NParams are
+//     defined at entry). A use that some path reaches undefined is an
+//     error — the optimizers assume it never happens, and the VPA
+//     machine would read garbage.
+//   - unreachable blocks: blocks the CFG cannot reach from entry are
+//     warnings (legal, but they are dead weight the cleanup passes
+//     should have dropped, and they often betray a broken branch
+//     rewrite).
+//   - dead stores: a pure definition whose value can never be
+//     observed is a warning.
+//   - dominator-tree sanity: every reachable non-entry block must
+//     have an immediate dominator. This cross-checks internal/ir
+//     itself — the dataflow tier is only as trustworthy as the
+//     analyses it is built on.
+func dataflowFunction(prog *il.Program, f *il.Function) []Diagnostic {
+	var out []Diagnostic
+	mod := moduleOf(prog, f.PID)
+	diag := func(check string, sev Severity, block, instr int, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Check: check, Severity: sev,
+			Module: mod, Function: f.Name,
+			Block: block, Instr: instr,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	c := ir.BuildCFG(f)
+	dom := ir.BuildDominators(c)
+	for bi := range f.Blocks {
+		if !c.Reach[bi] {
+			diag("unreachable", Warning, bi, -1, "block is unreachable from entry")
+			continue
+		}
+		if bi != int(c.RPO[0]) && dom.IDom[bi] == -1 {
+			diag("domtree", Error, bi, -1, "reachable block has no immediate dominator (ir.BuildDominators inconsistency)")
+		}
+	}
+
+	out = append(out, checkDefiniteAssignment(mod, f, c)...)
+	out = append(out, checkDeadStores(mod, f, c)...)
+	return out
+}
+
+// checkDefiniteAssignment runs a forward must-be-defined dataflow
+// analysis: defined-at-entry(b) is the intersection over b's reachable
+// predecessors of defined-at-exit(p). Iterating in reverse postorder
+// converges in a few passes. Any use not covered is reported once.
+//
+// Note this subsumes the classic dominance-based check (a definition
+// in a strict dominator is on every path), and additionally accepts
+// the merge-point pattern dominance alone rejects: a register defined
+// in both arms of a branch and used after the join.
+func checkDefiniteAssignment(mod string, f *il.Function, c *ir.CFG) []Diagnostic {
+	n := len(f.Blocks)
+	nregs := f.NRegs
+	if nregs == 0 {
+		nregs = 1
+	}
+
+	// gen[b] is the set of registers defined anywhere in b; the block
+	// transfer function is out = in ∪ gen (definitions are never
+	// killed by a forward must-define analysis).
+	gen := make([]ir.RegSet, n)
+	for bi, b := range f.Blocks {
+		gen[bi] = ir.NewRegSet(nregs)
+		for ii := range b.Instrs {
+			if d := b.Instrs[ii].Dst; d != 0 {
+				gen[bi].Add(d)
+			}
+		}
+	}
+
+	full := ir.NewRegSet(nregs)
+	for r := il.Reg(0); r < nregs; r++ {
+		full.Add(r)
+	}
+	entryIn := ir.NewRegSet(nregs)
+	for p := 1; p <= f.NParams; p++ {
+		entryIn.Add(il.Reg(p))
+	}
+
+	in := make([]ir.RegSet, n)
+	out := make([]ir.RegSet, n)
+	for i := range in {
+		// Unvisited blocks start at ⊤ (everything defined) so the
+		// intersection at merge points is seeded correctly.
+		out[i] = full.Clone()
+	}
+	if len(c.RPO) == 0 {
+		return nil
+	}
+	entry := c.RPO[0]
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range c.RPO {
+			var newIn ir.RegSet
+			if bi == entry {
+				newIn = entryIn.Clone()
+			} else {
+				newIn = full.Clone()
+				for _, p := range c.Preds[bi] {
+					for w := range newIn {
+						newIn[w] &= out[p][w]
+					}
+				}
+			}
+			newOut := newIn.Clone()
+			newOut.UnionInto(gen[bi])
+			if !regSetEqual(newOut, out[bi]) || in[bi] == nil {
+				changed = true
+			}
+			in[bi] = newIn
+			out[bi] = newOut
+		}
+	}
+
+	// Report: walk each reachable block with the running defined set.
+	var diags []Diagnostic
+	for _, bi := range c.RPO {
+		b := f.Blocks[bi]
+		defined := in[bi].Clone()
+		for ii := range b.Instrs {
+			ins := &b.Instrs[ii]
+			forEachUse(ins, func(r il.Reg) {
+				if !defined.Has(r) {
+					diags = append(diags, Diagnostic{
+						Check: "def-before-use", Severity: Error,
+						Module: mod, Function: f.Name,
+						Block: int(bi), Instr: ii,
+						Message: fmt.Sprintf("r%d may be used before it is defined (%s)", r, ins),
+					})
+				}
+			})
+			if ins.Dst != 0 {
+				defined.Add(ins.Dst)
+			}
+		}
+	}
+	return diags
+}
+
+// checkDeadStores reports pure definitions whose value is never
+// observed: the register is redefined or the function exits before any
+// use, on every path. Side-effecting definitions (calls) are exempt —
+// discarding a call result is normal code.
+func checkDeadStores(mod string, f *il.Function, c *ir.CFG) []Diagnostic {
+	lv := ir.BuildLiveness(f, c)
+	var diags []Diagnostic
+	for _, bi := range c.RPO {
+		b := f.Blocks[bi]
+		live := lv.Out[bi].Clone()
+		// Walk backward: a pure def of a register not live at that
+		// point is dead.
+		for ii := len(b.Instrs) - 1; ii >= 0; ii-- {
+			ins := &b.Instrs[ii]
+			if d := ins.Dst; d != 0 {
+				if !live.Has(d) && isPure(ins.Op) {
+					diags = append(diags, Diagnostic{
+						Check: "dead-store", Severity: Warning,
+						Module: mod, Function: f.Name,
+						Block: int(bi), Instr: ii,
+						Message: fmt.Sprintf("value of %s is never used", ins),
+					})
+				}
+				live.Remove(d)
+			}
+			forEachUse(ins, func(r il.Reg) { live.Add(r) })
+		}
+	}
+	return diags
+}
+
+// isPure reports whether an op has no effect beyond writing Dst, so a
+// dead destination makes the whole instruction dead. Div/Rem and LoadX
+// can trap, and Call/StoreG/StoreX/Probe have effects, so they are
+// excluded.
+func isPure(op il.Op) bool {
+	switch op {
+	case il.Const, il.Copy, il.Add, il.Sub, il.Mul, il.Neg, il.Not,
+		il.Eq, il.Ne, il.Lt, il.Le, il.Gt, il.Ge, il.LoadG:
+		return true
+	}
+	return false
+}
+
+// forEachUse visits the registers an instruction reads.
+func forEachUse(in *il.Instr, visit func(il.Reg)) {
+	use := func(v il.Value) {
+		if !v.IsConst && v.Reg != 0 {
+			visit(v.Reg)
+		}
+	}
+	use(in.A)
+	use(in.B)
+	for _, a := range in.Args {
+		use(a)
+	}
+}
+
+func regSetEqual(a, b ir.RegSet) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

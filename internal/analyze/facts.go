@@ -1,0 +1,169 @@
+package analyze
+
+import (
+	"fmt"
+
+	"cmo/internal/il"
+)
+
+// Facts is the high-level optimizer's published summary of the
+// whole-program facts its transformations relied on. The audit does
+// not trust any of it: every field is re-derived from the IL with all
+// routines loaded and compared.
+//
+// This is the soundness side of the paper's section-5 selectivity
+// argument: HLO only *scans* unselected routines, so every global
+// fact it acts on (a global is never stored, a parameter is always
+// the same constant, a function has no outside callers) must be
+// conservative over the code it never re-reads.
+type Facts struct {
+	// Scope is the set of functions whose IL was routed through HLO
+	// (nil means the whole program).
+	Scope map[il.PID]bool
+	// Stored is HLO's stored-global summary: every global it believes
+	// may be written, including the driver-supplied ExternStored set
+	// for out-of-scope code.
+	Stored map[il.PID]bool
+	// ExternallyCalled marks in-scope functions HLO believes may be
+	// called from outside the scope.
+	ExternallyCalled map[il.PID]bool
+	// Volatile marks globals whose values are external inputs.
+	Volatile map[il.PID]bool
+	// Promoted lists globals whose loads HLO replaced with constants.
+	Promoted map[il.PID]bool
+	// IPCP lists the parameters HLO specialized to constants.
+	IPCP []IPCPFact
+	// Dead lists functions HLO proved unreachable; call sites inside
+	// them are ignored by the audit (they can never execute).
+	Dead map[il.PID]bool
+}
+
+// IPCPFact records one interprocedural constant-propagation decision:
+// parameter Param (0-based) of Fn was pinned to Val.
+type IPCPFact struct {
+	Fn    il.PID
+	Param int
+	Val   int64
+}
+
+// AuditFacts independently recomputes global usage with every routine
+// loaded and checks that the optimizer's summary facts are
+// conservative over it:
+//
+//   - every global actually stored anywhere must appear in
+//     facts.Stored ("facts-stored");
+//   - every promoted global must be genuinely never-stored and
+//     non-volatile ("facts-promotion");
+//   - every in-scope function called from out-of-scope code must be
+//     in facts.ExternallyCalled ("facts-extern-called");
+//   - every IPCP'd parameter must still receive exactly its pinned
+//     constant at every surviving live call site ("facts-ipcp").
+//
+// Any error diagnostic from this audit means a selective build could
+// differ observably from a full build — the exact bug class the
+// paper's selectivity claim promises away.
+func AuditFacts(prog *il.Program, src Source, facts Facts) []Diagnostic {
+	inScope := func(pid il.PID) bool { return facts.Scope == nil || facts.Scope[pid] }
+
+	// Ground truth, with all routines loaded: who stores which global,
+	// who calls whom, and with what arguments.
+	storedBy := make(map[il.PID]il.PID)      // global -> one storing function
+	outsideCaller := make(map[il.PID]il.PID) // in-scope callee -> one out-of-scope caller
+	type callSite struct {
+		caller il.PID
+		block  int
+		instr  int
+		args   []il.Value
+	}
+	callSites := make(map[il.PID][]callSite)
+	for _, pid := range prog.FuncPIDs() {
+		if facts.Dead[pid] {
+			continue
+		}
+		f := src.Function(pid)
+		if f == nil {
+			continue
+		}
+		for bi, b := range f.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				switch in.Op {
+				case il.StoreG, il.StoreX:
+					if _, ok := storedBy[in.Sym]; !ok {
+						storedBy[in.Sym] = pid
+					}
+				case il.Call:
+					if !inScope(pid) && inScope(in.Sym) {
+						if _, ok := outsideCaller[in.Sym]; !ok {
+							outsideCaller[in.Sym] = pid
+						}
+					}
+					callSites[in.Sym] = append(callSites[in.Sym], callSite{pid, bi, ii, in.Args})
+				}
+			}
+		}
+		src.DoneWith(pid)
+	}
+
+	var out []Diagnostic
+	progDiag := func(check, format string, args ...any) {
+		out = append(out, Diagnostic{
+			Check: check, Severity: Error,
+			Block: -1, Instr: -1,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Conservativeness of the stored summary. Iterate in PID order for
+	// deterministic reporting.
+	for _, g := range prog.GlobalPIDs() {
+		storer, isStored := storedBy[g]
+		if isStored && !facts.Stored[g] {
+			where := "in scope"
+			if !inScope(storer) {
+				where = "outside the CMO scope (ExternStored summary incomplete)"
+			}
+			progDiag("facts-stored", "global %s is stored by %s (%s) but summarized as never-stored",
+				symName(prog, g), symName(prog, storer), where)
+		}
+		if facts.Promoted[g] {
+			if isStored {
+				progDiag("facts-promotion", "global %s was promoted to a constant but is stored by %s",
+					symName(prog, g), symName(prog, storer))
+			}
+			if facts.Volatile[g] {
+				progDiag("facts-promotion", "volatile global %s was promoted to a constant", symName(prog, g))
+			}
+		}
+	}
+
+	// Conservativeness of the externally-called summary.
+	if facts.Scope != nil {
+		for _, fn := range prog.FuncPIDs() {
+			if caller, ok := outsideCaller[fn]; ok && !facts.ExternallyCalled[fn] {
+				progDiag("facts-extern-called", "%s is called from out-of-scope %s but not summarized as externally called",
+					symName(prog, fn), symName(prog, caller))
+			}
+		}
+	}
+
+	// IPCP decisions: every surviving live call site must still agree.
+	for _, fact := range facts.IPCP {
+		for _, site := range callSites[fact.Fn] {
+			if fact.Param >= len(site.args) {
+				continue // arity mismatch is the interproc tier's finding
+			}
+			a := site.args[fact.Param]
+			if !a.IsConst || a.Const != fact.Val {
+				out = append(out, Diagnostic{
+					Check: "facts-ipcp", Severity: Error,
+					Module: moduleOf(prog, site.caller), Function: symName(prog, site.caller),
+					Block: site.block, Instr: site.instr,
+					Message: fmt.Sprintf("%s param %d was pinned to %d by IPCP, but this call passes %s",
+						symName(prog, fact.Fn), fact.Param, fact.Val, a),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"cmo/internal/il"
+)
+
+// factsProg builds a two-module program: app.main calls lib.work and
+// stores to a global; lib has its own global.
+func factsProg() (*progBuilder, il.PID, il.PID, il.PID, il.PID) {
+	pb := newProg() // module "m" plays the in-scope role
+	g := pb.global("g", 7)
+	work := pb.fn("work", 1, &il.Function{NRegs: 3, Blocks: []*il.Block{{
+		Instrs: []il.Instr{
+			{Op: il.LoadG, Dst: 2, Sym: g},
+			{Op: il.Add, Dst: 2, A: il.RegVal(1), B: il.RegVal(2)},
+			{Op: il.Ret, A: il.RegVal(2)},
+		}, T: -1, F: -1}}})
+
+	// Second module, out of scope: calls work and stores g.
+	ext := pb.p.AddModule("ext")
+	extPID, _ := pb.p.Intern("outside", il.SymFunc)
+	s := pb.p.Sym(extPID)
+	s.Module = ext.Index
+	s.Sig = il.Signature{Ret: il.I64}
+	ext.Defs = append(ext.Defs, extPID)
+	pb.fns[extPID] = &il.Function{Name: "outside", PID: extPID, Ret: il.I64, NRegs: 2,
+		Blocks: []*il.Block{{
+			Instrs: []il.Instr{
+				{Op: il.StoreG, Sym: g, A: il.ConstVal(5)},
+				{Op: il.Call, Dst: 1, Sym: work, Args: []il.Value{il.ConstVal(3)}},
+				{Op: il.Ret, A: il.RegVal(1)},
+			}, T: -1, F: -1}}}
+	mainPID := pb.fn("main", 0, &il.Function{NRegs: 2, Blocks: []*il.Block{{
+		Instrs: []il.Instr{
+			{Op: il.Call, Dst: 1, Sym: work, Args: []il.Value{il.ConstVal(3)}},
+			{Op: il.Ret, A: il.RegVal(1)},
+		}, T: -1, F: -1}}})
+	return pb, g, work, extPID, mainPID
+}
+
+func auditErr(t *testing.T, diags []Diagnostic, check, substr string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Check == check && strings.Contains(d.Message, substr) {
+			return
+		}
+	}
+	t.Errorf("no %s diagnostic containing %q in:\n%v", check, substr, diags)
+}
+
+func TestAuditAcceptsConservativeFacts(t *testing.T) {
+	pb, g, work, _, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:            scope,
+		Stored:           map[il.PID]bool{g: true}, // ExternStored caught it
+		ExternallyCalled: map[il.PID]bool{work: true},
+	})
+	if len(diags) != 0 {
+		t.Fatalf("conservative facts rejected:\n%v", diags)
+	}
+}
+
+func TestAuditFlagsIncompleteExternStored(t *testing.T) {
+	pb, _, work, _, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:            scope,
+		Stored:           map[il.PID]bool{}, // the out-of-scope store was missed
+		ExternallyCalled: map[il.PID]bool{work: true},
+	})
+	auditErr(t, diags, "facts-stored", "ExternStored summary incomplete")
+}
+
+func TestAuditFlagsInScopeStoreMissed(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	// Everything in scope: the in-scope wording applies.
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	diags := AuditFacts(pb.p, pb.fns, Facts{Scope: scope, Stored: map[il.PID]bool{}})
+	auditErr(t, diags, "facts-stored", "in scope")
+	_ = g
+}
+
+func TestAuditFlagsUnsoundPromotion(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:    scope,
+		Stored:   map[il.PID]bool{g: true},
+		Promoted: map[il.PID]bool{g: true}, // promoted a stored global
+	})
+	auditErr(t, diags, "facts-promotion", "promoted to a constant but is stored")
+
+	diags = AuditFacts(pb.p, pb.fns, Facts{
+		Scope:    scope,
+		Stored:   map[il.PID]bool{g: true},
+		Volatile: map[il.PID]bool{g: true},
+		Promoted: map[il.PID]bool{g: true},
+	})
+	auditErr(t, diags, "facts-promotion", "volatile global")
+}
+
+func TestAuditFlagsMissedExternCaller(t *testing.T) {
+	pb, g, work, _, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:  scope,
+		Stored: map[il.PID]bool{g: true},
+		// work IS called from outside but the summary says nothing.
+	})
+	auditErr(t, diags, "facts-extern-called", "out-of-scope")
+}
+
+func TestAuditFlagsViolatedIPCP(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:  scope,
+		Stored: map[il.PID]bool{g: true},
+		// Both call sites pass 3; claiming 4 must fail.
+		IPCP: []IPCPFact{{Fn: work, Param: 0, Val: 4}},
+	})
+	auditErr(t, diags, "facts-ipcp", "pinned to 4")
+
+	// Claiming the true constant passes.
+	diags = AuditFacts(pb.p, pb.fns, Facts{
+		Scope:  scope,
+		Stored: map[il.PID]bool{g: true},
+		IPCP:   []IPCPFact{{Fn: work, Param: 0, Val: 3}},
+	})
+	if FirstError(diags) != nil {
+		t.Fatalf("true IPCP fact rejected:\n%v", diags)
+	}
+}
+
+func TestAuditSkipsDeadFunctions(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	// The storing/odd-calling outside function is dead: its store and
+	// its deviant call site must not be counted.
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:  scope,
+		Stored: map[il.PID]bool{}, // no live store remains
+		Dead:   map[il.PID]bool{extPID: true},
+		IPCP:   []IPCPFact{{Fn: work, Param: 0, Val: 3}},
+	})
+	if len(diags) != 0 {
+		t.Fatalf("dead function's effects counted:\n%v", diags)
+	}
+	_ = g
+}

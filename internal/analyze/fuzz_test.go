@@ -1,0 +1,108 @@
+package analyze
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/source"
+)
+
+// FuzzParseLowerVerify drives the whole front half of the pipeline —
+// parse, check, lower, analyze at the deepest level — on arbitrary
+// input. The invariant: whatever the input, nothing panics. Rejection
+// (parse/check/lower errors) and diagnostics are both acceptable
+// outcomes; a crash in the analyzer on frontend-produced IL is not.
+func FuzzParseLowerVerify(f *testing.F) {
+	f.Add("module m; func main() int { return 0; }")
+	f.Add(`module m;
+var g int = 7;
+func helper(x int) int {
+	var y int = x * 2;
+	if (y > g) { return y; }
+	return g - y;
+}
+func main() int {
+	var total int = 0;
+	for (var i int = 0; i < 9; i = i + 1) {
+		total = total + helper(i);
+	}
+	return total;
+}`)
+	f.Add(`module m;
+extern func missing(x int) int;
+func main() int { return missing(3); }`)
+	f.Add(`module m;
+var arr [8]int;
+func main() int {
+	arr[3] = 5;
+	return arr[3] % 2;
+}`)
+	f.Add("module m; func spin() int { for (;;) { } return 1; } func main() int { return 0; }")
+	f.Add("module m; func f() { } func main() int { f(); return 0; }")
+	f.Fuzz(func(t *testing.T, text string) {
+		file, err := source.Parse("fuzz.minc", text)
+		if err != nil {
+			return
+		}
+		if err := source.Check(file); err != nil {
+			return
+		}
+		// Loose lowering: a fragment with undefined externs is legal
+		// input for the analyzer (cmocheck -partial).
+		res, err := lower.ModulesLoose([]*source.File{file})
+		if err != nil {
+			return
+		}
+		out := Program(res.Prog, MapSource(res.Funcs), Options{Level: Interproc})
+
+		// Frontend-produced IL must always pass the structural and
+		// dataflow tiers: the frontend zero-initializes locals and
+		// terminates every path. Whole-program findings (unresolved
+		// externs in loose mode) are expected; per-function ones are
+		// frontend bugs worth knowing about.
+		for _, d := range out.Diags {
+			if d.Severity == Error && (d.Check == "structural" || d.Check == "def-before-use" || d.Check == "domtree") {
+				t.Errorf("frontend produced IL failing %s: %v", d.Check, d)
+			}
+		}
+		_ = out
+	})
+}
+
+// FuzzVerifyRoundTripDecode feeds the analyzer programs whose bodies
+// went through an encode/decode cycle, covering the NAIM tier from
+// the fuzzer too.
+func FuzzAnalyzeNeverPanicsOnTamperedIL(f *testing.F) {
+	f.Add(uint8(0), uint8(1))
+	f.Add(uint8(3), uint8(200))
+	f.Fuzz(func(t *testing.T, which, val uint8) {
+		pb := newProg()
+		callee := pb.fn("callee", 1, &il.Function{NRegs: 3, Blocks: []*il.Block{{
+			Instrs: []il.Instr{
+				{Op: il.Add, Dst: 2, A: il.RegVal(1), B: il.ConstVal(1)},
+				{Op: il.Ret, A: il.RegVal(2)},
+			}, T: -1, F: -1}}})
+		pb.fn("main", 0, &il.Function{NRegs: 2, Blocks: []*il.Block{{
+			Instrs: []il.Instr{
+				{Op: il.Call, Dst: 1, Sym: callee, Args: []il.Value{il.ConstVal(4)}},
+				{Op: il.Ret, A: il.RegVal(1)},
+			}, T: -1, F: -1}}})
+		// Tamper one field somewhere; the analyzer must diagnose, not
+		// crash, whatever comes out.
+		mainFn := pb.fns[pb.p.Lookup("main").PID]
+		in := &mainFn.Blocks[0].Instrs[int(which)%2]
+		switch which % 4 {
+		case 0:
+			in.Sym = il.PID(val) * 7 // possibly far beyond the symbol table
+		case 1:
+			in.Dst = il.Reg(val)
+			mainFn.NRegs = il.Reg(val) + 1
+		case 2:
+			in.Args = nil
+		case 3:
+			mainFn.Blocks[0].T = int32(val) - 100
+		}
+		Program(pb.p, pb.fns, Options{Level: Interproc})
+	})
+}

@@ -139,6 +139,12 @@ type Options struct {
 	// per-transform sub-spans (scan, inline, clone, ipcp, dce) then
 	// cost nothing beyond a clock read each.
 	Span obs.Span
+	// Check, when non-nil, is invoked after each named transform
+	// (scan, inline, clone, ipcp, dce) with that transform's name. A
+	// non-nil return aborts the run; Optimize wraps it so the failure
+	// names the transform that broke the invariant. The driver points
+	// this at internal/analyze when Options.Verify is enabled.
+	Check func(transform string) error
 }
 
 // Stats reports what HLO did.
@@ -172,6 +178,43 @@ type Result struct {
 	Dead []il.PID
 	// InlineOps is the ordered log of performed inlines.
 	InlineOps []InlineOp
+	// Facts publishes the whole-program summary facts this run relied
+	// on, for the driver's soundness audit (internal/analyze
+	// AuditFacts). Maps are shared with the pass, not copied.
+	Facts Facts
+}
+
+// Facts records the summary facts HLO acted on: which globals it
+// believed were never stored, which functions it believed had no
+// outside callers, and the irreversible decisions (promotions, IPCP
+// pins) it made on the strength of those beliefs. The selectivity
+// design (paper section 5) means some of these facts summarize code
+// HLO never re-reads, so the driver can audit them against a full
+// rescan.
+type Facts struct {
+	// Scope mirrors Options.Scope (nil = whole program).
+	Scope map[il.PID]bool
+	// Stored is the stored-global summary: ExternStored merged with
+	// every store the initial scan saw.
+	Stored map[il.PID]bool
+	// ExternallyCalled mirrors Options.ExternallyCalled.
+	ExternallyCalled map[il.PID]bool
+	// Volatile mirrors Options.Volatile.
+	Volatile map[il.PID]bool
+	// Promoted lists globals whose loads were replaced by constants.
+	Promoted map[il.PID]bool
+	// IPCP lists the parameters pinned to constants.
+	IPCP []IPCPFact
+	// Dead is Result.Dead as a set.
+	Dead map[il.PID]bool
+}
+
+// IPCPFact records one interprocedural constant-propagation decision:
+// parameter Param (0-based) of Fn was pinned to Val.
+type IPCPFact struct {
+	Fn    il.PID
+	Param int
+	Val   int64
 }
 
 type argState struct {
@@ -196,6 +239,8 @@ type pass struct {
 	scope     map[il.PID]bool
 	selected  map[il.PID]bool
 	siteFreqs map[profile.SiteKey]int64
+	promoted  map[il.PID]bool // globals promoted to constants
+	ipcpFacts []IPCPFact
 }
 
 // Optimize runs the full HLO pipeline over the program.
@@ -250,24 +295,64 @@ func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
 		}
 	}
 
+	// check re-verifies the program after a named transform; the
+	// wrapped error is the paper's section-6.3 dream diagnostic: it
+	// says which transform broke which invariant in which function.
+	check := func(transform string) error {
+		if opts.Check == nil {
+			return nil
+		}
+		if err := opts.Check(transform); err != nil {
+			return fmt.Errorf("hlo: verification failed after %s: %w", transform, err)
+		}
+		return nil
+	}
+
 	// Per-transform spans: the phase-level breakdown behind the
 	// paper's Figure 5/6 compile-time measurements.
 	sp := opts.Span.Child("scan")
 	p.initialScan()
 	sp.End()
+	if err := check("scan"); err != nil {
+		return nil, err
+	}
 	sp = opts.Span.Child("inline")
 	p.inlineAll()
 	sp.End()
+	if err := check("inline"); err != nil {
+		return nil, err
+	}
 	sp = opts.Span.Child("clone")
 	p.cloneAll()
 	sp.End()
+	if err := check("clone"); err != nil {
+		return nil, err
+	}
 	sp = opts.Span.Child("ipcp")
 	p.interproc()
 	sp.End()
+	if err := check("ipcp"); err != nil {
+		return nil, err
+	}
 	if entryPID != il.NoPID {
 		sp = opts.Span.Child("dce")
 		p.deadFunctions(entryPID)
 		sp.End()
+		if err := check("dce"); err != nil {
+			return nil, err
+		}
+	}
+	p.res.Facts = Facts{
+		Scope:            opts.Scope,
+		Stored:           p.stored,
+		ExternallyCalled: opts.ExternallyCalled,
+		Volatile:         opts.Volatile,
+		Promoted:         p.promoted,
+		IPCP:             p.ipcpFacts,
+		Dead:             make(map[il.PID]bool, len(p.res.Dead)),
+	}
+	for _, pid := range p.res.Dead {
+		p.res.Facts.Dead[pid] = true
 	}
 	return p.res, nil
 }
@@ -426,6 +511,7 @@ func (p *pass) interproc() {
 	if entry := p.prog.Lookup(p.opts.Entry); entry != nil {
 		entryPID = entry.PID
 	}
+	p.promoted = make(map[il.PID]bool)
 	for _, pid := range p.bottomUp() {
 		if !p.selected[pid] {
 			continue
@@ -448,6 +534,7 @@ func (p *pass) interproc() {
 					pre := []il.Instr{{Op: il.Const, Dst: il.Reg(i + 1), A: il.ConstVal(st.val[i])}}
 					entryBlock.Instrs = append(pre, entryBlock.Instrs...)
 					p.res.Stats.IPCPParams++
+					p.ipcpFacts = append(p.ipcpFacts, IPCPFact{Fn: pid, Param: i, Val: st.val[i]})
 					changed = true
 				}
 			}
@@ -463,6 +550,7 @@ func (p *pass) interproc() {
 					continue
 				}
 				sym := p.prog.Sym(in.Sym)
+				p.promoted[in.Sym] = true
 				*in = il.Instr{Op: il.Const, Dst: in.Dst, A: il.ConstVal(sym.Init)}
 				p.res.Stats.ConstGlobals++
 				changed = true

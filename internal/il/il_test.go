@@ -148,8 +148,12 @@ func TestInterpTraps(t *testing.T) {
 			Instrs: []Instr{{Op: Div, Dst: 1, A: ConstVal(1), B: ConstVal(0)}, {Op: Ret, A: RegVal(1)}}, T: -1, F: -1}}},
 		oob: {Name: "oob", PID: oob, Ret: I64, NRegs: 2, Blocks: []*Block{{
 			Instrs: []Instr{{Op: LoadX, Dst: 1, Sym: apid, A: ConstVal(5)}, {Op: Ret, A: RegVal(1)}}, T: -1, F: -1}}},
-		spin: {Name: "spin", PID: spin, Ret: I64, NRegs: 1, Blocks: []*Block{{
-			Instrs: []Instr{{Op: Jmp}}, T: 0, F: -1}}},
+		// spin mirrors what the frontend emits for an infinite loop: the
+		// trailing Ret block is unreachable but present (Verify requires
+		// at least one Ret).
+		spin: {Name: "spin", PID: spin, Ret: I64, NRegs: 1, Blocks: []*Block{
+			{Instrs: []Instr{{Op: Jmp}}, T: 0, F: -1},
+			{Instrs: []Instr{{Op: Ret, A: ConstVal(0)}}, T: -1, F: -1}}},
 		rec: {Name: "rec", PID: rec, Ret: I64, NRegs: 2, Blocks: []*Block{{
 			Instrs: []Instr{{Op: Call, Dst: 1, Sym: rec}, {Op: Ret, A: RegVal(1)}}, T: -1, F: -1}}},
 	}
@@ -318,10 +322,21 @@ func TestProbeCounting(t *testing.T) {
 	s := p.Sym(pid)
 	s.Module = m.Index
 	s.Sig = Signature{Ret: I64}
-	f := &Function{Name: "f", PID: pid, Ret: I64, NRegs: 1, Blocks: []*Block{{
-		Instrs: []Instr{
+	// Counter 2 is bumped twice by executing its probe twice (a two-trip
+	// loop); duplicate probe ids within one function are rejected by
+	// Verify, so accumulation must come from control flow.
+	f := &Function{Name: "f", PID: pid, Ret: I64, NRegs: 2, Blocks: []*Block{
+		{Instrs: []Instr{
+			{Op: Const, Dst: 1, A: ConstVal(0)},
+			{Op: Jmp},
+		}, T: 1, F: -1},
+		{Instrs: []Instr{
 			{Op: Probe, A: ConstVal(2)},
-			{Op: Probe, A: ConstVal(2)},
+			{Op: Add, Dst: 1, A: RegVal(1), B: ConstVal(1)},
+			{Op: Lt, Dst: 1, A: RegVal(1), B: ConstVal(2)},
+			{Op: Br, A: RegVal(1)},
+		}, T: 1, F: 2},
+		{Instrs: []Instr{
 			{Op: Probe, A: ConstVal(0)},
 			{Op: Ret, A: ConstVal(0)},
 		}, T: -1, F: -1}}}

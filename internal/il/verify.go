@@ -14,7 +14,12 @@ func Verify(p *Program, f *Function) error {
 	if len(f.Blocks) == 0 {
 		return errf("no blocks")
 	}
-	if f.NParams < 0 || Reg(f.NParams)+1 > f.NRegs && f.NParams > 0 {
+	// Parameters arrive in registers 1..NParams, so a function with
+	// parameters needs NRegs > NParams. The explicit parentheses
+	// matter: && binds tighter than ||, and without them a future
+	// reordering of the clauses would silently change which condition
+	// gates the range check.
+	if f.NParams < 0 || (f.NParams > 0 && Reg(f.NParams)+1 > f.NRegs) {
 		return errf("NRegs=%d too small for %d params", f.NRegs, f.NParams)
 	}
 	checkVal := func(bi, ii int, v Value, what string) error {
@@ -39,6 +44,8 @@ func Verify(p *Program, f *Function) error {
 		}
 		return nil
 	}
+	sawRet := false
+	var probeIDs map[int64]int // lazily allocated: most functions carry no probes
 	for bi, b := range f.Blocks {
 		if len(b.Instrs) == 0 {
 			return errf("b%d: empty block", bi)
@@ -123,7 +130,19 @@ func Verify(p *Program, f *Function) error {
 				if !in.A.IsConst || in.A.Const < 0 {
 					return errf("b%d/%d: probe with bad counter id", bi, ii)
 				}
+				// Probe counters are program-unique (profile.Instrument
+				// allocates them globally); two probes bumping the same
+				// counter in one function would double-count and skew
+				// every profile-guided decision downstream.
+				if prev, dup := probeIDs[in.A.Const]; dup {
+					return errf("b%d/%d: duplicate probe counter id %d (first in b%d)", bi, ii, in.A.Const, prev)
+				}
+				if probeIDs == nil {
+					probeIDs = make(map[int64]int)
+				}
+				probeIDs[in.A.Const] = bi
 			case Ret:
+				sawRet = true
 				if f.Ret == Void && !in.A.IsNone() {
 					return errf("b%d: void function returns a value", bi)
 				}
@@ -153,6 +172,16 @@ func Verify(p *Program, f *Function) error {
 				return errf("b%d/%d: unknown op %d", bi, ii, in.Op)
 			}
 		}
+	}
+	// Every block ends in a terminator (checked above), so control can
+	// never fall off the end of a block — but a function whose blocks
+	// are all Jmp/Br can still never return. The frontend always emits
+	// a Ret (even for void functions and infinite loops, whose trailing
+	// Ret block survives until branch folding proves it unreachable),
+	// so a Ret-free function reaching the verifier means a transform
+	// deleted the exit path.
+	if !sawRet {
+		return errf("no ret: control cannot leave the function")
 	}
 	return nil
 }

@@ -1,0 +1,104 @@
+package il
+
+import (
+	"strings"
+	"testing"
+)
+
+// verifyProg builds a minimal program for Verify tests.
+func verifyProg(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram()
+	p.AddModule("m")
+	return p
+}
+
+func fnWith(nparams int, nregs Reg, blocks []*Block) *Function {
+	return &Function{Name: "f", NParams: nparams, Ret: I64, NRegs: nregs, Blocks: blocks}
+}
+
+func oneRet() []*Block {
+	return []*Block{{Instrs: []Instr{{Op: Ret, A: ConstVal(0)}}, T: -1, F: -1}}
+}
+
+// TestVerifyNParamsBoundaries pins the operator-precedence fix: the
+// range check applies only when the function actually has parameters,
+// and negative counts are rejected outright.
+func TestVerifyNParamsBoundaries(t *testing.T) {
+	p := verifyProg(t)
+	cases := []struct {
+		name    string
+		nparams int
+		nregs   Reg
+		ok      bool
+	}{
+		{"negative params", -1, 4, false},
+		{"zero params zero extra regs", 0, 1, true},
+		// One param lives in r1, so NRegs must be at least 2.
+		{"one param exact regs", 1, 2, true},
+		{"one param too few regs", 1, 1, false},
+		{"three params exact", 3, 4, true},
+		{"three params one short", 3, 3, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := oneRet()
+			if tc.nparams > 0 {
+				// Return a param so the body is plausible.
+				body[0].Instrs[0].A = RegVal(1)
+			}
+			err := Verify(p, fnWith(tc.nparams, tc.nregs, body))
+			if tc.ok && err != nil {
+				t.Errorf("Verify rejected: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Error("Verify accepted")
+				} else if !strings.Contains(err.Error(), "params") {
+					t.Errorf("wrong error: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsDuplicateProbeIDs(t *testing.T) {
+	p := verifyProg(t)
+	f := fnWith(0, 1, []*Block{
+		{Instrs: []Instr{{Op: Probe, A: ConstVal(3)}, {Op: Jmp}}, T: 1, F: -1},
+		{Instrs: []Instr{{Op: Probe, A: ConstVal(3)}, {Op: Ret, A: ConstVal(0)}}, T: -1, F: -1},
+	})
+	err := Verify(p, f)
+	if err == nil || !strings.Contains(err.Error(), "duplicate probe counter id 3") {
+		t.Fatalf("want duplicate-probe error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "first in b0") {
+		t.Errorf("error should locate the first occurrence: %v", err)
+	}
+	// Distinct ids across blocks are fine.
+	f.Blocks[1].Instrs[0].A = ConstVal(4)
+	if err := Verify(p, f); err != nil {
+		t.Errorf("distinct probe ids rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsRetFreeFunctions(t *testing.T) {
+	p := verifyProg(t)
+	// Two blocks jumping at each other: every block is terminated, but
+	// control can never leave — the shape a transform that deleted the
+	// exit path leaves behind.
+	f := fnWith(0, 1, []*Block{
+		{Instrs: []Instr{{Op: Jmp}}, T: 1, F: -1},
+		{Instrs: []Instr{{Op: Jmp}}, T: 0, F: -1},
+	})
+	err := Verify(p, f)
+	if err == nil || !strings.Contains(err.Error(), "no ret") {
+		t.Fatalf("want no-ret error, got %v", err)
+	}
+	// An unreachable Ret block (the frontend's infinite-loop shape)
+	// satisfies the check.
+	f.Blocks = append(f.Blocks, oneRet()...)
+	if err := Verify(p, f); err != nil {
+		t.Errorf("unreachable trailing ret rejected: %v", err)
+	}
+}

@@ -114,6 +114,14 @@ func Link(prog *il.Program, code map[il.PID]*vpa.Func, opts Options) (*vpa.Image
 			case vpa.CALL:
 				idx, ok := funcIdx[il.PID(in.Sym)]
 				if !ok {
+					callee := il.PID(in.Sym)
+					if opts.Omit[callee] && int(callee) < len(prog.Syms) {
+						// The most diagnosable form of this failure:
+						// whole-program DCE removed a function that is
+						// still called. Name it.
+						return nil, fmt.Errorf("link: %s: call to %s, which dead-code elimination omitted from the image (unsound DCE)",
+							f.Name, prog.Syms[callee].Name)
+					}
 					return nil, fmt.Errorf("link: %s: call to unknown PID %d", f.Name, in.Sym)
 				}
 				in.Sym = idx

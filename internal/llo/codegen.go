@@ -21,6 +21,13 @@ type Options struct {
 	// driver's "llo" phase span); each routine gets a "codegen"
 	// sub-span carrying its name. Zero Span = tracing off.
 	Span obs.Span
+	// Verify, when non-nil, is run on the optimized working copy just
+	// before instruction emission — the last point where the routine
+	// is still IL. A non-nil return aborts compilation of the routine.
+	// The driver points this at internal/analyze when Options.Verify
+	// is enabled, so a local-transform bug is caught before it is
+	// buried in machine code.
+	Verify func(*il.Function) error
 }
 
 // Compile translates one IL function into VPA machine code. The input
@@ -54,6 +61,11 @@ func Compile(prog *il.Program, f *il.Function, opts Options) (*vpa.Func, error) 
 func compileO2(f *il.Function, opts Options) (*vpa.Func, error) {
 	w := f.Clone()
 	xform.Optimize(w)
+	if opts.Verify != nil {
+		if err := opts.Verify(w); err != nil {
+			return nil, fmt.Errorf("llo: verification failed after local optimization of %s: %w", w.Name, err)
+		}
+	}
 	c := ir.BuildCFG(w)
 	// Register allocation linearizes over RPO: any consistent
 	// linearization is sound (intervals are extended by block

@@ -222,6 +222,36 @@ func DecodeFunc(prog *il.Program, blob []byte) (*il.Function, error) {
 	return f, nil
 }
 
+// VerifyRoundTrip checks that a body survives compaction unchanged:
+// expanded → relocatable → expanded must reproduce the IR exactly
+// (compared via the printed form, the same byte-for-byte discipline
+// the codec tests use), and re-encoding the decoded body must produce
+// the identical relocatable bytes (the codec is deterministic). A
+// failure means generated code could depend on cache pressure — the
+// loader-level bug class that is nearly impossible to isolate from
+// downstream miscompiles.
+func VerifyRoundTrip(prog *il.Program, f *il.Function) error {
+	blob := EncodeFunc(f, nil)
+	back, err := DecodeFunc(prog, blob)
+	if err != nil {
+		return fmt.Errorf("naim: round-trip decode of %s: %w", f.Name, err)
+	}
+	want, got := f.Print(prog), back.Print(prog)
+	if want != got {
+		return fmt.Errorf("naim: round-trip of %s changed the IR:\n-- original --\n%s-- decoded --\n%s", f.Name, want, got)
+	}
+	blob2 := EncodeFunc(back, nil)
+	if len(blob) != len(blob2) {
+		return fmt.Errorf("naim: re-encoding %s produced %d bytes, first encoding %d", f.Name, len(blob2), len(blob))
+	}
+	for i := range blob {
+		if blob[i] != blob2[i] {
+			return fmt.Errorf("naim: re-encoding %s diverges at byte %d", f.Name, i)
+		}
+	}
+	return nil
+}
+
 // EncodeModule compacts a module symbol table.
 func EncodeModule(m *il.Module) []byte {
 	b := make([]byte, 0, 16+4*(len(m.Defs)+len(m.Externs)))

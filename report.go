@@ -114,6 +114,13 @@ func (b *Build) TimingReport() string {
 	if other := s.TotalNanos - accounted; other > 0 {
 		fmt.Fprintf(&sb, "  %-9s %9.2f ms  %5.1f%%\n", "(other)", ms(other), pct(other))
 	}
+	// Verification nests inside the phases above (per-transform checks
+	// run under hlo, the frontend/link checks under build), so it is
+	// reported as an informational line, not a phase of its own.
+	if s.VerifyNanos > 0 {
+		fmt.Fprintf(&sb, "verify: %.2f ms across whole-program passes, %d diagnostics\n",
+			ms(s.VerifyNanos), s.VerifyDiags)
+	}
 	fmt.Fprintf(&sb, "naim: compact %.2f ms, disk %.2f ms — %d compactions (%d evictions), %d expansions, %d disk writes, %d disk reads\n",
 		ms(s.NAIM.CompactNanos), ms(s.NAIM.DiskNanos),
 		s.NAIM.Compactions, s.NAIM.Evictions, s.NAIM.Expansions, s.NAIM.DiskWrites, s.NAIM.DiskReads)

@@ -1,0 +1,106 @@
+package cmo
+
+import (
+	"fmt"
+
+	"cmo/internal/analyze"
+	"cmo/internal/hlo"
+	"cmo/internal/il"
+	"cmo/internal/naim"
+	"cmo/internal/obs"
+)
+
+// Verification levels, re-exported from internal/analyze for callers
+// of the facade. Levels are cumulative.
+const (
+	// VerifyOff disables pipeline verification (the default).
+	VerifyOff = analyze.Off
+	// VerifyStructural re-runs il.Verify on every body at each
+	// pipeline stage.
+	VerifyStructural = analyze.Structural
+	// VerifyDataflow adds per-function CFG/dominance/liveness checks
+	// (definite assignment, unreachable blocks, dead stores).
+	VerifyDataflow = analyze.Dataflow
+	// VerifyInterproc adds whole-program consistency checks, the NAIM
+	// round-trip check, and the HLO facts soundness audit.
+	VerifyInterproc = analyze.Interproc
+)
+
+// testHLOTamper, when non-nil, is invoked before each in-HLO
+// verification pass with the name of the transform that just ran.
+// It exists so tests can corrupt the program mid-pipeline and prove
+// the verifier attributes the breakage to the right transform; it is
+// never set outside tests.
+var testHLOTamper func(transform string, prog *il.Program, loader *naim.Loader)
+
+// runVerify executes one whole-program analysis pass over the loader
+// and folds its cost and findings into the build stats. The returned
+// error (nil when no error-severity diagnostics were found) carries
+// the first diagnostic verbatim.
+func (b *Build) runVerify(loader *naim.Loader, level analyze.Level, omit map[il.PID]bool, parent obs.Span, stage string) error {
+	sp := parent.ChildDetail("verify", stage)
+	res := analyze.Program(b.Prog, loader, analyze.Options{Level: level, Omit: omit, Span: sp})
+	b.Stats.VerifyNanos += sp.End()
+	b.Stats.VerifyDiags += len(res.Diags)
+	return res.Err()
+}
+
+// verifyStage is the between-phases verification hook: a no-op when
+// verification is off, otherwise a full analysis pass whose failure
+// names the pipeline stage it ran after.
+func (b *Build) verifyStage(loader *naim.Loader, opt Options, stage string, omit map[il.PID]bool, parent obs.Span) error {
+	if opt.Verify == analyze.Off {
+		return nil
+	}
+	if err := b.runVerify(loader, opt.Verify, omit, parent, stage); err != nil {
+		return fmt.Errorf("cmo: verification failed after %s: %w", stage, err)
+	}
+	return nil
+}
+
+// hloCheck builds the per-transform hook hlo.Optimize calls after each
+// named transform. The raw analyze error is returned unwrapped — HLO
+// wraps it with the transform name, which is the attribution the
+// paper's section-6.3 methodology wants.
+func (b *Build) hloCheck(loader *naim.Loader, opt Options, hsp obs.Span) func(string) error {
+	return func(transform string) error {
+		if testHLOTamper != nil {
+			testHLOTamper(transform, b.Prog, loader)
+		}
+		return b.runVerify(loader, opt.Verify, nil, hsp, transform)
+	}
+}
+
+// auditHLOFacts re-derives the whole-program facts HLO acted on and
+// checks the published summary was conservative (see
+// analyze.AuditFacts). Runs only at VerifyInterproc: it is a full
+// rescan of every routine, selected or not.
+func (b *Build) auditHLOFacts(loader *naim.Loader, facts hlo.Facts, hsp obs.Span) error {
+	asp := hsp.ChildDetail("verify", "facts-audit")
+	diags := analyze.AuditFacts(b.Prog, loader, convertFacts(facts))
+	b.Stats.VerifyNanos += asp.End()
+	b.Stats.VerifyDiags += len(diags)
+	if err := analyze.FirstError(diags); err != nil {
+		return fmt.Errorf("cmo: HLO facts audit: %w", err)
+	}
+	return nil
+}
+
+// convertFacts maps hlo's published facts onto analyze's input type.
+// The two structs are deliberately distinct: analyze must not depend
+// on the optimizer it audits.
+func convertFacts(f hlo.Facts) analyze.Facts {
+	ipcp := make([]analyze.IPCPFact, len(f.IPCP))
+	for i, x := range f.IPCP {
+		ipcp[i] = analyze.IPCPFact{Fn: x.Fn, Param: x.Param, Val: x.Val}
+	}
+	return analyze.Facts{
+		Scope:            f.Scope,
+		Stored:           f.Stored,
+		ExternallyCalled: f.ExternallyCalled,
+		Volatile:         f.Volatile,
+		Promoted:         f.Promoted,
+		IPCP:             ipcp,
+		Dead:             f.Dead,
+	}
+}

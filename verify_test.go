@@ -1,0 +1,259 @@
+package cmo
+
+import (
+	"strings"
+	"testing"
+
+	"cmo/internal/analyze"
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/naim"
+	"cmo/internal/obs"
+	"cmo/internal/source"
+)
+
+// TestVerifyLevelsPassOnCleanBuilds: a healthy pipeline must verify
+// clean at every level, at every optimization level, and produce the
+// same answer as an unverified build.
+func TestVerifyLevelsPassOnCleanBuilds(t *testing.T) {
+	spec := testSpec(31)
+	mods := sources(spec)
+	db, err := Train(mods, []map[string]int64{trainInputs(spec)}, Options{})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	_, ref := buildAndRun(t, mods, spec, Options{Level: O2})
+
+	for _, level := range []analyze.Level{VerifyStructural, VerifyDataflow, VerifyInterproc} {
+		for _, opt := range []Options{
+			{Level: O2, Verify: level},
+			{Level: O3, Verify: level},
+			{Level: O4, SelectPercent: -1, Verify: level},
+			{Level: O4, PBO: true, DB: db, SelectPercent: 100, Verify: level},
+		} {
+			b, rr := buildAndRun(t, mods, spec, opt)
+			if rr.Value != ref.Value {
+				t.Errorf("%v verify=%v: result %d != %d", opt.Level, level, rr.Value, ref.Value)
+			}
+			if b.Stats.VerifyNanos <= 0 {
+				t.Errorf("%v verify=%v: VerifyNanos not recorded", opt.Level, level)
+			}
+		}
+	}
+}
+
+// TestVerifyCatchesBrokenHLOTransform is the acceptance criterion for
+// the verification tentpole: a deliberately broken HLO transform must
+// be caught immediately, with an error naming both the transform and
+// the damaged function.
+func TestVerifyCatchesBrokenHLOTransform(t *testing.T) {
+	spec := testSpec(32)
+	mods := sources(spec)
+
+	// Corrupt one function right after the inliner runs: redirect a
+	// use to a register that no path defines. Structural checks can't
+	// see it (the register is within NRegs); the dataflow tier must.
+	var victim string
+	testHLOTamper = func(transform string, prog *il.Program, loader *naim.Loader) {
+		if transform != "inline" || victim != "" {
+			return
+		}
+		for _, pid := range prog.FuncPIDs() {
+			f := loader.Function(pid)
+			if f == nil {
+				continue
+			}
+			tampered := false
+			for _, b := range f.Blocks {
+				for ii := range b.Instrs {
+					in := &b.Instrs[ii]
+					if in.Op == il.Add && !in.A.IsConst {
+						f.NRegs++
+						in.A = il.RegVal(f.NRegs - 1)
+						victim = f.Name
+						tampered = true
+					}
+					if tampered {
+						break
+					}
+				}
+				if tampered {
+					break
+				}
+			}
+			loader.DoneWith(pid)
+			if tampered {
+				return
+			}
+		}
+	}
+	defer func() { testHLOTamper = nil }()
+
+	opt := Options{Level: O4, SelectPercent: -1, Verify: VerifyDataflow}
+	_, err := BuildSource(mods, opt)
+	if err == nil {
+		t.Fatal("build with tampered inliner output succeeded")
+	}
+	if victim == "" {
+		t.Fatal("tamper hook never found an Add to corrupt")
+	}
+	msg := err.Error()
+	for _, want := range []string{"inline", victim, "def-before-use"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error does not name %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestVerifyCatchesStructuralTamper: the structural tier alone must
+// catch IL that il.Verify rejects, attributed to the transform that
+// produced it.
+func TestVerifyCatchesStructuralTamper(t *testing.T) {
+	spec := testSpec(33)
+	mods := sources(spec)
+
+	tampered := false
+	testHLOTamper = func(transform string, prog *il.Program, loader *naim.Loader) {
+		if transform != "ipcp" || tampered {
+			return
+		}
+		for _, pid := range prog.FuncPIDs() {
+			f := loader.Function(pid)
+			if f == nil {
+				continue
+			}
+			last := f.Blocks[len(f.Blocks)-1]
+			// Chop off the terminator: a classic rewrite bug.
+			if len(last.Instrs) > 1 {
+				last.Instrs = last.Instrs[:len(last.Instrs)-1]
+				tampered = true
+			}
+			loader.DoneWith(pid)
+			if tampered {
+				return
+			}
+		}
+	}
+	defer func() { testHLOTamper = nil }()
+
+	_, err := BuildSource(mods, Options{Level: O4, SelectPercent: -1, Verify: VerifyStructural})
+	if !tampered {
+		t.Skip("tamper point not reachable in this workload")
+	}
+	if err == nil {
+		t.Fatal("build with truncated block succeeded")
+	}
+	if !strings.Contains(err.Error(), "ipcp") || !strings.Contains(err.Error(), "structural") {
+		t.Errorf("error does not attribute the structural break to ipcp:\n%v", err)
+	}
+}
+
+// TestFactsAuditAcrossSelectivity runs the section-5 soundness audit
+// over real selective builds: at 0%, 20%, and 100% selectivity the
+// published HLO facts must be conservative over a full rescan.
+func TestFactsAuditAcrossSelectivity(t *testing.T) {
+	spec := testSpec(34)
+	mods := sources(spec)
+	db, err := Train(mods, []map[string]int64{trainInputs(spec)}, Options{})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	_, ref := buildAndRun(t, mods, spec, Options{Level: O2})
+	for _, pct := range []float64{0, 20, 100} {
+		opt := Options{Level: O4, PBO: true, DB: db, SelectPercent: pct, Verify: VerifyInterproc}
+		b, rr := buildAndRun(t, mods, spec, opt)
+		if rr.Value != ref.Value {
+			t.Errorf("select %.0f%%: result %d != %d", pct, rr.Value, ref.Value)
+		}
+		if pct > 0 && b.Stats.CMOFunctions == 0 {
+			t.Errorf("select %.0f%%: nothing selected; audit vacuous", pct)
+		}
+	}
+}
+
+// TestVerifyCatchesUnsoundDCE: omitting a live function must be
+// caught by the post-link interprocedural check (or by the linker's
+// relocation, whichever sees it first) with the function named.
+func TestVerifyCatchesUnsoundDCE(t *testing.T) {
+	mods := []SourceModule{
+		{Name: "a.minc", Text: "module a;\nextern func helper(x int) int;\nfunc main() int { return helper(4); }\n"},
+		{Name: "b.minc", Text: "module b;\nfunc helper(x int) int { return x * 3; }\n"},
+	}
+	// An HLO tamper can't fake unsound DCE easily, so go through the
+	// analyzer directly: frontend IL plus a fabricated omit set.
+	prog, fns := lowerForTest(t, mods)
+	helper := prog.Lookup("helper")
+	if helper == nil {
+		t.Fatal("no helper symbol")
+	}
+	res := analyze.Program(prog, analyze.MapSource(fns), analyze.Options{
+		Level: analyze.Interproc,
+		Omit:  map[il.PID]bool{helper.PID: true},
+	})
+	if res.Errors() == 0 {
+		t.Fatal("analyzer accepted a call into the omitted set")
+	}
+	found := false
+	for _, d := range res.Diags {
+		if d.Check == "dangling-pid" && strings.Contains(d.Message, "helper") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no dangling-pid diagnostic naming helper:\n%v", res.Diags)
+	}
+}
+
+// lowerForTest runs just the frontend, returning the program and raw
+// IL bodies for tests that feed the analyzer directly.
+func lowerForTest(t *testing.T, mods []SourceModule) (*il.Program, map[il.PID]*il.Function) {
+	t.Helper()
+	files := make([]*source.File, len(mods))
+	for i, m := range mods {
+		f, err := source.Parse(m.Name, m.Text)
+		if err == nil {
+			err = source.Check(f)
+		}
+		if err != nil {
+			t.Fatalf("frontend %s: %v", m.Name, err)
+		}
+		files[i] = f
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return res.Prog, res.Funcs
+}
+
+// TestVerifyOffZeroAlloc pins the contract documented on
+// Options.Verify: a disabled verifier adds zero allocations to the
+// per-stage hook.
+func TestVerifyOffZeroAlloc(t *testing.T) {
+	b := &Build{Prog: il.NewProgram()}
+	opt := Options{}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := b.verifyStage(nil, opt, "frontend", nil, obs.Span{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("verifyStage with Verify=off allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// BenchmarkBuildVerify measures what each verification level costs on
+// a full O4 build — the number the obs spans break down per stage.
+func BenchmarkBuildVerify(b *testing.B) {
+	spec := testSpec(35)
+	mods := sources(spec)
+	for _, level := range []analyze.Level{VerifyOff, VerifyStructural, VerifyInterproc} {
+		b.Run(level.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := BuildSource(mods, Options{Level: O4, SelectPercent: -1, Verify: level}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
