@@ -7,6 +7,7 @@
 package cmo_test
 
 import (
+	"fmt"
 	"testing"
 
 	cmo "cmo"
@@ -281,6 +282,48 @@ func BenchmarkBuildO4(b *testing.B) {
 		if _, err := cmo.BuildSource(mods, opt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildJobs measures end-to-end pipeline speedup from
+// Options.Jobs on a many-module workload: the tentpole number for the
+// parallel NAIM loader. The images are checked byte-identical across
+// job counts once, outside the timed region.
+func BenchmarkBuildJobs(b *testing.B) {
+	spec := workload.Spec{
+		Name: "bench", Seed: 4242,
+		Modules: 24, HotPerModule: 3, ColdPerModule: 10, ColdStmts: 16,
+	}
+	var mods []cmo.SourceModule
+	for _, m := range spec.Generate() {
+		mods = append(mods, cmo.SourceModule{Name: m.Name + ".minc", Text: m.Text})
+	}
+	opt := cmo.Options{Level: cmo.O4, SelectPercent: -1, Volatile: workload.InputGlobals()}
+
+	ref, err := cmo.BuildSource(mods, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refDis := ref.Image.Disasm()
+
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", jobs), func(b *testing.B) {
+			o := opt
+			o.Jobs = jobs
+			built, err := cmo.BuildSource(mods, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if built.Image.Disasm() != refDis {
+				b.Fatalf("jobs=%d image differs from sequential build", jobs)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cmo.BuildSource(mods, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

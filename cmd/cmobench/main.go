@@ -3,13 +3,18 @@
 // time/space dial), Figure 6 (the selectivity sweep), the section-8
 // memory-per-line history, and the design-decision ablations.
 //
-//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|all] [-o report.txt]
-//	         [-metrics metrics.json] [-v]
+//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|all] [-o report.txt]
+//	         [-metrics metrics.json] [-json BENCH_parallel.json] [-v]
 //
 // -metrics aggregates spans and counters across every build the
 // selected experiments run and writes them as machine-readable JSON
 // (obs.WriteMetrics), so benchmark records can carry per-phase
 // timings alongside the rendered figures.
+//
+// -json runs the parallel-pipeline sweep (Options.Jobs over 1/2/4/8)
+// and writes its speedup record to the given file (conventionally
+// BENCH_parallel.json), so the parallelism trajectory is tracked
+// commit over commit.
 package main
 
 import (
@@ -25,9 +30,10 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (module-count multiplier)")
-	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, all")
+	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, all")
 	out := flag.String("o", "", "write the report to a file as well as stdout")
 	metrics := flag.String("metrics", "", "write an aggregated metrics JSON snapshot (spans + counters) to this file")
+	benchJSON := flag.String("json", "", "run the Jobs sweep and write its speedup record (BENCH_parallel.json) to this file")
 	verbose := flag.Bool("v", false, "stream per-step progress to stderr")
 	flag.Parse()
 
@@ -81,6 +87,28 @@ func main() {
 			fatalf("history: %v", err)
 		}
 		emit(experiments.RenderHistory(rows))
+	}
+	if want("parallel") || *benchJSON != "" {
+		rec, err := experiments.Parallel(cfg)
+		if err != nil {
+			fatalf("parallel: %v", err)
+		}
+		if want("parallel") {
+			emit(experiments.RenderParallel(rec))
+		}
+		if *benchJSON != "" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := experiments.WriteParallelJSON(f, rec); err != nil {
+				f.Close()
+				fatalf("writing %s: %v", *benchJSON, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("writing %s: %v", *benchJSON, err)
+			}
+		}
 	}
 	if want("ablation") {
 		rs, err := experiments.Ablations(cfg)

@@ -26,6 +26,9 @@ package cmo
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cmo/internal/analyze"
 	"cmo/internal/hlo"
@@ -117,13 +120,17 @@ type Options struct {
 	// unlimited); with deterministic builds, binary search over this
 	// limit isolates a miscompiling inline (internal/isolate).
 	MaxInlines int
-	// Jobs parallelizes the embarrassingly parallel phases (frontend
-	// parsing/checking and per-routine code generation) across
-	// goroutines — a slice of the paper's section-8 future work on
-	// parallelizing the optimizer. 0 or 1 means sequential. Generated
-	// code is byte-identical regardless of Jobs; only wall time
-	// changes (HLO itself stays sequential: its transformation order
-	// is part of the deterministic contract).
+	// Jobs parallelizes the read-mostly pipeline phases across
+	// goroutines: frontend parsing/checking, selectivity's site
+	// enumeration, out-of-scope fact summaries, per-function
+	// verification, and per-routine code generation — the paper's
+	// section-8 future work on parallelizing the optimizer. Workers
+	// share the concurrency-safe NAIM loader directly. 0 or 1 means
+	// sequential. Generated code and diagnostics are byte-identical
+	// regardless of Jobs; only wall time and the scheduling-dependent
+	// loader counters (cache hits/misses, lock wait, writeback queue)
+	// change. HLO itself stays sequential: its transformation order is
+	// part of the deterministic contract.
 	Jobs int
 	// Verify selects pipeline verification (internal/analyze): at
 	// VerifyStructural and above the whole program is re-checked
@@ -492,6 +499,10 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, parent 
 		return nil, err
 	}
 	b.Stats.LinkNanos = ksp.End()
+	// Let queued repository spills land before the final stats
+	// snapshot so disk-write figures reflect the repository, not the
+	// writeback queue.
+	loader.Flush()
 	// Post-link consistency: the surviving IL, with the dead set
 	// omitted, must still verify — in particular no surviving routine
 	// may reference one that dead-code elimination removed.
@@ -545,16 +556,16 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 		}
 		hopts.Scope = scope
 		hopts.Selected = scope
-		extCalled, extStored := b.summarizeOutOfScope(loader, scope)
+		extCalled, extStored := b.summarizeOutOfScope(loader, scope, opt.Jobs)
 		hopts.ExternallyCalled = extCalled
 		hopts.ExternStored = extStored
 	case opt.SelectPercent >= 0 && opt.DB != nil:
 		ssp := hsp.Child("select")
-		ch := selectivity.Select(prog, func(pid il.PID) *il.Function {
+		ch := selectivity.SelectJobs(prog, func(pid il.PID) *il.Function {
 			f := loader.Function(pid)
 			loader.DoneWith(pid)
 			return f
-		}, opt.DB, opt.SelectPercent)
+		}, opt.DB, opt.SelectPercent, opt.Jobs)
 		ssp.End()
 		b.Stats.TotalSites = ch.TotalSites
 		b.Stats.SelectedSites = len(ch.Sites)
@@ -570,7 +581,7 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 		}
 		hopts.Scope = scope
 		hopts.Selected = ch.Funcs
-		extCalled, extStored := b.summarizeOutOfScope(loader, scope)
+		extCalled, extStored := b.summarizeOutOfScope(loader, scope, opt.Jobs)
 		hopts.ExternallyCalled = extCalled
 		hopts.ExternStored = extStored
 	default:
@@ -601,74 +612,79 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]boo
 	return nil
 }
 
-// compileParallel is the Jobs > 1 code-generation path. The loader is
-// touched only from this goroutine (it is not safe for concurrent
-// use); workers receive a body reference and treat it as read-only
-// (llo.Compile clones before transforming). In-flight work is bounded
-// by the worker count so NAIM's expanded-pool accounting stays
-// meaningful, and each body's DoneWith fires only after its compile
-// completes.
+// compileParallel is the Jobs > 1 code-generation path. Workers pull
+// PIDs from a shared cursor and call loader.Function themselves — the
+// sharded loader is safe for concurrent use, so there is no feeder
+// funnel and a slow routine never stalls checkout of the next one.
+// Bodies are treated as read-only (llo.Compile clones before
+// transforming) and each body's pin is dropped as soon as its compile
+// completes, so NAIM's pinned set stays bounded by the worker count.
+// Once any worker records an error, the cursor stops handing out new
+// PIDs and every already-pinned body is still released — a failing
+// build leaves no pinned handles behind.
 func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
 	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool),
 	verify func(*il.Function) error, jobs int, lsp obs.Span) error {
 	prog := b.Prog
-	type task struct {
-		pid   il.PID
-		f     *il.Function
-		level int
-		pbo   bool
+	pids := make([]il.PID, 0, len(prog.FuncPIDs()))
+	for _, pid := range prog.FuncPIDs() {
+		if !omit[pid] {
+			pids = append(pids, pid)
+		}
 	}
-	type done struct {
-		pid il.PID
-		n   int // instruction count, for the LLO size model
-		mf  *vpa.Func
-		err error
+	var (
+		mu       sync.Mutex // guards code, firstErr, b.Stats (classify tiers, LLO peak)
+		firstErr error
+		stop     atomic.Bool
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
 	}
-	work := make(chan task)
-	results := make(chan done, jobs)
 	for w := 0; w < jobs; w++ {
+		wg.Add(1)
 		go func() {
-			for t := range work {
-				mf, err := llo.Compile(prog, t.f, llo.Options{Level: t.level, PBO: t.pbo, Span: lsp, Verify: verify})
-				results <- done{pid: t.pid, n: t.f.NumInstrs(), mf: mf, err: err}
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(pids) {
+					return
+				}
+				pid := pids[i]
+				f := loader.Function(pid)
+				if f == nil {
+					fail(fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name))
+					return
+				}
+				mu.Lock()
+				level, pbo := classify(pid, f)
+				mu.Unlock()
+				mf, err := llo.Compile(prog, f, llo.Options{Level: level, PBO: pbo, Span: lsp, Verify: verify})
+				if err != nil {
+					loader.DoneWith(pid)
+					fail(err)
+					return
+				}
+				mu.Lock()
+				code[pid] = mf
+				if lb := lloBytes(f.NumInstrs()); lb > b.Stats.LLOPeakBytes {
+					b.Stats.LLOPeakBytes = lb
+				}
+				mu.Unlock()
+				loader.DoneWith(pid)
 			}
 		}()
 	}
-	var firstErr error
-	inflight := 0
-	handle := func(d done) {
-		inflight--
-		if d.err != nil && firstErr == nil {
-			firstErr = d.err
-		}
-		if d.err == nil {
-			code[d.pid] = d.mf
-			if lb := lloBytes(d.n); lb > b.Stats.LLOPeakBytes {
-				b.Stats.LLOPeakBytes = lb
-			}
-		}
-		loader.DoneWith(d.pid)
-	}
-	for _, pid := range prog.FuncPIDs() {
-		if omit[pid] || firstErr != nil {
-			continue
-		}
-		f := loader.Function(pid)
-		if f == nil {
-			firstErr = fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name)
-			continue
-		}
-		level, pbo := classify(pid, f)
-		for inflight >= jobs {
-			handle(<-results)
-		}
-		work <- task{pid: pid, f: f, level: level, pbo: pbo}
-		inflight++
-	}
-	close(work)
-	for inflight > 0 {
-		handle(<-results)
-	}
+	wg.Wait()
 	return firstErr
 }
 
@@ -691,7 +707,7 @@ func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[i
 		if len(scope) == 0 {
 			continue
 		}
-		extCalled, extStored := b.summarizeOutOfScope(loader, scope)
+		extCalled, extStored := b.summarizeOutOfScope(loader, scope, opt.Jobs)
 		msp := hsp.ChildDetail("hlo module", prog.Modules[mi].Name)
 		mopts := hlo.Options{
 			DB:               opt.DB,
@@ -743,33 +759,78 @@ func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[i
 
 // summarizeOutOfScope scans the modules that bypass HLO and
 // summarizes the facts the optimizer must stay conservative about:
-// in-scope functions they call and globals they store.
-func (b *Build) summarizeOutOfScope(loader *naim.Loader, scope map[il.PID]bool) (extCalled, extStored map[il.PID]bool) {
+// in-scope functions they call and globals they store. The scan is
+// read-only and embarrassingly parallel: with jobs > 1 it fans out
+// over the out-of-scope PIDs, each worker accumulating private sets
+// that are merged afterwards (set union is order-independent, so the
+// result is identical at any job count).
+func (b *Build) summarizeOutOfScope(loader *naim.Loader, scope map[il.PID]bool, jobs int) (extCalled, extStored map[il.PID]bool) {
 	prog := b.Prog
-	extCalled = make(map[il.PID]bool)
-	extStored = make(map[il.PID]bool)
+	var pids []il.PID
 	for _, pid := range prog.FuncPIDs() {
-		if scope[pid] {
-			continue
+		if !scope[pid] {
+			pids = append(pids, pid)
 		}
-		f := loader.Function(pid)
-		if f == nil {
-			continue
-		}
+	}
+	scanOne := func(f *il.Function, called, stored map[il.PID]bool) {
 		for _, blk := range f.Blocks {
 			for ii := range blk.Instrs {
 				in := &blk.Instrs[ii]
 				switch in.Op {
 				case il.Call:
 					if scope[in.Sym] {
-						extCalled[in.Sym] = true
+						called[in.Sym] = true
 					}
 				case il.StoreG, il.StoreX:
-					extStored[in.Sym] = true
+					stored[in.Sym] = true
 				}
 			}
 		}
-		loader.DoneWith(pid)
+	}
+	extCalled = make(map[il.PID]bool)
+	extStored = make(map[il.PID]bool)
+	if jobs > len(pids) {
+		jobs = len(pids)
+	}
+	if jobs <= 1 {
+		for _, pid := range pids {
+			if f := loader.Function(pid); f != nil {
+				scanOne(f, extCalled, extStored)
+				loader.DoneWith(pid)
+			}
+		}
+		return extCalled, extStored
+	}
+	type part struct{ called, stored map[il.PID]bool }
+	parts := make([]part, jobs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := part{called: make(map[il.PID]bool), stored: make(map[il.PID]bool)}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pids) {
+					break
+				}
+				if f := loader.Function(pids[i]); f != nil {
+					scanOne(f, p.called, p.stored)
+					loader.DoneWith(pids[i])
+				}
+			}
+			parts[w] = p
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range parts {
+		for pid := range p.called {
+			extCalled[pid] = true
+		}
+		for pid := range p.stored {
+			extStored[pid] = true
+		}
 	}
 	return extCalled, extStored
 }
@@ -791,16 +852,15 @@ func profileEdges(prog *il.Program, db *profile.DB) []link.Edge {
 	for k, v := range agg {
 		edges = append(edges, link.Edge{Caller: k.a, Callee: k.b, Count: v})
 	}
-	// Deterministic order for the linker.
-	for i := 1; i < len(edges); i++ {
-		for j := i; j > 0; j-- {
-			a, b := edges[j-1], edges[j]
-			if a.Caller < b.Caller || (a.Caller == b.Caller && a.Callee <= b.Callee) {
-				break
-			}
-			edges[j-1], edges[j] = b, a
+	// Deterministic order for the linker. sort.Slice, not insertion
+	// sort: large profiles produce tens of thousands of distinct edges
+	// and the quadratic sort dominated profileEdges on them.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Caller != edges[j].Caller {
+			return edges[i].Caller < edges[j].Caller
 		}
-	}
+		return edges[i].Callee < edges[j].Callee
+	})
 	return edges
 }
 
@@ -820,11 +880,7 @@ func (b *Build) Run(inputs map[string]int64, maxSteps int64) (*RunResult, error)
 	for n := range inputs {
 		names = append(names, n)
 	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	for _, n := range names {
 		if err := m.SetGlobal(n, inputs[n]); err != nil {
 			return nil, err

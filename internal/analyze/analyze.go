@@ -36,6 +36,8 @@ package analyze
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cmo/internal/il"
 	"cmo/internal/naim"
@@ -264,6 +266,14 @@ type Options struct {
 	// spans make verification cost visible in the build trace. The
 	// zero Span disables trace emission.
 	Span obs.Span
+	// Jobs fans the per-function tiers (structural, dataflow) out over
+	// this many goroutines; src must then be safe for concurrent use
+	// (the NAIM loader is, MapSource is read-only). The interprocedural
+	// and round-trip tiers stay single-threaded: their checks walk
+	// shared whole-program state. Diagnostics are identical at any job
+	// count — each function's findings land in a per-function slot
+	// merged in PID order. 0 or 1 means sequential.
+	Jobs int
 }
 
 // Program runs the analyzer over every defined function.
@@ -275,37 +285,84 @@ func Program(prog *il.Program, src Source, opts Options) *Result {
 	pids := prog.FuncPIDs()
 
 	// Per-function tiers (structural, dataflow) share one scan so each
-	// body is pulled through the source once.
-	sp := opts.Span.Child("functions")
-	for _, pid := range pids {
-		if opts.Omit[pid] {
-			continue
-		}
+	// body is pulled through the source once. checkOne examines one
+	// body and returns its diagnostics plus whether a body existed;
+	// it touches no shared state, so the scan parallelizes freely.
+	checkOne := func(pid il.PID) (diags []Diagnostic, hasBody bool) {
 		f := src.Function(pid)
 		if f == nil {
-			res.add(Diagnostic{
+			return []Diagnostic{{
 				Check: "missing-body", Severity: Error,
 				Module: moduleOf(prog, pid), Function: symName(prog, pid),
 				Block: -1, Instr: -1,
 				Message: "defined function has no body",
-			})
-			continue
+			}}, false
 		}
-		res.Functions++
+		defer src.DoneWith(pid)
 		if err := il.Verify(prog, f); err != nil {
-			res.add(Diagnostic{
+			return []Diagnostic{{
 				Check: "structural", Severity: Error,
 				Module: moduleOf(prog, pid), Function: f.Name,
 				Block: -1, Instr: -1,
 				Message: err.Error(),
-			})
-			src.DoneWith(pid)
-			continue
+			}}, true
 		}
 		if opts.Level >= Dataflow {
-			res.Diags = append(res.Diags, dataflowFunction(prog, f)...)
+			return dataflowFunction(prog, f), true
 		}
-		src.DoneWith(pid)
+		return nil, true
+	}
+
+	var work []il.PID
+	for _, pid := range pids {
+		if !opts.Omit[pid] {
+			work = append(work, pid)
+		}
+	}
+	jobs := opts.Jobs
+	if jobs > len(work) {
+		jobs = len(work)
+	}
+	sp := opts.Span.Child("functions")
+	if jobs <= 1 {
+		for _, pid := range work {
+			diags, hasBody := checkOne(pid)
+			res.Diags = append(res.Diags, diags...)
+			if hasBody {
+				res.Functions++
+			}
+		}
+	} else {
+		// Worker pool over a shared cursor; results land in per-PID
+		// slots so the merged diagnostic stream matches the sequential
+		// scan exactly.
+		type slot struct {
+			diags   []Diagnostic
+			hasBody bool
+		}
+		slots := make([]slot, len(work))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(work) {
+						return
+					}
+					slots[i].diags, slots[i].hasBody = checkOne(work[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for _, s := range slots {
+			res.Diags = append(res.Diags, s.diags...)
+			if s.hasBody {
+				res.Functions++
+			}
+		}
 	}
 	sp.End()
 

@@ -2,6 +2,7 @@ package analyze
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -90,6 +91,43 @@ func TestCleanProgramHasNoDiagnostics(t *testing.T) {
 	}
 	if res.Err() != nil {
 		t.Errorf("Err = %v", res.Err())
+	}
+}
+
+func TestProgramJobsInvariant(t *testing.T) {
+	// A program mixing clean bodies, a missing body, a structural
+	// error, and dataflow warnings: the parallel per-function scan must
+	// report exactly the sequential diagnostic stream at any job count.
+	pb := newProg()
+	for i := 0; i < 24; i++ {
+		pb.fn(fmt.Sprintf("clean%02d", i), 0, retBlock(int64(i)))
+	}
+	pb.fn("ghost", 0, nil)
+	pb.fn("bad", 0, &il.Function{NRegs: 2, Blocks: []*il.Block{{
+		Instrs: []il.Instr{{Op: il.Const, Dst: 1, A: il.ConstVal(1)}}, T: -1, F: -1}}})
+	pb.fn("warny", 0, &il.Function{NRegs: 3, Blocks: []*il.Block{
+		{Instrs: []il.Instr{
+			{Op: il.Const, Dst: 1, A: il.ConstVal(3)},
+			{Op: il.Ret, A: il.ConstVal(0)},
+		}, T: -1, F: -1},
+		{Instrs: []il.Instr{{Op: il.Ret, A: il.ConstVal(9)}}, T: -1, F: -1},
+	}})
+	pb.fn("main", 0, retBlock(0))
+	want := Program(pb.p, pb.fns, Options{Level: Dataflow})
+	for _, jobs := range []int{2, 4, 8} {
+		got := Program(pb.p, pb.fns, Options{Level: Dataflow, Jobs: jobs})
+		if got.Functions != want.Functions {
+			t.Errorf("jobs=%d: Functions = %d, want %d", jobs, got.Functions, want.Functions)
+		}
+		if len(got.Diags) != len(want.Diags) {
+			t.Fatalf("jobs=%d: %d diags, want %d:\n%v\nvs\n%v",
+				jobs, len(got.Diags), len(want.Diags), got.Diags, want.Diags)
+		}
+		for i := range want.Diags {
+			if got.Diags[i] != want.Diags[i] {
+				t.Errorf("jobs=%d: diag %d = %v, want %v", jobs, i, got.Diags[i], want.Diags[i])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/workload"
+)
+
+// ParallelPoint is one job-count measurement of the parallel-pipeline
+// sweep: the same many-module program built at a fixed configuration
+// with only Options.Jobs varied.
+type ParallelPoint struct {
+	Jobs int `json:"jobs"`
+	// BuildNanos is the whole-pipeline wall time (frontend through
+	// link) reported by the build's own span clock.
+	BuildNanos int64 `json:"build_nanos"`
+	// Speedup is the Jobs=1 wall time divided by this point's.
+	Speedup float64 `json:"speedup"`
+	// Identical records that the image was byte-identical to the
+	// sequential build — the determinism contract the parallel paths
+	// must keep. A sweep with any false value is a bug, not a data
+	// point.
+	Identical bool `json:"identical"`
+	// LockWaitNanos is the summed shard-lock contention inside the
+	// NAIM loader, the first place a saturated parallel build shows.
+	LockWaitNanos int64 `json:"lock_wait_nanos"`
+}
+
+// ParallelRecord is the BENCH_parallel.json payload: the sweep plus
+// its headline number, so the parallelism trajectory is comparable
+// across commits.
+type ParallelRecord struct {
+	Benchmark string          `json:"benchmark"`
+	Modules   int             `json:"modules"`
+	Functions int             `json:"functions"`
+	Points    []ParallelPoint `json:"points"`
+	// SpeedupAt4 is the headline: wall-clock speedup of Jobs=4 over
+	// Jobs=1.
+	SpeedupAt4 float64 `json:"speedup_at_4"`
+}
+
+// Parallel sweeps Options.Jobs over {1, 2, 4, 8} on a gcc-like
+// many-module program at O4 and measures end-to-end build wall time.
+// Every point's image is checked byte-identical against the
+// sequential build.
+func Parallel(cfg Config) (*ParallelRecord, error) {
+	p := SpecPrograms(cfg)[2] // the gcc-like program: the multi-module one
+	spec := p.Spec
+	spec.Modules = cfg.scale(24)
+	mods := sources(spec)
+
+	rec := &ParallelRecord{Benchmark: spec.Name, Modules: spec.Modules}
+	var refDisasm string
+	var t1 int64
+	for _, jobs := range []int{1, 2, 4, 8} {
+		cfg.logf("parallel: jobs=%d\n", jobs)
+		b, err := cmo.BuildSource(mods, cmo.Options{
+			Level: cmo.O4, SelectPercent: -1, Jobs: jobs,
+			Volatile: workload.InputGlobals(),
+			Trace:    cfg.Trace,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("parallel jobs=%d: %w", jobs, err)
+		}
+		dis := b.Image.Disasm()
+		if jobs == 1 {
+			refDisasm = dis
+			t1 = b.Stats.TotalNanos
+			rec.Functions = b.Stats.Functions
+		}
+		rec.Points = append(rec.Points, ParallelPoint{
+			Jobs:          jobs,
+			BuildNanos:    b.Stats.TotalNanos,
+			Speedup:       float64(t1) / float64(b.Stats.TotalNanos),
+			Identical:     dis == refDisasm,
+			LockWaitNanos: b.Stats.NAIM.LockWaitNanos,
+		})
+		if jobs == 4 {
+			rec.SpeedupAt4 = float64(t1) / float64(b.Stats.TotalNanos)
+		}
+	}
+	return rec, nil
+}
+
+// RenderParallel formats the sweep as the report table.
+func RenderParallel(rec *ParallelRecord) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Parallel pipeline: %s, %d modules, %d functions (O4, full scope)\n",
+		rec.Benchmark, rec.Modules, rec.Functions)
+	fmt.Fprintf(&sb, "%6s  %12s  %8s  %10s  %s\n", "jobs", "build-ms", "speedup", "lock-wait", "image")
+	for _, pt := range rec.Points {
+		img := "identical"
+		if !pt.Identical {
+			img = "DIFFERS"
+		}
+		fmt.Fprintf(&sb, "%6d  %12.1f  %7.2fx  %8.2fms  %s\n",
+			pt.Jobs, float64(pt.BuildNanos)/1e6, pt.Speedup,
+			float64(pt.LockWaitNanos)/1e6, img)
+	}
+	return sb.String()
+}
+
+// WriteParallelJSON writes the BENCH_parallel.json record.
+func WriteParallelJSON(w io.Writer, rec *ParallelRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

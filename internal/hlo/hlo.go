@@ -28,7 +28,12 @@ import (
 // FuncSource provides function bodies on demand. The returned body is
 // owned by the source; HLO mutates it in place. DoneWith hints that
 // the body will not be touched again soon and may be compacted or
-// offloaded.
+// offloaded. Implementations must be safe for concurrent use: the
+// parallel pipeline phases (codegen, selectivity enumeration,
+// verification, out-of-scope summarization) call Function/DoneWith
+// from many goroutines at once. The NAIM loader pins a body from
+// Function until the matching DoneWith, so a checked-out body is
+// never compacted out from under its holder.
 type FuncSource interface {
 	Function(pid il.PID) *il.Function
 	DoneWith(pid il.PID)

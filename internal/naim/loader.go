@@ -3,6 +3,9 @@ package naim
 import (
 	"container/list"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"cmo/internal/il"
 	"cmo/internal/obs"
@@ -52,16 +55,31 @@ type Config struct {
 	// pinned levels to measure each configuration separately.
 	ForceLevel Level
 	// CacheSlots bounds the expanded-pool cache once compaction is
-	// engaged (0 selects the default of 48).
+	// engaged (0 selects the default of 48). The bound is global
+	// across shards; checked-out pools may transiently overflow it.
 	CacheSlots int
 	// Dir is where the disk repository lives ("" = system temp).
 	Dir string
+	// Shards is the number of independently locked shards the
+	// expanded-pool table is split across (0 selects the default of
+	// 16; values are rounded up to a power of two). More shards mean
+	// less lock contention between Jobs > 1 clients.
+	Shards int
+	// WritebackDepth bounds the async spill-writeback queue (0
+	// selects the default of 32). Evictions that spill to disk only
+	// block once this many writes are in flight.
+	WritebackDepth int
 }
 
 // Adaptive is the ForceLevel value meaning "let thresholds decide".
 const Adaptive Level = -1
 
-// Stats are cumulative loader counters.
+// Stats are cumulative loader counters. CurBytes, PeakBytes, and the
+// structural counters (Installs, Compactions, Expansions, disk
+// traffic) are deterministic for a fixed operation sequence; under
+// concurrent clients (Jobs > 1) the cache hit/miss/eviction split,
+// LockWaitNanos, and the writeback queue figures depend on goroutine
+// interleaving and may vary run to run.
 type Stats struct {
 	CurBytes  int64 // modeled optimizer occupancy right now
 	PeakBytes int64 // high-water mark of CurBytes
@@ -77,6 +95,18 @@ type Stats struct {
 
 	CompactNanos int64 // time spent compacting + uncompacting
 	DiskNanos    int64 // time spent on repository I/O
+
+	// LockWaitNanos is the total time clients spent waiting to
+	// acquire a contended shard lock (0 when uncontended: the fast
+	// path never reads the clock). Per-shard detail is available via
+	// Loader.ShardLockWaits.
+	LockWaitNanos int64
+	// WritebackQueued counts spill jobs handed to the async
+	// writeback goroutine.
+	WritebackQueued int64
+	// WritebackPeakQueue is the high-water depth of the writeback
+	// queue — how far disk writes fell behind eviction.
+	WritebackPeakQueue int64
 }
 
 type status uint8
@@ -84,20 +114,31 @@ type status uint8
 const (
 	stExpanded status = iota
 	stCompacted
+	stSpilling // compacted, disk write in flight (blob still resident)
 	stOffloaded
 )
 
 type handle struct {
 	pid     il.PID
 	st      status
+	gen     uint64 // spill generation; a landing write must match it
 	fn      *il.Function
 	blob    []byte
 	diskOff int64
 	diskLen int
 	bytes   int64
 	pending bool
-	out     bool          // checked out via Function, not yet DoneWith
-	elem    *list.Element // position in the expanded-pool LRU
+	pins    int           // clients holding the body via Function
+	elem    *list.Element // position in the shard's expanded-pool LRU
+}
+
+// shard is one independently locked slice of the expanded-pool table:
+// a PID-hashed handle map plus its own LRU of expanded pools.
+type shard struct {
+	mu       sync.Mutex
+	handles  map[il.PID]*handle
+	lru      *list.List // of *handle, front = coldest
+	lockWait atomic.Int64
 }
 
 // Loader is the NAIM loader: "the process that manages the movement
@@ -107,36 +148,68 @@ type handle struct {
 // through Function/ModuleDefs while keeping modeled memory inside the
 // configured budget.
 //
-// Loader implements hlo.FuncSource. It is not safe for concurrent
-// use; the paper's future-work parallel loader is future work here
-// too.
+// Loader implements hlo.FuncSource and is safe for concurrent use:
+// the expanded-pool table and LRU are sharded by PID with a per-shard
+// mutex, budget accounting and Stats are atomic, and repository spill
+// writes ride a bounded async writeback goroutine. A body returned by
+// Function is pinned (a per-handle pin count, so several clients may
+// hold the same body) and is never evicted until every holder has
+// called DoneWith. SetTraceScope and Close are phase-boundary calls:
+// they must not race with Function/DoneWith from other goroutines.
 type Loader struct {
 	prog *il.Program
 	cfg  Config
 
-	handles map[il.PID]*handle
-	lru     *list.List // of *handle, front = coldest
-	level   Level
-	repo    *Repository
+	shards    []shard
+	shardMask uint32
+
+	levelA      atomic.Int32
+	curBytes    atomic.Int64
+	peakBytes   atomic.Int64
+	expanded    atomic.Int64 // pools currently resident in an LRU
+	evictCursor uint32       // round-robin eviction start shard (monotonic)
+	evictMu     sync.Mutex   // serializes victim selection, not shard access
+	genSeq      atomic.Uint64
 
 	globalBytes int64
+
+	modMu       sync.Mutex
 	modExpanded []bool
 	modBlobs    [][]byte
 	modBytes    []int64
+	arena       *Arena
 
-	arena *Arena
-	stats Stats
+	repoMu sync.Mutex
+	repo   *Repository
+
+	wb writeback
+
+	stats statCells
 
 	// scope is the trace span loader activity nests under; the driver
 	// repoints it as pipeline phases change (compactions triggered
 	// during HLO render inside the HLO span, and so on). The zero Span
 	// disables recording; duration accounting still works through it.
-	scope obs.Span
-	ctr   struct {
+	scopeMu sync.RWMutex
+	scope   obs.Span
+	// ctr pointers are registered on the first SetTraceScope call,
+	// which the pipeline makes before any concurrent loader activity;
+	// they are immutable afterwards (Counter.Add is atomic).
+	ctr struct {
 		hits, misses, evictions         *obs.Counter
 		compactions, expansions         *obs.Counter
 		diskWrites, diskReads, installs *obs.Counter
+		lockWait, wbQueued, wbPeak      *obs.Counter
 	}
+}
+
+// statCells is the atomic backing store for the Stats snapshot.
+type statCells struct {
+	installs, hits, misses, evictions   atomic.Int64
+	compactions, expansions             atomic.Int64
+	diskWrites, diskReads               atomic.Int64
+	compactNanos, diskNanos             atomic.Int64
+	writebackQueued, writebackPeakQueue atomic.Int64
 }
 
 // NewLoader wraps a program's transitory objects in a loader.
@@ -144,57 +217,87 @@ func NewLoader(prog *il.Program, cfg Config) *Loader {
 	if cfg.CacheSlots <= 0 {
 		cfg.CacheSlots = 48
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	nshards := 1
+	for nshards < cfg.Shards {
+		nshards <<= 1
+	}
+	if cfg.WritebackDepth <= 0 {
+		cfg.WritebackDepth = 32
+	}
 	l := &Loader{
 		prog:        prog,
 		cfg:         cfg,
-		handles:     make(map[il.PID]*handle),
-		lru:         list.New(),
+		shards:      make([]shard, nshards),
+		shardMask:   uint32(nshards - 1),
 		globalBytes: GlobalBytes(prog),
 		modExpanded: make([]bool, len(prog.Modules)),
 		modBlobs:    make([][]byte, len(prog.Modules)),
 		modBytes:    make([]int64, len(prog.Modules)),
 		arena:       NewArena(0),
 	}
-	if cfg.ForceLevel >= LevelOff {
-		l.level = cfg.ForceLevel
+	for i := range l.shards {
+		l.shards[i].handles = make(map[il.PID]*handle)
+		l.shards[i].lru = list.New()
 	}
+	if cfg.ForceLevel >= LevelOff {
+		l.levelA.Store(int32(cfg.ForceLevel))
+	}
+	n := l.globalBytes
 	for i, m := range prog.Modules {
 		l.modExpanded[i] = true
 		l.modBytes[i] = ExpandedModuleBytes(m)
+		n += l.modBytes[i]
 	}
-	l.recompute()
+	l.curBytes.Store(n)
+	l.peakBytes.Store(n)
+	l.startWriteback()
 	return l
 }
 
-// recompute refreshes CurBytes/PeakBytes from component accounting.
-func (l *Loader) recompute() {
-	n := l.globalBytes
-	for _, b := range l.modBytes {
-		n += b
-	}
-	for _, h := range l.handles {
-		n += h.bytes
-	}
-	l.stats.CurBytes = n
-	if n > l.stats.PeakBytes {
-		l.stats.PeakBytes = n
-	}
+// shardFor maps a PID to its shard.
+func (l *Loader) shardFor(pid il.PID) *shard {
+	return &l.shards[uint32(pid)&l.shardMask]
 }
 
-// adjust applies a delta to CurBytes.
+// lockShard acquires a shard's mutex, charging any wait to the
+// contention counters. The uncontended path costs one TryLock and no
+// clock read.
+func (l *Loader) lockShard(s *shard) {
+	if s.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	d := time.Since(t0).Nanoseconds()
+	s.lockWait.Add(d)
+	l.ctr.lockWait.Add(d)
+}
+
+// adjust applies a delta to CurBytes, ratcheting PeakBytes.
 func (l *Loader) adjust(delta int64) {
-	l.stats.CurBytes += delta
-	if l.stats.CurBytes > l.stats.PeakBytes {
-		l.stats.PeakBytes = l.stats.CurBytes
+	cur := l.curBytes.Add(delta)
+	for {
+		peak := l.peakBytes.Load()
+		if cur <= peak || l.peakBytes.CompareAndSwap(peak, cur) {
+			return
+		}
 	}
 }
 
 // SetTraceScope points loader trace emission at a pipeline span: the
 // compact/expand/disk spans it records nest under s, and the cache
 // counters register on s's trace. The zero Span disables emission.
-// Call again whenever the enclosing pipeline phase changes.
+// Call again whenever the enclosing pipeline phase changes — but only
+// from the pipeline goroutine, between concurrent phases: the first
+// call registers the counters and must precede any parallel loader
+// use.
 func (l *Loader) SetTraceScope(s obs.Span) {
+	l.scopeMu.Lock()
 	l.scope = s
+	l.scopeMu.Unlock()
 	if tr := s.Trace(); tr != nil && l.ctr.hits == nil {
 		l.ctr.hits = tr.Counter("naim.cache_hits")
 		l.ctr.misses = tr.Counter("naim.cache_misses")
@@ -204,7 +307,18 @@ func (l *Loader) SetTraceScope(s obs.Span) {
 		l.ctr.diskWrites = tr.Counter("naim.disk_writes")
 		l.ctr.diskReads = tr.Counter("naim.disk_reads")
 		l.ctr.installs = tr.Counter("naim.installs")
+		l.ctr.lockWait = tr.Counter("naim.lock_wait_ns")
+		l.ctr.wbQueued = tr.Counter("naim.writeback_queued")
+		l.ctr.wbPeak = tr.Counter("naim.writeback_peak_queue")
 	}
+}
+
+// getScope snapshots the current trace scope.
+func (l *Loader) getScope() obs.Span {
+	l.scopeMu.RLock()
+	s := l.scope
+	l.scopeMu.RUnlock()
+	return s
 }
 
 // symName is a trace-only helper (guarded by scope.Enabled at call
@@ -215,62 +329,74 @@ func (l *Loader) symName(pid il.PID) string { return l.prog.Sym(pid).Name }
 // routine body to the loader.
 func (l *Loader) InstallFunc(f *il.Function) {
 	h := &handle{pid: f.PID, st: stExpanded, fn: f, bytes: ExpandedFuncBytes(f)}
-	if old, ok := l.handles[f.PID]; ok {
+	s := l.shardFor(f.PID)
+	l.lockShard(s)
+	if old, ok := s.handles[f.PID]; ok {
 		l.adjust(-old.bytes)
 		if old.elem != nil {
-			l.lru.Remove(old.elem)
+			s.lru.Remove(old.elem)
+			l.expanded.Add(-1)
 		}
 	}
-	l.handles[f.PID] = h
-	h.elem = l.lru.PushBack(h)
-	l.stats.Installs++
+	s.handles[f.PID] = h
+	h.elem = s.lru.PushBack(h)
+	l.expanded.Add(1)
+	l.stats.installs.Add(1)
 	l.ctr.installs.Add(1)
 	l.adjust(h.bytes)
-	l.enforce(il.NoPID)
+	s.mu.Unlock()
+	l.enforce()
 }
 
 // Function returns the expanded body for pid, loading it from its
 // compacted or offloaded form if necessary. It returns nil for
 // uninstalled PIDs. The returned body may be mutated in place; the
-// loader re-measures it on the next touch. The body is checked out:
-// it will not be evicted — even under cache or budget pressure — until
-// the client signals DoneWith, so a client may hold several bodies at
-// once (a caller being inlined into plus its callee) without the
-// loader invalidating one behind its back. Checked-out pools may
-// transiently overflow the cache bound; the overflow is reclaimed at
-// the next DoneWith.
+// loader re-measures it on the next touch. The body is checked out
+// (its pin count is raised): it will not be evicted — even under
+// cache or budget pressure — until a matching DoneWith drops the last
+// pin, so any number of clients may hold any number of bodies at once
+// without the loader invalidating one behind a client's back.
+// Checked-out pools may transiently overflow the cache bound; the
+// overflow is reclaimed as pins drop.
 func (l *Loader) Function(pid il.PID) *il.Function {
-	h, ok := l.handles[pid]
+	s := l.shardFor(pid)
+	l.lockShard(s)
+	h, ok := s.handles[pid]
 	if !ok {
+		s.mu.Unlock()
 		return nil
 	}
 	switch h.st {
 	case stExpanded:
-		l.stats.CacheHits++
+		l.stats.hits.Add(1)
 		l.ctr.hits.Add(1)
 		l.remeasure(h)
-		l.lru.MoveToBack(h.elem)
-	case stCompacted:
-		l.stats.CacheMisses++
+		s.lru.MoveToBack(h.elem)
+	case stCompacted, stSpilling:
+		// A spilling pool still holds its blob; re-expanding from it
+		// orphans the in-flight write (the generation check in
+		// landSpill drops the landing).
+		l.stats.misses.Add(1)
 		l.ctr.misses.Add(1)
 		l.expand(h)
 	case stOffloaded:
-		l.stats.CacheMisses++
+		l.stats.misses.Add(1)
 		l.ctr.misses.Add(1)
+		scope := l.getScope()
 		var detail string
-		if l.scope.Enabled() {
+		if scope.Enabled() {
 			detail = l.symName(pid)
 		}
-		sp := l.scope.ChildDetail("naim disk read", detail)
-		blob, err := l.repo.Get(h.diskOff, h.diskLen)
-		l.stats.DiskNanos += sp.End()
+		sp := scope.ChildDetail("naim disk read", detail)
+		blob, err := l.getRepo().Get(h.diskOff, h.diskLen)
+		l.stats.diskNanos.Add(sp.End())
 		if err != nil {
 			// A repository read failure is unrecoverable for this
 			// compilation; the paper's compiler would abort. We
 			// surface it as a panic carrying the cause.
 			panic(fmt.Sprintf("naim: repository read for %s failed: %v", l.prog.Sym(pid).Name, err))
 		}
-		l.stats.DiskReads++
+		l.stats.diskReads.Add(1)
 		l.ctr.diskReads.Add(1)
 		h.blob = blob
 		h.st = stCompacted
@@ -279,13 +405,16 @@ func (l *Loader) Function(pid il.PID) *il.Function {
 		l.expand(h)
 	}
 	h.pending = false
-	h.out = true
-	l.enforce(pid)
-	return h.fn
+	h.pins++
+	fn := h.fn
+	s.mu.Unlock()
+	l.enforce()
+	return fn
 }
 
 // remeasure updates accounting for an expanded body that may have
 // grown or shrunk since last touch (inlining grows callers in place).
+// Caller holds the handle's shard lock.
 func (l *Loader) remeasure(h *handle) {
 	nb := ExpandedFuncBytes(h.fn)
 	if nb != h.bytes {
@@ -295,81 +424,111 @@ func (l *Loader) remeasure(h *handle) {
 }
 
 // expand uncompacts a pool (with eager swizzling of PID references).
+// Caller holds the handle's shard lock; the decode runs under it, so
+// two clients racing to expand the same pool serialize here and the
+// second observes a plain cache hit.
 func (l *Loader) expand(h *handle) {
+	scope := l.getScope()
 	var detail string
-	if l.scope.Enabled() {
+	if scope.Enabled() {
 		detail = l.symName(h.pid)
 	}
-	sp := l.scope.ChildDetail("naim expand", detail)
+	sp := scope.ChildDetail("naim expand", detail)
 	f, err := DecodeFunc(l.prog, h.blob)
-	l.stats.CompactNanos += sp.End()
+	l.stats.compactNanos.Add(sp.End())
 	if err != nil {
 		panic(fmt.Sprintf("naim: uncompaction of %s failed: %v", l.prog.Sym(h.pid).Name, err))
 	}
-	l.stats.Expansions++
+	l.stats.expansions.Add(1)
 	l.ctr.expansions.Add(1)
 	h.fn = f
 	h.blob = nil
 	h.st = stExpanded
+	h.gen = 0 // orphan any in-flight spill of the old blob
 	nb := ExpandedFuncBytes(f)
 	l.adjust(nb - h.bytes)
 	h.bytes = nb
-	h.elem = l.lru.PushBack(h)
+	h.elem = l.shardFor(h.pid).lru.PushBack(h)
+	l.expanded.Add(1)
 }
 
-// DoneWith marks a pool unload-pending: it moves to the cold end of
-// the expanded-pool cache and becomes the preferred eviction victim,
-// but is not compacted until the cache actually needs the space (the
-// paper's lazy unloader, section 4.3).
+// DoneWith drops one pin on a pool. When the last pin drops the pool
+// becomes unload-pending: it moves to the cold end of its shard's
+// expanded-pool cache and becomes a preferred eviction victim, but is
+// not compacted until the cache actually needs the space (the paper's
+// lazy unloader, section 4.3).
 func (l *Loader) DoneWith(pid il.PID) {
-	h, ok := l.handles[pid]
+	s := l.shardFor(pid)
+	l.lockShard(s)
+	h, ok := s.handles[pid]
 	if !ok {
+		s.mu.Unlock()
 		return
 	}
-	h.out = false
+	if h.pins > 0 {
+		h.pins--
+	}
 	if h.st == stExpanded {
 		l.remeasure(h)
-		h.pending = true
-		l.lru.MoveToFront(h.elem)
+		if h.pins == 0 {
+			h.pending = true
+			s.lru.MoveToFront(h.elem)
+		}
 	}
-	l.enforce(il.NoPID)
+	s.mu.Unlock()
+	l.enforce()
 }
 
-// UnloadAll marks every expanded pool unload-pending. "Clients simply
-// request that all unneeded pools are unloaded from memory[;] whether
-// or not the objects actually get compacted and unloaded is
-// determined internally by the loader."
-func (l *Loader) UnloadAll() {
-	for e := l.lru.Front(); e != nil; e = e.Next() {
-		h := e.Value.(*handle)
-		l.remeasure(h)
-		h.pending = true
-		h.out = false
+// UnloadAll marks every unpinned expanded pool unload-pending.
+// "Clients simply request that all unneeded pools are unloaded from
+// memory[;] whether or not the objects actually get compacted and
+// unloaded is determined internally by the loader." It returns the
+// number of pools that stayed checked out — a non-zero return means
+// some client leaked a pin (took Function without DoneWith).
+func (l *Loader) UnloadAll() int {
+	pinned := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		l.lockShard(s)
+		for e := s.lru.Front(); e != nil; e = e.Next() {
+			h := e.Value.(*handle)
+			l.remeasure(h)
+			if h.pins > 0 {
+				pinned++
+				continue
+			}
+			h.pending = true
+		}
+		s.mu.Unlock()
 	}
-	l.enforce(il.NoPID)
+	l.enforce()
+	return pinned
 }
 
 // enforce ratchets the NAIM level and evicts expanded pools until the
-// cache bound and memory budget hold. pin is never evicted.
-func (l *Loader) enforce(pin il.PID) {
+// cache bound and memory budget hold (or nothing evictable remains).
+// It must be called with no shard lock held: victim compaction locks
+// shards one at a time, and disk spills are enqueued lock-free.
+func (l *Loader) enforce() {
 	l.updateLevel()
-	if l.level >= LevelST {
+	level := l.Level()
+	if level >= LevelST {
 		l.compactModules()
 	}
-	if l.level < LevelIR {
+	if level < LevelIR {
 		return
 	}
 	// Cache bound: expanded pools beyond CacheSlots get compacted,
-	// coldest first.
-	for l.lru.Len() > l.cfg.CacheSlots {
-		if !l.evictOne(pin) {
+	// coldest-per-shard first in round-robin shard order.
+	for l.expanded.Load() > int64(l.cfg.CacheSlots) {
+		if !l.evictOne() {
 			break
 		}
 	}
 	// Budget bound: keep compacting while over budget.
 	if l.cfg.BudgetBytes > 0 {
-		for l.stats.CurBytes > l.cfg.BudgetBytes && l.lru.Len() > 1 {
-			if !l.evictOne(pin) {
+		for l.curBytes.Load() > l.cfg.BudgetBytes && l.expanded.Load() > 1 {
+			if !l.evictOne() {
 				break
 			}
 		}
@@ -379,109 +538,135 @@ func (l *Loader) enforce(pin il.PID) {
 // updateLevel ratchets the adaptive level from the budget thresholds.
 func (l *Loader) updateLevel() {
 	if l.cfg.ForceLevel >= LevelOff {
-		l.level = l.cfg.ForceLevel
-		return
+		return // pinned at construction
 	}
 	if l.cfg.BudgetBytes <= 0 {
 		return
 	}
-	cur := l.stats.CurBytes
+	cur := l.curBytes.Load()
+	var want Level
 	switch {
 	case cur > l.cfg.BudgetBytes*85/100:
-		if l.level < LevelDisk {
-			l.level = LevelDisk
-		}
+		want = LevelDisk
 	case cur > l.cfg.BudgetBytes*70/100:
-		if l.level < LevelST {
-			l.level = LevelST
-		}
+		want = LevelST
 	case cur > l.cfg.BudgetBytes*50/100:
-		if l.level < LevelIR {
-			l.level = LevelIR
+		want = LevelIR
+	default:
+		return
+	}
+	for {
+		old := l.levelA.Load()
+		if Level(old) >= want || l.levelA.CompareAndSwap(old, int32(want)) {
+			return
 		}
 	}
 }
 
-// evictOne compacts the coldest evictable expanded pool; at LevelDisk
-// the compacted blob is immediately offloaded. Reports whether a
-// victim was found. Checked-out pools are never victims: compacting a
-// body a client still holds would snapshot it mid-mutation and
-// silently drop every edit made after the snapshot — generated code
-// would then depend on the cache size, violating the paper's
-// reproducibility contract (section 6.2: memory configuration changes
-// compile cost, never output).
-func (l *Loader) evictOne(pin il.PID) bool {
-	for e := l.lru.Front(); e != nil; e = e.Next() {
-		h := e.Value.(*handle)
-		if h.pid == pin || h.out {
-			continue
+// evictOne compacts the coldest evictable expanded pool of the next
+// shard (round-robin) that has one; at LevelDisk the compacted blob
+// is handed to the async writeback goroutine. Reports whether a
+// victim was found anywhere. Checked-out (pinned) pools are never
+// victims: compacting a body a client still holds would snapshot it
+// mid-mutation and silently drop every edit made after the snapshot —
+// generated code would then depend on the cache size, violating the
+// paper's reproducibility contract (section 6.2: memory configuration
+// changes compile cost, never output).
+func (l *Loader) evictOne() bool {
+	l.evictMu.Lock()
+	n := uint32(len(l.shards))
+	start := l.evictCursor
+	for k := uint32(0); k < n; k++ {
+		s := &l.shards[(start+k)&l.shardMask]
+		l.lockShard(s)
+		for e := s.lru.Front(); e != nil; e = e.Next() {
+			h := e.Value.(*handle)
+			if h.pins > 0 {
+				continue
+			}
+			job := l.compactHandle(s, h)
+			s.mu.Unlock()
+			l.evictCursor = start + k + 1
+			l.evictMu.Unlock()
+			if job != nil {
+				l.enqueueSpill(*job)
+			}
+			return true
 		}
-		l.compactHandle(h)
-		return true
+		s.mu.Unlock()
 	}
+	l.evictMu.Unlock()
 	return false
 }
 
-// compactHandle converts an expanded pool to relocatable form (and to
-// disk at LevelDisk).
-func (l *Loader) compactHandle(h *handle) {
+// compactHandle converts an expanded pool to relocatable form; at
+// LevelDisk it returns a spill job for the writeback goroutine (the
+// pool is accounted at blob size — "dirty" — until the write lands).
+// Caller holds the shard lock.
+func (l *Loader) compactHandle(s *shard, h *handle) *spillJob {
 	l.remeasure(h)
+	scope := l.getScope()
 	var detail string
-	if l.scope.Enabled() {
+	if scope.Enabled() {
 		detail = l.symName(h.pid)
 	}
-	sp := l.scope.ChildDetail("naim compact", detail)
+	sp := scope.ChildDetail("naim compact", detail)
 	// Function blobs use plain allocation rather than the arena: a
 	// pool may cycle through compact/expand many times, and arena
 	// space is only reclaimed wholesale. Module symtab blobs (below)
 	// are compacted once and do use the arena.
 	blob := EncodeFunc(h.fn, nil)
-	l.stats.CompactNanos += sp.End()
-	l.stats.Compactions++
-	l.stats.Evictions++
+	l.stats.compactNanos.Add(sp.End())
+	l.stats.compactions.Add(1)
+	l.stats.evictions.Add(1)
 	l.ctr.compactions.Add(1)
 	l.ctr.evictions.Add(1)
-	l.lru.Remove(h.elem)
+	s.lru.Remove(h.elem)
+	l.expanded.Add(-1)
 	h.elem = nil
 	h.fn = nil
 	h.pending = false
-	if l.level >= LevelDisk {
-		if l.repo == nil {
-			repo, err := NewRepository(l.cfg.Dir)
-			if err != nil {
-				panic(fmt.Sprintf("naim: cannot create repository: %v", err))
-			}
-			l.repo = repo
-		}
-		dsp := l.scope.ChildDetail("naim disk write", detail)
-		off, err := l.repo.Put(blob)
-		l.stats.DiskNanos += dsp.End()
-		if err != nil {
-			panic(fmt.Sprintf("naim: repository write failed: %v", err))
-		}
-		l.stats.DiskWrites++
-		l.ctr.diskWrites.Add(1)
-		h.st = stOffloaded
-		h.diskOff = off
-		h.diskLen = len(blob)
-		h.blob = nil
-		l.adjust(BytesPerHandle - h.bytes)
-		h.bytes = BytesPerHandle
-		return
-	}
-	h.st = stCompacted
 	h.blob = blob
 	l.adjust(int64(len(blob)) - h.bytes)
 	h.bytes = int64(len(blob))
+	if l.Level() >= LevelDisk {
+		h.st = stSpilling
+		h.gen = l.genSeq.Add(1)
+		return &spillJob{pid: h.pid, gen: h.gen, blob: blob}
+	}
+	h.st = stCompacted
+	return nil
+}
+
+// landSpill finalizes a completed disk write: if the pool is still in
+// the exact spilling state the job captured, it becomes offloaded and
+// its blob bytes are released. A pool that was re-expanded (or
+// reinstalled) in the meantime keeps its current state and the landed
+// bytes become dead space in the append-only repository.
+func (l *Loader) landSpill(j spillJob, off int64) {
+	s := l.shardFor(j.pid)
+	l.lockShard(s)
+	h, ok := s.handles[j.pid]
+	if ok && h.st == stSpilling && h.gen == j.gen {
+		h.st = stOffloaded
+		h.diskOff = off
+		h.diskLen = len(j.blob)
+		h.blob = nil
+		l.adjust(BytesPerHandle - h.bytes)
+		h.bytes = BytesPerHandle
+	}
+	s.mu.Unlock()
 }
 
 // compactModules compacts all module symbol tables (LevelST+).
 func (l *Loader) compactModules() {
+	l.modMu.Lock()
+	defer l.modMu.Unlock()
 	for i, m := range l.prog.Modules {
 		if !l.modExpanded[i] {
 			continue
 		}
-		sp := l.scope.ChildDetail("naim symtab compact", m.Name)
+		sp := l.getScope().ChildDetail("naim symtab compact", m.Name)
 		enc := EncodeModule(m)
 		blob := l.arena.Alloc(len(enc))
 		copy(blob, enc)
@@ -490,58 +675,137 @@ func (l *Loader) compactModules() {
 		nb := compactModuleBytes(m)
 		l.adjust(nb - l.modBytes[i])
 		l.modBytes[i] = nb
-		l.stats.Compactions++
+		l.stats.compactions.Add(1)
 		l.ctr.compactions.Add(1)
-		l.stats.CompactNanos += sp.End()
+		l.stats.compactNanos.Add(sp.End())
 	}
 }
 
 // ModuleDefs returns the definition list of module i, re-expanding
 // its symbol table if it was compacted.
 func (l *Loader) ModuleDefs(i int) []il.PID {
+	l.modMu.Lock()
 	m := l.prog.Modules[i]
 	if !l.modExpanded[i] {
-		sp := l.scope.ChildDetail("naim symtab expand", m.Name)
+		sp := l.getScope().ChildDetail("naim symtab expand", m.Name)
 		dec, err := DecodeModule(l.modBlobs[i])
 		if err != nil {
+			l.modMu.Unlock()
 			panic(fmt.Sprintf("naim: module %s symtab uncompaction failed: %v", m.Name, err))
 		}
-		*m = *dec
+		// Restore only the compacted fields; Name is immutable and may
+		// be read concurrently by diagnostics.
+		m.Defs = dec.Defs
+		m.Externs = dec.Externs
 		l.modExpanded[i] = true
 		l.modBlobs[i] = nil
 		nb := ExpandedModuleBytes(m)
 		l.adjust(nb - l.modBytes[i])
 		l.modBytes[i] = nb
-		l.stats.Expansions++
+		l.stats.expansions.Add(1)
 		l.ctr.expansions.Add(1)
-		l.stats.CompactNanos += sp.End()
+		l.stats.compactNanos.Add(sp.End())
 	}
-	return m.Defs
+	defs := m.Defs
+	l.modMu.Unlock()
+	return defs
 }
 
 // Level reports the currently engaged NAIM level.
-func (l *Loader) Level() Level { return l.level }
+func (l *Loader) Level() Level { return Level(l.levelA.Load()) }
 
-// Stats returns a snapshot of the loader counters.
-func (l *Loader) Stats() Stats { return l.stats }
+// Stats returns a snapshot of the loader counters. Call Flush first
+// when exact disk-write figures matter: spills still in the writeback
+// queue have not landed yet.
+func (l *Loader) Stats() Stats {
+	var lockWait int64
+	for i := range l.shards {
+		lockWait += l.shards[i].lockWait.Load()
+	}
+	return Stats{
+		CurBytes:           l.curBytes.Load(),
+		PeakBytes:          l.peakBytes.Load(),
+		Installs:           l.stats.installs.Load(),
+		CacheHits:          l.stats.hits.Load(),
+		CacheMisses:        l.stats.misses.Load(),
+		Evictions:          l.stats.evictions.Load(),
+		Compactions:        l.stats.compactions.Load(),
+		Expansions:         l.stats.expansions.Load(),
+		DiskWrites:         l.stats.diskWrites.Load(),
+		DiskReads:          l.stats.diskReads.Load(),
+		CompactNanos:       l.stats.compactNanos.Load(),
+		DiskNanos:          l.stats.diskNanos.Load(),
+		LockWaitNanos:      lockWait,
+		WritebackQueued:    l.stats.writebackQueued.Load(),
+		WritebackPeakQueue: l.stats.writebackPeakQueue.Load(),
+	}
+}
+
+// ShardLockWaits reports per-shard lock-wait nanoseconds — where
+// concurrent clients actually collide.
+func (l *Loader) ShardLockWaits() []int64 {
+	out := make([]int64, len(l.shards))
+	for i := range l.shards {
+		out[i] = l.shards[i].lockWait.Load()
+	}
+	return out
+}
+
+// getRepo returns the repository, creating it on first use.
+func (l *Loader) getRepo() *Repository {
+	l.repoMu.Lock()
+	defer l.repoMu.Unlock()
+	if l.repo == nil {
+		repo, err := NewRepository(l.cfg.Dir)
+		if err != nil {
+			panic(fmt.Sprintf("naim: cannot create repository: %v", err))
+		}
+		l.repo = repo
+	}
+	return l.repo
+}
 
 // RepositoryBytes reports bytes resident in the disk repository.
 func (l *Loader) RepositoryBytes() int64 {
-	if l.repo == nil {
+	l.repoMu.Lock()
+	repo := l.repo
+	l.repoMu.Unlock()
+	if repo == nil {
 		return 0
 	}
-	return l.repo.Size()
+	return repo.Size()
 }
 
 // ExpandedPools reports how many pools are currently expanded.
-func (l *Loader) ExpandedPools() int { return l.lru.Len() }
+func (l *Loader) ExpandedPools() int { return int(l.expanded.Load()) }
 
-// Close releases the disk repository, if any.
+// PinnedPools reports how many pools are currently checked out.
+func (l *Loader) PinnedPools() int {
+	n := 0
+	for i := range l.shards {
+		s := &l.shards[i]
+		l.lockShard(s)
+		for _, h := range s.handles {
+			if h.pins > 0 {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Close drains the writeback queue and releases the disk repository,
+// if any. Like SetTraceScope it is a phase-boundary call: no
+// Function/DoneWith may be in flight.
 func (l *Loader) Close() error {
-	if l.repo != nil {
-		err := l.repo.Close()
-		l.repo = nil
-		return err
+	l.wb.stop()
+	l.repoMu.Lock()
+	repo := l.repo
+	l.repo = nil
+	l.repoMu.Unlock()
+	if repo != nil {
+		return repo.Close()
 	}
 	return nil
 }

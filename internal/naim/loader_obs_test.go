@@ -159,12 +159,14 @@ func TestLoaderDiskCountersAndSpans(t *testing.T) {
 	defer l.Close()
 	l.SetTraceScope(root)
 	installAll(l, fns, prog)
+	l.Flush() // land the install-time spills so the sweep reads from disk
 	for _, pid := range prog.FuncPIDs() {
 		if l.Function(pid) == nil {
 			t.Fatal("body lost")
 		}
 		l.DoneWith(pid)
 	}
+	l.Flush() // land the sweep's own evictions before sampling counters
 	root.End()
 
 	s := l.Stats()

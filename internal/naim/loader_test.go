@@ -132,6 +132,9 @@ func TestLoaderDiskOffload(t *testing.T) {
 	l := NewLoader(prog, Config{ForceLevel: LevelDisk, CacheSlots: 3, Dir: t.TempDir()})
 	defer l.Close()
 	installAll(l, fns, prog)
+	// Spill writes are async; drain them so the counters below (and
+	// the read-back sweep) observe landed state, not queue state.
+	l.Flush()
 	s := l.Stats()
 	if s.DiskWrites == 0 {
 		t.Fatal("no disk writes at LevelDisk")
@@ -205,6 +208,7 @@ func TestLoaderAdaptiveThresholds(t *testing.T) {
 	if l.Level() == LevelOff {
 		t.Errorf("budget %d (full %d) did not engage NAIM", budget, full)
 	}
+	l.Flush() // let queued spills land so CurBytes reflects offloaded state
 	if cur := l.Stats().CurBytes; cur > budget {
 		t.Errorf("CurBytes %d exceeds budget %d", cur, budget)
 	}

@@ -3,6 +3,7 @@ package naim
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 )
 
 // Repository is the on-disk store for offloaded pools: an append-only
@@ -10,13 +11,18 @@ import (
 // only for the duration of one optimization session (section 6.1: all
 // *persistent* information stays in object files so that make-based
 // builds keep working; the repository is scratch space).
+//
+// Reads are safe from any number of goroutines (ReadAt is positional)
+// and may overlap the single writer — the NAIM writeback goroutine —
+// because a blob is only read back after its write landed. All
+// counters are atomic so Size/Traffic can be sampled live.
 type Repository struct {
 	f      *os.File
-	off    int64
-	reads  int64
-	writes int64
-	bytesW int64
-	bytesR int64
+	off    atomic.Int64
+	reads  atomic.Int64
+	writes atomic.Int64
+	bytesW atomic.Int64
+	bytesR atomic.Int64
 }
 
 // NewRepository creates a repository backed by a temp file in dir
@@ -29,35 +35,37 @@ func NewRepository(dir string) (*Repository, error) {
 	return &Repository{f: f}, nil
 }
 
-// Put appends a blob and returns its offset.
+// Put appends a blob and returns its offset. Only one writer may call
+// Put at a time (the loader funnels all spills through its writeback
+// goroutine).
 func (r *Repository) Put(b []byte) (int64, error) {
-	off := r.off
+	off := r.off.Load()
 	if _, err := r.f.WriteAt(b, off); err != nil {
 		return 0, fmt.Errorf("naim: repository write: %w", err)
 	}
-	r.off += int64(len(b))
-	r.writes++
-	r.bytesW += int64(len(b))
+	r.off.Add(int64(len(b)))
+	r.writes.Add(1)
+	r.bytesW.Add(int64(len(b)))
 	return off, nil
 }
 
-// Get reads length bytes at offset.
+// Get reads length bytes at offset. Safe for concurrent use.
 func (r *Repository) Get(off int64, length int) ([]byte, error) {
 	b := make([]byte, length)
 	if _, err := r.f.ReadAt(b, off); err != nil {
 		return nil, fmt.Errorf("naim: repository read: %w", err)
 	}
-	r.reads++
-	r.bytesR += int64(length)
+	r.reads.Add(1)
+	r.bytesR.Add(int64(length))
 	return b, nil
 }
 
 // Size reports bytes currently stored (the high-water offset; the
 // repository never reclaims space within a session).
-func (r *Repository) Size() int64 { return r.off }
+func (r *Repository) Size() int64 { return r.off.Load() }
 
 // Traffic reports cumulative write and read byte counts.
-func (r *Repository) Traffic() (written, read int64) { return r.bytesW, r.bytesR }
+func (r *Repository) Traffic() (written, read int64) { return r.bytesW.Load(), r.bytesR.Load() }
 
 // Close removes the backing file.
 func (r *Repository) Close() error {

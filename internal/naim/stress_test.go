@@ -1,0 +1,169 @@
+package naim
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"cmo/internal/il"
+)
+
+// TestLoaderConcurrentStress hammers the sharded loader from
+// 4×NumCPU goroutines with interleaved checkout/unpin/unload-all
+// traffic while budget pressure keeps the loader evicting and
+// spilling to disk. Run under -race (CI does) it is the loader's
+// thread-safety proof; the assertions pin the memory contract:
+// PeakBytes never exceeds the budget plus the worst-case pinned set
+// (bodies checked out concurrently cannot be evicted) plus the
+// writeback queue's unlanded blobs.
+func TestLoaderConcurrentStress(t *testing.T) {
+	prog, fns := genModules(t, 8, 8)
+	pids := prog.FuncPIDs()
+
+	// Measure the full expanded footprint and the largest body so the
+	// overshoot bound below is principled, not a magic slack.
+	full := NewLoader(prog, Config{ForceLevel: LevelOff})
+	var maxBody int64
+	for pid, f := range fns {
+		if b := ExpandedFuncBytes(f); b > maxBody {
+			maxBody = b
+		}
+		_ = pid
+	}
+	for _, pid := range pids {
+		full.InstallFunc(fns[pid].Clone())
+	}
+	budget := full.Stats().PeakBytes * 6 / 10
+	full.Close()
+
+	const depth = 8
+	l := NewLoader(prog, Config{
+		ForceLevel: Adaptive, BudgetBytes: budget,
+		CacheSlots: 6, Shards: 8, WritebackDepth: depth,
+		Dir: t.TempDir(),
+	})
+	defer l.Close()
+	for _, pid := range pids {
+		l.InstallFunc(fns[pid].Clone())
+	}
+
+	workers := 4 * runtime.NumCPU()
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*2654435761 + 1
+			next := func(n int) int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int((rng >> 33) % uint64(n))
+			}
+			for i := 0; i < perWorker; i++ {
+				// Hold one or two bodies at once (a caller plus its
+				// callee, the inliner's access pattern).
+				a := pids[next(len(pids))]
+				fa := l.Function(a)
+				if fa == nil {
+					t.Errorf("lost body for pid %d", a)
+					return
+				}
+				held := []il.PID{a}
+				if next(2) == 0 {
+					b := pids[next(len(pids))]
+					if l.Function(b) == nil {
+						t.Errorf("lost body for pid %d", b)
+						return
+					}
+					held = append(held, b)
+				}
+				if next(16) == 0 {
+					l.UnloadAll()
+				}
+				for _, pid := range held {
+					l.DoneWith(pid)
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	l.Flush()
+
+	// No goroutine leaked a pin.
+	if n := l.PinnedPools(); n != 0 {
+		t.Errorf("%d pools still pinned after all clients finished", n)
+	}
+	// Memory contract: budget + worst-case concurrently pinned set
+	// (each worker holds at most 2 bodies mid-expansion) + unlanded
+	// writeback blobs (each at most one body's blob, blobs are smaller
+	// than expanded bodies).
+	bound := budget + int64(workers)*2*maxBody + int64(depth+1)*maxBody
+	if peak := l.Stats().PeakBytes; peak > bound {
+		t.Errorf("PeakBytes %d exceeds budget %d + pinned/writeback slack (bound %d)", peak, budget, bound)
+	}
+	// Every body must still round-trip intact after the thrash.
+	for _, pid := range pids {
+		f := l.Function(pid)
+		if f == nil {
+			t.Fatalf("lost %s after stress", prog.Sym(pid).Name)
+		}
+		if err := il.Verify(prog, f); err != nil {
+			t.Fatalf("body %s corrupted: %v", f.Name, err)
+		}
+		l.DoneWith(pid)
+	}
+	s := l.Stats()
+	if s.Compactions == 0 || s.Expansions == 0 {
+		t.Errorf("stress exercised no compaction traffic: %+v", s)
+	}
+	if s.WritebackQueued > 0 && s.DiskWrites == 0 {
+		t.Errorf("spills queued (%d) but none landed", s.WritebackQueued)
+	}
+}
+
+// TestLoaderConcurrentSameBody pins the pin-count semantics: many
+// goroutines checking out the SAME body concurrently all see the same
+// expanded pool, and it is never evicted while any of them holds it.
+func TestLoaderConcurrentSameBody(t *testing.T) {
+	prog, fns := genModules(t, 4, 4)
+	pids := prog.FuncPIDs()
+	l := NewLoader(prog, Config{ForceLevel: LevelIR, CacheSlots: 1, Shards: 4})
+	defer l.Close()
+	for _, pid := range pids {
+		l.InstallFunc(fns[pid].Clone())
+	}
+	target := pids[0]
+	var wg sync.WaitGroup
+	ptrs := make([]*il.Function, 16)
+	for w := range ptrs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f := l.Function(target)
+			// Churn other bodies to put eviction pressure on target
+			// while we hold it.
+			for i := 0; i < 50; i++ {
+				other := pids[(w*7+i)%len(pids)]
+				if other == target {
+					continue
+				}
+				if l.Function(other) == nil {
+					t.Errorf("lost churn body")
+					return
+				}
+				l.DoneWith(other)
+			}
+			ptrs[w] = f
+			l.DoneWith(target)
+		}(w)
+	}
+	wg.Wait()
+	if l.PinnedPools() != 0 {
+		t.Error("pins leaked")
+	}
+	for _, p := range ptrs {
+		if p == nil {
+			t.Fatal("a holder lost the shared body")
+		}
+	}
+}

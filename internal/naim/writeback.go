@@ -1,0 +1,116 @@
+package naim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cmo/internal/il"
+)
+
+// The async spill writeback path. Eviction at LevelDisk compacts a
+// pool and hands the blob to a single writeback goroutine over a
+// bounded queue; the evicting client never waits for the disk unless
+// the queue is full (backpressure). The pool stays accounted at blob
+// size — dirty — until the write actually lands (landSpill), so
+// CurBytes never credits space the repository does not yet hold.
+// Function() can re-expand a pool whose write is still in flight
+// straight from the resident blob; the generation check in landSpill
+// then drops the stale landing as dead space in the append-only
+// repository.
+
+// spillJob is one pool headed for the repository. A nil-blob job with
+// a non-nil flush channel is a drain barrier: the writeback goroutine
+// closes the channel once every earlier job has landed.
+type spillJob struct {
+	pid   il.PID
+	gen   uint64
+	blob  []byte
+	flush chan struct{}
+}
+
+// writeback owns the bounded queue and the single writer goroutine.
+type writeback struct {
+	ch      chan spillJob
+	wg      sync.WaitGroup
+	depth   atomic.Int64
+	stopped bool
+}
+
+// startWriteback launches the writer; called once from NewLoader so
+// the channel is immutable for the loader's whole life.
+func (l *Loader) startWriteback() {
+	l.wb.ch = make(chan spillJob, l.cfg.WritebackDepth)
+	l.wb.wg.Add(1)
+	go l.writebackLoop()
+}
+
+// enqueueSpill hands a compacted blob to the writer. Must be called
+// with no shard lock held: a full queue blocks until the writer
+// drains, and the writer takes shard locks to land writes.
+func (l *Loader) enqueueSpill(j spillJob) {
+	d := l.wb.depth.Add(1)
+	for {
+		peak := l.stats.writebackPeakQueue.Load()
+		if d <= peak {
+			break
+		}
+		if l.stats.writebackPeakQueue.CompareAndSwap(peak, d) {
+			l.ctr.wbPeak.Set(d)
+			break
+		}
+	}
+	l.stats.writebackQueued.Add(1)
+	l.ctr.wbQueued.Add(1)
+	l.wb.ch <- j
+}
+
+// writebackLoop is the single writer: repository Puts stay ordered
+// and the append-only offset needs no lock.
+func (l *Loader) writebackLoop() {
+	defer l.wb.wg.Done()
+	for j := range l.wb.ch {
+		if j.flush != nil {
+			close(j.flush)
+			continue
+		}
+		scope := l.getScope()
+		var detail string
+		if scope.Enabled() {
+			detail = l.symName(j.pid)
+		}
+		sp := scope.ChildDetail("naim disk write", detail)
+		off, err := l.getRepo().Put(j.blob)
+		l.stats.diskNanos.Add(sp.End())
+		if err != nil {
+			panic(fmt.Sprintf("naim: repository write failed: %v", err))
+		}
+		l.stats.diskWrites.Add(1)
+		l.ctr.diskWrites.Add(1)
+		l.landSpill(j, off)
+		l.wb.depth.Add(-1)
+	}
+}
+
+// Flush blocks until every spill enqueued so far has landed in the
+// repository. Safe to call concurrently with other loader operations
+// (but not with Close); a loader that never spilled returns after one
+// channel round trip.
+func (l *Loader) Flush() {
+	if l.wb.stopped {
+		return
+	}
+	done := make(chan struct{})
+	l.wb.ch <- spillJob{flush: done}
+	<-done
+}
+
+// stop drains the queue and retires the writer goroutine.
+func (w *writeback) stop() {
+	if w.stopped {
+		return
+	}
+	w.stopped = true
+	close(w.ch)
+	w.wg.Wait()
+}

@@ -18,6 +18,8 @@ package selectivity
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"cmo/internal/il"
 	"cmo/internal/profile"
@@ -52,33 +54,75 @@ type Choice struct {
 // EnumerateSites lists every static call site in the program, pulling
 // bodies through src. Order is deterministic (PID, block, sequence).
 func EnumerateSites(prog *il.Program, src func(il.PID) *il.Function, db *profile.DB) []Site {
-	var sites []Site
-	for _, pid := range prog.FuncPIDs() {
-		f := src(pid)
-		if f == nil {
-			continue
+	return EnumerateSitesJobs(prog, src, db, 1)
+}
+
+// siteScan collects one routine's call sites into dst.
+func siteScan(prog *il.Program, pid il.PID, f *il.Function, db *profile.DB, dst *[]Site) {
+	for bi, b := range f.Blocks {
+		seq := int32(0)
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != il.Call {
+				continue
+			}
+			key := profile.SiteKey{
+				Fn:     f.Name,
+				Block:  int32(bi),
+				Seq:    seq,
+				Callee: prog.Sym(in.Sym).Name,
+			}
+			seq++
+			var count int64
+			if db != nil {
+				count = db.SiteCount(key)
+			}
+			*dst = append(*dst, Site{Key: key, Caller: pid, Callee: in.Sym, Count: count})
 		}
-		for bi, b := range f.Blocks {
-			seq := int32(0)
-			for ii := range b.Instrs {
-				in := &b.Instrs[ii]
-				if in.Op != il.Call {
-					continue
-				}
-				key := profile.SiteKey{
-					Fn:     f.Name,
-					Block:  int32(bi),
-					Seq:    seq,
-					Callee: prog.Sym(in.Sym).Name,
-				}
-				seq++
-				var count int64
-				if db != nil {
-					count = db.SiteCount(key)
-				}
-				sites = append(sites, Site{Key: key, Caller: pid, Callee: in.Sym, Count: count})
+	}
+}
+
+// EnumerateSitesJobs is EnumerateSites fanned out over jobs
+// goroutines. src must be safe for concurrent use (the NAIM loader
+// is). Each routine's sites land in a per-PID slot and the slots are
+// concatenated in PID order, so the result is byte-for-byte the
+// sequential enumeration at any job count.
+func EnumerateSitesJobs(prog *il.Program, src func(il.PID) *il.Function, db *profile.DB, jobs int) []Site {
+	pids := prog.FuncPIDs()
+	if jobs > len(pids) {
+		jobs = len(pids)
+	}
+	if jobs <= 1 {
+		var sites []Site
+		for _, pid := range pids {
+			if f := src(pid); f != nil {
+				siteScan(prog, pid, f, db, &sites)
 			}
 		}
+		return sites
+	}
+	slots := make([][]Site, len(pids))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pids) {
+					return
+				}
+				if f := src(pids[i]); f != nil {
+					siteScan(prog, pids[i], f, db, &slots[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var sites []Site
+	for _, s := range slots {
+		sites = append(sites, s...)
 	}
 	return sites
 }
@@ -87,13 +131,20 @@ func EnumerateSites(prog *il.Program, src func(il.PID) *il.Function, db *profile
 // call sites. percent is clamped to [0, 100]; 0 selects nothing
 // (pure default-level compilation) and 100 selects every site.
 func Select(prog *il.Program, src func(il.PID) *il.Function, db *profile.DB, percent float64) *Choice {
+	return SelectJobs(prog, src, db, percent, 1)
+}
+
+// SelectJobs is Select with the site enumeration fanned out over jobs
+// goroutines (src must be concurrency-safe). The ranking, cut, and
+// resulting Choice are identical at any job count.
+func SelectJobs(prog *il.Program, src func(il.PID) *il.Function, db *profile.DB, percent float64, jobs int) *Choice {
 	if percent < 0 {
 		percent = 0
 	}
 	if percent > 100 {
 		percent = 100
 	}
-	sites := EnumerateSites(prog, src, db)
+	sites := EnumerateSitesJobs(prog, src, db, jobs)
 	// Hottest first; deterministic tie-break on the key.
 	sort.SliceStable(sites, func(i, j int) bool {
 		if sites[i].Count != sites[j].Count {

@@ -177,6 +177,37 @@ func TestModuleFuncs(t *testing.T) {
 	}
 }
 
+func TestSelectJobsInvariant(t *testing.T) {
+	prog, fns, db := setup(t)
+	want := EnumerateSites(prog, src(fns), db)
+	for _, jobs := range []int{2, 4, 8} {
+		got := EnumerateSitesJobs(prog, src(fns), db, jobs)
+		if len(got) != len(want) {
+			t.Fatalf("jobs=%d: %d sites, want %d", jobs, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("jobs=%d: site %d = %+v, want %+v", jobs, i, got[i], want[i])
+			}
+		}
+	}
+	seq := Select(prog, src(fns), db, 60)
+	for _, jobs := range []int{2, 8} {
+		par := SelectJobs(prog, src(fns), db, 60, jobs)
+		if len(par.Sites) != len(seq.Sites) {
+			t.Fatalf("jobs=%d: selected %d sites, want %d", jobs, len(par.Sites), len(seq.Sites))
+		}
+		for i := range seq.Sites {
+			if par.Sites[i].Key != seq.Sites[i].Key {
+				t.Fatalf("jobs=%d: site %d ranked differently", jobs, i)
+			}
+		}
+		if len(par.Modules) != len(seq.Modules) || len(par.Funcs) != len(seq.Funcs) {
+			t.Fatalf("jobs=%d: module/func sets differ from sequential", jobs)
+		}
+	}
+}
+
 func TestSelectDeterministic(t *testing.T) {
 	prog, fns, db := setup(t)
 	a := Select(prog, src(fns), db, 60)

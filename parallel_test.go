@@ -1,0 +1,118 @@
+package cmo
+
+import (
+	"errors"
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/naim"
+	"cmo/internal/obs"
+	"cmo/internal/source"
+	"cmo/internal/vpa"
+	"cmo/internal/workload"
+)
+
+// lowerSpec runs the frontend over a generated workload, returning the
+// IL program and bodies for white-box pipeline tests.
+func lowerSpec(t *testing.T, spec workload.Spec) (*il.Program, map[il.PID]*il.Function) {
+	t.Helper()
+	var files []*source.File
+	for _, m := range spec.Generate() {
+		f, err := source.Parse(m.Name+".minc", m.Text)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := source.Check(f); err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		files = append(files, f)
+	}
+	res, err := lower.Modules(files)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return res.Prog, res.Funcs
+}
+
+// TestCompileParallelErrorUnpinsAll: when one routine fails mid-stream
+// under Jobs > 1, the cursor must stop handing out new bodies and
+// every already checked-out body must be released — a failing build
+// leaves no pinned handles behind, so UnloadAll can compact everything.
+func TestCompileParallelErrorUnpinsAll(t *testing.T) {
+	spec := testSpec(31)
+	prog, fns := lowerSpec(t, spec)
+	loader := naim.NewLoader(prog, naim.Config{})
+	defer loader.Close()
+	for _, pid := range prog.FuncPIDs() {
+		loader.InstallFunc(fns[pid])
+	}
+
+	// Fail verification on one routine roughly mid-way through the PID
+	// order; every other routine compiles normally, so several workers
+	// are holding bodies when the failure lands.
+	pids := prog.FuncPIDs()
+	victim := prog.Sym(pids[len(pids)/2]).Name
+	wantErr := errors.New("injected verify failure")
+	verify := func(f *il.Function) error {
+		if f.Name == victim {
+			return wantErr
+		}
+		return nil
+	}
+	classify := func(il.PID, *il.Function) (int, bool) { return 2, false }
+
+	b := &Build{Prog: prog}
+	code := make(map[il.PID]*vpa.Func)
+	err := b.compileParallel(loader, nil, code, classify, verify, 8, obs.Span{})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("compileParallel error = %v, want the injected failure", err)
+	}
+	if n := loader.PinnedPools(); n != 0 {
+		t.Errorf("failing build left %d pools pinned", n)
+	}
+	if n := loader.UnloadAll(); n != 0 {
+		t.Errorf("UnloadAll found %d pinned pools after a failing build", n)
+	}
+	// The victim must not have produced code.
+	if _, ok := code[prog.Lookup(victim).PID]; ok {
+		t.Errorf("failing routine %s still emitted code", victim)
+	}
+}
+
+func TestParallelBuildIdenticalAcrossJobs(t *testing.T) {
+	// The deepest configuration: cross-module optimization, PBO, and
+	// full interprocedural verification — every parallelized phase
+	// (frontend, selectivity, out-of-scope summaries, HLO verify
+	// passes, codegen, post-link verify) is exercised. The image must
+	// be byte-identical at every job count.
+	spec := testSpec(101)
+	spec.Modules = 10
+	mods := sources(spec)
+	db, err := Train(mods, []map[string]int64{trainInputs(spec)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{
+		Level: O4, PBO: true, DB: db, SelectPercent: 20,
+		Verify:   VerifyInterproc,
+		Volatile: workload.InputGlobals(),
+	}
+	var ref string
+	for _, jobs := range []int{1, 2, 4, 8} {
+		opt := base
+		opt.Jobs = jobs
+		b, err := BuildSource(mods, opt)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		dis := b.Image.Disasm()
+		if jobs == 1 {
+			ref = dis
+			continue
+		}
+		if dis != ref {
+			t.Fatalf("jobs=%d: image differs from the sequential build", jobs)
+		}
+	}
+}

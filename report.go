@@ -129,6 +129,12 @@ func (b *Build) TimingReport() string {
 		fmt.Fprintf(&sb, " (%.1f%% hit rate)", 100*float64(s.NAIM.CacheHits)/float64(tot))
 	}
 	sb.WriteString("\n")
+	// Contention figures only appear under Jobs > 1 (or disk offload):
+	// an uncontended single-threaded build keeps this line out.
+	if s.NAIM.LockWaitNanos > 0 || s.NAIM.WritebackQueued > 0 {
+		fmt.Fprintf(&sb, "naim contention: %.2f ms shard-lock wait, %d spills queued (peak queue %d)\n",
+			ms(s.NAIM.LockWaitNanos), s.NAIM.WritebackQueued, s.NAIM.WritebackPeakQueue)
+	}
 	if b.trace != nil {
 		if tree := b.trace.PhaseTree(); tree != "" {
 			sb.WriteString("phases:\n")

@@ -37,9 +37,9 @@ var testHLOTamper func(transform string, prog *il.Program, loader *naim.Loader)
 // and folds its cost and findings into the build stats. The returned
 // error (nil when no error-severity diagnostics were found) carries
 // the first diagnostic verbatim.
-func (b *Build) runVerify(loader *naim.Loader, level analyze.Level, omit map[il.PID]bool, parent obs.Span, stage string) error {
+func (b *Build) runVerify(loader *naim.Loader, level analyze.Level, jobs int, omit map[il.PID]bool, parent obs.Span, stage string) error {
 	sp := parent.ChildDetail("verify", stage)
-	res := analyze.Program(b.Prog, loader, analyze.Options{Level: level, Omit: omit, Span: sp})
+	res := analyze.Program(b.Prog, loader, analyze.Options{Level: level, Jobs: jobs, Omit: omit, Span: sp})
 	b.Stats.VerifyNanos += sp.End()
 	b.Stats.VerifyDiags += len(res.Diags)
 	return res.Err()
@@ -52,7 +52,7 @@ func (b *Build) verifyStage(loader *naim.Loader, opt Options, stage string, omit
 	if opt.Verify == analyze.Off {
 		return nil
 	}
-	if err := b.runVerify(loader, opt.Verify, omit, parent, stage); err != nil {
+	if err := b.runVerify(loader, opt.Verify, opt.Jobs, omit, parent, stage); err != nil {
 		return fmt.Errorf("cmo: verification failed after %s: %w", stage, err)
 	}
 	return nil
@@ -67,7 +67,7 @@ func (b *Build) hloCheck(loader *naim.Loader, opt Options, hsp obs.Span) func(st
 		if testHLOTamper != nil {
 			testHLOTamper(transform, b.Prog, loader)
 		}
-		return b.runVerify(loader, opt.Verify, nil, hsp, transform)
+		return b.runVerify(loader, opt.Verify, opt.Jobs, nil, hsp, transform)
 	}
 }
 
