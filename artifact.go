@@ -1,0 +1,225 @@
+package cmo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cmo/internal/il"
+	"cmo/internal/lower"
+)
+
+// The frontend artifact: one module's complete frontend output in the
+// relocatable form the session repository stores. It carries the
+// module's Shape (its symbol-table interface — definitions and
+// externs in declaration order) plus the portable encoding of every
+// function body (internal/naim, name-symbolic: no PID appears
+// anywhere in the blob).
+//
+// Replaying an artifact re-runs the same Register/ResolveExterns
+// passes live lowering uses, over the decoded Shape, so a warm build
+// interns symbols in exactly the order a cold one would — PIDs agree
+// by construction and the decoded bodies drop into the same program
+// slots. The body blobs resolve their symbol references by name
+// against the rebuilt table, which is what lets a module's artifact
+// survive edits to *other* modules.
+
+const feArtifactMagic = "CMOFE1\n"
+
+var errArtifact = errors.New("cmo: corrupt frontend artifact")
+
+// frontendArtifact is the decoded form.
+type frontendArtifact struct {
+	shape lower.Shape
+	// bodies holds one portable blob per function definition, in
+	// Shape.Defs order (functions only).
+	bodies [][]byte
+}
+
+type artWriter struct{ b []byte }
+
+func (w *artWriter) u(v uint64)      { w.b = binary.AppendUvarint(w.b, v) }
+func (w *artWriter) i(v int64)       { w.b = binary.AppendVarint(w.b, v) }
+func (w *artWriter) byte(v byte)     { w.b = append(w.b, v) }
+func (w *artWriter) str(s string)    { w.u(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *artWriter) blob(b []byte)   { w.u(uint64(len(b))); w.b = append(w.b, b...) }
+func (w *artWriter) sig(s il.Signature) {
+	w.byte(byte(s.Ret))
+	w.u(uint64(len(s.Params)))
+	for _, p := range s.Params {
+		w.byte(byte(p))
+	}
+}
+
+type artReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *artReader) fail() {
+	if r.err == nil {
+		r.err = errArtifact
+	}
+}
+
+func (r *artReader) u() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *artReader) i() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *artReader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *artReader) take(n uint64) []byte {
+	if r.err != nil || n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return nil
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+func (r *artReader) str() string  { return string(r.take(r.u())) }
+func (r *artReader) blob() []byte { return r.take(r.u()) }
+
+func (r *artReader) sig() il.Signature {
+	s := il.Signature{Ret: il.Type(r.byte())}
+	n := r.u()
+	if r.err != nil || n > uint64(len(r.b)) {
+		r.fail()
+		return s
+	}
+	for j := uint64(0); j < n; j++ {
+		s.Params = append(s.Params, il.Type(r.byte()))
+	}
+	return s
+}
+
+// encodeFrontendArtifact serializes a module's shape and its portable
+// function bodies (in Defs order, functions only).
+func encodeFrontendArtifact(sh lower.Shape, bodies [][]byte) []byte {
+	w := &artWriter{b: make([]byte, 0, 256)}
+	w.b = append(w.b, feArtifactMagic...)
+	w.str(sh.Name)
+	w.u(uint64(sh.Lines))
+	w.u(uint64(len(sh.Defs)))
+	for _, d := range sh.Defs {
+		w.str(d.Name)
+		w.byte(byte(d.Kind))
+		if d.Kind == il.SymFunc {
+			w.sig(d.Sig)
+		} else {
+			w.byte(byte(d.Type))
+			w.i(d.Elems)
+			w.i(d.Init)
+		}
+	}
+	w.u(uint64(len(sh.Externs)))
+	for _, e := range sh.Externs {
+		w.str(e.Name)
+		if e.IsFunc {
+			w.byte(1)
+			w.sig(e.Sig)
+		} else {
+			w.byte(0)
+			w.byte(byte(e.Type))
+			w.i(e.Elems)
+		}
+	}
+	w.u(uint64(len(bodies)))
+	for _, b := range bodies {
+		w.blob(b)
+	}
+	return w.b
+}
+
+// decodeFrontendArtifact parses an artifact blob. The body blobs are
+// returned still encoded: they can only be expanded once the whole
+// program's symbol table exists.
+func decodeFrontendArtifact(blob []byte) (*frontendArtifact, error) {
+	if len(blob) < len(feArtifactMagic) || string(blob[:len(feArtifactMagic)]) != feArtifactMagic {
+		return nil, errArtifact
+	}
+	r := &artReader{b: blob, off: len(feArtifactMagic)}
+	a := &frontendArtifact{}
+	a.shape.Name = r.str()
+	a.shape.Lines = int(r.u())
+	ndefs := r.u()
+	if r.err != nil || ndefs > uint64(len(blob)) {
+		return nil, errArtifact
+	}
+	funcs := 0
+	for j := uint64(0); j < ndefs; j++ {
+		d := lower.ShapeDef{Name: r.str(), Kind: il.SymKind(r.byte())}
+		if d.Kind == il.SymFunc {
+			d.Sig = r.sig()
+			funcs++
+		} else {
+			d.Type = il.Type(r.byte())
+			d.Elems = r.i()
+			d.Init = r.i()
+		}
+		a.shape.Defs = append(a.shape.Defs, d)
+	}
+	next := r.u()
+	if r.err != nil || next > uint64(len(blob)) {
+		return nil, errArtifact
+	}
+	for j := uint64(0); j < next; j++ {
+		e := lower.ShapeExtern{Name: r.str(), IsFunc: r.byte() == 1}
+		if e.IsFunc {
+			e.Sig = r.sig()
+		} else {
+			e.Type = il.Type(r.byte())
+			e.Elems = r.i()
+		}
+		a.shape.Externs = append(a.shape.Externs, e)
+	}
+	nbodies := r.u()
+	if r.err != nil || nbodies > uint64(len(blob)) {
+		return nil, errArtifact
+	}
+	if nbodies != uint64(funcs) {
+		return nil, fmt.Errorf("cmo: frontend artifact has %d bodies for %d functions", nbodies, funcs)
+	}
+	for j := uint64(0); j < nbodies; j++ {
+		a.bodies = append(a.bodies, r.blob())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(blob) {
+		return nil, fmt.Errorf("cmo: %d trailing bytes in frontend artifact", len(blob)-r.off)
+	}
+	return a, nil
+}

@@ -3,8 +3,8 @@
 // time/space dial), Figure 6 (the selectivity sweep), the section-8
 // memory-per-line history, and the design-decision ablations.
 //
-//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|all] [-o report.txt]
-//	         [-metrics metrics.json] [-json BENCH_parallel.json] [-v]
+//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|all]
+//	         [-o report.txt] [-metrics metrics.json] [-json BENCH_*.json] [-v]
 //
 // -metrics aggregates spans and counters across every build the
 // selected experiments run and writes them as machine-readable JSON
@@ -14,7 +14,8 @@
 // -json runs the parallel-pipeline sweep (Options.Jobs over 1/2/4/8)
 // and writes its speedup record to the given file (conventionally
 // BENCH_parallel.json), so the parallelism trajectory is tracked
-// commit over commit.
+// commit over commit. With -fig incremental it instead writes the
+// cold-vs-warm rebuild record (conventionally BENCH_incremental.json).
 package main
 
 import (
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (module-count multiplier)")
-	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, all")
+	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, all")
 	out := flag.String("o", "", "write the report to a file as well as stdout")
 	metrics := flag.String("metrics", "", "write an aggregated metrics JSON snapshot (spans + counters) to this file")
 	benchJSON := flag.String("json", "", "run the Jobs sweep and write its speedup record (BENCH_parallel.json) to this file")
@@ -88,7 +89,7 @@ func main() {
 		}
 		emit(experiments.RenderHistory(rows))
 	}
-	if want("parallel") || *benchJSON != "" {
+	if want("parallel") || (*benchJSON != "" && *fig != "incremental") {
 		rec, err := experiments.Parallel(cfg)
 		if err != nil {
 			fatalf("parallel: %v", err)
@@ -96,18 +97,22 @@ func main() {
 		if want("parallel") {
 			emit(experiments.RenderParallel(rec))
 		}
-		if *benchJSON != "" {
-			f, err := os.Create(*benchJSON)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			if err := experiments.WriteParallelJSON(f, rec); err != nil {
-				f.Close()
-				fatalf("writing %s: %v", *benchJSON, err)
-			}
-			if err := f.Close(); err != nil {
-				fatalf("writing %s: %v", *benchJSON, err)
-			}
+		if *benchJSON != "" && *fig != "incremental" {
+			writeJSON(*benchJSON, func(w io.Writer) error {
+				return experiments.WriteParallelJSON(w, rec)
+			})
+		}
+	}
+	if want("incremental") {
+		rec, err := experiments.Incremental(cfg)
+		if err != nil {
+			fatalf("incremental: %v", err)
+		}
+		emit(experiments.RenderIncremental(rec))
+		if *benchJSON != "" && *fig == "incremental" {
+			writeJSON(*benchJSON, func(w io.Writer) error {
+				return experiments.WriteIncrementalJSON(w, rec)
+			})
 		}
 	}
 	if want("ablation") {
@@ -141,6 +146,20 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatalf("writing %s: %v", *metrics, err)
 		}
+	}
+}
+
+func writeJSON(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("writing %s: %v", path, err)
 	}
 }
 

@@ -21,7 +21,7 @@
 // and writes an executable VPA image:
 //
 //	cmoc [-O level] [-trace out.json] [-timing] [-budget n] [-naim cfg]
-//	     [-j jobs] [-o out.vx] a.minc b.minc ...
+//	     [-j jobs] [-cache-dir dir] [-o out.vx] a.minc b.minc ...
 //
 // Driver mode defaults to -O4 (multi-module compilation is exactly the
 // cross-module scenario). -trace captures the build as Chrome
@@ -32,6 +32,11 @@
 // cache so the trace shows loader activity (compactions, expansions,
 // cache churn) even on programs too small to need a budget; generated
 // code is identical either way (NAIM affects memory, never output).
+//
+// -cache-dir names a durable build repository: rebuilds replay the
+// frontend for unchanged modules and HLO records for functions whose
+// inputs are unchanged. A warm rebuild writes the same image bytes a
+// cold one would — the cache changes build time, never output.
 package main
 
 import (
@@ -54,6 +59,7 @@ func main() {
 	budget := flag.Int64("budget", 0, "driver mode: NAIM memory budget in modeled bytes (0 = unlimited)")
 	naimLevel := flag.String("naim", "", "driver mode: pin the NAIM level (off|ir|st|disk|adaptive)")
 	jobs := flag.Int("j", 1, "driver mode: parallel frontend/codegen jobs (output is identical)")
+	cacheDir := flag.String("cache-dir", "", "driver mode: durable build repository for incremental rebuilds (warm builds are byte-identical)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cmoc [-O level] [-o out.o] file.minc\n")
 		fmt.Fprintf(os.Stderr, "       cmoc [-O level] [-trace out.json] [-timing] [-o out.vx] a.minc b.minc ...\n")
@@ -74,12 +80,12 @@ func main() {
 		fatalf("invalid -O %d (want 1..4)", *level)
 	}
 
-	driver := flag.NArg() > 1 || *tracePath != "" || *timing
+	driver := flag.NArg() > 1 || *tracePath != "" || *timing || *cacheDir != ""
 	if driver {
 		if !levelSet {
 			*level = 4
 		}
-		runDriver(flag.Args(), *level, *out, *tracePath, *timing, *budget, *naimLevel, *jobs)
+		runDriver(flag.Args(), *level, *out, *tracePath, *timing, *budget, *naimLevel, *jobs, *cacheDir)
 		return
 	}
 
@@ -115,7 +121,7 @@ func main() {
 }
 
 // runDriver compiles and links a whole program in one process.
-func runDriver(paths []string, level int, out, tracePath string, timing bool, budget int64, naimLevel string, jobs int) {
+func runDriver(paths []string, level int, out, tracePath string, timing bool, budget int64, naimLevel string, jobs int, cacheDir string) {
 	var mods []cmo.SourceModule
 	for _, path := range paths {
 		text, err := os.ReadFile(path)
@@ -159,10 +165,17 @@ func runDriver(paths []string, level int, out, tracePath string, timing bool, bu
 		NAIM:          ncfg,
 		Jobs:          jobs,
 		Trace:         tr,
+		CacheDir:      cacheDir,
 	}
 	b, err := cmo.BuildSource(mods, opt)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	// A pin leak means some pipeline stage kept a loader checkout past
+	// the end of the build — a lifecycle bug, not a user error, and one
+	// that must not pass silently in scripted builds.
+	if b.Stats.PinLeaks > 0 {
+		fatalf("internal: %d NAIM pools still pinned after the pipeline finished", b.Stats.PinLeaks)
 	}
 
 	dst := out

@@ -43,6 +43,7 @@ func main() {
 	explain := flag.Bool("explain", false, "print a selection/optimization report (paper section 6.2 diagnostics)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file of the build")
 	timing := flag.Bool("timing", false, "print the phase timing report to stderr")
+	cacheDir := flag.String("cache-dir", "", "durable build repository: replay HLO work for unchanged functions (-O4)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cmold [flags] a.o b.o ...\n")
 		flag.PrintDefaults()
@@ -103,6 +104,7 @@ func main() {
 			NAIM:          naim.Config{BudgetBytes: *budget, ForceLevel: naim.Adaptive},
 			Jobs:          *jobs,
 			Trace:         tr,
+			CacheDir:      *cacheDir,
 		}
 		if *o4 && !*instrument {
 			opt.Level = cmo.O4
@@ -115,6 +117,9 @@ func main() {
 		b, err := cmo.BuildIL(ln.Prog, ln.IL, opt)
 		if err != nil {
 			fatalf("%v", err)
+		}
+		if b.Stats.PinLeaks > 0 {
+			fatalf("internal: %d NAIM pools still pinned after the pipeline finished", b.Stats.PinLeaks)
 		}
 		writeImage(*out, b)
 		if *instrument {

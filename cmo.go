@@ -22,25 +22,25 @@
 // link-time cross-module optimization; PBO layers profile-based
 // optimization on any of them, and Instrument produces a +I build
 // whose runs feed the profile database.
+//
+// The pipeline itself is organized as explicit stages — frontend,
+// select, HLO, LLO, link — each in its own stage_*.go file, run by
+// the coordinator in pipeline.go. A Session (session.go) adds a
+// persistent content-addressed artifact repository under the stages:
+// with Options.CacheDir set, warm rebuilds replay the frontend for
+// unchanged modules instead of re-lowering them.
 package cmo
 
 import (
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"cmo/internal/analyze"
 	"cmo/internal/hlo"
 	"cmo/internal/il"
-	"cmo/internal/link"
-	"cmo/internal/llo"
-	"cmo/internal/lower"
 	"cmo/internal/naim"
 	"cmo/internal/obs"
 	"cmo/internal/profile"
-	"cmo/internal/selectivity"
-	"cmo/internal/source"
 	"cmo/internal/vpa"
 )
 
@@ -148,6 +148,20 @@ type Options struct {
 	// pays only the monotonic clock reads the phase statistics always
 	// paid, and allocates nothing.
 	Trace *obs.Trace
+	// CacheDir, when non-empty, names a directory holding the durable
+	// build repository. BuildSource opens a Session over it for the
+	// duration of the call: modules whose source, options fingerprint,
+	// and toolchain version match a stored artifact skip the frontend
+	// (parse/check/lower) and are replayed from the repository, and
+	// HLO per-function work is replayed for functions whose inputs are
+	// unchanged. Warm rebuilds are byte-identical to cold builds at
+	// every optimization level. Ignored when Session is set.
+	CacheDir string
+	// Session, when non-nil, is an already-open build session to use
+	// (and keep open) instead of opening CacheDir per build. Callers
+	// doing repeated in-process builds share one Session so each build
+	// warms the next.
+	Session *Session
 }
 
 // BuildStats records what a build did and what it cost. Memory
@@ -171,6 +185,21 @@ type BuildStats struct {
 	NAIM naim.Stats
 	// NAIMLevel is the highest NAIM level engaged during the build.
 	NAIMLevel naim.Level
+
+	// Incremental-build outcome (builds with a Session / CacheDir).
+	// A frontend hit is a module replayed from the repository without
+	// parsing or lowering; a miss was lowered from source (and its
+	// artifact stored for next time).
+	CacheFrontendHits   int
+	CacheFrontendMisses int
+	// HLO replay hits/misses (per-function records; see hlo.Stats
+	// ReplayHits/ReplayMisses for the same figures).
+	CacheHLOHits   int
+	CacheHLOMisses int
+	// PinLeaks counts loader handles still pinned when the pipeline
+	// finished — each one is a checkout some stage never returned
+	// (see Loader.UnloadAll). Always zero in a correct build.
+	PinLeaks int
 
 	FrontendNanos int64
 	HLONanos      int64
@@ -223,646 +252,6 @@ type Build struct {
 // Trace returns the trace the build recorded into (nil when tracing
 // was not requested).
 func (b *Build) Trace() *obs.Trace { return b.trace }
-
-// llOBytes models LLO's working-set for one routine: linear IR plus
-// quadratic analysis structures (interference, scheduling windows).
-func lloBytes(n int) int64 {
-	nn := int64(n)
-	return 96*nn + nn*nn/6
-}
-
-// BuildSource compiles a set of MinC modules into an executable VPA
-// image according to the options.
-//
-// Phase timing is span-derived: one "build" root span covers the whole
-// call; "frontend" covers parse/check/lower, and the optimize/link
-// phases nest under the same root inside buildIL. Each BuildStats
-// duration is the duration of exactly one span, measured from a single
-// captured start timestamp, so FrontendNanos + HLONanos + LLONanos +
-// LinkNanos can never exceed TotalNanos (the old subtraction scheme
-// read the clock twice and broke that invariant).
-func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
-	root := opt.Trace.StartSpan("build")
-	fe := root.Child("frontend")
-	files := make([]*source.File, len(mods))
-	jobs := opt.Jobs
-	if jobs < 1 {
-		jobs = 1
-	}
-	if jobs > len(mods) {
-		jobs = len(mods)
-	}
-	if jobs <= 1 {
-		for i, m := range mods {
-			sp := fe.ChildDetail("parse", m.Name)
-			f, err := source.Parse(m.Name, m.Text)
-			if err == nil {
-				err = source.Check(f)
-			}
-			sp.End()
-			if err != nil {
-				return nil, err
-			}
-			files[i] = f
-		}
-	} else {
-		// Parsing and checking are per-file pure; fan out. Workers
-		// keep draining after an error so the feeder never blocks.
-		work := make(chan int)
-		errs := make(chan error, jobs)
-		for w := 0; w < jobs; w++ {
-			go func() {
-				var werr error
-				for i := range work {
-					if werr != nil {
-						continue
-					}
-					sp := fe.ChildDetail("parse", mods[i].Name)
-					f, err := source.Parse(mods[i].Name, mods[i].Text)
-					if err == nil {
-						err = source.Check(f)
-					}
-					sp.End()
-					if err != nil {
-						werr = err
-						continue
-					}
-					files[i] = f
-				}
-				errs <- werr
-			}()
-		}
-		for i := range mods {
-			work <- i
-		}
-		close(work)
-		var firstErr error
-		for w := 0; w < jobs; w++ {
-			if err := <-errs; err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		if firstErr != nil {
-			return nil, firstErr
-		}
-	}
-	lsp := fe.Child("lower")
-	res, err := lower.Modules(files)
-	lsp.End()
-	if err != nil {
-		return nil, err
-	}
-	feNanos := fe.End()
-	b, err := buildIL(res.Prog, res.Funcs, opt, root)
-	if err != nil {
-		return nil, err
-	}
-	b.Stats.FrontendNanos = feNanos
-	b.Stats.TotalNanos = root.End()
-	return b, nil
-}
-
-// BuildIL compiles an already-lowered program (from BuildSource's
-// frontend, or from IL-carrying object files merged by the linker —
-// the paper's CMO-at-link-time entry point).
-func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build, error) {
-	root := opt.Trace.StartSpan("build")
-	b, err := buildIL(prog, fns, opt, root)
-	if err != nil {
-		return nil, err
-	}
-	b.Stats.TotalNanos = root.End()
-	return b, nil
-}
-
-// buildIL is the shared optimize-compile-link pipeline; phase spans
-// nest under parent, and the loader's trace scope tracks the phase the
-// pipeline is in so NAIM activity nests where it happened.
-func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, parent obs.Span) (*Build, error) {
-	if opt.Level == 0 {
-		opt.Level = O2
-	}
-	if opt.Entry == "" {
-		opt.Entry = "main"
-	}
-	if opt.PBO && opt.DB == nil {
-		return nil, fmt.Errorf("cmo: PBO requested without a profile database")
-	}
-
-	b := &Build{Prog: prog, trace: opt.Trace}
-	b.Stats.Level = opt.Level
-	b.Stats.PBO = opt.PBO
-	b.Stats.Modules = len(prog.Modules)
-	for _, m := range prog.Modules {
-		b.Stats.TotalLines += m.Lines
-	}
-
-	if opt.DB != nil {
-		opt.DB.Apply(fns)
-	}
-	var probeMap *profile.Map
-	if opt.Instrument {
-		fns, probeMap = profile.Instrument(prog, fns)
-		b.ProbeMap = probeMap
-	}
-
-	// Hand all transitory pools to the NAIM loader.
-	loader := naim.NewLoader(prog, opt.NAIM)
-	defer loader.Close()
-	loader.SetTraceScope(parent)
-	for _, pid := range prog.FuncPIDs() {
-		loader.InstallFunc(fns[pid])
-	}
-	b.Stats.Functions = len(prog.FuncPIDs())
-
-	// Baseline check: the frontend's IL must be clean before any
-	// transform touches it, or every later failure would be blamed on
-	// the wrong stage.
-	if err := b.verifyStage(loader, opt, "frontend", nil, parent); err != nil {
-		return nil, err
-	}
-
-	volatile := make(map[il.PID]bool)
-	for _, name := range opt.Volatile {
-		if s := prog.Lookup(name); s != nil {
-			volatile[s.PID] = true
-		}
-	}
-
-	omit := make(map[il.PID]bool)
-	switch {
-	case opt.Instrument:
-		// Instrumented builds skip HLO: probes measure the program
-		// the frontend produced.
-	case opt.Level >= O4:
-		hsp := parent.Child("hlo")
-		loader.SetTraceScope(hsp)
-		if err := b.runHLO(loader, opt, volatile, omit, hsp); err != nil {
-			return nil, err
-		}
-		b.Stats.HLONanos = hsp.End()
-		loader.SetTraceScope(parent)
-	case opt.Level == O3:
-		hsp := parent.Child("hlo")
-		loader.SetTraceScope(hsp)
-		if err := b.runHLOPerModule(loader, opt, volatile, omit, hsp); err != nil {
-			return nil, err
-		}
-		b.Stats.HLONanos = hsp.End()
-		loader.SetTraceScope(parent)
-	}
-
-	// LLO: compile every surviving function. With MultiLayer, each
-	// routine's tier picks its code-generation effort (paper
-	// section 8's layered strategy).
-	lsp := parent.Child("llo")
-	loader.SetTraceScope(lsp)
-	lloLevel := 2
-	if opt.Level == O1 {
-		lloLevel = 1
-	}
-	multiLayer := opt.MultiLayer && opt.Level >= O4 && opt.DB != nil
-	code := make(map[il.PID]*vpa.Func)
-
-	// Per-routine re-verification of LLO's optimized working copy,
-	// just before emission. analyze.Function is pure over its inputs,
-	// so the hook is safe from the parallel codegen workers.
-	var lloVerify func(*il.Function) error
-	if opt.Verify != analyze.Off {
-		level := opt.Verify
-		lloVerify = func(f *il.Function) error {
-			return analyze.FirstError(analyze.Function(prog, f, level))
-		}
-	}
-
-	// classify applies the multi-layer tier policy for one routine.
-	classify := func(pid il.PID, f *il.Function) (int, bool) {
-		if !multiLayer {
-			return lloLevel, opt.PBO
-		}
-		switch {
-		case f.Calls == 0:
-			// Never executed during training: cheapest codegen.
-			b.Stats.TierCold++
-			return 1, false
-		case !b.selectedFns[pid]:
-			b.Stats.TierWarm++
-			return lloLevel, opt.PBO
-		default:
-			b.Stats.TierHot++
-			return lloLevel, opt.PBO
-		}
-	}
-
-	lloJobs := opt.Jobs
-	if lloJobs < 1 {
-		lloJobs = 1
-	}
-	if lloJobs <= 1 {
-		for _, pid := range prog.FuncPIDs() {
-			if omit[pid] {
-				continue
-			}
-			f := loader.Function(pid)
-			if f == nil {
-				return nil, fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name)
-			}
-			fnLevel, fnPBO := classify(pid, f)
-			mf, err := llo.Compile(prog, f, llo.Options{Level: fnLevel, PBO: fnPBO, Span: lsp, Verify: lloVerify})
-			if err != nil {
-				return nil, err
-			}
-			if lb := lloBytes(f.NumInstrs()); lb > b.Stats.LLOPeakBytes {
-				b.Stats.LLOPeakBytes = lb
-			}
-			code[pid] = mf
-			loader.DoneWith(pid)
-		}
-	} else if err := b.compileParallel(loader, omit, code, classify, lloVerify, lloJobs, lsp); err != nil {
-		return nil, err
-	}
-	b.Stats.LLONanos = lsp.End()
-	loader.SetTraceScope(parent)
-
-	// Link: clustering needs profiled call edges.
-	ksp := parent.Child("link")
-	lopts := link.Options{Entry: opt.Entry, Omit: omit, Span: ksp}
-	if probeMap != nil {
-		lopts.NumProbes = probeMap.NumProbes()
-	}
-	if opt.PBO && opt.DB != nil {
-		lopts.Cluster = true
-		lopts.Edges = profileEdges(prog, opt.DB)
-	}
-	img, err := link.Link(prog, code, lopts)
-	if err != nil {
-		return nil, err
-	}
-	b.Stats.LinkNanos = ksp.End()
-	// Let queued repository spills land before the final stats
-	// snapshot so disk-write figures reflect the repository, not the
-	// writeback queue.
-	loader.Flush()
-	// Post-link consistency: the surviving IL, with the dead set
-	// omitted, must still verify — in particular no surviving routine
-	// may reference one that dead-code elimination removed.
-	if err := b.verifyStage(loader, opt, "link", omit, parent); err != nil {
-		return nil, err
-	}
-	b.Image = img
-	b.Stats.CodeBytes = img.CodeBytes()
-	b.Stats.NAIM = loader.Stats()
-	b.Stats.NAIMLevel = loader.Level()
-	b.Stats.CompilerPeakBytes = b.Stats.NAIM.PeakBytes + b.Stats.LLOPeakBytes
-	return b, nil
-}
-
-// runHLO performs selection and cross-module optimization.
-func (b *Build) runHLO(loader *naim.Loader, opt Options, volatile map[il.PID]bool, omit map[il.PID]bool, hsp obs.Span) error {
-	prog := b.Prog
-	hopts := hlo.Options{
-		DB:         opt.DB,
-		Volatile:   volatile,
-		Entry:      opt.Entry,
-		Budget:     opt.Budget,
-		MaxInlines: opt.MaxInlines,
-		Span:       hsp,
-	}
-	if opt.Verify != analyze.Off {
-		hopts.Check = b.hloCheck(loader, opt, hsp)
-	}
-
-	switch {
-	case opt.ScopeModules != nil:
-		// Explicit coarse scope (isolation/debugging): the listed
-		// modules enter CMO; everything else bypasses HLO.
-		scope := make(map[il.PID]bool)
-		want := make(map[int32]bool, len(opt.ScopeModules))
-		for _, mi := range opt.ScopeModules {
-			if mi < 0 || mi >= len(prog.Modules) {
-				return fmt.Errorf("cmo: ScopeModules index %d out of range (%d modules)", mi, len(prog.Modules))
-			}
-			want[int32(mi)] = true
-		}
-		for _, pid := range prog.FuncPIDs() {
-			if want[prog.Sym(pid).Module] {
-				scope[pid] = true
-			}
-		}
-		b.Stats.CMOModules = len(want)
-		b.Stats.CMOFunctions = len(scope)
-		if len(scope) == 0 {
-			return nil
-		}
-		hopts.Scope = scope
-		hopts.Selected = scope
-		extCalled, extStored := b.summarizeOutOfScope(loader, scope, opt.Jobs)
-		hopts.ExternallyCalled = extCalled
-		hopts.ExternStored = extStored
-	case opt.SelectPercent >= 0 && opt.DB != nil:
-		ssp := hsp.Child("select")
-		ch := selectivity.SelectJobs(prog, func(pid il.PID) *il.Function {
-			f := loader.Function(pid)
-			loader.DoneWith(pid)
-			return f
-		}, opt.DB, opt.SelectPercent, opt.Jobs)
-		ssp.End()
-		b.Stats.TotalSites = ch.TotalSites
-		b.Stats.SelectedSites = len(ch.Sites)
-		b.Stats.CMOModules = len(ch.Modules)
-		b.Stats.CMOFunctions = len(ch.Funcs)
-		b.Stats.SelectedLines = ch.SelectedLines
-		if len(ch.Modules) == 0 {
-			return nil // nothing selected: pure default-level build
-		}
-		scope := make(map[il.PID]bool)
-		for _, pid := range ch.ModuleFuncs(prog) {
-			scope[pid] = true
-		}
-		hopts.Scope = scope
-		hopts.Selected = ch.Funcs
-		extCalled, extStored := b.summarizeOutOfScope(loader, scope, opt.Jobs)
-		hopts.ExternallyCalled = extCalled
-		hopts.ExternStored = extStored
-	default:
-		b.Stats.CMOModules = len(prog.Modules)
-		b.Stats.CMOFunctions = len(prog.FuncPIDs())
-		b.Stats.SelectedLines = b.Stats.TotalLines
-	}
-	b.selectedFns = hopts.Selected
-	if b.selectedFns == nil {
-		b.selectedFns = make(map[il.PID]bool)
-		for _, pid := range prog.FuncPIDs() {
-			b.selectedFns[pid] = true
-		}
-	}
-
-	hres, err := hlo.Optimize(prog, loader, hopts)
-	if err != nil {
-		return err
-	}
-	b.Stats.HLO = hres.Stats
-	b.InlineOps = hres.InlineOps
-	for _, pid := range hres.Dead {
-		omit[pid] = true
-	}
-	if opt.Verify >= analyze.Interproc {
-		return b.auditHLOFacts(loader, hres.Facts, hsp)
-	}
-	return nil
-}
-
-// compileParallel is the Jobs > 1 code-generation path. Workers pull
-// PIDs from a shared cursor and call loader.Function themselves — the
-// sharded loader is safe for concurrent use, so there is no feeder
-// funnel and a slow routine never stalls checkout of the next one.
-// Bodies are treated as read-only (llo.Compile clones before
-// transforming) and each body's pin is dropped as soon as its compile
-// completes, so NAIM's pinned set stays bounded by the worker count.
-// Once any worker records an error, the cursor stops handing out new
-// PIDs and every already-pinned body is still released — a failing
-// build leaves no pinned handles behind.
-func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
-	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool),
-	verify func(*il.Function) error, jobs int, lsp obs.Span) error {
-	prog := b.Prog
-	pids := make([]il.PID, 0, len(prog.FuncPIDs()))
-	for _, pid := range prog.FuncPIDs() {
-		if !omit[pid] {
-			pids = append(pids, pid)
-		}
-	}
-	var (
-		mu       sync.Mutex // guards code, firstErr, b.Stats (classify tiers, LLO peak)
-		firstErr error
-		stop     atomic.Bool
-		next     atomic.Int64
-		wg       sync.WaitGroup
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-		stop.Store(true)
-	}
-	for w := 0; w < jobs; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if stop.Load() {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= len(pids) {
-					return
-				}
-				pid := pids[i]
-				f := loader.Function(pid)
-				if f == nil {
-					fail(fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name))
-					return
-				}
-				mu.Lock()
-				level, pbo := classify(pid, f)
-				mu.Unlock()
-				mf, err := llo.Compile(prog, f, llo.Options{Level: level, PBO: pbo, Span: lsp, Verify: verify})
-				if err != nil {
-					loader.DoneWith(pid)
-					fail(err)
-					return
-				}
-				mu.Lock()
-				code[pid] = mf
-				if lb := lloBytes(f.NumInstrs()); lb > b.Stats.LLOPeakBytes {
-					b.Stats.LLOPeakBytes = lb
-				}
-				mu.Unlock()
-				loader.DoneWith(pid)
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
-}
-
-// runHLOPerModule implements +O3: interprocedural optimization with
-// module boundaries intact — each module's IL goes through HLO alone,
-// with the rest of the program summarized conservatively. This is
-// what the paper's pipeline does when the linker is not involved
-// (section 3: "at higher levels of optimization (+O3 or +O4) the IL
-// is first routed through the high level optimizer").
-func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[il.PID]bool, omit map[il.PID]bool, hsp obs.Span) error {
-	prog := b.Prog
-	var agg hlo.Stats
-	for mi := range prog.Modules {
-		scope := make(map[il.PID]bool)
-		for _, pid := range prog.FuncPIDs() {
-			if prog.Sym(pid).Module == int32(mi) {
-				scope[pid] = true
-			}
-		}
-		if len(scope) == 0 {
-			continue
-		}
-		extCalled, extStored := b.summarizeOutOfScope(loader, scope, opt.Jobs)
-		msp := hsp.ChildDetail("hlo module", prog.Modules[mi].Name)
-		mopts := hlo.Options{
-			DB:               opt.DB,
-			Volatile:         volatile,
-			Entry:            opt.Entry,
-			Budget:           opt.Budget,
-			MaxInlines:       opt.MaxInlines,
-			Scope:            scope,
-			Selected:         scope,
-			ExternallyCalled: extCalled,
-			ExternStored:     extStored,
-			Span:             msp,
-		}
-		if opt.Verify != analyze.Off {
-			mopts.Check = b.hloCheck(loader, opt, msp)
-		}
-		hres, err := hlo.Optimize(prog, loader, mopts)
-		if err != nil {
-			msp.End()
-			return err
-		}
-		if opt.Verify >= analyze.Interproc {
-			// Audit each module's facts before the next module's run
-			// mutates the program further.
-			if err := b.auditHLOFacts(loader, hres.Facts, msp); err != nil {
-				msp.End()
-				return err
-			}
-		}
-		msp.End()
-		agg.Inlines += hres.Stats.Inlines
-		agg.Clones += hres.Stats.Clones
-		agg.IPCPParams += hres.Stats.IPCPParams
-		agg.ConstGlobals += hres.Stats.ConstGlobals
-		agg.OptimizedFns += hres.Stats.OptimizedFns
-		agg.ScannedFuncs += hres.Stats.ScannedFuncs
-		agg.Unrolled += hres.Stats.Unrolled
-		for _, pid := range hres.Dead {
-			omit[pid] = true
-		}
-		agg.DeadFuncs += len(hres.Dead)
-		b.InlineOps = append(b.InlineOps, hres.InlineOps...)
-	}
-	b.Stats.HLO = agg
-	b.Stats.CMOModules = 0 // no cross-module optimization at O3
-	b.Stats.CMOFunctions = 0
-	return nil
-}
-
-// summarizeOutOfScope scans the modules that bypass HLO and
-// summarizes the facts the optimizer must stay conservative about:
-// in-scope functions they call and globals they store. The scan is
-// read-only and embarrassingly parallel: with jobs > 1 it fans out
-// over the out-of-scope PIDs, each worker accumulating private sets
-// that are merged afterwards (set union is order-independent, so the
-// result is identical at any job count).
-func (b *Build) summarizeOutOfScope(loader *naim.Loader, scope map[il.PID]bool, jobs int) (extCalled, extStored map[il.PID]bool) {
-	prog := b.Prog
-	var pids []il.PID
-	for _, pid := range prog.FuncPIDs() {
-		if !scope[pid] {
-			pids = append(pids, pid)
-		}
-	}
-	scanOne := func(f *il.Function, called, stored map[il.PID]bool) {
-		for _, blk := range f.Blocks {
-			for ii := range blk.Instrs {
-				in := &blk.Instrs[ii]
-				switch in.Op {
-				case il.Call:
-					if scope[in.Sym] {
-						called[in.Sym] = true
-					}
-				case il.StoreG, il.StoreX:
-					stored[in.Sym] = true
-				}
-			}
-		}
-	}
-	extCalled = make(map[il.PID]bool)
-	extStored = make(map[il.PID]bool)
-	if jobs > len(pids) {
-		jobs = len(pids)
-	}
-	if jobs <= 1 {
-		for _, pid := range pids {
-			if f := loader.Function(pid); f != nil {
-				scanOne(f, extCalled, extStored)
-				loader.DoneWith(pid)
-			}
-		}
-		return extCalled, extStored
-	}
-	type part struct{ called, stored map[il.PID]bool }
-	parts := make([]part, jobs)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < jobs; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			p := part{called: make(map[il.PID]bool), stored: make(map[il.PID]bool)}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pids) {
-					break
-				}
-				if f := loader.Function(pids[i]); f != nil {
-					scanOne(f, p.called, p.stored)
-					loader.DoneWith(pids[i])
-				}
-			}
-			parts[w] = p
-		}(w)
-	}
-	wg.Wait()
-	for _, p := range parts {
-		for pid := range p.called {
-			extCalled[pid] = true
-		}
-		for pid := range p.stored {
-			extStored[pid] = true
-		}
-	}
-	return extCalled, extStored
-}
-
-// profileEdges aggregates the profile's call-site counts into
-// caller/callee edges for Pettis–Hansen clustering.
-func profileEdges(prog *il.Program, db *profile.DB) []link.Edge {
-	type key struct{ a, b il.PID }
-	agg := make(map[key]int64)
-	for _, s := range db.RankedSites() {
-		caller := prog.Lookup(s.Key.Fn)
-		callee := prog.Lookup(s.Key.Callee)
-		if caller == nil || callee == nil {
-			continue
-		}
-		agg[key{caller.PID, callee.PID}] += s.Count
-	}
-	edges := make([]link.Edge, 0, len(agg))
-	for k, v := range agg {
-		edges = append(edges, link.Edge{Caller: k.a, Callee: k.b, Count: v})
-	}
-	// Deterministic order for the linker. sort.Slice, not insertion
-	// sort: large profiles produce tens of thousands of distinct edges
-	// and the quadratic sort dominated profileEdges on them.
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].Caller != edges[j].Caller {
-			return edges[i].Caller < edges[j].Caller
-		}
-		return edges[i].Callee < edges[j].Callee
-	})
-	return edges
-}
 
 // RunResult is the outcome of executing a build.
 type RunResult struct {

@@ -1,0 +1,201 @@
+package cmo
+
+import (
+	"fmt"
+	"testing"
+
+	"cmo/internal/analyze"
+	"cmo/internal/obs"
+	"cmo/internal/workload"
+)
+
+// The session's load-bearing invariant: a warm rebuild writes the same
+// image bytes a cold build would, at every optimization level, whether
+// nothing changed or one module out of many did. These tests drive the
+// whole matrix through a real on-disk repository.
+
+func incrSpec(seed int64) workload.Spec {
+	return workload.Spec{
+		Name: "incr", Seed: seed,
+		Modules: 8, HotPerModule: 2, ColdPerModule: 4, ColdStmts: 10,
+		ArrayElems: 32,
+		TrainIters: 40, RefIters: 100, TrainMode: 2, RefMode: 4,
+	}
+}
+
+// editOne returns a copy of mods with a new (uncalled) function
+// appended to module i — a semantic edit confined to one module.
+func editOne(mods []SourceModule, i int) []SourceModule {
+	out := append([]SourceModule(nil), mods...)
+	out[i].Text += "\nfunc incr_edit_probe(x int) int { return x + 7; }\n"
+	return out
+}
+
+func buildCached(t *testing.T, mods []SourceModule, opt Options, dir string) *Build {
+	t.Helper()
+	opt.CacheDir = dir
+	opt.Volatile = workload.InputGlobals()
+	b, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatalf("build %v: %v", opt.Level, err)
+	}
+	if b.Stats.PinLeaks != 0 {
+		t.Fatalf("build %v leaked %d pins", opt.Level, b.Stats.PinLeaks)
+	}
+	return b
+}
+
+func TestIncrementalWarmRebuildByteIdentical(t *testing.T) {
+	spec := incrSpec(29)
+	mods := sources(spec)
+	nmods := len(mods)
+	if nmods < 8 {
+		t.Fatalf("matrix needs >= 8 modules, got %d", nmods)
+	}
+	db, err := Train(mods, []map[string]int64{trainInputs(spec)}, Options{})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+
+	configs := []Options{
+		{Level: O1, Verify: analyze.Interproc},
+		{Level: O2, Verify: analyze.Interproc},
+		{Level: O3, Verify: analyze.Interproc},
+		{Level: O4, SelectPercent: -1, Verify: analyze.Interproc},
+		{Level: O4, PBO: true, DB: db, SelectPercent: 60, Verify: analyze.Interproc},
+	}
+	for _, opt := range configs {
+		name := fmt.Sprintf("%v-sel%g-pbo%v", opt.Level, opt.SelectPercent, opt.PBO)
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+
+			cold := buildCached(t, mods, opt, dir)
+			coldDis := cold.Image.Disasm()
+			if cold.Stats.CacheFrontendHits != 0 || cold.Stats.CacheFrontendMisses != nmods {
+				t.Fatalf("cold frontend: %d hits, %d misses; want 0, %d",
+					cold.Stats.CacheFrontendHits, cold.Stats.CacheFrontendMisses, nmods)
+			}
+
+			// Warm no-op rebuild: every module replays, output identical.
+			warm := buildCached(t, mods, opt, dir)
+			if got := warm.Image.Disasm(); got != coldDis {
+				t.Errorf("warm no-op rebuild differs from cold build")
+			}
+			if warm.Stats.CacheFrontendHits != nmods || warm.Stats.CacheFrontendMisses != 0 {
+				t.Errorf("warm frontend: %d hits, %d misses; want %d, 0",
+					warm.Stats.CacheFrontendHits, warm.Stats.CacheFrontendMisses, nmods)
+			}
+			if opt.Level == O4 && warm.Stats.CacheHLOMisses != 0 {
+				t.Errorf("warm no-op rebuild recomputed %d HLO records", warm.Stats.CacheHLOMisses)
+			}
+			if opt.Level == O4 && warm.Stats.CacheHLOHits == 0 {
+				t.Errorf("warm no-op rebuild replayed no HLO records")
+			}
+
+			// Edit one module; the warm rebuild must match a cold build
+			// of the edited program and re-lower only the edited module.
+			edited := editOne(mods, 1)
+			coldEdit := buildCached(t, edited, opt, t.TempDir())
+			tr := obs.NewTrace()
+			wopt := opt
+			wopt.Trace = tr
+			warmEdit := buildCached(t, edited, wopt, dir)
+			if warmEdit.Image.Disasm() != coldEdit.Image.Disasm() {
+				t.Errorf("warm rebuild after 1-module edit differs from cold build of the edited program")
+			}
+			if warmEdit.Stats.CacheFrontendHits != nmods-1 || warmEdit.Stats.CacheFrontendMisses != 1 {
+				t.Errorf("warm-edit frontend: %d hits, %d misses; want %d, 1",
+					warmEdit.Stats.CacheFrontendHits, warmEdit.Stats.CacheFrontendMisses, nmods-1)
+			}
+			// The same figures must be visible as obs counters — the
+			// contract the CI smoke job and -timing report rely on.
+			if got := tr.Counter("session.frontend_hits").Value(); got != int64(nmods-1) {
+				t.Errorf("obs session.frontend_hits = %d, want %d", got, nmods-1)
+			}
+			if got := tr.Counter("session.frontend_misses").Value(); got != 1 {
+				t.Errorf("obs session.frontend_misses = %d, want 1", got)
+			}
+			if opt.Level == O4 {
+				if got := tr.Counter("session.hlo_replay_hits").Value(); got != int64(warmEdit.Stats.CacheHLOHits) {
+					t.Errorf("obs session.hlo_replay_hits = %d, want %d", got, warmEdit.Stats.CacheHLOHits)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalSessionReuseAndRestart covers the two session
+// lifetimes: one Session shared by successive in-process builds, and a
+// repository reopened after a (simulated) process restart.
+func TestIncrementalSessionReuseAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	mods := sources(incrSpec(31))
+	opt := Options{Level: O4, SelectPercent: -1, Volatile: workload.InputGlobals()}
+
+	sess, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Session = sess
+	cold, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.CacheFrontendHits != len(mods) {
+		t.Errorf("shared session: %d frontend hits, want %d", warm.Stats.CacheFrontendHits, len(mods))
+	}
+	if warm.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("shared-session warm rebuild differs from cold build")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh session over the same directory must replay what
+	// the closed one stored.
+	opt.Session = nil
+	opt.CacheDir = dir
+	again, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.CacheFrontendHits != len(mods) || again.Stats.CacheFrontendMisses != 0 {
+		t.Errorf("after restart: %d hits, %d misses; want %d, 0",
+			again.Stats.CacheFrontendHits, again.Stats.CacheFrontendMisses, len(mods))
+	}
+	if again.Stats.CacheHLOMisses != 0 {
+		t.Errorf("after restart: %d HLO records recomputed", again.Stats.CacheHLOMisses)
+	}
+	if again.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("post-restart warm rebuild differs from cold build")
+	}
+}
+
+// TestIncrementalCacheDirIgnoredWhenSessionSet pins the Options
+// contract: an explicit Session wins over CacheDir.
+func TestIncrementalCacheDirIgnoredWhenSessionSet(t *testing.T) {
+	mods := []SourceModule{
+		{Name: "a", Text: "module a;\nfunc id(x int) int { return x; }\n"},
+		{Name: "b", Text: "module b;\nextern func id(x int) int;\nfunc main() int { return id(5); }\n"},
+	}
+	sess, err := OpenSession("") // disconnected
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	b, err := BuildSource(mods, Options{
+		Level: O2, Session: sess, CacheDir: t.TempDir(),
+		Volatile: workload.InputGlobals(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.CacheFrontendHits != 0 || b.Stats.CacheFrontendMisses != 0 {
+		t.Errorf("disconnected session recorded cache traffic: %d hits, %d misses",
+			b.Stats.CacheFrontendHits, b.Stats.CacheFrontendMisses)
+	}
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/workload"
+)
+
+// IncrementalPoint is one rebuild measurement against a warmed
+// repository.
+type IncrementalPoint struct {
+	// Name is "cold", "warm-noop", or "warm-edit1".
+	Name string `json:"name"`
+	// BuildNanos is the whole-pipeline wall time.
+	BuildNanos int64 `json:"build_nanos"`
+	// Speedup is the cold wall time divided by this point's.
+	Speedup float64 `json:"speedup"`
+	// FrontendHits/Misses count modules replayed from the repository
+	// vs. lowered from source.
+	FrontendHits   int `json:"frontend_hits"`
+	FrontendMisses int `json:"frontend_misses"`
+	// HLOHits/Misses count per-function transform records replayed
+	// vs. recomputed.
+	HLOHits   int `json:"hlo_hits"`
+	HLOMisses int `json:"hlo_misses"`
+	// Identical records that the image was byte-identical to the cold
+	// build — the session's load-bearing invariant. Any false value is
+	// a bug, not a data point.
+	Identical bool `json:"identical"`
+}
+
+// IncrementalRecord is the BENCH_incremental.json payload: cold vs.
+// warm rebuild times over one durable repository, so the incremental
+// trajectory is comparable across commits.
+type IncrementalRecord struct {
+	Benchmark string             `json:"benchmark"`
+	Modules   int                `json:"modules"`
+	Functions int                `json:"functions"`
+	Points    []IncrementalPoint `json:"points"`
+	// NoopSpeedup and Edit1Speedup are the headlines: cold build time
+	// over the no-op rebuild and over the 1-module-edit rebuild.
+	NoopSpeedup  float64 `json:"noop_speedup"`
+	Edit1Speedup float64 `json:"edit1_speedup"`
+}
+
+// Incremental measures the session cache on a gcc-like many-module
+// program at O4: a cold build into a fresh repository, a warm rebuild
+// with nothing changed, and a warm rebuild after editing one module
+// out of N (a comment edit, so the optimized image must not change).
+// Every point's image is checked byte-identical against the cold
+// build.
+func Incremental(cfg Config) (*IncrementalRecord, error) {
+	p := SpecPrograms(cfg)[2] // the gcc-like program: the multi-module one
+	spec := p.Spec
+	spec.Modules = cfg.scale(24)
+	mods := sources(spec)
+
+	dir, err := os.MkdirTemp("", "cmo-bench-incr-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	rec := &IncrementalRecord{Benchmark: spec.Name, Modules: spec.Modules}
+	var refDisasm string
+	var cold int64
+	build := func(name string, mods []cmo.SourceModule) (*IncrementalPoint, error) {
+		cfg.logf("incremental: %s\n", name)
+		b, err := cmo.BuildSource(mods, cmo.Options{
+			Level: cmo.O4, SelectPercent: -1,
+			Volatile: workload.InputGlobals(),
+			Trace:    cfg.Trace,
+			CacheDir: dir,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("incremental %s: %w", name, err)
+		}
+		dis := b.Image.Disasm()
+		if name == "cold" {
+			refDisasm = dis
+			cold = b.Stats.TotalNanos
+			rec.Functions = b.Stats.Functions
+		}
+		return &IncrementalPoint{
+			Name:           name,
+			BuildNanos:     b.Stats.TotalNanos,
+			Speedup:        float64(cold) / float64(b.Stats.TotalNanos),
+			FrontendHits:   b.Stats.CacheFrontendHits,
+			FrontendMisses: b.Stats.CacheFrontendMisses,
+			HLOHits:        b.Stats.CacheHLOHits,
+			HLOMisses:      b.Stats.CacheHLOMisses,
+			Identical:      dis == refDisasm,
+		}, nil
+	}
+
+	for _, step := range []string{"cold", "warm-noop", "warm-edit1"} {
+		in := mods
+		if step == "warm-edit1" {
+			// Edit one module out of N: a comment-only change, so the
+			// frontend key misses but the optimized image must not move.
+			in = append([]cmo.SourceModule(nil), mods...)
+			in[0].Text += "\n// touched\n"
+		}
+		pt, err := build(step, in)
+		if err != nil {
+			return nil, err
+		}
+		rec.Points = append(rec.Points, *pt)
+		switch step {
+		case "warm-noop":
+			rec.NoopSpeedup = pt.Speedup
+		case "warm-edit1":
+			rec.Edit1Speedup = pt.Speedup
+		}
+	}
+	return rec, nil
+}
+
+// RenderIncremental formats the sweep as the report table.
+func RenderIncremental(rec *IncrementalRecord) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Incremental rebuilds: %s, %d modules, %d functions (O4, shared repository)\n",
+		rec.Benchmark, rec.Modules, rec.Functions)
+	fmt.Fprintf(&sb, "%-11s  %12s  %8s  %14s  %14s  %s\n",
+		"build", "build-ms", "speedup", "frontend", "hlo", "image")
+	for _, pt := range rec.Points {
+		img := "identical"
+		if !pt.Identical {
+			img = "DIFFERS"
+		}
+		fmt.Fprintf(&sb, "%-11s  %12.1f  %7.2fx  %6dh %5dm  %6dh %5dm  %s\n",
+			pt.Name, float64(pt.BuildNanos)/1e6, pt.Speedup,
+			pt.FrontendHits, pt.FrontendMisses, pt.HLOHits, pt.HLOMisses, img)
+	}
+	return sb.String()
+}
+
+// WriteIncrementalJSON writes the BENCH_incremental.json record.
+func WriteIncrementalJSON(w io.Writer, rec *IncrementalRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

@@ -150,6 +150,12 @@ type Options struct {
 	// names the transform that broke the invariant. The driver points
 	// this at internal/analyze when Options.Verify is enabled.
 	Check func(transform string) error
+	// Incremental, when non-nil, lets the per-function inline and
+	// interproc stages replay cached transform records instead of
+	// re-optimizing functions whose inputs are unchanged (see
+	// incremental.go). Replay never changes what the run produces —
+	// only how much of it is recomputed. Ignored when MaxInlines > 0.
+	Incremental *Incremental
 }
 
 // Stats reports what HLO did.
@@ -164,6 +170,11 @@ type Stats struct {
 	Unrolled      int // functions in which loops were fully unrolled
 	CrossModule   int // inlines whose caller and callee differ in module
 	InlinedInstrs int
+	// Incremental replay outcome (runs with Options.Incremental): how
+	// many per-function transform stages were replayed from cached
+	// records versus recomputed live.
+	ReplayHits   int
+	ReplayMisses int
 }
 
 // InlineOp records one performed inline operation, in execution
@@ -173,6 +184,9 @@ type Stats struct {
 type InlineOp struct {
 	Caller, Callee il.PID
 	SiteFreq       int64
+	// Instrs is the callee body size at splice time (the instructions
+	// the operation copied into the caller).
+	Instrs int
 }
 
 // Result is the outcome of an HLO run.
@@ -510,13 +524,16 @@ func (p *pass) bottomUp() []il.PID {
 
 // interproc applies interprocedural constant propagation and
 // constant-global promotion to the selected functions, then runs the
-// standard local pipeline on each.
+// standard local pipeline on each. With replay enabled, a function
+// whose post-clone body and facts match a cached record skips the
+// whole stage and installs the recorded outcome.
 func (p *pass) interproc() {
 	entryPID := il.NoPID
 	if entry := p.prog.Lookup(p.opts.Entry); entry != nil {
 		entryPID = entry.PID
 	}
 	p.promoted = make(map[il.PID]bool)
+	inc := p.incremental()
 	for _, pid := range p.bottomUp() {
 		if !p.selected[pid] {
 			continue
@@ -525,55 +542,76 @@ func (p *pass) interproc() {
 		if f == nil {
 			continue
 		}
-		changed := false
-
-		// IPCP: a parameter whose every (pre-inline) caller passes
-		// the same constant becomes a constant at entry. The entry
-		// function's parameters come from the outside world, and
-		// functions callable from outside the CMO scope have unseen
-		// callers.
-		if st := p.args[pid]; st != nil && pid != entryPID && !p.opts.ExternallyCalled[pid] {
-			for i := 0; i < f.NParams && i < len(st.state); i++ {
-				if st.state[i] == 1 {
-					entryBlock := f.Blocks[0]
-					pre := []il.Instr{{Op: il.Const, Dst: il.Reg(i + 1), A: il.ConstVal(st.val[i])}}
-					entryBlock.Instrs = append(pre, entryBlock.Instrs...)
-					p.res.Stats.IPCPParams++
-					p.ipcpFacts = append(p.ipcpFacts, IPCPFact{Fn: pid, Param: i, Val: st.val[i]})
-					changed = true
-				}
+		var preHash, facts string
+		if inc != nil {
+			if p.replayInterproc(inc, pid, f, entryPID) {
+				p.src.DoneWith(pid)
+				continue
 			}
+			// Key material must predate the mutations below.
+			preHash = inc.Hash(f)
+			facts = p.interprocFactsFP(pid, f, entryPID)
 		}
-
-		// Constant-global promotion: loads of globals never stored
-		// anywhere in the program (and not marked volatile) become
-		// constants.
-		for _, b := range f.Blocks {
-			for ii := range b.Instrs {
-				in := &b.Instrs[ii]
-				if in.Op != il.LoadG || p.stored[in.Sym] || p.opts.Volatile[in.Sym] {
-					continue
-				}
-				sym := p.prog.Sym(in.Sym)
-				p.promoted[in.Sym] = true
-				*in = il.Instr{Op: il.Const, Dst: in.Dst, A: il.ConstVal(sym.Init)}
-				p.res.Stats.ConstGlobals++
-				changed = true
-			}
+		out := p.interprocOne(pid, f, entryPID)
+		if inc != nil {
+			p.storeInterprocRecord(inc, pid, f, preHash, facts, out)
 		}
-
-		// Loop transformations: fully unroll small counted loops
-		// (often exposed only now, after IPCP and constant-global
-		// promotion turned trip counts into constants).
-		xform.Optimize(f)
-		if xform.UnrollLoops(f, 256) {
-			p.res.Stats.Unrolled++
-			xform.Optimize(f)
-		}
-		_ = changed
-		p.res.Stats.OptimizedFns++
 		p.src.DoneWith(pid)
 	}
+}
+
+// interprocOne runs the live interproc stage on one function and
+// returns what it did (the replayable outcome).
+func (p *pass) interprocOne(pid il.PID, f *il.Function, entryPID il.PID) *ipOutcome {
+	out := &ipOutcome{}
+
+	// IPCP: a parameter whose every (pre-inline) caller passes
+	// the same constant becomes a constant at entry. The entry
+	// function's parameters come from the outside world, and
+	// functions callable from outside the CMO scope have unseen
+	// callers.
+	if st := p.args[pid]; st != nil && pid != entryPID && !p.opts.ExternallyCalled[pid] {
+		for i := 0; i < f.NParams && i < len(st.state); i++ {
+			if st.state[i] == 1 {
+				entryBlock := f.Blocks[0]
+				pre := []il.Instr{{Op: il.Const, Dst: il.Reg(i + 1), A: il.ConstVal(st.val[i])}}
+				entryBlock.Instrs = append(pre, entryBlock.Instrs...)
+				out.ipcpParams = append(out.ipcpParams, i)
+				out.ipcpVals = append(out.ipcpVals, st.val[i])
+			}
+		}
+	}
+
+	// Constant-global promotion: loads of globals never stored
+	// anywhere in the program (and not marked volatile) become
+	// constants.
+	promotedHere := make(map[il.PID]bool)
+	for _, b := range f.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			if in.Op != il.LoadG || p.stored[in.Sym] || p.opts.Volatile[in.Sym] {
+				continue
+			}
+			sym := p.prog.Sym(in.Sym)
+			if !promotedHere[in.Sym] {
+				promotedHere[in.Sym] = true
+				out.promoted = append(out.promoted, in.Sym)
+			}
+			*in = il.Instr{Op: il.Const, Dst: in.Dst, A: il.ConstVal(sym.Init)}
+			out.constGlobals++
+		}
+	}
+
+	// Loop transformations: fully unroll small counted loops
+	// (often exposed only now, after IPCP and constant-global
+	// promotion turned trip counts into constants).
+	xform.Optimize(f)
+	if xform.UnrollLoops(f, 256) {
+		out.unrolled = true
+		xform.Optimize(f)
+	}
+	p.applyIPOutcome(pid, out)
+	return out
 }
 
 // deadFunctions finds functions unreachable from the entry after all

@@ -16,11 +16,23 @@ import (
 // carefully schedule inlines so that cross-module inlines from the
 // same pair of modules are processed one after another").
 func (p *pass) inlineAll() {
+	inc := p.incremental()
+	var h0 map[il.PID]string
+	if inc != nil {
+		h0 = p.prehashScope(inc)
+	}
 	for _, pid := range p.bottomUp() {
 		if !p.selected[pid] {
 			continue
 		}
-		p.inlineFunction(pid)
+		if inc != nil && p.replayInline(inc, pid, h0) {
+			continue
+		}
+		opsBefore := len(p.res.InlineOps)
+		changed := p.inlineFunction(pid)
+		if inc != nil {
+			p.storeInlineRecord(inc, pid, h0, changed, p.res.InlineOps[opsBefore:])
+		}
 	}
 }
 
@@ -33,10 +45,13 @@ type candidate struct {
 	freq  int64
 }
 
-func (p *pass) inlineFunction(caller il.PID) {
+// inlineFunction runs the live inline stage on one caller; the return
+// reports whether the body was touched (some candidate was accepted,
+// so splices and the local cleanup ran).
+func (p *pass) inlineFunction(caller il.PID) bool {
 	f := p.src.Function(caller)
 	if f == nil {
-		return
+		return false
 	}
 	origSize := f.NumInstrs()
 	cap := origSize * p.opts.Budget.GrowthFactor
@@ -97,7 +112,7 @@ func (p *pass) inlineFunction(caller il.PID) {
 	}
 	if len(accepted) == 0 {
 		p.src.DoneWith(caller)
-		return
+		return false
 	}
 	if p.opts.NoScheduleLocality {
 		// Ablation mode: deterministically interleave callees so that
@@ -149,10 +164,11 @@ func (p *pass) inlineFunction(caller il.PID) {
 		}
 		callerMod := p.prog.Sym(caller).Module
 		calleeMod := p.prog.Sym(c.pid).Module
+		calleeInstrs := callee.NumInstrs()
 		splice(f, bi, ii, callee, c.freq)
 		p.res.Stats.Inlines++
-		p.res.Stats.InlinedInstrs += callee.NumInstrs()
-		p.res.InlineOps = append(p.res.InlineOps, InlineOp{Caller: caller, Callee: c.pid, SiteFreq: c.freq})
+		p.res.Stats.InlinedInstrs += calleeInstrs
+		p.res.InlineOps = append(p.res.InlineOps, InlineOp{Caller: caller, Callee: c.pid, SiteFreq: c.freq, Instrs: calleeInstrs})
 		if callerMod != calleeMod {
 			p.res.Stats.CrossModule++
 		}
@@ -165,6 +181,7 @@ func (p *pass) inlineFunction(caller il.PID) {
 	xform.Optimize(f)
 	p.size[caller] = f.NumInstrs()
 	p.src.DoneWith(caller)
+	return true
 }
 
 // shouldInline applies the budget rules.

@@ -6,8 +6,6 @@
 package lower
 
 import (
-	"fmt"
-
 	"cmo/internal/il"
 	"cmo/internal/source"
 )
@@ -41,91 +39,29 @@ func modules(files []*source.File, requireComplete bool) (*Result, error) {
 	res := &Result{Prog: prog, Funcs: make(map[il.PID]*il.Function)}
 
 	// Pass 1: register all definitions so cross-module references
-	// resolve regardless of file order.
-	for _, f := range files {
-		mod := prog.AddModule(f.Module)
-		mod.Lines = f.Lines
-		for _, v := range f.Vars {
-			pid, err := prog.Intern(v.Name, il.SymGlobal)
-			if err != nil {
-				return nil, err
-			}
-			sym := prog.Sym(pid)
-			if sym.Module >= 0 {
-				return nil, fmt.Errorf("lower: global %s defined in both %s and %s",
-					v.Name, prog.Modules[sym.Module].Name, f.Module)
-			}
-			sym.Module = mod.Index
-			sym.Type = lowerType(v.Type)
-			sym.Elems = v.Type.Elems
-			sym.Init = v.Init
-			mod.Defs = append(mod.Defs, pid)
+	// resolve regardless of file order. Both passes run through the
+	// module Shape — the same path a build session replays when a
+	// module's artifact is cached — so cold and warm builds intern
+	// symbols in identical order.
+	shapes := make([]Shape, len(files))
+	mods := make([]*il.Module, len(files))
+	for fi, f := range files {
+		shapes[fi] = FileShape(f)
+		mod, err := Register(prog, shapes[fi])
+		if err != nil {
+			return nil, err
 		}
-		for _, fn := range f.Funcs {
-			pid, err := prog.Intern(fn.Name, il.SymFunc)
-			if err != nil {
-				return nil, err
-			}
-			sym := prog.Sym(pid)
-			if sym.Module >= 0 {
-				return nil, fmt.Errorf("lower: function %s defined in both %s and %s",
-					fn.Name, prog.Modules[sym.Module].Name, f.Module)
-			}
-			sym.Module = mod.Index
-			sym.Sig = lowerSig(fn.Params, fn.Ret)
-			mod.Defs = append(mod.Defs, pid)
-		}
+		mods[fi] = mod
 	}
 
 	// Pass 2: resolve externs (checking interface agreement) and
 	// lower function bodies.
 	for fi, f := range files {
-		mod := prog.Modules[fi]
-		for _, e := range f.Externs {
-			kind := il.SymGlobal
-			if e.IsFunc {
-				kind = il.SymFunc
-			}
-			pid, err := prog.Intern(e.Name, kind)
-			if err != nil {
-				return nil, fmt.Errorf("lower: module %s: %w", f.Module, err)
-			}
-			sym := prog.Sym(pid)
-			if e.IsFunc {
-				want := lowerSig(e.Params, e.Ret)
-				switch {
-				case sym.Module >= 0 || len(sym.Sig.Params) > 0 || sym.Sig.Ret != il.Void:
-					if !sym.Sig.Equal(want) {
-						return nil, fmt.Errorf("lower: module %s: extern %s%s does not match declaration %s%s",
-							f.Module, e.Name, want, e.Name, sym.Sig)
-					}
-				default:
-					// Record the declared signature on the undefined
-					// symbol so separately compiled objects carry the
-					// interface for link-time checking.
-					sym.Sig = want
-				}
-			} else {
-				if sym.Module >= 0 || sym.Type != il.Void {
-					if sym.Type != lowerType(e.Type) || sym.Elems != e.Type.Elems {
-						return nil, fmt.Errorf("lower: module %s: extern var %s has type %s, definition has %s",
-							f.Module, e.Name, e.Type, sym.Type)
-					}
-				} else {
-					sym.Type = lowerType(e.Type)
-					sym.Elems = e.Type.Elems
-				}
-			}
-			mod.Externs = append(mod.Externs, pid)
+		if err := ResolveExterns(prog, mods[fi], shapes[fi]); err != nil {
+			return nil, err
 		}
-		for _, fn := range f.Funcs {
-			pid, _ := prog.Intern(fn.Name, il.SymFunc)
-			body, err := lowerFunc(prog, fn)
-			if err != nil {
-				return nil, fmt.Errorf("lower: module %s: %w", f.Module, err)
-			}
-			body.PID = pid
-			res.Funcs[pid] = body
+		if err := LowerBodies(prog, f, res.Funcs); err != nil {
+			return nil, err
 		}
 	}
 	if requireComplete {

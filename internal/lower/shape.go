@@ -1,0 +1,174 @@
+package lower
+
+import (
+	"fmt"
+
+	"cmo/internal/il"
+	"cmo/internal/source"
+)
+
+// A module's Shape is its language-independent interface: everything
+// symbol-table registration needs, with no syntax trees attached. Both
+// lowering paths go through it — the frontend extracts a Shape from a
+// parsed file, and a build session replays a Shape recorded in the
+// artifact repository — so a replayed module interns symbols in
+// exactly the order a freshly lowered one would. That shared path is
+// what makes warm-rebuild PID assignment identical by construction
+// rather than by parallel maintenance of two interning loops.
+type Shape struct {
+	Name  string
+	Lines int
+	// Defs lists the module's definitions in declaration order:
+	// variables first, then functions — the order pass 1 interns them.
+	Defs []ShapeDef
+	// Externs lists the extern declarations in declaration order (the
+	// pass-2 interning order).
+	Externs []ShapeExtern
+}
+
+// ShapeDef is one module-level definition.
+type ShapeDef struct {
+	Name string
+	Kind il.SymKind
+	// Globals.
+	Type  il.Type
+	Elems int64
+	Init  int64
+	// Functions.
+	Sig il.Signature
+}
+
+// ShapeExtern is one extern declaration with its declared interface.
+type ShapeExtern struct {
+	Name   string
+	IsFunc bool
+	Sig    il.Signature // functions
+	Type   il.Type      // variables
+	Elems  int64
+}
+
+// FileShape extracts the Shape of a parsed-and-checked file.
+func FileShape(f *source.File) Shape {
+	sh := Shape{Name: f.Module, Lines: f.Lines}
+	for _, v := range f.Vars {
+		sh.Defs = append(sh.Defs, ShapeDef{
+			Name:  v.Name,
+			Kind:  il.SymGlobal,
+			Type:  lowerType(v.Type),
+			Elems: v.Type.Elems,
+			Init:  v.Init,
+		})
+	}
+	for _, fn := range f.Funcs {
+		sh.Defs = append(sh.Defs, ShapeDef{
+			Name: fn.Name,
+			Kind: il.SymFunc,
+			Sig:  lowerSig(fn.Params, fn.Ret),
+		})
+	}
+	for _, e := range f.Externs {
+		se := ShapeExtern{Name: e.Name, IsFunc: e.IsFunc}
+		if e.IsFunc {
+			se.Sig = lowerSig(e.Params, e.Ret)
+		} else {
+			se.Type = lowerType(e.Type)
+			se.Elems = e.Type.Elems
+		}
+		sh.Externs = append(sh.Externs, se)
+	}
+	return sh
+}
+
+// Register performs definition interning (pass 1) for one module: it
+// adds the module to the program and interns every definition, in
+// declaration order, checking for duplicate definitions.
+func Register(prog *il.Program, sh Shape) (*il.Module, error) {
+	mod := prog.AddModule(sh.Name)
+	mod.Lines = sh.Lines
+	for _, d := range sh.Defs {
+		pid, err := prog.Intern(d.Name, d.Kind)
+		if err != nil {
+			return nil, err
+		}
+		sym := prog.Sym(pid)
+		if sym.Module >= 0 {
+			what := "global"
+			if d.Kind == il.SymFunc {
+				what = "function"
+			}
+			return nil, fmt.Errorf("lower: %s %s defined in both %s and %s",
+				what, d.Name, prog.Modules[sym.Module].Name, sh.Name)
+		}
+		sym.Module = mod.Index
+		if d.Kind == il.SymFunc {
+			sym.Sig = d.Sig
+		} else {
+			sym.Type = d.Type
+			sym.Elems = d.Elems
+			sym.Init = d.Init
+		}
+		mod.Defs = append(mod.Defs, pid)
+	}
+	return mod, nil
+}
+
+// ResolveExterns performs extern resolution (pass 2a) for one module:
+// each extern declaration is interned (possibly creating an undefined
+// symbol carrying the declared interface) and checked for interface
+// agreement with any prior definition or declaration.
+func ResolveExterns(prog *il.Program, mod *il.Module, sh Shape) error {
+	for _, e := range sh.Externs {
+		kind := il.SymGlobal
+		if e.IsFunc {
+			kind = il.SymFunc
+		}
+		pid, err := prog.Intern(e.Name, kind)
+		if err != nil {
+			return fmt.Errorf("lower: module %s: %w", sh.Name, err)
+		}
+		sym := prog.Sym(pid)
+		if e.IsFunc {
+			want := e.Sig
+			switch {
+			case sym.Module >= 0 || len(sym.Sig.Params) > 0 || sym.Sig.Ret != il.Void:
+				if !sym.Sig.Equal(want) {
+					return fmt.Errorf("lower: module %s: extern %s%s does not match declaration %s%s",
+						sh.Name, e.Name, want, e.Name, sym.Sig)
+				}
+			default:
+				// Record the declared signature on the undefined
+				// symbol so separately compiled objects carry the
+				// interface for link-time checking.
+				sym.Sig = want
+			}
+		} else {
+			if sym.Module >= 0 || sym.Type != il.Void {
+				if sym.Type != e.Type || sym.Elems != e.Elems {
+					return fmt.Errorf("lower: module %s: extern var %s has type %s, definition has %s",
+						sh.Name, e.Name, e.Type, sym.Type)
+				}
+			} else {
+				sym.Type = e.Type
+				sym.Elems = e.Elems
+			}
+		}
+		mod.Externs = append(mod.Externs, pid)
+	}
+	return nil
+}
+
+// LowerBodies lowers one file's function bodies (pass 2b) into out.
+// Every definition must already be registered (Register) and the
+// file's externs resolved (ResolveExterns).
+func LowerBodies(prog *il.Program, f *source.File, out map[il.PID]*il.Function) error {
+	for _, fn := range f.Funcs {
+		pid, _ := prog.Intern(fn.Name, il.SymFunc)
+		body, err := lowerFunc(prog, fn)
+		if err != nil {
+			return fmt.Errorf("lower: module %s: %w", f.Module, err)
+		}
+		body.PID = pid
+		out[pid] = body
+	}
+	return nil
+}

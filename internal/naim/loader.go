@@ -69,6 +69,12 @@ type Config struct {
 	// selects the default of 32). Evictions that spill to disk only
 	// block once this many writes are in flight.
 	WritebackDepth int
+	// Repo, when non-nil, is an externally owned repository the loader
+	// spills into instead of creating an ephemeral one. A Session with
+	// a durable cache directory injects its store here so spilled
+	// relocatable pools live beside the cached build artifacts; the
+	// loader never closes an injected repository.
+	Repo *Repository
 }
 
 // Adaptive is the ForceLevel value meaning "let thresholds decide".
@@ -124,8 +130,7 @@ type handle struct {
 	gen     uint64 // spill generation; a landing write must match it
 	fn      *il.Function
 	blob    []byte
-	diskOff int64
-	diskLen int
+	key     Key // repository content key once offloaded
 	bytes   int64
 	pending bool
 	pins    int           // clients holding the body via Function
@@ -388,7 +393,7 @@ func (l *Loader) Function(pid il.PID) *il.Function {
 			detail = l.symName(pid)
 		}
 		sp := scope.ChildDetail("naim disk read", detail)
-		blob, err := l.getRepo().Get(h.diskOff, h.diskLen)
+		blob, err := l.getRepo().Get(h.key)
 		l.stats.diskNanos.Add(sp.End())
 		if err != nil {
 			// A repository read failure is unrecoverable for this
@@ -643,14 +648,13 @@ func (l *Loader) compactHandle(s *shard, h *handle) *spillJob {
 // its blob bytes are released. A pool that was re-expanded (or
 // reinstalled) in the meantime keeps its current state and the landed
 // bytes become dead space in the append-only repository.
-func (l *Loader) landSpill(j spillJob, off int64) {
+func (l *Loader) landSpill(j spillJob, key Key) {
 	s := l.shardFor(j.pid)
 	l.lockShard(s)
 	h, ok := s.handles[j.pid]
 	if ok && h.st == stSpilling && h.gen == j.gen {
 		h.st = stOffloaded
-		h.diskOff = off
-		h.diskLen = len(j.blob)
+		h.key = key
 		h.blob = nil
 		l.adjust(BytesPerHandle - h.bytes)
 		h.bytes = BytesPerHandle
@@ -751,8 +755,13 @@ func (l *Loader) ShardLockWaits() []int64 {
 	return out
 }
 
-// getRepo returns the repository, creating it on first use.
+// getRepo returns the spill repository: the injected durable store if
+// one was configured, otherwise an ephemeral store created on first
+// use (and removed on Close).
 func (l *Loader) getRepo() *Repository {
+	if l.cfg.Repo != nil {
+		return l.cfg.Repo
+	}
 	l.repoMu.Lock()
 	defer l.repoMu.Unlock()
 	if l.repo == nil {
@@ -767,6 +776,9 @@ func (l *Loader) getRepo() *Repository {
 
 // RepositoryBytes reports bytes resident in the disk repository.
 func (l *Loader) RepositoryBytes() int64 {
+	if l.cfg.Repo != nil {
+		return l.cfg.Repo.Size()
+	}
 	l.repoMu.Lock()
 	repo := l.repo
 	l.repoMu.Unlock()
@@ -796,7 +808,8 @@ func (l *Loader) PinnedPools() int {
 }
 
 // Close drains the writeback queue and releases the disk repository,
-// if any. Like SetTraceScope it is a phase-boundary call: no
+// if any (an injected Config.Repo is left open — its owner closes
+// it). Like SetTraceScope it is a phase-boundary call: no
 // Function/DoneWith may be in flight.
 func (l *Loader) Close() error {
 	l.wb.stop()

@@ -80,14 +80,14 @@ func (l *Loader) writebackLoop() {
 			detail = l.symName(j.pid)
 		}
 		sp := scope.ChildDetail("naim disk write", detail)
-		off, err := l.getRepo().Put(j.blob)
+		key, err := l.getRepo().PutContent(j.blob)
 		l.stats.diskNanos.Add(sp.End())
 		if err != nil {
 			panic(fmt.Sprintf("naim: repository write failed: %v", err))
 		}
 		l.stats.diskWrites.Add(1)
 		l.ctr.diskWrites.Add(1)
-		l.landSpill(j, off)
+		l.landSpill(j, key)
 		l.wb.depth.Add(-1)
 	}
 }

@@ -1,0 +1,204 @@
+package cmo
+
+import (
+	"fmt"
+
+	"cmo/internal/il"
+	"cmo/internal/naim"
+	"cmo/internal/obs"
+	"cmo/internal/profile"
+)
+
+// The pipeline coordinator. Each build runs the same named stages in
+// order — frontend → select → HLO → LLO → link — with every stage in
+// its own stage_*.go file taking the loader, the options, and its obs
+// span. The coordinator owns what the stages must agree on: defaults,
+// the NAIM loader's lifetime, inter-stage verification, and the final
+// stats snapshot. A Session threads a persistent artifact repository
+// under the stages; without one the pipeline behaves exactly as a
+// cold build.
+
+// BuildSource compiles a set of MinC modules into an executable VPA
+// image according to the options.
+//
+// Phase timing is span-derived: one "build" root span covers the whole
+// call; "frontend" covers parse/check/lower, and the optimize/link
+// phases nest under the same root inside buildIL. Each BuildStats
+// duration is the duration of exactly one span, measured from a single
+// captured start timestamp, so FrontendNanos + HLONanos + LLONanos +
+// LinkNanos can never exceed TotalNanos (the old subtraction scheme
+// read the clock twice and broke that invariant).
+func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
+	sess := opt.Session
+	if sess == nil && opt.CacheDir != "" {
+		var err error
+		sess, err = OpenSession(opt.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Close()
+	}
+	root := opt.Trace.StartSpan("build")
+	fe := root.Child("frontend")
+	res, feHits, feMisses, err := runFrontend(mods, opt, sess, fe)
+	if err != nil {
+		return nil, err
+	}
+	feNanos := fe.End()
+	b, err := buildIL(res.Prog, res.Funcs, opt, sess, root)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.FrontendNanos = feNanos
+	b.Stats.CacheFrontendHits = feHits
+	b.Stats.CacheFrontendMisses = feMisses
+	b.Stats.TotalNanos = root.End()
+	return b, nil
+}
+
+// BuildIL compiles an already-lowered program (from BuildSource's
+// frontend, or from IL-carrying object files merged by the linker —
+// the paper's CMO-at-link-time entry point). The frontend artifact
+// cache does not apply (there is no source to fingerprint), but a
+// Session still provides HLO replay and the shared repository.
+func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build, error) {
+	sess := opt.Session
+	if sess == nil && opt.CacheDir != "" {
+		var err error
+		sess, err = OpenSession(opt.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Close()
+	}
+	root := opt.Trace.StartSpan("build")
+	b, err := buildIL(prog, fns, opt, sess, root)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.TotalNanos = root.End()
+	return b, nil
+}
+
+// buildIL is the shared optimize-compile-link pipeline; phase spans
+// nest under parent, and the loader's trace scope tracks the phase the
+// pipeline is in so NAIM activity nests where it happened.
+func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, sess *Session, parent obs.Span) (*Build, error) {
+	if opt.Level == 0 {
+		opt.Level = O2
+	}
+	if opt.Entry == "" {
+		opt.Entry = "main"
+	}
+	if opt.PBO && opt.DB == nil {
+		return nil, fmt.Errorf("cmo: PBO requested without a profile database")
+	}
+
+	b := &Build{Prog: prog, trace: opt.Trace}
+	b.Stats.Level = opt.Level
+	b.Stats.PBO = opt.PBO
+	b.Stats.Modules = len(prog.Modules)
+	for _, m := range prog.Modules {
+		b.Stats.TotalLines += m.Lines
+	}
+
+	if opt.DB != nil {
+		opt.DB.Apply(fns)
+	}
+	var probeMap *profile.Map
+	if opt.Instrument {
+		fns, probeMap = profile.Instrument(prog, fns)
+		b.ProbeMap = probeMap
+	}
+
+	// Hand all transitory pools to the NAIM loader. A connected session
+	// lends the loader its repository, so spilled pools and cached
+	// artifacts share one durable store.
+	if sess.connected() && opt.NAIM.Repo == nil {
+		opt.NAIM.Repo = sess.Repo()
+	}
+	loader := naim.NewLoader(prog, opt.NAIM)
+	defer loader.Close()
+	loader.SetTraceScope(parent)
+	for _, pid := range prog.FuncPIDs() {
+		loader.InstallFunc(fns[pid])
+	}
+	b.Stats.Functions = len(prog.FuncPIDs())
+
+	// Baseline check: the frontend's IL must be clean before any
+	// transform touches it, or every later failure would be blamed on
+	// the wrong stage.
+	if err := b.verifyStage(loader, opt, "frontend", nil, parent); err != nil {
+		return nil, err
+	}
+
+	volatile := make(map[il.PID]bool)
+	for _, name := range opt.Volatile {
+		if s := prog.Lookup(name); s != nil {
+			volatile[s.PID] = true
+		}
+	}
+
+	omit := make(map[il.PID]bool)
+	switch {
+	case opt.Instrument:
+		// Instrumented builds skip HLO: probes measure the program
+		// the frontend produced.
+	case opt.Level >= O4:
+		hsp := parent.Child("hlo")
+		loader.SetTraceScope(hsp)
+		if err := b.runHLO(loader, opt, sess, volatile, omit, hsp); err != nil {
+			return nil, err
+		}
+		b.Stats.HLONanos = hsp.End()
+		loader.SetTraceScope(parent)
+	case opt.Level == O3:
+		hsp := parent.Child("hlo")
+		loader.SetTraceScope(hsp)
+		if err := b.runHLOPerModule(loader, opt, volatile, omit, hsp); err != nil {
+			return nil, err
+		}
+		b.Stats.HLONanos = hsp.End()
+		loader.SetTraceScope(parent)
+	}
+
+	// LLO: compile every surviving function.
+	lsp := parent.Child("llo")
+	loader.SetTraceScope(lsp)
+	code, err := b.runLLO(loader, opt, omit, lsp)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.LLONanos = lsp.End()
+	loader.SetTraceScope(parent)
+
+	// Link: assemble the image.
+	ksp := parent.Child("link")
+	img, err := b.runLink(opt, probeMap, omit, code, ksp)
+	if err != nil {
+		return nil, err
+	}
+	b.Stats.LinkNanos = ksp.End()
+	// Let queued repository spills land before the final stats
+	// snapshot so disk-write figures reflect the repository, not the
+	// writeback queue.
+	loader.Flush()
+	// Post-link consistency: the surviving IL, with the dead set
+	// omitted, must still verify — in particular no surviving routine
+	// may reference one that dead-code elimination removed.
+	if err := b.verifyStage(loader, opt, "link", omit, parent); err != nil {
+		return nil, err
+	}
+	// Every stage has returned its checkouts by now; a pin that
+	// survives UnloadAll is a leak some stage must answer for.
+	b.Stats.PinLeaks = loader.UnloadAll()
+	if opt.Trace != nil {
+		opt.Trace.Counter("naim.pin_leaks").Add(int64(b.Stats.PinLeaks))
+	}
+	b.Image = img
+	b.Stats.CodeBytes = img.CodeBytes()
+	b.Stats.NAIM = loader.Stats()
+	b.Stats.NAIMLevel = loader.Level()
+	b.Stats.CompilerPeakBytes = b.Stats.NAIM.PeakBytes + b.Stats.LLOPeakBytes
+	return b, nil
+}

@@ -129,6 +129,22 @@ func (b *Build) TimingReport() string {
 		fmt.Fprintf(&sb, " (%.1f%% hit rate)", 100*float64(s.NAIM.CacheHits)/float64(tot))
 	}
 	sb.WriteString("\n")
+	// Session cache figures only appear on builds with a cache
+	// directory — cache-less builds keep these lines out, so older
+	// report-shape expectations still hold.
+	if s.CacheFrontendHits+s.CacheFrontendMisses > 0 {
+		fmt.Fprintf(&sb, "session frontend: %d replayed, %d lowered (%.1f%% warm)\n",
+			s.CacheFrontendHits, s.CacheFrontendMisses,
+			100*float64(s.CacheFrontendHits)/float64(s.CacheFrontendHits+s.CacheFrontendMisses))
+	}
+	if s.CacheHLOHits+s.CacheHLOMisses > 0 {
+		fmt.Fprintf(&sb, "session hlo: %d replayed, %d optimized (%.1f%% warm)\n",
+			s.CacheHLOHits, s.CacheHLOMisses,
+			100*float64(s.CacheHLOHits)/float64(s.CacheHLOHits+s.CacheHLOMisses))
+	}
+	if s.PinLeaks > 0 {
+		fmt.Fprintf(&sb, "naim pin leaks: %d pools still checked out\n", s.PinLeaks)
+	}
 	// Contention figures only appear under Jobs > 1 (or disk offload):
 	// an uncontended single-threaded build keeps this line out.
 	if s.NAIM.LockWaitNanos > 0 || s.NAIM.WritebackQueued > 0 {

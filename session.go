@@ -1,0 +1,91 @@
+package cmo
+
+import (
+	"cmo/internal/naim"
+)
+
+// toolchainVersion stamps every cached artifact key. Bump it whenever
+// the frontend, the IL encoding, or any optimization that feeds a
+// cached record changes behavior: a stale artifact must miss, never
+// decode into wrong code.
+const toolchainVersion = "cmo-toolchain/1"
+
+// A Session is the unit of incremental compilation: a handle on a
+// durable, content-addressed artifact repository that successive
+// builds share. The repository (internal/naim) is the paper's object
+// repository grown a persistence layer — append-only blob log, keyed
+// by content hash, crash-safe across process restarts.
+//
+// Artifacts are keyed by what produced them (source text ⊕ options
+// fingerprint ⊕ toolchain version), so a Session never needs explicit
+// invalidation: an edit changes the key and simply misses. Warm
+// rebuilds are byte-identical to cold builds — the cache can change
+// only how fast an answer arrives, never the answer.
+//
+// A Session is not safe for concurrent use by multiple processes;
+// open one session per cache directory at a time.
+type Session struct {
+	repo *naim.Repository
+}
+
+// OpenSession opens (creating if needed) the durable build repository
+// in dir. An empty dir returns a disconnected session: every lookup
+// misses and stores are dropped, so the pipeline needs no nil checks.
+func OpenSession(dir string) (*Session, error) {
+	if dir == "" {
+		return &Session{}, nil
+	}
+	repo, err := naim.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{repo: repo}, nil
+}
+
+// Close commits the repository (fsync + manifest) and releases it.
+func (s *Session) Close() error {
+	if s == nil || s.repo == nil {
+		return nil
+	}
+	repo := s.repo
+	s.repo = nil
+	return repo.Close()
+}
+
+// Repo exposes the underlying repository (nil for a disconnected
+// session) for inspection and GC.
+func (s *Session) Repo() *naim.Repository { return s.repo }
+
+// connected reports whether the session has a backing repository.
+func (s *Session) connected() bool { return s != nil && s.repo != nil }
+
+// get looks an artifact up; a disconnected session always misses.
+func (s *Session) get(key naim.Key) ([]byte, bool) {
+	if !s.connected() {
+		return nil, false
+	}
+	b, err := s.repo.Get(key)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// put stores an artifact; a disconnected session drops it.
+func (s *Session) put(key naim.Key, blob []byte) {
+	if !s.connected() {
+		return
+	}
+	// Repository writes only fail on I/O errors; the cache is advisory,
+	// so a failed store degrades to a future miss rather than failing
+	// the build.
+	_ = s.repo.Put(key, blob)
+}
+
+// frontendKey is the artifact key for one module's frontend output.
+// It covers the module's full source text, so any edit misses; it
+// deliberately excludes build options — lowering is option-independent
+// (optimization levels act downstream of the frontend artifact).
+func frontendKey(name, text string) naim.Key {
+	return naim.KeyOfStrings("cmo/fe/v1", toolchainVersion, name, text)
+}

@@ -1,0 +1,89 @@
+package cmo
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"cmo/internal/hlo"
+	"cmo/internal/il"
+	"cmo/internal/naim"
+	"cmo/internal/profile"
+)
+
+// The session's HLO replay hookup. HLO (internal/hlo) defines the
+// replay protocol as plain closures so it never depends on the
+// repository; this file supplies those closures from the session and
+// builds the options fingerprint that scopes every record.
+
+// hloIncremental returns the replay hooks for one HLO run, or nil when
+// the session has no repository.
+func (s *Session) hloIncremental(prog *il.Program, opt Options) *hlo.Incremental {
+	if !s.connected() {
+		return nil
+	}
+	fp := hloOptionsFingerprint(opt)
+	return &hlo.Incremental{
+		OptionsFP: fp,
+		Hash: func(f *il.Function) string {
+			k := naim.HashPortableFunc(prog, f)
+			return hex.EncodeToString(k[:])
+		},
+		Load: func(kind string, parts ...string) ([]byte, bool) {
+			return s.get(naim.KeyOfStrings(append([]string{kind, toolchainVersion}, parts...)...))
+		},
+		Store: func(kind string, blob []byte, parts ...string) {
+			s.put(naim.KeyOfStrings(append([]string{kind, toolchainVersion}, parts...)...), blob)
+		},
+		Encode: func(f *il.Function) []byte { return naim.EncodePortableFunc(prog, f) },
+		Decode: func(pid il.PID, blob []byte) (*il.Function, error) {
+			return naim.DecodePortableFunc(prog, pid, blob)
+		},
+	}
+}
+
+// hloOptionsFingerprint renders every build option that can steer an
+// HLO decision. Function bodies and per-function facts are keyed
+// separately by the replay machinery; this string covers the globals:
+// level, budget, entry, volatile names, selectivity knobs, and the
+// complete profile database (site frequencies drive inline decisions
+// and cannot be derived from bodies). Verify, Jobs, NAIM, and Trace
+// are deliberately absent — they must never change generated code.
+func hloOptionsFingerprint(opt Options) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "level=%d pbo=%t sel=%g entry=%s multi=%t maxinl=%d\n",
+		opt.Level, opt.PBO, opt.SelectPercent, opt.Entry, opt.MultiLayer, opt.MaxInlines)
+	b := opt.Budget
+	fmt.Fprintf(&sb, "budget=%d,%d,%d,%d,%d,%d\n",
+		b.TinySize, b.HotMaxSize, b.HotMin, b.ColdMaxSize, b.GrowthFactor, b.MinCap)
+	if len(opt.Volatile) > 0 {
+		vol := append([]string(nil), opt.Volatile...)
+		sort.Strings(vol)
+		fmt.Fprintf(&sb, "volatile=%s\n", strings.Join(vol, ","))
+	}
+	if opt.ScopeModules != nil {
+		fmt.Fprintf(&sb, "scopemods=%v\n", opt.ScopeModules)
+	}
+	if opt.DB != nil {
+		sb.WriteString("db=")
+		sb.WriteString(profileFingerprint(opt.DB))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// profileFingerprint hashes the full profile database content in a
+// deterministic order.
+func profileFingerprint(db *profile.DB) string {
+	var parts []string
+	for k, v := range db.Sites {
+		parts = append(parts, fmt.Sprintf("s:%s:%d:%d:%s=%d", k.Fn, k.Block, k.Seq, k.Callee, v))
+	}
+	for k, v := range db.Blocks {
+		parts = append(parts, fmt.Sprintf("b:%s:%d=%d", k.Fn, k.Block, v))
+	}
+	sort.Strings(parts)
+	key := naim.KeyOfStrings(parts...)
+	return hex.EncodeToString(key[:])
+}

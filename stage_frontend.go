@@ -1,0 +1,220 @@
+package cmo
+
+import (
+	"cmo/internal/il"
+	"cmo/internal/lower"
+	"cmo/internal/naim"
+	"cmo/internal/obs"
+	"cmo/internal/source"
+)
+
+// The frontend stage: parse, check, and lower every module — or, for
+// modules whose artifact is already in the session repository, replay
+// the stored frontend output without touching the source language at
+// all.
+//
+// The stage runs in two halves. The per-module half (parse/check or
+// artifact decode) is pure per module and fans out across Jobs
+// workers. The assembly half is sequential and order-dependent: it
+// interns every module's definitions, then externs, in module order —
+// through the same lower.Register/ResolveExterns passes whether a
+// module is live or replayed — so a warm build assigns every symbol
+// the PID a cold build would. Replayed bodies then decode their
+// name-symbolic references against that table, and live modules store
+// fresh artifacts for next time.
+
+// feUnit is one module's per-module frontend outcome.
+type feUnit struct {
+	key  naim.Key
+	art  *frontendArtifact // non-nil: replayed from the repository
+	file *source.File      // non-nil: parsed live
+}
+
+// runFrontend produces the lowered program, replaying cached modules.
+// It returns the lower result plus the artifact hit/miss counts.
+func runFrontend(mods []SourceModule, opt Options, sess *Session, fe obs.Span) (*lower.Result, int, int, error) {
+	units := make([]feUnit, len(mods))
+	process := func(i int) error {
+		m := mods[i]
+		units[i].key = frontendKey(m.Name, m.Text)
+		if blob, ok := sess.get(units[i].key); ok {
+			if art, err := decodeFrontendArtifact(blob); err == nil {
+				sp := fe.ChildDetail("warm", m.Name)
+				units[i].art = art
+				sp.End()
+				return nil
+			}
+			// Undecodable artifact: treat as a miss and lower live.
+		}
+		sp := fe.ChildDetail("parse", m.Name)
+		f, err := source.Parse(m.Name, m.Text)
+		if err == nil {
+			err = source.Check(f)
+		}
+		sp.End()
+		if err != nil {
+			return err
+		}
+		units[i].file = f
+		return nil
+	}
+
+	jobs := opt.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(mods) {
+		jobs = len(mods)
+	}
+	if jobs <= 1 {
+		for i := range mods {
+			if err := process(i); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+	} else {
+		// Parsing, checking, and artifact decode are per-module pure;
+		// fan out. Workers keep draining after an error so the feeder
+		// never blocks.
+		work := make(chan int)
+		errs := make(chan error, jobs)
+		for w := 0; w < jobs; w++ {
+			go func() {
+				var werr error
+				for i := range work {
+					if werr != nil {
+						continue
+					}
+					if err := process(i); err != nil {
+						werr = err
+					}
+				}
+				errs <- werr
+			}()
+		}
+		for i := range mods {
+			work <- i
+		}
+		close(work)
+		var firstErr error
+		for w := 0; w < jobs; w++ {
+			if err := <-errs; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return nil, 0, 0, firstErr
+		}
+	}
+
+	// Assembly: sequential, module order. Shapes come from the artifact
+	// for replayed modules and from the syntax tree for live ones; both
+	// run the same interning passes.
+	lsp := fe.Child("lower")
+	defer lsp.End()
+	prog := il.NewProgram()
+	res := &lower.Result{Prog: prog, Funcs: make(map[il.PID]*il.Function)}
+	shapes := make([]lower.Shape, len(mods))
+	ilmods := make([]*il.Module, len(mods))
+	for i := range units {
+		if units[i].art != nil {
+			shapes[i] = units[i].art.shape
+		} else {
+			shapes[i] = lower.FileShape(units[i].file)
+		}
+		mod, err := lower.Register(prog, shapes[i])
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		ilmods[i] = mod
+	}
+	for i := range units {
+		if err := lower.ResolveExterns(prog, ilmods[i], shapes[i]); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+
+	hits, misses := 0, 0
+	for i := range units {
+		if art := units[i].art; art != nil {
+			decoded, err := decodeArtifactBodies(prog, shapes[i], art)
+			if err == nil {
+				for _, f := range decoded {
+					res.Funcs[f.PID] = f
+				}
+				hits++
+				continue
+			}
+			// The artifact's shape registered cleanly but a body would
+			// not decode (e.g. a hand-damaged repository). Re-lower the
+			// module from source; the shape is identical by key, so the
+			// symbol table already matches.
+			f, perr := source.Parse(mods[i].Name, mods[i].Text)
+			if perr == nil {
+				perr = source.Check(f)
+			}
+			if perr != nil {
+				return nil, 0, 0, perr
+			}
+			units[i].file = f
+			units[i].art = nil
+		}
+		if err := lower.LowerBodies(prog, units[i].file, res.Funcs); err != nil {
+			return nil, 0, 0, err
+		}
+		misses++
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Store fresh artifacts for the modules lowered live, so the next
+	// build replays them. Bodies are the frontend's untouched output:
+	// profile application and every optimization act downstream.
+	if sess.connected() {
+		for i := range units {
+			if units[i].art != nil || units[i].file == nil {
+				continue
+			}
+			var bodies [][]byte
+			for _, d := range shapes[i].Defs {
+				if d.Kind != il.SymFunc {
+					continue
+				}
+				pid, _ := prog.Intern(d.Name, il.SymFunc)
+				bodies = append(bodies, naim.EncodePortableFunc(prog, res.Funcs[pid]))
+			}
+			sess.put(units[i].key, encodeFrontendArtifact(shapes[i], bodies))
+		}
+		if tr := fe.Trace(); tr != nil {
+			tr.Counter("session.frontend_hits").Add(int64(hits))
+			tr.Counter("session.frontend_misses").Add(int64(misses))
+		}
+	} else {
+		hits, misses = 0, 0
+	}
+	return res, hits, misses, nil
+}
+
+// decodeArtifactBodies expands a replayed module's portable bodies
+// against the assembled program.
+func decodeArtifactBodies(prog *il.Program, sh lower.Shape, art *frontendArtifact) ([]*il.Function, error) {
+	var out []*il.Function
+	bi := 0
+	for _, d := range sh.Defs {
+		if d.Kind != il.SymFunc {
+			continue
+		}
+		pid, err := prog.Intern(d.Name, il.SymFunc)
+		if err != nil {
+			return nil, err
+		}
+		f, err := naim.DecodePortableFunc(prog, pid, art.bodies[bi])
+		if err != nil {
+			return nil, err
+		}
+		bi++
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package cmo
+
+import (
+	"sort"
+
+	"cmo/internal/il"
+	"cmo/internal/link"
+	"cmo/internal/obs"
+	"cmo/internal/profile"
+	"cmo/internal/vpa"
+)
+
+// The link stage: assemble the compiled routines into the final image,
+// with Pettis–Hansen clustering when a profile is available.
+
+// runLink links the code map into an executable image.
+func (b *Build) runLink(opt Options, probeMap *profile.Map, omit map[il.PID]bool, code map[il.PID]*vpa.Func, ksp obs.Span) (*vpa.Image, error) {
+	lopts := link.Options{Entry: opt.Entry, Omit: omit, Span: ksp}
+	if probeMap != nil {
+		lopts.NumProbes = probeMap.NumProbes()
+	}
+	if opt.PBO && opt.DB != nil {
+		lopts.Cluster = true
+		lopts.Edges = profileEdges(b.Prog, opt.DB)
+	}
+	return link.Link(b.Prog, code, lopts)
+}
+
+// profileEdges aggregates the profile's call-site counts into
+// caller/callee edges for Pettis–Hansen clustering.
+func profileEdges(prog *il.Program, db *profile.DB) []link.Edge {
+	type key struct{ a, b il.PID }
+	agg := make(map[key]int64)
+	for _, s := range db.RankedSites() {
+		caller := prog.Lookup(s.Key.Fn)
+		callee := prog.Lookup(s.Key.Callee)
+		if caller == nil || callee == nil {
+			continue
+		}
+		agg[key{caller.PID, callee.PID}] += s.Count
+	}
+	edges := make([]link.Edge, 0, len(agg))
+	for k, v := range agg {
+		edges = append(edges, link.Edge{Caller: k.a, Callee: k.b, Count: v})
+	}
+	// Deterministic order for the linker. sort.Slice, not insertion
+	// sort: large profiles produce tens of thousands of distinct edges
+	// and the quadratic sort dominated profileEdges on them.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Caller != edges[j].Caller {
+			return edges[i].Caller < edges[j].Caller
+		}
+		return edges[i].Callee < edges[j].Callee
+	})
+	return edges
+}

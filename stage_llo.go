@@ -1,0 +1,173 @@
+package cmo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cmo/internal/analyze"
+	"cmo/internal/il"
+	"cmo/internal/llo"
+	"cmo/internal/naim"
+	"cmo/internal/obs"
+	"cmo/internal/vpa"
+)
+
+// The LLO stage: compile every surviving function to machine code.
+// With MultiLayer, each routine's tier picks its code-generation
+// effort (paper section 8's layered strategy).
+
+// lloBytes models LLO's working-set for one routine: linear IR plus
+// quadratic analysis structures (interference, scheduling windows).
+func lloBytes(n int) int64 {
+	nn := int64(n)
+	return 96*nn + nn*nn/6
+}
+
+// runLLO compiles every function not in omit and returns the code map.
+func (b *Build) runLLO(loader *naim.Loader, opt Options, omit map[il.PID]bool, lsp obs.Span) (map[il.PID]*vpa.Func, error) {
+	prog := b.Prog
+	lloLevel := 2
+	if opt.Level == O1 {
+		lloLevel = 1
+	}
+	multiLayer := opt.MultiLayer && opt.Level >= O4 && opt.DB != nil
+	code := make(map[il.PID]*vpa.Func)
+
+	// Per-routine re-verification of LLO's optimized working copy,
+	// just before emission. analyze.Function is pure over its inputs,
+	// so the hook is safe from the parallel codegen workers.
+	var lloVerify func(*il.Function) error
+	if opt.Verify != analyze.Off {
+		level := opt.Verify
+		lloVerify = func(f *il.Function) error {
+			return analyze.FirstError(analyze.Function(prog, f, level))
+		}
+	}
+
+	// classify applies the multi-layer tier policy for one routine.
+	classify := func(pid il.PID, f *il.Function) (int, bool) {
+		if !multiLayer {
+			return lloLevel, opt.PBO
+		}
+		switch {
+		case f.Calls == 0:
+			// Never executed during training: cheapest codegen.
+			b.Stats.TierCold++
+			return 1, false
+		case !b.selectedFns[pid]:
+			b.Stats.TierWarm++
+			return lloLevel, opt.PBO
+		default:
+			b.Stats.TierHot++
+			return lloLevel, opt.PBO
+		}
+	}
+
+	lloJobs := opt.Jobs
+	if lloJobs < 1 {
+		lloJobs = 1
+	}
+	if lloJobs > 1 {
+		if err := b.compileParallel(loader, omit, code, classify, lloVerify, lloJobs, lsp); err != nil {
+			return nil, err
+		}
+		return code, nil
+	}
+	for _, pid := range prog.FuncPIDs() {
+		if omit[pid] {
+			continue
+		}
+		f := loader.Function(pid)
+		if f == nil {
+			return nil, fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name)
+		}
+		fnLevel, fnPBO := classify(pid, f)
+		mf, err := llo.Compile(prog, f, llo.Options{Level: fnLevel, PBO: fnPBO, Span: lsp, Verify: lloVerify})
+		if err != nil {
+			return nil, err
+		}
+		if lb := lloBytes(f.NumInstrs()); lb > b.Stats.LLOPeakBytes {
+			b.Stats.LLOPeakBytes = lb
+		}
+		code[pid] = mf
+		loader.DoneWith(pid)
+	}
+	return code, nil
+}
+
+// compileParallel is the Jobs > 1 code-generation path. Workers pull
+// PIDs from a shared cursor and call loader.Function themselves — the
+// sharded loader is safe for concurrent use, so there is no feeder
+// funnel and a slow routine never stalls checkout of the next one.
+// Bodies are treated as read-only (llo.Compile clones before
+// transforming) and each body's pin is dropped as soon as its compile
+// completes, so NAIM's pinned set stays bounded by the worker count.
+// Once any worker records an error, the cursor stops handing out new
+// PIDs and every already-pinned body is still released — a failing
+// build leaves no pinned handles behind.
+func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
+	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool),
+	verify func(*il.Function) error, jobs int, lsp obs.Span) error {
+	prog := b.Prog
+	pids := make([]il.PID, 0, len(prog.FuncPIDs()))
+	for _, pid := range prog.FuncPIDs() {
+		if !omit[pid] {
+			pids = append(pids, pid)
+		}
+	}
+	var (
+		mu       sync.Mutex // guards code, firstErr, b.Stats (classify tiers, LLO peak)
+		firstErr error
+		stop     atomic.Bool
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(pids) {
+					return
+				}
+				pid := pids[i]
+				f := loader.Function(pid)
+				if f == nil {
+					fail(fmt.Errorf("cmo: no body for %s", prog.Sym(pid).Name))
+					return
+				}
+				mu.Lock()
+				level, pbo := classify(pid, f)
+				mu.Unlock()
+				mf, err := llo.Compile(prog, f, llo.Options{Level: level, PBO: pbo, Span: lsp, Verify: verify})
+				if err != nil {
+					loader.DoneWith(pid)
+					fail(err)
+					return
+				}
+				mu.Lock()
+				code[pid] = mf
+				if lb := lloBytes(f.NumInstrs()); lb > b.Stats.LLOPeakBytes {
+					b.Stats.LLOPeakBytes = lb
+				}
+				mu.Unlock()
+				loader.DoneWith(pid)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
