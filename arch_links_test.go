@@ -1,0 +1,61 @@
+package cmo
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The architecture tour is only trustworthy while every file it names
+// exists. This test (run by the CI docs job) fails the moment a rename
+// or deletion strands a reference in ARCHITECTURE.md, README.md, or
+// DESIGN.md.
+
+var (
+	mdLinkRE = regexp.MustCompile(`\]\(([^)]+)\)`)
+	// Backticked repo paths like `internal/naim/loader.go`; globs and
+	// single identifiers are not path claims.
+	backtickRE = regexp.MustCompile("`([A-Za-z0-9_./-]+\\.(?:go|md|minc|json|yml))`")
+)
+
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range []string{"ARCHITECTURE.md", "README.md", "DESIGN.md"} {
+		text, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		seen := map[string]bool{}
+		check := func(ref string) {
+			ref = strings.TrimSpace(ref)
+			if i := strings.IndexByte(ref, '#'); i >= 0 {
+				ref = ref[:i] // drop section anchors
+			}
+			if ref == "" || seen[ref] {
+				return
+			}
+			seen[ref] = true
+			if strings.Contains(ref, "://") || strings.HasPrefix(ref, "mailto:") {
+				return // external
+			}
+			if strings.Contains(ref, "*") {
+				return // glob, not a concrete file claim
+			}
+			if _, err := os.Stat(filepath.FromSlash(ref)); err != nil {
+				t.Errorf("%s references %q, which does not exist", doc, ref)
+			}
+		}
+		for _, m := range mdLinkRE.FindAllStringSubmatch(string(text), -1) {
+			check(m[1])
+		}
+		// Only ARCHITECTURE.md promises that its backticked paths are
+		// real files; the other documents use backticks for shell
+		// commands and illustrative names too.
+		if doc == "ARCHITECTURE.md" {
+			for _, m := range backtickRE.FindAllStringSubmatch(string(text), -1) {
+				check(m[1])
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package cmo
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/naim"
+	"cmo/internal/workload"
+)
+
+// Cancellation contract (Options.Context): an aborted build returns
+// the context's error — never a mislabeled verification failure — and
+// releases every NAIM checkout it took, so cancellation can never leak
+// pinned pools no matter where in the pipeline the clock ran out.
+
+func cancelSpec(seed int64) workload.Spec {
+	return workload.Spec{
+		Name: "cancel", Seed: seed,
+		Modules: 6, HotPerModule: 2, ColdPerModule: 3, ColdStmts: 8,
+		ArrayElems: 16,
+		TrainIters: 20, RefIters: 50, TrainMode: 2, RefMode: 4,
+	}
+}
+
+// TestBuildCancelBeforeStart: a context that is already dead fails the
+// build before any pipeline work.
+func TestBuildCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, err := BuildSource(sources(cancelSpec(11)), Options{
+		Level: O4, SelectPercent: -1,
+		Volatile: workload.InputGlobals(),
+		Context:  ctx,
+	})
+	if b != nil {
+		t.Fatalf("canceled build returned a Build")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBuildCancelMidHLO drives the hard case: cancellation landing in
+// the middle of the cross-module optimizer, while function bodies are
+// being checked in and out of the NAIM loader. The testHLOTamper hook
+// fires between HLO transforms (it exists for mid-pipeline fault
+// injection), which is exactly "mid-HLO with warm checkouts".
+func TestBuildCancelMidHLO(t *testing.T) {
+	spec := cancelSpec(13)
+	mods := sources(spec)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := false
+	testHLOTamper = func(transform string, prog *il.Program, loader *naim.Loader) {
+		// Cancel once, during the first in-HLO checkpoint; the next
+		// transform's per-function poll must latch it.
+		if !fired {
+			fired = true
+			cancel()
+		}
+	}
+	defer func() { testHLOTamper = nil }()
+
+	b, err := BuildSource(mods, Options{
+		Level: O4, SelectPercent: -1,
+		Volatile: workload.InputGlobals(),
+		Verify:   VerifyStructural, // the tamper hook rides the verify path
+		Context:  ctx,
+	})
+	if !fired {
+		t.Fatalf("tamper hook never fired; the cancel never happened mid-HLO")
+	}
+	if b != nil {
+		t.Fatalf("canceled build returned a Build")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The error must be the raw cancellation, not a verification
+	// failure that happened to fire after the clock stopped...
+	if strings.Contains(err.Error(), "verification failed") {
+		t.Errorf("cancellation mislabeled as a verification failure: %v", err)
+	}
+	// ...and the abort path must have unpinned everything: buildIL
+	// annotates the error when UnloadAll finds leaked checkouts.
+	if strings.Contains(err.Error(), "pinned") {
+		t.Errorf("cancellation leaked pinned pools: %v", err)
+	}
+
+	// The same modules build fine without the dead context — the
+	// failure above was the cancellation, nothing else.
+	testHLOTamper = nil
+	good, err := BuildSource(mods, Options{
+		Level: O4, SelectPercent: -1,
+		Volatile: workload.InputGlobals(),
+		Verify:   VerifyStructural,
+	})
+	if err != nil {
+		t.Fatalf("clean rebuild failed: %v", err)
+	}
+	if good.Stats.PinLeaks != 0 {
+		t.Fatalf("clean rebuild leaked %d pins", good.Stats.PinLeaks)
+	}
+}
+
+// TestBuildCancelMidLLO cancels during parallel code generation: the
+// worker pool must stop handing out routines, release every pinned
+// body, and surface the context error.
+func TestBuildCancelMidLLO(t *testing.T) {
+	spec := cancelSpec(17)
+	mods := sources(spec)
+
+	// Cancel from inside the pipeline, after HLO: the per-routine
+	// verify hook runs on LLO's working copies, so the first routine
+	// through codegen pulls the trigger.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tamperOnce := false
+	testHLOTamper = func(transform string, prog *il.Program, loader *naim.Loader) {
+		if transform == "dce" && !tamperOnce {
+			tamperOnce = true
+			// Last HLO checkpoint: let HLO finish, cancel before LLO.
+			cancel()
+		}
+	}
+	defer func() { testHLOTamper = nil }()
+
+	b, err := BuildSource(mods, Options{
+		Level: O4, SelectPercent: -1,
+		Volatile: workload.InputGlobals(),
+		Verify:   VerifyStructural,
+		Jobs:     4,
+		Context:  ctx,
+	})
+	if b != nil {
+		t.Fatalf("canceled build returned a Build")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if strings.Contains(err.Error(), "pinned") {
+		t.Errorf("parallel-LLO cancellation leaked pinned pools: %v", err)
+	}
+}
+
+// TestBuildDeadlineStats: the deadline flavor of the same contract,
+// through a session so cancellation also crosses the replay paths.
+func TestBuildDeadline(t *testing.T) {
+	spec := cancelSpec(19)
+	mods := sources(spec)
+	dir := t.TempDir()
+
+	// Warm the cache with a complete build first.
+	if _, err := BuildSource(mods, Options{Level: O4, SelectPercent: -1,
+		Volatile: workload.InputGlobals(), CacheDir: dir}); err != nil {
+		t.Fatalf("warming build: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, err := BuildSource(mods, Options{Level: O4, SelectPercent: -1,
+		Volatile: workload.InputGlobals(), CacheDir: dir, Context: ctx})
+	if b != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("warm canceled build: b=%v err=%v, want nil + context.Canceled", b != nil, err)
+	}
+
+	// The repository must still be intact: a fresh build replays it.
+	good, err := BuildSource(mods, Options{Level: O4, SelectPercent: -1,
+		Volatile: workload.InputGlobals(), CacheDir: dir})
+	if err != nil {
+		t.Fatalf("build after canceled build: %v", err)
+	}
+	if good.Stats.CacheFrontendHits != len(mods) {
+		t.Errorf("post-cancel frontend hits = %d, want %d", good.Stats.CacheFrontendHits, len(mods))
+	}
+}

@@ -37,11 +37,26 @@
 // frontend for unchanged modules and HLO records for functions whose
 // inputs are unchanged. A warm rebuild writes the same image bytes a
 // cold one would — the cache changes build time, never output.
+//
+// Server mode (-server addr) sends the build to a running cmod daemon
+// instead of compiling in-process:
+//
+//	cmoc -server 127.0.0.1:7777 [-O level] [-j jobs] [-cache-dir dir]
+//	     [-timing] [-o out.vx] a.minc b.minc ...
+//
+// The daemon holds build sessions open across requests, so repeated
+// builds against the same -cache-dir warm each other without paying a
+// session open/commit per invocation. -cache-dir here names a
+// directory on the *daemon's* filesystem. The image written is
+// byte-identical to what the in-process driver would produce.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -49,6 +64,7 @@ import (
 	"cmo/internal/naim"
 	"cmo/internal/objfile"
 	"cmo/internal/obs"
+	"cmo/internal/serve"
 )
 
 func main() {
@@ -60,6 +76,7 @@ func main() {
 	naimLevel := flag.String("naim", "", "driver mode: pin the NAIM level (off|ir|st|disk|adaptive)")
 	jobs := flag.Int("j", 1, "driver mode: parallel frontend/codegen jobs (output is identical)")
 	cacheDir := flag.String("cache-dir", "", "driver mode: durable build repository for incremental rebuilds (warm builds are byte-identical)")
+	server := flag.String("server", "", "send the build to a cmod daemon at this address instead of compiling in-process")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cmoc [-O level] [-o out.o] file.minc\n")
 		fmt.Fprintf(os.Stderr, "       cmoc [-O level] [-trace out.json] [-timing] [-o out.vx] a.minc b.minc ...\n")
@@ -78,6 +95,14 @@ func main() {
 	})
 	if *level < 1 || *level > 4 {
 		fatalf("invalid -O %d (want 1..4)", *level)
+	}
+
+	if *server != "" {
+		if !levelSet {
+			*level = 4
+		}
+		runRemote(*server, flag.Args(), *level, *out, *timing, *jobs, *cacheDir)
+		return
 	}
 
 	driver := flag.NArg() > 1 || *tracePath != "" || *timing || *cacheDir != ""
@@ -209,6 +234,57 @@ func runDriver(paths []string, level int, out, tracePath string, timing bool, bu
 	}
 	if timing {
 		fmt.Fprint(os.Stderr, b.TimingReport())
+	}
+}
+
+// runRemote is server mode: ship the sources to a cmod daemon and
+// write the image it returns. The daemon compiles with the same
+// pipeline this binary embeds, so the output bytes are identical.
+func runRemote(addr string, paths []string, level int, out string, timing bool, jobs int, cacheDir string) {
+	req := serve.BuildRequest{Level: level, Jobs: jobs, CacheDir: cacheDir}
+	for _, path := range paths {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req.Modules = append(req.Modules, serve.Module{Name: path, Text: string(text)})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Post(addr+"/build", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("contacting daemon: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		fatalf("daemon: %s", msg)
+	}
+	var br serve.BuildResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		fatalf("decoding daemon response: %v", err)
+	}
+
+	dst := out
+	if dst == "" {
+		dst = "a.vx"
+	}
+	if err := os.WriteFile(dst, br.Image, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	if timing {
+		fmt.Fprint(os.Stderr, br.Timing)
 	}
 }
 

@@ -1,0 +1,109 @@
+// Command cmod is the CMO build daemon: a long-lived process that
+// serves compile requests over HTTP and keeps build sessions open
+// between them, so every request after the first starts warm.
+//
+//	cmod [-addr host:port] [-max-builds n] [-queue n] [-job-budget n]
+//	     [-timeout d] [-max-timeout d]
+//
+// The one-shot cmoc driver pays the session open/commit cost on every
+// invocation and shares nothing across processes. cmod moves the
+// session boundary to the server: builds naming the same -cache-dir
+// (via the request's cache_dir field, or cmoc -server -cache-dir)
+// share one open session, so frontend artifacts and HLO replay records
+// written by one request are replayed by the next with no process
+// restart or manifest reload in between. Generated images are
+// byte-identical to one-shot builds — the daemon changes how fast an
+// answer arrives, never the answer.
+//
+// API (see internal/serve for the wire types):
+//
+//	POST /build     {modules, level, cache_dir, jobs, timeout_millis, ...}
+//	GET  /status    queue depth, active builds, open sessions
+//	GET  /metrics   obs counters + span aggregates (JSON)
+//	GET  /healthz   "ok" while serving, 503 once draining
+//	POST /shutdown  remote SIGTERM
+//
+// On SIGTERM or SIGINT (or POST /shutdown) the daemon drains: it stops
+// admitting builds, lets queued and in-flight ones finish, commits and
+// fsyncs every open session repository, then exits 0. Kill -9 is still
+// safe — the repository is crash-consistent — but drain preserves the
+// uncommitted tail of the last builds' artifacts.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cmo/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	maxBuilds := flag.Int("max-builds", 2, "concurrent build limit")
+	queueDepth := flag.Int("queue", 8, "requests that may wait for a build slot")
+	jobBudget := flag.Int("job-budget", 0, "server-wide worker budget across builds (0 = one per build)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request build deadline")
+	maxTimeout := flag.Duration("max-timeout", 0, "cap on requested deadlines (0 = same as -timeout)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "usage: cmod [-addr host:port] [flags]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		MaxBuilds:      *maxBuilds,
+		QueueDepth:     *queueDepth,
+		JobBudget:      *jobBudget,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "cmod: serving on %s (max %d builds, queue %d)\n",
+		ln.Addr(), *maxBuilds, *queueDepth)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "cmod: %v — draining\n", s)
+	case <-srv.ShutdownRequested():
+		fmt.Fprintln(os.Stderr, "cmod: shutdown requested — draining")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("%v", err)
+		}
+	}
+
+	// Drain order: finish admitted builds and fsync sessions first,
+	// then tear the listener down. New requests during the drain get a
+	// clean 503 instead of a connection error, so health checks see
+	// "draining", not "dead".
+	if err := srv.Drain(); err != nil {
+		fmt.Fprintf(os.Stderr, "cmod: drain: %v\n", err)
+		hs.Close()
+		os.Exit(1)
+	}
+	hs.Close()
+	fmt.Fprintln(os.Stderr, "cmod: drained, exiting")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmod: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,37 +1,7 @@
-// Package cmo is the public facade of the scalable cross-module
-// optimization framework: a reproduction of "Scalable Cross-Module
-// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
-//
-// It assembles the full HP-UX-style pipeline (paper Figure 2) over
-// the MinC language and the simulated VPA target:
-//
-//	frontend (internal/source, internal/lower)
-//	   │ IL
-//	   ├── +O2: LLO per module ──────────────────┐
-//	   └── +O4: HLO across modules (internal/hlo,│
-//	        under the NAIM loader, internal/naim)│
-//	               │ optimized IL                │
-//	               └── LLO (internal/llo) ───────┤
-//	                                             ▼
-//	                linker (internal/link): clustering, image
-//	                                             ▼
-//	                VPA machine (internal/vpa): cycle-accurate-ish run
-//
-// Optimization levels follow the paper: O1 optimizes within basic
-// blocks, O2 is the aggressive intraprocedural default, O4 adds
-// link-time cross-module optimization; PBO layers profile-based
-// optimization on any of them, and Instrument produces a +I build
-// whose runs feed the profile database.
-//
-// The pipeline itself is organized as explicit stages — frontend,
-// select, HLO, LLO, link — each in its own stage_*.go file, run by
-// the coordinator in pipeline.go. A Session (session.go) adds a
-// persistent content-addressed artifact repository under the stages:
-// with Options.CacheDir set, warm rebuilds replay the frontend for
-// unchanged modules instead of re-lowering them.
 package cmo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -162,6 +132,17 @@ type Options struct {
 	// doing repeated in-process builds share one Session so each build
 	// warms the next.
 	Session *Session
+	// Context, when non-nil, bounds the build: cancellation (or a
+	// deadline) aborts the pipeline at the next per-module or
+	// per-function checkpoint and BuildSource returns the context's
+	// error. An aborted build releases every NAIM checkout it took —
+	// cancellation never leaks pinned pools — but makes no promise
+	// about session artifacts written so far (they are keyed by
+	// content, so a partial warm-up is simply a smaller head start).
+	// nil means the build cannot be cancelled (the historical CLI
+	// behavior). The serving layer (internal/serve) sets this from the
+	// per-request deadline.
+	Context context.Context
 }
 
 // BuildStats records what a build did and what it cost. Memory
@@ -200,6 +181,13 @@ type BuildStats struct {
 	// finished — each one is a checkout some stage never returned
 	// (see Loader.UnloadAll). Always zero in a correct build.
 	PinLeaks int
+
+	// QueueNanos is the time the request spent waiting for a worker
+	// before the build started. It is set by the serving layer
+	// (internal/serve) and is always zero for direct in-process builds;
+	// it is *not* part of TotalNanos, so server-side latency decomposes
+	// as queue wait + build time.
+	QueueNanos int64
 
 	FrontendNanos int64
 	HLONanos      int64

@@ -1,0 +1,43 @@
+// Package cmo is the public facade of the scalable cross-module
+// optimization framework: a reproduction of "Scalable Cross-Module
+// Optimization" (Ayers, de Jong, Peyton, Schooler; PLDI 1998).
+//
+// It assembles the full HP-UX-style pipeline (paper Figure 2) over
+// the MinC language and the simulated VPA target:
+//
+//	frontend (internal/source, internal/lower)
+//	   │ IL
+//	   ├── +O2: LLO per module ──────────────────┐
+//	   └── +O4: HLO across modules (internal/hlo,│
+//	        under the NAIM loader, internal/naim)│
+//	               │ optimized IL                │
+//	               └── LLO (internal/llo) ───────┤
+//	                                             ▼
+//	                linker (internal/link): clustering, image
+//	                                             ▼
+//	                VPA machine (internal/vpa): cycle-accurate-ish run
+//
+// Optimization levels follow the paper: O1 optimizes within basic
+// blocks, O2 is the aggressive intraprocedural default, O4 adds
+// link-time cross-module optimization; PBO layers profile-based
+// optimization on any of them, and Instrument produces a +I build
+// whose runs feed the profile database.
+//
+// The pipeline itself is organized as explicit stages — frontend,
+// select, HLO, LLO, link — each in its own stage_*.go file, run by
+// the coordinator in pipeline.go. A Session (session.go) adds a
+// persistent content-addressed artifact repository under the stages:
+// with Options.CacheDir set, warm rebuilds replay the frontend for
+// unchanged modules instead of re-lowering them, and HLO replays
+// per-function transform records whose inputs are unchanged.
+//
+// Builds are bounded and abortable: Options.Context threads a
+// deadline or cancellation through every stage, which aborts at the
+// next per-module or per-function checkpoint with every NAIM checkout
+// returned. Long-lived callers serving many builds over shared
+// sessions should look at internal/serve (the core of the cmod
+// daemon), which adds admission control, a worker budget, and
+// single-writer commit discipline on top of this package.
+//
+// ARCHITECTURE.md walks the whole tree layer by layer.
+package cmo

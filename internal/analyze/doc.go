@@ -1,0 +1,40 @@
+// Package analyze is the whole-program static-analysis and
+// verification subsystem: the trustworthy IR checker the paper's
+// section 6.3 debugging methodology leans on ("shrink the miscompile"
+// only works when some tool can say *which* transform broke *which*
+// invariant), extended from the per-function structural il.Verify to
+// whole-program properties.
+//
+// The checks are layered in four tiers, selected by Level:
+//
+//   - Structural: il.Verify per function — operand ranges, terminator
+//     placement, symbol-kind and arity agreement.
+//   - Dataflow: dominance/dataflow facts per function over
+//     ir.BuildCFG/BuildDominators — definite assignment (every
+//     register use is preceded by a definition on every path from
+//     entry), unreachable-block and dead-store diagnostics.
+//   - Interproc: whole-program consistency — cross-module
+//     call-signature agreement, dangling or unresolved PID detection
+//     (including calls into the dead set after link-time DCE),
+//     module-table bookkeeping, and call-graph-vs-IL agreement
+//     (internal/callgraph's edges must exactly match a direct scan of
+//     the Call instructions). The NAIM round-trip check
+//     (expanded → relocatable → expanded structural equality through
+//     internal/naim's codec) also runs at this tier.
+//
+// The facts soundness audit (AuditFacts, facts.go) is the fourth
+// analysis: it independently recomputes global usage with all routines
+// loaded and asserts the high-level optimizer's summary facts are
+// conservative over it — the property the paper's section-5
+// selectivity claim silently depends on.
+//
+// All diagnostics are positioned (module, function, block,
+// instruction) and carry a machine-readable check identifier, so the
+// same Result renders as human output or JSON (cmd/cmocheck).
+//
+// Analysis is pure over its inputs: it mutates nothing, takes no
+// locks beyond the loader checkouts it balances, and is safe to run
+// from concurrent pipeline workers. A cancelled build (cmo
+// Options.Context) skips pending verification passes rather than
+// reporting them as failures.
+package analyze

@@ -1,18 +1,3 @@
-// Package hlo is the high-level optimizer: the interprocedural,
-// cross-module stage of the pipeline (paper Figure 2). It runs at
-// +O4, consumes IL for many modules at once, and performs
-// profile-aware inlining, interprocedural constant propagation,
-// constant-global promotion, and whole-program dead function
-// elimination, delegating function-local cleanup to internal/xform.
-//
-// HLO never holds function bodies directly: it pulls them through a
-// FuncSource (in production the NAIM loader, internal/naim) and
-// signals with DoneWith when a body may be unloaded. The access
-// pattern is deliberately phased — one initial scan of everything
-// (the paper's "minimum amount of analysis ... as the code and data
-// are read in"), then repeated touches of only the selected hot
-// functions — because that locality is what makes the NAIM expanded-
-// pool cache effective (paper section 4.3).
 package hlo
 
 import (
@@ -156,6 +141,15 @@ type Options struct {
 	// incremental.go). Replay never changes what the run produces —
 	// only how much of it is recomputed. Ignored when MaxInlines > 0.
 	Incremental *Incremental
+	// Cancel, when non-nil, is polled at per-function granularity
+	// inside every transform loop (scan, inline, interproc, dce). A
+	// non-nil return aborts the run: Optimize returns that error
+	// verbatim, with every FuncSource checkout already returned — a
+	// cancelled run never leaves a pinned body behind. The driver
+	// points this at the build context (Options.Context in package
+	// cmo); the serving daemon uses it to enforce per-request
+	// deadlines mid-HLO.
+	Cancel func() error
 }
 
 // Stats reports what HLO did.
@@ -248,6 +242,9 @@ type pass struct {
 	src  FuncSource
 	opts Options
 	res  *Result
+	// cancelErr latches the first error Options.Cancel reported; the
+	// transform loops drain without further work once it is set.
+	cancelErr error
 
 	callees   map[il.PID][]il.PID
 	callers   map[il.PID][]il.PID
@@ -328,28 +325,43 @@ func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
 	}
 
 	// Per-transform spans: the phase-level breakdown behind the
-	// paper's Figure 5/6 compile-time measurements.
+	// paper's Figure 5/6 compile-time measurements. After each
+	// transform the latched cancellation error (if any) is surfaced
+	// before the transform's verification pass runs — a cancelled run
+	// must report the deadline, not a half-checked invariant.
 	sp := opts.Span.Child("scan")
 	p.initialScan()
 	sp.End()
+	if p.cancelErr != nil {
+		return nil, p.cancelErr
+	}
 	if err := check("scan"); err != nil {
 		return nil, err
 	}
 	sp = opts.Span.Child("inline")
 	p.inlineAll()
 	sp.End()
+	if p.cancelErr != nil {
+		return nil, p.cancelErr
+	}
 	if err := check("inline"); err != nil {
 		return nil, err
 	}
 	sp = opts.Span.Child("clone")
 	p.cloneAll()
 	sp.End()
+	if p.cancelErr != nil {
+		return nil, p.cancelErr
+	}
 	if err := check("clone"); err != nil {
 		return nil, err
 	}
 	sp = opts.Span.Child("ipcp")
 	p.interproc()
 	sp.End()
+	if p.cancelErr != nil {
+		return nil, p.cancelErr
+	}
 	if err := check("ipcp"); err != nil {
 		return nil, err
 	}
@@ -357,6 +369,9 @@ func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
 		sp = opts.Span.Child("dce")
 		p.deadFunctions(entryPID)
 		sp.End()
+		if p.cancelErr != nil {
+			return nil, p.cancelErr
+		}
 		if err := check("dce"); err != nil {
 			return nil, err
 		}
@@ -374,6 +389,24 @@ func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
 		p.res.Facts.Dead[pid] = true
 	}
 	return p.res, nil
+}
+
+// canceled polls Options.Cancel, latching the first error it reports.
+// Transform loops call it between checkouts — never while holding one
+// — so an aborted run's pin count is already balanced when Optimize
+// returns the latched error.
+func (p *pass) canceled() bool {
+	if p.cancelErr != nil {
+		return true
+	}
+	if p.opts.Cancel == nil {
+		return false
+	}
+	if err := p.opts.Cancel(); err != nil {
+		p.cancelErr = err
+		return true
+	}
+	return false
 }
 
 // initialScan reads every module's code once, building the call
@@ -395,6 +428,9 @@ func (p *pass) initialScan() {
 	for _, pid := range p.prog.FuncPIDs() {
 		if !p.scope[pid] {
 			continue
+		}
+		if p.canceled() {
+			return
 		}
 		f := p.src.Function(pid)
 		if f == nil {
@@ -538,6 +574,9 @@ func (p *pass) interproc() {
 		if !p.selected[pid] {
 			continue
 		}
+		if p.canceled() {
+			return
+		}
 		f := p.src.Function(pid)
 		if f == nil {
 			continue
@@ -621,6 +660,9 @@ func (p *pass) interprocOne(pid il.PID, f *il.Function, entryPID il.PID) *ipOutc
 func (p *pass) deadFunctions(entry il.PID) {
 	adj := make(map[il.PID][]il.PID)
 	for _, pid := range p.prog.FuncPIDs() {
+		if p.canceled() {
+			return
+		}
 		if !p.scope[pid] {
 			// Outside the CMO scope nothing was scanned; such
 			// functions are kept and their call edges are unknown

@@ -25,6 +25,9 @@ func (p *pass) inlineAll() {
 		if !p.selected[pid] {
 			continue
 		}
+		if p.canceled() {
+			return
+		}
 		if inc != nil && p.replayInline(inc, pid, h0) {
 			continue
 		}

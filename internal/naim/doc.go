@@ -1,0 +1,59 @@
+// Package naim implements NAIM — "Not All In Memory" — the paper's
+// section-4.3 answer to whole-program optimization that does not fit
+// in RAM: function bodies live in per-routine pools that the Loader
+// compacts, caches, and offloads to a durable repository as memory
+// pressure grows, while clients keep pulling bodies through one
+// uniform interface.
+//
+// # Levels
+//
+// Machinery engages in stages (Level, thresholds derived from
+// Config.BudgetBytes): LevelOff keeps everything expanded; LevelIR
+// compacts routine pools evicted from the expanded-pool LRU cache to
+// relocatable form; LevelST additionally compacts module symbol
+// tables; LevelDisk additionally spills compacted pools to the
+// on-disk Repository through an async bounded writeback queue
+// (writeback.go). The level never changes what a client observes —
+// only where bytes live and what a checkout costs.
+//
+// # Pin discipline
+//
+// The loader's correctness contract is a strict checkout protocol:
+//
+//   - Loader.Function(pid) returns the expanded body and pins it.
+//     A pinned pool is never compacted, evicted, or spilled out from
+//     under its holder, no matter how far over budget the cache is.
+//   - Loader.DoneWith(pid) unpins one checkout. Pins nest: concurrent
+//     clients (Jobs > 1 codegen workers, verification passes) each
+//     hold their own pin on the same pool, and the pool stays
+//     resident until the count reaches zero.
+//   - Every code path — success, error, cancellation — must balance
+//     each Function with exactly one DoneWith before leaving.
+//     Loader.UnloadAll, called at pipeline end, reports the number of
+//     still-pinned pools; the pipeline surfaces that as
+//     BuildStats.PinLeaks and the cmoc driver treats nonzero as an
+//     internal error. Aborted builds annotate their error when the
+//     aborting stage left checkouts behind.
+//
+// # Concurrency
+//
+// The handle table and LRU are sharded (Config.Shards), each shard
+// independently locked, so parallel pipeline phases check bodies in
+// and out without a global bottleneck; contention is observable as
+// Stats.LockWaitNanos. The Repository serializes itself internally
+// and is safe for concurrent Put/Get/Commit from many loaders and
+// sessions in one process. Spills travel from eviction to disk
+// through a single writeback goroutine; Config.Done lets a cancelled
+// build abandon a blocked spill enqueue with the pool reverted to
+// plain compacted, never half-written.
+//
+// # Repository
+//
+// The Repository (repository.go) is the durable half: an append-only,
+// content-addressed blob log with a MANIFEST, fsynced on Commit and
+// crash-consistent on reopen. It backs both disk offload (this
+// package) and the build Session's incremental artifacts (package
+// cmo), so one cache directory holds every durable byproduct of a
+// build. Relocatable pool encoding lives in codec.go/portable.go; the
+// byte-size model every accounting decision uses is sizemodel.go.
+package naim

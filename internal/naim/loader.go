@@ -75,6 +75,13 @@ type Config struct {
 	// relocatable pools live beside the cached build artifacts; the
 	// loader never closes an injected repository.
 	Repo *Repository
+	// Done, when non-nil, unblocks the loader's wait paths on build
+	// cancellation: a client stalled on a full writeback queue stops
+	// waiting when the channel closes, and the spill it was holding is
+	// reverted to plain compacted (blob resident, accounting intact)
+	// instead of being written. Loader state stays fully consistent —
+	// only the disk write is skipped.
+	Done <-chan struct{}
 }
 
 // Adaptive is the ForceLevel value meaning "let thresholds decide".
@@ -658,6 +665,24 @@ func (l *Loader) landSpill(j spillJob, key Key) {
 		h.blob = nil
 		l.adjust(BytesPerHandle - h.bytes)
 		h.bytes = BytesPerHandle
+	}
+	s.mu.Unlock()
+}
+
+// cancelSpill is the abandoned-write counterpart of landSpill: the
+// enqueue was aborted by Config.Done, so if the pool is still in the
+// exact spilling state the job captured it reverts to plain compacted.
+// The blob stays resident and accounted, so nothing about CurBytes or
+// a later Function() changes — the pool just spills again (or not) the
+// next time eviction picks it. A pool re-expanded in the meantime
+// keeps its current state, exactly as with a stale landing.
+func (l *Loader) cancelSpill(j spillJob) {
+	s := l.shardFor(j.pid)
+	l.lockShard(s)
+	h, ok := s.handles[j.pid]
+	if ok && h.st == stSpilling && h.gen == j.gen {
+		h.st = stCompacted
+		h.gen = 0
 	}
 	s.mu.Unlock()
 }

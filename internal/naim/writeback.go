@@ -47,7 +47,10 @@ func (l *Loader) startWriteback() {
 
 // enqueueSpill hands a compacted blob to the writer. Must be called
 // with no shard lock held: a full queue blocks until the writer
-// drains, and the writer takes shard locks to land writes.
+// drains, and the writer takes shard locks to land writes. When the
+// loader has a cancellation channel (Config.Done), a blocked enqueue
+// aborts once it closes: the spill is reverted in place rather than
+// written, so a cancelled build never waits on the disk.
 func (l *Loader) enqueueSpill(j spillJob) {
 	d := l.wb.depth.Add(1)
 	for {
@@ -60,9 +63,26 @@ func (l *Loader) enqueueSpill(j spillJob) {
 			break
 		}
 	}
+	if l.cfg.Done != nil {
+		select {
+		case <-l.cfg.Done:
+			l.wb.depth.Add(-1)
+			l.cancelSpill(j)
+			return
+		default:
+		}
+		select {
+		case l.wb.ch <- j:
+		case <-l.cfg.Done:
+			l.wb.depth.Add(-1)
+			l.cancelSpill(j)
+			return
+		}
+	} else {
+		l.wb.ch <- j
+	}
 	l.stats.writebackQueued.Add(1)
 	l.ctr.wbQueued.Add(1)
-	l.wb.ch <- j
 }
 
 // writebackLoop is the single writer: repository Puts stay ordered

@@ -1,24 +1,3 @@
-// Package obs is the build pipeline's observability layer: a
-// lightweight, zero-dependency tracing and metrics facility in the
-// spirit of the paper's section 6.2 — "good compiler diagnostics on
-// what the compiler is optimizing are essential" — extended from
-// *what* was optimized (cmo.SelectionReport) to *when* and *at what
-// cost* (the measurements behind the paper's Figures 4-6).
-//
-// The model is deliberately small:
-//
-//   - A Trace collects hierarchical Spans (timed intervals), instant
-//     Events, and named Counters. All recording is goroutine-safe, so
-//     Jobs > 1 pipeline phases can emit concurrently.
-//   - A Span is a plain value, not a pointer: starting one performs no
-//     heap allocation, and a span started from a nil *Trace is a cheap
-//     no-op that records nothing. Disabled spans still read the
-//     monotonic clock, so durations derived from Span.End (the
-//     pipeline's BuildStats fields) stay live when tracing is off —
-//     exactly the cost the hand-rolled time.Since bookkeeping paid.
-//   - Exporters (export.go) render a trace as Chrome trace-event JSON
-//     (chrome://tracing, Perfetto), a stable phase tree for diffing,
-//     and a machine-readable metrics snapshot.
 package obs
 
 import (

@@ -64,7 +64,7 @@ func TestCompileParallelErrorUnpinsAll(t *testing.T) {
 
 	b := &Build{Prog: prog}
 	code := make(map[il.PID]*vpa.Func)
-	err := b.compileParallel(loader, nil, code, classify, verify, 8, obs.Span{})
+	err := b.compileParallel(loader, Options{}, nil, code, classify, verify, 8, obs.Span{})
 	if !errors.Is(err, wantErr) {
 		t.Fatalf("compileParallel error = %v, want the injected failure", err)
 	}

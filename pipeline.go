@@ -13,10 +13,27 @@ import (
 // order — frontend → select → HLO → LLO → link — with every stage in
 // its own stage_*.go file taking the loader, the options, and its obs
 // span. The coordinator owns what the stages must agree on: defaults,
-// the NAIM loader's lifetime, inter-stage verification, and the final
-// stats snapshot. A Session threads a persistent artifact repository
-// under the stages; without one the pipeline behaves exactly as a
-// cold build.
+// the NAIM loader's lifetime, inter-stage verification, cancellation,
+// and the final stats snapshot. A Session threads a persistent
+// artifact repository under the stages; without one the pipeline
+// behaves exactly as a cold build.
+//
+// Cancellation (Options.Context) is cooperative: the coordinator
+// checks at every stage boundary and each stage checks at its own
+// per-module or per-function granularity, always *between* checkouts —
+// a stage never abandons a pinned NAIM body, so an aborted build
+// unwinds with zero pin leaks (the error path below proves it with
+// UnloadAll).
+
+// ctxErr reports the options context's error, nil when no context was
+// supplied or it is still live. Stages call this at loop granularity;
+// it is one atomic load on the live path.
+func (opt *Options) ctxErr() error {
+	if opt.Context == nil {
+		return nil
+	}
+	return opt.Context.Err()
+}
 
 // BuildSource compiles a set of MinC modules into an executable VPA
 // image according to the options.
@@ -37,6 +54,9 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 			return nil, err
 		}
 		defer sess.Close()
+	}
+	if err := opt.ctxErr(); err != nil {
+		return nil, err
 	}
 	root := opt.Trace.StartSpan("build")
 	fe := root.Child("frontend")
@@ -70,6 +90,9 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 			return nil, err
 		}
 		defer sess.Close()
+	}
+	if err := opt.ctxErr(); err != nil {
+		return nil, err
 	}
 	root := opt.Trace.StartSpan("build")
 	b, err := buildIL(prog, fns, opt, sess, root)
@@ -113,9 +136,14 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, sess *S
 
 	// Hand all transitory pools to the NAIM loader. A connected session
 	// lends the loader its repository, so spilled pools and cached
-	// artifacts share one durable store.
+	// artifacts share one durable store. A build context's done channel
+	// reaches the loader too, so its blocking wait paths (writeback
+	// backpressure) unblock on cancellation.
 	if sess.connected() && opt.NAIM.Repo == nil {
 		opt.NAIM.Repo = sess.Repo()
+	}
+	if opt.Context != nil && opt.NAIM.Done == nil {
+		opt.NAIM.Done = opt.Context.Done()
 	}
 	loader := naim.NewLoader(prog, opt.NAIM)
 	defer loader.Close()
@@ -125,11 +153,32 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, sess *S
 	}
 	b.Stats.Functions = len(prog.FuncPIDs())
 
+	if err := b.runStages(loader, opt, sess, probeMap, parent); err != nil {
+		// An aborted build (cancellation, verification failure, any
+		// stage error) must not leave checkouts behind: every stage
+		// releases its pins before returning an error, and UnloadAll
+		// proves it. A nonzero count here is a pipeline bug, surfaced
+		// on the error rather than silently dropped.
+		if n := loader.UnloadAll(); n > 0 {
+			err = fmt.Errorf("%w (and %d NAIM pools left pinned by the aborted stage)", err, n)
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// runStages drives the verified stage sequence — baseline check, HLO,
+// LLO, link, post-link check — over an installed loader, filling in
+// the build's image and stats. Splitting it from buildIL gives the
+// coordinator one place to audit the loader after any failure.
+func (b *Build) runStages(loader *naim.Loader, opt Options, sess *Session, probeMap *profile.Map, parent obs.Span) error {
+	prog := b.Prog
+
 	// Baseline check: the frontend's IL must be clean before any
 	// transform touches it, or every later failure would be blamed on
 	// the wrong stage.
 	if err := b.verifyStage(loader, opt, "frontend", nil, parent); err != nil {
-		return nil, err
+		return err
 	}
 
 	volatile := make(map[il.PID]bool)
@@ -140,6 +189,9 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, sess *S
 	}
 
 	omit := make(map[il.PID]bool)
+	if err := opt.ctxErr(); err != nil {
+		return err
+	}
 	switch {
 	case opt.Instrument:
 		// Instrumented builds skip HLO: probes measure the program
@@ -148,7 +200,7 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, sess *S
 		hsp := parent.Child("hlo")
 		loader.SetTraceScope(hsp)
 		if err := b.runHLO(loader, opt, sess, volatile, omit, hsp); err != nil {
-			return nil, err
+			return err
 		}
 		b.Stats.HLONanos = hsp.End()
 		loader.SetTraceScope(parent)
@@ -156,27 +208,33 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, sess *S
 		hsp := parent.Child("hlo")
 		loader.SetTraceScope(hsp)
 		if err := b.runHLOPerModule(loader, opt, volatile, omit, hsp); err != nil {
-			return nil, err
+			return err
 		}
 		b.Stats.HLONanos = hsp.End()
 		loader.SetTraceScope(parent)
 	}
 
 	// LLO: compile every surviving function.
+	if err := opt.ctxErr(); err != nil {
+		return err
+	}
 	lsp := parent.Child("llo")
 	loader.SetTraceScope(lsp)
 	code, err := b.runLLO(loader, opt, omit, lsp)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	b.Stats.LLONanos = lsp.End()
 	loader.SetTraceScope(parent)
 
 	// Link: assemble the image.
+	if err := opt.ctxErr(); err != nil {
+		return err
+	}
 	ksp := parent.Child("link")
 	img, err := b.runLink(opt, probeMap, omit, code, ksp)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	b.Stats.LinkNanos = ksp.End()
 	// Let queued repository spills land before the final stats
@@ -187,7 +245,7 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, sess *S
 	// omitted, must still verify — in particular no surviving routine
 	// may reference one that dead-code elimination removed.
 	if err := b.verifyStage(loader, opt, "link", omit, parent); err != nil {
-		return nil, err
+		return err
 	}
 	// Every stage has returned its checkouts by now; a pin that
 	// survives UnloadAll is a leak some stage must answer for.
@@ -200,5 +258,5 @@ func buildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options, sess *S
 	b.Stats.NAIM = loader.Stats()
 	b.Stats.NAIMLevel = loader.Level()
 	b.Stats.CompilerPeakBytes = b.Stats.NAIM.PeakBytes + b.Stats.LLOPeakBytes
-	return b, nil
+	return nil
 }

@@ -94,6 +94,12 @@ func (b *Build) TimingReport() string {
 	}
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	fmt.Fprintf(&sb, "timing: %v build, total %.2f ms\n", s.Level, ms(s.TotalNanos))
+	// Queue wait is server-side latency before the build began; it is
+	// deliberately outside TotalNanos so the phase percentages below
+	// still describe the build itself, not the daemon's load.
+	if s.QueueNanos > 0 {
+		fmt.Fprintf(&sb, "  %-9s %9.2f ms  (before build; not in total)\n", "queued", ms(s.QueueNanos))
+	}
 	phases := []struct {
 		name string
 		ns   int64

@@ -22,8 +22,13 @@ const toolchainVersion = "cmo-toolchain/1"
 // rebuilds are byte-identical to cold builds — the cache can change
 // only how fast an answer arrives, never the answer.
 //
-// A Session is not safe for concurrent use by multiple processes;
-// open one session per cache directory at a time.
+// Within one process a Session may be shared by concurrent builds:
+// lookups and stores go straight to the internally locked repository.
+// The one write that must be serialized by the owner is the durable
+// Commit (internal/serve takes a per-session mutex around it; see the
+// single-writer discipline there). A Session is not safe for
+// concurrent use by multiple processes; open one session per cache
+// directory at a time.
 type Session struct {
 	repo *naim.Repository
 }

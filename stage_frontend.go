@@ -35,6 +35,11 @@ type feUnit struct {
 func runFrontend(mods []SourceModule, opt Options, sess *Session, fe obs.Span) (*lower.Result, int, int, error) {
 	units := make([]feUnit, len(mods))
 	process := func(i int) error {
+		// Cancellation checkpoint: per module, before any parse or
+		// artifact-decode work, on both the serial and fan-out paths.
+		if err := opt.ctxErr(); err != nil {
+			return err
+		}
 		m := mods[i]
 		units[i].key = frontendKey(m.Name, m.Text)
 		if blob, ok := sess.get(units[i].key); ok {
@@ -136,6 +141,9 @@ func runFrontend(mods []SourceModule, opt Options, sess *Session, fe obs.Span) (
 
 	hits, misses := 0, 0
 	for i := range units {
+		if err := opt.ctxErr(); err != nil {
+			return nil, 0, 0, err
+		}
 		if art := units[i].art; art != nil {
 			decoded, err := decodeArtifactBodies(prog, shapes[i], art)
 			if err == nil {

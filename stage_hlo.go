@@ -27,6 +27,7 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, sess *Session, volatile
 		Budget:     opt.Budget,
 		MaxInlines: opt.MaxInlines,
 		Span:       hsp,
+		Cancel:     opt.ctxErr,
 	}
 	if opt.Verify != analyze.Off {
 		hopts.Check = b.hloCheck(loader, opt, hsp)
@@ -84,6 +85,9 @@ func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[i
 	prog := b.Prog
 	var agg hlo.Stats
 	for mi := range prog.Modules {
+		if err := opt.ctxErr(); err != nil {
+			return err
+		}
 		scope := make(map[il.PID]bool)
 		for _, pid := range prog.FuncPIDs() {
 			if prog.Sym(pid).Module == int32(mi) {
@@ -106,6 +110,7 @@ func (b *Build) runHLOPerModule(loader *naim.Loader, opt Options, volatile map[i
 			ExternallyCalled: extCalled,
 			ExternStored:     extStored,
 			Span:             msp,
+			Cancel:           opt.ctxErr,
 		}
 		if opt.Verify != analyze.Off {
 			mopts.Check = b.hloCheck(loader, opt, msp)

@@ -69,7 +69,7 @@ func (b *Build) runLLO(loader *naim.Loader, opt Options, omit map[il.PID]bool, l
 		lloJobs = 1
 	}
 	if lloJobs > 1 {
-		if err := b.compileParallel(loader, omit, code, classify, lloVerify, lloJobs, lsp); err != nil {
+		if err := b.compileParallel(loader, opt, omit, code, classify, lloVerify, lloJobs, lsp); err != nil {
 			return nil, err
 		}
 		return code, nil
@@ -77,6 +77,11 @@ func (b *Build) runLLO(loader *naim.Loader, opt Options, omit map[il.PID]bool, l
 	for _, pid := range prog.FuncPIDs() {
 		if omit[pid] {
 			continue
+		}
+		// Cancellation checkpoint: per routine, before the checkout, so
+		// an aborted build holds no pins.
+		if err := opt.ctxErr(); err != nil {
+			return nil, err
 		}
 		f := loader.Function(pid)
 		if f == nil {
@@ -105,8 +110,10 @@ func (b *Build) runLLO(loader *naim.Loader, opt Options, omit map[il.PID]bool, l
 // completes, so NAIM's pinned set stays bounded by the worker count.
 // Once any worker records an error, the cursor stops handing out new
 // PIDs and every already-pinned body is still released — a failing
-// build leaves no pinned handles behind.
-func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
+// build leaves no pinned handles behind. Cancellation rides the same
+// stop flag: each worker checks the build context before its next
+// checkout.
+func (b *Build) compileParallel(loader *naim.Loader, opt Options, omit map[il.PID]bool,
 	code map[il.PID]*vpa.Func, classify func(il.PID, *il.Function) (int, bool),
 	verify func(*il.Function) error, jobs int, lsp obs.Span) error {
 	prog := b.Prog
@@ -137,6 +144,10 @@ func (b *Build) compileParallel(loader *naim.Loader, omit map[il.PID]bool,
 			defer wg.Done()
 			for {
 				if stop.Load() {
+					return
+				}
+				if err := opt.ctxErr(); err != nil {
+					fail(err)
 					return
 				}
 				i := int(next.Add(1)) - 1

@@ -36,6 +36,9 @@ type selection struct {
 // runSelect computes the CMO scope and records the selectivity
 // figures in the build stats.
 func (b *Build) runSelect(loader *naim.Loader, opt Options, hsp obs.Span) (*selection, error) {
+	if err := opt.ctxErr(); err != nil {
+		return nil, err
+	}
 	prog := b.Prog
 	sel := &selection{}
 	switch {

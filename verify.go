@@ -52,6 +52,12 @@ func (b *Build) verifyStage(loader *naim.Loader, opt Options, stage string, omit
 	if opt.Verify == analyze.Off {
 		return nil
 	}
+	// A cancelled build skips the pass and surfaces the context error
+	// undecorated — "verification failed" must mean the IL was wrong,
+	// never that the clock ran out.
+	if err := opt.ctxErr(); err != nil {
+		return err
+	}
 	if err := b.runVerify(loader, opt.Verify, opt.Jobs, omit, parent, stage); err != nil {
 		return fmt.Errorf("cmo: verification failed after %s: %w", stage, err)
 	}
