@@ -3,7 +3,8 @@
 // between them, so every request after the first starts warm.
 //
 //	cmod [-addr host:port] [-max-builds n] [-queue n] [-job-budget n]
-//	     [-timeout d] [-max-timeout d]
+//	     [-timeout d] [-max-timeout d] [-record-ring n] [-trace-ring n]
+//	     [-pprof]
 //
 // The one-shot cmoc driver pays the session open/commit cost on every
 // invocation and shares nothing across processes. cmod moves the
@@ -17,11 +18,22 @@
 //
 // API (see internal/serve for the wire types):
 //
-//	POST /build     {modules, level, cache_dir, jobs, timeout_millis, ...}
-//	GET  /status    queue depth, active builds, open sessions
-//	GET  /metrics   obs counters + span aggregates (JSON)
-//	GET  /healthz   "ok" while serving, 503 once draining
-//	POST /shutdown  remote SIGTERM
+//	POST /build              {modules, level, cache_dir, jobs, ...}
+//	GET  /status             queue depth, active builds, open sessions,
+//	                         daemon version/pid/uptime
+//	GET  /metrics            Prometheus text exposition: build latency /
+//	                         stage / memory histograms, outcome counters,
+//	                         gauges, plus the sanitized legacy counters
+//	GET  /metrics.json       the original JSON counter snapshot
+//	GET  /builds             recent build ledger records (?limit=n)
+//	GET  /builds/{id}        one ledger record
+//	GET  /builds/{id}/trace  that build's Chrome trace-event JSON
+//	GET  /healthz            "ok" while serving, 503 once draining
+//	POST /shutdown           remote SIGTERM
+//	GET  /debug/pprof/*      profiling, only with -pprof
+//
+// Inspect a running daemon with cmd/cmostat (fleet summary, trace
+// download).
 //
 // On SIGTERM or SIGINT (or POST /shutdown) the daemon drains: it stops
 // admitting builds, lets queued and in-flight ones finish, commits and
@@ -51,6 +63,9 @@ func main() {
 	jobBudget := flag.Int("job-budget", 0, "server-wide worker budget across builds (0 = one per build)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "default per-request build deadline")
 	maxTimeout := flag.Duration("max-timeout", 0, "cap on requested deadlines (0 = same as -timeout)")
+	recordRing := flag.Int("record-ring", 512, "build ledger records kept in memory and per ledger file")
+	traceRing := flag.Int("trace-ring", 32, "recent builds whose full trace stays retrievable")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: cmod [-addr host:port] [flags]\n")
@@ -64,6 +79,9 @@ func main() {
 		JobBudget:      *jobBudget,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		RecordRing:     *recordRing,
+		TraceRing:      *traceRing,
+		EnablePprof:    *enablePprof,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,271 @@
+// Command cmostat inspects a running cmod daemon: a one-screen fleet
+// summary from the telemetry endpoints, the recent build ledger, and
+// per-build trace download.
+//
+//	cmostat [-addr host:port]                     one-screen summary
+//	cmostat [-addr host:port] builds [-n count]   recent ledger records
+//	cmostat [-addr host:port] trace <id> [-o f]   Chrome trace JSON
+//
+// The summary is assembled client-side from GET /status, GET /metrics
+// (Prometheus text, parsed with internal/promtext), and GET /builds —
+// cmostat needs nothing the daemon does not already serve to any
+// scraper, so it works against any cmod it can reach.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"cmo/internal/promtext"
+	"cmo/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "daemon address")
+	flag.Usage = usage
+	flag.Parse()
+	base := "http://" + *addr
+
+	args := flag.Args()
+	var err error
+	switch {
+	case len(args) == 0:
+		err = summary(base)
+	case args[0] == "builds":
+		fs := flag.NewFlagSet("builds", flag.ExitOnError)
+		n := fs.Int("n", 20, "records to show")
+		_ = fs.Parse(args[1:])
+		err = builds(base, *n)
+	case args[0] == "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		out := fs.String("o", "", "output file (default stdout)")
+		// Accept the id before or after -o: flag parsing stops at the
+		// first positional, so lift a leading id out first.
+		rest := args[1:]
+		id := ""
+		if len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			id, rest = rest[0], rest[1:]
+		}
+		_ = fs.Parse(rest)
+		switch {
+		case id == "" && fs.NArg() == 1:
+			id = fs.Arg(0)
+		case id != "" && fs.NArg() == 0:
+			// id came before the flags
+		default:
+			fatalf("usage: cmostat trace <build-id> [-o file]")
+		}
+		err = trace(base, id, *out)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: cmostat [-addr host:port] [command]
+
+commands:
+  (none)              one-screen fleet summary
+  builds [-n count]   recent build ledger records
+  trace <id> [-o f]   download a build's Chrome trace JSON
+`)
+	flag.PrintDefaults()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cmostat: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func get(url string) ([]byte, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %.200s", url, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// summary is the one-screen fleet view: identity, load, outcome
+// totals, latency quantiles, per-stage medians, cache effectiveness,
+// and the last few builds.
+func summary(base string) error {
+	stBody, err := get(base + "/status")
+	if err != nil {
+		return err
+	}
+	var st serve.StatusResponse
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		return fmt.Errorf("decoding /status: %v", err)
+	}
+	mBody, err := get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	m, err := promtext.Parse(strings.NewReader(string(mBody)))
+	if err != nil {
+		return fmt.Errorf("parsing /metrics: %v", err)
+	}
+
+	fmt.Printf("cmod %s (%s) pid %d — up %s\n",
+		st.Daemon.Version, st.Daemon.GoVersion, st.Daemon.PID,
+		(time.Duration(st.Daemon.UptimeSec * float64(time.Second))).Round(time.Second))
+	state := "serving"
+	if st.Draining {
+		state = "draining"
+	}
+	fmt.Printf("%s: %d active, %d queued (max %d builds, queue cap %d, job budget %d)\n",
+		state, st.Active, st.Queued, st.MaxBuilds, st.QueueCap, st.JobBudget)
+
+	// Outcome totals (includes replayed history).
+	if f := m["cmod_builds_total"]; f != nil {
+		var parts []string
+		var total float64
+		samples := append([]promtext.Sample(nil), f.Samples...)
+		sort.Slice(samples, func(i, j int) bool {
+			return samples[i].Label("outcome") < samples[j].Label("outcome")
+		})
+		for _, s := range samples {
+			total += s.Value
+			parts = append(parts, fmt.Sprintf("%s %.0f", s.Label("outcome"), s.Value))
+		}
+		replayed, _ := m.Value("cmod_ledger_replayed_total")
+		fmt.Printf("builds: %.0f total (%s; %.0f replayed from ledger)\n",
+			total, strings.Join(parts, ", "), replayed)
+	}
+
+	// Latency distribution of completed builds.
+	if bs := m.HistogramBuckets("cmod_build_duration_seconds", "", ""); len(bs) > 0 {
+		sum, count := m.SumCount("cmod_build_duration_seconds", "", "")
+		if count > 0 {
+			fmt.Printf("latency: mean %s, p50 %s, p90 %s, p99 %s (n=%.0f)\n",
+				ms(sum/count), ms(promtext.Quantile(0.5, bs)),
+				ms(promtext.Quantile(0.9, bs)), ms(promtext.Quantile(0.99, bs)), count)
+		}
+	}
+	if bs := m.HistogramBuckets("cmod_build_queue_seconds", "", ""); len(bs) > 0 {
+		if _, count := m.SumCount("cmod_build_queue_seconds", "", ""); count > 0 {
+			fmt.Printf("queue wait: p50 %s, p99 %s\n",
+				ms(promtext.Quantile(0.5, bs)), ms(promtext.Quantile(0.99, bs)))
+		}
+	}
+
+	// Stage medians, in pipeline order.
+	var stageParts []string
+	for _, stage := range []string{"frontend", "select", "hlo", "llo", "link", "verify"} {
+		bs := m.HistogramBuckets("cmod_build_stage_seconds", "stage", stage)
+		if _, count := m.SumCount("cmod_build_stage_seconds", "stage", stage); count > 0 {
+			stageParts = append(stageParts,
+				fmt.Sprintf("%s %s", stage, ms(promtext.Quantile(0.5, bs))))
+		}
+	}
+	if len(stageParts) > 0 {
+		fmt.Printf("stage p50: %s\n", strings.Join(stageParts, ", "))
+	}
+
+	// Cache effectiveness: mean per-build hit ratios.
+	var cacheParts []string
+	for _, c := range []struct{ name, label string }{
+		{"cmod_build_frontend_hit_ratio", "frontend"},
+		{"cmod_build_hlo_hit_ratio", "hlo"},
+	} {
+		if sum, count := m.SumCount(c.name, "", ""); count > 0 {
+			cacheParts = append(cacheParts, fmt.Sprintf("%s %.0f%%", c.label, 100*sum/count))
+		}
+	}
+	if len(cacheParts) > 0 {
+		fmt.Printf("cache hit ratio (mean/build): %s\n", strings.Join(cacheParts, ", "))
+	}
+	if v, ok := m.Value("cmod_commit_backlog_bytes"); ok && v > 0 {
+		fmt.Printf("commit backlog: %.0f bytes uncommitted\n", v)
+	}
+
+	fmt.Printf("sessions: %d open\n", len(st.Sessions))
+	for _, s := range st.Sessions {
+		fmt.Printf("  %s — %d builds, %d commits\n", s.CacheDir, s.Builds, s.Commits)
+	}
+
+	// The last few builds, newest first.
+	bBody, err := get(base + "/builds?limit=5")
+	if err != nil {
+		return err
+	}
+	var list serve.BuildsResponse
+	if err := json.Unmarshal(bBody, &list); err != nil {
+		return fmt.Errorf("decoding /builds: %v", err)
+	}
+	if list.Count > 0 {
+		fmt.Println("recent builds:")
+		printRecords(list.Builds)
+	}
+	return nil
+}
+
+func builds(base string, n int) error {
+	body, err := get(fmt.Sprintf("%s/builds?limit=%d", base, n))
+	if err != nil {
+		return err
+	}
+	var list serve.BuildsResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		return fmt.Errorf("decoding /builds: %v", err)
+	}
+	if list.Count == 0 {
+		fmt.Println("no build records")
+		return nil
+	}
+	printRecords(list.Builds)
+	return nil
+}
+
+func printRecords(recs []serve.BuildRecord) {
+	fmt.Printf("  %-22s %-8s %-8s %9s %9s %7s %s\n",
+		"id", "time", "outcome", "total", "queue", "mods", "options")
+	for _, r := range recs {
+		fmt.Printf("  %-22s %-8s %-8s %9s %9s %7d %s\n",
+			r.ID, time.UnixMilli(r.UnixMillis).Format("15:04:05"), r.Outcome,
+			ms(float64(r.TotalNanos)/1e9), ms(float64(r.QueueNanos)/1e9),
+			r.Modules, r.OptionsFP)
+	}
+}
+
+// trace downloads one build's Chrome trace-event JSON.
+func trace(base, id, out string) error {
+	body, err := get(base + "/builds/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	if err := os.WriteFile(out, body, 0o666); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cmostat: wrote %s (%d bytes) — open in chrome://tracing or Perfetto\n", out, len(body))
+	return nil
+}
+
+// ms renders seconds as human milliseconds.
+func ms(sec float64) string {
+	return fmt.Sprintf("%.1fms", sec*1e3)
+}

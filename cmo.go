@@ -190,10 +190,15 @@ type BuildStats struct {
 	QueueNanos int64
 
 	FrontendNanos int64
-	HLONanos      int64
-	LLONanos      int64
-	LinkNanos     int64
-	TotalNanos    int64
+	// SelectNanos is the select stage's share of HLONanos (CMO scope
+	// computation plus out-of-scope summarization). It is measured by
+	// the "select" span inside the hlo phase, so it is informational:
+	// already counted within HLONanos, never added to the phase sum.
+	SelectNanos int64
+	HLONanos    int64
+	LLONanos    int64
+	LinkNanos   int64
+	TotalNanos  int64
 	// VerifyNanos is the total time spent in whole-program
 	// verification passes (Options.Verify): the post-frontend,
 	// per-HLO-transform, facts-audit, and post-link checks. Passes

@@ -462,6 +462,15 @@ func (r *Repository) Recovered() (tailRecords int, truncatedBytes int64) {
 	return r.recoveredTail, r.truncatedBytes
 }
 
+// UncommittedBytes reports log bytes appended since the last durable
+// Commit — the backlog a crash would have to recover by tail scan.
+// The serving layer exposes it as a per-daemon commit-backlog gauge.
+func (r *Repository) UncommittedBytes() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.off - r.committed
+}
+
 // Commit makes the current contents durable: the log is fsynced, then
 // the manifest is written to a temp file, fsynced, atomically renamed
 // into place, and the directory entry is fsynced. After Commit

@@ -19,7 +19,13 @@
 //   - Exporters (export.go) render a trace as Chrome trace-event JSON
 //     (chrome://tracing, Perfetto), a stable phase tree for diffing,
 //     and a machine-readable metrics snapshot (WriteMetrics, the body
-//     of the cmod daemon's /metrics endpoint).
+//     of the cmod daemon's /metrics.json endpoint).
+//   - A Registry (registry.go) aggregates *across* traces: lock-free
+//     Histograms (histogram.go) of per-build figures, monotonic
+//     Counters, and sampled-at-scrape Gauges, rendered in Prometheus
+//     text exposition format (prometheus.go, the cmod daemon's
+//     /metrics endpoint). A registry holds fixed-size buckets, never
+//     spans, so it is safe to keep for a server's whole life.
 //
 // # Naming conventions
 //
@@ -34,4 +40,16 @@
 // serve.queue_depth — and _nanos/_ns suffixes mark durations. A new
 // span or counter name should follow the same shape or the phase
 // tree and metrics snapshot stop being diffable across builds.
+//
+// Registry series follow Prometheus conventions instead: full metric
+// names with a product prefix and a unit suffix
+// (cmod_build_duration_seconds, cmod_build_naim_peak_bytes), counters
+// ending in _total, and label dimensions attached with
+// LabeledName("cmod_build_stage_seconds", "stage", "hlo") — the part
+// before the brace is the family, and every series of a family must
+// carry the same label keys. Trace counters crossing into an
+// exposition are sanitized by SanitizeMetricName: dots become
+// underscores under the same prefix (session.frontend_hits ->
+// cmod_session_frontend_hits), rendered untyped so their trace-side
+// names stay canonical.
 package obs

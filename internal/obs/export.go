@@ -59,11 +59,12 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			strconv.Quote(e.Name), tid, micros(e.Ts))
 	}
 
-	// Counter totals as a final snapshot ("C") event.
-	for _, c := range t.counterSnapshot() {
+	// Counter totals as a final snapshot ("C") event, in the one
+	// sorted order CounterSnapshot defines for every renderer.
+	for _, c := range t.CounterSnapshot() {
 		sb.WriteString(",\n")
 		fmt.Fprintf(&sb, `{"name":%s,"ph":"C","pid":1,"ts":%s,"args":{"value":%d}}`,
-			strconv.Quote(c.name), micros(t.latestNanos(spans, events)), c.value)
+			strconv.Quote(c.Name), micros(t.latestNanos(spans, events)), c.Value)
 	}
 	sb.WriteString("\n]\n")
 	_, err := io.WriteString(w, sb.String())
@@ -206,22 +207,6 @@ func (t *Trace) PhaseTree() string {
 // ---------------------------------------------------------------------------
 // Metrics JSON.
 
-type counterValue struct {
-	name  string
-	value int64
-}
-
-func (t *Trace) counterSnapshot() []counterValue {
-	t.mu.Lock()
-	out := make([]counterValue, 0, len(t.counters))
-	for name, c := range t.counters {
-		out = append(out, counterValue{name, c.Value()})
-	}
-	t.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
-	return out
-}
-
 // WriteMetrics renders a machine-readable snapshot: every counter, and
 // per-span-name duration aggregates (count, total, max). Keys are
 // sorted, so the output is deterministic given deterministic inputs.
@@ -256,11 +241,11 @@ func (t *Trace) WriteMetrics(w io.Writer) error {
 
 	var sb strings.Builder
 	sb.WriteString("{\n  \"counters\": {")
-	for i, c := range t.counterSnapshot() {
+	for i, c := range t.CounterSnapshot() {
 		if i > 0 {
 			sb.WriteString(",")
 		}
-		fmt.Fprintf(&sb, "\n    %s: %d", strconv.Quote(c.name), c.value)
+		fmt.Fprintf(&sb, "\n    %s: %d", strconv.Quote(c.Name), c.Value)
 	}
 	sb.WriteString("\n  },\n  \"spans\": {")
 	for i, n := range names {

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution recorder built for the
+// daemon's lifetime: many builds observe into it concurrently, a
+// scraper snapshots it concurrently, and neither ever takes a lock.
+// Each bucket is an independent atomic counter; sum, min, and max are
+// atomics updated with CAS loops. A snapshot is therefore not a
+// perfectly consistent cut — an observation landing mid-snapshot may
+// be counted in a bucket but not yet in the sum — but every individual
+// figure is monotone and the bucket counts are always internally
+// consistent (Snapshot derives Count from the buckets themselves, so
+// the +Inf cumulative bucket equals _count by construction, which is
+// the invariant Prometheus clients rely on).
+//
+// A nil *Histogram ignores all observations, so callers cache the
+// pointer once and observe unconditionally — the disabled path is one
+// nil check, zero allocations.
+type Histogram struct {
+	name   string
+	bounds []float64 // sorted strict upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	min    atomic.Uint64 // float64 bits, +Inf until first observation
+	max    atomic.Uint64 // float64 bits, -Inf until first observation
+}
+
+func newHistogram(name string, bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{
+		name:   name,
+		bounds: bs,
+		counts: make([]atomic.Int64, len(bs)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// ExpBuckets returns n exponential upper bounds: start, start*factor,
+// start*factor², ... — the shape latency and byte distributions want.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n evenly spaced upper bounds starting at
+// start — the shape bounded ratios (hit rates) want.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Name reports the histogram's registration name (including any label
+// suffix), "" for nil.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value. Safe for concurrent use; no-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Bucket index: first bound >= v (le semantics), else the +Inf
+	// bucket. The bounds slice is immutable after construction, so the
+	// search is lock-free.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	casAdd(&h.sum, v)
+	casMin(&h.min, v)
+	casMax(&h.max, v)
+}
+
+// ObserveNanos records a duration given in nanoseconds as seconds —
+// the unit every *_seconds histogram is registered in.
+func (h *Histogram) ObserveNanos(ns int64) {
+	if h == nil {
+		return
+	}
+	h.Observe(float64(ns) / 1e9)
+}
+
+func casAdd(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func casMin(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is one scrape of a histogram: per-bucket counts
+// (non-cumulative, one per bound plus the final +Inf bucket), the
+// derived total count, and the sum/min/max of observed values.
+type HistogramSnapshot struct {
+	Name   string
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+	Min    float64 // zero value when Count == 0
+	Max    float64
+}
+
+// Snapshot reads the histogram's current state. Count is the sum of
+// the bucket counts read in one pass, so Count and Counts always agree
+// even while observations land concurrently.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Name:   h.name,
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.min.Load())
+		s.Max = math.Float64frombits(h.max.Load())
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation within the bucket holding the target rank, clamped to
+// the observed [Min, Max]. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lo := s.Min
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		v := lo + (hi-lo)*(rank-prev)/float64(c)
+		return clamp(v, s.Min, s.Max)
+	}
+	return s.Max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", ExpBuckets(0.001, 2, 10))
+	for _, v := range []float64{0.0005, 0.003, 0.003, 0.1, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if got, want := s.Sum, 0.0005+0.003+0.003+0.1+5000; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if s.Min != 0.0005 || s.Max != 5000 {
+		t.Errorf("min/max = %v/%v, want 0.0005/5000", s.Min, s.Max)
+	}
+	// 0.0005 lands in the first (le=0.001) bucket; 5000 beyond the
+	// last bound lands in the +Inf bucket.
+	if s.Counts[0] != 1 {
+		t.Errorf("first bucket = %d, want 1", s.Counts[0])
+	}
+	if s.Counts[len(s.Counts)-1] != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", s.Counts[len(s.Counts)-1])
+	}
+	// A value exactly on a bound belongs to that bound's bucket (le
+	// semantics): 0.001*2 == 0.002 is bounds[1].
+	h2 := r.Histogram("edge_seconds", []float64{1, 2, 4})
+	h2.Observe(2)
+	if s2 := h2.Snapshot(); s2.Counts[1] != 1 {
+		t.Errorf("on-bound observation in bucket %v, want index 1", s2.Counts)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram("q", ExpBuckets(1, 2, 12))
+	// 1000 observations uniform in [0, 100).
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		q, want, tol float64
+	}{
+		{0.5, 50, 15}, // bucket (32,64] interpolated
+		{0.9, 90, 15}, // bucket (64,128] clamped to max
+		{0.99, 99, 10},
+		{0, 0, 0.001},
+		{1, 99.9, 0.001},
+	} {
+		got := s.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.2f = %v, want %v ± %v", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram("conc", ExpBuckets(1, 2, 8))
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 300))
+			}
+		}(w)
+	}
+	// Concurrent snapshots must always be internally consistent:
+	// Count == sum of bucket counts (by construction) and monotone.
+	var last int64
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s := h.Snapshot()
+		var sum int64
+		for _, c := range s.Counts {
+			sum += c
+		}
+		if sum != s.Count {
+			t.Errorf("torn snapshot: bucket sum %d != count %d", sum, s.Count)
+		}
+		if s.Count < last {
+			t.Errorf("count went backwards: %d -> %d", last, s.Count)
+		}
+		last = s.Count
+		select {
+		case <-done:
+			if f := h.Snapshot(); f.Count != workers*per {
+				t.Errorf("final count = %d, want %d", f.Count, workers*per)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestRegistryPrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("cmod_build_duration_seconds", "Wall time per build.")
+	h := r.Histogram("cmod_build_duration_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(50)
+	for _, stage := range []string{"frontend", "hlo"} {
+		sh := r.Histogram(LabeledName("cmod_build_stage_seconds", "stage", stage), []float64{0.01, 0.1})
+		sh.Observe(0.02)
+	}
+	r.Counter(LabeledName("cmod_builds_total", "outcome", "ok")).Add(3)
+	r.Gauge("cmod_uptime_seconds", func() float64 { return 12.5 })
+	extra := []CounterValue{
+		{Name: "serve.completed", Value: 3},
+		{Name: "session.frontend_hits", Value: 8},
+	}
+
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a, "cmod", extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b, "cmod", extra); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("exposition not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE cmod_build_duration_seconds histogram",
+		"# HELP cmod_build_duration_seconds Wall time per build.",
+		`cmod_build_duration_seconds_bucket{le="0.01"} 1`,
+		`cmod_build_duration_seconds_bucket{le="+Inf"} 3`,
+		"cmod_build_duration_seconds_count 3",
+		`cmod_build_stage_seconds_bucket{stage="frontend",le="0.1"} 1`,
+		`cmod_build_stage_seconds_sum{stage="hlo"}`,
+		`cmod_builds_total{outcome="ok"} 3`,
+		"# TYPE cmod_uptime_seconds gauge",
+		"cmod_uptime_seconds 12.5",
+		"# TYPE cmod_serve_completed untyped",
+		"cmod_serve_completed 3",
+		"cmod_session_frontend_hits 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with several labeled series.
+	if n := strings.Count(out, "# TYPE cmod_build_stage_seconds histogram"); n != 1 {
+		t.Errorf("stage family has %d TYPE headers, want 1", n)
+	}
+}
+
+func TestCounterSnapshotSorted(t *testing.T) {
+	tr := NewTrace()
+	for _, n := range []string{"z.last", "a.first", "m.mid"} {
+		tr.Counter(n).Add(1)
+	}
+	snap := tr.CounterSnapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %v", snap)
+		}
+	}
+	var nt *Trace
+	if nt.CounterSnapshot() != nil {
+		t.Error("nil trace snapshot should be nil")
+	}
+}
+
+func TestMergeCounters(t *testing.T) {
+	dst, src := NewTrace(), NewTrace()
+	dst.Counter("shared").Add(2)
+	src.Counter("shared").Add(3)
+	src.Counter("fresh").Add(7)
+	dst.MergeCounters(src)
+	if got := dst.Counter("shared").Value(); got != 5 {
+		t.Errorf("shared = %d, want 5", got)
+	}
+	if got := dst.Counter("fresh").Value(); got != 7 {
+		t.Errorf("fresh = %d, want 7", got)
+	}
+	dst.MergeCounters(nil) // no-op
+	var nt *Trace
+	nt.MergeCounters(src) // no-op
+}
+
+// TestObsDisabledZeroAlloc extends the TestVerifyOffZeroAlloc contract
+// to the new instruments: every disabled obs path — nil registry, nil
+// histogram, nil counter, spans from a nil trace — must allocate
+// nothing, so a daemon with telemetry off (or a plain CLI build) pays
+// only nil checks.
+func TestObsDisabledZeroAlloc(t *testing.T) {
+	var reg *Registry
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		h := reg.Histogram("x", nil)
+		h.Observe(1.5)
+		h.ObserveNanos(12345)
+		reg.Counter("c").Add(1)
+		reg.Gauge("g", nil)
+		sp := tr.StartSpan("s")
+		sp.Child("c").End()
+		sp.End()
+		tr.Counter("tc").Add(1)
+		tr.MergeCounters(nil)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled obs paths allocate %.1f times per op, want 0", allocs)
+	}
+}

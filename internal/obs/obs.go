@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,6 +103,42 @@ func (t *Trace) Counter(name string) *Counter {
 	}
 	t.mu.Unlock()
 	return c
+}
+
+// CounterValue is one counter's name and value in a snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// CounterSnapshot returns every counter's current value, sorted by
+// name. This is the ONE ordering every renderer (Prometheus text,
+// metrics JSON, Chrome trace counter events) uses, so goldens and
+// scrapes never churn on map iteration order. Nil trace returns nil.
+func (t *Trace) CounterSnapshot() []CounterValue {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]CounterValue, 0, len(t.counters))
+	for name, c := range t.counters {
+		out = append(out, CounterValue{Name: name, Value: c.Value()})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MergeCounters adds src's counter values into t — how a long-lived
+// aggregate trace absorbs a per-build trace's counters without
+// retaining the build's spans. Nil t or src is a no-op.
+func (t *Trace) MergeCounters(src *Trace) {
+	if t == nil || src == nil {
+		return
+	}
+	for _, c := range src.CounterSnapshot() {
+		t.Counter(c.Name).Add(c.Value)
+	}
 }
 
 // Spans returns a snapshot of the finished spans, in completion order.

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): the lingua franca
+// every fleet scraper speaks. The writer renders the registry's
+// counters, gauges, and histograms plus an optional extra set of
+// untyped counters (the server trace's dotted-name counters, sanitized
+// into metric names). Output is byte-deterministic for a fixed state:
+// families and series are sorted, floats render with strconv's
+// shortest form, and histogram buckets are cumulative with a final
+// +Inf bucket equal to _count, as the format requires.
+
+// PrometheusContentType is the Content-Type header for the exposition.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeMetricName maps an internal dotted counter name to a legal
+// Prometheus metric name with the given prefix:
+// "session.frontend_hits" -> prefix + "_session_frontend_hits".
+func SanitizeMetricName(prefix, name string) string {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	if prefix != "" && !strings.HasSuffix(prefix, "_") {
+		sb.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// seriesLabels splits an identity into its family and the inner label
+// text ("" when unlabeled): "x{a=\"b\"}" -> ("x", `a="b"`).
+func seriesLabels(identity string) (family, labels string) {
+	i := strings.IndexByte(identity, '{')
+	if i < 0 {
+		return identity, ""
+	}
+	return identity[:i], strings.TrimSuffix(identity[i+1:], "}")
+}
+
+// withLabel renders a sample name with the series labels plus one
+// extra label (used for the histogram "le" label); extra may be empty.
+func withLabel(family, labels, extraKey, extraVal string) string {
+	if labels == "" && extraKey == "" {
+		return family
+	}
+	var sb strings.Builder
+	sb.WriteString(family)
+	sb.WriteByte('{')
+	sb.WriteString(labels)
+	if extraKey != "" {
+		if labels != "" {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", extraKey, extraVal)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format. extra is an optional pre-sorted set of counters (typically
+// Trace.CounterSnapshot) rendered as untyped series with their dotted
+// names sanitized under extraPrefix.
+func (r *Registry) WritePrometheus(w io.Writer, extraPrefix string, extra []CounterValue) error {
+	var sb strings.Builder
+	if r != nil {
+		r.mu.Lock()
+		counters := make([]string, 0, len(r.counters))
+		for id := range r.counters {
+			counters = append(counters, id)
+		}
+		gauges := make([]string, 0, len(r.gauges))
+		for id := range r.gauges {
+			gauges = append(gauges, id)
+		}
+		hists := make([]string, 0, len(r.hists))
+		for id := range r.hists {
+			hists = append(hists, id)
+		}
+		help := make(map[string]string, len(r.help))
+		for k, v := range r.help {
+			help[k] = v
+		}
+		counterByID := make(map[string]*Counter, len(r.counters))
+		for id, c := range r.counters {
+			counterByID[id] = c
+		}
+		gaugeByID := make(map[string]func() float64, len(r.gauges))
+		for id, fn := range r.gauges {
+			gaugeByID[id] = fn
+		}
+		histByID := make(map[string]*Histogram, len(r.hists))
+		for id, h := range r.hists {
+			histByID[id] = h
+		}
+		r.mu.Unlock()
+		sort.Strings(counters)
+		sort.Strings(gauges)
+		sort.Strings(hists)
+
+		emitHeader := func(family, typ string) {
+			if h := help[family]; h != "" {
+				fmt.Fprintf(&sb, "# HELP %s %s\n", family, h)
+			}
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", family, typ)
+		}
+		lastFamily := ""
+		for _, id := range counters {
+			if f := familyOf(id); f != lastFamily {
+				emitHeader(f, "counter")
+				lastFamily = f
+			}
+			fmt.Fprintf(&sb, "%s %d\n", id, counterByID[id].Value())
+		}
+		lastFamily = ""
+		for _, id := range gauges {
+			if f := familyOf(id); f != lastFamily {
+				emitHeader(f, "gauge")
+				lastFamily = f
+			}
+			fmt.Fprintf(&sb, "%s %s\n", id, promFloat(gaugeByID[id]()))
+		}
+		lastFamily = ""
+		for _, id := range hists {
+			family, labels := seriesLabels(id)
+			if family != lastFamily {
+				emitHeader(family, "histogram")
+				lastFamily = family
+			}
+			s := histByID[id].Snapshot()
+			var cum int64
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(&sb, "%s %d\n", withLabel(family+"_bucket", labels, "le", promFloat(b)), cum)
+			}
+			// The +Inf bucket equals the derived count by construction.
+			fmt.Fprintf(&sb, "%s %d\n", withLabel(family+"_bucket", labels, "le", "+Inf"), s.Count)
+			fmt.Fprintf(&sb, "%s %s\n", withLabel(family+"_sum", labels, "", ""), promFloat(s.Sum))
+			fmt.Fprintf(&sb, "%s %d\n", withLabel(family+"_count", labels, "", ""), s.Count)
+		}
+	}
+	// Extra counters: internal dotted names surfaced as untyped series.
+	lastFamily := ""
+	for _, c := range extra {
+		name := SanitizeMetricName(extraPrefix, c.Name)
+		if name != lastFamily {
+			fmt.Fprintf(&sb, "# TYPE %s untyped\n", name)
+			lastFamily = name
+		}
+		fmt.Fprintf(&sb, "%s %d\n", name, c.Value)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

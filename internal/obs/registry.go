@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is the daemon-lifetime aggregation point: where per-build
+// traces die with their build, the registry's counters, histograms,
+// and gauges live as long as the process and answer fleet questions —
+// p99 build latency over the last hour, hit rates, queue pressure —
+// without retaining a single whole trace.
+//
+// Identities follow Prometheus naming: a metric name, optionally with
+// a fixed label set baked in ("cmod_build_stage_seconds{stage=\"hlo\"}",
+// built with LabeledName). The family — the part before '{' — groups
+// series for HELP/TYPE in the exposition. All lookups are
+// lock-protected but expected to happen once at setup; the returned
+// Counter/Histogram pointers are then lock-free on the hot path.
+//
+// A nil *Registry is valid everywhere and disables all recording:
+// every getter returns the nil no-op form of its instrument.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   map[string]func() float64
+	help     map[string]string // family -> HELP text
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]func() float64),
+		help:     make(map[string]string),
+	}
+}
+
+// LabeledName renders a metric identity with a fixed label set:
+// LabeledName("x_seconds", "stage", "hlo") == `x_seconds{stage="hlo"}`.
+// Pairs must come key, value, key, value, …; keys render in the order
+// given (pass them sorted if multiple series of one family must sort
+// deterministically).
+func LabeledName(name string, pairs ...string) string {
+	if len(pairs) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", pairs[i], pairs[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// familyOf strips the label suffix from an identity.
+func familyOf(identity string) string {
+	if i := strings.IndexByte(identity, '{'); i >= 0 {
+		return identity[:i]
+	}
+	return identity
+}
+
+// Counter returns the named cumulative counter, creating it on first
+// use. Nil registry returns nil (a valid no-op counter).
+func (r *Registry) Counter(identity string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[identity]
+	if c == nil {
+		c = &Counter{name: identity}
+		r.counters[identity] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls reuse the first bounds).
+// Nil registry returns nil (a valid no-op histogram).
+func (r *Registry) Histogram(identity string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[identity]
+	if h == nil {
+		h = newHistogram(identity, bounds)
+		r.hists[identity] = h
+	}
+	return h
+}
+
+// Gauge registers a callback sampled at exposition time — the shape
+// live figures (queue depth, open sessions, uptime) want, since the
+// truth already lives in the server's own state. Re-registering a name
+// replaces the callback. No-op on nil.
+func (r *Registry) Gauge(identity string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[identity] = fn
+	r.mu.Unlock()
+}
+
+// SetHelp attaches a HELP line to a metric family. No-op on nil.
+func (r *Registry) SetHelp(family, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[family] = help
+	r.mu.Unlock()
+}
+
+// Histograms returns a sorted snapshot of every histogram — the
+// inspector's raw material.
+func (r *Registry) Histograms() []HistogramSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hs := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	out := make([]HistogramSnapshot, len(hs))
+	for i, h := range hs {
+		out[i] = h.Snapshot()
+	}
+	return out
+}
+
+// CounterValues returns a sorted snapshot of every registry counter.
+func (r *Registry) CounterValues() []CounterValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]CounterValue, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, CounterValue{Name: name, Value: c.Value()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,343 @@
+// Package promtext is a minimal parser for the Prometheus text
+// exposition format (version 0.0.4) — just enough to validate and
+// consume what the cmod daemon's /metrics endpoint emits, with no
+// external promtool or client_golang dependency. cmd/cmostat uses it
+// to compute quantiles from histogram buckets, and the serve tests use
+// it to prove the exposition is well-formed.
+//
+// Supported: # HELP and # TYPE comments, sample lines with optional
+// label sets, +Inf/-Inf/NaN values, counter/gauge/histogram/untyped
+// types. Unsupported (and rejected): escapes beyond \\ \" \n in label
+// values, exemplars, and timestamps — cmod emits none of them.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one exposition line: a metric name, its label set, and a
+// value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns one label's value ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// Family groups the samples of one metric family (shared name prefix:
+// a histogram family owns its _bucket/_sum/_count samples).
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | histogram | untyped ("" if no TYPE line)
+	Help    string
+	Samples []Sample
+}
+
+// Metrics is a parsed exposition, keyed by family name.
+type Metrics map[string]*Family
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// familyOf maps a sample name to its family: histogram sample suffixes
+// collapse onto the family that TYPE-declared them.
+func familyOf(m Metrics, name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := m[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// Parse reads a text exposition, validating names, label syntax, and
+// values. It returns an error for any line it cannot understand — the
+// point is to catch malformed output, not to skip it.
+func Parse(r io.Reader) (Metrics, error) {
+	m := make(Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(m, line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(m, s.Name)
+		f := m[fam]
+		if f == nil {
+			f = &Family{Name: fam}
+			m[fam] = f
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseComment(m Metrics, line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		name := fields[2]
+		if !nameRE.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q in TYPE", name)
+		}
+		typ := ""
+		if len(fields) == 4 {
+			typ = strings.TrimSpace(fields[3])
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("invalid TYPE %q for %s", typ, name)
+		}
+		f := m[name]
+		if f == nil {
+			f = &Family{Name: name}
+			m[name] = f
+		}
+		f.Type = typ
+	case "HELP":
+		name := fields[2]
+		if !nameRE.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		f := m[name]
+		if f == nil {
+			f = &Family{Name: name}
+			m[name] = f
+		}
+		if len(fields) == 4 {
+			f.Help = fields[3]
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	// Name.
+	i := strings.IndexAny(rest, "{ \t")
+	if i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:i]
+	if !nameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	// Labels.
+	if rest[0] == '{' {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	// Value.
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("trailing tokens after value in %q (timestamps unsupported)", line)
+	}
+	v, err := parseFloat(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(text string, into map[string]string) error {
+	for text != "" {
+		eq := strings.IndexByte(text, '=')
+		if eq < 0 {
+			return fmt.Errorf("label %q missing '='", text)
+		}
+		key := text[:eq]
+		if !labelRE.MatchString(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest := text[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", key)
+		}
+		val, n, err := unquote(rest)
+		if err != nil {
+			return fmt.Errorf("label %s: %w", key, err)
+		}
+		into[key] = val
+		text = rest[n:]
+		text = strings.TrimPrefix(text, ",")
+	}
+	return nil
+}
+
+// unquote reads a leading double-quoted string, returning the decoded
+// value and how many input bytes it consumed.
+func unquote(s string) (string, int, error) {
+	var sb strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			return sb.String(), i + 1, nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\', '"':
+				sb.WriteByte(s[i])
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted string")
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Value returns the value of the family's single unlabeled sample (or
+// its first sample), and whether one exists.
+func (m Metrics) Value(name string) (float64, bool) {
+	f := m[name]
+	if f == nil || len(f.Samples) == 0 {
+		return 0, false
+	}
+	return f.Samples[0].Value, true
+}
+
+// HistogramBuckets reconstructs the (bound, cumulative count) pairs of
+// one histogram series, selected by an optional label match, sorted by
+// bound with +Inf last. It returns nil if the family is missing or not
+// a histogram.
+func (m Metrics) HistogramBuckets(name string, matchKey, matchVal string) []Bucket {
+	f := m[name]
+	if f == nil {
+		return nil
+	}
+	var out []Bucket
+	for _, s := range f.Samples {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		if matchKey != "" && s.Labels[matchKey] != matchVal {
+			continue
+		}
+		le, err := parseFloat(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		out = append(out, Bucket{UpperBound: le, CumulativeCount: s.Value})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UpperBound < out[j].UpperBound })
+	return out
+}
+
+// SumCount returns a histogram series' _sum and _count samples.
+func (m Metrics) SumCount(name string, matchKey, matchVal string) (sum, count float64) {
+	f := m[name]
+	if f == nil {
+		return 0, 0
+	}
+	for _, s := range f.Samples {
+		if matchKey != "" && s.Labels[matchKey] != matchVal {
+			continue
+		}
+		switch s.Name {
+		case name + "_sum":
+			sum = s.Value
+		case name + "_count":
+			count = s.Value
+		}
+	}
+	return sum, count
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	UpperBound      float64
+	CumulativeCount float64
+}
+
+// Quantile estimates the q-th quantile from cumulative buckets by
+// linear interpolation — the same estimate Prometheus's histogram_quantile
+// computes. Returns 0 on an empty series.
+func Quantile(q float64, buckets []Bucket) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].CumulativeCount
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	var prevBound, prevCount float64
+	for _, b := range buckets {
+		if b.CumulativeCount >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return prevBound
+			}
+			inBucket := b.CumulativeCount - prevCount
+			if inBucket == 0 {
+				return b.UpperBound
+			}
+			return prevBound + (b.UpperBound-prevBound)*(rank-prevCount)/inBucket
+		}
+		prevBound, prevCount = b.UpperBound, b.CumulativeCount
+	}
+	return prevBound
+}

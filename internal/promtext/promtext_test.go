@@ -1,0 +1,99 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `# HELP cmod_build_duration_seconds Wall time per build.
+# TYPE cmod_build_duration_seconds histogram
+cmod_build_duration_seconds_bucket{le="0.01"} 1
+cmod_build_duration_seconds_bucket{le="0.1"} 3
+cmod_build_duration_seconds_bucket{le="+Inf"} 4
+cmod_build_duration_seconds_sum 1.25
+cmod_build_duration_seconds_count 4
+# TYPE cmod_build_stage_seconds histogram
+cmod_build_stage_seconds_bucket{stage="hlo",le="0.01"} 2
+cmod_build_stage_seconds_bucket{stage="hlo",le="+Inf"} 2
+cmod_build_stage_seconds_sum{stage="hlo"} 0.004
+cmod_build_stage_seconds_count{stage="hlo"} 2
+# TYPE cmod_builds_total counter
+cmod_builds_total{outcome="ok"} 4
+# TYPE cmod_uptime_seconds gauge
+cmod_uptime_seconds 33.5
+# TYPE cmod_serve_completed untyped
+cmod_serve_completed 4
+`
+
+func TestParse(t *testing.T) {
+	m, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m["cmod_build_duration_seconds"]
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("duration family = %+v, want histogram", f)
+	}
+	if f.Help != "Wall time per build." {
+		t.Errorf("help = %q", f.Help)
+	}
+	// All 5 samples (buckets, sum, count) collapse onto the family.
+	if len(f.Samples) != 5 {
+		t.Errorf("duration family has %d samples, want 5", len(f.Samples))
+	}
+	bs := m.HistogramBuckets("cmod_build_duration_seconds", "", "")
+	if len(bs) != 3 || !math.IsInf(bs[2].UpperBound, 1) || bs[2].CumulativeCount != 4 {
+		t.Errorf("buckets = %+v", bs)
+	}
+	sum, count := m.SumCount("cmod_build_duration_seconds", "", "")
+	if sum != 1.25 || count != 4 {
+		t.Errorf("sum/count = %v/%v", sum, count)
+	}
+	if bs := m.HistogramBuckets("cmod_build_stage_seconds", "stage", "hlo"); len(bs) != 2 {
+		t.Errorf("stage buckets = %+v", bs)
+	}
+	if v, ok := m.Value("cmod_uptime_seconds"); !ok || v != 33.5 {
+		t.Errorf("uptime = %v %v", v, ok)
+	}
+	if f := m["cmod_builds_total"]; f.Type != "counter" || f.Samples[0].Label("outcome") != "ok" {
+		t.Errorf("builds_total = %+v", f)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	bs := []Bucket{
+		{0.01, 10},
+		{0.1, 60},
+		{1, 100},
+		{math.Inf(1), 100},
+	}
+	// p50: rank 50, inside (0.01, 0.1] with 50 obs: 0.01 + 0.09*40/50.
+	if got, want := Quantile(0.5, bs), 0.01+0.09*40/50; math.Abs(got-want) > 1e-9 {
+		t.Errorf("p50 = %v, want %v", got, want)
+	}
+	// p99 lands in (0.1, 1].
+	if got := Quantile(0.99, bs); got <= 0.1 || got > 1 {
+		t.Errorf("p99 = %v, want in (0.1, 1]", got)
+	}
+	if Quantile(0.5, nil) != 0 {
+		t.Error("empty buckets should give 0")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`metric{le=0.1} 3`,         // unquoted label value
+		`metric{x="a} 3`,           // unterminated quote
+		`1metric 3`,                // bad name
+		`metric`,                   // no value
+		`metric 1 1234567890`,      // timestamps unsupported
+		`metric{x="a"} notanumber`, // bad value
+		"# TYPE metric funky",      // bad type
+		`metric{bad-label="x"} 1`,  // bad label name
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse accepted malformed line %q", bad)
+		}
+	}
+}

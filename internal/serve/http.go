@@ -7,10 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"time"
 
 	cmo "cmo"
 	"cmo/internal/objfile"
+	"cmo/internal/obs"
 )
 
 // The HTTP/JSON surface. One request = one build; the daemon's value
@@ -78,6 +81,7 @@ type errorResponse struct {
 
 // StatusResponse is the GET /status reply.
 type StatusResponse struct {
+	Daemon    buildInfo       `json:"daemon"`
 	Active    int64           `json:"active_builds"`
 	Queued    int64           `json:"queued"`
 	MaxBuilds int             `json:"max_builds"`
@@ -95,6 +99,13 @@ type SessionStatus struct {
 	Commits  int64  `json:"commits"`
 }
 
+// BuildsResponse is the GET /builds reply: the in-memory tail of the
+// ledger, most recent first.
+type BuildsResponse struct {
+	Count  int           `json:"count"`
+	Builds []BuildRecord `json:"builds"`
+}
+
 // requestIDHeader carries the server-assigned id on every reply.
 const requestIDHeader = "X-Cmod-Request"
 
@@ -102,12 +113,28 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /build", s.handleBuild)
 	s.mux.HandleFunc("GET /status", s.handleStatus)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("GET /builds", s.handleBuilds)
+	s.mux.HandleFunc("GET /builds/{id}", s.handleBuildByID)
+	s.mux.HandleFunc("GET /builds/{id}/trace", s.handleBuildTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /shutdown", s.handleShutdown)
+	if s.cfg.EnablePprof {
+		// Index serves /debug/pprof/{heap,goroutine,...} itself; only
+		// the four special handlers need explicit routes.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }
 
+// nextRequestID mints "bootid-rNNNNNN". The boot prefix keeps ids from
+// different daemon lifetimes distinct inside a ledger that outlives
+// any one process.
 func (s *Server) nextRequestID() string {
-	return fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+	return fmt.Sprintf("%s-r%06d", s.bootID, s.reqSeq.Add(1))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -126,7 +153,8 @@ func (s *Server) fail(w http.ResponseWriter, id string, status int, format strin
 }
 
 // handleBuild is the daemon's reason to exist: admission, queue,
-// deadline, build, commit, reply.
+// deadline, build, commit, reply — and one ledger record no matter
+// how it ends.
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	id := s.nextRequestID()
 	w.Header().Set(requestIDHeader, id)
@@ -151,6 +179,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, id, http.StatusBadRequest, "invalid level %d (want 1..4)", req.Level)
 		return
 	}
+	fp := optionsFingerprint(&req)
 
 	// The deadline starts before the queue wait: a request the server
 	// cannot schedule in time fails like one it cannot build in time.
@@ -171,6 +200,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
 		s.ctr.canceled.Add(1)
+		s.recordBuild(nil, newBuildRecord(id, "", fp, outcomeCanceled,
+			ctx.Err(), len(req.Modules), 0, time.Since(qt0).Nanoseconds(), nil), nil)
 		s.fail(w, id, http.StatusGatewayTimeout, "timed out waiting for a build slot: %v", ctx.Err())
 		return
 	}
@@ -182,6 +213,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	defer releaseJobs()
 
 	var entry *sessionEntry
+	cacheDir := ""
 	if req.CacheDir != "" {
 		var err error
 		entry, err = s.session(req.CacheDir)
@@ -190,15 +222,20 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		entry.builds.Add(1)
+		cacheDir = entry.dir
 	}
 
+	// Each build gets its own trace: the span tree stays bounded to
+	// one build (retained in the trace ring for /builds/{id}/trace)
+	// and its counters fold into the server-lifetime trace afterward.
+	btr := obs.NewTrace()
 	opt := cmo.Options{
 		Level:         cmo.Level(req.Level),
 		SelectPercent: -1,
 		Entry:         req.Entry,
 		Volatile:      req.Volatile,
 		Jobs:          jobs,
-		Trace:         s.trace,
+		Trace:         btr,
 		Context:       ctx,
 	}
 	if req.Level == 0 {
@@ -216,23 +253,26 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.ctr.active.Add(1)
-	sp := s.trace.StartSpan("serve").ChildDetail("serve build", id)
 	b, err := cmo.BuildSource(mods, opt)
-	sp.End()
 	s.ctr.active.Add(-1)
 
 	if err != nil {
+		outcome := outcomeFailed
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
+			outcome = outcomeCanceled
 			s.ctr.canceled.Add(1)
 			s.fail(w, id, http.StatusGatewayTimeout, "build deadline exceeded: %v", err)
 		case errors.Is(err, context.Canceled):
+			outcome = outcomeCanceled
 			s.ctr.canceled.Add(1)
 			s.fail(w, id, http.StatusServiceUnavailable, "build canceled: %v", err)
 		default:
 			s.ctr.failed.Add(1)
 			s.fail(w, id, http.StatusUnprocessableEntity, "build failed: %v", err)
 		}
+		s.recordBuild(entry, newBuildRecord(id, cacheDir, fp, outcome,
+			err, len(req.Modules), jobs, queueNanos, nil), btr)
 		return
 	}
 
@@ -246,6 +286,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		entry.commitMu.Unlock()
 		if cerr != nil {
 			s.ctr.failed.Add(1)
+			s.recordBuild(entry, newBuildRecord(id, cacheDir, fp, outcomeFailed,
+				cerr, len(req.Modules), jobs, queueNanos, &b.Stats), btr)
 			s.fail(w, id, http.StatusInternalServerError, "committing session: %v", cerr)
 			return
 		}
@@ -257,10 +299,14 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	var img bytes.Buffer
 	if err := objfile.EncodeImage(&img, b.Image); err != nil {
 		s.ctr.failed.Add(1)
+		s.recordBuild(entry, newBuildRecord(id, cacheDir, fp, outcomeFailed,
+			err, len(req.Modules), jobs, queueNanos, &b.Stats), btr)
 		s.fail(w, id, http.StatusInternalServerError, "encoding image: %v", err)
 		return
 	}
 	s.ctr.completed.Add(1)
+	s.recordBuild(entry, newBuildRecord(id, cacheDir, fp, outcomeOK,
+		nil, len(req.Modules), jobs, queueNanos, &b.Stats), btr)
 	writeJSON(w, http.StatusOK, BuildResponse{
 		RequestID: id,
 		Image:     img.Bytes(),
@@ -290,30 +336,90 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	draining := s.draining
 	s.mu.Unlock()
+	info := s.buildInfo()
 	writeJSON(w, http.StatusOK, StatusResponse{
+		Daemon:    info,
 		Active:    s.ctr.active.Value(),
 		Queued:    s.ctr.queueDepth.Value() - s.ctr.active.Value(),
 		MaxBuilds: s.cfg.MaxBuilds,
 		QueueCap:  s.cfg.MaxBuilds + s.cfg.QueueDepth,
 		JobBudget: s.cfg.JobBudget,
 		Draining:  draining,
-		UptimeSec: time.Since(s.start).Seconds(),
+		UptimeSec: info.UptimeSec,
 		Sessions:  sessions,
 	})
 }
 
+// handleMetrics renders the registry in Prometheus text exposition
+// format. The legacy trace counters ride along as sanitized untyped
+// series (naim.cache_hits -> cmod_naim_cache_hits), so one scrape
+// carries both the histogram fleet view and the raw counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	_ = s.registry.WritePrometheus(w, "cmod", s.trace.CounterSnapshot())
+}
+
+// handleMetricsJSON is the original JSON counter snapshot, kept for
+// scripts that predate the Prometheus endpoint.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.trace.WriteMetrics(w)
 }
 
+// handleBuilds serves the in-memory ledger tail, most recent first.
+// ?limit=N caps the reply (default: everything retained).
+func (s *Server) handleBuilds(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			s.fail(w, "", http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+		limit = n
+	}
+	recs := s.buildRecords(limit)
+	writeJSON(w, http.StatusOK, BuildsResponse{Count: len(recs), Builds: recs})
+}
+
+func (s *Server) handleBuildByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.buildRecord(id)
+	if !ok {
+		s.fail(w, id, http.StatusNotFound, "no build record %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleBuildTrace streams a retained build's full trace as Chrome
+// trace-event JSON (load it in about:tracing or Perfetto). Only the
+// last TraceRing builds of this process have one; replayed ledger
+// records answer 404 here while still appearing in /builds.
+func (s *Server) handleBuildTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.buildTrace(id)
+	if !ok {
+		s.fail(w, id, http.StatusNotFound, "no retained trace for build %q (ring holds the last %d)", id, s.cfg.TraceRing)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tr.WriteChromeTrace(w)
+}
+
+// handleHealthz keeps its first line a bare "ok" (probes match on
+// that), then appends the identity block for humans.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	info := s.buildInfo()
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "version: %s (%s)\n", info.Version, info.GoVersion)
+	fmt.Fprintf(w, "pid: %d\n", info.PID)
+	fmt.Fprintf(w, "uptime_sec: %.1f\n", info.UptimeSec)
 }
 
 // handleShutdown asks the owning process to drain and exit — the

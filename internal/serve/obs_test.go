@@ -1,0 +1,609 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmo/internal/obs"
+	"cmo/internal/promtext"
+	"cmo/internal/workload"
+)
+
+// scrape GETs path and returns the body, failing the test on a non-200.
+func scrape(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// TestDaemonPrometheusMetrics proves GET /metrics is valid exposition
+// format (our own parser is the validator — no promtool in CI) and
+// that one build populates the fleet histograms, outcome counters,
+// gauges, and the sanitized legacy counters.
+func TestDaemonPrometheusMetrics(t *testing.T) {
+	mods := testModules(testSpec(59))
+	dir := t.TempDir()
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	if _, failResp := postBuild(t, ts.URL, BuildRequest{Modules: mods, CacheDir: dir,
+		Volatile: workload.InputGlobals()}); failResp != nil {
+		t.Fatalf("build: status %d: %s", failResp.StatusCode, failResp.Status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("content type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	m, err := promtext.Parse(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+
+	if f := m["cmod_build_duration_seconds"]; f == nil || f.Type != "histogram" {
+		t.Fatalf("cmod_build_duration_seconds family = %+v, want histogram", f)
+	}
+	if _, count := m.SumCount("cmod_build_duration_seconds", "", ""); count != 1 {
+		t.Errorf("duration count = %v, want 1", count)
+	}
+	bs := m.HistogramBuckets("cmod_build_duration_seconds", "", "")
+	if len(bs) == 0 || bs[len(bs)-1].CumulativeCount != 1 {
+		t.Errorf("duration buckets = %+v, want +Inf cumulative 1", bs)
+	}
+	// A cold O4 build exercises at least frontend, hlo, llo, link.
+	for _, stage := range []string{"frontend", "hlo", "llo", "link"} {
+		if _, count := m.SumCount("cmod_build_stage_seconds", "stage", stage); count != 1 {
+			t.Errorf("stage %q count = %v, want 1", stage, count)
+		}
+	}
+	if v, ok := m.Value("cmod_builds_total"); !ok || v != 1 {
+		f := m["cmod_builds_total"]
+		found := false
+		if f != nil {
+			for _, s := range f.Samples {
+				if s.Label("outcome") == "ok" && s.Value == 1 {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("cmod_builds_total{outcome=ok} != 1: %+v", f)
+		}
+	}
+	// Session hit-rate counters arrive as sanitized legacy series.
+	for _, name := range []string{"cmod_session_frontend_misses", "cmod_session_frontend_hits",
+		"cmod_serve_completed", "cmod_naim_cache_hits"} {
+		if _, ok := m.Value(name); !ok {
+			t.Errorf("exposition lacks %s", name)
+		}
+	}
+	for _, g := range []string{"cmod_serve_uptime_seconds", "cmod_inflight_builds",
+		"cmod_queue_depth", "cmod_open_sessions", "cmod_ledger_records"} {
+		f := m[g]
+		if f == nil || f.Type != "gauge" {
+			t.Errorf("gauge %s missing or mistyped: %+v", g, f)
+		}
+	}
+	if v, ok := m.Value("cmod_open_sessions"); !ok || v != 1 {
+		t.Errorf("cmod_open_sessions = %v, want 1", v)
+	}
+}
+
+// TestDaemonBuildsEndpoints covers the ledger surface: /builds lists
+// the record, /builds/{id} retrieves it, /builds/{id}/trace replays
+// the build's own span tree as valid Chrome trace-event JSON.
+func TestDaemonBuildsEndpoints(t *testing.T) {
+	mods := testModules(testSpec(61))
+	dir := t.TempDir()
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+
+	br, failResp := postBuild(t, ts.URL, BuildRequest{Modules: mods, CacheDir: dir,
+		Volatile: workload.InputGlobals()})
+	if failResp != nil {
+		t.Fatalf("build: status %d: %s", failResp.StatusCode, failResp.Status)
+	}
+
+	var list BuildsResponse
+	if err := json.Unmarshal(scrape(t, ts.URL+"/builds"), &list); err != nil {
+		t.Fatalf("decoding /builds: %v", err)
+	}
+	if list.Count != 1 || len(list.Builds) != 1 {
+		t.Fatalf("/builds = %+v, want exactly one record", list)
+	}
+	rec := list.Builds[0]
+	if rec.ID != br.RequestID {
+		t.Errorf("record id %q != request id %q", rec.ID, br.RequestID)
+	}
+	if rec.Outcome != "ok" || rec.Modules != len(mods) || rec.TotalNanos <= 0 {
+		t.Errorf("record = %+v, want ok with %d modules and positive total", rec, len(mods))
+	}
+	if rec.OptionsFP == "" {
+		t.Errorf("record has no options fingerprint")
+	}
+	if rec.FrontendNanos <= 0 || rec.LinkNanos <= 0 {
+		t.Errorf("record stage nanos not populated: %+v", rec)
+	}
+
+	var single BuildRecord
+	if err := json.Unmarshal(scrape(t, ts.URL+"/builds/"+rec.ID), &single); err != nil {
+		t.Fatalf("decoding /builds/{id}: %v", err)
+	}
+	if single.ID != rec.ID || single.OptionsFP != rec.OptionsFP {
+		t.Errorf("/builds/{id} = %+v, want %+v", single, rec)
+	}
+
+	// The trace must be a valid Chrome trace-event array containing
+	// the pipeline's own spans (this build's, not the server's life).
+	var events []map[string]any
+	if err := json.Unmarshal(scrape(t, ts.URL+"/builds/"+rec.ID+"/trace"), &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		ph, _ := e["ph"].(string)
+		name, _ := e["name"].(string)
+		if ph == "" || name == "" {
+			t.Fatalf("trace event lacks ph/name: %v", e)
+		}
+		if ph == "X" {
+			names[name] = true
+		}
+	}
+	for _, want := range []string{"build", "frontend", "link"} {
+		if !names[want] {
+			t.Errorf("trace lacks %q span; spans = %v", want, names)
+		}
+	}
+
+	// Unknown ids answer 404 on both endpoints.
+	for _, path := range []string{"/builds/nope", "/builds/nope/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// ?limit caps the listing.
+	if _, failResp := postBuild(t, ts.URL, BuildRequest{Modules: mods, CacheDir: dir,
+		Volatile: workload.InputGlobals()}); failResp != nil {
+		t.Fatalf("second build: status %d: %s", failResp.StatusCode, failResp.Status)
+	}
+	if err := json.Unmarshal(scrape(t, ts.URL+"/builds?limit=1"), &list); err != nil {
+		t.Fatalf("decoding limited /builds: %v", err)
+	}
+	if list.Count != 1 {
+		t.Errorf("limit=1 returned %d records", list.Count)
+	}
+}
+
+// TestDaemonPprof proves the opt-in profiling surface: mounted only
+// when EnablePprof is set, and the heap profile answers.
+func TestDaemonPprof(t *testing.T) {
+	off := New(Config{})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	defer off.Drain()
+	resp, err := http.Get(tsOff.URL + "/debug/pprof/heap")
+	if err != nil {
+		t.Fatalf("pprof-off GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("pprof served without EnablePprof")
+	}
+
+	on := New(Config{EnablePprof: true})
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	defer on.Drain()
+	if body := scrape(t, tsOn.URL+"/debug/pprof/heap?debug=1"); !bytes.Contains(body, []byte("heap profile")) {
+		t.Errorf("heap profile missing header:\n%.200s", body)
+	}
+}
+
+// TestDaemonScrapeStress is the -race stress: concurrent builds
+// through one server while a scraper hammers /metrics and /builds.
+// Every scrape must be internally consistent — for each histogram the
+// +Inf cumulative bucket equals the _count sample (a torn read would
+// break that) — and when the dust settles the ledger holds exactly
+// one record per completed build.
+func TestDaemonScrapeStress(t *testing.T) {
+	mods := testModules(testSpec(67))
+	dir := t.TempDir()
+
+	srv := New(Config{MaxBuilds: 2, JobBudget: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const builders, buildsEach = 3, 2
+	var wg sync.WaitGroup
+	var completed atomic.Int64
+	stop := make(chan struct{})
+
+	// The scraper: parse every exposition in full, verify histogram
+	// self-consistency on each one.
+	scrapeErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				continue
+			}
+			m, err := promtext.Parse(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				select {
+				case scrapeErr <- fmt.Errorf("exposition parse: %v", err):
+				default:
+				}
+				return
+			}
+			for name, f := range m {
+				if f.Type != "histogram" {
+					continue
+				}
+				// Group buckets per label identity via the stage label
+				// (the only labeled histogram family); an unlabeled
+				// family is the single "" group.
+				keys := map[string]bool{}
+				for _, s := range f.Samples {
+					keys[s.Label("stage")] = true
+				}
+				for key := range keys {
+					mk, mv := "", ""
+					if key != "" {
+						mk, mv = "stage", key
+					}
+					bs := m.HistogramBuckets(name, mk, mv)
+					if len(bs) == 0 {
+						continue
+					}
+					_, count := m.SumCount(name, mk, mv)
+					if inf := bs[len(bs)-1].CumulativeCount; inf != count {
+						select {
+						case scrapeErr <- fmt.Errorf("torn read: %s{%s=%s} +Inf bucket %v != count %v", name, mk, mv, inf, count):
+						default:
+						}
+						return
+					}
+					for i := 1; i < len(bs); i++ {
+						if bs[i].CumulativeCount < bs[i-1].CumulativeCount {
+							select {
+							case scrapeErr <- fmt.Errorf("non-monotone buckets in %s: %+v", name, bs):
+							default:
+							}
+							return
+						}
+					}
+				}
+			}
+			// /builds must always decode, whatever the builders are at.
+			if resp, err := http.Get(ts.URL + "/builds"); err == nil {
+				var list BuildsResponse
+				derr := json.NewDecoder(resp.Body).Decode(&list)
+				resp.Body.Close()
+				if derr != nil {
+					select {
+					case scrapeErr <- fmt.Errorf("/builds decode: %v", derr):
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+
+	for w := 0; w < builders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < buildsEach; i++ {
+				if _, failResp := postBuild(t, ts.URL, BuildRequest{Modules: mods,
+					CacheDir: dir, Jobs: 2, Volatile: workload.InputGlobals()}); failResp == nil {
+					completed.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Builders finish first, then the scraper is told to stop and the
+	// whole group is waited out.
+	builderWait := make(chan struct{})
+	go func() { wg.Wait(); close(builderWait) }()
+	deadline := time.After(2 * time.Minute)
+	for completed.Load() < builders*buildsEach {
+		select {
+		case err := <-scrapeErr:
+			t.Fatalf("scraper: %v", err)
+		case <-deadline:
+			t.Fatalf("builds did not finish: %d/%d", completed.Load(), builders*buildsEach)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	close(stop)
+	<-builderWait
+	select {
+	case err := <-scrapeErr:
+		t.Fatalf("scraper: %v", err)
+	default:
+	}
+
+	var list BuildsResponse
+	if err := json.Unmarshal(scrape(t, ts.URL+"/builds"), &list); err != nil {
+		t.Fatalf("final /builds: %v", err)
+	}
+	if got, want := list.Count, builders*buildsEach; got != want {
+		t.Errorf("ledger records = %d, want %d (one per completed build)", got, want)
+	}
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The on-disk ledger agrees with the in-memory ring.
+	data, err := os.ReadFile(filepath.Join(dir, ledgerName))
+	if err != nil {
+		t.Fatalf("reading ledger: %v", err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines != builders*buildsEach {
+		t.Errorf("ledger file has %d records, want %d", lines, builders*buildsEach)
+	}
+}
+
+// TestLedgerDurability is the restart story: a daemon builds, dies
+// without Drain (the file handle just goes away, possibly mid-write —
+// simulated with a torn trailing record), and the next daemon's first
+// touch of the cache dir truncation-recovers the ledger and replays
+// the history into its registry and /builds ring.
+func TestLedgerDurability(t *testing.T) {
+	mods := testModules(testSpec(71))
+	dir := t.TempDir()
+
+	// Daemon one: two builds, then a sync (the "crash" loses nothing
+	// flushed) but no Drain/Close.
+	srv1 := New(Config{})
+	ts1 := httptest.NewServer(srv1.Handler())
+	for i := 0; i < 2; i++ {
+		if _, failResp := postBuild(t, ts1.URL, BuildRequest{Modules: mods, CacheDir: dir,
+			Volatile: workload.InputGlobals()}); failResp != nil {
+			t.Fatalf("build %d: status %d: %s", i, failResp.StatusCode, failResp.Status)
+		}
+	}
+	srv1.mu.Lock()
+	for _, e := range srv1.sessions {
+		if err := e.ledger.Sync(); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+	}
+	srv1.mu.Unlock()
+	ts1.Close()
+	// No Drain: the process "dies". Sessions hold the cache-dir lock,
+	// so release them the crash way before daemon two arrives.
+	if err := srv1.Drain(); err != nil {
+		t.Fatalf("drain (releasing locks): %v", err)
+	}
+
+	// Tear the tail the way a crash mid-append would.
+	path := filepath.Join(dir, ledgerName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"torn-partial`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Daemon two: the first build naming the dir opens the session,
+	// recovers the ledger, and replays both prior records.
+	srv2 := New(Config{})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	defer srv2.Drain()
+	if _, failResp := postBuild(t, ts2.URL, BuildRequest{Modules: mods, CacheDir: dir,
+		Volatile: workload.InputGlobals()}); failResp != nil {
+		t.Fatalf("post-restart build: status %d: %s", failResp.StatusCode, failResp.Status)
+	}
+
+	var list BuildsResponse
+	if err := json.Unmarshal(scrape(t, ts2.URL+"/builds"), &list); err != nil {
+		t.Fatalf("/builds: %v", err)
+	}
+	if list.Count != 3 {
+		t.Fatalf("/builds after restart = %d records, want 3 (2 replayed + 1 live)", list.Count)
+	}
+
+	m, err := promtext.Parse(bytes.NewReader(scrape(t, ts2.URL+"/metrics")))
+	if err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+	if v, _ := m.Value("cmod_ledger_replayed_total"); v != 2 {
+		t.Errorf("cmod_ledger_replayed_total = %v, want 2", v)
+	}
+	// Outcome totals include the replayed history: the registry
+	// survived the restart by way of the ledger.
+	f2 := m["cmod_builds_total"]
+	var okTotal float64
+	if f2 != nil {
+		for _, s := range f2.Samples {
+			if s.Label("outcome") == "ok" {
+				okTotal = s.Value
+			}
+		}
+	}
+	if okTotal != 3 {
+		t.Errorf("cmod_builds_total{outcome=ok} = %v, want 3 (2 replayed + 1 live)", okTotal)
+	}
+	if _, count := m.SumCount("cmod_build_duration_seconds", "", ""); count != 3 {
+		t.Errorf("duration histogram count = %v, want 3 after replay", count)
+	}
+
+	// The torn partial line is gone from disk (truncation recovery).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("torn-partial")) {
+		t.Errorf("torn tail survived recovery")
+	}
+}
+
+// TestLedgerCompaction proves the file stays bounded: pushing past
+// twice the cap rewrites it down to the newest cap records.
+func TestLedgerCompaction(t *testing.T) {
+	dir := t.TempDir()
+	const cap = 4
+	l, prior, err := OpenLedger(dir, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 0 {
+		t.Fatalf("fresh ledger has %d records", len(prior))
+	}
+	for i := 0; i < 3*cap; i++ {
+		if err := l.Append(BuildRecord{ID: fmt.Sprintf("r%03d", i), Outcome: "ok"}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, records, err := OpenLedger(dir, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != cap {
+		t.Fatalf("after compaction: %d records, want %d", len(records), cap)
+	}
+	if records[len(records)-1].ID != fmt.Sprintf("r%03d", 3*cap-1) {
+		t.Errorf("compaction dropped the newest records: last is %s", records[len(records)-1].ID)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ledgerName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines > 2*cap {
+		t.Errorf("ledger file still has %d lines after compaction (cap %d)", lines, cap)
+	}
+}
+
+// BenchmarkBuildObsOverhead quantifies the acceptance budget: the
+// telemetry exit path (histograms + rings + ledger append) must cost
+// ≤2% of a warm no-op daemon build. Run both sub-benchmarks and
+// compare ns/op — "record" is the added cost, "warmBuild" the path it
+// rides on.
+func BenchmarkBuildObsOverhead(b *testing.B) {
+	b.Run("record", func(b *testing.B) {
+		dir := b.TempDir()
+		srv := New(Config{})
+		defer srv.Drain()
+		ledger, _, err := OpenLedger(dir, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entry := &sessionEntry{dir: dir, ledger: ledger}
+		rec := newBuildRecord("bench-r000001", dir, "abcdef012345", outcomeOK,
+			nil, 4, 1, 1500, nil)
+		rec.TotalNanos = 25e6
+		rec.FrontendNanos = 5e6
+		rec.HLONanos = 10e6
+		rec.LLONanos = 7e6
+		rec.LinkNanos = 3e6
+		rec.NAIMPeakBytes = 1 << 20
+		rec.FrontendHits = 4
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.recordBuild(entry, rec, nil)
+		}
+		b.StopTimer()
+		ledger.Close()
+	})
+
+	b.Run("warmBuild", func(b *testing.B) {
+		mods := testModules(testSpec(73))
+		dir := b.TempDir()
+		srv := New(Config{})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Drain()
+		body, _ := json.Marshal(BuildRequest{Modules: mods, CacheDir: dir,
+			Volatile: workload.InputGlobals()})
+		warm := func() error {
+			resp, err := http.Post(ts.URL+"/build", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			var br BuildResponse
+			return json.NewDecoder(resp.Body).Decode(&br)
+		}
+		if err := warm(); err != nil { // populate the session
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := warm(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestHealthzOkFirstToken pins the probe contract: strings.Fields of
+// the healthz body starts with "ok" whatever else the body carries.
+func TestHealthzOkFirstToken(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain()
+	body := scrape(t, ts.URL+"/healthz")
+	fields := strings.Fields(string(body))
+	if len(fields) == 0 || fields[0] != "ok" {
+		t.Errorf("healthz first token = %v, want ok", fields)
+	}
+}

@@ -21,10 +21,15 @@
 //     directory share one Session (replay reads are concurrent; the
 //     repository is internally locked) and serialize only the durable
 //     Commit that runs after each build.
-//   - Observability: one obs.Trace spans the server's whole life;
-//     serve.* counters (queue depth, active builds, outcomes) sit next
-//     to the naim.* and session.* counters from the builds themselves,
-//     and GET /metrics renders the snapshot.
+//   - Observability: every build runs under its own obs.Trace whose
+//     counters fold into a server-lifetime trace, so serve.* counters
+//     (queue depth, active builds, outcomes) sit next to cumulative
+//     naim.* and session.* counters; a telemetry registry aggregates
+//     latency/stage/memory histograms across builds (GET /metrics,
+//     Prometheus text; GET /metrics.json, the legacy counter JSON);
+//     and each cache directory keeps a persistent build ledger that
+//     replays on reopen (GET /builds, GET /builds/{id},
+//     GET /builds/{id}/trace). See telemetry.go and ledger.go.
 //
 // Graceful drain: Drain marks the server draining (healthz goes 503,
 // new builds are refused), waits for queued and in-flight builds to
@@ -70,6 +75,19 @@ type Config struct {
 	// Trace, when non-nil, is the trace the server records into;
 	// nil means the server makes its own (exposed at /metrics).
 	Trace *obs.Trace
+	// TraceRing is how many recent builds keep their full trace in
+	// memory for GET /builds/{id}/trace (default 32; traces are not
+	// persisted — a restart forgets them, the ledger remembers the
+	// numbers).
+	TraceRing int
+	// RecordRing is how many build ledger records the server holds in
+	// memory for GET /builds, and how many each on-disk ledger retains
+	// after compaction (default 512).
+	RecordRing int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — opt-in
+	// because profiling endpoints on a build daemon are a deliberate
+	// operational decision, not a default.
+	EnablePprof bool
 }
 
 // sessionEntry is one cache directory's shared state: the open
@@ -81,6 +99,7 @@ type Config struct {
 type sessionEntry struct {
 	dir      string
 	sess     *cmo.Session
+	ledger   *Ledger
 	commitMu sync.Mutex
 	builds   atomic.Int64
 	commits  atomic.Int64
@@ -112,6 +131,20 @@ type Server struct {
 	shutOnce sync.Once
 
 	start time.Time
+	// bootID prefixes request ids so records from different daemon
+	// lifetimes never collide in a ledger that outlives the process.
+	bootID string
+
+	// Telemetry (see telemetry.go): the registry of histograms and
+	// gauges behind GET /metrics, plus the bounded in-memory rings of
+	// ledger records (GET /builds) and per-build traces
+	// (GET /builds/{id}/trace).
+	registry *obs.Registry
+	inst     *instruments
+	obsMu    sync.Mutex
+	records  []BuildRecord
+	traces   map[string]*obs.Trace
+	traceIDs []string
 
 	ctr struct {
 		accepted, rejected     *obs.Counter
@@ -141,19 +174,27 @@ func New(cfg Config) *Server {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = cfg.DefaultTimeout
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 32
+	}
+	if cfg.RecordRing <= 0 {
+		cfg.RecordRing = 512
+	}
 	tr := cfg.Trace
 	if tr == nil {
 		tr = obs.NewTrace()
 	}
+	now := time.Now()
 	s := &Server{
-		cfg:       cfg,
-		trace:     tr,
-		mux:       http.NewServeMux(),
-		slots:     make(chan struct{}, cfg.MaxBuilds),
-		queue:     make(chan struct{}, cfg.MaxBuilds+cfg.QueueDepth),
-		sessions:  make(map[string]*sessionEntry),
-		shutdown:  make(chan struct{}),
-		start:     time.Now(),
+		cfg:      cfg,
+		trace:    tr,
+		mux:      http.NewServeMux(),
+		slots:    make(chan struct{}, cfg.MaxBuilds),
+		queue:    make(chan struct{}, cfg.MaxBuilds+cfg.QueueDepth),
+		sessions: make(map[string]*sessionEntry),
+		shutdown: make(chan struct{}),
+		start:    now,
+		bootID:   fmt.Sprintf("%06x", uint64(now.UnixNano())&0xffffff),
 	}
 	if extra := cfg.JobBudget - cfg.MaxBuilds; extra > 0 {
 		s.extraJobs = make(chan struct{}, extra)
@@ -170,6 +211,7 @@ func New(cfg Config) *Server {
 	s.ctr.active = tr.Counter("serve.active_builds")
 	s.ctr.queueNanos = tr.Counter("serve.queue_wait_nanos")
 	s.ctr.commitsCtr = tr.Counter("serve.commits")
+	s.initTelemetry()
 	s.routes()
 	return s
 }
@@ -204,8 +246,20 @@ func (s *Server) session(dir string) (*sessionEntry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening session for %s: %w", abs, err)
 	}
-	e := &sessionEntry{dir: abs, sess: sess}
+	// The cache directory's ledger opens with its session; records a
+	// previous daemon wrote replay into the registry so fleet totals
+	// survive restarts. A ledger that cannot open degrades to no
+	// history — the session (and its builds) still work.
+	ledger, prior, lerr := OpenLedger(abs, s.cfg.RecordRing)
+	if lerr != nil {
+		s.inst.ledgerErr.Add(1)
+		ledger = nil
+	}
+	e := &sessionEntry{dir: abs, sess: sess, ledger: ledger}
 	s.sessions[abs] = e
+	if len(prior) > 0 {
+		s.replayLedger(prior)
+	}
 	return e, nil
 }
 
@@ -299,6 +353,11 @@ func (s *Server) Drain() error {
 	for _, e := range entries {
 		// Close commits (fsync + manifest) before releasing the files.
 		if err := e.sess.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// The ledger syncs at drain so the history of a cleanly
+		// stopped daemon is complete on disk.
+		if err := e.ledger.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

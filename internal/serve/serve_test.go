@@ -284,8 +284,14 @@ func TestDaemonEndpoints(t *testing.T) {
 	if st.Draining {
 		t.Errorf("status claims draining")
 	}
+	if st.Daemon.GoVersion == "" || st.Daemon.Version == "" || st.Daemon.PID == 0 {
+		t.Errorf("status daemon info incomplete: %+v", st.Daemon)
+	}
+	if st.Daemon.UptimeSec < 0 {
+		t.Errorf("negative uptime %v", st.Daemon.UptimeSec)
+	}
 
-	mResp, err := http.Get(ts.URL + "/metrics")
+	mResp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatalf("metrics: %v", err)
 	}
@@ -305,6 +311,23 @@ func TestDaemonEndpoints(t *testing.T) {
 	}
 	if _, ok := byName["session.frontend_misses"]; !ok {
 		t.Errorf("metrics lack the build's session counters: %v", byName)
+	}
+
+	// Healthz keeps its first line a bare "ok" for probes, with the
+	// identity block after it.
+	hResp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var hbuf bytes.Buffer
+	_, _ = hbuf.ReadFrom(hResp.Body)
+	hResp.Body.Close()
+	lines := strings.Split(hbuf.String(), "\n")
+	if lines[0] != "ok" {
+		t.Errorf("healthz first line = %q, want \"ok\"", lines[0])
+	}
+	if !strings.Contains(hbuf.String(), "version:") || !strings.Contains(hbuf.String(), "uptime_sec:") {
+		t.Errorf("healthz lacks identity block:\n%s", hbuf.String())
 	}
 
 	// Remote shutdown request closes the channel the daemon owner

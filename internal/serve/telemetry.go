@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	cmo "cmo"
+	"cmo/internal/obs"
+)
+
+// Fleet telemetry: the daemon aggregates every build into an
+// obs.Registry of histograms and counters (rendered at GET /metrics in
+// Prometheus text form), keeps the last RecordRing ledger records in
+// memory for GET /builds, and holds the last TraceRing full traces for
+// GET /builds/{id}/trace. The registry never retains whole traces —
+// a build folds into fixed-size histogram buckets, so a daemon that
+// serves a million builds holds the same telemetry memory as one that
+// served ten.
+
+// buildStages orders the per-stage latency histograms; each gets a
+// cmod_build_stage_seconds{stage=...} series.
+var buildStages = []string{"frontend", "select", "hlo", "llo", "link", "verify"}
+
+// latencyBuckets spans 0.5ms to ~35min in powers of two — wide enough
+// for both a warm no-op replay and a cold whole-program O4 build.
+func latencyBuckets() []float64 { return obs.ExpBuckets(0.0005, 2, 22) }
+
+// instruments is the fixed set of registry series the daemon records
+// every build into.
+type instruments struct {
+	duration  *obs.Histogram
+	queueWait *obs.Histogram
+	stage     map[string]*obs.Histogram
+	naimPeak  *obs.Histogram
+	codeBytes *obs.Histogram
+	feRatio   *obs.Histogram
+	hloRatio  *obs.Histogram
+	outcomes  map[string]*obs.Counter
+	replayed  *obs.Counter
+	ledgerErr *obs.Counter
+}
+
+func newInstruments(r *obs.Registry) *instruments {
+	r.SetHelp("cmod_build_duration_seconds", "Wall time per completed build (queue wait excluded).")
+	r.SetHelp("cmod_build_queue_seconds", "Time each admitted build waited for a build slot.")
+	r.SetHelp("cmod_build_stage_seconds", "Per-stage wall time of completed builds.")
+	r.SetHelp("cmod_build_naim_peak_bytes", "Peak NAIM working-set bytes per completed build.")
+	r.SetHelp("cmod_build_code_bytes", "Final image code size per completed build.")
+	r.SetHelp("cmod_build_frontend_hit_ratio", "Frontend replay hit ratio per build with a cache session.")
+	r.SetHelp("cmod_build_hlo_hit_ratio", "HLO replay hit ratio per build with a cache session.")
+	r.SetHelp("cmod_builds_total", "Builds recorded by outcome (includes ledger replay on restart).")
+	r.SetHelp("cmod_ledger_replayed_total", "Ledger records replayed into the registry on session open.")
+	r.SetHelp("cmod_ledger_errors_total", "Ledger appends that failed (history shortens, builds do not).")
+
+	in := &instruments{
+		duration:  r.Histogram("cmod_build_duration_seconds", latencyBuckets()),
+		queueWait: r.Histogram("cmod_build_queue_seconds", latencyBuckets()),
+		stage:     make(map[string]*obs.Histogram, len(buildStages)),
+		naimPeak:  r.Histogram("cmod_build_naim_peak_bytes", obs.ExpBuckets(4096, 4, 14)),
+		codeBytes: r.Histogram("cmod_build_code_bytes", obs.ExpBuckets(1024, 4, 12)),
+		feRatio:   r.Histogram("cmod_build_frontend_hit_ratio", obs.LinearBuckets(0.1, 0.1, 9)),
+		hloRatio:  r.Histogram("cmod_build_hlo_hit_ratio", obs.LinearBuckets(0.1, 0.1, 9)),
+		outcomes:  make(map[string]*obs.Counter, 3),
+		replayed:  r.Counter("cmod_ledger_replayed_total"),
+		ledgerErr: r.Counter("cmod_ledger_errors_total"),
+	}
+	for _, st := range buildStages {
+		in.stage[st] = r.Histogram(obs.LabeledName("cmod_build_stage_seconds", "stage", st), latencyBuckets())
+	}
+	for _, oc := range []string{outcomeOK, outcomeFailed, outcomeCanceled} {
+		in.outcomes[oc] = r.Counter(obs.LabeledName("cmod_builds_total", "outcome", oc))
+	}
+	return in
+}
+
+const (
+	outcomeOK       = "ok"
+	outcomeFailed   = "failed"
+	outcomeCanceled = "canceled"
+)
+
+// observe folds one build record into the fixed-size series. Stage and
+// size histograms only see completed builds — a canceled build's
+// half-run phases would skew the latency story; its outcome counter
+// and queue wait still count.
+func (in *instruments) observe(rec BuildRecord) {
+	c := in.outcomes[rec.Outcome]
+	if c == nil {
+		c = in.outcomes[outcomeFailed]
+	}
+	c.Add(1)
+	in.queueWait.ObserveNanos(rec.QueueNanos)
+	if rec.Outcome != outcomeOK {
+		return
+	}
+	in.duration.ObserveNanos(rec.TotalNanos)
+	for st, ns := range map[string]int64{
+		"frontend": rec.FrontendNanos,
+		"select":   rec.SelectNanos,
+		"hlo":      rec.HLONanos,
+		"llo":      rec.LLONanos,
+		"link":     rec.LinkNanos,
+		"verify":   rec.VerifyNanos,
+	} {
+		if ns > 0 {
+			in.stage[st].ObserveNanos(ns)
+		}
+	}
+	if rec.NAIMPeakBytes > 0 {
+		in.naimPeak.Observe(float64(rec.NAIMPeakBytes))
+	}
+	if rec.CodeBytes > 0 {
+		in.codeBytes.Observe(float64(rec.CodeBytes))
+	}
+	if t := rec.FrontendHits + rec.FrontendMisses; t > 0 {
+		in.feRatio.Observe(float64(rec.FrontendHits) / float64(t))
+	}
+	if t := rec.HLOHits + rec.HLOMisses; t > 0 {
+		in.hloRatio.Observe(float64(rec.HLOHits) / float64(t))
+	}
+}
+
+// initTelemetry builds the registry, instruments, and gauges. Gauges
+// are closures over live server state, sampled at scrape time.
+func (s *Server) initTelemetry() {
+	r := obs.NewRegistry()
+	s.registry = r
+	s.inst = newInstruments(r)
+	s.traces = make(map[string]*obs.Trace, s.cfg.TraceRing)
+
+	r.SetHelp("cmod_serve_uptime_seconds", "Seconds since the daemon started.")
+	r.Gauge("cmod_serve_uptime_seconds", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	r.SetHelp("cmod_inflight_builds", "Builds currently executing.")
+	r.Gauge("cmod_inflight_builds", func() float64 {
+		return float64(s.ctr.active.Value())
+	})
+	r.SetHelp("cmod_queue_depth", "Admitted builds waiting for a build slot.")
+	r.Gauge("cmod_queue_depth", func() float64 {
+		return float64(s.ctr.queueDepth.Value() - s.ctr.active.Value())
+	})
+	r.SetHelp("cmod_open_sessions", "Cache-directory sessions currently open.")
+	r.Gauge("cmod_open_sessions", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.sessions))
+	})
+	r.SetHelp("cmod_ledger_records", "Build records held in memory for GET /builds.")
+	r.Gauge("cmod_ledger_records", func() float64 {
+		s.obsMu.Lock()
+		defer s.obsMu.Unlock()
+		return float64(len(s.records))
+	})
+	r.SetHelp("cmod_commit_backlog_bytes", "Blob-log bytes appended but not yet committed, across open sessions.")
+	r.Gauge("cmod_commit_backlog_bytes", func() float64 {
+		s.mu.Lock()
+		entries := make([]*sessionEntry, 0, len(s.sessions))
+		for _, e := range s.sessions {
+			entries = append(entries, e)
+		}
+		s.mu.Unlock()
+		var total int64
+		for _, e := range entries {
+			if repo := e.sess.Repo(); repo != nil {
+				total += repo.UncommittedBytes()
+			}
+		}
+		return float64(total)
+	})
+}
+
+// Registry exposes the daemon's telemetry registry (the /metrics
+// source, minus the legacy trace counters).
+func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// newBuildRecord assembles the ledger record for a finished build.
+// stats may be nil for builds that failed before producing stats.
+func newBuildRecord(id, cacheDir, fp string, outcome string, buildErr error, modules, jobs int, queueNanos int64, stats *cmo.BuildStats) BuildRecord {
+	rec := BuildRecord{
+		ID:         id,
+		UnixMillis: time.Now().UnixMilli(),
+		CacheDir:   cacheDir,
+		OptionsFP:  fp,
+		Outcome:    outcome,
+		Modules:    modules,
+		Jobs:       jobs,
+		QueueNanos: queueNanos,
+	}
+	if buildErr != nil {
+		rec.Error = buildErr.Error()
+	}
+	if stats != nil {
+		rec.TotalNanos = stats.TotalNanos
+		rec.FrontendNanos = stats.FrontendNanos
+		rec.SelectNanos = stats.SelectNanos
+		rec.HLONanos = stats.HLONanos
+		rec.LLONanos = stats.LLONanos
+		rec.LinkNanos = stats.LinkNanos
+		rec.VerifyNanos = stats.VerifyNanos
+		rec.NAIMPeakBytes = stats.NAIM.PeakBytes
+		rec.CodeBytes = stats.CodeBytes
+		rec.FrontendHits = stats.CacheFrontendHits
+		rec.FrontendMisses = stats.CacheFrontendMisses
+		rec.HLOHits = stats.CacheHLOHits
+		rec.HLOMisses = stats.CacheHLOMisses
+	}
+	return rec
+}
+
+// optionsFingerprint hashes the build shape — level, entry,
+// selectivity, volatile set, module names — so records with the same
+// fingerprint are comparable latency-wise. Module *text* is excluded
+// on purpose: an edit-rebuild loop keeps one fingerprint.
+func optionsFingerprint(req *BuildRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "level=%d entry=%s jobs=%d", req.Level, req.Entry, req.Jobs)
+	if req.SelectPercent != nil {
+		fmt.Fprintf(h, " select=%g", *req.SelectPercent)
+	}
+	vol := append([]string(nil), req.Volatile...)
+	sort.Strings(vol)
+	for _, v := range vol {
+		fmt.Fprintf(h, " vol=%s", v)
+	}
+	names := make([]string, len(req.Modules))
+	for i, m := range req.Modules {
+		names[i] = m.Name
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, " mod=%s", n)
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:6])
+}
+
+// recordBuild is every build's telemetry exit path: fold the per-build
+// trace's counters into the server trace (so /metrics.json keeps its
+// cumulative naim.*/session.* story), observe the histograms, remember
+// the record and trace in the bounded rings, and append to the
+// session's ledger.
+func (s *Server) recordBuild(entry *sessionEntry, rec BuildRecord, btr *obs.Trace) {
+	s.trace.MergeCounters(btr)
+	s.inst.observe(rec)
+
+	s.obsMu.Lock()
+	s.records = append(s.records, rec)
+	if over := len(s.records) - s.cfg.RecordRing; over > 0 {
+		s.records = append(s.records[:0], s.records[over:]...)
+	}
+	if btr != nil && s.cfg.TraceRing > 0 {
+		s.traces[rec.ID] = btr
+		s.traceIDs = append(s.traceIDs, rec.ID)
+		for len(s.traceIDs) > s.cfg.TraceRing {
+			delete(s.traces, s.traceIDs[0])
+			s.traceIDs = s.traceIDs[1:]
+		}
+	}
+	s.obsMu.Unlock()
+
+	if entry != nil {
+		if err := entry.ledger.Append(rec); err != nil {
+			s.inst.ledgerErr.Add(1)
+		}
+	}
+}
+
+// replayLedger folds records recovered from a session's on-disk ledger
+// back into the registry and the /builds ring, so fleet totals survive
+// a daemon restart. Traces are gone; only the numbers return.
+func (s *Server) replayLedger(records []BuildRecord) {
+	for _, rec := range records {
+		s.inst.observe(rec)
+		s.inst.replayed.Add(1)
+	}
+	s.obsMu.Lock()
+	s.records = append(s.records, records...)
+	if over := len(s.records) - s.cfg.RecordRing; over > 0 {
+		s.records = append(s.records[:0], s.records[over:]...)
+	}
+	s.obsMu.Unlock()
+}
+
+// buildRecords returns a copy of the in-memory ring, most recent
+// first, optionally capped at limit.
+func (s *Server) buildRecords(limit int) []BuildRecord {
+	s.obsMu.Lock()
+	out := make([]BuildRecord, len(s.records))
+	copy(out, s.records)
+	s.obsMu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].UnixMillis != out[j].UnixMillis {
+			return out[i].UnixMillis > out[j].UnixMillis
+		}
+		return out[i].ID > out[j].ID
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// buildRecord looks one record up by id.
+func (s *Server) buildRecord(id string) (BuildRecord, bool) {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	for i := len(s.records) - 1; i >= 0; i-- {
+		if s.records[i].ID == id {
+			return s.records[i], true
+		}
+	}
+	return BuildRecord{}, false
+}
+
+// buildTrace looks a retained per-build trace up by id.
+func (s *Server) buildTrace(id string) (*obs.Trace, bool) {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	tr, ok := s.traces[id]
+	return tr, ok
+}
+
+// buildInfo is the daemon identity block shared by /status and
+// /healthz: what binary, which Go, which process, since when.
+type buildInfo struct {
+	Version   string  `json:"version"`
+	GoVersion string  `json:"go_version"`
+	PID       int     `json:"pid"`
+	StartUnix int64   `json:"start_unix"`
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+func (s *Server) buildInfo() buildInfo {
+	return buildInfo{
+		Version:   daemonVersion(),
+		GoVersion: runtime.Version(),
+		PID:       os.Getpid(),
+		StartUnix: s.start.Unix(),
+		UptimeSec: time.Since(s.start).Seconds(),
+	}
+}
+
+// daemonVersion is the module version baked into the binary, or
+// "devel" for a plain `go build` from a working tree.
+func daemonVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	return "devel"
+}

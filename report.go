@@ -120,6 +120,12 @@ func (b *Build) TimingReport() string {
 	if other := s.TotalNanos - accounted; other > 0 {
 		fmt.Fprintf(&sb, "  %-9s %9.2f ms  %5.1f%%\n", "(other)", ms(other), pct(other))
 	}
+	// The select stage nests inside hlo, so like verify below it is an
+	// informational line rather than a phase (adding it to the loop
+	// above would double-count its time).
+	if s.SelectNanos > 0 {
+		fmt.Fprintf(&sb, "select: %.2f ms inside hlo\n", ms(s.SelectNanos))
+	}
 	// Verification nests inside the phases above (per-transform checks
 	// run under hlo, the frontend/link checks under build), so it is
 	// reported as an informational line, not a phase of its own.

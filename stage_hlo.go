@@ -34,7 +34,12 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, sess *Session, volatile
 	}
 	hopts.Incremental = sess.hloIncremental(prog, opt)
 
-	sel, err := b.runSelect(loader, opt, hsp)
+	// The whole select stage runs under one "select" span so its cost
+	// is visible both in the trace and as Stats.SelectNanos (a share
+	// of the enclosing hlo phase, not an extra phase).
+	ssp := hsp.Child("select")
+	sel, err := b.runSelect(loader, opt, ssp)
+	b.Stats.SelectNanos = ssp.End()
 	if err != nil {
 		return err
 	}

@@ -34,8 +34,9 @@ type selection struct {
 }
 
 // runSelect computes the CMO scope and records the selectivity
-// figures in the build stats.
-func (b *Build) runSelect(loader *naim.Loader, opt Options, hsp obs.Span) (*selection, error) {
+// figures in the build stats. The caller wraps it in the "select"
+// span it receives (and charges the elapsed time to SelectNanos).
+func (b *Build) runSelect(loader *naim.Loader, opt Options, ssp obs.Span) (*selection, error) {
 	if err := opt.ctxErr(); err != nil {
 		return nil, err
 	}
@@ -68,13 +69,11 @@ func (b *Build) runSelect(loader *naim.Loader, opt Options, hsp obs.Span) (*sele
 		sel.selected = scope
 		sel.extCalled, sel.extStored = b.summarizeOutOfScope(loader, scope, opt.Jobs)
 	case opt.SelectPercent >= 0 && opt.DB != nil:
-		ssp := hsp.Child("select")
 		ch := selectivity.SelectJobs(prog, func(pid il.PID) *il.Function {
 			f := loader.Function(pid)
 			loader.DoneWith(pid)
 			return f
 		}, opt.DB, opt.SelectPercent, opt.Jobs)
-		ssp.End()
 		b.Stats.TotalSites = ch.TotalSites
 		b.Stats.SelectedSites = len(ch.Sites)
 		b.Stats.CMOModules = len(ch.Modules)
