@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check checkexamples bench bins clean
+.PHONY: all build vet lint test race check checkexamples bench bins clean
 
 all: check
 
@@ -13,11 +13,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The tier-1 gate: everything must build, vet clean, pass the full
-# suite with the race detector on (internal/obs and the Jobs>1 paths
-# are exercised concurrently), and the example programs must verify
-# clean under cmocheck.
-check: vet build race checkexamples
+# Repository invariant linters (internal/lint via cmd/cmolint), plus
+# staticcheck when the host has it — the CI lint job installs a pinned
+# version; locally it is optional, so its absence is not a failure.
+lint:
+	$(GO) run ./cmd/cmolint .
+	@if command -v staticcheck > /dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
+
+# The tier-1 gate: everything must build, vet and lint clean, pass the
+# full suite with the race detector on (internal/obs and the Jobs>1
+# paths are exercised concurrently), and the example programs must
+# verify clean under cmocheck.
+check: vet lint build race checkexamples
 
 # Run the standalone whole-program checker over every example program.
 checkexamples:

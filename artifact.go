@@ -38,11 +38,11 @@ type frontendArtifact struct {
 
 type artWriter struct{ b []byte }
 
-func (w *artWriter) u(v uint64)      { w.b = binary.AppendUvarint(w.b, v) }
-func (w *artWriter) i(v int64)       { w.b = binary.AppendVarint(w.b, v) }
-func (w *artWriter) byte(v byte)     { w.b = append(w.b, v) }
-func (w *artWriter) str(s string)    { w.u(uint64(len(s))); w.b = append(w.b, s...) }
-func (w *artWriter) blob(b []byte)   { w.u(uint64(len(b))); w.b = append(w.b, b...) }
+func (w *artWriter) u(v uint64)    { w.b = binary.AppendUvarint(w.b, v) }
+func (w *artWriter) i(v int64)     { w.b = binary.AppendVarint(w.b, v) }
+func (w *artWriter) byte(v byte)   { w.b = append(w.b, v) }
+func (w *artWriter) str(s string)  { w.u(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *artWriter) blob(b []byte) { w.u(uint64(len(b))); w.b = append(w.b, b...) }
 func (w *artWriter) sig(s il.Signature) {
 	w.byte(byte(s.Ret))
 	w.u(uint64(len(s.Params)))

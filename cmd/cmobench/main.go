@@ -3,7 +3,7 @@
 // time/space dial), Figure 6 (the selectivity sweep), the section-8
 // memory-per-line history, and the design-decision ablations.
 //
-//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|all]
+//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|ipa|all]
 //	         [-o report.txt] [-metrics metrics.json] [-json BENCH_*.json] [-v]
 //
 // -metrics aggregates spans and counters across every build the
@@ -15,7 +15,8 @@
 // and writes its speedup record to the given file (conventionally
 // BENCH_parallel.json), so the parallelism trajectory is tracked
 // commit over commit. With -fig incremental it instead writes the
-// cold-vs-warm rebuild record (conventionally BENCH_incremental.json).
+// cold-vs-warm rebuild record (conventionally BENCH_incremental.json),
+// and with -fig ipa the MOD/REF ablation record (BENCH_ipa.json).
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (module-count multiplier)")
-	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, all")
+	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, ipa, all")
 	out := flag.String("o", "", "write the report to a file as well as stdout")
 	metrics := flag.String("metrics", "", "write an aggregated metrics JSON snapshot (spans + counters) to this file")
 	benchJSON := flag.String("json", "", "run the Jobs sweep and write its speedup record (BENCH_parallel.json) to this file")
@@ -89,7 +90,7 @@ func main() {
 		}
 		emit(experiments.RenderHistory(rows))
 	}
-	if want("parallel") || (*benchJSON != "" && *fig != "incremental") {
+	if want("parallel") || (*benchJSON != "" && *fig != "incremental" && *fig != "ipa") {
 		rec, err := experiments.Parallel(cfg)
 		if err != nil {
 			fatalf("parallel: %v", err)
@@ -112,6 +113,18 @@ func main() {
 		if *benchJSON != "" && *fig == "incremental" {
 			writeJSON(*benchJSON, func(w io.Writer) error {
 				return experiments.WriteIncrementalJSON(w, rec)
+			})
+		}
+	}
+	if want("ipa") {
+		rec, err := experiments.IPA(cfg)
+		if err != nil {
+			fatalf("ipa: %v", err)
+		}
+		emit(experiments.RenderIPA(rec))
+		if *benchJSON != "" && *fig == "ipa" {
+			writeJSON(*benchJSON, func(w io.Writer) error {
+				return experiments.WriteIPAJSON(w, rec)
 			})
 		}
 	}

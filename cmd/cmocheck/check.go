@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"cmo/internal/analyze"
+	"cmo/internal/il"
+	"cmo/internal/ipa"
 	"cmo/internal/lower"
 	"cmo/internal/source"
 )
@@ -20,6 +23,9 @@ type report struct {
 	Errors    int                  `json:"errors"`
 	Warnings  int                  `json:"warnings"`
 	Diags     []analyze.Diagnostic `json:"diagnostics"`
+	// IPA maps function name to its MOD/REF summary fingerprint,
+	// present only under -ipa.
+	IPA map[string]string `json:"ipa,omitempty"`
 }
 
 // run is the testable entry point; it returns the process exit code.
@@ -29,8 +35,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	levelName := fs.String("level", "interproc", "verification level: structural|dataflow|interproc")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	partial := fs.Bool("partial", false, "allow undefined externs (check a program fragment)")
+	dumpIPA := fs.Bool("ipa", false, "dump interprocedural MOD/REF summaries and audit their conservatism")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: cmocheck [-level structural|dataflow|interproc] [-json] [-partial] a.minc b.minc ...\n")
+		fmt.Fprintf(stderr, "usage: cmocheck [-level structural|dataflow|interproc] [-json] [-partial] [-ipa] a.minc b.minc ...\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -76,6 +83,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	res := analyze.Program(low.Prog, analyze.MapSource(low.Funcs), analyze.Options{Level: level})
 
+	// -ipa: summarize every defined function's transitive MOD/REF
+	// effects, then turn the audit on the analysis itself — the same
+	// conservatism checks the build pipeline applies to HLO's facts,
+	// here proving the standalone summaries sound over the unoptimized
+	// IL. Audit findings join the regular diagnostic stream.
+	var summaries map[string]string
+	if *dumpIPA {
+		src := analyze.MapSource(low.Funcs)
+		ires := ipa.Analyze(low.Prog, src, ipa.Options{})
+		stored := make(map[il.PID]bool)
+		for _, f := range low.Funcs {
+			for _, b := range f.Blocks {
+				for ii := range b.Instrs {
+					if op := b.Instrs[ii].Op; op == il.StoreG || op == il.StoreX {
+						stored[b.Instrs[ii].Sym] = true
+					}
+				}
+			}
+		}
+		res.Diags = append(res.Diags, analyze.AuditFacts(low.Prog, src, analyze.Facts{
+			Stored:    stored,
+			Summaries: ires.Summaries,
+		})...)
+		summaries = make(map[string]string, len(ires.Summaries))
+		for pid, s := range ires.Summaries {
+			summaries[low.Prog.Sym(pid).Name] = s.Fingerprint(low.Prog)
+		}
+	}
+
 	if *asJSON {
 		rep := report{
 			Level:     res.Level.String(),
@@ -83,6 +119,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Errors:    res.Errors(),
 			Warnings:  res.Warnings(),
 			Diags:     res.Diags,
+			IPA:       summaries,
 		}
 		if rep.Diags == nil {
 			rep.Diags = []analyze.Diagnostic{}
@@ -96,6 +133,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		for _, d := range res.Diags {
 			fmt.Fprintln(stdout, d.String())
+		}
+		if summaries != nil {
+			names := make([]string, 0, len(summaries))
+			for name := range summaries {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Fprintf(stdout, "ipa: %s: %s\n", name, summaries[name])
+			}
 		}
 		if res.Errors() > 0 || res.Warnings() > 0 {
 			fmt.Fprintf(stdout, "cmocheck: %d error(s), %d warning(s) at level %s\n",

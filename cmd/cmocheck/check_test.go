@@ -24,6 +24,8 @@ func TestGoldens(t *testing.T) {
 		{"fragment", []string{"-partial", "testdata/fragment.minc"}, 1},
 		{"fragment_json", []string{"-json", "-partial", "testdata/fragment.minc"}, 1},
 		{"dataflow_level", []string{"-level", "dataflow", "testdata/dirty.minc"}, 0},
+		{"ipa", []string{"-ipa", "testdata/ipa.minc"}, 0},
+		{"ipa_json", []string{"-json", "-ipa", "testdata/ipa.minc"}, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -3,14 +3,17 @@
 // internal/analyze verification tiers over the resulting IL, without
 // optimizing or linking anything.
 //
-//	cmocheck [-level structural|dataflow|interproc] [-json] [-partial] a.minc b.minc ...
+//	cmocheck [-level structural|dataflow|interproc] [-json] [-partial] [-ipa] a.minc b.minc ...
 //
 // Diagnostics are positioned (module, function, block, instruction)
 // and sorted deterministically; -json emits the same report as a
 // machine-readable document instead. -partial skips the
 // whole-program completeness check so a single module out of a larger
 // program can be checked alone (undefined externs then surface as
-// unresolved-symbol diagnostics rather than frontend errors).
+// unresolved-symbol diagnostics rather than frontend errors). -ipa
+// additionally dumps each function's interprocedural MOD/REF summary
+// (internal/ipa) and runs the facts audit over the summaries,
+// reporting any that fail conservatism.
 //
 // Exit status: 0 when no error-severity diagnostics were found, 1
 // when some were, 2 on usage or I/O errors.

@@ -1,0 +1,79 @@
+// Command cmolint runs the repository's invariant analyzers
+// (internal/lint) over Go source trees:
+//
+//	cmolint [dir ...]
+//
+// With no arguments it lints the current directory tree. Production
+// sources only: _test.go files and testdata directories are skipped —
+// tests violate the invariants deliberately (leaking a NAIM pin is
+// how the pin-leak counter is exercised), and testdata holds the lint
+// fixtures themselves.
+//
+// Findings print as file:line:col: message (analyzer). Exit status:
+// 0 clean, 1 findings, 2 usage or parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cmo/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	roots := args
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			name := d.Name()
+			if d.IsDir() {
+				// testdata is fixture territory; dot- and underscore-
+				// prefixed directories are invisible to the go tool.
+				if name == "testdata" || (path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_"))) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			files = append(files, f)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "cmolint: %v\n", err)
+			return 2
+		}
+	}
+	diags := lint.Run(fset, files, lint.All())
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

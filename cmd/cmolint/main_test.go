@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// The repository's own production sources must be lint-clean — this
+// is the same gate CI's lint job applies, kept in the test suite so
+// `go test ./...` catches a violation before a push does.
+func TestRepositoryIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{moduleRoot(t)}, &stdout, &stderr); code != 0 {
+		t.Errorf("cmolint over the repository exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// A tree seeded with a violation must fail with exit 1 and name the
+// analyzer; the lint fixtures double as the seeded tree. (The fixture
+// dir is passed directly, so the driver's own testdata skip does not
+// apply below the root.)
+func TestSeededViolationFails(t *testing.T) {
+	fixture := filepath.Join(moduleRoot(t), "internal", "lint", "testdata", "pin")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{fixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s", code, stdout.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("(pindiscipline)")) {
+		t.Errorf("findings do not name the analyzer:\n%s", stdout.String())
+	}
+}
+
+func TestBadRootExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}

@@ -171,7 +171,7 @@ func summary(base string) error {
 
 	// Stage medians, in pipeline order.
 	var stageParts []string
-	for _, stage := range []string{"frontend", "select", "hlo", "llo", "link", "verify"} {
+	for _, stage := range []string{"frontend", "select", "ipa", "hlo", "llo", "link", "verify"} {
 		bs := m.HistogramBuckets("cmod_build_stage_seconds", "stage", stage)
 		if _, count := m.SumCount("cmod_build_stage_seconds", "stage", stage); count > 0 {
 			stageParts = append(stageParts,

@@ -90,6 +90,11 @@ type Options struct {
 	// unlimited); with deterministic builds, binary search over this
 	// limit isolates a miscompiling inline (internal/isolate).
 	MaxInlines int
+	// NoIPA disables the interprocedural MOD/REF summary stage
+	// (internal/ipa) and the fact-gated HLO transforms it feeds
+	// (gforward, gdse, purecse). O4 only; the ablation knob for
+	// measuring what the summaries buy.
+	NoIPA bool
 	// Jobs parallelizes the read-mostly pipeline phases across
 	// goroutines: frontend parsing/checking, selectivity's site
 	// enumeration, out-of-scope fact summaries, per-function
@@ -195,10 +200,14 @@ type BuildStats struct {
 	// the "select" span inside the hlo phase, so it is informational:
 	// already counted within HLONanos, never added to the phase sum.
 	SelectNanos int64
-	HLONanos    int64
-	LLONanos    int64
-	LinkNanos   int64
-	TotalNanos  int64
+	// IPANanos is the interprocedural MOD/REF summary stage's share
+	// of HLONanos (the "ipa" span inside the hlo phase) — like
+	// SelectNanos, informational: already counted within HLONanos.
+	IPANanos   int64
+	HLONanos   int64
+	LLONanos   int64
+	LinkNanos  int64
+	TotalNanos int64
 	// VerifyNanos is the total time spent in whole-program
 	// verification passes (Options.Verify): the post-frontend,
 	// per-HLO-transform, facts-audit, and post-link checks. Passes

@@ -2,8 +2,10 @@ package analyze
 
 import (
 	"fmt"
+	"sort"
 
 	"cmo/internal/il"
+	"cmo/internal/ipa"
 )
 
 // Facts is the high-level optimizer's published summary of the
@@ -36,6 +38,18 @@ type Facts struct {
 	// Dead lists functions HLO proved unreachable; call sites inside
 	// them are ignored by the audit (they can never execute).
 	Dead map[il.PID]bool
+	// Summaries is the interprocedural MOD/REF and purity table
+	// (internal/ipa) HLO's fact-gated transforms consulted, nil when
+	// the ipa stage did not run. The audit proves each summary still
+	// conservative over the *post*-HLO program: every direct effect
+	// of a summarized function is inside its summary, every surviving
+	// call edge's callee summary is subsumed by the caller's (with a
+	// missing callee summary requiring the caller be Top — the decay
+	// rule for routines summarized out of scope at any SelectPercent),
+	// and the purity labels agree with the sets. These local
+	// conditions compose: if they hold on every function and edge,
+	// the transitive closure HLO optimized against is sound.
+	Summaries ipa.Summaries
 }
 
 // IPCPFact records one interprocedural constant-propagation decision:
@@ -57,7 +71,12 @@ type IPCPFact struct {
 //   - every in-scope function called from out-of-scope code must be
 //     in facts.ExternallyCalled ("facts-extern-called");
 //   - every IPCP'd parameter must still receive exactly its pinned
-//     constant at every surviving live call site ("facts-ipcp").
+//     constant at every surviving live call site ("facts-ipcp");
+//   - every published MOD/REF summary must cover the function's
+//     post-HLO direct effects ("facts-modref"), subsume its surviving
+//     callees' summaries — with unsummarized callees forcing Top
+//     ("facts-modref-edge") — and carry a purity label its sets
+//     justify ("facts-purity").
 //
 // Any error diagnostic from this audit means a selective build could
 // differ observably from a full build — the exact bug class the
@@ -76,6 +95,14 @@ func AuditFacts(prog *il.Program, src Source, facts Facts) []Diagnostic {
 		args   []il.Value
 	}
 	callSites := make(map[il.PID][]callSite)
+	// Post-HLO direct effects and surviving call edges of every
+	// summarized function, for the MOD/REF audit.
+	type effects struct {
+		mod, ref map[il.PID]bool
+		probes   bool
+		callees  []il.PID
+	}
+	derived := make(map[il.PID]*effects)
 	for _, pid := range prog.FuncPIDs() {
 		if facts.Dead[pid] {
 			continue
@@ -84,6 +111,12 @@ func AuditFacts(prog *il.Program, src Source, facts Facts) []Diagnostic {
 		if f == nil {
 			continue
 		}
+		var eff *effects
+		if facts.Summaries[pid] != nil {
+			eff = &effects{mod: make(map[il.PID]bool), ref: make(map[il.PID]bool)}
+			derived[pid] = eff
+		}
+		seenCallee := make(map[il.PID]bool)
 		for bi, b := range f.Blocks {
 			for ii := range b.Instrs {
 				in := &b.Instrs[ii]
@@ -92,6 +125,17 @@ func AuditFacts(prog *il.Program, src Source, facts Facts) []Diagnostic {
 					if _, ok := storedBy[in.Sym]; !ok {
 						storedBy[in.Sym] = pid
 					}
+					if eff != nil {
+						eff.mod[in.Sym] = true
+					}
+				case il.LoadG, il.LoadX:
+					if eff != nil {
+						eff.ref[in.Sym] = true
+					}
+				case il.Probe:
+					if eff != nil {
+						eff.probes = true
+					}
 				case il.Call:
 					if !inScope(pid) && inScope(in.Sym) {
 						if _, ok := outsideCaller[in.Sym]; !ok {
@@ -99,6 +143,10 @@ func AuditFacts(prog *il.Program, src Source, facts Facts) []Diagnostic {
 						}
 					}
 					callSites[in.Sym] = append(callSites[in.Sym], callSite{pid, bi, ii, in.Args})
+					if eff != nil && !seenCallee[in.Sym] {
+						seenCallee[in.Sym] = true
+						eff.callees = append(eff.callees, in.Sym)
+					}
 				}
 			}
 		}
@@ -147,6 +195,78 @@ func AuditFacts(prog *il.Program, src Source, facts Facts) []Diagnostic {
 		}
 	}
 
+	// MOD/REF summary conservatism (the ipa stage's facts). Three
+	// local checks that together imply the transitive soundness of
+	// every summary HLO optimized against:
+	//
+	//   - facts-modref: a summarized function's own post-HLO effects
+	//     must be inside its summary (HLO only moves or removes
+	//     effects, never invents them — so the pre-HLO summary must
+	//     still cover the post-HLO body);
+	//   - facts-modref-edge: for every surviving call edge, the callee
+	//     summary must be subsumed by the caller's, and a callee with
+	//     *no* summary (out of scope at this SelectPercent, or no
+	//     body) requires the caller be Top — decay must have been
+	//     total, never partial;
+	//   - facts-purity: the purity label must agree with the sets
+	//     (const ⊆ pure ⊆ anything).
+	if facts.Summaries != nil {
+		pids := make([]il.PID, 0, len(derived))
+		for pid := range derived {
+			pids = append(pids, pid)
+		}
+		sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+		for _, pid := range pids {
+			eff := derived[pid]
+			s := facts.Summaries[pid]
+			for _, g := range sortedPIDs(eff.mod) {
+				if !s.Mods(g) {
+					progDiag("facts-modref", "%s stores %s but its summary says it does not MOD it",
+						symName(prog, pid), symName(prog, g))
+				}
+			}
+			for _, g := range sortedPIDs(eff.ref) {
+				if !s.Refs(g) {
+					progDiag("facts-modref", "%s loads %s but its summary says it does not REF it",
+						symName(prog, pid), symName(prog, g))
+				}
+			}
+			if eff.probes && !s.CallsOut {
+				progDiag("facts-modref", "%s has profiling probes but its summary is not marked calls-out",
+					symName(prog, pid))
+			}
+			for _, c := range eff.callees {
+				if facts.Dead[c] {
+					continue // unreachable with the caller live; can never execute
+				}
+				cs := facts.Summaries[c]
+				if cs == nil {
+					if !s.ModTop || !s.RefTop || !s.CallsOut {
+						progDiag("facts-modref-edge", "%s calls unsummarized %s but is not summarized as Top",
+							symName(prog, pid), symName(prog, c))
+					}
+					continue
+				}
+				if !subsumes(s, cs) {
+					progDiag("facts-modref-edge", "%s's summary does not subsume callee %s's (%s vs %s)",
+						symName(prog, pid), symName(prog, c), s.Fingerprint(prog), cs.Fingerprint(prog))
+				}
+			}
+			switch s.Purity {
+			case ipa.Const:
+				if s.CallsOut || s.ModTop || s.RefTop || len(s.Mod) > 0 || len(s.Ref) > 0 {
+					progDiag("facts-purity", "%s is marked const but its summary has effects (%s)",
+						symName(prog, pid), s.Fingerprint(prog))
+				}
+			case ipa.Pure:
+				if s.CallsOut || s.ModTop || len(s.Mod) > 0 {
+					progDiag("facts-purity", "%s is marked pure but its summary writes (%s)",
+						symName(prog, pid), s.Fingerprint(prog))
+				}
+			}
+		}
+	}
+
 	// IPCP decisions: every surviving live call site must still agree.
 	for _, fact := range facts.IPCP {
 		for _, site := range callSites[fact.Fn] {
@@ -166,4 +286,42 @@ func AuditFacts(prog *il.Program, src Source, facts Facts) []Diagnostic {
 		}
 	}
 	return out
+}
+
+// sortedPIDs returns the set's members in ascending PID order, for
+// deterministic diagnostics.
+func sortedPIDs(set map[il.PID]bool) []il.PID {
+	out := make([]il.PID, 0, len(set))
+	for pid := range set {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// subsumes reports whether the caller summary covers everything the
+// callee summary admits — the edge condition of the MOD/REF audit.
+func subsumes(caller, callee *ipa.Summary) bool {
+	if callee.CallsOut && !caller.CallsOut {
+		return false
+	}
+	if !setSubsumes(caller.Mod, caller.ModTop, callee.Mod, callee.ModTop) {
+		return false
+	}
+	return setSubsumes(caller.Ref, caller.RefTop, callee.Ref, callee.RefTop)
+}
+
+func setSubsumes(outer map[il.PID]bool, outerTop bool, inner map[il.PID]bool, innerTop bool) bool {
+	if outerTop {
+		return true
+	}
+	if innerTop {
+		return false
+	}
+	for g := range inner {
+		if !outer[g] {
+			return false
+		}
+	}
+	return true
 }

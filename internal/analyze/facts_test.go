@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cmo/internal/il"
+	"cmo/internal/ipa"
 )
 
 // factsProg builds a two-module program: app.main calls lib.work and
@@ -151,4 +152,122 @@ func TestAuditSkipsDeadFunctions(t *testing.T) {
 		t.Fatalf("dead function's effects counted:\n%v", diags)
 	}
 	_ = g
+}
+
+// modrefProg: main calls work (which loads g); outside stores g and
+// calls work. Honest summaries for the whole program.
+func honestSummaries(g, work, extPID, mainPID il.PID) ipa.Summaries {
+	return ipa.Summaries{
+		work:    {Ref: map[il.PID]bool{g: true}, Purity: ipa.Pure},
+		mainPID: {Ref: map[il.PID]bool{g: true}, Purity: ipa.Pure},
+		extPID:  {Mod: map[il.PID]bool{g: true}, Ref: map[il.PID]bool{g: true}, Purity: ipa.Neither},
+	}
+}
+
+func TestAuditAcceptsHonestSummaries(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:     scope,
+		Stored:    map[il.PID]bool{g: true},
+		Summaries: honestSummaries(g, work, extPID, mainPID),
+	})
+	if len(diags) != 0 {
+		t.Fatalf("honest summaries rejected:\n%v", diags)
+	}
+}
+
+func TestAuditFlagsLyingModSummary(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	sums := honestSummaries(g, work, extPID, mainPID)
+	sums[extPID] = &ipa.Summary{Ref: map[il.PID]bool{g: true}, Purity: ipa.Pure} // hides the store
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:     scope,
+		Stored:    map[il.PID]bool{g: true},
+		Summaries: sums,
+	})
+	auditErr(t, diags, "facts-modref", "says it does not MOD")
+}
+
+func TestAuditFlagsLyingRefSummary(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	sums := honestSummaries(g, work, extPID, mainPID)
+	sums[work] = &ipa.Summary{Purity: ipa.Const} // hides the load
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:     scope,
+		Stored:    map[il.PID]bool{g: true},
+		Summaries: sums,
+	})
+	auditErr(t, diags, "facts-modref", "says it does not REF")
+}
+
+func TestAuditFlagsUnsummarizedCalleeWithoutTopCaller(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	sums := honestSummaries(g, work, extPID, mainPID)
+	delete(sums, work) // callee decayed out of the table...
+	// ...but main's summary was not widened to Top: partial decay.
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:     scope,
+		Stored:    map[il.PID]bool{g: true},
+		Summaries: sums,
+	})
+	auditErr(t, diags, "facts-modref-edge", "not summarized as Top")
+}
+
+func TestAuditFlagsNonSubsumingEdge(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	sums := honestSummaries(g, work, extPID, mainPID)
+	// main claims no effects while its callee work reads g.
+	sums[mainPID] = &ipa.Summary{Purity: ipa.Const}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:     scope,
+		Stored:    map[il.PID]bool{g: true},
+		Summaries: sums,
+	})
+	auditErr(t, diags, "facts-modref-edge", "does not subsume callee")
+}
+
+func TestAuditFlagsLyingPurity(t *testing.T) {
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+
+	sums := honestSummaries(g, work, extPID, mainPID)
+	// Sets are honest but the label lies: a const function with a REF.
+	sums[work] = &ipa.Summary{Ref: map[il.PID]bool{g: true}, Purity: ipa.Const}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:     scope,
+		Stored:    map[il.PID]bool{g: true},
+		Summaries: sums,
+	})
+	auditErr(t, diags, "facts-purity", "marked const but")
+
+	sums = honestSummaries(g, work, extPID, mainPID)
+	// A "pure" function whose own sets admit a write.
+	sums[extPID] = &ipa.Summary{Mod: map[il.PID]bool{g: true}, Ref: map[il.PID]bool{g: true}, Purity: ipa.Pure}
+	diags = AuditFacts(pb.p, pb.fns, Facts{
+		Scope:     scope,
+		Stored:    map[il.PID]bool{g: true},
+		Summaries: sums,
+	})
+	auditErr(t, diags, "facts-purity", "marked pure but")
+}
+
+func TestAuditAcceptsTopSummaries(t *testing.T) {
+	// All-Top summaries are trivially conservative for any program.
+	pb, g, work, extPID, mainPID := factsProg()
+	scope := map[il.PID]bool{work: true, mainPID: true, extPID: true}
+	diags := AuditFacts(pb.p, pb.fns, Facts{
+		Scope:  scope,
+		Stored: map[il.PID]bool{g: true},
+		Summaries: ipa.Summaries{
+			work: ipa.Top(), mainPID: ipa.Top(), extPID: ipa.Top(),
+		},
+	})
+	if len(diags) != 0 {
+		t.Fatalf("Top summaries rejected:\n%v", diags)
+	}
 }

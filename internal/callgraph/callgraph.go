@@ -66,6 +66,34 @@ func Build(prog *il.Program, src func(il.PID) *il.Function) *Graph {
 	return g
 }
 
+// FromEdges constructs the graph from pre-collected edges instead of
+// re-reading bodies — for callers (internal/ipa) that already scanned
+// each function once and should not pull every body a second time.
+// callees lists each function's distinct callee PIDs in first-seen
+// order; sites carries per-edge static site counts (nil for none).
+// The pid slice is not copied; the maps are shared, not copied.
+func FromEdges(pids []il.PID, callees map[il.PID][]il.PID, sites map[[2]il.PID]int) *Graph {
+	g := &Graph{
+		Callees:   callees,
+		Callers:   make(map[il.PID][]il.PID),
+		SiteCount: sites,
+		PIDs:      pids,
+	}
+	if g.Callees == nil {
+		g.Callees = make(map[il.PID][]il.PID)
+	}
+	if g.SiteCount == nil {
+		g.SiteCount = make(map[[2]il.PID]int)
+	}
+	for _, pid := range pids {
+		for _, c := range g.Callees[pid] {
+			g.Callers[c] = append(g.Callers[c], pid)
+		}
+	}
+	g.computeSCC()
+	return g
+}
+
 // computeSCC runs Tarjan's algorithm iteratively (generated programs
 // can have deep call chains) over the call graph.
 func (g *Graph) computeSCC() {

@@ -250,3 +250,36 @@ func TestAblations(t *testing.T) {
 	}
 	t.Logf("\n%s", RenderAblations(rs))
 }
+
+func TestIPAAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rec, err := IPA(tiny())
+	if err != nil {
+		t.Fatalf("IPA: %v", err)
+	}
+	if len(rec.Points) != 3 {
+		t.Fatalf("got %d points, want 3 (gcc-like, vortex-like, modeps)", len(rec.Points))
+	}
+	for _, pt := range rec.Points {
+		// IPA() already fails hard on a result mismatch; re-check the
+		// recorded bit so the JSON can be trusted standalone.
+		if !pt.Identical {
+			t.Errorf("%s: ablation changed the program result", pt.Program)
+		}
+		if pt.ReductionPct < -1 {
+			t.Errorf("%s: ipa transforms made the program slower: %.2f%%", pt.Program, pt.ReductionPct)
+		}
+	}
+	// The stressing program is the acceptance bar: every transform
+	// fires and the cycles move.
+	stress := rec.Points[len(rec.Points)-1]
+	if stress.LoadsForwarded == 0 || stress.StoresKilled == 0 || stress.PureCSEs == 0 {
+		t.Errorf("modeps did not exercise every transform: %+v", stress)
+	}
+	if rec.BestReductionPct < 5 {
+		t.Errorf("best cycle reduction %.2f%% below the 5%% bar", rec.BestReductionPct)
+	}
+	t.Logf("\n%s", RenderIPA(rec))
+}

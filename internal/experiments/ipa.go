@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/workload"
+)
+
+// IPAPoint is one program measured with and without the
+// interprocedural MOD/REF stage (cmo.Options.NoIPA): the same source,
+// the same O4 pipeline, differing only in whether the summary-gated
+// transforms (gforward, gdse, purecse) are allowed to run.
+type IPAPoint struct {
+	Program string `json:"program"`
+	Modules int    `json:"modules"`
+	// WithCycles / WithoutCycles are the reference-run cycle counts.
+	WithCycles    int64 `json:"with_cycles"`
+	WithoutCycles int64 `json:"without_cycles"`
+	// ReductionPct is the percentage of cycles the stage removed
+	// (positive means ipa pays).
+	ReductionPct float64 `json:"reduction_pct"`
+	// Transform activity in the with-ipa build.
+	LoadsForwarded int `json:"loads_forwarded"`
+	StoresKilled   int `json:"stores_killed"`
+	PureCSEs       int `json:"pure_cses"`
+	// Identical records that both builds computed the same program
+	// result — the differential invariant. Any false value is a bug,
+	// not a data point.
+	Identical bool `json:"identical_result"`
+}
+
+// IPARecord is the BENCH_ipa.json payload.
+type IPARecord struct {
+	Benchmark string     `json:"benchmark"`
+	Points    []IPAPoint `json:"points"`
+	// BestReductionPct is the headline: the largest cycle reduction
+	// across the measured programs.
+	BestReductionPct float64 `json:"best_reduction_pct"`
+}
+
+// ipaStressSources is the "modeps"-style ipa-stressing program: a hot
+// loop whose body is saturated with exactly the patterns the summary
+// stage unlocks — a global load trapped behind a const call, a dead
+// global store straddling a pure call, and a repeated pure call. The
+// helpers are recursive, so the inliner cannot dissolve the call
+// sites and intraprocedural cleanup alone cannot recover any of it.
+func ipaStressSources() []cmo.SourceModule {
+	return []cmo.SourceModule{
+		{Name: "deps.minc", Text: `module deps;
+var bias int = 3;
+
+func weight(x int) int {
+	if (x < 1) { return bias; }
+	return weight(x - 1) + bias;
+}
+
+func mix(x int) int {
+	if (x < 0) { return mix(x + 1); }
+	return x * 3 - 1;
+}
+`},
+		{Name: "hot.minc", Text: `module hot;
+var acc int = 0;
+var input0 int = 0;
+extern func weight(x int) int;
+extern func mix(x int) int;
+
+func main() int {
+	var t int = 0;
+	var i int = 0;
+	while (i < input0) {
+		acc = i;
+		var a int = mix(i);
+		var b int = acc;
+		acc = t;
+		var c int = weight(6) + weight(6);
+		acc = b + a;
+		t = t + a + b + c + acc;
+		i = i + 1;
+	}
+	return t;
+}
+`},
+	}
+}
+
+// IPA measures the MOD/REF ablation: each program built at O4 with
+// and without the summary stage, run on its reference input, results
+// checked identical, cycles compared. The suite is the gcc-like and
+// vortex-like presets (the multi-module and call-heavy shapes) plus
+// the ipa-stressing program above.
+func IPA(cfg Config) (*IPARecord, error) {
+	type prog struct {
+		name    string
+		mods    []cmo.SourceModule
+		inputs  map[string]int64
+		modules int
+	}
+	var progs []prog
+	specs := SpecPrograms(cfg)
+	for _, p := range []Program{specs[2], specs[7]} { // gcc-like, vortex-like
+		progs = append(progs, prog{
+			name: p.Spec.Name, mods: sources(p.Spec),
+			inputs: refInputs(p.Spec), modules: p.Spec.Modules,
+		})
+	}
+	progs = append(progs, prog{
+		name: "modeps", mods: ipaStressSources(),
+		inputs: map[string]int64{"input0": 400}, modules: 2,
+	})
+
+	rec := &IPARecord{Benchmark: "ipa-ablation"}
+	for _, p := range progs {
+		cfg.logf("ipa: %s\n", p.name)
+		build := func(noIPA bool) (*cmo.Build, *cmo.RunResult, error) {
+			b, err := cmo.BuildSource(p.mods, cmo.Options{
+				Level: cmo.O4, SelectPercent: -1,
+				NoIPA:    noIPA,
+				Volatile: workload.InputGlobals(),
+				Trace:    cfg.Trace,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("ipa %s noipa=%t: %w", p.name, noIPA, err)
+			}
+			rr, err := b.Run(p.inputs, 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("ipa %s noipa=%t: run: %w", p.name, noIPA, err)
+			}
+			return b, rr, nil
+		}
+		with, rrWith, err := build(false)
+		if err != nil {
+			return nil, err
+		}
+		_, rrWithout, err := build(true)
+		if err != nil {
+			return nil, err
+		}
+		pt := IPAPoint{
+			Program:        p.name,
+			Modules:        p.modules,
+			WithCycles:     rrWith.Stats.Cycles,
+			WithoutCycles:  rrWithout.Stats.Cycles,
+			LoadsForwarded: with.Stats.HLO.GLoadsForwarded,
+			StoresKilled:   with.Stats.HLO.GStoresKilled,
+			PureCSEs:       with.Stats.HLO.PureCSEs,
+			Identical:      rrWith.Value == rrWithout.Value,
+		}
+		if rrWithout.Stats.Cycles > 0 {
+			pt.ReductionPct = 100 * float64(rrWithout.Stats.Cycles-rrWith.Stats.Cycles) /
+				float64(rrWithout.Stats.Cycles)
+		}
+		if !pt.Identical {
+			return nil, fmt.Errorf("ipa %s: ablation changed the program result: %d vs %d",
+				p.name, rrWith.Value, rrWithout.Value)
+		}
+		if pt.ReductionPct > rec.BestReductionPct {
+			rec.BestReductionPct = pt.ReductionPct
+		}
+		rec.Points = append(rec.Points, pt)
+	}
+	return rec, nil
+}
+
+// RenderIPA formats the ablation as the report table.
+func RenderIPA(rec *IPARecord) string {
+	var sb strings.Builder
+	sb.WriteString("Interprocedural MOD/REF ablation (O4 vs O4 -noipa, reference input)\n")
+	fmt.Fprintf(&sb, "%-10s %8s %14s %14s %10s %6s %6s %6s\n",
+		"program", "modules", "with-cycles", "without", "saved", "fwd", "dse", "cse")
+	for _, pt := range rec.Points {
+		fmt.Fprintf(&sb, "%-10s %8d %14d %14d %9.2f%% %6d %6d %6d\n",
+			pt.Program, pt.Modules, pt.WithCycles, pt.WithoutCycles,
+			pt.ReductionPct, pt.LoadsForwarded, pt.StoresKilled, pt.PureCSEs)
+	}
+	return sb.String()
+}
+
+// WriteIPAJSON writes the BENCH_ipa.json record.
+func WriteIPAJSON(w io.Writer, rec *IPARecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

@@ -232,6 +232,14 @@ func (p *pass) makeClone(installer Installer, callee il.PID, sig constSig, group
 	p.scope[pid] = true
 	p.sccOf[pid] = p.sccOf[callee]
 	p.size[pid] = clone.NumInstrs()
+	if p.summaries != nil {
+		// The clone is the original specialized to constant parameters,
+		// so its effects are a subset of the original's — the original's
+		// summary is a sound (if slightly wide) summary for it.
+		if s := p.summaries[callee]; s != nil {
+			p.summaries[pid] = s
+		}
+	}
 	p.src.DoneWith(pid)
 
 	redirected := 0

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cmo/internal/il"
+	"cmo/internal/ipa"
 	"cmo/internal/obs"
 	"cmo/internal/profile"
 	"cmo/internal/xform"
@@ -104,6 +105,16 @@ type Options struct {
 	// Volatile marks globals whose values are supplied externally
 	// (program inputs); they are never treated as link-time constants.
 	Volatile map[il.PID]bool
+	// Summaries, when non-nil, supplies the interprocedural MOD/REF
+	// and purity summaries (internal/ipa) and enables the fact-gated
+	// transforms that consult them: global-load forwarding across
+	// calls that provably don't MOD the global ("gforward"), dead
+	// global-store elimination across non-REF calls ("gdse"), and CSE
+	// of const/pure calls ("purecse"). A callee with no summary is
+	// treated as Top — it may do anything — so a partial table is
+	// always safe. Clones made mid-run inherit their original's
+	// summary (a specialization's effects are a subset).
+	Summaries ipa.Summaries
 	// Entry is the program entry function name (default "main").
 	Entry string
 	// AllowNoEntry permits optimizing a program fragment with no
@@ -164,6 +175,10 @@ type Stats struct {
 	Unrolled      int // functions in which loops were fully unrolled
 	CrossModule   int // inlines whose caller and callee differ in module
 	InlinedInstrs int
+	// Outcome of the ipa-gated transforms (runs with Options.Summaries).
+	GLoadsForwarded int // LoadG replaced by a known value ("gforward")
+	GStoresKilled   int // dead StoreG removed ("gdse")
+	PureCSEs        int // duplicate const/pure calls reused ("purecse")
 	// Incremental replay outcome (runs with Options.Incremental): how
 	// many per-function transform stages were replayed from cached
 	// records versus recomputed live.
@@ -220,6 +235,11 @@ type Facts struct {
 	IPCP []IPCPFact
 	// Dead is Result.Dead as a set.
 	Dead map[il.PID]bool
+	// Summaries is the MOD/REF table the ipa-gated transforms
+	// consulted, including entries copied onto clones made mid-run
+	// (nil when the run had no summaries). The audit proves each
+	// entry conservative over a full post-HLO rescan.
+	Summaries ipa.Summaries
 }
 
 // IPCPFact records one interprocedural constant-propagation decision:
@@ -257,6 +277,14 @@ type pass struct {
 	siteFreqs map[profile.SiteKey]int64
 	promoted  map[il.PID]bool // globals promoted to constants
 	ipcpFacts []IPCPFact
+
+	// ipa-gated transform state (nil/empty when Options.Summaries is
+	// nil). summaries is a private copy so clone entries added mid-run
+	// never mutate the caller's table.
+	summaries   ipa.Summaries
+	ipaReplayed map[il.PID]bool      // functions satisfied from a replay record
+	ipaKeys     map[il.PID][2]string // preHash, factsFP captured before gforward
+	ipaDeltas   map[il.PID]*ipaOutcome
 }
 
 // Optimize runs the full HLO pipeline over the program.
@@ -308,6 +336,12 @@ func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
 	if opts.DB != nil {
 		for k, v := range opts.DB.Sites {
 			p.siteFreqs[k] = v
+		}
+	}
+	if opts.Summaries != nil {
+		p.summaries = make(ipa.Summaries, len(opts.Summaries))
+		for pid, s := range opts.Summaries {
+			p.summaries[pid] = s
 		}
 	}
 
@@ -365,6 +399,31 @@ func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
 	if err := check("ipcp"); err != nil {
 		return nil, err
 	}
+	if p.summaries != nil {
+		// The ipa-gated transforms: each is a named transform of its
+		// own so a verification failure names the one that broke the
+		// invariant. All three share one replay record per function
+		// (the first stage replays it, the last stores it), so the
+		// loops skip functions already satisfied from the cache.
+		for _, stage := range []struct {
+			name string
+			run  func()
+		}{
+			{"gforward", p.ipaForwardAll},
+			{"gdse", p.ipaDSEAll},
+			{"purecse", p.ipaCSEAll},
+		} {
+			sp = opts.Span.Child(stage.name)
+			stage.run()
+			sp.End()
+			if p.cancelErr != nil {
+				return nil, p.cancelErr
+			}
+			if err := check(stage.name); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if entryPID != il.NoPID {
 		sp = opts.Span.Child("dce")
 		p.deadFunctions(entryPID)
@@ -384,6 +443,7 @@ func Optimize(prog *il.Program, src FuncSource, opts Options) (*Result, error) {
 		Promoted:         p.promoted,
 		IPCP:             p.ipcpFacts,
 		Dead:             make(map[il.PID]bool, len(p.res.Dead)),
+		Summaries:        p.summaries,
 	}
 	for _, pid := range p.res.Dead {
 		p.res.Facts.Dead[pid] = true

@@ -63,7 +63,7 @@ type Incremental struct {
 }
 
 const (
-	inlineRecMagic   = 0xC1
+	inlineRecMagic    = 0xC1
 	interprocRecMagic = 0xC2
 )
 

@@ -1,0 +1,358 @@
+package hlo
+
+import (
+	"testing"
+
+	"cmo/internal/il"
+	"cmo/internal/ipa"
+)
+
+// ipaPass builds the minimal pass state the ipa-gated transform
+// bodies need: program, options, and a summary table.
+func ipaPass(prog *il.Program, sums ipa.Summaries, volatiles map[il.PID]bool) *pass {
+	return &pass{
+		prog:      prog,
+		opts:      Options{Volatile: volatiles},
+		res:       &Result{},
+		size:      map[il.PID]int{},
+		summaries: sums,
+	}
+}
+
+// ipaProg hand-assembles a program with two globals and three callees
+// whose summaries span the purity lattice: a const function, a pure
+// reader of g, and a writer of g.
+type ipaProg struct {
+	prog                *il.Program
+	g, h                il.PID
+	constFn, pureFn, wg il.PID
+	sums                ipa.Summaries
+}
+
+func newIPAProg() *ipaProg {
+	p := il.NewProgram()
+	m := p.AddModule("m")
+	def := func(name string, kind il.SymKind) il.PID {
+		pid, _ := p.Intern(name, kind)
+		s := p.Sym(pid)
+		s.Module = m.Index
+		if kind == il.SymFunc {
+			s.Sig = il.Signature{Ret: il.I64, Params: []il.Type{il.I64}}
+		} else {
+			s.Type = il.I64
+		}
+		m.Defs = append(m.Defs, pid)
+		return pid
+	}
+	ip := &ipaProg{prog: p}
+	ip.g = def("g", il.SymGlobal)
+	ip.h = def("h", il.SymGlobal)
+	ip.constFn = def("cf", il.SymFunc)
+	ip.pureFn = def("pf", il.SymFunc)
+	ip.wg = def("wg", il.SymFunc)
+	ip.sums = ipa.Summaries{
+		ip.constFn: {Purity: ipa.Const},
+		ip.pureFn:  {Ref: map[il.PID]bool{ip.g: true}, Purity: ipa.Pure},
+		ip.wg:      {Mod: map[il.PID]bool{ip.g: true}, Purity: ipa.Neither},
+	}
+	return ip
+}
+
+func oneBlock(instrs ...il.Instr) *il.Function {
+	return &il.Function{Name: "t", NRegs: 16, Ret: il.I64,
+		Blocks: []*il.Block{{Instrs: instrs, T: -1, F: -1}}}
+}
+
+func TestForwardGlobalsAcrossNonModCall(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(5)},
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.constFn, Args: []il.Value{il.ConstVal(0)}},
+		il.Instr{Op: il.LoadG, Dst: 2, Sym: ip.g},
+		il.Instr{Op: il.Ret, A: il.RegVal(2)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.forwardGlobals(f); n != 1 {
+		t.Fatalf("forwarded %d loads, want 1", n)
+	}
+	in := f.Blocks[0].Instrs[2]
+	if in.Op != il.Const || !in.A.IsConst || in.A.Const != 5 {
+		t.Errorf("load not forwarded to Const 5: %+v", in)
+	}
+}
+
+func TestForwardGlobalsKilledByModCall(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(5)},
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.wg, Args: []il.Value{il.ConstVal(0)}},
+		il.Instr{Op: il.LoadG, Dst: 2, Sym: ip.g},
+		il.Instr{Op: il.Ret, A: il.RegVal(2)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.forwardGlobals(f); n != 0 {
+		t.Fatalf("forwarded %d loads across a MOD call, want 0", n)
+	}
+}
+
+func TestForwardGlobalsUnsummarizedCalleeIsTop(t *testing.T) {
+	ip := newIPAProg()
+	unknown, _ := ip.prog.Intern("mystery", il.SymFunc)
+	f := oneBlock(
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(5)},
+		il.Instr{Op: il.Call, Dst: 1, Sym: unknown, Args: []il.Value{il.ConstVal(0)}},
+		il.Instr{Op: il.LoadG, Dst: 2, Sym: ip.g},
+		il.Instr{Op: il.Ret, A: il.RegVal(2)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.forwardGlobals(f); n != 0 {
+		t.Fatalf("forwarded %d loads across an unsummarized call, want 0", n)
+	}
+}
+
+func TestForwardGlobalsVolatileNeverTracked(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(5)},
+		il.Instr{Op: il.LoadG, Dst: 2, Sym: ip.g},
+		il.Instr{Op: il.Ret, A: il.RegVal(2)},
+	)
+	p := ipaPass(ip.prog, ip.sums, map[il.PID]bool{ip.g: true})
+	if n := p.forwardGlobals(f); n != 0 {
+		t.Fatalf("forwarded %d volatile loads, want 0", n)
+	}
+}
+
+func TestForwardGlobalsRegisterRedefinition(t *testing.T) {
+	// The forwarded value lives in a register that is then redefined:
+	// the entry must die with it.
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.LoadG, Dst: 2, Sym: ip.g},
+		il.Instr{Op: il.Const, Dst: 2, A: il.ConstVal(9)}, // clobbers r2
+		il.Instr{Op: il.LoadG, Dst: 3, Sym: ip.g},         // must NOT copy r2
+		il.Instr{Op: il.Ret, A: il.RegVal(3)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.forwardGlobals(f); n != 0 {
+		t.Fatalf("forwarded %d loads from a clobbered register, want 0", n)
+	}
+}
+
+func TestDeadGlobalStoresAcrossNonRefCall(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(1)},
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.constFn, Args: []il.Value{il.ConstVal(0)}},
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(2)},
+		il.Instr{Op: il.Ret, A: il.ConstVal(0)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.deadGlobalStores(f); n != 1 {
+		t.Fatalf("killed %d stores, want 1", n)
+	}
+	if f.Blocks[0].Instrs[0].Op != il.Nop {
+		t.Errorf("overwritten store not Nopped: %+v", f.Blocks[0].Instrs[0])
+	}
+	if f.Blocks[0].Instrs[2].Op != il.StoreG {
+		t.Errorf("surviving store clobbered: %+v", f.Blocks[0].Instrs[2])
+	}
+}
+
+func TestDeadGlobalStoresKeptAcrossRefCall(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(1)},
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.pureFn, Args: []il.Value{il.ConstVal(0)}},
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(2)},
+		il.Instr{Op: il.Ret, A: il.ConstVal(0)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.deadGlobalStores(f); n != 0 {
+		t.Fatalf("killed %d stores the pure callee reads, want 0", n)
+	}
+}
+
+func TestDeadGlobalStoresLastStoreSurvivesBlock(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(1)},
+		il.Instr{Op: il.Ret, A: il.ConstVal(0)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.deadGlobalStores(f); n != 0 {
+		t.Fatalf("killed %d end-of-block stores, want 0 (successors may read)", n)
+	}
+}
+
+func TestPureCSEConstCall(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.constFn, Args: []il.Value{il.ConstVal(7)}},
+		il.Instr{Op: il.StoreG, Sym: ip.h, A: il.RegVal(1)}, // const entries survive stores
+		il.Instr{Op: il.Call, Dst: 2, Sym: ip.constFn, Args: []il.Value{il.ConstVal(7)}},
+		il.Instr{Op: il.Ret, A: il.RegVal(2)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.cseConstPureCalls(f); n != 1 {
+		t.Fatalf("reused %d const calls, want 1", n)
+	}
+	in := f.Blocks[0].Instrs[2]
+	if in.Op != il.Copy || in.A.IsConst || in.A.Reg != 1 {
+		t.Errorf("duplicate const call not rewritten to Copy r1: %+v", in)
+	}
+}
+
+func TestPureCSEPureCallInvalidatedByStore(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.pureFn, Args: []il.Value{il.ConstVal(7)}},
+		il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(0)}, // changes what pf reads
+		il.Instr{Op: il.Call, Dst: 2, Sym: ip.pureFn, Args: []il.Value{il.ConstVal(7)}},
+		il.Instr{Op: il.Ret, A: il.RegVal(2)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.cseConstPureCalls(f); n != 0 {
+		t.Fatalf("reused %d pure calls across a store, want 0", n)
+	}
+}
+
+func TestPureCSEPureCallReusedWhenNothingWrites(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.pureFn, Args: []il.Value{il.ConstVal(7)}},
+		il.Instr{Op: il.Call, Dst: 2, Sym: ip.constFn, Args: []il.Value{il.RegVal(1)}}, // const call: no writes
+		il.Instr{Op: il.Call, Dst: 3, Sym: ip.pureFn, Args: []il.Value{il.ConstVal(7)}},
+		il.Instr{Op: il.Ret, A: il.RegVal(3)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.cseConstPureCalls(f); n != 1 {
+		t.Fatalf("reused %d pure calls, want 1", n)
+	}
+}
+
+func TestPureCSEDifferentArgsNotReused(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.constFn, Args: []il.Value{il.ConstVal(7)}},
+		il.Instr{Op: il.Call, Dst: 2, Sym: ip.constFn, Args: []il.Value{il.ConstVal(8)}},
+		il.Instr{Op: il.Ret, A: il.RegVal(2)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.cseConstPureCalls(f); n != 0 {
+		t.Fatalf("reused %d calls with distinct args, want 0", n)
+	}
+}
+
+func TestPureCSEArgRedefinitionInvalidates(t *testing.T) {
+	ip := newIPAProg()
+	f := oneBlock(
+		il.Instr{Op: il.Const, Dst: 4, A: il.ConstVal(7)},
+		il.Instr{Op: il.Call, Dst: 1, Sym: ip.constFn, Args: []il.Value{il.RegVal(4)}},
+		il.Instr{Op: il.Const, Dst: 4, A: il.ConstVal(8)}, // r4 now holds a new value
+		il.Instr{Op: il.Call, Dst: 2, Sym: ip.constFn, Args: []il.Value{il.RegVal(4)}},
+		il.Instr{Op: il.Ret, A: il.RegVal(2)},
+	)
+	p := ipaPass(ip.prog, ip.sums, nil)
+	if n := p.cseConstPureCalls(f); n != 0 {
+		t.Fatalf("reused %d calls whose register operand changed, want 0", n)
+	}
+}
+
+// End-to-end: a MinC program whose only cross-call redundancy needs
+// the summaries. The optimize helper asserts the interpreted result
+// is unchanged; the stats prove the ipa transforms fired.
+func TestIPATransformsEndToEnd(t *testing.T) {
+	prog, fns := build(t, `
+module m;
+var acc int = 0;
+var bias int = 3;
+
+func pureScale(x int) int {
+	return x * bias;
+}
+
+func main() int {
+	acc = 10;
+	var a int = pureScale(2);
+	var b int = acc;
+	acc = 1;
+	acc = a + b + pureScale(2);
+	return acc;
+}
+`)
+	sums := ipa.Analyze(prog, MapSource(fns), ipa.Options{}).Summaries
+	_, res := optimize(t, prog, fns, Options{Summaries: sums})
+	s := res.Stats
+	if s.GLoadsForwarded+s.GStoresKilled+s.PureCSEs == 0 {
+		t.Errorf("no ipa transform fired: %+v", s)
+	}
+}
+
+// FuzzCalleeTamper drives the replay-invalidation property: whenever
+// a tampered callee body changes the callee's summary fingerprint,
+// the caller's ipaFactsFP — the string inside its replay key — must
+// change too, so a warm rebuild cannot reuse transforms computed
+// against the old side effects.
+func FuzzCalleeTamper(f *testing.F) {
+	f.Add(uint8(0), uint8(0), int64(1))
+	f.Add(uint8(1), uint8(1), int64(2))
+	f.Add(uint8(2), uint8(0), int64(3))
+	f.Add(uint8(3), uint8(1), int64(-4))
+	f.Fuzz(func(t *testing.T, opSel, gSel uint8, val int64) {
+		ip := newIPAProg()
+		callee := ip.pureFn
+		calleeBody := oneBlock(
+			il.Instr{Op: il.LoadG, Dst: 1, Sym: ip.g},
+			il.Instr{Op: il.Ret, A: il.RegVal(1)},
+		)
+		calleeBody.Name, calleeBody.PID, calleeBody.NParams = "pf", callee, 1
+		caller := oneBlock(
+			il.Instr{Op: il.StoreG, Sym: ip.g, A: il.ConstVal(5)},
+			il.Instr{Op: il.Call, Dst: 1, Sym: callee, Args: []il.Value{il.ConstVal(0)}},
+			il.Instr{Op: il.LoadG, Dst: 2, Sym: ip.g},
+			il.Instr{Op: il.Ret, A: il.RegVal(2)},
+		)
+		fns := map[il.PID]*il.Function{callee: calleeBody}
+		summarize := func() ipa.Summaries {
+			return ipa.Analyze(ip.prog, MapSource(fns), ipa.Options{}).Summaries
+		}
+		before := summarize()
+		fpBefore := ipaPass(ip.prog, before, nil).ipaFactsFP(caller)
+
+		// Tamper: insert one effectful instruction into the callee.
+		g := ip.g
+		if gSel%2 == 1 {
+			g = ip.h
+		}
+		var tamper il.Instr
+		switch opSel % 4 {
+		case 0:
+			tamper = il.Instr{Op: il.StoreG, Sym: g, A: il.ConstVal(val)}
+		case 1:
+			tamper = il.Instr{Op: il.LoadG, Dst: 2, Sym: g}
+		case 2:
+			tamper = il.Instr{Op: il.Probe, Sym: 0}
+		case 3:
+			// Effect-free tampering: the summary must NOT change, and
+			// the facts fingerprint must not either (the body hash key
+			// component covers body edits).
+			tamper = il.Instr{Op: il.Const, Dst: 3, A: il.ConstVal(val)}
+		}
+		instrs := calleeBody.Blocks[0].Instrs
+		calleeBody.Blocks[0].Instrs = append([]il.Instr{tamper}, instrs...)
+
+		after := summarize()
+		fpAfter := ipaPass(ip.prog, after, nil).ipaFactsFP(caller)
+
+		sumChanged := before[callee].Fingerprint(ip.prog) != after[callee].Fingerprint(ip.prog)
+		fpChanged := fpBefore != fpAfter
+		if sumChanged != fpChanged {
+			t.Fatalf("callee summary changed=%v but caller facts changed=%v\nbefore: %q\nafter:  %q",
+				sumChanged, fpChanged, fpBefore, fpAfter)
+		}
+		if opSel%4 == 0 && !fpChanged {
+			t.Fatalf("a new store to %s left the caller's replay facts unchanged: %q", ip.prog.Sym(g).Name, fpBefore)
+		}
+	})
+}

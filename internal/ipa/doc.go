@@ -1,0 +1,44 @@
+// Package ipa is the summary-based interprocedural side-effect
+// analysis sitting between selectivity and HLO: for every function in
+// the optimization scope it computes the sets of globals the function
+// (transitively) reads and writes — the classic MOD/REF sets — plus a
+// purity classification and a may-call-out-of-scope bit, in the style
+// of GCC's link-time ipa-reference and ipa-pure-const passes.
+//
+// The analysis is deliberately small and summary-shaped:
+//
+//   - One scan pulls each in-scope body once (pin discipline: Function
+//     then DoneWith) and records its direct effects — LoadG/LoadX into
+//     REF, StoreG/StoreX into MOD, Probe as an out-of-model effect —
+//     and its distinct call edges.
+//   - The edges feed internal/callgraph (FromEdges), and summaries are
+//     propagated callee-to-caller in bottom-up SCC order with a union
+//     fixpoint inside each SCC, so mutual recursion converges.
+//   - Any call edge leaving the analyzed world — a callee outside the
+//     scope, a callee with no body, a Probe — conservatively widens
+//     the caller to Top: MOD = REF = everything, CallsOut set. The
+//     same widening caps runaway set growth (Options.MaxSet).
+//
+// A summary is therefore a conservative over-approximation of the
+// function's transitive effects at the moment of analysis, and it
+// stays one under every HLO transform: inlining and unrolling only
+// copy effects the transitive summary already contained, constant
+// promotion and the ipa-gated transforms only remove them, and a
+// clone inherits its original's summary (a specialization's effects
+// are a subset). internal/analyze's AuditFacts re-derives ground
+// truth after HLO and proves exactly this containment.
+//
+// Purity is derived from the final sets: a Const function touches no
+// global state at all and may be CSE'd freely; a Pure function may
+// read globals but writes nothing, so duplicate calls between writes
+// compute the same value. Both may still trap (Div, LoadX out of
+// bounds), which is why HLO only ever replaces a *later* duplicate
+// call with the earlier call's result — execution reaches the
+// duplicate only if the first call completed.
+//
+// Summaries are canonically fingerprintable (Summary.Fingerprint is
+// PID-free, built from symbol names) so HLO's replay records can key
+// on the callee summaries a transform consulted: a warm rebuild
+// replays only while every consulted summary is unchanged, and an
+// edit to a callee's side effects invalidates exactly its dependents.
+package ipa

@@ -1,0 +1,132 @@
+// Package lint is a small stdlib-only analysis framework — the shape
+// of golang.org/x/tools/go/analysis without the dependency — carrying
+// this repository's own invariant checkers. The toolchain image has
+// no module proxy access, so the framework works on bare syntax
+// (go/ast + go/parser, no type information): every analyzer here is a
+// syntactic heuristic, tuned so the real APIs it polices (the NAIM
+// pin protocol, the internal/obs naming conventions) are matched
+// without false positives on this codebase.
+//
+// An Analyzer inspects one parsed file at a time and reports
+// positioned findings through its Pass. The cmd/cmolint driver runs
+// every analyzer over the repository's production sources (testdata
+// and _test.go files are excluded: fixtures and tests violate the
+// invariants on purpose — leaking a pin is how the pin-leak counter
+// is tested). The linttest subpackage runs analyzers over fixture
+// files annotated with `// want "regexp"` comments, the analysistest
+// convention.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a resolved position and a message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one file through one analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	File *ast.File
+
+	analyzer string
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All is the repository's analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{PinDiscipline, ObsNames}
+}
+
+// Run applies every analyzer to every file and returns the findings
+// sorted by position (file, line, column) then analyzer name.
+func Run(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, a := range analyzers {
+			p := &Pass{
+				Fset:     fset,
+				File:     f,
+				analyzer: a.Name,
+				report:   func(d Diagnostic) { out = append(out, d) },
+			}
+			a.Run(p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// receiverText renders the receiver expression of a selector call
+// (`loader` in loader.Function(pid), `p.src` in p.src.DoneWith(pid))
+// as stable source text, or "" when the expression is something the
+// syntactic matcher cannot name reliably (an index expression, a call
+// result, ...).
+func receiverText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := receiverText(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return receiverText(x.X)
+	}
+	return ""
+}
+
+// selectorCall decomposes a call of the shape recv.Method(args...),
+// returning ok=false for anything else.
+func selectorCall(n ast.Node) (recv string, method string, call *ast.CallExpr, ok bool) {
+	c, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return "", "", nil, false
+	}
+	sel, isSel := c.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", nil, false
+	}
+	return receiverText(sel.X), sel.Sel.Name, c, true
+}

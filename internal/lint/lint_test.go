@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"cmo/internal/lint"
+	"cmo/internal/lint/linttest"
+)
+
+// Each analyzer must catch exactly the violations its fixture seeds —
+// no more (false positives on the clean shapes) and no fewer.
+
+func TestPinDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/pin", lint.PinDiscipline)
+}
+
+func TestObsNames(t *testing.T) {
+	linttest.Run(t, "testdata/obs", lint.ObsNames)
+}
+
+// The full suite over a fixture directory must only produce each
+// analyzer's own findings — the pin fixture is obs-clean and vice
+// versa.
+func TestSuiteCrossClean(t *testing.T) {
+	linttest.Run(t, "testdata/pin", lint.All()...)
+	linttest.Run(t, "testdata/obs", lint.All()...)
+}

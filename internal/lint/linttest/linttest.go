@@ -1,0 +1,114 @@
+// Package linttest runs lint analyzers over fixture directories, the
+// way golang.org/x/tools/go/analysis/analysistest does: each fixture
+// file annotates the lines where findings are expected with
+//
+//	expr // want "regexp"
+//
+// comments, and the runner fails on findings without a matching
+// expectation and on expectations no finding matched. Fixtures live
+// under testdata, so the go tool never builds them and they are free
+// to violate the invariants being tested.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"cmo/internal/lint"
+)
+
+// TB is the subset of *testing.T the runner needs; an interface so
+// this package does not import testing into non-test builds.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantRE extracts the quoted pattern of one want comment; both
+// forms analysistest accepts — `// want "pat"` and "// want `pat`" —
+// are recognized.
+var wantRE = regexp.MustCompile("// want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one `// want` annotation: a pattern anchored to a
+// file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run parses every .go file in dir, applies the analyzers, and checks
+// the findings against the fixtures' want annotations.
+func Run(t TB, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					src := m[1]
+					if m[2] != "" {
+						src = m[2]
+					}
+					pat, err := regexp.Compile(src)
+					if err != nil {
+						t.Fatalf("linttest: %s: bad want pattern %q: %v", path, src, err)
+					}
+					wants = append(wants, &expectation{
+						file:    path,
+						line:    fset.Position(c.Pos()).Line,
+						pattern: pat,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+
+	for _, d := range lint.Run(fset, files, analyzers) {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

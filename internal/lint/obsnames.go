@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// ObsNames enforces the internal/obs naming conventions (see the
+// "Naming conventions" section of internal/obs/doc.go) on every name
+// passed as a string literal:
+//
+//   - span names (Span.Child, Span.ChildDetail, Trace.StartSpan) are
+//     stable aggregation identities: short lower-case words separated
+//     by single spaces, never dotted, never carrying per-instance
+//     data — that goes in ChildDetail's detail argument;
+//   - trace counter names are dotted subsystem.measure paths
+//     (naim.cache_hits, session.frontend_hits); a registry counter
+//     accessed through the same method name instead carries a full
+//     Prometheus series name (cmod_*_total);
+//   - registry series (Registry.Histogram, Registry.Gauge, SetHelp,
+//     obs.LabeledName families) follow Prometheus conventions: a full
+//     metric name under the cmod_ product prefix.
+//
+// Only literal names are checked — a name built at runtime is
+// invisible to a syntactic pass — which matches the conventions'
+// intent: these names are supposed to be literals, so exporters stay
+// diffable across builds.
+var ObsNames = &Analyzer{
+	Name: "obsnames",
+	Doc:  "span, counter, and metric name literals follow the internal/obs conventions",
+	Run:  runObsNames,
+}
+
+var (
+	// "hlo", "naim compact", "ipa propagate" — words of
+	// [a-z0-9_-], single spaces, leading letter.
+	spanNameRE = regexp.MustCompile(`^[a-z][a-z0-9_-]*( [a-z0-9_-]+)*$`)
+	// "naim.cache_hits", "session.hlo_replay_misses".
+	counterNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+	// "cmod_build_duration_seconds", "cmod_builds_total".
+	metricNameRE = regexp.MustCompile(`^cmod_[a-z0-9_]+$`)
+)
+
+func runObsNames(p *Pass) {
+	ast.Inspect(p.File, func(n ast.Node) bool {
+		_, method, call, ok := selectorCall(n)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		name, lit, isLit := stringLit(call.Args[0])
+		if !isLit {
+			return true
+		}
+		switch method {
+		case "Child", "ChildDetail", "StartSpan":
+			if !spanNameRE.MatchString(name) {
+				p.Reportf(lit.Pos(), "span name %q is not lower-case space-separated words (see internal/obs naming conventions)", name)
+			}
+		case "Counter":
+			if !counterNameRE.MatchString(name) && !metricNameRE.MatchString(name) {
+				p.Reportf(lit.Pos(), "counter name %q is not a dotted subsystem.measure path or a cmod_* series (see internal/obs naming conventions)", name)
+			}
+		case "Histogram", "Gauge", "SetHelp", "LabeledName":
+			if !metricNameRE.MatchString(name) {
+				p.Reportf(lit.Pos(), "metric name %q is not a cmod_-prefixed Prometheus series (see internal/obs naming conventions)", name)
+			}
+		}
+		return true
+	})
+}
+
+// stringLit unwraps an expression into its string-literal value.
+func stringLit(e ast.Expr) (string, *ast.BasicLit, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", nil, false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", nil, false
+	}
+	return s, lit, true
+}

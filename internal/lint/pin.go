@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// PinDiscipline enforces the NAIM loader's pin protocol at call
+// sites: a body checked out with src.Function(pid) stays pinned —
+// immune to compaction and budget accounting — until the matching
+// src.DoneWith(pid). A function that takes pins on some source and
+// never releases any of them is the repository's canonical leak shape
+// (it shows up as the naim.pin_leaks counter at phase close).
+//
+// The check is syntactic: inside each function declaration, every
+// receiver expression that appears in a one-argument `.Function(x)`
+// call must also appear in at least one `.DoneWith(y)` call anywhere
+// in the same declaration (a defer, a loop body, and a nested closure
+// all count — ownership transfer across functions does not happen in
+// this codebase). The one-argument shape keeps package-level helpers
+// like analyze.Function(prog, f, level) out of scope.
+var PinDiscipline = &Analyzer{
+	Name: "pindiscipline",
+	Doc:  "every src.Function(pid) pin needs a src.DoneWith release in the same function",
+	Run:  runPinDiscipline,
+}
+
+func runPinDiscipline(p *Pass) {
+	for _, decl := range p.File.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		// First Function-call position per receiver, and the set of
+		// receivers released by a DoneWith.
+		pins := map[string]token.Pos{}
+		released := map[string]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			recv, method, call, ok := selectorCall(n)
+			if !ok || recv == "" {
+				return true
+			}
+			switch method {
+			case "Function":
+				if len(call.Args) == 1 {
+					if _, seen := pins[recv]; !seen {
+						pins[recv] = call.Pos()
+					}
+				}
+			case "DoneWith":
+				released[recv] = true
+			}
+			return true
+		})
+		for recv, pos := range pins {
+			if !released[recv] {
+				p.Reportf(pos, "%s.Function pins a body but this function never calls %s.DoneWith", recv, recv)
+			}
+		}
+	}
+}

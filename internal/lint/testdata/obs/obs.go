@@ -1,0 +1,48 @@
+// Package obsfix seeds internal/obs naming violations for the
+// linttest runner. Never built (testdata) — it only needs to parse.
+package obsfix
+
+type span struct{}
+
+func (span) Child(name string) span               { return span{} }
+func (span) ChildDetail(name, detail string) span { return span{} }
+func (span) End() int64                           { return 0 }
+
+type trace struct{}
+
+func (trace) StartSpan(name string) span { return span{} }
+func (trace) Counter(name string) *int   { return nil }
+
+type registry struct{}
+
+func (registry) Histogram(name string, bounds []float64) *int { return nil }
+func (registry) Gauge(name string, fn func() float64)         {}
+func (registry) SetHelp(family, help string)                  {}
+
+func spans(tr trace, sp span) {
+	sp.Child("hlo")                               // conventional phase name
+	sp.Child("naim compact")                      // subsystem-prefixed span
+	sp.Child("ipa propagate")                     // multi-word span
+	tr.StartSpan("build")                         // root span
+	sp.ChildDetail("codegen", "Module.With.Dots") // detail may carry anything
+	sp.Child("HLO")                               // want `span name "HLO" is not lower-case`
+	sp.Child("ipa.scan")                          // want `span name "ipa\.scan" is not lower-case`
+	sp.Child("naim  compact")                     // want `span name "naim  compact" is not lower-case`
+	tr.StartSpan("Build hlo")                     // want `span name "Build hlo" is not lower-case`
+}
+
+func counters(tr trace) {
+	tr.Counter("naim.cache_hits").Add()          // dotted subsystem.measure
+	tr.Counter("session.hlo_replay_hits").Add()  // dotted subsystem.measure
+	tr.Counter("cmod_ledger_errors_total").Add() // registry series via the same method
+	tr.Counter("cachehits").Add()                // want `counter name "cachehits" is not a dotted`
+	tr.Counter("Naim.hits").Add()                // want `counter name "Naim\.hits" is not a dotted`
+}
+
+func series(reg registry) {
+	reg.Histogram("cmod_build_duration_seconds", nil) // full Prometheus name
+	reg.Gauge("cmod_queue_depth", nil)                // full Prometheus name
+	reg.SetHelp("cmod_builds_total", "builds by outcome")
+	reg.Histogram("build_duration_seconds", nil) // want `metric name "build_duration_seconds" is not a cmod_-prefixed`
+	reg.Gauge("queueDepth", nil)                 // want `metric name "queueDepth" is not a cmod_-prefixed`
+}

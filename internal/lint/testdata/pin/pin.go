@@ -1,0 +1,68 @@
+// Package pin seeds pin-discipline violations for the linttest
+// runner. It is never built by the go tool (testdata) — it only needs
+// to parse.
+package pin
+
+type loaderT struct{}
+
+func (loaderT) Function(pid int) *int { return nil }
+func (loaderT) DoneWith(pid int)      {}
+
+type wrap struct{ src loaderT }
+
+// leaky pins bodies and never releases any — the canonical leak.
+func leaky(loader loaderT, pids []int) {
+	for _, pid := range pids {
+		_ = loader.Function(pid) // want `loader\.Function pins a body but this function never calls loader\.DoneWith`
+	}
+}
+
+// clean pairs every pin with an in-loop release.
+func clean(loader loaderT, pids []int) {
+	for _, pid := range pids {
+		f := loader.Function(pid)
+		_ = f
+		loader.DoneWith(pid)
+	}
+}
+
+// deferred releases through a defer — still a release.
+func deferred(loader loaderT, pid int) {
+	_ = loader.Function(pid)
+	defer loader.DoneWith(pid)
+}
+
+// nestedLeak pins through a dotted receiver and never releases it.
+func (w wrap) nestedLeak(pid int) {
+	_ = w.src.Function(pid) // want `w\.src\.Function pins a body but this function never calls w\.src\.DoneWith`
+}
+
+// nestedClean pairs the dotted receiver's pin with its release.
+func (w wrap) nestedClean(pid int) *int {
+	f := w.src.Function(pid)
+	w.src.DoneWith(pid)
+	return f
+}
+
+// mixed releases one source but leaks the other: only the leaked
+// receiver is reported.
+func mixed(a, b loaderT, pid int) {
+	_ = a.Function(pid)
+	a.DoneWith(pid)
+	_ = b.Function(pid) // want `b\.Function pins a body but this function never calls b\.DoneWith`
+}
+
+// closureRelease pins in the body and releases inside a nested
+// closure — the release still counts (same declaration).
+func closureRelease(loader loaderT, pid int) func() {
+	_ = loader.Function(pid)
+	return func() { loader.DoneWith(pid) }
+}
+
+// notAPin calls a package-style helper whose arity rules it out of
+// the one-argument pin shape.
+func notAPin(pid int) {
+	analyze.Function(nil, pid, 3)
+}
+
+var analyze struct{ Function func(a any, pid, level int) }

@@ -200,3 +200,15 @@ func (c *Choice) ModuleFuncs(prog *il.Program) []il.PID {
 	}
 	return out
 }
+
+// ScopeSet returns ModuleFuncs as a membership set — the form every
+// downstream scope consumer takes (hlo.Options.Scope,
+// ipa.Options.Scope), where a routine outside the set is summarized
+// conservatively rather than transformed.
+func (c *Choice) ScopeSet(prog *il.Program) map[il.PID]bool {
+	set := make(map[il.PID]bool)
+	for _, pid := range c.ModuleFuncs(prog) {
+		set[pid] = true
+	}
+	return set
+}

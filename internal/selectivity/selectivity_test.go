@@ -177,6 +177,21 @@ func TestModuleFuncs(t *testing.T) {
 	}
 }
 
+func TestScopeSet(t *testing.T) {
+	prog, fns, db := setup(t)
+	ch := Select(prog, src(fns), db, 1)
+	set := ch.ScopeSet(prog)
+	pids := ch.ModuleFuncs(prog)
+	if len(set) != len(pids) {
+		t.Fatalf("ScopeSet has %d members, ModuleFuncs %d", len(set), len(pids))
+	}
+	for _, pid := range pids {
+		if !set[pid] {
+			t.Errorf("ScopeSet missing %s", prog.Sym(pid).Name)
+		}
+	}
+}
+
 func TestSelectJobsInvariant(t *testing.T) {
 	prog, fns, db := setup(t)
 	want := EnumerateSites(prog, src(fns), db)

@@ -49,6 +49,7 @@ type BuildRecord struct {
 	TotalNanos    int64 `json:"total_ns"`
 	FrontendNanos int64 `json:"frontend_ns"`
 	SelectNanos   int64 `json:"select_ns"`
+	IPANanos      int64 `json:"ipa_ns"`
 	HLONanos      int64 `json:"hlo_ns"`
 	LLONanos      int64 `json:"llo_ns"`
 	LinkNanos     int64 `json:"link_ns"`

@@ -25,7 +25,7 @@ import (
 
 // buildStages orders the per-stage latency histograms; each gets a
 // cmod_build_stage_seconds{stage=...} series.
-var buildStages = []string{"frontend", "select", "hlo", "llo", "link", "verify"}
+var buildStages = []string{"frontend", "select", "ipa", "hlo", "llo", "link", "verify"}
 
 // latencyBuckets spans 0.5ms to ~35min in powers of two — wide enough
 // for both a warm no-op replay and a cold whole-program O4 build.
@@ -103,6 +103,7 @@ func (in *instruments) observe(rec BuildRecord) {
 	for st, ns := range map[string]int64{
 		"frontend": rec.FrontendNanos,
 		"select":   rec.SelectNanos,
+		"ipa":      rec.IPANanos,
 		"hlo":      rec.HLONanos,
 		"llo":      rec.LLONanos,
 		"link":     rec.LinkNanos,
@@ -200,6 +201,7 @@ func newBuildRecord(id, cacheDir, fp string, outcome string, buildErr error, mod
 		rec.TotalNanos = stats.TotalNanos
 		rec.FrontendNanos = stats.FrontendNanos
 		rec.SelectNanos = stats.SelectNanos
+		rec.IPANanos = stats.IPANanos
 		rec.HLONanos = stats.HLONanos
 		rec.LLONanos = stats.LLONanos
 		rec.LinkNanos = stats.LinkNanos

@@ -1,0 +1,230 @@
+package cmo
+
+import (
+	"fmt"
+	"testing"
+
+	"cmo/internal/analyze"
+	"cmo/internal/workload"
+)
+
+// ipaMods is a two-module program engineered so all three ipa-gated
+// transforms fire in main and the call sites stay live (both callees
+// are recursive, so the inliner leaves them as calls):
+//
+//   - `var b int = acc` forwards the acc=10 store across pick (const);
+//   - `acc = 1` dies across pick and deep (neither REFs acc);
+//   - the second deep(2) reuses the first (deep is pure, nothing
+//     writes between them).
+func ipaMods() []SourceModule {
+	return []SourceModule{
+		{Name: "lib", Text: `module lib;
+var bias int = 3;
+
+func deep(x int) int {
+	if (x < 1) { return bias; }
+	return deep(x - 1) + bias;
+}
+
+func pick(x int) int {
+	if (x < 0) { return pick(x + 1); }
+	return x * 2;
+}
+`},
+		{Name: "app", Text: `module app;
+var acc int = 0;
+extern func deep(x int) int;
+extern func pick(x int) int;
+
+func main() int {
+	acc = 10;
+	var a int = pick(6);
+	var b int = acc;
+	acc = 1;
+	var c int = pick(7);
+	acc = b + a + c + deep(2) + deep(2);
+	return acc;
+}
+`},
+	}
+}
+
+// TestIPATransformsFireAndPreserveSemantics: the engineered program
+// must trigger every ipa transform at O4, and the ablation knob must
+// not change the computed value — only the stats.
+func TestIPATransformsFireAndPreserveSemantics(t *testing.T) {
+	mods := ipaMods()
+	ref, err := BuildSource(mods, Options{Level: O1})
+	if err != nil {
+		t.Fatalf("O1: %v", err)
+	}
+	want := runValue(t, ref)
+
+	on, err := BuildSource(mods, Options{Level: O4, SelectPercent: -1, Verify: analyze.Interproc})
+	if err != nil {
+		t.Fatalf("O4: %v", err)
+	}
+	h := on.Stats.HLO
+	if h.GLoadsForwarded == 0 || h.GStoresKilled == 0 || h.PureCSEs == 0 {
+		t.Errorf("engineered program did not fire every ipa transform: fwd=%d dse=%d cse=%d",
+			h.GLoadsForwarded, h.GStoresKilled, h.PureCSEs)
+	}
+	if on.Stats.IPANanos <= 0 {
+		t.Errorf("IPANanos = %d, want > 0", on.Stats.IPANanos)
+	}
+	if got := runValue(t, on); got != want {
+		t.Errorf("O4 with ipa computed %d, O1 computed %d", got, want)
+	}
+
+	off, err := BuildSource(mods, Options{Level: O4, SelectPercent: -1, NoIPA: true, Verify: analyze.Interproc})
+	if err != nil {
+		t.Fatalf("O4 NoIPA: %v", err)
+	}
+	oh := off.Stats.HLO
+	if oh.GLoadsForwarded+oh.GStoresKilled+oh.PureCSEs != 0 {
+		t.Errorf("NoIPA build still ran ipa transforms: %+v", oh)
+	}
+	if off.Stats.IPANanos != 0 {
+		t.Errorf("NoIPA build recorded IPANanos = %d", off.Stats.IPANanos)
+	}
+	if got := runValue(t, off); got != want {
+		t.Errorf("O4 NoIPA computed %d, O1 computed %d", got, want)
+	}
+}
+
+func runValue(t *testing.T, b *Build) int64 {
+	t.Helper()
+	rr, err := b.Run(nil, 5e8)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return rr.Value
+}
+
+// TestIPADifferentialOnWorkloads: across generated programs, inputs,
+// and selectivity levels, the ipa transforms must never change the
+// computed value — the ablation pair is the paper's section-6.3
+// differential discipline applied to the new stage.
+func TestIPADifferentialOnWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := workload.Spec{
+		Name: "ipadiff", Modules: 6, HotPerModule: 2, ColdPerModule: 4,
+		ColdStmts: 12, ArrayElems: 32,
+		TrainIters: 30, RefIters: 90, TrainMode: 2, RefMode: 4,
+	}
+	inputSets := []map[string]int64{
+		{"input0": 40, "input1": 1},
+		{"input0": 90, "input1": 6},
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		spec.Seed = seed * 7919
+		mods := sources(spec)
+		for _, sel := range []float64{-1, 40} {
+			var vals [2]int64
+			for i, noIPA := range []bool{false, true} {
+				opt := Options{Level: O4, SelectPercent: sel, NoIPA: noIPA,
+					Volatile: workload.InputGlobals(), Verify: analyze.Interproc}
+				b, err := BuildSource(mods, opt)
+				if err != nil {
+					t.Fatalf("seed %d sel %g noipa=%v: %v", seed, sel, noIPA, err)
+				}
+				rr, err := b.Run(inputSets[seed%2], 5e8)
+				if err != nil {
+					t.Fatalf("seed %d sel %g noipa=%v: run: %v", seed, sel, noIPA, err)
+				}
+				vals[i] = rr.Value
+			}
+			if vals[0] != vals[1] {
+				t.Errorf("seed %d sel %g: ipa on computed %d, off computed %d",
+					seed, sel, vals[0], vals[1])
+			}
+		}
+	}
+}
+
+// TestIPAWarmRebuildCalleeEditInvalidation is the replay-soundness
+// acceptance test: main forwards a global load across a call to
+// lib.deep; the edit makes deep store that global. A warm rebuild
+// must not reuse the transform computed against the old summary — it
+// must match a cold build of the edited program byte for byte and
+// compute the new value.
+func TestIPAWarmRebuildCalleeEditInvalidation(t *testing.T) {
+	libV1 := SourceModule{Name: "lib", Text: `module lib;
+var bias int = 3;
+
+func deep(x int) int {
+	if (x < 1) { return bias; }
+	return deep(x - 1) + bias;
+}
+`}
+	libV2 := SourceModule{Name: "lib", Text: `module lib;
+var bias int = 3;
+extern var acc int;
+
+func deep(x int) int {
+	if (x < 1) { acc = acc + 1; return bias; }
+	return deep(x - 1) + bias;
+}
+`}
+	app := SourceModule{Name: "app", Text: `module app;
+var acc int = 0;
+extern func deep(x int) int;
+
+func main() int {
+	acc = 10;
+	var a int = deep(3);
+	return acc + a;
+}
+`}
+	opt := Options{Level: O4, SelectPercent: -1, Verify: analyze.Interproc}
+	dir := t.TempDir()
+
+	cold := buildCached(t, []SourceModule{libV1, app}, opt, dir)
+	// deep(3) = 4*bias = 12; acc stays 10.
+	if got := runValue(t, cold); got != 22 {
+		t.Fatalf("v1 computed %d, want 22", got)
+	}
+	if cold.Stats.HLO.GLoadsForwarded == 0 {
+		t.Fatalf("v1 never forwarded the load across deep — the test premise is gone")
+	}
+
+	// No-op warm rebuild: everything replays, nothing recomputed.
+	warm := buildCached(t, []SourceModule{libV1, app}, opt, dir)
+	if warm.Stats.CacheHLOMisses != 0 {
+		t.Errorf("warm no-op rebuild recomputed %d HLO records", warm.Stats.CacheHLOMisses)
+	}
+	if warm.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("warm no-op rebuild differs from cold build")
+	}
+
+	// The callee edit: deep now writes acc. The stale transform would
+	// still forward 10 into main's return and compute 22.
+	coldEdit := buildCached(t, []SourceModule{libV2, app}, opt, t.TempDir())
+	want := runValue(t, coldEdit)
+	if want != 23 {
+		t.Fatalf("v2 cold build computed %d, want 23 (acc incremented once, then read)", want)
+	}
+	warmEdit := buildCached(t, []SourceModule{libV2, app}, opt, dir)
+	if got := runValue(t, warmEdit); got != want {
+		t.Errorf("warm rebuild after callee side-effect edit computed %d, want %d — stale ipa record reused", got, want)
+	}
+	if warmEdit.Image.Disasm() != coldEdit.Image.Disasm() {
+		t.Errorf("warm rebuild after callee edit is not byte-identical to the cold build")
+	}
+}
+
+// TestIPAOptionsFingerprintSeparatesAblation: records written by a
+// NoIPA build must never satisfy a default build or vice versa — the
+// two configurations generate different code.
+func TestIPAOptionsFingerprintSeparatesAblation(t *testing.T) {
+	a := hloOptionsFingerprint(Options{Level: O4})
+	b := hloOptionsFingerprint(Options{Level: O4, NoIPA: true})
+	if a == b {
+		t.Fatal("NoIPA does not change the HLO options fingerprint")
+	}
+	if fmt.Sprint(a) == "" {
+		t.Fatal("empty fingerprint")
+	}
+}

@@ -32,6 +32,10 @@ func (b *Build) SelectionReport() string {
 	h := s.HLO
 	fmt.Fprintf(&sb, "hlo: %d inlines (%d cross-module), %d clones, %d IPCP params, %d const globals, %d unrolled fns, %d dead fns\n",
 		h.Inlines, h.CrossModule, h.Clones, h.IPCPParams, h.ConstGlobals, h.Unrolled, h.DeadFuncs)
+	if h.GLoadsForwarded+h.GStoresKilled+h.PureCSEs > 0 {
+		fmt.Fprintf(&sb, "ipa: %d global loads forwarded, %d dead global stores, %d const/pure calls reused\n",
+			h.GLoadsForwarded, h.GStoresKilled, h.PureCSEs)
+	}
 
 	if s.TierHot+s.TierWarm+s.TierCold > 0 {
 		fmt.Fprintf(&sb, "layers: %d hot (CMO+PBO), %d warm (+O2), %d cold (+O1)\n",
@@ -125,6 +129,10 @@ func (b *Build) TimingReport() string {
 	// above would double-count its time).
 	if s.SelectNanos > 0 {
 		fmt.Fprintf(&sb, "select: %.2f ms inside hlo\n", ms(s.SelectNanos))
+	}
+	// The ipa summary stage also nests inside hlo.
+	if s.IPANanos > 0 {
+		fmt.Fprintf(&sb, "ipa: %.2f ms inside hlo\n", ms(s.IPANanos))
 	}
 	// Verification nests inside the phases above (per-transform checks
 	// run under hlo, the frontend/link checks under build), so it is

@@ -65,6 +65,12 @@ func hloOptionsFingerprint(opt Options) string {
 	if opt.ScopeModules != nil {
 		fmt.Fprintf(&sb, "scopemods=%v\n", opt.ScopeModules)
 	}
+	if opt.NoIPA {
+		// The ablation knob changes generated code (the ipa-gated
+		// transforms never run), so its records must not mix with the
+		// default build's.
+		sb.WriteString("noipa=1\n")
+	}
 	if opt.DB != nil {
 		sb.WriteString("db=")
 		sb.WriteString(profileFingerprint(opt.DB))

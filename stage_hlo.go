@@ -7,6 +7,7 @@ import (
 	"cmo/internal/analyze"
 	"cmo/internal/hlo"
 	"cmo/internal/il"
+	"cmo/internal/ipa"
 	"cmo/internal/naim"
 	"cmo/internal/obs"
 )
@@ -50,6 +51,27 @@ func (b *Build) runHLO(loader *naim.Loader, opt Options, sess *Session, volatile
 	hopts.Selected = sel.selected
 	hopts.ExternallyCalled = sel.extCalled
 	hopts.ExternStored = sel.extStored
+
+	// The ipa stage: summarize every in-scope function's transitive
+	// MOD/REF effects and purity before HLO mutates anything, so the
+	// fact-gated transforms can see across calls. Like select, the
+	// "ipa" span nests inside the hlo phase and its cost is reported
+	// as an informational share (Stats.IPANanos).
+	if !opt.NoIPA {
+		if err := opt.ctxErr(); err != nil {
+			return err
+		}
+		isp := hsp.Child("ipa")
+		ires := ipa.Analyze(prog, loader, ipa.Options{Scope: sel.scope, Span: isp})
+		b.Stats.IPANanos = isp.End()
+		hopts.Summaries = ires.Summaries
+		if tr := hsp.Trace(); tr != nil {
+			tr.Counter("ipa.functions").Add(int64(ires.Stats.Functions))
+			tr.Counter("ipa.const_fns").Add(int64(ires.Stats.ConstFns))
+			tr.Counter("ipa.pure_fns").Add(int64(ires.Stats.PureFns))
+			tr.Counter("ipa.top_fns").Add(int64(ires.Stats.TopFns))
+		}
+	}
 
 	b.selectedFns = hopts.Selected
 	if b.selectedFns == nil {

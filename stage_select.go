@@ -83,10 +83,7 @@ func (b *Build) runSelect(loader *naim.Loader, opt Options, ssp obs.Span) (*sele
 			sel.skip = true // nothing selected: pure default-level build
 			return sel, nil
 		}
-		scope := make(map[il.PID]bool)
-		for _, pid := range ch.ModuleFuncs(prog) {
-			scope[pid] = true
-		}
+		scope := ch.ScopeSet(prog)
 		sel.scope = scope
 		sel.selected = ch.Funcs
 		sel.extCalled, sel.extStored = b.summarizeOutOfScope(loader, scope, opt.Jobs)

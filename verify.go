@@ -108,5 +108,6 @@ func convertFacts(f hlo.Facts) analyze.Facts {
 		Promoted:         f.Promoted,
 		IPCP:             ipcp,
 		Dead:             f.Dead,
+		Summaries:        f.Summaries,
 	}
 }
