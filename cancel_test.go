@@ -174,7 +174,8 @@ func TestBuildDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatalf("build after canceled build: %v", err)
 	}
-	if good.Stats.CacheFrontendHits != len(mods) {
-		t.Errorf("post-cancel frontend hits = %d, want %d", good.Stats.CacheFrontendHits, len(mods))
+	if !good.Stats.GraphImageReplay && good.Stats.CacheFrontendHits != len(mods) {
+		t.Errorf("post-cancel rebuild was cold: image replay %v, frontend hits = %d (want %d)",
+			good.Stats.GraphImageReplay, good.Stats.CacheFrontendHits, len(mods))
 	}
 }

@@ -3,7 +3,7 @@
 // time/space dial), Figure 6 (the selectivity sweep), the section-8
 // memory-per-line history, and the design-decision ablations.
 //
-//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|ipa|all]
+//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|ipa|graph|all]
 //	         [-o report.txt] [-metrics metrics.json] [-json BENCH_*.json] [-v]
 //
 // -metrics aggregates spans and counters across every build the
@@ -16,7 +16,8 @@
 // BENCH_parallel.json), so the parallelism trajectory is tracked
 // commit over commit. With -fig incremental it instead writes the
 // cold-vs-warm rebuild record (conventionally BENCH_incremental.json),
-// and with -fig ipa the MOD/REF ablation record (BENCH_ipa.json).
+// with -fig ipa the MOD/REF ablation record (BENCH_ipa.json), and with
+// -fig graph the dependency-graph sweep (BENCH_graph.json).
 package main
 
 import (
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (module-count multiplier)")
-	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, ipa, all")
+	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, ipa, graph, all")
 	out := flag.String("o", "", "write the report to a file as well as stdout")
 	metrics := flag.String("metrics", "", "write an aggregated metrics JSON snapshot (spans + counters) to this file")
 	benchJSON := flag.String("json", "", "run the Jobs sweep and write its speedup record (BENCH_parallel.json) to this file")
@@ -90,7 +91,7 @@ func main() {
 		}
 		emit(experiments.RenderHistory(rows))
 	}
-	if want("parallel") || (*benchJSON != "" && *fig != "incremental" && *fig != "ipa") {
+	if want("parallel") || (*benchJSON != "" && *fig != "incremental" && *fig != "ipa" && *fig != "graph") {
 		rec, err := experiments.Parallel(cfg)
 		if err != nil {
 			fatalf("parallel: %v", err)
@@ -125,6 +126,18 @@ func main() {
 		if *benchJSON != "" && *fig == "ipa" {
 			writeJSON(*benchJSON, func(w io.Writer) error {
 				return experiments.WriteIPAJSON(w, rec)
+			})
+		}
+	}
+	if want("graph") {
+		rec, err := experiments.Graph(cfg)
+		if err != nil {
+			fatalf("graph: %v", err)
+		}
+		emit(experiments.RenderGraph(rec))
+		if *benchJSON != "" && *fig == "graph" {
+			writeJSON(*benchJSON, func(w io.Writer) error {
+				return experiments.WriteGraphJSON(w, rec)
 			})
 		}
 	}

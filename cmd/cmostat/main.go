@@ -187,6 +187,7 @@ func summary(base string) error {
 	for _, c := range []struct{ name, label string }{
 		{"cmod_build_frontend_hit_ratio", "frontend"},
 		{"cmod_build_hlo_hit_ratio", "hlo"},
+		{"cmod_build_llo_hit_ratio", "llo"},
 	} {
 		if sum, count := m.SumCount(c.name, "", ""); count > 0 {
 			cacheParts = append(cacheParts, fmt.Sprintf("%s %.0f%%", c.label, 100*sum/count))
@@ -194,6 +195,31 @@ func summary(base string) error {
 	}
 	if len(cacheParts) > 0 {
 		fmt.Printf("cache hit ratio (mean/build): %s\n", strings.Join(cacheParts, ", "))
+	}
+
+	// Dependency graph: live size gauges plus incremental-build shape.
+	if nodes, ok := m.Value("cmod_graph_nodes"); ok && nodes > 0 {
+		edges, _ := m.Value("cmod_graph_edges")
+		line := fmt.Sprintf("graph: %.0f nodes, %.0f edges", nodes, edges)
+		if replays, ok := m.Value("cmod_image_replays_total"); ok && replays > 0 {
+			line += fmt.Sprintf(", %.0f image replays", replays)
+		}
+		if bs := m.HistogramBuckets("cmod_build_dirty_closure", "", ""); len(bs) > 0 {
+			if _, count := m.SumCount("cmod_build_dirty_closure", "", ""); count > 0 {
+				line += fmt.Sprintf(", dirty closure p50 %.0f", promtext.Quantile(0.5, bs))
+			}
+		}
+		if bs := m.HistogramBuckets("cmod_build_critical_path_seconds", "", ""); len(bs) > 0 {
+			if _, count := m.SumCount("cmod_build_critical_path_seconds", "", ""); count > 0 {
+				line += fmt.Sprintf(", critical path p50 %s", ms(promtext.Quantile(0.5, bs)))
+			}
+		}
+		if bs := m.HistogramBuckets("cmod_build_frontier_depth", "", ""); len(bs) > 0 {
+			if _, count := m.SumCount("cmod_build_frontier_depth", "", ""); count > 0 {
+				line += fmt.Sprintf(", frontier p50 %.0f", promtext.Quantile(0.5, bs))
+			}
+		}
+		fmt.Println(line)
 	}
 	if v, ok := m.Value("cmod_commit_backlog_bytes"); ok && v > 0 {
 		fmt.Printf("commit backlog: %.0f bytes uncommitted\n", v)

@@ -95,6 +95,15 @@ type Options struct {
 	// (gforward, gdse, purecse). O4 only; the ablation knob for
 	// measuring what the summaries buy.
 	NoIPA bool
+	// NoDepGraph disables the persisted artifact dependency graph
+	// (internal/depgraph): no image replay, no LLO object cache, no
+	// critical-path scheduling — every session build rediscovers
+	// staleness per artifact, the pre-graph behavior. Generated code
+	// is byte-identical either way (the graph only changes speed);
+	// the knob exists for the differential tests that prove it, and
+	// is fingerprinted like NoIPA so the two paths never share cached
+	// records in those tests.
+	NoDepGraph bool
 	// Jobs parallelizes the read-mostly pipeline phases across
 	// goroutines: frontend parsing/checking, selectivity's site
 	// enumeration, out-of-scope fact summaries, per-function
@@ -182,6 +191,27 @@ type BuildStats struct {
 	// ReplayHits/ReplayMisses for the same figures).
 	CacheHLOHits   int
 	CacheHLOMisses int
+	// LLO object hits/misses (graph-scheduled builds only): a hit is
+	// a function whose compiled object was decoded from the
+	// repository; a miss was compiled and stored.
+	CacheLLOHits   int
+	CacheLLOMisses int
+
+	// Dependency-graph outcome (graph-scheduled session builds).
+	// GraphNodes/GraphEdges snapshot the loaded graph after this
+	// build's delta; GraphDirtyClosure is the number of artifacts the
+	// edited leaves invalidated (0 on a clean warm rebuild);
+	// GraphCriticalPathNanos is the heaviest dependency chain by
+	// recorded costs; GraphFrontierDepth is the number of work items
+	// the LLO scheduler ordered. GraphImageReplay marks the warm-noop
+	// fast path: the whole image was replayed from the repository with
+	// zero stage work.
+	GraphNodes             int
+	GraphEdges             int
+	GraphDirtyClosure      int
+	GraphCriticalPathNanos int64
+	GraphFrontierDepth     int
+	GraphImageReplay       bool
 	// PinLeaks counts loader handles still pinned when the pipeline
 	// finished — each one is a checkout some stage never returned
 	// (see Loader.UnloadAll). Always zero in a correct build.
@@ -248,6 +278,7 @@ type Build struct {
 	InlineOps []hlo.InlineOp
 
 	selectedFns map[il.PID]bool
+	gp          *graphPlan
 	trace       *obs.Trace
 }
 

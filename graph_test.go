@@ -1,0 +1,291 @@
+package cmo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cmo/internal/analyze"
+	"cmo/internal/workload"
+)
+
+// The dependency graph's load-bearing invariant, tested from outside:
+// the graph changes how fast an answer arrives, never the answer. The
+// differential matrix below drives cold → warm-noop → warm-edit →
+// warm-again through paired sessions — one graph-steered, one with the
+// NoDepGraph ablation — and demands byte identity at every step. The
+// crash and corruption tests then prove the graph degrades to a full
+// (still correct) rebuild rather than ever serving stale bytes.
+
+func graphSpec(seed int64) workload.Spec {
+	return workload.Spec{
+		Name: "graph", Seed: seed,
+		Modules: 6, HotPerModule: 2, ColdPerModule: 3, ColdStmts: 8,
+		ArrayElems: 16,
+		TrainIters: 30, RefIters: 80, TrainMode: 2, RefMode: 4,
+	}
+}
+
+// editCallee rewires a called function's body in module i — unlike the
+// uncalled probe in editOne, this edit survives dead-code elimination
+// at every level, so it dirties a real closure through the call graph.
+func editCallee(t *testing.T, mods []SourceModule, i int) []SourceModule {
+	t.Helper()
+	out := append([]SourceModule(nil), mods...)
+	out[i].Text += "\nfunc graph_edit_probe(x int) int { return x * 3 + 1; }\n"
+	return out
+}
+
+func TestDepGraphDifferential(t *testing.T) {
+	spec := graphSpec(71)
+	mods := sources(spec)
+	db, err := Train(mods, []map[string]int64{trainInputs(spec)}, Options{})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+
+	configs := []Options{
+		{Level: O1},
+		{Level: O2, Verify: analyze.Structural},
+		{Level: O3, SelectPercent: 50, Verify: analyze.Interproc},
+		{Level: O4, SelectPercent: -1},
+		{Level: O4, PBO: true, DB: db, SelectPercent: 60, Verify: analyze.Interproc},
+	}
+	for _, opt := range configs {
+		name := fmt.Sprintf("%v-sel%g-pbo%v-verify%v", opt.Level, opt.SelectPercent, opt.PBO, opt.Verify)
+		t.Run(name, func(t *testing.T) {
+			gDir, nDir := t.TempDir(), t.TempDir()
+			build := func(src []SourceModule, dir string, noGraph bool) *Build {
+				o := opt
+				o.CacheDir = dir
+				o.NoDepGraph = noGraph
+				o.Volatile = workload.InputGlobals()
+				b, err := BuildSource(src, o)
+				if err != nil {
+					t.Fatalf("build (nograph=%v): %v", noGraph, err)
+				}
+				return b
+			}
+			step := func(label string, src []SourceModule) {
+				g := build(src, gDir, false)
+				n := build(src, nDir, true)
+				if g.Image.Disasm() != n.Image.Disasm() {
+					t.Fatalf("%s: graph-steered image differs from NoDepGraph image", label)
+				}
+				if n.Stats.GraphImageReplay {
+					t.Fatalf("%s: NoDepGraph build replayed the image", label)
+				}
+			}
+			step("cold", mods)
+			step("warm-noop", mods)
+			edited := editCallee(t, mods, 2)
+			step("warm-edit", edited)
+			step("warm-again", edited)
+			// Reverting the edit replays artifacts from before it — the
+			// content-addressed store never forgot them.
+			step("revert", mods)
+		})
+	}
+}
+
+// TestDepGraphRepoResetNeverStale: the repository vanishing (or being
+// reset) out from under a surviving graph.log is the nightmare case —
+// the graph describes artifacts the store no longer holds. The epoch
+// handshake must discard the graph and rebuild everything, cold-build
+// identical.
+func TestDepGraphRepoResetNeverStale(t *testing.T) {
+	dir := t.TempDir()
+	mods := sources(graphSpec(73))
+	opt := Options{Level: O4, SelectPercent: -1, Volatile: workload.InputGlobals(), CacheDir: dir}
+
+	cold, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the repository, keep graph.log.
+	for _, f := range []string{"repo.log", "MANIFEST"} {
+		if err := os.Remove(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("removing %s: %v", f, err)
+		}
+	}
+	again, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.GraphImageReplay {
+		t.Errorf("build replayed an image through a graph whose repository was destroyed")
+	}
+	if again.Stats.CacheFrontendHits != 0 {
+		t.Errorf("post-reset build claims %d frontend hits from an empty repository", again.Stats.CacheFrontendHits)
+	}
+	if again.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("post-reset rebuild differs from the original build")
+	}
+	// And the freshly re-seeded session warms back up normally.
+	warm, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.GraphImageReplay {
+		t.Errorf("re-seeded session did not replay the image")
+	}
+	if warm.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("re-seeded warm rebuild differs from the original build")
+	}
+}
+
+// TestDepGraphTornLogRecovery: a crash mid-append leaves a torn
+// graph.log tail. The next session must truncate it, keep every record
+// before the tear, and serve correct bytes either way.
+func TestDepGraphTornLogRecovery(t *testing.T) {
+	dir := t.TempDir()
+	mods := sources(graphSpec(79))
+	opt := Options{Level: O3, Volatile: workload.InputGlobals(), CacheDir: dir}
+
+	cold, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "graph.log")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("graph.log missing after a session build: %v", err)
+	}
+	if st.Size() < 64 {
+		t.Fatalf("graph.log implausibly small: %d bytes", st.Size())
+	}
+	// Tear the tail: chop mid-record (any cut not on a record boundary
+	// works — recovery scans from the header and stops at the damage).
+	if err := os.Truncate(path, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("rebuild over a torn graph.log differs from the original build")
+	}
+	// The torn record is gone but the artifacts are content-addressed:
+	// whatever the truncated graph still names replays, and the next
+	// build has a healed, fully warm graph again.
+	healed, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !healed.Stats.GraphImageReplay {
+		t.Errorf("graph did not heal after torn-tail recovery (dirty closure %d)",
+			healed.Stats.GraphDirtyClosure)
+	}
+	if healed.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("healed rebuild differs from the original build")
+	}
+}
+
+// TestDepGraphGarbageLogDiscarded: a graph.log full of garbage (wrong
+// magic entirely) must be discarded wholesale, not half-parsed.
+func TestDepGraphGarbageLogDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	mods := sources(graphSpec(83))
+	opt := Options{Level: O2, Volatile: workload.InputGlobals(), CacheDir: dir}
+
+	cold, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "graph.log"),
+		[]byte("this is not a graph log at all, not even close"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats.GraphImageReplay {
+		t.Errorf("build replayed an image out of a garbage graph.log")
+	}
+	// Artifact replay still works — the repository is intact.
+	if b.Stats.CacheFrontendHits != len(mods) {
+		t.Errorf("frontend hits = %d, want %d (repository should still serve)",
+			b.Stats.CacheFrontendHits, len(mods))
+	}
+	if b.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("rebuild over a garbage graph.log differs from the original build")
+	}
+}
+
+// TestDepGraphConcurrentSharedSession is the -race stress: many
+// concurrent builds (mixed warm and edited) sharing one Session, hence
+// one loaded graph — the daemon's exact shape. Every build must return
+// the right bytes for its own input.
+func TestDepGraphConcurrentSharedSession(t *testing.T) {
+	dir := t.TempDir()
+	mods := sources(graphSpec(89))
+	opt := Options{Level: O4, SelectPercent: -1, Volatile: workload.InputGlobals()}
+
+	// Reference images, from isolated cold builds.
+	wantBase, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := editCallee(t, mods, 1)
+	wantEdit, err := BuildSource(edited, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	opt.Session = sess
+	opt.Jobs = 2
+
+	// Seed the session, then hammer it.
+	if _, err := BuildSource(mods, opt); err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make([]error, rounds)
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src, want := mods, wantBase
+			if i%2 == 1 {
+				src, want = edited, wantEdit
+			}
+			b, err := BuildSource(src, opt)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if b.Image.Disasm() != want.Image.Disasm() {
+				errs[i] = fmt.Errorf("build %d: image differs from its isolated reference", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent build %d: %v", i, err)
+		}
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatalf("commit after concurrent builds: %v", err)
+	}
+	// The committed state must serve a clean replay.
+	final, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Image.Disasm() != wantBase.Image.Disasm() {
+		t.Errorf("post-stress warm rebuild differs from the reference")
+	}
+}

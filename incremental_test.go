@@ -76,20 +76,39 @@ func TestIncrementalWarmRebuildByteIdentical(t *testing.T) {
 					cold.Stats.CacheFrontendHits, cold.Stats.CacheFrontendMisses, nmods)
 			}
 
-			// Warm no-op rebuild: every module replays, output identical.
+			// Warm no-op rebuild: the dependency graph sees a clean
+			// closure and replays the whole image — zero stage work,
+			// output identical.
 			warm := buildCached(t, mods, opt, dir)
 			if got := warm.Image.Disasm(); got != coldDis {
 				t.Errorf("warm no-op rebuild differs from cold build")
 			}
-			if warm.Stats.CacheFrontendHits != nmods || warm.Stats.CacheFrontendMisses != 0 {
-				t.Errorf("warm frontend: %d hits, %d misses; want %d, 0",
-					warm.Stats.CacheFrontendHits, warm.Stats.CacheFrontendMisses, nmods)
+			if !warm.Stats.GraphImageReplay {
+				t.Errorf("warm no-op rebuild did not replay the image (dirty closure %d)",
+					warm.Stats.GraphDirtyClosure)
 			}
-			if opt.Level == O4 && warm.Stats.CacheHLOMisses != 0 {
-				t.Errorf("warm no-op rebuild recomputed %d HLO records", warm.Stats.CacheHLOMisses)
+			if warm.Stats.GraphDirtyClosure != 0 {
+				t.Errorf("warm no-op rebuild dirty closure = %d, want 0", warm.Stats.GraphDirtyClosure)
 			}
-			if opt.Level == O4 && warm.Stats.CacheHLOHits == 0 {
-				t.Errorf("warm no-op rebuild replayed no HLO records")
+			if warm.Stats.CacheFrontendMisses != 0 {
+				t.Errorf("warm no-op rebuild lowered %d modules", warm.Stats.CacheFrontendMisses)
+			}
+
+			// The pre-graph path must still replay per artifact: with the
+			// ablation knob the frontend revisits every module and the
+			// bytes still match.
+			nodg := opt
+			nodg.NoDepGraph = true
+			warmOld := buildCached(t, mods, nodg, dir)
+			if got := warmOld.Image.Disasm(); got != coldDis {
+				t.Errorf("NoDepGraph warm rebuild differs from cold build")
+			}
+			if warmOld.Stats.GraphImageReplay {
+				t.Errorf("NoDepGraph build replayed the image")
+			}
+			if warmOld.Stats.CacheFrontendHits != nmods || warmOld.Stats.CacheFrontendMisses != 0 {
+				t.Errorf("NoDepGraph warm frontend: %d hits, %d misses; want %d, 0",
+					warmOld.Stats.CacheFrontendHits, warmOld.Stats.CacheFrontendMisses, nmods)
 			}
 
 			// Edit one module; the warm rebuild must match a cold build
@@ -120,6 +139,29 @@ func TestIncrementalWarmRebuildByteIdentical(t *testing.T) {
 					t.Errorf("obs session.hlo_replay_hits = %d, want %d", got, warmEdit.Stats.CacheHLOHits)
 				}
 			}
+			// The edit dirtied a real closure, and LLO work scaled with
+			// it: routines outside the closure decoded cached objects.
+			if warmEdit.Stats.GraphDirtyClosure == 0 {
+				t.Errorf("warm-edit build saw an empty dirty closure")
+			}
+			if warmEdit.Stats.CacheLLOHits == 0 {
+				t.Errorf("warm-edit build decoded no cached LLO objects")
+			}
+			// At O3+ the uncalled probe function is dead-code-eliminated
+			// and every surviving post-HLO body can legitimately hit, so
+			// the at-least-one-compile check applies below O3 only.
+			if opt.Level < O3 && warmEdit.Stats.CacheLLOMisses == 0 {
+				t.Errorf("warm-edit build compiled nothing — the edit should force at least one compile")
+			}
+			if total := warmEdit.Stats.CacheLLOHits + warmEdit.Stats.CacheLLOMisses; total != warmEdit.Stats.GraphFrontierDepth {
+				t.Errorf("LLO hits+misses = %d, want frontier depth %d", total, warmEdit.Stats.GraphFrontierDepth)
+			}
+			if got := tr.Counter("session.llo_hits").Value(); got != int64(warmEdit.Stats.CacheLLOHits) {
+				t.Errorf("obs session.llo_hits = %d, want %d", got, warmEdit.Stats.CacheLLOHits)
+			}
+			if got := tr.Counter("graph.dirty_closure").Value(); got != int64(warmEdit.Stats.GraphDirtyClosure) {
+				t.Errorf("obs graph.dirty_closure = %d, want %d", got, warmEdit.Stats.GraphDirtyClosure)
+			}
 		})
 	}
 }
@@ -145,8 +187,8 @@ func TestIncrementalSessionReuseAndRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if warm.Stats.CacheFrontendHits != len(mods) {
-		t.Errorf("shared session: %d frontend hits, want %d", warm.Stats.CacheFrontendHits, len(mods))
+	if !warm.Stats.GraphImageReplay {
+		t.Errorf("shared session warm rebuild did not replay the image")
 	}
 	if warm.Image.Disasm() != cold.Image.Disasm() {
 		t.Errorf("shared-session warm rebuild differs from cold build")
@@ -155,23 +197,37 @@ func TestIncrementalSessionReuseAndRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Restart: a fresh session over the same directory must replay what
-	// the closed one stored.
+	// Restart: a fresh session over the same directory must reload the
+	// persisted graph and replay what the closed one stored.
 	opt.Session = nil
 	opt.CacheDir = dir
 	again, err := BuildSource(mods, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again.Stats.CacheFrontendHits != len(mods) || again.Stats.CacheFrontendMisses != 0 {
-		t.Errorf("after restart: %d hits, %d misses; want %d, 0",
-			again.Stats.CacheFrontendHits, again.Stats.CacheFrontendMisses, len(mods))
+	if !again.Stats.GraphImageReplay {
+		t.Errorf("post-restart warm rebuild did not replay the image")
 	}
-	if again.Stats.CacheHLOMisses != 0 {
-		t.Errorf("after restart: %d HLO records recomputed", again.Stats.CacheHLOMisses)
+	if again.Stats.CacheFrontendMisses != 0 {
+		t.Errorf("after restart: %d modules lowered, want 0", again.Stats.CacheFrontendMisses)
 	}
 	if again.Image.Disasm() != cold.Image.Disasm() {
 		t.Errorf("post-restart warm rebuild differs from cold build")
+	}
+
+	// And with the graph disabled, the per-artifact replay path still
+	// serves the same bytes after the restart.
+	opt.NoDepGraph = true
+	old, err := BuildSource(mods, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Stats.CacheFrontendHits != len(mods) || old.Stats.CacheFrontendMisses != 0 {
+		t.Errorf("NoDepGraph after restart: %d hits, %d misses; want %d, 0",
+			old.Stats.CacheFrontendHits, old.Stats.CacheFrontendMisses, len(mods))
+	}
+	if old.Image.Disasm() != cold.Image.Disasm() {
+		t.Errorf("NoDepGraph post-restart rebuild differs from cold build")
 	}
 }
 

@@ -1,0 +1,290 @@
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind classifies an artifact node by pipeline stage.
+type Kind uint8
+
+const (
+	// KindSource is a leaf: one module's source text. Its fingerprint
+	// is the frontend artifact key (toolchain version ⊕ module name ⊕
+	// source hash), so re-hashing the leaves on warm open is exactly
+	// the per-module cache probe the frontend would have done.
+	KindSource Kind = iota + 1
+	// KindFrontend is a module's frontend artifact (shape + portable
+	// bodies).
+	KindFrontend
+	// KindFunc is one function's post-HLO state: the unit the HLO
+	// replay records and LLO objects key on. Its dependencies are its
+	// module's frontend artifact and the KindFunc nodes of everything
+	// its callee closure can reach.
+	KindFunc
+	// KindObject is one function's compiled LLO object.
+	KindObject
+	// KindImage is the linked image: the single sink.
+	KindImage
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindFrontend:
+		return "frontend"
+	case KindFunc:
+		return "func"
+	case KindObject:
+		return "object"
+	case KindImage:
+		return "image"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// FP is an artifact fingerprint — the same shape as a repository key,
+// but the graph never dereferences it; it only compares.
+type FP [32]byte
+
+// Node is one artifact's recorded state. Deps name the artifacts this
+// one was produced from; dirtiness flows the other way (a dirty dep
+// dirties its dependents).
+type Node struct {
+	ID   string
+	Kind Kind
+	FP   FP
+	// Cost is the measured time (nanoseconds) the build that last
+	// produced this artifact spent producing it. Replays keep the old
+	// cost: the graph schedules by what a rebuild *would* cost.
+	Cost int64
+	Deps []string
+}
+
+// Delta is a batch of node records to apply and persist atomically.
+// Records carry a node's complete state, so applying a delta replaces
+// nodes wholesale — there is no partial update to interleave badly.
+type Delta struct {
+	mu    sync.Mutex
+	nodes []Node
+}
+
+// Put records a node's complete state. Later Puts of the same ID win.
+func (d *Delta) Put(id string, kind Kind, fp FP, cost int64, deps ...string) {
+	d.mu.Lock()
+	d.nodes = append(d.nodes, Node{ID: id, Kind: kind, FP: fp, Cost: cost, Deps: deps})
+	d.mu.Unlock()
+}
+
+// Len reports the number of records in the delta.
+func (d *Delta) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.nodes)
+}
+
+// Graph is the in-memory dependency graph. All methods are safe for
+// concurrent use: the daemon shares one loaded graph across builds.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	// rev maps a dependency to the set of its dependents — the
+	// direction dirtiness and priorities travel.
+	rev   map[string]map[string]struct{}
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Node),
+		rev:   make(map[string]map[string]struct{}),
+	}
+}
+
+// Len reports the number of nodes.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
+
+// Edges reports the number of dependency edges.
+func (g *Graph) Edges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.edges
+}
+
+// Lookup returns a copy of the named node.
+func (g *Graph) Lookup(id string) (Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return *n, true
+}
+
+// Apply replaces every node named in the delta, atomically.
+func (g *Graph) Apply(d *Delta) {
+	d.mu.Lock()
+	nodes := d.nodes
+	d.mu.Unlock()
+	g.applyNodes(nodes)
+}
+
+func (g *Graph) applyNodes(nodes []Node) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range nodes {
+		g.put(&nodes[i])
+	}
+}
+
+// put installs a node, maintaining reverse adjacency. Caller holds mu
+// or has exclusive access (log load).
+func (g *Graph) put(n *Node) {
+	if old, ok := g.nodes[n.ID]; ok {
+		for _, dep := range old.Deps {
+			if set := g.rev[dep]; set != nil {
+				delete(set, n.ID)
+			}
+		}
+		g.edges -= len(old.Deps)
+	}
+	cp := *n
+	cp.Deps = append([]string(nil), n.Deps...)
+	g.nodes[n.ID] = &cp
+	for _, dep := range cp.Deps {
+		set := g.rev[dep]
+		if set == nil {
+			set = make(map[string]struct{})
+			g.rev[dep] = set
+		}
+		set[cp.ID] = struct{}{}
+	}
+	g.edges += len(cp.Deps)
+}
+
+// Leaves returns the IDs of every node of the given kind, sorted.
+func (g *Graph) Leaves(k Kind) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var ids []string
+	for id, n := range g.nodes {
+		if n.Kind == k {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Closure returns the forward closure of the dirty set: every node
+// reachable from a dirty ID along dependency→dependent edges,
+// including the dirty IDs themselves (those present in the graph).
+// This is the set of artifacts an edit invalidates; everything outside
+// it is guaranteed reusable without a cache probe.
+func (g *Graph) Closure(dirty []string) map[string]bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	closure := make(map[string]bool)
+	var queue []string
+	for _, id := range dirty {
+		_, known := g.nodes[id]
+		if !known {
+			// A dep-only ID still dirties its dependents.
+			known = len(g.rev[id]) > 0
+		}
+		if known && !closure[id] {
+			closure[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for dep := range g.rev[id] {
+			if !closure[dep] {
+				closure[dep] = true
+				queue = append(queue, dep)
+			}
+		}
+	}
+	return closure
+}
+
+// Priorities returns each node's longest-path-to-sink weight: its own
+// cost plus the heaviest chain of dependents above it. Scheduling the
+// ready frontier by descending priority is critical-path-first order.
+// Back edges (recursion cycles among KindFunc nodes) are cut at the
+// point of revisit, so the walk terminates with the longest acyclic
+// weight.
+func (g *Graph) Priorities() map[string]int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	prio := make(map[string]int64, len(g.nodes))
+	onstack := make(map[string]bool)
+	var walk func(id string) int64
+	walk = func(id string) int64 {
+		if p, ok := prio[id]; ok {
+			return p
+		}
+		if onstack[id] {
+			return 0 // back edge: cut the cycle
+		}
+		onstack[id] = true
+		var best int64
+		for dep := range g.rev[id] {
+			if p := walk(dep); p > best {
+				best = p
+			}
+		}
+		onstack[id] = false
+		n := g.nodes[id]
+		p := n.Cost + best
+		prio[id] = p
+		return p
+	}
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic memoization order at cycle cuts
+	for _, id := range ids {
+		walk(id)
+	}
+	return prio
+}
+
+// CriticalPath returns the weight of the heaviest dependency chain in
+// the graph — the lower bound on rebuild wall time with unlimited
+// parallelism.
+func (g *Graph) CriticalPath() int64 {
+	var max int64
+	for _, p := range g.Priorities() {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// Snapshot returns every node (copies), sorted by ID — the compaction
+// and inspection view.
+func (g *Graph) Snapshot() []Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	nodes := make([]Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		cp := *n
+		cp.Deps = append([]string(nil), n.Deps...)
+		nodes = append(nodes, cp)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	return nodes
+}

@@ -1,0 +1,312 @@
+package depgraph
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func fp(b byte) FP {
+	var f FP
+	f[0] = b
+	return f
+}
+
+// chain builds src/a → fe/a → fn/f → llo/f → image with the given
+// per-node costs.
+func chain(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	d := &Delta{}
+	d.Put("src/a", KindSource, fp(1), 0)
+	d.Put("fe/a", KindFrontend, fp(2), 100, "src/a")
+	d.Put("fn/f", KindFunc, fp(3), 200, "fe/a")
+	d.Put("llo/f", KindObject, fp(4), 300, "fn/f")
+	d.Put("image", KindImage, fp(5), 50, "llo/f")
+	g.Apply(d)
+	return g
+}
+
+func TestClosure(t *testing.T) {
+	g := chain(t)
+	d := &Delta{}
+	d.Put("src/b", KindSource, fp(6), 0)
+	d.Put("fe/b", KindFrontend, fp(7), 100, "src/b")
+	d.Put("fn/g", KindFunc, fp(8), 400, "fe/b")
+	d.Put("llo/g", KindObject, fp(9), 150, "fn/g")
+	d.Put("image", KindImage, fp(5), 50, "llo/f", "llo/g")
+	g.Apply(d)
+
+	got := g.Closure([]string{"src/a"})
+	want := map[string]bool{"src/a": true, "fe/a": true, "fn/f": true, "llo/f": true, "image": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("closure(src/a) = %v, want %v", got, want)
+	}
+	if c := g.Closure([]string{"missing"}); len(c) != 0 {
+		t.Errorf("closure of unknown node = %v, want empty", c)
+	}
+	if g.Len() != 9 || g.Edges() != 8 {
+		t.Errorf("got %d nodes %d edges, want 9 nodes 8 edges", g.Len(), g.Edges())
+	}
+}
+
+func TestReplaceNodeRewiresEdges(t *testing.T) {
+	g := chain(t)
+	d := &Delta{}
+	// fn/f no longer depends on fe/a.
+	d.Put("fn/f", KindFunc, fp(30), 200, "fe/z")
+	g.Apply(d)
+	if c := g.Closure([]string{"src/a"}); c["fn/f"] {
+		t.Errorf("fn/f still in closure of src/a after deps replaced: %v", c)
+	}
+	if c := g.Closure([]string{"fe/z"}); !c["fn/f"] || !c["image"] {
+		t.Errorf("closure(fe/z) = %v, want fn/f and image", c)
+	}
+}
+
+func TestPriorities(t *testing.T) {
+	g := chain(t)
+	prio := g.Priorities()
+	// src/a's chain: 0 + 100 + 200 + 300 + 50.
+	if prio["src/a"] != 650 {
+		t.Errorf("prio[src/a] = %d, want 650", prio["src/a"])
+	}
+	if prio["llo/f"] != 350 {
+		t.Errorf("prio[llo/f] = %d, want 350", prio["llo/f"])
+	}
+	if cp := g.CriticalPath(); cp != 650 {
+		t.Errorf("critical path = %d, want 650", cp)
+	}
+}
+
+func TestPrioritiesCycle(t *testing.T) {
+	// Mutual recursion: fn/x and fn/y depend on each other. The walk
+	// must terminate and stay deterministic.
+	g := New()
+	d := &Delta{}
+	d.Put("fn/x", KindFunc, fp(1), 10, "fn/y")
+	d.Put("fn/y", KindFunc, fp(2), 20, "fn/x")
+	d.Put("llo/x", KindObject, fp(3), 5, "fn/x")
+	g.Apply(d)
+	p1 := g.Priorities()
+	for i := 0; i < 10; i++ {
+		if p2 := g.Priorities(); !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("Priorities not deterministic: %v vs %v", p1, p2)
+		}
+	}
+	if p1["fn/x"] < 10 || p1["fn/y"] < 20 {
+		t.Errorf("cycle priorities below own cost: %v", p1)
+	}
+}
+
+func openLog(t *testing.T, dir, gen string) *Log {
+	t.Helper()
+	l, err := Open(filepath.Join(dir, "graph.log"), gen)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, "gen1")
+	d := &Delta{}
+	d.Put("src/a", KindSource, fp(1), 0)
+	d.Put("fe/a", KindFrontend, fp(2), 100, "src/a")
+	d.Put("image", KindImage, fp(3), 50, "fe/a")
+	if err := l.Append(d); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	want := l.Graph().Snapshot()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openLog(t, dir, "gen1")
+	defer l2.Close()
+	if l2.Discarded {
+		t.Fatalf("same-generation reopen discarded the log")
+	}
+	if got := l2.Graph().Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("reloaded snapshot = %+v, want %+v", got, want)
+	}
+}
+
+func TestLogReplaceSemantics(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, "gen1")
+	d := &Delta{}
+	d.Put("fe/a", KindFrontend, fp(1), 100, "src/a")
+	if err := l.Append(d); err != nil {
+		t.Fatal(err)
+	}
+	d2 := &Delta{}
+	d2.Put("fe/a", KindFrontend, fp(9), 140, "src/a2")
+	if err := l.Append(d2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2 := openLog(t, dir, "gen1")
+	defer l2.Close()
+	n, ok := l2.Graph().Lookup("fe/a")
+	if !ok || n.FP != fp(9) || n.Cost != 140 || len(n.Deps) != 1 || n.Deps[0] != "src/a2" {
+		t.Errorf("latest record did not win: %+v", n)
+	}
+	if l2.Graph().Len() != 1 {
+		t.Errorf("got %d nodes, want 1", l2.Graph().Len())
+	}
+}
+
+func TestLogTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.log")
+	l := openLog(t, dir, "gen1")
+	d := &Delta{}
+	d.Put("src/a", KindSource, fp(1), 0)
+	d.Put("fe/a", KindFrontend, fp(2), 100, "src/a")
+	if err := l.Append(d); err != nil {
+		t.Fatal(err)
+	}
+	good := l.Size()
+	d2 := &Delta{}
+	d2.Put("fe/b", KindFrontend, fp(3), 100, "src/b")
+	if err := l.Append(d2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the last record mid-payload, as a crash mid-write would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:good+3], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openLog(t, dir, "gen1")
+	defer l2.Close()
+	if l2.Discarded {
+		t.Fatalf("torn tail discarded whole log")
+	}
+	if l2.Graph().Len() != 2 {
+		t.Errorf("got %d nodes after torn-tail recovery, want 2", l2.Graph().Len())
+	}
+	if _, ok := l2.Graph().Lookup("fe/b"); ok {
+		t.Errorf("torn record survived recovery")
+	}
+	if l2.Size() != good {
+		t.Errorf("file not truncated at last good record: size %d, want %d", l2.Size(), good)
+	}
+	// The recovered log must accept appends at the truncated offset.
+	d3 := &Delta{}
+	d3.Put("fe/c", KindFrontend, fp(4), 100, "src/c")
+	if err := l2.Append(d3); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3 := openLog(t, dir, "gen1")
+	defer l3.Close()
+	if l3.Graph().Len() != 3 {
+		t.Errorf("got %d nodes after post-recovery append, want 3", l3.Graph().Len())
+	}
+}
+
+func TestLogGenerationMismatchDiscards(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, "gen1")
+	d := &Delta{}
+	d.Put("src/a", KindSource, fp(1), 0)
+	if err := l.Append(d); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2 := openLog(t, dir, "gen2")
+	defer l2.Close()
+	if !l2.Discarded {
+		t.Errorf("foreign-generation log not reported discarded")
+	}
+	if l2.Graph().Len() != 0 {
+		t.Errorf("foreign-generation log retained %d nodes", l2.Graph().Len())
+	}
+}
+
+func TestLogCorruptHeaderDiscards(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.log")
+	if err := os.WriteFile(path, []byte("not a graph log at all"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(path, "gen1")
+	if err != nil {
+		t.Fatalf("Open over garbage: %v", err)
+	}
+	defer l.Close()
+	if !l.Discarded {
+		t.Errorf("garbage file not reported discarded")
+	}
+	if l.Graph().Len() != 0 {
+		t.Errorf("garbage file yielded %d nodes", l.Graph().Len())
+	}
+}
+
+func TestLogCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, "gen1")
+	deps := make([]string, 64)
+	for i := range deps {
+		deps[i] = "fn/callee-with-a-reasonably-long-name"
+	}
+	// Rewrite the same node until dead records force a compaction.
+	for i := 0; i < 4000; i++ {
+		d := &Delta{}
+		d.Put("fn/hot", KindFunc, fp(byte(i)), int64(i), deps...)
+		if err := l.Append(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Size() > compactMin {
+		t.Errorf("log never compacted: size %d", l.Size())
+	}
+	l.Close()
+	l2 := openLog(t, dir, "gen1")
+	defer l2.Close()
+	n, ok := l2.Graph().Lookup("fn/hot")
+	if !ok || n.Cost != 3999 {
+		t.Errorf("post-compaction reload lost latest state: %+v ok=%v", n, ok)
+	}
+}
+
+func TestLogConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, "gen1")
+	defer l.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				d := &Delta{}
+				id := string(rune('a' + w))
+				d.Put("src/"+id, KindSource, fp(byte(i)), 0)
+				d.Put("fe/"+id, KindFrontend, fp(byte(i)), int64(i), "src/"+id)
+				if err := l.Append(d); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				l.Graph().Closure([]string{"src/" + id})
+				l.Graph().Priorities()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Graph().Len() != 16 {
+		t.Errorf("got %d nodes, want 16", l.Graph().Len())
+	}
+}

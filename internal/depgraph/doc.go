@@ -1,0 +1,37 @@
+// Package depgraph is the persisted artifact dependency graph behind
+// incremental builds: the analogue of ninja's build graph + deps log
+// (a .ninja_deps file records discovered dependencies once; later
+// builds dirty only the transitive closure of an edit) and of WHOPR's
+// partition map (the dependency structure *is* the unit of work
+// distribution).
+//
+// A Graph holds typed nodes — source leaves, frontend artifacts,
+// post-HLO function artifacts, LLO objects, the linked image — each
+// carrying the fingerprint the pipeline stages already compute, a
+// measured cost (nanoseconds, from the build that last produced the
+// artifact), and its dependency list. Edges point from dependency to
+// dependent, so dirtiness propagates forward: an edited source leaf
+// dirties its module's frontend artifact, the functions whose callee
+// closure reaches into that module, their objects, and the image —
+// and nothing else.
+//
+// Persistence follows the repository blob log's discipline
+// (internal/naim) and the daemon ledger's (internal/serve): an
+// append-only log of framed, CRC-checked records under a fixed header,
+// truncated at the first torn record on open, compacted by temp-file
+// + rename when dead records dominate. Each record is one node's
+// complete state (kind, fingerprint, cost, dependency list), so later
+// records replace earlier ones and the log needs no deletion markers.
+// The header carries a caller-supplied generation string (toolchain
+// version ⊕ repository epoch); a mismatch discards the log wholesale —
+// the graph is advisory, and starting empty costs one full rebuild,
+// never a stale byte.
+//
+// The graph never decides *what* a build produces. Artifact reuse is
+// gated by content-addressed repository keys exactly as before; the
+// graph supplies discovery (which artifacts an edit dirties, without
+// probing the cache per artifact), scheduling (longest-path-to-sink
+// priorities over measured costs, so the Jobs pool burns down the
+// critical path first), and the dirty-closure accounting the timing
+// report and fleet metrics expose.
+package depgraph

@@ -1,0 +1,391 @@
+package depgraph
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The persisted form: a header identifying the generation the graph
+// was recorded under, then framed node records. One record is one
+// node's complete state; later records replace earlier ones (the
+// ninja deps-log discipline), so appends never rewrite and recovery
+// is a truncation.
+//
+//	header:  magic "CMOGRAF\x01" · uvarint len · generation bytes
+//	record:  mark 0xD4 · uvarint len · payload · CRC-32C(payload)
+//	payload: uvarint len · id · kind byte · fp[32] · varint cost ·
+//	         uvarint ndeps · (uvarint len · dep)*
+
+const (
+	logMagic = "CMOGRAF\x01"
+	recMark  = 0xD4
+	// compactMin is the smallest log worth compacting; below it the
+	// rewrite costs more than the dead bytes.
+	compactMin = 64 << 10
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+var errCorrupt = errors.New("depgraph: corrupt record")
+
+// Log is a Graph bound to its append-only backing file. Open loads
+// (or starts) the file; Append persists a delta; Sync makes appended
+// records durable. All methods are safe for concurrent use, with
+// appends serialized.
+type Log struct {
+	g *Graph
+
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	gen  string
+	// size is the current file length; live is the byte length of the
+	// newest record for each live node. When dead bytes dominate,
+	// Append compacts by temp-file + rename.
+	size int64
+	live int64
+	// recSize remembers each node's newest record length so replacing
+	// it can move those bytes from live to dead.
+	recSize map[string]int64
+	// Discarded reports that Open found a log it could not keep: a
+	// generation mismatch or an unreadable header. The caller treats
+	// this as "first build" — full rebuild, never stale bytes.
+	Discarded bool
+}
+
+// Open loads the graph log at path, creating it if absent. generation
+// names the world the fingerprints were computed in (toolchain
+// version ⊕ repository epoch); a log recorded under any other
+// generation is discarded wholesale. A torn tail — a crash mid-append
+// — is truncated at the first bad record, keeping every complete
+// record before it.
+func Open(path, generation string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		g:       New(),
+		f:       f,
+		path:    path,
+		gen:     generation,
+		recSize: make(map[string]int64),
+	}
+	if err := l.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Graph returns the loaded graph.
+func (l *Log) Graph() *Graph { return l.g }
+
+// load reads the existing file, truncating at the first torn record,
+// or (re)writes a fresh header when the file is empty, unreadable, or
+// from another generation.
+func (l *Log) load() error {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return err
+	}
+	hdr := l.headerBytes()
+	if len(data) >= len(hdr) && string(data[:len(hdr)]) == string(hdr) {
+		off := int64(len(hdr))
+		for int(off) < len(data) {
+			n, rec, err := readRecord(data[off:])
+			if err != nil {
+				break // torn tail: keep everything before it
+			}
+			l.g.put(rec)
+			if old, ok := l.recSize[rec.ID]; ok {
+				l.live -= old
+			}
+			l.recSize[rec.ID] = int64(n)
+			l.live += int64(n)
+			off += int64(n)
+		}
+		if int(off) != len(data) {
+			if err := l.f.Truncate(off); err != nil {
+				return err
+			}
+		}
+		l.size = off
+		return nil
+	}
+	// Missing, foreign-generation, or mangled header: start fresh.
+	l.Discarded = len(data) > 0
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	l.size = int64(len(hdr))
+	return nil
+}
+
+func (l *Log) headerBytes() []byte {
+	b := make([]byte, 0, len(logMagic)+10+len(l.gen))
+	b = append(b, logMagic...)
+	b = binary.AppendUvarint(b, uint64(len(l.gen)))
+	return append(b, l.gen...)
+}
+
+// Append applies the delta to the in-memory graph and persists its
+// records. The write is a single WriteAt, so a crash tears at most
+// the tail, which the next Open truncates away. Durability is
+// deferred to Sync — the session commit — matching the repository
+// blob log's discipline.
+func (l *Log) Append(d *Delta) error {
+	d.mu.Lock()
+	nodes := append([]Node(nil), d.nodes...)
+	d.mu.Unlock()
+	if len(nodes) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf []byte
+	sizes := make([]int64, len(nodes))
+	for i := range nodes {
+		start := len(buf)
+		buf = appendRecord(buf, &nodes[i])
+		sizes[i] = int64(len(buf) - start)
+	}
+	if _, err := l.f.WriteAt(buf, l.size); err != nil {
+		return err
+	}
+	l.size += int64(len(buf))
+	l.g.applyNodes(nodes)
+	for i := range nodes {
+		if old, ok := l.recSize[nodes[i].ID]; ok {
+			l.live -= old
+		}
+		l.recSize[nodes[i].ID] = sizes[i]
+		l.live += sizes[i]
+	}
+	if l.size > compactMin && l.size > 3*l.live {
+		return l.compact()
+	}
+	return nil
+}
+
+// compact rewrites the log as one record per live node, atomically
+// (temp file + rename, the MANIFEST discipline). Caller holds mu.
+func (l *Log) compact() error {
+	nodes := l.g.Snapshot()
+	buf := l.headerBytes()
+	recSize := make(map[string]int64, len(nodes))
+	var live int64
+	for i := range nodes {
+		start := len(buf)
+		buf = appendRecord(buf, &nodes[i])
+		sz := int64(len(buf) - start)
+		recSize[nodes[i].ID] = sz
+		live += sz
+	}
+	tmp := l.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := tf.Write(buf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, tmp[:len(tmp)-len(".tmp")]); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	old := l.f
+	l.f = tf
+	old.Close()
+	l.size = int64(len(buf))
+	l.live = live
+	l.recSize = recSize
+	return syncDir(filepath.Dir(l.path))
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Close syncs and releases the backing file. The Log is unusable
+// afterwards; the Graph remains readable.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// Size returns the backing file's current length (testing/inspection).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+func appendRecord(b []byte, n *Node) []byte {
+	payload := make([]byte, 0, 64+len(n.ID))
+	payload = binary.AppendUvarint(payload, uint64(len(n.ID)))
+	payload = append(payload, n.ID...)
+	payload = append(payload, byte(n.Kind))
+	payload = append(payload, n.FP[:]...)
+	payload = binary.AppendVarint(payload, n.Cost)
+	payload = binary.AppendUvarint(payload, uint64(len(n.Deps)))
+	for _, dep := range n.Deps {
+		payload = binary.AppendUvarint(payload, uint64(len(dep)))
+		payload = append(payload, dep...)
+	}
+	b = append(b, recMark)
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(payload, crcTable))
+}
+
+// readRecord parses one record from the front of data, returning the
+// bytes consumed and the decoded node. Any framing or checksum damage
+// is an error: the caller treats it as the torn tail.
+func readRecord(data []byte) (int, *Node, error) {
+	if len(data) < 1 || data[0] != recMark {
+		return 0, nil, errCorrupt
+	}
+	plen, n := binary.Uvarint(data[1:])
+	if n <= 0 || plen > uint64(len(data)) {
+		return 0, nil, errCorrupt
+	}
+	off := 1 + n
+	if uint64(len(data)-off) < plen+4 {
+		return 0, nil, errCorrupt
+	}
+	payload := data[off : off+int(plen)]
+	off += int(plen)
+	want := binary.BigEndian.Uint32(data[off : off+4])
+	off += 4
+	if crc32.Checksum(payload, crcTable) != want {
+		return 0, nil, errCorrupt
+	}
+	node, err := decodePayload(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return off, node, nil
+}
+
+func decodePayload(p []byte) (*Node, error) {
+	r := &payloadReader{b: p}
+	n := &Node{}
+	n.ID = r.str()
+	n.Kind = Kind(r.byte())
+	copy(n.FP[:], r.take(32))
+	n.Cost = r.varint()
+	ndeps := r.uvarint()
+	if r.err != nil || ndeps > uint64(len(p)) {
+		return nil, errCorrupt
+	}
+	for i := uint64(0); i < ndeps; i++ {
+		n.Deps = append(n.Deps, r.str())
+	}
+	if r.err != nil || r.off != len(p) {
+		return nil, errCorrupt
+	}
+	if n.Kind < KindSource || n.Kind > KindImage || n.ID == "" {
+		return nil, fmt.Errorf("depgraph: bad node record %q kind %d", n.ID, n.Kind)
+	}
+	return n, nil
+}
+
+type payloadReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errCorrupt
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.err = errCorrupt
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *payloadReader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.err = errCorrupt
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *payloadReader) take(n int) []byte {
+	if r.err != nil || n > len(r.b)-r.off {
+		r.err = errCorrupt
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *payloadReader) str() string {
+	n := r.uvarint()
+	if r.err != nil || n > uint64(len(r.b)-r.off) {
+		r.err = errCorrupt
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	cmo "cmo"
+	"cmo/internal/workload"
+)
+
+// GraphPoint is one warm-rebuild measurement with the dependency
+// graph, paired with the same step run against an equally warmed
+// repository with the graph disabled (Options.NoDepGraph).
+type GraphPoint struct {
+	// Name is "cold", "warm-noop", or "warm-edit@K" where K is the
+	// edited module's index.
+	Name string `json:"name"`
+	// EditPos is the edited module index, -1 for cold/warm-noop.
+	EditPos int `json:"edit_pos"`
+	// BuildNanos is the graph path's wall time; NoGraphNanos the
+	// NoDepGraph path's wall time for the same step.
+	BuildNanos   int64 `json:"build_nanos"`
+	NoGraphNanos int64 `json:"nograph_nanos"`
+	// Speedup is the graph path's cold time over this point's graph
+	// time; Advantage is NoGraphNanos over BuildNanos — what the graph
+	// buys on the same step against the same warmth.
+	Speedup   float64 `json:"speedup"`
+	Advantage float64 `json:"advantage"`
+	// DirtyClosure and FrontierDepth show warm-edit stage work scaling
+	// with the closure, not the program: the dirty set the graph
+	// propagated and the LLO work items it scheduled.
+	DirtyClosure  int `json:"dirty_closure"`
+	FrontierDepth int `json:"frontier_depth"`
+	// FrontendMisses counts modules actually re-lowered (1 per edit).
+	FrontendMisses int `json:"frontend_misses"`
+	// ImageReplay marks the whole-image replay path (warm-noop).
+	ImageReplay bool `json:"image_replay"`
+	// Identical records byte-identity of this step's image against
+	// both the cold build and the NoDepGraph path — the load-bearing
+	// invariant. Any false value is a bug, not a data point.
+	Identical bool `json:"identical"`
+}
+
+// GraphSweep is one module-count column of the sweep.
+type GraphSweep struct {
+	Modules int          `json:"modules"`
+	Points  []GraphPoint `json:"points"`
+	// NoopSpeedup is cold over warm-noop on the graph path; the
+	// acceptance headline requires it strictly above the floor at
+	// every module count.
+	NoopSpeedup float64 `json:"noop_speedup"`
+}
+
+// GraphRecord is the BENCH_graph.json payload: the module-count ×
+// edit-position sweep of the persisted dependency graph, so the
+// incremental-rebuild trajectory is comparable across commits.
+type GraphRecord struct {
+	Benchmark string       `json:"benchmark"`
+	Sweeps    []GraphSweep `json:"sweeps"`
+	// NoopSpeedup is the headline: the worst (minimum) warm-noop
+	// speedup across module counts, so the figure can only pass when
+	// image replay wins everywhere.
+	NoopSpeedup float64 `json:"noop_speedup"`
+}
+
+// Graph measures the persisted dependency graph across module count ×
+// edit position: for each program size, a cold build, a warm no-op
+// rebuild (the image-replay path), and a warm rebuild after a
+// comment-only edit at the first, middle, and last module. Every step
+// also runs against a second, equally warmed repository with
+// Options.NoDepGraph, and every image is checked byte-identical
+// against both the cold build and the graph-less path.
+func Graph(cfg Config) (*GraphRecord, error) {
+	p := SpecPrograms(cfg)[2] // the gcc-like program: the multi-module one
+	rec := &GraphRecord{Benchmark: p.Spec.Name}
+
+	for _, nmods := range []int{cfg.scale(8), cfg.scale(16), cfg.scale(32)} {
+		sweep, err := graphSweep(cfg, p.Spec, nmods)
+		if err != nil {
+			return nil, err
+		}
+		rec.Sweeps = append(rec.Sweeps, *sweep)
+		if rec.NoopSpeedup == 0 || sweep.NoopSpeedup < rec.NoopSpeedup {
+			rec.NoopSpeedup = sweep.NoopSpeedup
+		}
+	}
+	return rec, nil
+}
+
+func graphSweep(cfg Config, spec workload.Spec, nmods int) (*GraphSweep, error) {
+	spec.Modules = nmods
+	mods := sources(spec)
+
+	gDir, err := os.MkdirTemp("", "cmo-bench-graph-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(gDir)
+	nDir, err := os.MkdirTemp("", "cmo-bench-nograph-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(nDir)
+
+	build := func(in []cmo.SourceModule, dir string, noGraph bool) (*cmo.Build, error) {
+		return cmo.BuildSource(in, cmo.Options{
+			Level:      cmo.O2,
+			Volatile:   workload.InputGlobals(),
+			Trace:      cfg.Trace,
+			CacheDir:   dir,
+			NoDepGraph: noGraph,
+		})
+	}
+
+	sweep := &GraphSweep{Modules: nmods}
+	var refDisasm string
+	var cold int64
+	step := func(name string, editPos int, in []cmo.SourceModule) error {
+		cfg.logf("graph: %d modules, %s\n", nmods, name)
+		g, err := build(in, gDir, false)
+		if err != nil {
+			return fmt.Errorf("graph %d/%s: %w", nmods, name, err)
+		}
+		n, err := build(in, nDir, true)
+		if err != nil {
+			return fmt.Errorf("graph %d/%s (nograph): %w", nmods, name, err)
+		}
+		dis := g.Image.Disasm()
+		if name == "cold" {
+			refDisasm = dis
+			cold = g.Stats.TotalNanos
+		}
+		pt := GraphPoint{
+			Name:           name,
+			EditPos:        editPos,
+			BuildNanos:     g.Stats.TotalNanos,
+			NoGraphNanos:   n.Stats.TotalNanos,
+			Speedup:        float64(cold) / float64(g.Stats.TotalNanos),
+			Advantage:      float64(n.Stats.TotalNanos) / float64(g.Stats.TotalNanos),
+			DirtyClosure:   g.Stats.GraphDirtyClosure,
+			FrontierDepth:  g.Stats.GraphFrontierDepth,
+			FrontendMisses: g.Stats.CacheFrontendMisses,
+			ImageReplay:    g.Stats.GraphImageReplay,
+			Identical:      dis == refDisasm && dis == n.Image.Disasm(),
+		}
+		sweep.Points = append(sweep.Points, pt)
+		if name == "warm-noop" {
+			sweep.NoopSpeedup = pt.Speedup
+		}
+		return nil
+	}
+
+	if err := step("cold", -1, mods); err != nil {
+		return nil, err
+	}
+	if err := step("warm-noop", -1, mods); err != nil {
+		return nil, err
+	}
+	for _, pos := range []int{0, nmods / 2, nmods - 1} {
+		// A comment-only edit at one position: the frontend key misses
+		// for that module alone, the dirty closure stays proportional
+		// to its fan-out, and the optimized image must not move.
+		in := append([]cmo.SourceModule(nil), mods...)
+		in[pos].Text += "\n// touched\n"
+		if err := step(fmt.Sprintf("warm-edit@%d", pos), pos, in); err != nil {
+			return nil, err
+		}
+		// Reseat both repositories at the base sources so the next
+		// edit's dirty closure reflects only its own module, not the
+		// revert of the previous edit.
+		if _, err := build(mods, gDir, false); err != nil {
+			return nil, fmt.Errorf("graph %d/reseat: %w", nmods, err)
+		}
+		if _, err := build(mods, nDir, true); err != nil {
+			return nil, fmt.Errorf("graph %d/reseat (nograph): %w", nmods, err)
+		}
+	}
+	return sweep, nil
+}
+
+// RenderGraph formats the sweep as the report table.
+func RenderGraph(rec *GraphRecord) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Dependency graph rebuilds: %s, module count x edit position (O2, graph vs NoDepGraph)\n",
+		rec.Benchmark)
+	fmt.Fprintf(&sb, "%4s  %-13s  %10s  %10s  %8s  %9s  %7s  %8s  %s\n",
+		"mods", "build", "graph-ms", "nograph-ms", "speedup", "advantage", "dirty", "frontier", "image")
+	for _, sw := range rec.Sweeps {
+		for _, pt := range sw.Points {
+			img := "identical"
+			switch {
+			case !pt.Identical:
+				img = "DIFFERS"
+			case pt.ImageReplay:
+				img = "replayed"
+			}
+			fmt.Fprintf(&sb, "%4d  %-13s  %10.1f  %10.1f  %7.2fx  %8.2fx  %7d  %8d  %s\n",
+				sw.Modules, pt.Name,
+				float64(pt.BuildNanos)/1e6, float64(pt.NoGraphNanos)/1e6,
+				pt.Speedup, pt.Advantage, pt.DirtyClosure, pt.FrontierDepth, img)
+		}
+	}
+	fmt.Fprintf(&sb, "headline: warm-noop speedup %.2fx (minimum across module counts)\n", rec.NoopSpeedup)
+	return sb.String()
+}
+
+// WriteGraphJSON writes the BENCH_graph.json record.
+func WriteGraphJSON(w io.Writer, rec *GraphRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

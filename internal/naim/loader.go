@@ -120,6 +120,10 @@ type Stats struct {
 	// WritebackPeakQueue is the high-water depth of the writeback
 	// queue — how far disk writes fell behind eviction.
 	WritebackPeakQueue int64
+	// WritebackBatches counts group-committed repository appends; the
+	// ratio DiskWrites / WritebackBatches is the average batch size the
+	// writer achieved (1.0 = no grouping ever paid off).
+	WritebackBatches int64
 }
 
 type status uint8
@@ -212,6 +216,7 @@ type Loader struct {
 		compactions, expansions         *obs.Counter
 		diskWrites, diskReads, installs *obs.Counter
 		lockWait, wbQueued, wbPeak      *obs.Counter
+		wbBatches                       *obs.Counter
 	}
 }
 
@@ -222,6 +227,7 @@ type statCells struct {
 	diskWrites, diskReads               atomic.Int64
 	compactNanos, diskNanos             atomic.Int64
 	writebackQueued, writebackPeakQueue atomic.Int64
+	writebackBatches                    atomic.Int64
 }
 
 // NewLoader wraps a program's transitory objects in a loader.
@@ -322,6 +328,7 @@ func (l *Loader) SetTraceScope(s obs.Span) {
 		l.ctr.lockWait = tr.Counter("naim.lock_wait_ns")
 		l.ctr.wbQueued = tr.Counter("naim.writeback_queued")
 		l.ctr.wbPeak = tr.Counter("naim.writeback_peak_queue")
+		l.ctr.wbBatches = tr.Counter("naim.writeback_batches")
 	}
 }
 
@@ -767,6 +774,7 @@ func (l *Loader) Stats() Stats {
 		LockWaitNanos:      lockWait,
 		WritebackQueued:    l.stats.writebackQueued.Load(),
 		WritebackPeakQueue: l.stats.writebackPeakQueue.Load(),
+		WritebackBatches:   l.stats.writebackBatches.Load(),
 	}
 }
 

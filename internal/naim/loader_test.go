@@ -330,3 +330,33 @@ func TestLoaderDeterministicAccounting(t *testing.T) {
 		t.Errorf("loader behavior not deterministic: (%d,%d) vs (%d,%d)", p1, c1, p2, c2)
 	}
 }
+
+func TestLoaderWritebackBatches(t *testing.T) {
+	// A burst of installs at LevelDisk evicts in a tight loop while
+	// the single writer lands blobs — exactly the shape group commit
+	// exists for. The invariants hold at any interleaving: every
+	// landed write belongs to some batch, and batches never exceed
+	// writes.
+	prog, fns := genModules(t, 10, 8)
+	l := NewLoader(prog, Config{ForceLevel: LevelDisk, CacheSlots: 2, Dir: t.TempDir()})
+	defer l.Close()
+	installAll(l, fns, prog)
+	l.Flush()
+	s := l.Stats()
+	if s.DiskWrites == 0 {
+		t.Fatal("no disk writes at LevelDisk")
+	}
+	if s.WritebackBatches == 0 {
+		t.Errorf("disk writes landed outside any batch: %d writes, 0 batches", s.DiskWrites)
+	}
+	if s.WritebackBatches > s.DiskWrites {
+		t.Errorf("more batches (%d) than writes (%d)", s.WritebackBatches, s.DiskWrites)
+	}
+	// Batched landings must be as readable as singleton ones.
+	for _, pid := range prog.FuncPIDs() {
+		if l.Function(pid) == nil {
+			t.Fatalf("lost %s after batched writeback", prog.Sym(pid).Name)
+		}
+		l.DoneWith(pid)
+	}
+}

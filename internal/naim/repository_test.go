@@ -405,3 +405,97 @@ func TestRepositoryManifestCorruptFallsBackToScan(t *testing.T) {
 		t.Fatalf("blob after manifest corruption: %q, %v", got, err)
 	}
 }
+
+func TestRepositoryPutBatch(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed one blob, then batch: a fresh blob, a duplicate of the
+	// seeded one, an empty blob, an intra-batch repeat, and a big blob.
+	seedKey, err := repo.PutContent([]byte("seeded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := [][]byte{
+		[]byte("fresh"),
+		[]byte("seeded"),
+		{},
+		[]byte("fresh"),
+		bytes.Repeat([]byte{0x5C}, 20000),
+	}
+	keys, err := repo.PutBatch(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(blobs) {
+		t.Fatalf("got %d keys for %d blobs", len(keys), len(blobs))
+	}
+	if keys[1] != seedKey {
+		t.Errorf("duplicate blob got a different key")
+	}
+	if keys[0] != keys[3] {
+		t.Errorf("intra-batch repeat got a different key")
+	}
+	for i, b := range blobs {
+		got, err := repo.Get(keys[i])
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Errorf("blob %d corrupted after batch put", i)
+		}
+	}
+	// 1 seed + 3 distinct batch blobs; the two duplicates were elided.
+	if repo.Len() != 4 {
+		t.Errorf("repo holds %d blobs, want 4", repo.Len())
+	}
+	if d := repo.DupPuts(); d != 2 {
+		t.Errorf("DupPuts = %d, want 2", d)
+	}
+
+	// Batch-written records survive commit + reopen like Put's do.
+	if err := repo.Close(); err != nil {
+		t.Fatal(err)
+	}
+	repo2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo2.Close()
+	for i, b := range blobs {
+		got, err := repo2.Get(keys[i])
+		if err != nil {
+			t.Fatalf("reopened get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Errorf("blob %d corrupted after reopen", i)
+		}
+	}
+}
+
+func TestRepositoryPutBatchEmptyAndAllDup(t *testing.T) {
+	repo, err := NewRepository(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+
+	if keys, err := repo.PutBatch(nil); err != nil || len(keys) != 0 {
+		t.Fatalf("empty batch: keys=%v err=%v", keys, err)
+	}
+	k, _ := repo.PutContent([]byte("x"))
+	before := repo.Size()
+	keys, err := repo.PutBatch([][]byte{[]byte("x"), []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys[0] != k || keys[1] != k {
+		t.Errorf("all-duplicate batch returned wrong keys")
+	}
+	if repo.Size() != before {
+		t.Errorf("all-duplicate batch grew the log by %d bytes", repo.Size()-before)
+	}
+}

@@ -277,12 +277,13 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Single-writer durability: each completed build commits the
-	// repository exactly once, serialized per cache directory, so two
+	// session exactly once — repository blob log, manifest, and the
+	// dependency graph's log — serialized per cache directory, so two
 	// concurrent builds never interleave a manifest write. Reads never
 	// take this lock.
 	if entry != nil && entry.sess.Repo() != nil {
 		entry.commitMu.Lock()
-		cerr := entry.sess.Repo().Commit()
+		cerr := entry.sess.Commit()
 		entry.commitMu.Unlock()
 		if cerr != nil {
 			s.ctr.failed.Add(1)

@@ -61,6 +61,17 @@ type BuildRecord struct {
 	FrontendMisses int   `json:"fe_misses"`
 	HLOHits        int   `json:"hlo_hits"`
 	HLOMisses      int   `json:"hlo_misses"`
+	LLOHits        int   `json:"llo_hits,omitempty"`
+	LLOMisses      int   `json:"llo_misses,omitempty"`
+
+	// Dependency-graph figures (zero/false when the build ran without
+	// a graph — disconnected session or NoDepGraph).
+	GraphNodes         int   `json:"graph_nodes,omitempty"`
+	GraphEdges         int   `json:"graph_edges,omitempty"`
+	GraphDirtyClosure  int   `json:"graph_dirty_closure,omitempty"`
+	GraphCriticalNanos int64 `json:"graph_critical_ns,omitempty"`
+	GraphFrontier      int   `json:"graph_frontier,omitempty"`
+	GraphImageReplay   bool  `json:"graph_image_replay,omitempty"`
 
 	// Replayed marks records loaded from a ledger on session open
 	// rather than served by this process; their traces are gone.

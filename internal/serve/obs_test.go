@@ -54,6 +54,12 @@ func TestDaemonPrometheusMetrics(t *testing.T) {
 		Volatile: workload.InputGlobals()}); failResp != nil {
 		t.Fatalf("build: status %d: %s", failResp.StatusCode, failResp.Status)
 	}
+	// A second, identical build replays the image off the dependency
+	// graph — the cmod_image_replays_total source.
+	if _, failResp := postBuild(t, ts.URL, BuildRequest{Modules: mods, CacheDir: dir,
+		Volatile: workload.InputGlobals()}); failResp != nil {
+		t.Fatalf("warm build: status %d: %s", failResp.StatusCode, failResp.Status)
+	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -71,32 +77,51 @@ func TestDaemonPrometheusMetrics(t *testing.T) {
 	if f := m["cmod_build_duration_seconds"]; f == nil || f.Type != "histogram" {
 		t.Fatalf("cmod_build_duration_seconds family = %+v, want histogram", f)
 	}
-	if _, count := m.SumCount("cmod_build_duration_seconds", "", ""); count != 1 {
-		t.Errorf("duration count = %v, want 1", count)
+	if _, count := m.SumCount("cmod_build_duration_seconds", "", ""); count != 2 {
+		t.Errorf("duration count = %v, want 2", count)
 	}
 	bs := m.HistogramBuckets("cmod_build_duration_seconds", "", "")
-	if len(bs) == 0 || bs[len(bs)-1].CumulativeCount != 1 {
-		t.Errorf("duration buckets = %+v, want +Inf cumulative 1", bs)
+	if len(bs) == 0 || bs[len(bs)-1].CumulativeCount != 2 {
+		t.Errorf("duration buckets = %+v, want +Inf cumulative 2", bs)
 	}
-	// A cold O4 build exercises at least frontend, hlo, llo, link.
+	// A cold O4 build exercises at least frontend, hlo, llo, link —
+	// and only the cold one: the warm build replayed the image with
+	// zero stage work, so each stage count stays at 1.
 	for _, stage := range []string{"frontend", "hlo", "llo", "link"} {
 		if _, count := m.SumCount("cmod_build_stage_seconds", "stage", stage); count != 1 {
-			t.Errorf("stage %q count = %v, want 1", stage, count)
+			t.Errorf("stage %q count = %v, want 1 (warm build must do no stage work)", stage, count)
 		}
 	}
-	if v, ok := m.Value("cmod_builds_total"); !ok || v != 1 {
+	{
 		f := m["cmod_builds_total"]
 		found := false
 		if f != nil {
 			for _, s := range f.Samples {
-				if s.Label("outcome") == "ok" && s.Value == 1 {
+				if s.Label("outcome") == "ok" && s.Value == 2 {
 					found = true
 				}
 			}
 		}
 		if !found {
-			t.Errorf("cmod_builds_total{outcome=ok} != 1: %+v", f)
+			t.Errorf("cmod_builds_total{outcome=ok} != 2: %+v", f)
 		}
+	}
+	// Dependency-graph telemetry: live size gauges, the image-replay
+	// counter, and the per-build closure histogram.
+	if v, ok := m.Value("cmod_image_replays_total"); !ok || v != 1 {
+		t.Errorf("cmod_image_replays_total = %v, want 1", v)
+	}
+	if v, ok := m.Value("cmod_graph_nodes"); !ok || v <= 0 {
+		t.Errorf("cmod_graph_nodes = %v, want > 0", v)
+	}
+	if v, ok := m.Value("cmod_graph_edges"); !ok || v <= 0 {
+		t.Errorf("cmod_graph_edges = %v, want > 0", v)
+	}
+	if _, count := m.SumCount("cmod_build_dirty_closure", "", ""); count != 2 {
+		t.Errorf("dirty-closure histogram count = %v, want 2", count)
+	}
+	if dbs := m.HistogramBuckets("cmod_build_dirty_closure", "", ""); len(dbs) == 0 || dbs[0].CumulativeCount < 1 {
+		t.Errorf("dirty-closure histogram lacks the warm build's zero observation: %+v", dbs)
 	}
 	// Session hit-rate counters arrive as sanitized legacy series.
 	for _, name := range []string{"cmod_session_frontend_misses", "cmod_session_frontend_hits",

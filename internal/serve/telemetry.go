@@ -41,6 +41,11 @@ type instruments struct {
 	codeBytes *obs.Histogram
 	feRatio   *obs.Histogram
 	hloRatio  *obs.Histogram
+	lloRatio  *obs.Histogram
+	dirty     *obs.Histogram
+	critPath  *obs.Histogram
+	frontier  *obs.Histogram
+	replays   *obs.Counter
 	outcomes  map[string]*obs.Counter
 	replayed  *obs.Counter
 	ledgerErr *obs.Counter
@@ -54,6 +59,11 @@ func newInstruments(r *obs.Registry) *instruments {
 	r.SetHelp("cmod_build_code_bytes", "Final image code size per completed build.")
 	r.SetHelp("cmod_build_frontend_hit_ratio", "Frontend replay hit ratio per build with a cache session.")
 	r.SetHelp("cmod_build_hlo_hit_ratio", "HLO replay hit ratio per build with a cache session.")
+	r.SetHelp("cmod_build_llo_hit_ratio", "LLO object replay hit ratio per graph-steered build that reached codegen.")
+	r.SetHelp("cmod_build_dirty_closure", "Dirty-closure size per graph-steered build (0 = clean, image replayed).")
+	r.SetHelp("cmod_build_critical_path_seconds", "Predicted critical-path length of each graph-steered build's schedule.")
+	r.SetHelp("cmod_build_frontier_depth", "Ready-frontier size (routines scheduled through LLO) per graph-steered build.")
+	r.SetHelp("cmod_image_replays_total", "Builds answered entirely from the dependency graph (zero stage work).")
 	r.SetHelp("cmod_builds_total", "Builds recorded by outcome (includes ledger replay on restart).")
 	r.SetHelp("cmod_ledger_replayed_total", "Ledger records replayed into the registry on session open.")
 	r.SetHelp("cmod_ledger_errors_total", "Ledger appends that failed (history shortens, builds do not).")
@@ -66,6 +76,11 @@ func newInstruments(r *obs.Registry) *instruments {
 		codeBytes: r.Histogram("cmod_build_code_bytes", obs.ExpBuckets(1024, 4, 12)),
 		feRatio:   r.Histogram("cmod_build_frontend_hit_ratio", obs.LinearBuckets(0.1, 0.1, 9)),
 		hloRatio:  r.Histogram("cmod_build_hlo_hit_ratio", obs.LinearBuckets(0.1, 0.1, 9)),
+		lloRatio:  r.Histogram("cmod_build_llo_hit_ratio", obs.LinearBuckets(0.1, 0.1, 9)),
+		dirty:     r.Histogram("cmod_build_dirty_closure", obs.ExpBuckets(1, 2, 12)),
+		critPath:  r.Histogram("cmod_build_critical_path_seconds", latencyBuckets()),
+		frontier:  r.Histogram("cmod_build_frontier_depth", obs.ExpBuckets(1, 2, 12)),
+		replays:   r.Counter("cmod_image_replays_total"),
 		outcomes:  make(map[string]*obs.Counter, 3),
 		replayed:  r.Counter("cmod_ledger_replayed_total"),
 		ledgerErr: r.Counter("cmod_ledger_errors_total"),
@@ -125,6 +140,23 @@ func (in *instruments) observe(rec BuildRecord) {
 	if t := rec.HLOHits + rec.HLOMisses; t > 0 {
 		in.hloRatio.Observe(float64(rec.HLOHits) / float64(t))
 	}
+	if t := rec.LLOHits + rec.LLOMisses; t > 0 {
+		in.lloRatio.Observe(float64(rec.LLOHits) / float64(t))
+	}
+	if rec.GraphImageReplay {
+		in.replays.Add(1)
+	}
+	// Graph histograms only see graph-steered builds (nodes > 0), so a
+	// NoDepGraph fleet doesn't flood the zero bucket.
+	if rec.GraphNodes > 0 {
+		in.dirty.Observe(float64(rec.GraphDirtyClosure))
+		if rec.GraphCriticalNanos > 0 {
+			in.critPath.ObserveNanos(rec.GraphCriticalNanos)
+		}
+		if rec.GraphFrontier > 0 {
+			in.frontier.Observe(float64(rec.GraphFrontier))
+		}
+	}
 }
 
 // initTelemetry builds the registry, instruments, and gauges. Gauges
@@ -159,6 +191,16 @@ func (s *Server) initTelemetry() {
 		defer s.obsMu.Unlock()
 		return float64(len(s.records))
 	})
+	r.SetHelp("cmod_graph_nodes", "Dependency-graph nodes across open sessions.")
+	r.Gauge("cmod_graph_nodes", func() float64 {
+		n, _ := s.graphTotals()
+		return float64(n)
+	})
+	r.SetHelp("cmod_graph_edges", "Dependency-graph edges across open sessions.")
+	r.Gauge("cmod_graph_edges", func() float64 {
+		_, e := s.graphTotals()
+		return float64(e)
+	})
 	r.SetHelp("cmod_commit_backlog_bytes", "Blob-log bytes appended but not yet committed, across open sessions.")
 	r.Gauge("cmod_commit_backlog_bytes", func() float64 {
 		s.mu.Lock()
@@ -180,6 +222,24 @@ func (s *Server) initTelemetry() {
 // Registry exposes the daemon's telemetry registry (the /metrics
 // source, minus the legacy trace counters).
 func (s *Server) Registry() *obs.Registry { return s.registry }
+
+// graphTotals sums loaded dependency-graph sizes across open sessions
+// (scrape-time sampling for the cmod_graph_* gauges).
+func (s *Server) graphTotals() (nodes, edges int) {
+	s.mu.Lock()
+	entries := make([]*sessionEntry, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		if g := e.sess.Graph(); g != nil {
+			nodes += g.Len()
+			edges += g.Edges()
+		}
+	}
+	return nodes, edges
+}
 
 // newBuildRecord assembles the ledger record for a finished build.
 // stats may be nil for builds that failed before producing stats.
@@ -212,6 +272,14 @@ func newBuildRecord(id, cacheDir, fp string, outcome string, buildErr error, mod
 		rec.FrontendMisses = stats.CacheFrontendMisses
 		rec.HLOHits = stats.CacheHLOHits
 		rec.HLOMisses = stats.CacheHLOMisses
+		rec.LLOHits = stats.CacheLLOHits
+		rec.LLOMisses = stats.CacheLLOMisses
+		rec.GraphNodes = stats.GraphNodes
+		rec.GraphEdges = stats.GraphEdges
+		rec.GraphDirtyClosure = stats.GraphDirtyClosure
+		rec.GraphCriticalNanos = stats.GraphCriticalPathNanos
+		rec.GraphFrontier = stats.GraphFrontierDepth
+		rec.GraphImageReplay = stats.GraphImageReplay
 	}
 	return rec
 }

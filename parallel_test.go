@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"cmo/internal/il"
+	"cmo/internal/llo"
 	"cmo/internal/lower"
 	"cmo/internal/naim"
-	"cmo/internal/obs"
 	"cmo/internal/source"
 	"cmo/internal/vpa"
 	"cmo/internal/workload"
@@ -60,11 +60,23 @@ func TestCompileParallelErrorUnpinsAll(t *testing.T) {
 		}
 		return nil
 	}
-	classify := func(il.PID, *il.Function) (int, bool) { return 2, false }
-
 	b := &Build{Prog: prog}
 	code := make(map[il.PID]*vpa.Func)
-	err := b.compileParallel(loader, Options{}, nil, code, classify, verify, 8, obs.Span{})
+	compileOne := func(pid il.PID, lock func(func())) error {
+		f := loader.Function(pid)
+		if f == nil {
+			return errors.New("missing body")
+		}
+		mf, err := llo.Compile(prog, f, llo.Options{Level: 2, Verify: verify})
+		if err != nil {
+			loader.DoneWith(pid)
+			return err
+		}
+		lock(func() { code[pid] = mf })
+		loader.DoneWith(pid)
+		return nil
+	}
+	err := b.compileParallel(pids, compileOne, Options{}, 8)
 	if !errors.Is(err, wantErr) {
 		t.Fatalf("compileParallel error = %v, want the injected failure", err)
 	}

@@ -162,14 +162,31 @@ func (b *Build) TimingReport() string {
 			s.CacheHLOHits, s.CacheHLOMisses,
 			100*float64(s.CacheHLOHits)/float64(s.CacheHLOHits+s.CacheHLOMisses))
 	}
+	if s.CacheLLOHits+s.CacheLLOMisses > 0 {
+		fmt.Fprintf(&sb, "session llo: %d replayed, %d compiled (%.1f%% warm)\n",
+			s.CacheLLOHits, s.CacheLLOMisses,
+			100*float64(s.CacheLLOHits)/float64(s.CacheLLOHits+s.CacheLLOMisses))
+	}
+	// Graph lines appear whenever the dependency graph steered the
+	// build — a full image replay, or a staged build with a loaded
+	// graph (nodes > 0 even when the closure was empty).
+	if s.GraphImageReplay {
+		fmt.Fprintf(&sb, "graph: image replayed — %d nodes, %d edges, dirty closure 0\n",
+			s.GraphNodes, s.GraphEdges)
+	} else if s.GraphNodes > 0 {
+		fmt.Fprintf(&sb, "graph: %d nodes, %d edges, dirty closure %d, frontier %d, critical path %.2f ms\n",
+			s.GraphNodes, s.GraphEdges, s.GraphDirtyClosure, s.GraphFrontierDepth,
+			ms(s.GraphCriticalPathNanos))
+	}
 	if s.PinLeaks > 0 {
 		fmt.Fprintf(&sb, "naim pin leaks: %d pools still checked out\n", s.PinLeaks)
 	}
 	// Contention figures only appear under Jobs > 1 (or disk offload):
 	// an uncontended single-threaded build keeps this line out.
 	if s.NAIM.LockWaitNanos > 0 || s.NAIM.WritebackQueued > 0 {
-		fmt.Fprintf(&sb, "naim contention: %.2f ms shard-lock wait, %d spills queued (peak queue %d)\n",
-			ms(s.NAIM.LockWaitNanos), s.NAIM.WritebackQueued, s.NAIM.WritebackPeakQueue)
+		fmt.Fprintf(&sb, "naim contention: %.2f ms shard-lock wait, %d spills queued (peak queue %d, %d group commits)\n",
+			ms(s.NAIM.LockWaitNanos), s.NAIM.WritebackQueued, s.NAIM.WritebackPeakQueue,
+			s.NAIM.WritebackBatches)
 	}
 	if b.trace != nil {
 		if tree := b.trace.PhaseTree(); tree != "" {

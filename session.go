@@ -1,6 +1,11 @@
 package cmo
 
 import (
+	"crypto/rand"
+	"encoding/hex"
+	"path/filepath"
+
+	"cmo/internal/depgraph"
 	"cmo/internal/naim"
 )
 
@@ -22,16 +27,34 @@ const toolchainVersion = "cmo-toolchain/1"
 // rebuilds are byte-identical to cold builds — the cache can change
 // only how fast an answer arrives, never the answer.
 //
+// Alongside the repository the session keeps the artifact dependency
+// graph (internal/depgraph, graph.log in the same directory): the
+// discovery and scheduling index over those content-addressed
+// artifacts. The graph is advisory — reuse is still gated by content
+// keys — so it shares the session's crash story: a torn tail is
+// truncated, a generation mismatch discards it, and the worst case is
+// one full-speed rebuild.
+//
 // Within one process a Session may be shared by concurrent builds:
-// lookups and stores go straight to the internally locked repository.
-// The one write that must be serialized by the owner is the durable
-// Commit (internal/serve takes a per-session mutex around it; see the
+// lookups and stores go straight to the internally locked repository,
+// and the loaded graph is internally locked too. The one write that
+// must be serialized by the owner is the durable Commit
+// (internal/serve takes a per-session mutex around it; see the
 // single-writer discipline there). A Session is not safe for
 // concurrent use by multiple processes; open one session per cache
 // directory at a time.
 type Session struct {
-	repo *naim.Repository
+	repo  *naim.Repository
+	graph *depgraph.Log
 }
+
+// graphEpochKey names the repository blob holding the random epoch
+// the dependency graph's generation string is derived from. A reset
+// repository loses the blob, a fresh epoch is drawn, and any
+// surviving graph.log fails its generation check and is discarded —
+// the graph can never describe artifacts the repository no longer
+// holds.
+var graphEpochKey = naim.KeyOfStrings("cmo/graph-epoch/v1")
 
 // OpenSession opens (creating if needed) the durable build repository
 // in dir. An empty dir returns a disconnected session: every lookup
@@ -44,22 +67,76 @@ func OpenSession(dir string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{repo: repo}, nil
+	s := &Session{repo: repo}
+	epoch, gerr := repo.Get(graphEpochKey)
+	if gerr != nil {
+		var buf [16]byte
+		if _, rerr := rand.Read(buf[:]); rerr == nil {
+			epoch = buf[:]
+			// Advisory like every cache write: a failed store means the
+			// next open draws yet another epoch and rebuilds.
+			_ = repo.Put(graphEpochKey, epoch)
+		}
+	}
+	if len(epoch) > 0 {
+		gen := toolchainVersion + "/" + hex.EncodeToString(epoch)
+		// A graph that cannot be opened (I/O error) just means no graph:
+		// builds fall back to per-artifact discovery.
+		if g, err := depgraph.Open(filepath.Join(dir, "graph.log"), gen); err == nil {
+			s.graph = g
+		}
+	}
+	return s, nil
 }
 
-// Close commits the repository (fsync + manifest) and releases it.
+// Close commits the repository and graph (fsync + manifest) and
+// releases them.
 func (s *Session) Close() error {
 	if s == nil || s.repo == nil {
 		return nil
 	}
-	repo := s.repo
-	s.repo = nil
-	return repo.Close()
+	repo, graph := s.repo, s.graph
+	s.repo, s.graph = nil, nil
+	var gerr error
+	if graph != nil {
+		gerr = graph.Close()
+	}
+	if err := repo.Close(); err != nil {
+		return err
+	}
+	return gerr
+}
+
+// Commit makes everything stored so far durable: the repository's
+// blob log and manifest, and the dependency graph's log. This is the
+// session commit the serving layer runs between builds; callers must
+// serialize it (see the Session doc).
+func (s *Session) Commit() error {
+	if s == nil || s.repo == nil {
+		return nil
+	}
+	if err := s.repo.Commit(); err != nil {
+		return err
+	}
+	if s.graph != nil {
+		return s.graph.Sync()
+	}
+	return nil
 }
 
 // Repo exposes the underlying repository (nil for a disconnected
 // session) for inspection and GC.
 func (s *Session) Repo() *naim.Repository { return s.repo }
+
+// Graph exposes the session's loaded dependency graph (nil when the
+// session is disconnected or the graph could not be opened) for
+// inspection and metrics.
+func (s *Session) Graph() *depgraph.Graph {
+	if s == nil || s.graph == nil {
+		return nil
+	}
+	return s.graph.Graph()
+}
 
 // connected reports whether the session has a backing repository.
 func (s *Session) connected() bool { return s != nil && s.repo != nil }

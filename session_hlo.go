@@ -71,6 +71,13 @@ func hloOptionsFingerprint(opt Options) string {
 		// default build's.
 		sb.WriteString("noipa=1\n")
 	}
+	if opt.NoDepGraph {
+		// Unlike NoIPA this knob cannot change generated code; it is
+		// fingerprinted anyway so the graph-vs-NoDepGraph differential
+		// tests compare two independently computed builds rather than
+		// one build and its own cached records.
+		sb.WriteString("nodepgraph=1\n")
+	}
 	if opt.DB != nil {
 		sb.WriteString("db=")
 		sb.WriteString(profileFingerprint(opt.DB))

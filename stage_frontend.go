@@ -25,14 +25,15 @@ import (
 
 // feUnit is one module's per-module frontend outcome.
 type feUnit struct {
-	key  naim.Key
-	art  *frontendArtifact // non-nil: replayed from the repository
-	file *source.File      // non-nil: parsed live
+	key   naim.Key
+	art   *frontendArtifact // non-nil: replayed from the repository
+	file  *source.File      // non-nil: parsed live
+	nanos int64             // measured parse/decode time (graph node cost)
 }
 
 // runFrontend produces the lowered program, replaying cached modules.
 // It returns the lower result plus the artifact hit/miss counts.
-func runFrontend(mods []SourceModule, opt Options, sess *Session, fe obs.Span) (*lower.Result, int, int, error) {
+func runFrontend(mods []SourceModule, opt Options, sess *Session, gp *graphPlan, fe obs.Span) (*lower.Result, int, int, error) {
 	units := make([]feUnit, len(mods))
 	process := func(i int) error {
 		// Cancellation checkpoint: per module, before any parse or
@@ -46,7 +47,7 @@ func runFrontend(mods []SourceModule, opt Options, sess *Session, fe obs.Span) (
 			if art, err := decodeFrontendArtifact(blob); err == nil {
 				sp := fe.ChildDetail("warm", m.Name)
 				units[i].art = art
-				sp.End()
+				units[i].nanos = sp.End()
 				return nil
 			}
 			// Undecodable artifact: treat as a miss and lower live.
@@ -56,7 +57,7 @@ func runFrontend(mods []SourceModule, opt Options, sess *Session, fe obs.Span) (
 		if err == nil {
 			err = source.Check(f)
 		}
-		sp.End()
+		units[i].nanos = sp.End()
 		if err != nil {
 			return err
 		}
@@ -181,6 +182,9 @@ func runFrontend(mods []SourceModule, opt Options, sess *Session, fe obs.Span) (
 	// profile application and every optimization act downstream.
 	if sess.connected() {
 		for i := range units {
+			if gp != nil {
+				gp.noteModule(mods[i].Name, units[i].key, units[i].nanos, units[i].art == nil)
+			}
 			if units[i].art != nil || units[i].file == nil {
 				continue
 			}

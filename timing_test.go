@@ -245,4 +245,33 @@ func TestTimingReport(t *testing.T) {
 	if strings.Contains(rep2, "phases:") {
 		t.Errorf("untraced TimingReport should not render a phase tree:\n%s", rep2)
 	}
+
+	// Session builds add the cache and graph sections: a warm no-op
+	// renders the image-replay line, a warm edit renders per-stage
+	// hit/miss plus the dirty-closure figures.
+	dir := t.TempDir()
+	sopt := Options{Level: O2, Volatile: workload.InputGlobals(), CacheDir: dir}
+	if _, err := BuildSource(mods, sopt); err != nil {
+		t.Fatal(err)
+	}
+	noop, err := BuildSource(mods, sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := noop.TimingReport(); !strings.Contains(rep, "graph: image replayed") {
+		t.Errorf("warm no-op TimingReport missing the image-replay line:\n%s", rep)
+	}
+	edit, err := BuildSource(editOne(mods, 0), sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep3 := edit.TimingReport()
+	for _, want := range []string{
+		"session frontend:", "session llo:", "compiled",
+		"graph:", "dirty closure", "frontier", "critical path",
+	} {
+		if !strings.Contains(rep3, want) {
+			t.Errorf("warm-edit TimingReport missing %q:\n%s", want, rep3)
+		}
+	}
 }
