@@ -43,13 +43,6 @@ func (w *artWriter) i(v int64)     { w.b = binary.AppendVarint(w.b, v) }
 func (w *artWriter) byte(v byte)   { w.b = append(w.b, v) }
 func (w *artWriter) str(s string)  { w.u(uint64(len(s))); w.b = append(w.b, s...) }
 func (w *artWriter) blob(b []byte) { w.u(uint64(len(b))); w.b = append(w.b, b...) }
-func (w *artWriter) sig(s il.Signature) {
-	w.byte(byte(s.Ret))
-	w.u(uint64(len(s.Params)))
-	for _, p := range s.Params {
-		w.byte(byte(p))
-	}
-}
 
 type artReader struct {
 	b   []byte
@@ -112,50 +105,14 @@ func (r *artReader) take(n uint64) []byte {
 func (r *artReader) str() string  { return string(r.take(r.u())) }
 func (r *artReader) blob() []byte { return r.take(r.u()) }
 
-func (r *artReader) sig() il.Signature {
-	s := il.Signature{Ret: il.Type(r.byte())}
-	n := r.u()
-	if r.err != nil || n > uint64(len(r.b)) {
-		r.fail()
-		return s
-	}
-	for j := uint64(0); j < n; j++ {
-		s.Params = append(s.Params, il.Type(r.byte()))
-	}
-	return s
-}
-
 // encodeFrontendArtifact serializes a module's shape and its portable
-// function bodies (in Defs order, functions only).
+// function bodies (in Defs order, functions only). The shape section
+// uses the shared lower wire codec — the same bytes a backend compile
+// request ships — with the body blobs appended after it.
 func encodeFrontendArtifact(sh lower.Shape, bodies [][]byte) []byte {
 	w := &artWriter{b: make([]byte, 0, 256)}
 	w.b = append(w.b, feArtifactMagic...)
-	w.str(sh.Name)
-	w.u(uint64(sh.Lines))
-	w.u(uint64(len(sh.Defs)))
-	for _, d := range sh.Defs {
-		w.str(d.Name)
-		w.byte(byte(d.Kind))
-		if d.Kind == il.SymFunc {
-			w.sig(d.Sig)
-		} else {
-			w.byte(byte(d.Type))
-			w.i(d.Elems)
-			w.i(d.Init)
-		}
-	}
-	w.u(uint64(len(sh.Externs)))
-	for _, e := range sh.Externs {
-		w.str(e.Name)
-		if e.IsFunc {
-			w.byte(1)
-			w.sig(e.Sig)
-		} else {
-			w.byte(0)
-			w.byte(byte(e.Type))
-			w.i(e.Elems)
-		}
-	}
+	w.b = lower.AppendShape(w.b, sh)
 	w.u(uint64(len(bodies)))
 	for _, b := range bodies {
 		w.blob(b)
@@ -170,41 +127,19 @@ func decodeFrontendArtifact(blob []byte) (*frontendArtifact, error) {
 	if len(blob) < len(feArtifactMagic) || string(blob[:len(feArtifactMagic)]) != feArtifactMagic {
 		return nil, errArtifact
 	}
-	r := &artReader{b: blob, off: len(feArtifactMagic)}
 	a := &frontendArtifact{}
-	a.shape.Name = r.str()
-	a.shape.Lines = int(r.u())
-	ndefs := r.u()
-	if r.err != nil || ndefs > uint64(len(blob)) {
+	sh, off, err := lower.DecodeShape(blob, len(feArtifactMagic))
+	if err != nil {
 		return nil, errArtifact
 	}
+	a.shape = sh
 	funcs := 0
-	for j := uint64(0); j < ndefs; j++ {
-		d := lower.ShapeDef{Name: r.str(), Kind: il.SymKind(r.byte())}
+	for _, d := range sh.Defs {
 		if d.Kind == il.SymFunc {
-			d.Sig = r.sig()
 			funcs++
-		} else {
-			d.Type = il.Type(r.byte())
-			d.Elems = r.i()
-			d.Init = r.i()
 		}
-		a.shape.Defs = append(a.shape.Defs, d)
 	}
-	next := r.u()
-	if r.err != nil || next > uint64(len(blob)) {
-		return nil, errArtifact
-	}
-	for j := uint64(0); j < next; j++ {
-		e := lower.ShapeExtern{Name: r.str(), IsFunc: r.byte() == 1}
-		if e.IsFunc {
-			e.Sig = r.sig()
-		} else {
-			e.Type = il.Type(r.byte())
-			e.Elems = r.i()
-		}
-		a.shape.Externs = append(a.shape.Externs, e)
-	}
+	r := &artReader{b: blob, off: off}
 	nbodies := r.u()
 	if r.err != nil || nbodies > uint64(len(blob)) {
 		return nil, errArtifact

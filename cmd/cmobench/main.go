@@ -3,7 +3,7 @@
 // time/space dial), Figure 6 (the selectivity sweep), the section-8
 // memory-per-line history, and the design-decision ablations.
 //
-//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|ipa|graph|all]
+//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|ipa|graph|distributed|all]
 //	         [-o report.txt] [-metrics metrics.json] [-json BENCH_*.json] [-v]
 //
 // -metrics aggregates spans and counters across every build the
@@ -16,8 +16,10 @@
 // BENCH_parallel.json), so the parallelism trajectory is tracked
 // commit over commit. With -fig incremental it instead writes the
 // cold-vs-warm rebuild record (conventionally BENCH_incremental.json),
-// with -fig ipa the MOD/REF ablation record (BENCH_ipa.json), and with
-// -fig graph the dependency-graph sweep (BENCH_graph.json).
+// with -fig ipa the MOD/REF ablation record (BENCH_ipa.json), with
+// -fig graph the dependency-graph sweep (BENCH_graph.json), and with
+// -fig distributed the partitioned-backend worker sweep
+// (BENCH_distributed.json).
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (module-count multiplier)")
-	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, ipa, graph, all")
+	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, ipa, graph, distributed, all")
 	out := flag.String("o", "", "write the report to a file as well as stdout")
 	metrics := flag.String("metrics", "", "write an aggregated metrics JSON snapshot (spans + counters) to this file")
 	benchJSON := flag.String("json", "", "run the Jobs sweep and write its speedup record (BENCH_parallel.json) to this file")
@@ -91,7 +93,7 @@ func main() {
 		}
 		emit(experiments.RenderHistory(rows))
 	}
-	if want("parallel") || (*benchJSON != "" && *fig != "incremental" && *fig != "ipa" && *fig != "graph") {
+	if want("parallel") || (*benchJSON != "" && *fig != "incremental" && *fig != "ipa" && *fig != "graph" && *fig != "distributed") {
 		rec, err := experiments.Parallel(cfg)
 		if err != nil {
 			fatalf("parallel: %v", err)
@@ -138,6 +140,18 @@ func main() {
 		if *benchJSON != "" && *fig == "graph" {
 			writeJSON(*benchJSON, func(w io.Writer) error {
 				return experiments.WriteGraphJSON(w, rec)
+			})
+		}
+	}
+	if want("distributed") {
+		rec, err := experiments.Distributed(cfg)
+		if err != nil {
+			fatalf("distributed: %v", err)
+		}
+		emit(experiments.RenderDistributed(rec))
+		if *benchJSON != "" && *fig == "distributed" {
+			writeJSON(*benchJSON, func(w io.Writer) error {
+				return experiments.WriteDistributedJSON(w, rec)
 			})
 		}
 	}

@@ -77,6 +77,10 @@ func main() {
 	jobs := flag.Int("j", 1, "driver mode: parallel frontend/codegen jobs (output is identical)")
 	cacheDir := flag.String("cache-dir", "", "driver mode: durable build repository for incremental rebuilds (warm builds are byte-identical)")
 	server := flag.String("server", "", "send the build to a cmod daemon at this address instead of compiling in-process")
+	partitions := flag.Int("partitions", 0, "driver mode: backend partition count (0 = size-based default; output is identical)")
+	noPartition := flag.Bool("no-partition", false, "driver mode: disable the partitioned backend (per-routine LLO; output is identical)")
+	workers := flag.Int("workers", 0, "driver mode: in-process backend worker pool (0 = -j; output is identical)")
+	remoteWorkers := flag.String("remote-workers", "", "driver mode: comma-separated cmod daemon URLs to farm backend partitions to (failures fall back locally; output is identical)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cmoc [-O level] [-o out.o] file.minc\n")
 		fmt.Fprintf(os.Stderr, "       cmoc [-O level] [-trace out.json] [-timing] [-o out.vx] a.minc b.minc ...\n")
@@ -97,20 +101,37 @@ func main() {
 		fatalf("invalid -O %d (want 1..4)", *level)
 	}
 
+	be := backendFlags{partitions: *partitions, noPartition: *noPartition, workers: *workers}
+	if *remoteWorkers != "" {
+		for _, addr := range strings.Split(*remoteWorkers, ",") {
+			if addr = strings.TrimSpace(addr); addr == "" {
+				continue
+			}
+			if !strings.Contains(addr, "://") {
+				addr = "http://" + addr
+			}
+			be.remote = append(be.remote, addr)
+		}
+	}
+	if be.noPartition && len(be.remote) > 0 {
+		fatalf("-no-partition is incompatible with -remote-workers (remote workers need the partitioned backend)")
+	}
+
 	if *server != "" {
 		if !levelSet {
 			*level = 4
 		}
-		runRemote(*server, flag.Args(), *level, *out, *timing, *jobs, *cacheDir)
+		runRemote(*server, flag.Args(), *level, *out, *timing, *jobs, *cacheDir, be)
 		return
 	}
 
-	driver := flag.NArg() > 1 || *tracePath != "" || *timing || *cacheDir != ""
+	driver := flag.NArg() > 1 || *tracePath != "" || *timing || *cacheDir != "" ||
+		be.partitions != 0 || be.noPartition || be.workers != 0 || len(be.remote) > 0
 	if driver {
 		if !levelSet {
 			*level = 4
 		}
-		runDriver(flag.Args(), *level, *out, *tracePath, *timing, *budget, *naimLevel, *jobs, *cacheDir)
+		runDriver(flag.Args(), *level, *out, *tracePath, *timing, *budget, *naimLevel, *jobs, *cacheDir, be)
 		return
 	}
 
@@ -145,8 +166,17 @@ func main() {
 	}
 }
 
+// backendFlags carries the partitioned-backend knobs; none of them
+// change output bytes, only how the LLO stage is executed.
+type backendFlags struct {
+	partitions  int
+	noPartition bool
+	workers     int
+	remote      []string
+}
+
 // runDriver compiles and links a whole program in one process.
-func runDriver(paths []string, level int, out, tracePath string, timing bool, budget int64, naimLevel string, jobs int, cacheDir string) {
+func runDriver(paths []string, level int, out, tracePath string, timing bool, budget int64, naimLevel string, jobs int, cacheDir string, be backendFlags) {
 	var mods []cmo.SourceModule
 	for _, path := range paths {
 		text, err := os.ReadFile(path)
@@ -189,6 +219,10 @@ func runDriver(paths []string, level int, out, tracePath string, timing bool, bu
 		SelectPercent: -1,
 		NAIM:          ncfg,
 		Jobs:          jobs,
+		Partitions:    be.partitions,
+		NoPartition:   be.noPartition,
+		Workers:       be.workers,
+		RemoteWorkers: be.remote,
 		Trace:         tr,
 		CacheDir:      cacheDir,
 	}
@@ -240,8 +274,12 @@ func runDriver(paths []string, level int, out, tracePath string, timing bool, bu
 // runRemote is server mode: ship the sources to a cmod daemon and
 // write the image it returns. The daemon compiles with the same
 // pipeline this binary embeds, so the output bytes are identical.
-func runRemote(addr string, paths []string, level int, out string, timing bool, jobs int, cacheDir string) {
-	req := serve.BuildRequest{Level: level, Jobs: jobs, CacheDir: cacheDir}
+func runRemote(addr string, paths []string, level int, out string, timing bool, jobs int, cacheDir string, be backendFlags) {
+	req := serve.BuildRequest{
+		Level: level, Jobs: jobs, CacheDir: cacheDir,
+		Partitions: be.partitions, NoPartition: be.noPartition,
+		Workers: be.workers, RemoteWorkers: be.remote,
+	}
 	for _, path := range paths {
 		text, err := os.ReadFile(path)
 		if err != nil {

@@ -19,6 +19,8 @@
 // API (see internal/serve for the wire types):
 //
 //	POST /build              {modules, level, cache_dir, jobs, ...}
+//	POST /backend            compile one backend partition for another
+//	                         build (binary exchange; see internal/backend)
 //	GET  /status             queue depth, active builds, open sessions,
 //	                         daemon version/pid/uptime
 //	GET  /metrics            Prometheus text exposition: build latency /
@@ -66,6 +68,7 @@ func main() {
 	recordRing := flag.Int("record-ring", 512, "build ledger records kept in memory and per ledger file")
 	traceRing := flag.Int("trace-ring", 32, "recent builds whose full trace stays retrievable")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	backendSlots := flag.Int("backend-slots", 0, "concurrent POST /backend partition compiles served as a worker (0 = 2*max-builds, negative disables)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: cmod [-addr host:port] [flags]\n")
@@ -82,6 +85,7 @@ func main() {
 		RecordRing:     *recordRing,
 		TraceRing:      *traceRing,
 		EnablePprof:    *enablePprof,
+		BackendSlots:   *backendSlots,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

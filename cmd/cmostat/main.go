@@ -221,6 +221,50 @@ func summary(base string) error {
 		}
 		fmt.Println(line)
 	}
+	// Partitioned backend: how recorded builds' partitions were
+	// satisfied, and this daemon's own /backend worker service.
+	if f := m["cmod_build_partitions_total"]; f != nil {
+		var parts []string
+		var total float64
+		samples := append([]promtext.Sample(nil), f.Samples...)
+		sort.Slice(samples, func(i, j int) bool {
+			return samples[i].Label("mode") < samples[j].Label("mode")
+		})
+		for _, s := range samples {
+			if s.Label("mode") != "retry" {
+				total += s.Value
+			}
+			if s.Value > 0 {
+				parts = append(parts, fmt.Sprintf("%s %.0f", s.Label("mode"), s.Value))
+			}
+		}
+		if total > 0 {
+			fmt.Printf("partitions: %.0f across builds (%s)\n", total, strings.Join(parts, ", "))
+		}
+	}
+	if f := m["cmod_partitions_total"]; f != nil {
+		var parts []string
+		var total float64
+		samples := append([]promtext.Sample(nil), f.Samples...)
+		sort.Slice(samples, func(i, j int) bool {
+			return samples[i].Label("result") < samples[j].Label("result")
+		})
+		for _, s := range samples {
+			total += s.Value
+			if s.Value > 0 {
+				parts = append(parts, fmt.Sprintf("%s %.0f", s.Label("result"), s.Value))
+			}
+		}
+		if total > 0 {
+			line := fmt.Sprintf("worker: %.0f partitions served (%s)", total, strings.Join(parts, ", "))
+			if bs := m.HistogramBuckets("cmod_partition_seconds", "", ""); len(bs) > 0 {
+				if _, count := m.SumCount("cmod_partition_seconds", "", ""); count > 0 {
+					line += fmt.Sprintf(", p50 %s", ms(promtext.Quantile(0.5, bs)))
+				}
+			}
+			fmt.Println(line)
+		}
+	}
 	if v, ok := m.Value("cmod_commit_backlog_bytes"); ok && v > 0 {
 		fmt.Printf("commit backlog: %.0f bytes uncommitted\n", v)
 	}

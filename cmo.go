@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"cmo/internal/analyze"
 	"cmo/internal/hlo"
@@ -146,6 +147,32 @@ type Options struct {
 	// doing repeated in-process builds share one Session so each build
 	// warms the next.
 	Session *Session
+	// Partitions sets the backend partition count (the WHOPR-style
+	// ltrans split; see internal/partition). 0 picks a size-based
+	// default (partition.Auto); the value never affects generated
+	// bytes, only grouping granularity — images are byte-identical
+	// across partition counts.
+	Partitions int
+	// NoPartition disables the partitioned backend: LLO runs the
+	// original per-routine in-process path. The ablation knob for the
+	// differential tests proving partitioned and direct builds are
+	// byte-identical; remote workers require the partitioned path.
+	NoPartition bool
+	// Workers sets the in-process backend worker pool size for the
+	// partitioned LLO stage. 0 means Jobs. Like Jobs, it changes wall
+	// time only, never bytes.
+	Workers int
+	// RemoteWorkers lists cmod daemon base URLs ("http://host:port")
+	// to farm backend partitions to (POST /backend). Local pool and
+	// remote workers pull from one queue; any remote failure falls
+	// back to local compilation, so listing an unreachable worker
+	// costs time, never correctness. Byte-identical to a purely local
+	// build.
+	RemoteWorkers []string
+	// RemoteTimeout bounds one remote partition attempt (0 =
+	// backend.DefaultTimeout). A deadline that fires moves the
+	// partition back to the local pool.
+	RemoteTimeout time.Duration
 	// Context, when non-nil, bounds the build: cancellation (or a
 	// deadline) aborts the pipeline at the next per-module or
 	// per-function checkpoint and BuildSource returns the context's
@@ -212,6 +239,19 @@ type BuildStats struct {
 	GraphCriticalPathNanos int64
 	GraphFrontierDepth     int
 	GraphImageReplay       bool
+	// Partitioned-backend outcome (default LLO path; all zero under
+	// NoPartition). Partitions is the partition count this build used;
+	// PartitionsClean were replayed whole from the repository;
+	// PartitionsLocal/PartitionsRemote count dirty partitions by what
+	// executed them; PartitionRetries counts remote failures that fell
+	// back to local compilation (each such partition is counted local,
+	// not remote).
+	Partitions       int
+	PartitionsClean  int
+	PartitionsLocal  int
+	PartitionsRemote int
+	PartitionRetries int
+
 	// PinLeaks counts loader handles still pinned when the pipeline
 	// finished — each one is a checkout some stage never returned
 	// (see Loader.UnloadAll). Always zero in a correct build.
@@ -276,6 +316,10 @@ type Build struct {
 	// InlineOps is HLO's ordered inline log (O4 builds), the
 	// diagnostic trail the paper's sections 6.2-6.3 call for.
 	InlineOps []hlo.InlineOp
+	// Partitions describes the backend partitions of this build in
+	// index order: deterministic fingerprints, membership, and how
+	// each was satisfied. nil under Options.NoPartition.
+	Partitions []PartitionInfo
 
 	selectedFns map[il.PID]bool
 	gp          *graphPlan

@@ -1,0 +1,120 @@
+package backend
+
+import (
+	"fmt"
+
+	"cmo/internal/il"
+	"cmo/internal/vpa"
+)
+
+// The LLO object codec. llo.Compile's output for one routine depends
+// only on the routine's post-HLO body and the codegen options (level,
+// PBO) — never on the rest of the program — so the compiled vpa.Func
+// can be cached under the body's portable content hash, shipped back
+// from a remote worker, and replayed into any build whose post-HLO
+// body comes out identical.
+//
+// Two sharp edges shape the encoding:
+//
+//   - Pre-link code refers to symbols by PID (vpa.Instr.Sym), and
+//     PIDs are a per-program numbering. Like the frontend artifacts,
+//     the object stores those references by NAME and re-resolves them
+//     against the current program at decode, so an object survives
+//     edits elsewhere in the program — and survives being produced on
+//     a worker whose program numbered its symbols differently.
+//
+//   - link.Link relocates Sym fields IN PLACE, so a vpa.Func may be
+//     linked exactly once. Decode therefore always builds a fresh
+//     Func; cached or remote bytes are never aliased into an image.
+
+// ObjectMagic frames every encoded object.
+const ObjectMagic = "CMOOBJ1\n"
+
+// opUsesSymName reports whether the instruction's Sym field is a
+// symbol reference (function for CALL, global for the memory ops).
+// Every other op leaves Sym as a plain value and round-trips it raw.
+func opUsesSymName(op vpa.OpCode) bool {
+	switch op {
+	case vpa.LDG, vpa.STG, vpa.LDX, vpa.STX, vpa.CALL:
+		return true
+	}
+	return false
+}
+
+// EncodeObject serializes one compiled routine, name-symbolic.
+func EncodeObject(prog *il.Program, f *vpa.Func) []byte {
+	w := &wireWriter{b: make([]byte, 0, 64+8*len(f.Code))}
+	w.b = append(w.b, ObjectMagic...)
+	w.str(f.Name)
+	w.u(uint64(f.NSlots))
+	w.u(uint64(len(f.Code)))
+	for i := range f.Code {
+		in := &f.Code[i]
+		w.byte(byte(in.Op))
+		w.byte(in.Rd)
+		w.byte(in.Ra)
+		w.byte(in.Rb)
+		if in.ImmB {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+		w.i(in.Imm)
+		if opUsesSymName(in.Op) {
+			w.str(prog.Sym(il.PID(in.Sym)).Name)
+		} else {
+			w.i(int64(in.Sym))
+		}
+		w.i(int64(in.Target))
+	}
+	return w.b
+}
+
+// DecodeObject rebuilds a compiled routine against the current
+// program, resolving symbol names to this build's PIDs. Any
+// unresolvable name or framing damage is an error — the caller treats
+// it as a cache miss (or a malformed worker reply) and compiles live.
+func DecodeObject(prog *il.Program, blob []byte) (*vpa.Func, error) {
+	if len(blob) < len(ObjectMagic) || string(blob[:len(ObjectMagic)]) != ObjectMagic {
+		return nil, errWire
+	}
+	r := &wireReader{b: blob, off: len(ObjectMagic)}
+	f := &vpa.Func{Name: r.str()}
+	f.NSlots = int(r.u())
+	n := r.u()
+	if r.err != nil || n > uint64(len(blob)) {
+		return nil, errWire
+	}
+	f.Code = make([]vpa.Instr, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var in vpa.Instr
+		in.Op = vpa.OpCode(r.byte())
+		in.Rd = r.byte()
+		in.Ra = r.byte()
+		in.Rb = r.byte()
+		in.ImmB = r.byte() == 1
+		in.Imm = r.i()
+		if opUsesSymName(in.Op) {
+			name := r.str()
+			if r.err != nil {
+				return nil, r.err
+			}
+			sym := prog.Lookup(name)
+			if sym == nil {
+				return nil, fmt.Errorf("backend: object %s refers to unknown symbol %s", f.Name, name)
+			}
+			in.Sym = int32(sym.PID)
+		} else {
+			in.Sym = int32(r.i())
+		}
+		in.Target = int32(r.i())
+		f.Code = append(f.Code, in)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(blob) {
+		return nil, fmt.Errorf("backend: %d trailing bytes in LLO object", len(blob)-r.off)
+	}
+	return f, nil
+}

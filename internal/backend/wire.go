@@ -1,0 +1,198 @@
+package backend
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cmo/internal/lower"
+)
+
+// The request/result wire codec for the POST /backend exchange:
+// varint-framed binary, magic-tagged, self-contained. JSON would have
+// base64'd every body blob and dominated the transfer; the shapes and
+// bodies already have compact binary encodings, so the envelope uses
+// the same style.
+
+const (
+	requestMagic = "CMOBREQ1\n"
+	resultMagic  = "CMOBRES1\n"
+)
+
+var errWire = errors.New("backend: corrupt wire encoding")
+
+// EncodeRequest serializes one compile request.
+func EncodeRequest(req *Request) []byte {
+	w := &wireWriter{b: make([]byte, 0, 1024)}
+	w.b = append(w.b, requestMagic...)
+	w.str(req.Toolchain)
+	w.u(uint64(len(req.Shapes)))
+	for _, sh := range req.Shapes {
+		w.b = lower.AppendShape(w.b, sh)
+	}
+	w.u(uint64(req.Part.Index))
+	w.u(uint64(req.Part.Total))
+	w.str(req.Part.FP)
+	w.u(uint64(len(req.Part.Funcs)))
+	for i := range req.Part.Funcs {
+		f := &req.Part.Funcs[i]
+		w.str(f.Name)
+		w.u(uint64(f.Level))
+		if f.PBO {
+			w.byte(1)
+		} else {
+			w.byte(0)
+		}
+		w.blob(f.Body)
+	}
+	return w.b
+}
+
+// DecodeRequest parses a compile request.
+func DecodeRequest(blob []byte) (*Request, error) {
+	if len(blob) < len(requestMagic) || string(blob[:len(requestMagic)]) != requestMagic {
+		return nil, errWire
+	}
+	r := &wireReader{b: blob, off: len(requestMagic)}
+	req := &Request{Toolchain: r.str()}
+	nshapes := r.u()
+	if r.err != nil || nshapes > uint64(len(blob)) {
+		return nil, errWire
+	}
+	for j := uint64(0); j < nshapes; j++ {
+		sh, off, err := lower.DecodeShape(r.b, r.off)
+		if err != nil {
+			return nil, err
+		}
+		r.off = off
+		req.Shapes = append(req.Shapes, sh)
+	}
+	req.Part.Index = int(r.u())
+	req.Part.Total = int(r.u())
+	req.Part.FP = r.str()
+	nfuncs := r.u()
+	if r.err != nil || nfuncs > uint64(len(blob)) {
+		return nil, errWire
+	}
+	for j := uint64(0); j < nfuncs; j++ {
+		f := Func{Name: r.str(), Level: int(r.u()), PBO: r.byte() == 1}
+		f.Body = r.blob()
+		req.Part.Funcs = append(req.Part.Funcs, f)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(blob) {
+		return nil, fmt.Errorf("backend: %d trailing bytes in request", len(blob)-r.off)
+	}
+	return req, nil
+}
+
+// EncodeResult serializes one compile reply.
+func EncodeResult(res *Result) []byte {
+	w := &wireWriter{b: make([]byte, 0, 1024)}
+	w.b = append(w.b, resultMagic...)
+	w.str(res.FP)
+	w.u(uint64(len(res.Objects)))
+	for i := range res.Objects {
+		o := &res.Objects[i]
+		w.str(o.Name)
+		w.i(o.Nanos)
+		w.blob(o.Blob)
+	}
+	return w.b
+}
+
+// DecodeResult parses a compile reply.
+func DecodeResult(blob []byte) (*Result, error) {
+	if len(blob) < len(resultMagic) || string(blob[:len(resultMagic)]) != resultMagic {
+		return nil, errWire
+	}
+	r := &wireReader{b: blob, off: len(resultMagic)}
+	res := &Result{FP: r.str()}
+	n := r.u()
+	if r.err != nil || n > uint64(len(blob)) {
+		return nil, errWire
+	}
+	for j := uint64(0); j < n; j++ {
+		o := Object{Name: r.str(), Nanos: r.i()}
+		o.Blob = r.blob()
+		res.Objects = append(res.Objects, o)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(blob) {
+		return nil, fmt.Errorf("backend: %d trailing bytes in result", len(blob)-r.off)
+	}
+	return res, nil
+}
+
+type wireWriter struct{ b []byte }
+
+func (w *wireWriter) u(v uint64)    { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wireWriter) i(v int64)     { w.b = binary.AppendVarint(w.b, v) }
+func (w *wireWriter) byte(v byte)   { w.b = append(w.b, v) }
+func (w *wireWriter) str(s string)  { w.u(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *wireWriter) blob(b []byte) { w.u(uint64(len(b))); w.b = append(w.b, b...) }
+
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = errWire
+	}
+}
+
+func (r *wireReader) u() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) i() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) take(n uint64) []byte {
+	if r.err != nil || n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return nil
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+func (r *wireReader) str() string  { return string(r.take(r.u())) }
+func (r *wireReader) blob() []byte { return append([]byte(nil), r.take(r.u())...) }

@@ -283,3 +283,41 @@ func TestIPAAblation(t *testing.T) {
 	}
 	t.Logf("\n%s", RenderIPA(rec))
 }
+
+func TestDistributedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rec, err := Distributed(tiny())
+	if err != nil {
+		t.Fatalf("Distributed: %v", err)
+	}
+	if !rec.Identical {
+		t.Fatalf("some image differed across worker shapes:\n%s", RenderDistributed(rec))
+	}
+	if len(rec.Runs) < 4 {
+		t.Fatalf("got %d runs, want the baseline plus local and remote shapes", len(rec.Runs))
+	}
+	var remotePartitions int
+	for _, run := range rec.Runs {
+		if len(run.Points) != 3 {
+			t.Fatalf("%s: got %d points, want cold/warm-noop/warm-edit1", run.Config, len(run.Points))
+		}
+		for _, pt := range run.Points {
+			if got := pt.PartitionsClean + pt.PartitionsLocal + pt.PartitionsRemote; got != pt.Partitions {
+				t.Errorf("%s/%s: partition accounting %d != %d", run.Config, pt.Name, got, pt.Partitions)
+			}
+			remotePartitions += pt.PartitionsRemote
+		}
+		// The warm edit touches one function, so a partitioned warm
+		// rebuild must replay at least one partition clean.
+		edit := run.Points[2]
+		if run.Partitions > 1 && edit.Partitions > 0 && edit.PartitionsClean == 0 {
+			t.Errorf("%s: warm-edit1 replayed no partitions", run.Config)
+		}
+	}
+	if remotePartitions == 0 {
+		t.Errorf("no partition was served by a remote daemon across the sweep")
+	}
+	t.Logf("\n%s", RenderDistributed(rec))
+}

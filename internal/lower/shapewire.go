@@ -1,0 +1,229 @@
+package lower
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"cmo/internal/il"
+)
+
+// The Shape wire codec: the one binary encoding of a module's
+// symbol-table interface, shared by the session's frontend artifacts
+// (cmo/artifact.go) and the distributed backend's compile requests
+// (internal/backend). Both sides must rebuild identical symbol tables
+// from the same bytes, so the codec lives next to the Shape type it
+// round-trips rather than being maintained twice.
+//
+// The layout is the frontend artifact's historical one — name, line
+// count, definitions in declaration order, externs in declaration
+// order — so artifacts written before the codec moved here still
+// decode.
+
+// ErrShape is the generic framing-damage error for shape decoding.
+var ErrShape = errors.New("lower: corrupt shape encoding")
+
+// AppendShape appends the wire encoding of sh to dst and returns the
+// extended slice.
+func AppendShape(dst []byte, sh Shape) []byte {
+	w := shapeWriter{dst}
+	w.str(sh.Name)
+	w.u(uint64(sh.Lines))
+	w.u(uint64(len(sh.Defs)))
+	for _, d := range sh.Defs {
+		w.str(d.Name)
+		w.byte(byte(d.Kind))
+		if d.Kind == il.SymFunc {
+			w.sig(d.Sig)
+		} else {
+			w.byte(byte(d.Type))
+			w.i(d.Elems)
+			w.i(d.Init)
+		}
+	}
+	w.u(uint64(len(sh.Externs)))
+	for _, e := range sh.Externs {
+		w.str(e.Name)
+		if e.IsFunc {
+			w.byte(1)
+			w.sig(e.Sig)
+		} else {
+			w.byte(0)
+			w.byte(byte(e.Type))
+			w.i(e.Elems)
+		}
+	}
+	return w.b
+}
+
+// DecodeShape decodes one Shape starting at off and returns it with
+// the offset one past its encoding.
+func DecodeShape(b []byte, off int) (Shape, int, error) {
+	r := &shapeReader{b: b, off: off}
+	var sh Shape
+	sh.Name = r.str()
+	sh.Lines = int(r.u())
+	ndefs := r.u()
+	if r.err != nil || ndefs > uint64(len(b)) {
+		return sh, r.off, ErrShape
+	}
+	for j := uint64(0); j < ndefs; j++ {
+		d := ShapeDef{Name: r.str(), Kind: il.SymKind(r.byte())}
+		if d.Kind == il.SymFunc {
+			d.Sig = r.sig()
+		} else {
+			d.Type = il.Type(r.byte())
+			d.Elems = r.i()
+			d.Init = r.i()
+		}
+		sh.Defs = append(sh.Defs, d)
+	}
+	next := r.u()
+	if r.err != nil || next > uint64(len(b)) {
+		return sh, r.off, ErrShape
+	}
+	for j := uint64(0); j < next; j++ {
+		e := ShapeExtern{Name: r.str(), IsFunc: r.byte() == 1}
+		if e.IsFunc {
+			e.Sig = r.sig()
+		} else {
+			e.Type = il.Type(r.byte())
+			e.Elems = r.i()
+		}
+		sh.Externs = append(sh.Externs, e)
+	}
+	if r.err != nil {
+		return sh, r.off, r.err
+	}
+	return sh, r.off, nil
+}
+
+// ShapeOf reconstructs a registered module's Shape from the program's
+// symbol table — the inverse of Register/ResolveExterns. A remote
+// backend worker receives these shapes and replays the same two
+// passes, so it interns every symbol the dispatching build knows
+// under the same names (PID numbering may differ; all cross-worker
+// artifacts are name-symbolic, so it never matters).
+func ShapeOf(prog *il.Program, mod *il.Module) Shape {
+	sh := Shape{Name: mod.Name, Lines: mod.Lines}
+	for _, pid := range mod.Defs {
+		s := prog.Sym(pid)
+		d := ShapeDef{Name: s.Name, Kind: s.Kind}
+		if s.Kind == il.SymFunc {
+			d.Sig = s.Sig
+		} else {
+			d.Type = s.Type
+			d.Elems = s.Elems
+			d.Init = s.Init
+		}
+		sh.Defs = append(sh.Defs, d)
+	}
+	for _, pid := range mod.Externs {
+		s := prog.Sym(pid)
+		e := ShapeExtern{Name: s.Name, IsFunc: s.Kind == il.SymFunc}
+		if e.IsFunc {
+			e.Sig = s.Sig
+		} else {
+			e.Type = s.Type
+			e.Elems = s.Elems
+		}
+		sh.Externs = append(sh.Externs, e)
+	}
+	return sh
+}
+
+// ShapesOf reconstructs every module's Shape in module order.
+func ShapesOf(prog *il.Program) []Shape {
+	out := make([]Shape, 0, len(prog.Modules))
+	for _, m := range prog.Modules {
+		out = append(out, ShapeOf(prog, m))
+	}
+	return out
+}
+
+// shapeWriter mirrors cmo's artifact writer primitives so the moved
+// codec emits byte-identical framing.
+type shapeWriter struct{ b []byte }
+
+func (w *shapeWriter) u(v uint64)   { w.b = binary.AppendUvarint(w.b, v) }
+func (w *shapeWriter) i(v int64)    { w.b = binary.AppendVarint(w.b, v) }
+func (w *shapeWriter) byte(v byte)  { w.b = append(w.b, v) }
+func (w *shapeWriter) str(s string) { w.u(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *shapeWriter) sig(s il.Signature) {
+	w.byte(byte(s.Ret))
+	w.u(uint64(len(s.Params)))
+	for _, p := range s.Params {
+		w.byte(byte(p))
+	}
+}
+
+type shapeReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *shapeReader) fail() {
+	if r.err == nil {
+		r.err = ErrShape
+	}
+}
+
+func (r *shapeReader) u() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *shapeReader) i() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *shapeReader) byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *shapeReader) str() string {
+	n := r.u()
+	if r.err != nil || n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *shapeReader) sig() il.Signature {
+	s := il.Signature{Ret: il.Type(r.byte())}
+	n := r.u()
+	if r.err != nil || n > uint64(len(r.b)) {
+		r.fail()
+		return s
+	}
+	for j := uint64(0); j < n; j++ {
+		s.Params = append(s.Params, il.Type(r.byte()))
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+// Package partition groups a program's surviving routines into
+// balanced backend compilation units — the WPA→ltrans split of the
+// GCC LTO line (Glek/Hubička; Liška), transplanted onto the paper's
+// repository pipeline. After HLO has finished its whole-program work,
+// the per-routine code generation is embarrassingly parallel; the
+// partitioner decides the unit of that parallelism: big enough to
+// amortize dispatch, small enough to spread across workers, and cut
+// where few call edges cross so related routines stay together (the
+// `-flto-partition=balanced` heuristic).
+//
+// The assignment is a pure function of its inputs — item order, static
+// sizes, and the call multigraph — and deliberately consumes no
+// measured timings: two builds of the same program must produce the
+// same partitions regardless of Jobs, worker count, or what previous
+// builds recorded (the determinism tests hold exactly this). Measured
+// costs still matter, but only downstream: the dispatcher orders
+// *dirty* partitions by depgraph critical-path priority, which changes
+// scheduling, never membership.
+package partition
+
+import "sort"
+
+// Item is one unit of backend work, typically a routine.
+type Item struct {
+	// ID is the stable identity (function name).
+	ID string
+	// Module is the defining module's index: the canonical order
+	// groups items module-major, so partitions respect module
+	// locality exactly as GCC's balanced partitioning keeps symbols
+	// of one object file together when it can.
+	Module int
+	// Size is the item's static cost model (instruction count). It
+	// must be derived from program content only — never from measured
+	// wall time — or assignment determinism dies.
+	Size int64
+}
+
+// Edge is one aggregated call edge between two items; Weight counts
+// call sites. Edges whose endpoints land in different partitions are
+// "cut"; the partitioner minimizes cut weight within its balance
+// window. Edge order is irrelevant (weights are summed), so callers
+// may emit them in any order.
+type Edge struct {
+	A, B   string
+	Weight int64
+}
+
+// A Partition is one contiguous run of the canonical item order.
+type Partition struct {
+	// Index is the partition's position in 0..Total-1.
+	Index int
+	// Items in canonical order.
+	Items []Item
+	// Size is the summed item size.
+	Size int64
+}
+
+// Auto picks the default partition count for n items: roughly one
+// partition per eight routines, clamped to [1, 32]. The formula
+// depends only on the program (never on Jobs or worker count), so the
+// partitioning — and with it every partition fingerprint — is stable
+// across hosts with different parallelism.
+func Auto(n int) int {
+	c := (n + 7) / 8
+	if c < 1 {
+		c = 1
+	}
+	if c > 32 {
+		c = 32
+	}
+	return c
+}
+
+// Balanced splits items into at most count contiguous partitions of
+// the canonical order (module-major, input order within a module),
+// choosing each cut inside a ±25% balance window around the ideal
+// partition size at the position crossed by the least call-edge
+// weight. Fewer than count items yield one partition per item. The
+// result covers every input item exactly once.
+func Balanced(items []Item, edges []Edge, count int) []Partition {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+
+	// Canonical order: module-major, stable within a module. The
+	// caller hands items in PID order, which is already module-major
+	// for definitions, but re-sorting makes the contract independent
+	// of interning details.
+	ordered := make([]Item, n)
+	copy(ordered, items)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].Module < ordered[j].Module
+	})
+	pos := make(map[string]int, n)
+	var total int64
+	for i, it := range ordered {
+		pos[it.ID] = i
+		total += it.Size
+	}
+
+	// cutCost[c] is the summed weight of edges crossing the boundary
+	// between position c and c+1: an edge spanning positions p<q is
+	// crossed by every cut c with p <= c < q. Built as a difference
+	// array so the whole sweep is O(items + edges).
+	cutCost := make([]int64, n)
+	for _, e := range edges {
+		p, okA := pos[e.A]
+		q, okB := pos[e.B]
+		if !okA || !okB || p == q {
+			continue
+		}
+		if p > q {
+			p, q = q, p
+		}
+		w := e.Weight
+		if w <= 0 {
+			w = 1
+		}
+		cutCost[p] += w
+		cutCost[q] -= w
+	}
+	for c := 1; c < n; c++ {
+		cutCost[c] += cutCost[c-1]
+	}
+
+	parts := make([]Partition, 0, count)
+	start := 0
+	var used int64
+	for len(parts) < count-1 {
+		remainingParts := count - len(parts)
+		// Ideal fill for this partition given what remains.
+		target := (total - used + int64(remainingParts) - 1) / int64(remainingParts)
+		lo, hi := target*3/4, target*5/4
+		// The cut index c closes this partition at ordered[start..c].
+		// It must leave at least one item per remaining partition.
+		maxCut := n - 1 - (remainingParts - 1)
+		bestCut, bestCost := -1, int64(-1)
+		var fill int64
+		for c := start; c <= maxCut; c++ {
+			fill += ordered[c].Size
+			if fill < lo && c < maxCut {
+				continue
+			}
+			if bestCut == -1 || cutCost[c] < bestCost {
+				bestCut, bestCost = c, cutCost[c]
+			}
+			if fill >= hi {
+				break
+			}
+		}
+		p := Partition{Index: len(parts), Items: ordered[start : bestCut+1]}
+		for _, it := range p.Items {
+			p.Size += it.Size
+		}
+		used += p.Size
+		parts = append(parts, p)
+		start = bestCut + 1
+	}
+	last := Partition{Index: len(parts), Items: ordered[start:]}
+	for _, it := range last.Items {
+		last.Size += it.Size
+	}
+	parts = append(parts, last)
+	return parts
+}

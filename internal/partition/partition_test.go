@@ -1,0 +1,194 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mkItems(n, mods int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID:     fmt.Sprintf("f%03d", i),
+			Module: i * mods / n,
+			Size:   int64(10 + (i*7)%23),
+		}
+	}
+	return items
+}
+
+// TestBalancedCovers holds the structural contract: every item lands
+// in exactly one partition, partitions are non-empty, indices are
+// dense, and sizes sum.
+func TestBalancedCovers(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 17, 64} {
+		for _, count := range []int{1, 2, 3, 8, 100} {
+			items := mkItems(n, 4)
+			parts := Balanced(items, nil, count)
+			want := count
+			if want > n {
+				want = n
+			}
+			if len(parts) != want {
+				t.Fatalf("n=%d count=%d: got %d partitions, want %d", n, count, len(parts), want)
+			}
+			seen := map[string]bool{}
+			for i, p := range parts {
+				if p.Index != i {
+					t.Fatalf("partition %d has Index %d", i, p.Index)
+				}
+				if len(p.Items) == 0 {
+					t.Fatalf("n=%d count=%d: empty partition %d", n, count, i)
+				}
+				var size int64
+				for _, it := range p.Items {
+					if seen[it.ID] {
+						t.Fatalf("item %s assigned twice", it.ID)
+					}
+					seen[it.ID] = true
+					size += it.Size
+				}
+				if size != p.Size {
+					t.Fatalf("partition %d size %d, items sum %d", i, p.Size, size)
+				}
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d count=%d: %d items covered", n, count, len(seen))
+			}
+		}
+	}
+}
+
+// TestBalancedDeterministic: same inputs give the same assignment, and
+// edge *order* is irrelevant (weights are summed into a difference
+// array, so permutation cannot matter).
+func TestBalancedDeterministic(t *testing.T) {
+	items := mkItems(48, 6)
+	edges := make([]Edge, 0, 96)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 96; i++ {
+		a, b := rng.Intn(48), rng.Intn(48)
+		edges = append(edges, Edge{A: items[a].ID, B: items[b].ID, Weight: int64(1 + rng.Intn(9))})
+	}
+	ref := Balanced(items, edges, 5)
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]Edge(nil), edges...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := Balanced(items, shuffled, 5)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("trial %d: assignment changed under edge permutation", trial)
+		}
+	}
+}
+
+// TestBalancedModuleMajor: partitions are contiguous runs of the
+// module-major order, so a module is split only at partition
+// boundaries — never interleaved.
+func TestBalancedModuleMajor(t *testing.T) {
+	items := mkItems(40, 8)
+	parts := Balanced(items, nil, 4)
+	lastMod := -1
+	for _, p := range parts {
+		for _, it := range p.Items {
+			if it.Module < lastMod {
+				t.Fatalf("module order regressed: %d after %d", it.Module, lastMod)
+			}
+			lastMod = it.Module
+		}
+	}
+}
+
+// TestBalancedBalance: with uniform sizes no partition exceeds ~2x
+// its fair share (the window is ±25%, but integer rounding and the
+// final remainder partition loosen the bound).
+func TestBalancedBalance(t *testing.T) {
+	items := make([]Item, 64)
+	for i := range items {
+		items[i] = Item{ID: fmt.Sprintf("f%02d", i), Module: i / 4, Size: 10}
+	}
+	parts := Balanced(items, nil, 8)
+	fair := int64(64 * 10 / 8)
+	for _, p := range parts {
+		if p.Size > 2*fair {
+			t.Fatalf("partition %d size %d exceeds 2x fair share %d", p.Index, p.Size, fair)
+		}
+	}
+}
+
+// TestBalancedPrefersCheapCut: a heavy edge inside the balance window
+// pulls the cut to the cheaper boundary.
+func TestBalancedPrefersCheapCut(t *testing.T) {
+	// Six equal items, one hot edge between f2 and f3: splitting in
+	// two must cut somewhere, and the window around the midpoint
+	// includes both sides of the hot edge — the partitioner must not
+	// cut through it.
+	items := make([]Item, 6)
+	for i := range items {
+		items[i] = Item{ID: fmt.Sprintf("f%d", i), Module: 0, Size: 10}
+	}
+	edges := []Edge{{A: "f2", B: "f3", Weight: 100}}
+	parts := Balanced(items, edges, 2)
+	if len(parts) != 2 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	first := map[string]bool{}
+	for _, it := range parts[0].Items {
+		first[it.ID] = true
+	}
+	if first["f2"] != first["f3"] {
+		t.Fatalf("hot edge f2-f3 cut: first partition %v", parts[0].Items)
+	}
+}
+
+// FuzzBalanced: arbitrary inputs keep the structural contract and
+// determinism.
+func FuzzBalanced(f *testing.F) {
+	f.Add(int64(1), 10, 3, 8)
+	f.Add(int64(42), 33, 7, 100)
+	f.Fuzz(func(t *testing.T, seed int64, n, mods, count int) {
+		if n < 1 || n > 200 || mods < 1 || mods > 32 || count < 1 || count > 64 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				ID:     fmt.Sprintf("f%04d", i),
+				Module: rng.Intn(mods),
+				Size:   int64(rng.Intn(50)),
+			}
+		}
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			edges = append(edges, Edge{
+				A:      items[rng.Intn(n)].ID,
+				B:      items[rng.Intn(n)].ID,
+				Weight: int64(rng.Intn(20) - 2),
+			})
+		}
+		a := Balanced(items, edges, count)
+		b := Balanced(items, edges, count)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("assignment not deterministic")
+		}
+		seen := map[string]int{}
+		for _, p := range a {
+			if len(p.Items) == 0 {
+				t.Fatal("empty partition")
+			}
+			for _, it := range p.Items {
+				seen[it.ID]++
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("covered %d of %d items", len(seen), n)
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("item %s assigned %d times", id, c)
+			}
+		}
+	})
+}

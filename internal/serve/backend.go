@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"time"
+
+	cmo "cmo"
+	"cmo/internal/backend"
+)
+
+// The daemon's worker side: POST /backend compiles one partition of
+// someone else's build — portable HLO bodies in, content-addressed
+// objects out (the binary exchange in internal/backend). The endpoint
+// is deliberately outside build admission: backend slots are a
+// separate bounded pool, so a daemon that is simultaneously running a
+// build that farms partitions out and serving partitions in can never
+// deadlock on itself. Every refusal here is cheap for the fleet — the
+// dispatching build just compiles that partition locally.
+
+// maxBackendRequestBytes caps a request body read: a partition is
+// portable function bodies plus module shapes, far below this.
+const maxBackendRequestBytes = 1 << 30
+
+// handleBackend serves one partition compile. Replies:
+//
+//	200 binary result   — objects, in request order
+//	409 toolchain skew  — dispatcher and worker binaries disagree
+//	400 malformed       — undecodable request
+//	503 busy/draining   — all backend slots taken; compile it yourself
+func (s *Server) handleBackend(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.inst.partTotal[partResultBusy].Add(1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.backendSlots <- struct{}{}:
+	default:
+		s.inst.partTotal[partResultBusy].Add(1)
+		http.Error(w, "all backend slots busy", http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { <-s.backendSlots }()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBackendRequestBytes))
+	if err != nil {
+		s.inst.partTotal[partResultRejected].Add(1)
+		http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := backend.DecodeRequest(body)
+	if err != nil {
+		s.inst.partTotal[partResultRejected].Add(1)
+		http.Error(w, "decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Toolchain != cmo.ToolchainVersion() {
+		s.inst.partTotal[partResultRejected].Add(1)
+		http.Error(w, "toolchain skew: dispatcher "+req.Toolchain+", worker "+cmo.ToolchainVersion(),
+			http.StatusConflict)
+		return
+	}
+
+	start := time.Now()
+	res, err := backend.Execute(r.Context(), req)
+	if err != nil {
+		s.inst.partTotal[partResultError].Add(1)
+		http.Error(w, "compiling partition: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.inst.partTotal[partResultOK].Add(1)
+	s.inst.partSecs.ObserveNanos(time.Since(start).Nanoseconds())
+	w.Header().Set("Content-Type", backend.RequestContentType)
+	w.Write(backend.EncodeResult(res))
+}

@@ -56,6 +56,17 @@ type BuildRequest struct {
 	// Volatile names globals that must never become link-time
 	// constants.
 	Volatile []string `json:"volatile,omitempty"`
+	// Partitions sets the backend partition count (0 = size-based
+	// default). Never changes output bytes.
+	Partitions int `json:"partitions,omitempty"`
+	// NoPartition runs the pre-partition per-routine LLO path (the
+	// ablation; incompatible with RemoteWorkers).
+	NoPartition bool `json:"no_partition,omitempty"`
+	// Workers sets the in-process backend pool (0 = the granted Jobs).
+	Workers int `json:"workers,omitempty"`
+	// RemoteWorkers lists other cmod daemons ("http://host:port") to
+	// farm backend partitions to. Failures fall back to local compiles.
+	RemoteWorkers []string `json:"remote_workers,omitempty"`
 }
 
 // BuildResponse is the POST /build reply on success.
@@ -111,6 +122,9 @@ const requestIDHeader = "X-Cmod-Request"
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /build", s.handleBuild)
+	if s.backendSlots != nil {
+		s.mux.HandleFunc("POST /backend", s.handleBackend)
+	}
 	s.mux.HandleFunc("GET /status", s.handleStatus)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
@@ -235,6 +249,10 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		Entry:         req.Entry,
 		Volatile:      req.Volatile,
 		Jobs:          jobs,
+		Partitions:    req.Partitions,
+		NoPartition:   req.NoPartition,
+		Workers:       req.Workers,
+		RemoteWorkers: req.RemoteWorkers,
 		Trace:         btr,
 		Context:       ctx,
 	}

@@ -73,6 +73,14 @@ type BuildRecord struct {
 	GraphFrontier      int   `json:"graph_frontier,omitempty"`
 	GraphImageReplay   bool  `json:"graph_image_replay,omitempty"`
 
+	// Partitioned-backend figures (zero when the build ran the
+	// NoPartition ablation or never reached codegen).
+	Partitions       int `json:"partitions,omitempty"`
+	PartitionsClean  int `json:"partitions_clean,omitempty"`
+	PartitionsLocal  int `json:"partitions_local,omitempty"`
+	PartitionsRemote int `json:"partitions_remote,omitempty"`
+	PartitionRetries int `json:"partition_retries,omitempty"`
+
 	// Replayed marks records loaded from a ledger on session open
 	// rather than served by this process; their traces are gone.
 	Replayed bool `json:"-"`

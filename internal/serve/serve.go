@@ -88,6 +88,13 @@ type Config struct {
 	// because profiling endpoints on a build daemon are a deliberate
 	// operational decision, not a default.
 	EnablePprof bool
+	// BackendSlots bounds concurrent POST /backend partition compiles
+	// (default 2*MaxBuilds; negative disables the endpoint). Backend
+	// work is deliberately admitted outside the build queue: a daemon
+	// that is both building and serving as a worker must never deadlock
+	// on its own farm-out, and a refused partition just compiles on the
+	// dispatcher instead.
+	BackendSlots int
 }
 
 // sessionEntry is one cache directory's shared state: the open
@@ -115,10 +122,14 @@ type Server struct {
 	// slots is the build-concurrency semaphore (cap MaxBuilds);
 	// queue is the admission semaphore (cap MaxBuilds+QueueDepth);
 	// extraJobs holds the shared worker tokens beyond the one each
-	// build owns (cap JobBudget-MaxBuilds, possibly 0).
-	slots     chan struct{}
-	queue     chan struct{}
-	extraJobs chan struct{}
+	// build owns (cap JobBudget-MaxBuilds, possibly 0); backendSlots
+	// bounds /backend partition compiles (nil = endpoint disabled),
+	// independent of build admission so a daemon can be dispatcher and
+	// worker at once without deadlock.
+	slots        chan struct{}
+	queue        chan struct{}
+	extraJobs    chan struct{}
+	backendSlots chan struct{}
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
@@ -201,6 +212,13 @@ func New(cfg Config) *Server {
 		for i := 0; i < extra; i++ {
 			s.extraJobs <- struct{}{}
 		}
+	}
+	if cfg.BackendSlots == 0 {
+		cfg.BackendSlots = 2 * cfg.MaxBuilds
+		s.cfg.BackendSlots = cfg.BackendSlots
+	}
+	if cfg.BackendSlots > 0 {
+		s.backendSlots = make(chan struct{}, cfg.BackendSlots)
 	}
 	s.ctr.accepted = tr.Counter("serve.accepted")
 	s.ctr.rejected = tr.Counter("serve.rejected")

@@ -49,6 +49,13 @@ type instruments struct {
 	outcomes  map[string]*obs.Counter
 	replayed  *obs.Counter
 	ledgerErr *obs.Counter
+
+	// Partitioned-backend series: how completed builds' partitions were
+	// satisfied (build side), and how this daemon's /backend endpoint
+	// fared as a worker (worker side).
+	buildParts map[string]*obs.Counter
+	partSecs   *obs.Histogram
+	partTotal  map[string]*obs.Counter
 }
 
 func newInstruments(r *obs.Registry) *instruments {
@@ -67,6 +74,9 @@ func newInstruments(r *obs.Registry) *instruments {
 	r.SetHelp("cmod_builds_total", "Builds recorded by outcome (includes ledger replay on restart).")
 	r.SetHelp("cmod_ledger_replayed_total", "Ledger records replayed into the registry on session open.")
 	r.SetHelp("cmod_ledger_errors_total", "Ledger appends that failed (history shortens, builds do not).")
+	r.SetHelp("cmod_build_partitions_total", "Backend partitions of recorded builds, by how each was satisfied.")
+	r.SetHelp("cmod_partitions_total", "Partitions served (or refused) by this daemon's /backend endpoint, by result.")
+	r.SetHelp("cmod_partition_seconds", "Wall time compiling each partition served at /backend.")
 
 	in := &instruments{
 		duration:  r.Histogram("cmod_build_duration_seconds", latencyBuckets()),
@@ -91,8 +101,33 @@ func newInstruments(r *obs.Registry) *instruments {
 	for _, oc := range []string{outcomeOK, outcomeFailed, outcomeCanceled} {
 		in.outcomes[oc] = r.Counter(obs.LabeledName("cmod_builds_total", "outcome", oc))
 	}
+	in.buildParts = make(map[string]*obs.Counter, len(partitionModes))
+	for _, m := range partitionModes {
+		in.buildParts[m] = r.Counter(obs.LabeledName("cmod_build_partitions_total", "mode", m))
+	}
+	in.partSecs = r.Histogram("cmod_partition_seconds", latencyBuckets())
+	in.partTotal = make(map[string]*obs.Counter, len(partitionResults))
+	for _, res := range partitionResults {
+		in.partTotal[res] = r.Counter(obs.LabeledName("cmod_partitions_total", "result", res))
+	}
 	return in
 }
+
+// partitionModes labels cmod_build_partitions_total: how a recorded
+// build's partitions were satisfied. "retry" counts remote failures
+// that fell back locally (those partitions also count under "local").
+var partitionModes = []string{"clean", "local", "remote", "retry"}
+
+// partitionResults labels cmod_partitions_total: the fate of each
+// /backend request this daemon served as a worker.
+var partitionResults = []string{partResultOK, partResultError, partResultBusy, partResultRejected}
+
+const (
+	partResultOK       = "ok"
+	partResultError    = "error"
+	partResultBusy     = "busy"     // all backend slots taken
+	partResultRejected = "rejected" // malformed request or toolchain skew
+)
 
 const (
 	outcomeOK       = "ok"
@@ -145,6 +180,12 @@ func (in *instruments) observe(rec BuildRecord) {
 	}
 	if rec.GraphImageReplay {
 		in.replays.Add(1)
+	}
+	if rec.Partitions > 0 {
+		in.buildParts["clean"].Add(int64(rec.PartitionsClean))
+		in.buildParts["local"].Add(int64(rec.PartitionsLocal))
+		in.buildParts["remote"].Add(int64(rec.PartitionsRemote))
+		in.buildParts["retry"].Add(int64(rec.PartitionRetries))
 	}
 	// Graph histograms only see graph-steered builds (nodes > 0), so a
 	// NoDepGraph fleet doesn't flood the zero bucket.
@@ -280,6 +321,11 @@ func newBuildRecord(id, cacheDir, fp string, outcome string, buildErr error, mod
 		rec.GraphCriticalNanos = stats.GraphCriticalPathNanos
 		rec.GraphFrontier = stats.GraphFrontierDepth
 		rec.GraphImageReplay = stats.GraphImageReplay
+		rec.Partitions = stats.Partitions
+		rec.PartitionsClean = stats.PartitionsClean
+		rec.PartitionsLocal = stats.PartitionsLocal
+		rec.PartitionsRemote = stats.PartitionsRemote
+		rec.PartitionRetries = stats.PartitionRetries
 	}
 	return rec
 }

@@ -4,30 +4,15 @@ import (
 	"encoding/hex"
 	"fmt"
 
-	"cmo/internal/il"
 	"cmo/internal/naim"
-	"cmo/internal/vpa"
 )
 
-// The LLO object cache codec. llo.Compile's output for one routine
-// depends only on the routine's post-HLO body and the codegen options
-// (level, PBO) — never on the rest of the program — so the compiled
-// vpa.Func can be cached under the body's portable content hash and
-// replayed into any build whose post-HLO body comes out identical.
-//
-// Two sharp edges shape the encoding:
-//
-//   - Pre-link code refers to symbols by PID (vpa.Instr.Sym), and
-//     PIDs are a per-program numbering. Like the frontend artifacts,
-//     the object stores those references by NAME and re-resolves them
-//     against the current program at decode, so an object survives
-//     edits elsewhere in the program.
-//
-//   - link.Link relocates Sym fields IN PLACE, so a vpa.Func may be
-//     linked exactly once. Decode therefore always builds a fresh
-//     Func; cached bytes are never aliased into an image.
-
-const lloObjectMagic = "CMOOBJ1\n"
+// LLO object artifact keys. The codec itself lives in
+// internal/backend — the same name-symbolic encoding travels between
+// the session repository and the build (the object cache) and between
+// a dispatching build and a remote worker (the /backend exchange), so
+// there is exactly one set of bytes to reason about. This file keeps
+// only what the repository side adds: the content-addressed keys.
 
 // lloObjectKey scopes a cached object: toolchain, the full options
 // fingerprint (level, entry, selectivity, budget, the complete
@@ -40,91 +25,12 @@ func lloObjectKey(optFP, name string, bodyHash naim.Key, level int, pbo bool) na
 		hex.EncodeToString(bodyHash[:]), fmt.Sprintf("tier=%d,%t", level, pbo))
 }
 
-// opUsesSymName reports whether the instruction's Sym field is a
-// symbol reference (function for CALL, global for the memory ops).
-// Every other op leaves Sym as a plain value and round-trips it raw.
-func opUsesSymName(op vpa.OpCode) bool {
-	switch op {
-	case vpa.LDG, vpa.STG, vpa.LDX, vpa.STX, vpa.CALL:
-		return true
-	}
-	return false
-}
-
-// encodeLLOObject serializes one compiled routine, name-symbolic.
-func encodeLLOObject(prog *il.Program, f *vpa.Func) []byte {
-	w := &artWriter{b: make([]byte, 0, 64+8*len(f.Code))}
-	w.b = append(w.b, lloObjectMagic...)
-	w.str(f.Name)
-	w.u(uint64(f.NSlots))
-	w.u(uint64(len(f.Code)))
-	for i := range f.Code {
-		in := &f.Code[i]
-		w.byte(byte(in.Op))
-		w.byte(in.Rd)
-		w.byte(in.Ra)
-		w.byte(in.Rb)
-		if in.ImmB {
-			w.byte(1)
-		} else {
-			w.byte(0)
-		}
-		w.i(in.Imm)
-		if opUsesSymName(in.Op) {
-			w.str(prog.Sym(il.PID(in.Sym)).Name)
-		} else {
-			w.i(int64(in.Sym))
-		}
-		w.i(int64(in.Target))
-	}
-	return w.b
-}
-
-// decodeLLOObject rebuilds a compiled routine against the current
-// program, resolving symbol names to this build's PIDs. Any
-// unresolvable name or framing damage is an error — the caller treats
-// it as a cache miss and compiles live.
-func decodeLLOObject(prog *il.Program, blob []byte) (*vpa.Func, error) {
-	if len(blob) < len(lloObjectMagic) || string(blob[:len(lloObjectMagic)]) != lloObjectMagic {
-		return nil, errArtifact
-	}
-	r := &artReader{b: blob, off: len(lloObjectMagic)}
-	f := &vpa.Func{Name: r.str()}
-	f.NSlots = int(r.u())
-	n := r.u()
-	if r.err != nil || n > uint64(len(blob)) {
-		return nil, errArtifact
-	}
-	f.Code = make([]vpa.Instr, 0, n)
-	for i := uint64(0); i < n; i++ {
-		var in vpa.Instr
-		in.Op = vpa.OpCode(r.byte())
-		in.Rd = r.byte()
-		in.Ra = r.byte()
-		in.Rb = r.byte()
-		in.ImmB = r.byte() == 1
-		in.Imm = r.i()
-		if opUsesSymName(in.Op) {
-			name := r.str()
-			if r.err != nil {
-				return nil, r.err
-			}
-			sym := prog.Lookup(name)
-			if sym == nil {
-				return nil, fmt.Errorf("cmo: cached object %s refers to unknown symbol %s", f.Name, name)
-			}
-			in.Sym = int32(sym.PID)
-		} else {
-			in.Sym = int32(r.i())
-		}
-		in.Target = int32(r.i())
-		f.Code = append(f.Code, in)
-	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	if r.off != len(blob) {
-		return nil, fmt.Errorf("cmo: %d trailing bytes in LLO object", len(blob)-r.off)
-	}
-	return f, nil
+// partitionBundleKey scopes a cached partition bundle — every object
+// of one backend partition in one blob, keyed by the deterministic
+// partition fingerprint (which already covers the toolchain, the
+// options fingerprint, the partition count and index, and every
+// member's name, tier, and post-HLO body hash). A clean warm
+// partition replays from one repository read.
+func partitionBundleKey(fp string) naim.Key {
+	return naim.KeyOfStrings("cmo/part/v1", fp)
 }

@@ -167,6 +167,16 @@ func (b *Build) TimingReport() string {
 			s.CacheLLOHits, s.CacheLLOMisses,
 			100*float64(s.CacheLLOHits)/float64(s.CacheLLOHits+s.CacheLLOMisses))
 	}
+	// Partition figures appear on partitioned-backend builds (the
+	// default LLO path); the NoPartition ablation keeps the line out.
+	if s.Partitions > 0 {
+		fmt.Fprintf(&sb, "partitions: %d total, %d clean, %d local, %d remote",
+			s.Partitions, s.PartitionsClean, s.PartitionsLocal, s.PartitionsRemote)
+		if s.PartitionRetries > 0 {
+			fmt.Fprintf(&sb, ", %d retried locally", s.PartitionRetries)
+		}
+		sb.WriteString("\n")
+	}
 	// Graph lines appear whenever the dependency graph steered the
 	// build — a full image replay, or a staged build with a loaded
 	// graph (nodes > 0 even when the closure was empty).

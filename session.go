@@ -15,6 +15,12 @@ import (
 // decode into wrong code.
 const toolchainVersion = "cmo-toolchain/1"
 
+// ToolchainVersion exposes the artifact-key toolchain stamp to the
+// serving layer: a cmod daemon serving POST /backend refuses requests
+// from a different toolchain (version skew across a worker fleet must
+// surface as a refusal, never as drifted bytes).
+func ToolchainVersion() string { return toolchainVersion }
+
 // A Session is the unit of incremental compilation: a handle on a
 // durable, content-addressed artifact repository that successive
 // builds share. The repository (internal/naim) is the paper's object

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cmo/internal/analyze"
+	"cmo/internal/backend"
 	"cmo/internal/il"
 	"cmo/internal/llo"
 	"cmo/internal/naim"
@@ -19,14 +20,13 @@ import (
 // With MultiLayer, each routine's tier picks its code-generation
 // effort (paper section 8's layered strategy).
 //
-// On a graph-scheduled session build the stage becomes a scheduler
-// over the persisted dependency graph: the worklist is ordered by
-// longest-path-to-sink priority (measured costs from previous builds),
-// so the Jobs pool burns down the critical path first, and each
-// routine probes the LLO object cache — a function outside the edit's
-// dirty closure decodes its previously compiled object instead of
-// compiling, which is what makes warm-edit1 stage work proportional
-// to closure size rather than program size.
+// Two implementations share this entry point. The default is the
+// partitioned backend (stage_backend.go): routines are grouped into
+// balanced callgraph-aware partitions and executed by a worker set —
+// an in-process pool, remote cmod daemons, or any mix. The
+// Options.NoPartition ablation keeps the original per-routine
+// in-process path below, and the differential tests hold the two to
+// byte-identical images.
 
 // lloBytes models LLO's working-set for one routine: linear IR plus
 // quadratic analysis structures (interference, scheduling windows).
@@ -35,47 +35,77 @@ func lloBytes(n int) int64 {
 	return 96*nn + nn*nn/6
 }
 
-// runLLO compiles every function not in omit and returns the code map.
-func (b *Build) runLLO(loader *naim.Loader, opt Options, sess *Session, omit map[il.PID]bool, lsp obs.Span) (map[il.PID]*vpa.Func, error) {
-	prog := b.Prog
-	lloLevel := 2
+// lloBaseLevel maps the build level to the codegen effort the
+// non-tiered routines get.
+func lloBaseLevel(opt Options) int {
 	if opt.Level == O1 {
-		lloLevel = 1
+		return 1
 	}
+	return 2
+}
+
+// lloVerifyHook builds the per-routine re-verification hook for LLO's
+// optimized working copy, just before emission. analyze.Function is
+// pure over its inputs, so the hook is safe from parallel codegen
+// workers. nil when verification is off.
+func (b *Build) lloVerifyHook(opt Options) func(*il.Function) error {
+	if opt.Verify == analyze.Off {
+		return nil
+	}
+	prog, level := b.Prog, opt.Verify
+	return func(f *il.Function) error {
+		return analyze.FirstError(analyze.Function(prog, f, level))
+	}
+}
+
+// lloTier applies the multi-layer tier policy for one routine.
+// Callers serialize it (it mutates tier stats).
+func (b *Build) lloTier(opt Options, multiLayer bool, pid il.PID, f *il.Function) (int, bool) {
+	lloLevel := lloBaseLevel(opt)
+	if !multiLayer {
+		return lloLevel, opt.PBO
+	}
+	switch {
+	case f.Calls == 0:
+		// Never executed during training: cheapest codegen.
+		b.Stats.TierCold++
+		return 1, false
+	case !b.selectedFns[pid]:
+		b.Stats.TierWarm++
+		return lloLevel, opt.PBO
+	default:
+		b.Stats.TierHot++
+		return lloLevel, opt.PBO
+	}
+}
+
+// runLLO compiles every function not in omit and returns the code
+// map: through the partitioned backend by default, or the per-routine
+// in-process path under the NoPartition ablation.
+func (b *Build) runLLO(loader *naim.Loader, opt Options, sess *Session, omit map[il.PID]bool, lsp obs.Span) (map[il.PID]*vpa.Func, error) {
+	if opt.NoPartition {
+		return b.runLLODirect(loader, opt, sess, omit, lsp)
+	}
+	return b.runLLOPartitioned(loader, opt, sess, omit, lsp)
+}
+
+// runLLODirect is the pre-partition backend: one in-process compile
+// per routine, scheduled by the dependency graph when one is loaded.
+//
+// On a graph-scheduled session build the stage becomes a scheduler
+// over the persisted dependency graph: the worklist is ordered by
+// longest-path-to-sink priority (measured costs from previous builds),
+// so the Jobs pool burns down the critical path first, and each
+// routine probes the LLO object cache — a function outside the edit's
+// dirty closure decodes its previously compiled object instead of
+// compiling, which is what makes warm-edit1 stage work proportional
+// to closure size rather than program size.
+func (b *Build) runLLODirect(loader *naim.Loader, opt Options, sess *Session, omit map[il.PID]bool, lsp obs.Span) (map[il.PID]*vpa.Func, error) {
+	prog := b.Prog
 	multiLayer := opt.MultiLayer && opt.Level >= O4 && opt.DB != nil
 	code := make(map[il.PID]*vpa.Func)
 	gp := b.gp
-
-	// Per-routine re-verification of LLO's optimized working copy,
-	// just before emission. analyze.Function is pure over its inputs,
-	// so the hook is safe from the parallel codegen workers.
-	var lloVerify func(*il.Function) error
-	if opt.Verify != analyze.Off {
-		level := opt.Verify
-		lloVerify = func(f *il.Function) error {
-			return analyze.FirstError(analyze.Function(prog, f, level))
-		}
-	}
-
-	// classify applies the multi-layer tier policy for one routine.
-	// Callers serialize it (it mutates tier stats).
-	classify := func(pid il.PID, f *il.Function) (int, bool) {
-		if !multiLayer {
-			return lloLevel, opt.PBO
-		}
-		switch {
-		case f.Calls == 0:
-			// Never executed during training: cheapest codegen.
-			b.Stats.TierCold++
-			return 1, false
-		case !b.selectedFns[pid]:
-			b.Stats.TierWarm++
-			return lloLevel, opt.PBO
-		default:
-			b.Stats.TierHot++
-			return lloLevel, opt.PBO
-		}
-	}
+	lloVerify := b.lloVerifyHook(opt)
 
 	// The worklist: every surviving routine, in critical-path order
 	// when a graph is loaded. Output is order-independent (the code
@@ -113,7 +143,7 @@ func (b *Build) runLLO(loader *naim.Loader, opt Options, sess *Session, omit map
 		name := prog.Sym(pid).Name
 		var fnLevel int
 		var fnPBO bool
-		lock(func() { fnLevel, fnPBO = classify(pid, f) })
+		lock(func() { fnLevel, fnPBO = b.lloTier(opt, multiLayer, pid, f) })
 
 		var mf *vpa.Func
 		var key naim.Key
@@ -124,7 +154,7 @@ func (b *Build) runLLO(loader *naim.Loader, opt Options, sess *Session, omit map
 			// llo.Compile's output depends on.
 			key = lloObjectKey(gp.optFP, name, naim.HashPortableFunc(prog, f), fnLevel, fnPBO)
 			if blob, ok := sess.get(key); ok {
-				if dec, err := decodeLLOObject(prog, blob); err == nil && dec.Name == name {
+				if dec, err := backend.DecodeObject(prog, blob); err == nil && dec.Name == name {
 					sp := lsp.ChildDetail("llo warm", name)
 					mf = dec
 					sp.End()
@@ -142,7 +172,7 @@ func (b *Build) runLLO(loader *naim.Loader, opt Options, sess *Session, omit map
 			}
 			mf = cf
 			if gp != nil {
-				sess.put(key, encodeLLOObject(prog, mf))
+				sess.put(key, backend.EncodeObject(prog, mf))
 				gp.noteObject(name, key, time.Since(start).Nanoseconds(), true)
 				lock(func() { b.Stats.CacheLLOMisses++ })
 			}
