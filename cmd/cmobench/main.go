@@ -3,7 +3,7 @@
 // time/space dial), Figure 6 (the selectivity sweep), the section-8
 // memory-per-line history, and the design-decision ablations.
 //
-//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|ipa|graph|distributed|all]
+//	cmobench [-scale f] [-fig 1|4|5|6|hist|ablation|parallel|incremental|ipa|graph|distributed|cas|all]
 //	         [-o report.txt] [-metrics metrics.json] [-json BENCH_*.json] [-v]
 //
 // -metrics aggregates spans and counters across every build the
@@ -17,9 +17,10 @@
 // commit over commit. With -fig incremental it instead writes the
 // cold-vs-warm rebuild record (conventionally BENCH_incremental.json),
 // with -fig ipa the MOD/REF ablation record (BENCH_ipa.json), with
-// -fig graph the dependency-graph sweep (BENCH_graph.json), and with
+// -fig graph the dependency-graph sweep (BENCH_graph.json), with
 // -fig distributed the partitioned-backend worker sweep
-// (BENCH_distributed.json).
+// (BENCH_distributed.json), and with -fig cas the shared-cache-service
+// sweep (BENCH_cas.json).
 package main
 
 import (
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (module-count multiplier)")
-	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, ipa, graph, distributed, all")
+	fig := flag.String("fig", "all", "which experiment: 1, 4, 5, 6, hist, ablation, parallel, incremental, ipa, graph, distributed, cas, all")
 	out := flag.String("o", "", "write the report to a file as well as stdout")
 	metrics := flag.String("metrics", "", "write an aggregated metrics JSON snapshot (spans + counters) to this file")
 	benchJSON := flag.String("json", "", "run the Jobs sweep and write its speedup record (BENCH_parallel.json) to this file")
@@ -93,7 +94,7 @@ func main() {
 		}
 		emit(experiments.RenderHistory(rows))
 	}
-	if want("parallel") || (*benchJSON != "" && *fig != "incremental" && *fig != "ipa" && *fig != "graph" && *fig != "distributed") {
+	if want("parallel") || (*benchJSON != "" && *fig != "incremental" && *fig != "ipa" && *fig != "graph" && *fig != "distributed" && *fig != "cas") {
 		rec, err := experiments.Parallel(cfg)
 		if err != nil {
 			fatalf("parallel: %v", err)
@@ -152,6 +153,18 @@ func main() {
 		if *benchJSON != "" && *fig == "distributed" {
 			writeJSON(*benchJSON, func(w io.Writer) error {
 				return experiments.WriteDistributedJSON(w, rec)
+			})
+		}
+	}
+	if want("cas") {
+		rec, err := experiments.CAS(cfg)
+		if err != nil {
+			fatalf("cas: %v", err)
+		}
+		emit(experiments.RenderCAS(rec))
+		if *benchJSON != "" && *fig == "cas" {
+			writeJSON(*benchJSON, func(w io.Writer) error {
+				return experiments.WriteCASJSON(w, rec)
 			})
 		}
 	}

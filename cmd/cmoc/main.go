@@ -38,6 +38,15 @@
 // inputs are unchanged. A warm rebuild writes the same image bytes a
 // cold one would — the cache changes build time, never output.
 //
+// -remote-cache names a shared CAS service (a cmod daemon started
+// with -cas-dir) and makes the -cache-dir session three-level: local
+// misses fill from the remote cache and stored artifacts write back
+// asynchronously, so a machine that never built a module still gets
+// warm-build speed from blobs the fleet already computed.
+// -remote-namespace isolates tenants sharing one service. The remote
+// is advisory: an unreachable, evicting, or dying cache service costs
+// time, never bytes — images are identical with it on, off, or gone.
+//
 // Server mode (-server addr) sends the build to a running cmod daemon
 // instead of compiling in-process:
 //
@@ -81,6 +90,8 @@ func main() {
 	noPartition := flag.Bool("no-partition", false, "driver mode: disable the partitioned backend (per-routine LLO; output is identical)")
 	workers := flag.Int("workers", 0, "driver mode: in-process backend worker pool (0 = -j; output is identical)")
 	remoteWorkers := flag.String("remote-workers", "", "driver mode: comma-separated cmod daemon URLs to farm backend partitions to (failures fall back locally; output is identical)")
+	remoteCache := flag.String("remote-cache", "", "driver mode: shared CAS service URL (cmod -cas-dir) to fill -cache-dir misses from (failures degrade to local-only; output is identical)")
+	remoteNamespace := flag.String("remote-namespace", "", "tenant namespace for -remote-cache requests (default \"default\")")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cmoc [-O level] [-o out.o] file.minc\n")
 		fmt.Fprintf(os.Stderr, "       cmoc [-O level] [-trace out.json] [-timing] [-o out.vx] a.minc b.minc ...\n")
@@ -116,10 +127,23 @@ func main() {
 	if be.noPartition && len(be.remote) > 0 {
 		fatalf("-no-partition is incompatible with -remote-workers (remote workers need the partitioned backend)")
 	}
+	rc := remoteCacheFlags{namespace: *remoteNamespace}
+	if *remoteCache != "" {
+		if *cacheDir == "" {
+			fatalf("-remote-cache requires -cache-dir (the remote fills the local repository)")
+		}
+		rc.url = *remoteCache
+		if !strings.Contains(rc.url, "://") {
+			rc.url = "http://" + rc.url
+		}
+	}
 
 	if *server != "" {
 		if !levelSet {
 			*level = 4
+		}
+		if rc.url != "" {
+			fatalf("-remote-cache is a driver-mode flag (a cmod daemon attaches its own cache; see cmod -cas-dir)")
 		}
 		runRemote(*server, flag.Args(), *level, *out, *timing, *jobs, *cacheDir, be)
 		return
@@ -131,7 +155,7 @@ func main() {
 		if !levelSet {
 			*level = 4
 		}
-		runDriver(flag.Args(), *level, *out, *tracePath, *timing, *budget, *naimLevel, *jobs, *cacheDir, be)
+		runDriver(flag.Args(), *level, *out, *tracePath, *timing, *budget, *naimLevel, *jobs, *cacheDir, be, rc)
 		return
 	}
 
@@ -175,8 +199,15 @@ type backendFlags struct {
 	remote      []string
 }
 
+// remoteCacheFlags carries the shared-cache knobs; like the backend
+// knobs they change build time only, never output bytes.
+type remoteCacheFlags struct {
+	url       string
+	namespace string
+}
+
 // runDriver compiles and links a whole program in one process.
-func runDriver(paths []string, level int, out, tracePath string, timing bool, budget int64, naimLevel string, jobs int, cacheDir string, be backendFlags) {
+func runDriver(paths []string, level int, out, tracePath string, timing bool, budget int64, naimLevel string, jobs int, cacheDir string, be backendFlags, rc remoteCacheFlags) {
 	var mods []cmo.SourceModule
 	for _, path := range paths {
 		text, err := os.ReadFile(path)
@@ -225,6 +256,10 @@ func runDriver(paths []string, level int, out, tracePath string, timing bool, bu
 		RemoteWorkers: be.remote,
 		Trace:         tr,
 		CacheDir:      cacheDir,
+	}
+	if rc.url != "" {
+		opt.RemoteCache = rc.url
+		opt.RemoteNamespace = rc.namespace
 	}
 	b, err := cmo.BuildSource(mods, opt)
 	if err != nil {

@@ -4,7 +4,7 @@
 //
 //	cmod [-addr host:port] [-max-builds n] [-queue n] [-job-budget n]
 //	     [-timeout d] [-max-timeout d] [-record-ring n] [-trace-ring n]
-//	     [-pprof]
+//	     [-pprof] [-cas-dir dir] [-cas-max-bytes n] [-cas-ttl d]
 //
 // The one-shot cmoc driver pays the session open/commit cost on every
 // invocation and shares nothing across processes. cmod moves the
@@ -21,6 +21,9 @@
 //	POST /build              {modules, level, cache_dir, jobs, ...}
 //	POST /backend            compile one backend partition for another
 //	                         build (binary exchange; see internal/backend)
+//	GET  /cas/{ns}/{hash}    shared artifact cache blob (with -cas-dir;
+//	PUT  /cas/{ns}/{hash}    see internal/cas — ETag/If-None-Match,
+//	                         gzip, per-tenant namespaces, LRU+TTL)
 //	GET  /status             queue depth, active builds, open sessions,
 //	                         daemon version/pid/uptime
 //	GET  /metrics            Prometheus text exposition: build latency /
@@ -55,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"cmo/internal/cas"
 	"cmo/internal/serve"
 )
 
@@ -69,11 +73,24 @@ func main() {
 	traceRing := flag.Int("trace-ring", 32, "recent builds whose full trace stays retrievable")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	backendSlots := flag.Int("backend-slots", 0, "concurrent POST /backend partition compiles served as a worker (0 = 2*max-builds, negative disables)")
+	casDir := flag.String("cas-dir", "", "serve a shared artifact cache from this directory at /cas/ (empty disables)")
+	casMaxBytes := flag.Int64("cas-max-bytes", 256<<20, "cache disk cap in bytes (LRU eviction holds it)")
+	casTTL := flag.Duration("cas-ttl", 0, "expire cache entries older than this (0 = no TTL)")
+	casSlots := flag.Int("cas-slots", 0, "concurrent /cas requests (0 = 4*max-builds)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: cmod [-addr host:port] [flags]\n")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+
+	var store *cas.Store
+	if *casDir != "" {
+		var err error
+		store, err = cas.OpenStore(*casDir, cas.Config{MaxBytes: *casMaxBytes, TTL: *casTTL})
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	srv := serve.New(serve.Config{
@@ -86,6 +103,8 @@ func main() {
 		TraceRing:      *traceRing,
 		EnablePprof:    *enablePprof,
 		BackendSlots:   *backendSlots,
+		CAS:            store,
+		CASSlots:       *casSlots,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -265,6 +265,30 @@ func summary(base string) error {
 			fmt.Println(line)
 		}
 	}
+	// Shared artifact cache (/cas/, daemons started with -cas-dir):
+	// population against the cap, then traffic. Daemons without a
+	// cache store export none of these and keep the line out.
+	if blobs, ok := m.Value("cmod_cas_blobs"); ok {
+		bytesLive, _ := m.Value("cmod_cas_bytes")
+		capBytes, _ := m.Value("cmod_cas_max_bytes")
+		line := fmt.Sprintf("cas: %.0f blobs, %.0f bytes", blobs, bytesLive)
+		if capBytes > 0 {
+			line += fmt.Sprintf(" (%.1f%% of cap)", 100*bytesLive/capBytes)
+		}
+		hits, _ := m.Value("cmod_cas_hits_total")
+		misses, _ := m.Value("cmod_cas_misses_total")
+		if hits+misses > 0 {
+			line += fmt.Sprintf(" — %.0f hits, %.0f misses (%.0f%% hit rate)",
+				hits, misses, 100*hits/(hits+misses))
+		}
+		if puts, _ := m.Value("cmod_cas_puts_total"); puts > 0 {
+			line += fmt.Sprintf(", %.0f puts", puts)
+		}
+		if ev, _ := m.Value("cmod_cas_evictions_total"); ev > 0 {
+			line += fmt.Sprintf(", %.0f evictions", ev)
+		}
+		fmt.Println(line)
+	}
 	if v, ok := m.Value("cmod_commit_backlog_bytes"); ok && v > 0 {
 		fmt.Printf("commit backlog: %.0f bytes uncommitted\n", v)
 	}

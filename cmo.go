@@ -147,6 +147,26 @@ type Options struct {
 	// doing repeated in-process builds share one Session so each build
 	// warms the next.
 	Session *Session
+	// RemoteCache, when non-empty, is the base URL of a shared CAS
+	// service ("http://host:port"; a cmod daemon with a cache store
+	// mounts it at /cas/). It gives the session opened from CacheDir a
+	// third cache level: artifact lookups go memory → local repository
+	// → remote CAS, local misses fill from the remote, and committed
+	// artifacts write back asynchronously with a bounded backlog. The
+	// remote is strictly advisory — any failure (unreachable service,
+	// timeout, eviction, mid-build death) degrades to local-only and
+	// the image bytes are identical with the cache on, off, cold, or
+	// gone. Ignored when Session is set (attach a cas.Client to the
+	// session yourself) or when CacheDir is empty (there is no local
+	// level to fill).
+	RemoteCache string
+	// RemoteNamespace is the tenant namespace RemoteCache requests use
+	// (default "default"). Namespaces isolate tenants sharing one
+	// service: a key stored under one is invisible to every other.
+	RemoteNamespace string
+	// RemoteCacheTimeout bounds one remote cache request (0 = the
+	// cas client default, 5s).
+	RemoteCacheTimeout time.Duration
 	// Partitions sets the backend partition count (the WHOPR-style
 	// ltrans split; see internal/partition). 0 picks a size-based
 	// default (partition.Auto); the value never affects generated
@@ -223,6 +243,20 @@ type BuildStats struct {
 	// repository; a miss was compiled and stored.
 	CacheLLOHits   int
 	CacheLLOMisses int
+	// Remote-cache outcome (builds with Options.RemoteCache, or a
+	// session the caller attached a cas.Client to). A hit is a local
+	// miss filled from the shared cache; a miss went to the remote and
+	// came back empty; stores are artifacts written back; drops are
+	// write-backs shed by the bounded backlog or an open breaker;
+	// errors count failed requests (each one degraded to a local
+	// miss). When one session serves concurrent builds the figures are
+	// attributed by before/after snapshots, so overlapping builds may
+	// split each other's traffic — totals across builds stay exact.
+	CacheRemoteHits   int
+	CacheRemoteMisses int
+	CacheRemoteStores int
+	CacheRemoteDrops  int
+	CacheRemoteErrors int
 
 	// Dependency-graph outcome (graph-scheduled session builds).
 	// GraphNodes/GraphEdges snapshot the loaded graph after this

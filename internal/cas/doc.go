@@ -1,0 +1,64 @@
+// Package cas is the shared content-addressed artifact cache: a
+// disk-backed blob store (Store) with an HTTP surface (Handler) and
+// the client a build session uses to make its artifact lookups
+// three-level (Client). It turns the paper's single-machine object
+// repository into the shared-cache tier every modern build farm
+// (ThinLTO + distributed caches, ninja + RBE) converged on: many
+// tenants hit one daemon's cache, each filling its local repository
+// from blobs some other machine already computed.
+//
+// # Keys and immutability
+//
+// A blob is addressed by (namespace, key). The key is the lowercase
+// hex form of a naim.Key — either a content hash or an
+// input-fingerprint (source text ⊕ options fingerprint ⊕ toolchain
+// version; see the Session doc in the cmo package). Both kinds share
+// one invariant the whole design leans on: equal key implies equal
+// bytes. Entries are therefore immutable — a PUT for a key that
+// already exists is a no-op that answers 200, never a rewrite — and
+// the ETag of an entry is simply its key, quoted. If-None-Match is
+// thus a pure existence test: a client that holds any bytes for a key
+// holds the bytes, and a match always answers 304 with no body.
+//
+// # Namespaces
+//
+// The namespace path component isolates tenants: a key stored under
+// one namespace is invisible to every other, so two tenants whose
+// toolchains or sources must not mix share one daemon without
+// sharing bytes. Namespaces are flat names (letters, digits, dot,
+// dash, underscore; no traversal), created implicitly on first PUT.
+// Isolation is a visibility guarantee, not a quota: the disk cap and
+// eviction clock below are store-wide.
+//
+// # Eviction
+//
+// The store holds at most MaxBytes of blob payload. Every PUT that
+// would exceed the cap evicts least-recently-used entries (across all
+// namespaces) until it fits, so the cap holds at all times, not just
+// eventually. A TTL, when configured, additionally expires entries by
+// age since they were stored; expired entries count as misses and are
+// deleted on discovery. Recency is tracked in memory and approximated
+// by file mtime across a daemon restart. None of this can affect
+// build output: the cache is advisory, a client treats any absence —
+// evicted, expired, or never stored — as a miss and recomputes.
+//
+// # Wire compression
+//
+// GET responses are gzip-compressed when the client advertises
+// Accept-Encoding: gzip and the blob is large enough to benefit; PUT
+// bodies may be sent with Content-Encoding: gzip. Compression changes
+// wire bytes only — stored payloads and their keys are always the
+// uncompressed blob.
+//
+// # Failure model
+//
+// The Client degrades, never fails: a remote error (connection
+// refused, timeout, 5xx, torn body) counts a miss, trips a breaker
+// after a few consecutive failures, and the session continues
+// local-only until the cooldown passes. Write-back is asynchronous
+// over a bounded queue; when the queue is full the store is dropped
+// and counted, never blocked on. Killing the cache service mid-build
+// must cost latency only — images are byte-identical with the remote
+// cache on, off, cold, mid-eviction, or dead (the differential tests
+// in the cmo package's cas_test.go hold exactly that).
+package cas

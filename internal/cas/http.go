@@ -1,0 +1,135 @@
+package cas
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// The HTTP surface over a Store: GET/HEAD/PUT /cas/{namespace}/{hash}.
+// Entries are immutable, so the ETag of a blob is its key (quoted)
+// and If-None-Match is a pure existence test — see the package doc.
+
+// gzipMinBytes is the smallest GET payload worth compressing; tiny
+// blobs would grow under the gzip framing.
+const gzipMinBytes = 256
+
+// Handler mounts a Store's blob protocol. The returned handler owns
+// the /cas/ subtree; wrap it for admission control (internal/serve
+// checks draining and a slot pool before delegating here).
+func Handler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	// "GET" patterns also match HEAD in net/http's router.
+	mux.HandleFunc("GET /cas/{ns}/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		handleGet(s, w, r)
+	})
+	mux.HandleFunc("PUT /cas/{ns}/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		handlePut(s, w, r)
+	})
+	return mux
+}
+
+func etagFor(key string) string { return `"` + key + `"` }
+
+// etagMatches implements the weak If-None-Match comparison: any
+// listed tag equal to ours (or "*") matches.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		tag := strings.TrimSpace(part)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == "*" || tag == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func handleGet(s *Store, w http.ResponseWriter, r *http.Request) {
+	ns, key := r.PathValue("ns"), r.PathValue("hash")
+	if !validNamespace(ns) || !validKey(key) {
+		http.Error(w, "cas: invalid namespace or key", http.StatusBadRequest)
+		return
+	}
+	etag := etagFor(key)
+	// Immutable entries: a client holding any bytes for this key holds
+	// the bytes, so a matching If-None-Match needs only existence.
+	if etagMatches(r.Header.Get("If-None-Match"), etag) && s.Has(ns, key) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	blob, ok := s.Get(ns, key)
+	if !ok {
+		http.Error(w, "cas: not found", http.StatusNotFound)
+		return
+	}
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Vary", "Accept-Encoding")
+	if r.Method == http.MethodHead {
+		h.Set("Content-Length", strconv.Itoa(len(blob)))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if len(blob) >= gzipMinBytes && acceptsGzip(r) {
+		h.Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		_, _ = gz.Write(blob)
+		_ = gz.Close()
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(blob)))
+	_, _ = w.Write(blob)
+}
+
+func handlePut(s *Store, w http.ResponseWriter, r *http.Request) {
+	ns, key := r.PathValue("ns"), r.PathValue("hash")
+	if !validNamespace(ns) || !validKey(key) {
+		http.Error(w, "cas: invalid namespace or key", http.StatusBadRequest)
+		return
+	}
+	if s.Has(ns, key) {
+		// Immutable: same key, same bytes. Skip the body read entirely.
+		w.Header().Set("ETag", etagFor(key))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	var body io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBlobBytes+1)
+	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		gz, err := gzip.NewReader(body)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("cas: bad gzip body: %v", err), http.StatusBadRequest)
+			return
+		}
+		defer gz.Close()
+		body = gz
+	}
+	blob, err := io.ReadAll(body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("cas: reading body: %v", err), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if err := s.Put(ns, key, blob); err != nil {
+		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+		return
+	}
+	w.Header().Set("ETag", etagFor(key))
+	w.WriteHeader(http.StatusCreated)
+}
+
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := strings.TrimSpace(part)
+		if enc == "gzip" || strings.HasPrefix(enc, "gzip;") {
+			return true
+		}
+	}
+	return false
+}

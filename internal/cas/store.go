@@ -1,0 +1,375 @@
+package cas
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sizes a Store. The zero value is usable: a 256 MiB cap, no
+// TTL, 32 MiB per blob.
+type Config struct {
+	// MaxBytes caps the summed payload bytes on disk (default 256
+	// MiB). Every Put that would exceed it evicts least-recently-used
+	// entries first, so the cap holds at all times.
+	MaxBytes int64
+	// TTL, when positive, expires entries by age since they were
+	// stored. Expired entries answer as misses and are deleted on
+	// discovery.
+	TTL time.Duration
+	// MaxBlobBytes caps one blob (default 32 MiB); larger puts are
+	// rejected, not truncated.
+	MaxBlobBytes int64
+}
+
+// Stats is a point-in-time snapshot of a Store's counters. The
+// cumulative fields only grow; Blobs and LiveBytes track the current
+// population.
+type Stats struct {
+	Hits        int64 // gets that returned bytes
+	Misses      int64 // gets for absent (or expired) entries
+	Puts        int64 // blobs accepted and written
+	DupPuts     int64 // puts for keys already present (no-ops)
+	Evictions   int64 // entries removed by the LRU cap
+	Expirations int64 // entries removed by the TTL
+	Rejects     int64 // puts refused (oversized blob or invalid name)
+
+	BytesServed  int64 // payload bytes returned by hits
+	BytesStored  int64 // payload bytes accepted by puts
+	BytesEvicted int64 // payload bytes removed by LRU + TTL
+
+	Blobs     int   // entries currently held
+	LiveBytes int64 // payload bytes currently held
+}
+
+// entry is one blob's in-memory index record.
+type entry struct {
+	ns, key string
+	size    int64
+	stored  time.Time
+	elem    *list.Element
+}
+
+// Store is a bounded, namespaced, content-addressed blob store on
+// disk: one file per blob at <dir>/<namespace>/<key>, an in-memory
+// LRU index over them, and counters for the telemetry layer. Safe for
+// concurrent use.
+type Store struct {
+	dir string
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*entry // "<ns>/<key>"
+	lru     *list.List        // front = most recently used; values are *entry
+	live    int64
+	closed  bool
+	st      Stats // cumulative counters (Blobs/LiveBytes derived at snapshot)
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir,
+// rebuilding the index from the files already present. Recency across
+// a restart is approximated by file mtime; entries over the cap or
+// past the TTL are evicted immediately so a restarted daemon honors
+// its budget from the first request.
+func OpenStore(dir string, cfg Config) (*Store, error) {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 256 << 20
+	}
+	if cfg.MaxBlobBytes <= 0 {
+		cfg.MaxBlobBytes = 32 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cas: opening store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sweepLocked(time.Now())
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// scan rebuilds the index from disk: namespace directories, blob
+// files inside them. Files that don't look like blobs are ignored
+// (never deleted — the store only removes what it indexed).
+func (s *Store) scan() error {
+	nsDirs, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("cas: scanning store: %w", err)
+	}
+	var all []*entry
+	for _, nd := range nsDirs {
+		if !nd.IsDir() || !validNamespace(nd.Name()) {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, nd.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || !validKey(f.Name()) {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			all = append(all, &entry{
+				ns:     nd.Name(),
+				key:    f.Name(),
+				size:   info.Size(),
+				stored: info.ModTime(),
+			})
+		}
+	}
+	// Oldest first so PushFront leaves the newest at the LRU front.
+	sort.Slice(all, func(i, j int) bool { return all[i].stored.Before(all[j].stored) })
+	for _, e := range all {
+		e.elem = s.lru.PushFront(e)
+		s.entries[e.ns+"/"+e.key] = e
+		s.live += e.size
+	}
+	return nil
+}
+
+// Get returns the blob for (ns, key), or ok=false on a miss. An
+// expired or unreadable entry is removed and counted as a miss — the
+// caller recomputes, the cache is advisory.
+func (s *Store) Get(ns, key string) (blob []byte, ok bool) {
+	if !validNamespace(ns) || !validKey(key) {
+		s.mu.Lock()
+		s.st.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.entries[ns+"/"+key]
+	if !found {
+		s.st.Misses++
+		return nil, false
+	}
+	if s.cfg.TTL > 0 && time.Since(e.stored) > s.cfg.TTL {
+		s.removeLocked(e)
+		s.st.Expirations++
+		s.st.BytesEvicted += e.size
+		s.st.Misses++
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(e.ns, e.key))
+	if err != nil || int64(len(b)) != e.size {
+		// A torn or vanished file is dropped from the index; the next
+		// Put restores it.
+		s.removeLocked(e)
+		s.st.Misses++
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	s.st.Hits++
+	s.st.BytesServed += e.size
+	return b, true
+}
+
+// Has reports whether (ns, key) is present and unexpired without
+// touching recency or the hit/miss counters.
+func (s *Store) Has(ns, key string) bool {
+	if !validNamespace(ns) || !validKey(key) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, found := s.entries[ns+"/"+key]
+	if !found {
+		return false
+	}
+	if s.cfg.TTL > 0 && time.Since(e.stored) > s.cfg.TTL {
+		return false
+	}
+	return true
+}
+
+// Put stores a blob under (ns, key). Entries are immutable: a key
+// already present is a counted no-op (equal key implies equal bytes —
+// the caller's invariant, restated in the package doc). The write is
+// temp-file + rename, so a crash never leaves a torn blob visible.
+func (s *Store) Put(ns, key string, blob []byte) error {
+	if !validNamespace(ns) || !validKey(key) {
+		s.mu.Lock()
+		s.st.Rejects++
+		s.mu.Unlock()
+		return fmt.Errorf("cas: invalid namespace %q or key %q", ns, key)
+	}
+	if int64(len(blob)) > s.cfg.MaxBlobBytes {
+		s.mu.Lock()
+		s.st.Rejects++
+		s.mu.Unlock()
+		return fmt.Errorf("cas: blob %d bytes exceeds per-blob cap %d", len(blob), s.cfg.MaxBlobBytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("cas: store is closed")
+	}
+	if _, found := s.entries[ns+"/"+key]; found {
+		s.st.DupPuts++
+		return nil
+	}
+	nsDir := filepath.Join(s.dir, ns)
+	if err := os.MkdirAll(nsDir, 0o755); err != nil {
+		return fmt.Errorf("cas: put: %w", err)
+	}
+	tmp, err := os.CreateTemp(nsDir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("cas: put: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cas: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cas: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(ns, key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cas: put: %w", err)
+	}
+	e := &entry{ns: ns, key: key, size: int64(len(blob)), stored: time.Now()}
+	e.elem = s.lru.PushFront(e)
+	s.entries[ns+"/"+key] = e
+	s.live += e.size
+	s.st.Puts++
+	s.st.BytesStored += e.size
+	s.sweepLocked(e.stored)
+	s.evictLocked()
+	return nil
+}
+
+// sweepLocked expires TTL-dead entries. Called with mu held.
+func (s *Store) sweepLocked(now time.Time) {
+	if s.cfg.TTL <= 0 {
+		return
+	}
+	// Walk from the LRU back; expired entries can sit anywhere in
+	// recency order, so a full walk is the honest sweep. The index is
+	// in-memory and bounded by the disk cap — this is cheap.
+	for el := s.lru.Back(); el != nil; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if now.Sub(e.stored) > s.cfg.TTL {
+			s.removeLocked(e)
+			s.st.Expirations++
+			s.st.BytesEvicted += e.size
+		}
+		el = prev
+	}
+}
+
+// evictLocked enforces the byte cap, least-recently-used first.
+// Called with mu held.
+func (s *Store) evictLocked() {
+	for s.live > s.cfg.MaxBytes {
+		el := s.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		s.removeLocked(e)
+		s.st.Evictions++
+		s.st.BytesEvicted += e.size
+	}
+}
+
+// removeLocked drops an entry from the index and disk. Called with mu
+// held.
+func (s *Store) removeLocked(e *entry) {
+	s.lru.Remove(e.elem)
+	delete(s.entries, e.ns+"/"+e.key)
+	s.live -= e.size
+	_ = os.Remove(s.path(e.ns, e.key))
+}
+
+// Stats snapshots the counters and current population.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.st
+	st.Blobs = len(s.entries)
+	st.LiveBytes = s.live
+	return st
+}
+
+// LiveBytes reports the payload bytes currently on disk.
+func (s *Store) LiveBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// MaxBytes reports the configured disk cap.
+func (s *Store) MaxBytes() int64 { return s.cfg.MaxBytes }
+
+// Close marks the store closed. Blobs are already durable (each Put
+// renamed a complete file into place); there is no index file to
+// flush — recency is reconstructed from mtimes on the next open.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+func (s *Store) path(ns, key string) string {
+	return filepath.Join(s.dir, ns, key)
+}
+
+// validNamespace accepts flat tenant names: letters, digits, dot,
+// dash, underscore — and never a traversal component.
+func validNamespace(ns string) bool {
+	if ns == "" || len(ns) > 100 || ns == "." || ns == ".." {
+		return false
+	}
+	for i := 0; i < len(ns); i++ {
+		c := ns[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validKey accepts exactly the hex form of a naim.Key: 64 lowercase
+// hex digits.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// cleanBase strips a trailing slash from a service base URL so path
+// joining below stays predictable.
+func cleanBase(base string) string { return strings.TrimRight(base, "/") }

@@ -1,0 +1,277 @@
+package cas
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cmo/internal/naim"
+)
+
+// keyFor derives a valid 64-hex key from any seed string.
+func keyFor(seed string) string {
+	k := naim.KeyOfStrings("cas-test", seed)
+	return fmt.Sprintf("%x", k[:])
+}
+
+func blobOf(seed string, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(seed[i%len(seed)] + byte(i))
+	}
+	return b
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := keyFor("a")
+	blob := blobOf("a", 1000)
+	if _, ok := s.Get("tenant", key); ok {
+		t.Fatal("hit before put")
+	}
+	if err := s.Put("tenant", key, blob); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("tenant", key)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("round trip: ok=%v, %d bytes", ok, len(got))
+	}
+	// Immutability: a duplicate put is a counted no-op.
+	if err := s.Put("tenant", key, blob); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.DupPuts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// Namespace isolation is the multi-tenant invariant: tenant A's keys
+// are invisible to tenant B at the store level, whatever the key.
+func TestStoreNamespaceIsolation(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := keyFor("shared")
+	if err := s.Put("tenant-a", key, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("tenant-b", key); ok {
+		t.Fatal("tenant B read tenant A's blob")
+	}
+	if s.Has("tenant-b", key) {
+		t.Fatal("tenant B sees tenant A's blob")
+	}
+	if got, ok := s.Get("tenant-a", key); !ok || string(got) != "alpha" {
+		t.Fatalf("tenant A lost its own blob: ok=%v %q", ok, got)
+	}
+	// Traversal-shaped namespaces and keys are rejected outright.
+	if err := s.Put("../tenant-a", key, []byte("x")); err == nil {
+		t.Fatal("traversal namespace accepted")
+	}
+	if err := s.Put("t", "..", []byte("x")); err == nil {
+		t.Fatal("traversal key accepted")
+	}
+}
+
+// The disk cap must hold at all times under concurrent load, evicting
+// least-recently-used entries, and the store must keep serving
+// correct bytes throughout.
+func TestStoreEvictionUnderLoad(t *testing.T) {
+	const capBytes = 64 << 10
+	const blobSize = 1 << 10
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Config{MaxBytes: capBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				seed := fmt.Sprintf("w%d-%d", w, i)
+				key := keyFor(seed)
+				blob := blobOf(seed, blobSize)
+				if err := s.Put("load", key, blob); err != nil {
+					t.Errorf("put %s: %v", seed, err)
+					return
+				}
+				if got, ok := s.Get("load", key); ok && !bytes.Equal(got, blob) {
+					t.Errorf("get %s: wrong bytes", seed)
+					return
+				}
+				if live := s.LiveBytes(); live > capBytes {
+					t.Errorf("live %d exceeds cap %d", live, capBytes)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("8×40 KiB-blobs into a 64 KiB cap must evict; stats %+v", st)
+	}
+	if st.LiveBytes > capBytes {
+		t.Fatalf("final live %d exceeds cap %d", st.LiveBytes, capBytes)
+	}
+	// The files on disk agree with the index's accounting.
+	var onDisk int64
+	filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			onDisk += info.Size()
+		}
+		return nil
+	})
+	if onDisk > capBytes {
+		t.Fatalf("on-disk bytes %d exceed cap %d", onDisk, capBytes)
+	}
+}
+
+// LRU order: touching an old entry must protect it from the next
+// eviction wave.
+func TestStoreLRUOrder(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), Config{MaxBytes: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k1, k2, k3 := keyFor("1"), keyFor("2"), keyFor("3")
+	for _, k := range []string{k1, k2, k3} {
+		if err := s.Put("t", k, blobOf(k, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k1 so k2 is now the least recently used.
+	if _, ok := s.Get("t", k1); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	if err := s.Put("t", keyFor("4"), blobOf("4", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("t", k2) {
+		t.Fatal("LRU entry k2 survived eviction")
+	}
+	if !s.Has("t", k1) || !s.Has("t", k3) {
+		t.Fatal("recently used entries evicted instead of the LRU one")
+	}
+}
+
+func TestStoreTTLExpiry(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), Config{TTL: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := keyFor("ttl")
+	if err := s.Put("t", key, []byte("short-lived")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("t", key); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if _, ok := s.Get("t", key); ok {
+		t.Fatal("expired entry served")
+	}
+	st := s.Stats()
+	if st.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", st.Expirations)
+	}
+	if st.Blobs != 0 {
+		t.Fatalf("expired blob still held: %+v", st)
+	}
+}
+
+// A reopened store rebuilds its index from disk and keeps honoring
+// the cap.
+func TestStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := keyFor("persist")
+	blob := blobOf("persist", 2000)
+	if err := s.Put("t", key, blob); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenStore(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.Get("t", key)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("blob lost across reopen: ok=%v", ok)
+	}
+	// Reopening under a smaller cap evicts immediately.
+	s2.Close()
+	s3, err := OpenStore(dir, Config{MaxBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if live := s3.LiveBytes(); live > 1000 {
+		t.Fatalf("reopen kept %d bytes over the 1000-byte cap", live)
+	}
+}
+
+func TestStoreRejectsOversizedBlob(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), Config{MaxBlobBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("t", keyFor("big"), make([]byte, 200)); err == nil {
+		t.Fatal("oversized blob accepted")
+	}
+	if st := s.Stats(); st.Rejects != 1 {
+		t.Fatalf("rejects = %d, want 1", st.Rejects)
+	}
+}
+
+// A torn blob file (truncated on disk behind the index's back) must
+// answer as a miss and drop out, never serve wrong bytes.
+func TestStoreTornBlobIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := keyFor("torn")
+	if err := s.Put("t", key, blobOf("torn", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(dir, "t", key), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("t", key); ok {
+		t.Fatal("torn blob served")
+	}
+	// The slot is free again: a re-put restores it.
+	if err := s.Put("t", key, blobOf("torn", 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("t", key); !ok {
+		t.Fatal("re-put after torn read missed")
+	}
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	cmo "cmo"
+	"cmo/internal/cas"
+	"cmo/internal/serve"
+	"cmo/internal/workload"
+)
+
+// The shared-cache figure: the same program built against a cmod CAS
+// in every state a deployment will meet — absent, cold, warm, warm
+// with a warm local repository on top, evicting under a tight disk
+// cap, and dead. As with the distributed figure, the headline is not
+// a timing: it is the Identical column, which must be true at every
+// point. The remote level changes where artifacts come from, never
+// what the linker emits.
+
+// CASPoint is one build against one cache-service state.
+type CASPoint struct {
+	// Name is the service state this build saw: "local-only" (the
+	// baseline, no remote configured), "remote-cold" (fresh local
+	// repository, empty service), "remote-warm" (fresh local
+	// repository, populated service), "both-warm" (warm local
+	// repository too — the remote should not be consulted at all),
+	// "remote-evict" (a cap far below the artifact footprint, so the
+	// service evicts mid-build), and "remote-dead" (the URL answers
+	// nothing; the client must absorb every failure).
+	Name       string `json:"name"`
+	BuildNanos int64  `json:"build_nanos"`
+	// Remote-cache traffic for this build, from BuildStats.
+	RemoteHits   int `json:"remote_hits"`
+	RemoteMisses int `json:"remote_misses"`
+	RemoteStores int `json:"remote_stores"`
+	RemoteErrors int `json:"remote_errors"`
+	// Local artifact-cache hits, to show the three levels trading off.
+	LocalHits int `json:"local_hits"`
+	// ImageReplay marks the whole-image replay path (both-warm).
+	ImageReplay bool `json:"image_replay"`
+	// Identical records byte-identity against the local-only baseline.
+	// Any false value is a bug, not a data point.
+	Identical bool `json:"identical"`
+}
+
+// CASRecord is the BENCH_cas.json payload.
+type CASRecord struct {
+	Benchmark string     `json:"benchmark"`
+	Modules   int        `json:"modules"`
+	Points    []CASPoint `json:"points"`
+	// ServiceStats snapshots the warm daemon's store counters after
+	// the sweep: puts from the cold fill, hits from the warm rebuild.
+	ServiceHits      int64 `json:"service_hits"`
+	ServicePuts      int64 `json:"service_puts"`
+	ServiceEvictions int64 `json:"service_evictions"`
+	// Identical is the headline: true only when every point was
+	// byte-identical to the local-only baseline.
+	Identical bool `json:"identical"`
+}
+
+// CAS measures the three-level cache against a real daemon: a
+// serve.Server with a CAS store on loopback, exactly what
+// `cmod -cas-dir` wraps.
+func CAS(cfg Config) (*CASRecord, error) {
+	p := SpecPrograms(cfg)[2] // the gcc-like program: the multi-module one
+	spec := p.Spec
+	spec.Modules = cfg.scale(16)
+	mods := sources(spec)
+
+	rec := &CASRecord{Benchmark: spec.Name, Modules: spec.Modules, Identical: true}
+	var baseline string
+
+	step := func(name, localDir, remote string, timeout time.Duration) error {
+		cfg.logf("cas: %s\n", name)
+		b, err := cmo.BuildSource(mods, cmo.Options{
+			Level:              cmo.O2,
+			Volatile:           workload.InputGlobals(),
+			Trace:              cfg.Trace,
+			CacheDir:           localDir,
+			RemoteCache:        remote,
+			RemoteCacheTimeout: timeout,
+		})
+		if err != nil {
+			return fmt.Errorf("cas %s: %w", name, err)
+		}
+		dis := b.Image.Disasm()
+		if baseline == "" {
+			baseline = dis
+		}
+		identical := dis == baseline
+		if !identical {
+			rec.Identical = false
+		}
+		rec.Points = append(rec.Points, CASPoint{
+			Name:         name,
+			BuildNanos:   b.Stats.TotalNanos,
+			RemoteHits:   b.Stats.CacheRemoteHits,
+			RemoteMisses: b.Stats.CacheRemoteMisses,
+			RemoteStores: b.Stats.CacheRemoteStores,
+			RemoteErrors: b.Stats.CacheRemoteErrors,
+			LocalHits:    b.Stats.CacheHLOHits + b.Stats.CacheLLOHits,
+			ImageReplay:  b.Stats.GraphImageReplay,
+			Identical:    identical,
+		})
+		return nil
+	}
+	tmp := func(tag string) (string, error) {
+		return os.MkdirTemp("", "cmo-bench-cas-"+tag+"-*")
+	}
+
+	// Baseline: no remote anywhere.
+	localDir, err := tmp("local")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(localDir)
+	if err := step("local-only", localDir, "", 0); err != nil {
+		return nil, err
+	}
+
+	// One daemon serves the cold fill, the warm rebuild, and the
+	// both-warm replay.
+	store, url, stop, err := startCASDaemon(cas.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("cas: daemon: %w", err)
+	}
+	defer stop()
+
+	coldDir, err := tmp("cold")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(coldDir)
+	if err := step("remote-cold", coldDir, url, 0); err != nil {
+		return nil, err
+	}
+	warmDir, err := tmp("warm")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(warmDir)
+	if err := step("remote-warm", warmDir, url, 0); err != nil {
+		return nil, err
+	}
+	// Same local repository again: the dependency graph replays the
+	// image; the remote level should see no traffic at all.
+	if err := step("both-warm", warmDir, url, 0); err != nil {
+		return nil, err
+	}
+	st := store.Stats()
+	rec.ServiceHits, rec.ServicePuts = st.Hits, st.Puts
+
+	// A second daemon with a cap far below one build's footprint:
+	// eviction runs mid-build and identity must hold anyway.
+	evStore, evURL, evStop, err := startCASDaemon(cas.Config{MaxBytes: 8 << 10})
+	if err != nil {
+		return nil, fmt.Errorf("cas: evicting daemon: %w", err)
+	}
+	defer evStop()
+	evDir, err := tmp("evict")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(evDir)
+	if err := step("remote-evict", evDir, evURL, 0); err != nil {
+		return nil, err
+	}
+	rec.ServiceEvictions = evStore.Stats().Evictions
+
+	// A service that died before the build started: connection refused
+	// on every request until the breaker opens.
+	deadDir, err := tmp("dead")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(deadDir)
+	deadURL, err := deadAddr()
+	if err != nil {
+		return nil, err
+	}
+	if err := step("remote-dead", deadDir, deadURL, 200*time.Millisecond); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// startCASDaemon brings up a loopback daemon whose CAS surface this
+// sweep builds against — the serve.Server cmod wraps, minus the
+// fixed port. stop drains the daemon (closing the store).
+func startCASDaemon(cfg cas.Config) (store *cas.Store, url string, stop func(), err error) {
+	dir, err := os.MkdirTemp("", "cmo-bench-casd-*")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	store, err = cas.OpenStore(dir, cfg)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", nil, err
+	}
+	srv := serve.New(serve.Config{MaxBuilds: 1, CAS: store})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop = func() {
+		hs.Close()
+		srv.Drain()
+		os.RemoveAll(dir)
+	}
+	return store, "http://" + ln.Addr().String(), stop, nil
+}
+
+// deadAddr returns a URL that was listening once and refuses now.
+func deadAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+	return url, nil
+}
+
+// RenderCAS formats the sweep as the report table.
+func RenderCAS(rec *CASRecord) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Shared cache service: %s, %d modules (O2, vs the local-only baseline)\n",
+		rec.Benchmark, rec.Modules)
+	fmt.Fprintf(&sb, "%-13s  %9s  %6s  %8s  %8s  %8s  %8s  %s\n",
+		"service", "build-ms", "r-hits", "r-misses", "r-stores", "r-errors", "l-hits", "image")
+	for _, pt := range rec.Points {
+		img := "identical"
+		switch {
+		case !pt.Identical:
+			img = "DIFFERS"
+		case pt.ImageReplay:
+			img = "replayed"
+		}
+		fmt.Fprintf(&sb, "%-13s  %9.1f  %6d  %8d  %8d  %8d  %8d  %s\n",
+			pt.Name, float64(pt.BuildNanos)/1e6,
+			pt.RemoteHits, pt.RemoteMisses, pt.RemoteStores, pt.RemoteErrors,
+			pt.LocalHits, img)
+	}
+	fmt.Fprintf(&sb, "service: %d hits, %d puts; evicting daemon evicted %d\n",
+		rec.ServiceHits, rec.ServicePuts, rec.ServiceEvictions)
+	verdict := "every image byte-identical across cache-service states"
+	if !rec.Identical {
+		verdict = "IMAGES DIFFER — the remote cache level is broken"
+	}
+	fmt.Fprintf(&sb, "headline: %s\n", verdict)
+	return sb.String()
+}
+
+// WriteCASJSON writes the BENCH_cas.json record.
+func WriteCASJSON(w io.Writer, rec *CASRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"net/http"
+
+	"cmo/internal/cas"
+)
+
+// The daemon's shared-cache surface: internal/cas owns the blob
+// protocol (GET/PUT/HEAD /cas/{namespace}/{hash}, ETag/If-None-Match,
+// gzip); this file owns its admission — the draining check and a
+// dedicated slot pool, mirroring /backend's discipline — and its
+// cmod_cas_* telemetry.
+
+// mountCAS wires the /cas/ subtree behind the server's admission:
+// a draining daemon answers 503 (clients degrade to local-only,
+// exactly as if the service died), and at most CASSlots requests are
+// served concurrently — the pool is separate from build admission so
+// a daemon building for one tenant while serving another tenant's
+// cache can never deadlock itself. A full pool also answers 503: for
+// the client that is one more absorbed miss, and refusing is how the
+// daemon keeps cache traffic from starving builds.
+func (s *Server) mountCAS(store *cas.Store) {
+	inner := cas.Handler(store)
+	s.mux.Handle("/cas/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "cas: server is draining", http.StatusServiceUnavailable)
+			return
+		}
+		select {
+		case s.casSlots <- struct{}{}:
+		default:
+			http.Error(w, "cas: server is at capacity", http.StatusServiceUnavailable)
+			return
+		}
+		defer func() { <-s.casSlots }()
+		inner.ServeHTTP(w, r)
+	}))
+}
+
+// initCASTelemetry registers the cmod_cas_* series: scrape-time
+// samples of the store's own counters, so the numbers are exact even
+// though no request path touches the registry.
+func (s *Server) initCASTelemetry(store *cas.Store) {
+	r := s.registry
+	sample := func(f func(cas.Stats) float64) func() float64 {
+		return func() float64 { return f(store.Stats()) }
+	}
+	r.SetHelp("cmod_cas_hits_total", "CAS gets answered with bytes.")
+	r.Gauge("cmod_cas_hits_total", sample(func(st cas.Stats) float64 { return float64(st.Hits) }))
+	r.SetHelp("cmod_cas_misses_total", "CAS gets for absent or expired entries.")
+	r.Gauge("cmod_cas_misses_total", sample(func(st cas.Stats) float64 { return float64(st.Misses) }))
+	r.SetHelp("cmod_cas_puts_total", "CAS blobs accepted and written (duplicate puts excluded).")
+	r.Gauge("cmod_cas_puts_total", sample(func(st cas.Stats) float64 { return float64(st.Puts) }))
+	r.SetHelp("cmod_cas_evictions_total", "CAS entries removed by the LRU cap or the TTL.")
+	r.Gauge("cmod_cas_evictions_total", sample(func(st cas.Stats) float64 { return float64(st.Evictions + st.Expirations) }))
+	r.SetHelp("cmod_cas_bytes", "CAS payload bytes currently on disk (bounded by the configured cap).")
+	r.Gauge("cmod_cas_bytes", sample(func(st cas.Stats) float64 { return float64(st.LiveBytes) }))
+	r.SetHelp("cmod_cas_blobs", "CAS blobs currently held.")
+	r.Gauge("cmod_cas_blobs", sample(func(st cas.Stats) float64 { return float64(st.Blobs) }))
+	r.SetHelp("cmod_cas_max_bytes", "Configured CAS disk cap.")
+	r.Gauge("cmod_cas_max_bytes", func() float64 { return float64(store.MaxBytes()) })
+}

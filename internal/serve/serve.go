@@ -21,6 +21,11 @@
 //     directory share one Session (replay reads are concurrent; the
 //     repository is internally locked) and serialize only the durable
 //     Commit that runs after each build.
+//   - A shared artifact cache (Config.CAS, cmd/cmod -cas-dir): the
+//     internal/cas blob store mounted at /cas/{namespace}/{hash}
+//     behind the drain check and a dedicated slot pool, so a fleet of
+//     cmoc clients (-remote-cache) fills local misses from blobs some
+//     other machine already built. See cas.go.
 //   - Observability: every build runs under its own obs.Trace whose
 //     counters fold into a server-lifetime trace, so serve.* counters
 //     (queue depth, active builds, outcomes) sit next to cumulative
@@ -46,6 +51,7 @@ import (
 	"time"
 
 	cmo "cmo"
+	"cmo/internal/cas"
 	"cmo/internal/obs"
 )
 
@@ -95,6 +101,19 @@ type Config struct {
 	// on its own farm-out, and a refused partition just compiles on the
 	// dispatcher instead.
 	BackendSlots int
+	// CAS, when non-nil, is the shared artifact cache store this
+	// daemon serves at GET/PUT/HEAD /cas/{namespace}/{hash} (see
+	// internal/cas; cmd/cmod opens one from -cas-dir). nil leaves the
+	// endpoint unmounted. The server owns the store from here: Drain
+	// closes it after the sessions.
+	CAS *cas.Store
+	// CASSlots bounds concurrent /cas requests (default 4*MaxBuilds).
+	// Like BackendSlots, cache traffic is admitted outside the build
+	// queue — a daemon building for one tenant while serving another
+	// tenant's cache must never deadlock itself — and a refused
+	// request is just a client-side miss, absorbed like every other
+	// remote failure.
+	CASSlots int
 }
 
 // sessionEntry is one cache directory's shared state: the open
@@ -130,6 +149,7 @@ type Server struct {
 	queue        chan struct{}
 	extraJobs    chan struct{}
 	backendSlots chan struct{}
+	casSlots     chan struct{}
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
@@ -220,6 +240,13 @@ func New(cfg Config) *Server {
 	if cfg.BackendSlots > 0 {
 		s.backendSlots = make(chan struct{}, cfg.BackendSlots)
 	}
+	if cfg.CAS != nil {
+		if cfg.CASSlots <= 0 {
+			cfg.CASSlots = 4 * cfg.MaxBuilds
+			s.cfg.CASSlots = cfg.CASSlots
+		}
+		s.casSlots = make(chan struct{}, cfg.CASSlots)
+	}
 	s.ctr.accepted = tr.Counter("serve.accepted")
 	s.ctr.rejected = tr.Counter("serve.rejected")
 	s.ctr.completed = tr.Counter("serve.completed")
@@ -231,6 +258,10 @@ func New(cfg Config) *Server {
 	s.ctr.commitsCtr = tr.Counter("serve.commits")
 	s.initTelemetry()
 	s.routes()
+	if cfg.CAS != nil {
+		s.mountCAS(cfg.CAS)
+		s.initCASTelemetry(cfg.CAS)
+	}
 	return s
 }
 
@@ -376,6 +407,13 @@ func (s *Server) Drain() error {
 		// The ledger syncs at drain so the history of a cleanly
 		// stopped daemon is complete on disk.
 		if err := e.ledger.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// The cache store closes last: its blobs were durable at each Put
+	// (temp-file + rename), so this only refuses further writes.
+	if s.cfg.CAS != nil {
+		if err := s.cfg.CAS.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

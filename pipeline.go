@@ -3,6 +3,7 @@ package cmo
 import (
 	"fmt"
 
+	"cmo/internal/cas"
 	"cmo/internal/il"
 	"cmo/internal/naim"
 	"cmo/internal/obs"
@@ -54,6 +55,18 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 			return nil, err
 		}
 		defer sess.Close()
+		if opt.RemoteCache != "" && sess.connected() {
+			// The remote third level belongs to sessions this call owns;
+			// a caller-provided Session attaches its own client. Close
+			// runs before sess.Close (LIFO), draining the write-back
+			// backlog so one-shot builds actually warm the shared cache.
+			rc := cas.NewClient(opt.RemoteCache, cas.ClientConfig{
+				Namespace: opt.RemoteNamespace,
+				Timeout:   opt.RemoteCacheTimeout,
+			})
+			sess.AttachRemote(rc)
+			defer rc.Close()
+		}
 	}
 	// Normalize the defaults the graph plan fingerprints; buildIL
 	// re-applies the same normalization, and both are idempotent.
@@ -67,6 +80,7 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 		return nil, err
 	}
 	root := opt.Trace.StartSpan("build")
+	rc0 := sess.remoteStats()
 	// Graph-scheduled sessions hash only the leaf inputs and push
 	// dirtiness through the persisted closure. A clean closure is the
 	// warm-noop fast path: the image replays from the repository with
@@ -75,6 +89,7 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 	gp := planGraph(sess, mods, opt)
 	if gp != nil {
 		if b := gp.tryReplayImage(sess, mods, opt); b != nil {
+			b.Stats.setRemote(sess.remoteStats().Sub(rc0))
 			b.Stats.TotalNanos = root.End()
 			return b, nil
 		}
@@ -98,8 +113,19 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 		// half-made. Durability arrives with the session commit.
 		gp.commit(&b.Stats, opt)
 	}
+	b.Stats.setRemote(sess.remoteStats().Sub(rc0))
 	b.Stats.TotalNanos = root.End()
 	return b, nil
+}
+
+// setRemote folds one build's remote-cache traffic delta into the
+// stats block.
+func (s *BuildStats) setRemote(d cas.ClientStats) {
+	s.CacheRemoteHits = int(d.Hits)
+	s.CacheRemoteMisses = int(d.Misses)
+	s.CacheRemoteStores = int(d.Stores)
+	s.CacheRemoteDrops = int(d.StoreDrops)
+	s.CacheRemoteErrors = int(d.Errors)
 }
 
 // BuildIL compiles an already-lowered program (from BuildSource's
@@ -116,15 +142,25 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 			return nil, err
 		}
 		defer sess.Close()
+		if opt.RemoteCache != "" && sess.connected() {
+			rc := cas.NewClient(opt.RemoteCache, cas.ClientConfig{
+				Namespace: opt.RemoteNamespace,
+				Timeout:   opt.RemoteCacheTimeout,
+			})
+			sess.AttachRemote(rc)
+			defer rc.Close()
+		}
 	}
 	if err := opt.ctxErr(); err != nil {
 		return nil, err
 	}
 	root := opt.Trace.StartSpan("build")
+	rc0 := sess.remoteStats()
 	b, err := buildIL(prog, fns, opt, sess, nil, root)
 	if err != nil {
 		return nil, err
 	}
+	b.Stats.setRemote(sess.remoteStats().Sub(rc0))
 	b.Stats.TotalNanos = root.End()
 	return b, nil
 }

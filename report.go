@@ -167,6 +167,20 @@ func (b *Build) TimingReport() string {
 			s.CacheLLOHits, s.CacheLLOMisses,
 			100*float64(s.CacheLLOHits)/float64(s.CacheLLOHits+s.CacheLLOMisses))
 	}
+	// The remote-cache line appears only on builds that actually
+	// talked to a shared CAS (Options.RemoteCache); an idle or absent
+	// remote keeps the report shape unchanged.
+	if s.CacheRemoteHits+s.CacheRemoteMisses+s.CacheRemoteStores > 0 {
+		fmt.Fprintf(&sb, "remote cache: %d filled, %d missed, %d stored",
+			s.CacheRemoteHits, s.CacheRemoteMisses, s.CacheRemoteStores)
+		if s.CacheRemoteDrops > 0 {
+			fmt.Fprintf(&sb, ", %d dropped", s.CacheRemoteDrops)
+		}
+		if s.CacheRemoteErrors > 0 {
+			fmt.Fprintf(&sb, ", %d errors (degraded to local)", s.CacheRemoteErrors)
+		}
+		sb.WriteString("\n")
+	}
 	// Partition figures appear on partitioned-backend builds (the
 	// default LLO path); the NoPartition ablation keeps the line out.
 	if s.Partitions > 0 {

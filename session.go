@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"path/filepath"
 
+	"cmo/internal/cas"
 	"cmo/internal/depgraph"
 	"cmo/internal/naim"
 )
@@ -49,9 +50,17 @@ func ToolchainVersion() string { return toolchainVersion }
 // single-writer discipline there). A Session is not safe for
 // concurrent use by multiple processes; open one session per cache
 // directory at a time.
+// A session may additionally hold a remote CAS client (AttachRemote),
+// making artifact lookups three-level: in-memory loader state → local
+// repository → remote shared cache. The remote level is strictly
+// advisory and fully failure-absorbing — lookups fill local misses
+// from the remote, committed artifacts write back asynchronously, and
+// any remote failure degrades to local-only. It can never change
+// bytes, so it is deliberately absent from every options fingerprint.
 type Session struct {
-	repo  *naim.Repository
-	graph *depgraph.Log
+	repo   *naim.Repository
+	graph  *depgraph.Log
+	remote *cas.Client
 }
 
 // graphEpochKey names the repository blob holding the random epoch
@@ -144,18 +153,53 @@ func (s *Session) Graph() *depgraph.Graph {
 	return s.graph.Graph()
 }
 
+// AttachRemote gives the session a remote CAS level: get fills local
+// misses from it, put writes back asynchronously. The caller keeps
+// ownership of the client and must Close it (after the last build
+// using this session) to flush the write-back backlog. Attach before
+// sharing the session across goroutines; swapping the client under
+// concurrent builds is not supported.
+func (s *Session) AttachRemote(c *cas.Client) {
+	if s != nil {
+		s.remote = c
+	}
+}
+
+// remoteStats snapshots the attached client's cumulative counters
+// (zero when no remote is attached); BuildSource diffs two snapshots
+// to attribute traffic to one build.
+func (s *Session) remoteStats() cas.ClientStats {
+	if s == nil || s.remote == nil {
+		return cas.ClientStats{}
+	}
+	return s.remote.Stats()
+}
+
 // connected reports whether the session has a backing repository.
 func (s *Session) connected() bool { return s != nil && s.repo != nil }
 
 // get looks an artifact up; a disconnected session always misses.
+// With a remote attached, a local miss tries the shared cache and
+// fills the local repository on a hit, so the next lookup (and the
+// next build) is local again.
 func (s *Session) get(key naim.Key) ([]byte, bool) {
 	if !s.connected() {
 		return nil, false
 	}
 	b, err := s.repo.Get(key)
-	if err != nil {
+	if err == nil {
+		return b, true
+	}
+	if s.remote == nil {
 		return nil, false
 	}
+	b, ok := s.remote.Get(hex.EncodeToString(key[:]))
+	if !ok {
+		return nil, false
+	}
+	// Fill the local level. Advisory like every cache write: a failed
+	// fill still serves this lookup from the fetched bytes.
+	_ = s.repo.Put(key, b)
 	return b, true
 }
 
@@ -168,6 +212,11 @@ func (s *Session) put(key naim.Key, blob []byte) {
 	// so a failed store degrades to a future miss rather than failing
 	// the build.
 	_ = s.repo.Put(key, blob)
+	if s.remote != nil {
+		// Asynchronous, bounded, drop-on-overload: the build never
+		// waits on the shared cache accepting its artifacts.
+		s.remote.PutAsync(hex.EncodeToString(key[:]), blob)
+	}
 }
 
 // frontendKey is the artifact key for one module's frontend output.
