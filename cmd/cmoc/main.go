@@ -92,6 +92,7 @@ func main() {
 	remoteWorkers := flag.String("remote-workers", "", "driver mode: comma-separated cmod daemon URLs to farm backend partitions to (failures fall back locally; output is identical)")
 	remoteCache := flag.String("remote-cache", "", "driver mode: shared CAS service URL (cmod -cas-dir) to fill -cache-dir misses from (failures degrade to local-only; output is identical)")
 	remoteNamespace := flag.String("remote-namespace", "", "tenant namespace for -remote-cache requests (default \"default\")")
+	remoteToken := flag.String("remote-cache-token", "", "bearer token for -remote-cache requests (services started with cmod -cas-token)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cmoc [-O level] [-o out.o] file.minc\n")
 		fmt.Fprintf(os.Stderr, "       cmoc [-O level] [-trace out.json] [-timing] [-o out.vx] a.minc b.minc ...\n")
@@ -127,7 +128,7 @@ func main() {
 	if be.noPartition && len(be.remote) > 0 {
 		fatalf("-no-partition is incompatible with -remote-workers (remote workers need the partitioned backend)")
 	}
-	rc := remoteCacheFlags{namespace: *remoteNamespace}
+	rc := remoteCacheFlags{namespace: *remoteNamespace, token: *remoteToken}
 	if *remoteCache != "" {
 		if *cacheDir == "" {
 			fatalf("-remote-cache requires -cache-dir (the remote fills the local repository)")
@@ -204,6 +205,7 @@ type backendFlags struct {
 type remoteCacheFlags struct {
 	url       string
 	namespace string
+	token     string
 }
 
 // runDriver compiles and links a whole program in one process.
@@ -260,6 +262,7 @@ func runDriver(paths []string, level int, out, tracePath string, timing bool, bu
 	if rc.url != "" {
 		opt.RemoteCache = rc.url
 		opt.RemoteNamespace = rc.namespace
+		opt.RemoteCacheToken = rc.token
 	}
 	b, err := cmo.BuildSource(mods, opt)
 	if err != nil {

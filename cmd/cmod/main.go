@@ -5,6 +5,7 @@
 //	cmod [-addr host:port] [-max-builds n] [-queue n] [-job-budget n]
 //	     [-timeout d] [-max-timeout d] [-record-ring n] [-trace-ring n]
 //	     [-pprof] [-cas-dir dir] [-cas-max-bytes n] [-cas-ttl d]
+//	     [-cas-token secret]
 //
 // The one-shot cmoc driver pays the session open/commit cost on every
 // invocation and shares nothing across processes. cmod moves the
@@ -77,6 +78,7 @@ func main() {
 	casMaxBytes := flag.Int64("cas-max-bytes", 256<<20, "cache disk cap in bytes (LRU eviction holds it)")
 	casTTL := flag.Duration("cas-ttl", 0, "expire cache entries older than this (0 = no TTL)")
 	casSlots := flag.Int("cas-slots", 0, "concurrent /cas requests (0 = 4*max-builds)")
+	casToken := flag.String("cas-token", "", "shared secret /cas clients must send as a bearer token (empty = open endpoint; namespaces are cooperative, not a security boundary)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "usage: cmod [-addr host:port] [flags]\n")
@@ -105,6 +107,7 @@ func main() {
 		BackendSlots:   *backendSlots,
 		CAS:            store,
 		CASSlots:       *casSlots,
+		CASToken:       *casToken,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

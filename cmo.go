@@ -167,6 +167,11 @@ type Options struct {
 	// RemoteCacheTimeout bounds one remote cache request (0 = the
 	// cas client default, 5s).
 	RemoteCacheTimeout time.Duration
+	// RemoteCacheToken is the shared secret sent as a bearer token on
+	// every RemoteCache request, for services that require one (cmod
+	// -cas-token). Like every remote knob it cannot affect bytes: a
+	// wrong token just degrades the build to local-only.
+	RemoteCacheToken string
 	// Partitions sets the backend partition count (the WHOPR-style
 	// ltrans split; see internal/partition). 0 picks a size-based
 	// default (partition.Auto); the value never affects generated

@@ -31,6 +31,10 @@ type ClientConfig struct {
 	// Cooldown is how long a tripped breaker keeps the client
 	// local-only before it retries the remote (default 15s).
 	Cooldown time.Duration
+	// Token, when non-empty, is the shared secret sent as
+	// "Authorization: Bearer <token>" on every request, for daemons
+	// started with a CAS token (cmod -cas-token). Empty sends nothing.
+	Token string
 }
 
 // ClientStats is a point-in-time snapshot of a Client's cumulative
@@ -131,6 +135,13 @@ func (c *Client) url(key string) string {
 	return c.base + "/cas/" + c.ns + "/" + key
 }
 
+// auth attaches the shared-secret token, when configured.
+func (c *Client) auth(req *http.Request) {
+	if c.cfg.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.cfg.Token)
+	}
+}
+
 // degraded reports whether the breaker is open.
 func (c *Client) degraded() bool {
 	return time.Now().UnixNano() < c.downUntil.Load()
@@ -152,9 +163,10 @@ func (c *Client) fail() {
 func (c *Client) ok() { c.consecFails.Store(0) }
 
 // Get fetches the blob for key. Any failure — breaker open, network
-// error, timeout, unexpected status, torn body — is a miss; only a
-// 200 with a complete body is a hit. The transport handles gzip
-// transparently.
+// error, timeout, unexpected status, torn body, checksum mismatch —
+// is a miss; only a 200 whose complete body matches the service's
+// X-Cmo-Sum is a hit, so corrupted bytes can never fill the local
+// repository. The transport handles gzip transparently.
 func (c *Client) Get(key string) ([]byte, bool) {
 	if c.degraded() {
 		return nil, false
@@ -166,6 +178,7 @@ func (c *Client) Get(key string) ([]byte, bool) {
 		c.fail()
 		return nil, false
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		c.fail()
@@ -176,6 +189,14 @@ func (c *Client) Get(key string) ([]byte, bool) {
 	case http.StatusOK:
 		blob, err := io.ReadAll(resp.Body)
 		if err != nil {
+			c.fail()
+			return nil, false
+		}
+		if want := resp.Header.Get(sumHeader); want != "" && want != formatSum(blobSum(c.ns, key, blob)) {
+			// The body that arrived is not what the service read from
+			// its disk: corruption in transit. Counted as a failure, not
+			// a healthy miss — repeated mismatches should trip the
+			// breaker rather than hammer a broken path.
 			c.fail()
 			return nil, false
 		}
@@ -245,6 +266,7 @@ func (c *Client) headHas(key string) bool {
 		return false
 	}
 	req.Header.Set("If-None-Match", etagFor(key))
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		c.fail()
@@ -283,9 +305,13 @@ func (c *Client) put(key string, blob []byte) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	// The checksum covers the uncompressed payload; the daemon refuses
+	// the write if the bytes that arrive don't match it.
+	req.Header.Set(sumHeader, formatSum(blobSum(c.ns, key, blob)))
 	if encoding != "" {
 		req.Header.Set("Content-Encoding", encoding)
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		c.fail()

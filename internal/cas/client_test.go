@@ -173,6 +173,47 @@ func TestClientBreaker(t *testing.T) {
 	}
 }
 
+// A body corrupted between service and client fails the checksum
+// check and answers as a miss: corrupt bytes can never fill the local
+// repository, and the failure counts toward the breaker rather than
+// as a healthy miss.
+func TestClientRejectsCorruptBody(t *testing.T) {
+	s, _ := newTestService(t, Config{})
+	key := keyFor("transit")
+	blob := blobOf("transit", 1024)
+	if err := s.Put("default", key, blob); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt atomic.Bool
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !corrupt.Load() {
+			Handler(s).ServeHTTP(w, r)
+			return
+		}
+		// The service's honest checksum with dishonest bytes — a
+		// flipped bit somewhere on the path.
+		w.Header().Set(sumHeader, formatSum(blobSum("default", key, blob)))
+		flipped := append([]byte(nil), blob...)
+		flipped[0] ^= 0x01
+		w.Write(flipped)
+	}))
+	defer proxy.Close()
+
+	c := NewClient(proxy.URL, ClientConfig{})
+	defer c.Close()
+	corrupt.Store(true)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt body accepted")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Errors != 1 {
+		t.Fatalf("corrupt fetch stats: %+v", st)
+	}
+	corrupt.Store(false)
+	if got, ok := c.Get(key); !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("clean fetch after corruption: ok=%v", ok)
+	}
+}
+
 // An unreachable service is absorbed entirely: misses and drops, no
 // errors escaping, and the breaker keeps latency bounded.
 func TestClientUnreachableService(t *testing.T) {

@@ -20,15 +20,38 @@
 // thus a pure existence test: a client that holds any bytes for a key
 // holds the bytes, and a match always answers 304 with no body.
 //
-// # Namespaces
+// # Namespaces and trust
 //
-// The namespace path component isolates tenants: a key stored under
+// The namespace path component separates tenants: a key stored under
 // one namespace is invisible to every other, so two tenants whose
 // toolchains or sources must not mix share one daemon without
 // sharing bytes. Namespaces are flat names (letters, digits, dot,
 // dash, underscore; no traversal), created implicitly on first PUT.
-// Isolation is a visibility guarantee, not a quota: the disk cap and
-// eviction clock below are store-wide.
+// Separation is cooperative visibility, not a security boundary:
+// there is no per-namespace credential, so any client that can reach
+// the daemon can name — and read or fill — any namespace. Run an
+// open daemon on trusted networks only, or set a shared-secret
+// bearer token (cmod -cas-token, checked at the serving layer before
+// this package sees the request) to keep untrusted peers out
+// entirely. Nor is a namespace a quota: the disk cap and eviction
+// clock below are store-wide.
+//
+// # Integrity
+//
+// Every blob file on disk carries a CRC32-Castagnoli trailer over
+// "<ns>/<key>" plus the payload (the naim repository's framing
+// idiom), verified on every read: a bit-flipped or truncated file
+// fails the check, is dropped from the index, and answers as a miss
+// the client recomputes from. The same checksum travels the wire in
+// the X-Cmo-Sum header — set on GET/HEAD responses and verified by
+// the Client before it fills the local repository, sent on PUT and
+// verified by the service before the bytes become immutable — so
+// corruption anywhere on the client → daemon → disk → daemon →
+// client path is detected, never silently compiled into an image.
+// What checksums cannot catch is a trusted-but-buggy client PUTting
+// wrong bytes with a matching sum under a fingerprint key; that is
+// the "equal key implies equal bytes" contract above, which holds
+// exactly as far as the tenant's toolchain-version discipline does.
 //
 // # Eviction
 //

@@ -2,6 +2,7 @@ package cas
 
 import (
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +17,16 @@ import (
 // gzipMinBytes is the smallest GET payload worth compressing; tiny
 // blobs would grow under the gzip framing.
 const gzipMinBytes = 256
+
+// sumHeader carries a blob's integrity checksum (blobSum, 8 hex
+// digits) across the wire: set on every GET/HEAD response so clients
+// can verify fetched bytes before trusting them, and accepted on PUT
+// so the daemon can refuse bytes that were corrupted in transit. The
+// sum always describes the uncompressed payload, whatever the
+// Content-Encoding.
+const sumHeader = "X-Cmo-Sum"
+
+func formatSum(sum uint32) string { return fmt.Sprintf("%08x", sum) }
 
 // Handler mounts a Store's blob protocol. The returned handler owns
 // the /cas/ subtree; wrap it for admission control (internal/serve
@@ -73,6 +84,7 @@ func handleGet(s *Store, w http.ResponseWriter, r *http.Request) {
 	h.Set("ETag", etag)
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("Vary", "Accept-Encoding")
+	h.Set(sumHeader, formatSum(blobSum(ns, key, blob)))
 	if r.Method == http.MethodHead {
 		h.Set("Content-Length", strconv.Itoa(len(blob)))
 		w.WriteHeader(http.StatusOK)
@@ -101,7 +113,8 @@ func handlePut(s *Store, w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		return
 	}
-	var body io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBlobBytes+1)
+	limit := s.cfg.MaxBlobBytes + 1
+	var body io.Reader = http.MaxBytesReader(w, r.Body, limit)
 	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
 		gz, err := gzip.NewReader(body)
 		if err != nil {
@@ -109,15 +122,38 @@ func handlePut(s *Store, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer gz.Close()
-		body = gz
+		// MaxBytesReader bounds only the compressed wire bytes; gzip
+		// expands up to ~1000x, so the decompressed stream must be
+		// re-limited or a small request could balloon into an arbitrary
+		// allocation before Put's size check runs. One byte past the cap
+		// is enough to tell "too large" from "exactly at the cap".
+		body = io.LimitReader(gz, limit)
 	}
 	blob, err := io.ReadAll(body)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("cas: reading body: %v", err), http.StatusRequestEntityTooLarge)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "cas: request body exceeds per-blob cap", http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, fmt.Sprintf("cas: reading body: %v", err), http.StatusBadRequest)
+		}
+		return
+	}
+	if want := r.Header.Get(sumHeader); want != "" && want != formatSum(blobSum(ns, key, blob)) {
+		// The client's checksum disagrees with the bytes that arrived:
+		// corrupted in transit (or a buggy client). Refusing here keeps
+		// a poisoned blob from becoming immutable under a valid key.
+		http.Error(w, "cas: body does not match "+sumHeader, http.StatusBadRequest)
 		return
 	}
 	if err := s.Put(ns, key, blob); err != nil {
-		http.Error(w, err.Error(), http.StatusInsufficientStorage)
+		// Oversize is the client's fault (413); anything else is the
+		// store failing to write (507).
+		if errors.Is(err, ErrBlobTooLarge) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, err.Error(), http.StatusInsufficientStorage)
+		}
 		return
 	}
 	w.Header().Set("ETag", etagFor(key))

@@ -279,8 +279,86 @@ func TestHTTPOversizedPut(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusOK {
-		t.Fatalf("oversized PUT accepted: %d", resp.StatusCode)
+	// Over-cap is the client's fault and says so: 413, not a disk
+	// error dressed as 507.
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized PUT: %d, want 413", resp.StatusCode)
+	}
+}
+
+// A small compressed body that inflates far past the per-blob cap is
+// refused with 413 after a bounded read: the decompressed stream is
+// re-limited, so a gzip bomb can cost the daemon at most one
+// cap-sized allocation, never a multi-GiB one.
+func TestHTTPGzipBombRejected(t *testing.T) {
+	s, srv := newTestService(t, Config{MaxBlobBytes: 64 << 10})
+	var bomb bytes.Buffer
+	gz := gzip.NewWriter(&bomb)
+	gz.Write(make([]byte, 1<<20)) // 1 MiB of zeros, ~1 KiB on the wire
+	gz.Close()
+	if bomb.Len() > 64<<10 {
+		t.Fatalf("bomb did not compress under the wire cap: %d bytes", bomb.Len())
+	}
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/cas/t/"+keyFor("bomb"), &bomb)
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("gzip bomb: %d, want 413", resp.StatusCode)
+	}
+	if st := s.Stats(); st.Puts != 0 {
+		t.Fatalf("gzip bomb stored: %+v", st)
+	}
+}
+
+// The integrity header round trip: GET responses carry the blob's
+// checksum, a PUT whose declared checksum matches the received bytes
+// is accepted, and a mismatch is refused before the bytes can become
+// immutable under a valid key.
+func TestHTTPSumHeader(t *testing.T) {
+	s, srv := newTestService(t, Config{})
+	key := keyFor("sum")
+	blob := blobOf("sum", 700)
+
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/cas/t/"+key, bytes.NewReader(blob))
+	req.Header.Set(sumHeader, formatSum(blobSum("t", key, blob)))
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT with matching sum: %d", resp.StatusCode)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/cas/t/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got, want := resp.Header.Get(sumHeader), formatSum(blobSum("t", key, blob)); got != want {
+		t.Fatalf("GET %s = %q, want %q", sumHeader, got, want)
+	}
+
+	// A declared sum that disagrees with the bytes that arrived is a
+	// 400, and nothing lands in the store.
+	key2 := keyFor("sum-mismatch")
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/cas/t/"+key2, bytes.NewReader(blob))
+	req.Header.Set(sumHeader, "00000000")
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT with wrong sum: %d, want 400", resp.StatusCode)
+	}
+	if s.Has("t", key2) {
+		t.Fatal("mismatched blob stored anyway")
 	}
 }
 

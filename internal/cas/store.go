@@ -2,7 +2,10 @@ package cas
 
 import (
 	"container/list"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -11,12 +14,37 @@ import (
 	"time"
 )
 
+// ErrBlobTooLarge reports a Put whose blob exceeds the per-blob cap.
+// The HTTP layer distinguishes it (413) from real write failures
+// (507); check with errors.Is.
+var ErrBlobTooLarge = errors.New("cas: blob exceeds per-blob cap")
+
+// crcTable is the CRC32-Castagnoli table every blob checksum uses —
+// the same polynomial the naim repository frames its records with.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// sumTrailerLen is the length of the checksum trailer each blob file
+// carries on disk after its payload.
+const sumTrailerLen = 4
+
+// blobSum is the integrity checksum of a blob: CRC32-Castagnoli over
+// "<ns>/<key>" then the payload. Binding the name in means a file
+// copied or renamed under the wrong key fails verification, not just
+// a file whose bytes rotted. The same sum travels the wire in the
+// X-Cmo-Sum header, so client → daemon → disk → daemon → client is
+// checked end to end.
+func blobSum(ns, key string, blob []byte) uint32 {
+	sum := crc32.Checksum([]byte(ns+"/"+key), crcTable)
+	return crc32.Update(sum, crcTable, blob)
+}
+
 // Config sizes a Store. The zero value is usable: a 256 MiB cap, no
 // TTL, 32 MiB per blob.
 type Config struct {
-	// MaxBytes caps the summed payload bytes on disk (default 256
-	// MiB). Every Put that would exceed it evicts least-recently-used
-	// entries first, so the cap holds at all times.
+	// MaxBytes caps the summed on-disk bytes of blob files — payload
+	// plus each file's checksum trailer (default 256 MiB). Every Put
+	// that would exceed it evicts least-recently-used entries first,
+	// so the cap bounds real disk usage at all times.
 	MaxBytes int64
 	// TTL, when positive, expires entries by age since they were
 	// stored. Expired entries answer as misses and are deleted on
@@ -41,13 +69,15 @@ type Stats struct {
 
 	BytesServed  int64 // payload bytes returned by hits
 	BytesStored  int64 // payload bytes accepted by puts
-	BytesEvicted int64 // payload bytes removed by LRU + TTL
+	BytesEvicted int64 // payload bytes removed: LRU, TTL, and torn or corrupt files dropped on read
 
 	Blobs     int   // entries currently held
-	LiveBytes int64 // payload bytes currently held
+	LiveBytes int64 // on-disk bytes currently held (payload + trailers)
 }
 
-// entry is one blob's in-memory index record.
+// entry is one blob's in-memory index record. size is the payload
+// length; the file on disk is diskSize (payload + checksum trailer),
+// which is what counts against the byte cap.
 type entry struct {
 	ns, key string
 	size    int64
@@ -55,8 +85,11 @@ type entry struct {
 	elem    *list.Element
 }
 
+func (e *entry) diskSize() int64 { return e.size + sumTrailerLen }
+
 // Store is a bounded, namespaced, content-addressed blob store on
-// disk: one file per blob at <dir>/<namespace>/<key>, an in-memory
+// disk: one file per blob at <dir>/<namespace>/<key> (payload plus a
+// 4-byte CRC32-Castagnoli trailer bound to the name), an in-memory
 // LRU index over them, and counters for the telemetry layer. Safe for
 // concurrent use.
 type Store struct {
@@ -127,10 +160,16 @@ func (s *Store) scan() error {
 			if err != nil {
 				continue
 			}
+			// Too short to even hold the checksum trailer: not a blob
+			// this store wrote. Checksums themselves are verified lazily
+			// by Get, not here — a restart must not read the whole cache.
+			if info.Size() < sumTrailerLen {
+				continue
+			}
 			all = append(all, &entry{
 				ns:     nd.Name(),
 				key:    f.Name(),
-				size:   info.Size(),
+				size:   info.Size() - sumTrailerLen,
 				stored: info.ModTime(),
 			})
 		}
@@ -140,14 +179,14 @@ func (s *Store) scan() error {
 	for _, e := range all {
 		e.elem = s.lru.PushFront(e)
 		s.entries[e.ns+"/"+e.key] = e
-		s.live += e.size
+		s.live += e.diskSize()
 	}
 	return nil
 }
 
 // Get returns the blob for (ns, key), or ok=false on a miss. An
-// expired or unreadable entry is removed and counted as a miss — the
-// caller recomputes, the cache is advisory.
+// expired, unreadable, or checksum-failing entry is removed and
+// counted as a miss — the caller recomputes, the cache is advisory.
 func (s *Store) Get(ns, key string) (blob []byte, ok bool) {
 	if !validNamespace(ns) || !validKey(key) {
 		s.mu.Lock()
@@ -156,10 +195,10 @@ func (s *Store) Get(ns, key string) (blob []byte, ok bool) {
 		return nil, false
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, found := s.entries[ns+"/"+key]
 	if !found {
 		s.st.Misses++
+		s.mu.Unlock()
 		return nil, false
 	}
 	if s.cfg.TTL > 0 && time.Since(e.stored) > s.cfg.TTL {
@@ -167,20 +206,40 @@ func (s *Store) Get(ns, key string) (blob []byte, ok bool) {
 		s.st.Expirations++
 		s.st.BytesEvicted += e.size
 		s.st.Misses++
+		s.mu.Unlock()
 		return nil, false
 	}
-	b, err := os.ReadFile(s.path(e.ns, e.key))
-	if err != nil || int64(len(b)) != e.size {
-		// A torn or vanished file is dropped from the index; the next
-		// Put restores it.
-		s.removeLocked(e)
+	path, size := s.path(e.ns, e.key), e.size
+	s.mu.Unlock()
+
+	// The read and its checksum run outside the store lock so cache
+	// traffic doesn't serialize on disk I/O. Entries are immutable, so
+	// bytes that verify here are the bytes, even if the entry is
+	// evicted while we read.
+	b, err := os.ReadFile(path)
+	valid := err == nil && int64(len(b)) == size+sumTrailerLen &&
+		binary.LittleEndian.Uint32(b[size:]) == blobSum(ns, key, b[:size])
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, still := s.entries[ns+"/"+key]
+	if !valid {
+		// A torn, vanished, or corrupt file is dropped from the index
+		// (only if the entry we read is still the indexed one) and its
+		// bytes counted as evicted; the next Put restores it.
+		if still && cur == e {
+			s.removeLocked(e)
+			s.st.BytesEvicted += e.size
+		}
 		s.st.Misses++
 		return nil, false
 	}
-	s.lru.MoveToFront(e.elem)
+	if still && cur == e {
+		s.lru.MoveToFront(e.elem)
+	}
 	s.st.Hits++
-	s.st.BytesServed += e.size
-	return b, true
+	s.st.BytesServed += size
+	return b[:size:size], true
 }
 
 // Has reports whether (ns, key) is present and unexpired without
@@ -216,7 +275,7 @@ func (s *Store) Put(ns, key string, blob []byte) error {
 		s.mu.Lock()
 		s.st.Rejects++
 		s.mu.Unlock()
-		return fmt.Errorf("cas: blob %d bytes exceeds per-blob cap %d", len(blob), s.cfg.MaxBlobBytes)
+		return fmt.Errorf("%w: %d bytes over cap %d", ErrBlobTooLarge, len(blob), s.cfg.MaxBlobBytes)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -235,7 +294,14 @@ func (s *Store) Put(ns, key string, blob []byte) error {
 	if err != nil {
 		return fmt.Errorf("cas: put: %w", err)
 	}
+	var trailer [sumTrailerLen]byte
+	binary.LittleEndian.PutUint32(trailer[:], blobSum(ns, key, blob))
 	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cas: put: %w", err)
+	}
+	if _, err := tmp.Write(trailer[:]); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cas: put: %w", err)
@@ -251,7 +317,7 @@ func (s *Store) Put(ns, key string, blob []byte) error {
 	e := &entry{ns: ns, key: key, size: int64(len(blob)), stored: time.Now()}
 	e.elem = s.lru.PushFront(e)
 	s.entries[ns+"/"+key] = e
-	s.live += e.size
+	s.live += e.diskSize()
 	s.st.Puts++
 	s.st.BytesStored += e.size
 	s.sweepLocked(e.stored)
@@ -299,7 +365,7 @@ func (s *Store) evictLocked() {
 func (s *Store) removeLocked(e *entry) {
 	s.lru.Remove(e.elem)
 	delete(s.entries, e.ns+"/"+e.key)
-	s.live -= e.size
+	s.live -= e.diskSize()
 	_ = os.Remove(s.path(e.ns, e.key))
 }
 
@@ -313,7 +379,8 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// LiveBytes reports the payload bytes currently on disk.
+// LiveBytes reports the bytes currently on disk (payload plus
+// checksum trailers) — the quantity the MaxBytes cap bounds.
 func (s *Store) LiveBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

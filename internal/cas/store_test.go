@@ -146,7 +146,9 @@ func TestStoreEvictionUnderLoad(t *testing.T) {
 // LRU order: touching an old entry must protect it from the next
 // eviction wave.
 func TestStoreLRUOrder(t *testing.T) {
-	s, err := OpenStore(t.TempDir(), Config{MaxBytes: 3000})
+	// Three 1000-byte blobs (1004 on disk with their checksum
+	// trailers) fit; the fourth forces one eviction.
+	s, err := OpenStore(t.TempDir(), Config{MaxBytes: 3200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,11 +269,92 @@ func TestStoreTornBlobIsAMiss(t *testing.T) {
 	if _, ok := s.Get("t", key); ok {
 		t.Fatal("torn blob served")
 	}
+	// The drop is accounted: the counters must agree with the bytes
+	// actually removed from disk.
+	if st := s.Stats(); st.BytesEvicted != 500 {
+		t.Fatalf("torn drop evicted %d bytes, want 500", st.BytesEvicted)
+	}
 	// The slot is free again: a re-put restores it.
 	if err := s.Put("t", key, blobOf("torn", 500)); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get("t", key); !ok {
 		t.Fatal("re-put after torn read missed")
+	}
+}
+
+// A bit flip in a blob's payload fails its checksum trailer: the read
+// answers as a miss, the entry drops out with its bytes counted, and
+// a re-put restores it — rot on the service's disk costs a recompute,
+// never wrong bytes.
+func TestStoreCorruptBlobIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	key := keyFor("rot")
+	blob := blobOf("rot", 600)
+	if err := s.Put("t", key, blob); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "t", key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[100] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("t", key); ok {
+		t.Fatal("corrupt blob served")
+	}
+	st := s.Stats()
+	if st.Blobs != 0 || st.BytesEvicted != 600 {
+		t.Fatalf("corrupt drop not accounted: %+v", st)
+	}
+	if err := s.Put("t", key, blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("t", key); !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("re-put after corruption: ok=%v", ok)
+	}
+}
+
+// The checksum is bound to the blob's name, not just its bytes: an
+// intact file sitting under the wrong key (a botched copy, a rename)
+// fails verification and misses.
+func TestStoreChecksumBoundToName(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := keyFor("original"), keyFor("misfiled")
+	if err := s.Put("t", k1, blobOf("original", 300)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "t", k1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "t", k2), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A reopen indexes both files; only the correctly named one serves.
+	s2, err := OpenStore(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("t", k2); ok {
+		t.Fatal("misnamed blob served")
+	}
+	if _, ok := s2.Get("t", k1); !ok {
+		t.Fatal("correctly named blob lost")
 	}
 }

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"net/http"
+	"strings"
 
 	"cmo/internal/cas"
 )
@@ -23,6 +25,14 @@ import (
 func (s *Server) mountCAS(store *cas.Store) {
 	inner := cas.Handler(store)
 	s.mux.Handle("/cas/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.casAuthorized(r) {
+			// 401 is a terminal client error, not a flaky service: the
+			// cas client breaker still absorbs it (local-only build),
+			// and the operator sees the misconfiguration in the error
+			// counters rather than in wrong bytes.
+			http.Error(w, "cas: missing or wrong bearer token", http.StatusUnauthorized)
+			return
+		}
 		if s.Draining() {
 			http.Error(w, "cas: server is draining", http.StatusServiceUnavailable)
 			return
@@ -36,6 +46,22 @@ func (s *Server) mountCAS(store *cas.Store) {
 		defer func() { <-s.casSlots }()
 		inner.ServeHTTP(w, r)
 	}))
+}
+
+// casAuthorized checks the shared-secret bearer token configured with
+// Config.CASToken (cmod -cas-token). No token configured means an
+// open endpoint: namespaces are then cooperative visibility for
+// tenants that trust each other, not an isolation boundary — anyone
+// who can reach the daemon can read or fill any namespace.
+func (s *Server) casAuthorized(r *http.Request) bool {
+	want := s.cfg.CASToken
+	if want == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	// Constant-time compare: a shared cache daemon must not leak its
+	// secret byte by byte through response timing.
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(want)) == 1
 }
 
 // initCASTelemetry registers the cmod_cas_* series: scrape-time
@@ -54,7 +80,7 @@ func (s *Server) initCASTelemetry(store *cas.Store) {
 	r.Gauge("cmod_cas_puts_total", sample(func(st cas.Stats) float64 { return float64(st.Puts) }))
 	r.SetHelp("cmod_cas_evictions_total", "CAS entries removed by the LRU cap or the TTL.")
 	r.Gauge("cmod_cas_evictions_total", sample(func(st cas.Stats) float64 { return float64(st.Evictions + st.Expirations) }))
-	r.SetHelp("cmod_cas_bytes", "CAS payload bytes currently on disk (bounded by the configured cap).")
+	r.SetHelp("cmod_cas_bytes", "CAS bytes currently on disk, payload plus checksum trailers (bounded by the configured cap).")
 	r.Gauge("cmod_cas_bytes", sample(func(st cas.Stats) float64 { return float64(st.LiveBytes) }))
 	r.SetHelp("cmod_cas_blobs", "CAS blobs currently held.")
 	r.Gauge("cmod_cas_blobs", sample(func(st cas.Stats) float64 { return float64(st.Blobs) }))

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cmo/internal/cas"
+	"cmo/internal/naim"
+)
+
+func casTestKey(seed string) string {
+	k := naim.KeyOfStrings("serve-cas-auth", seed)
+	return fmt.Sprintf("%x", k[:])
+}
+
+// The -cas-token boundary: with a token configured, /cas requests
+// without the right bearer secret answer 401 before the store sees
+// them — namespaces alone are cooperative, the token is the actual
+// isolation boundary — while a cas.Client configured with the secret
+// round-trips normally.
+func TestCASTokenAuth(t *testing.T) {
+	store, err := cas.OpenStore(t.TempDir(), cas.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{CAS: store, CASToken: "s3cret"})
+	defer srv.Drain() // closes the store
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	key := casTestKey("guarded")
+	url := hs.URL + "/cas/tenant/" + key
+	blob := []byte("guarded bytes")
+
+	// No token and a wrong token are both refused.
+	for name, header := range map[string]string{"missing": "", "wrong": "Bearer nope"} {
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if header != "" {
+			req.Header.Set("Authorization", header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s token: %d, want 401", name, resp.StatusCode)
+		}
+	}
+	if st := store.Stats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("unauthorized request reached the store: %+v", st)
+	}
+
+	// The right token passes and the blob lands.
+	req, _ := http.NewRequest(http.MethodPut, url, bytes.NewReader(blob))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("authorized PUT: %d", resp.StatusCode)
+	}
+
+	// The cas client presents the secret on every request.
+	c := cas.NewClient(hs.URL, cas.ClientConfig{Namespace: "tenant", Token: "s3cret"})
+	defer c.Close()
+	if got, ok := c.Get(key); !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("authorized client get: ok=%v %q", ok, got)
+	}
+}

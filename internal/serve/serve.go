@@ -114,6 +114,13 @@ type Config struct {
 	// request is just a client-side miss, absorbed like every other
 	// remote failure.
 	CASSlots int
+	// CASToken, when non-empty, is the shared secret every /cas
+	// request must present as "Authorization: Bearer <token>"; requests
+	// without it answer 401. Namespaces alone are cooperative
+	// visibility, not a security boundary — the token is the daemon's
+	// only defense against an untrusted peer reading or poisoning a
+	// tenant's cache. Empty leaves /cas open (trusted networks only).
+	CASToken string
 }
 
 // sessionEntry is one cache directory's shared state: the open

@@ -63,6 +63,7 @@ func BuildSource(mods []SourceModule, opt Options) (*Build, error) {
 			rc := cas.NewClient(opt.RemoteCache, cas.ClientConfig{
 				Namespace: opt.RemoteNamespace,
 				Timeout:   opt.RemoteCacheTimeout,
+				Token:     opt.RemoteCacheToken,
 			})
 			sess.AttachRemote(rc)
 			defer rc.Close()
@@ -146,6 +147,7 @@ func BuildIL(prog *il.Program, fns map[il.PID]*il.Function, opt Options) (*Build
 			rc := cas.NewClient(opt.RemoteCache, cas.ClientConfig{
 				Namespace: opt.RemoteNamespace,
 				Timeout:   opt.RemoteCacheTimeout,
+				Token:     opt.RemoteCacheToken,
 			})
 			sess.AttachRemote(rc)
 			defer rc.Close()
